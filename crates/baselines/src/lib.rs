@@ -1,0 +1,27 @@
+//! # ukc-baselines — comparison points for the paper's algorithms
+//!
+//! The paper compares approximation *factors* against prior work
+//! (Cormode–McGregor \[7\], Guha–Munagala \[14\]) rather than
+//! implementations. To give the reproduction's experiments both sides of
+//! the bracket we provide:
+//!
+//! * [`heuristics`] — representative-replacement heuristics *without*
+//!   guarantees: most-likely-location (mode), all-locations (ignore the
+//!   probabilities entirely), and realization-sampling (Cormode–McGregor
+//!   flavored: run deterministic k-center on sampled realizations).
+//!   These upper-bound what "reasonable but naive" achieves.
+//! * [`brute`] — exact optima for small instances: restricted-assigned
+//!   optimum under a fixed rule, and the unrestricted optimum over
+//!   centers × assignments. These are the denominators that make the
+//!   experiments' ratios meaningful.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod brute;
+pub mod heuristics;
+
+pub use brute::{
+    brute_force_restricted, brute_force_unrestricted, BruteForceLimits, BruteSolution,
+};
+pub use heuristics::{all_locations_baseline, mode_baseline, sample_union_baseline};

@@ -1,0 +1,40 @@
+//! Benches for the future-work extensions: the uncertain k-median
+//! reduction, the k-means bias-variance pipeline, and streaming insertion
+//! throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ukc_bench::workloads::euclidean;
+use ukc_extensions::{uncertain_kmeans, uncertain_kmedian_local_search, StreamingUncertainKCenter};
+use ukc_metric::Euclidean;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for n in [32usize, 128] {
+        let set = euclidean(n, 4);
+        let pool = set.location_pool();
+        g.bench_with_input(BenchmarkId::new("kmedian_local_search", n), &set, |b, s| {
+            b.iter(|| uncertain_kmedian_local_search(black_box(s), &pool, 4, &Euclidean, 20))
+        });
+        g.bench_with_input(BenchmarkId::new("kmeans", n), &set, |b, s| {
+            b.iter(|| uncertain_kmeans(black_box(s), 4, 1, 4, 50))
+        });
+    }
+    let set = euclidean(1024, 4);
+    g.bench_function("streaming_insert_1024", |b| {
+        b.iter(|| {
+            let mut s = StreamingUncertainKCenter::new(8);
+            for up in set.iter() {
+                s.insert(black_box(up.clone()));
+            }
+            s.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion version of the EXPERIMENTS.md scaling studies S1/S2: the
+//! O(z) expected point and the O(nz + nk) pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use ukc_bench::workloads::euclidean;
+use ukc_core::{solve_euclidean, AssignmentRule, CertainSolver};
+use ukc_uncertain::expected_point;
+
+fn bench_s1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling_s1_expected_point");
+    g.sample_size(30);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for z in [16usize, 64, 256, 1024, 4096] {
+        let set = euclidean(1, z);
+        g.throughput(Throughput::Elements(z as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(z), set.point(0), |b, up| {
+            b.iter(|| expected_point(black_box(up)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_s2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling_s2_pipeline");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for n in [128usize, 512, 2048] {
+        let set = euclidean(n, 4);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, s| {
+            b.iter(|| {
+                solve_euclidean(
+                    black_box(s),
+                    8,
+                    AssignmentRule::ExpectedPoint,
+                    CertainSolver::Gonzalez,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_s1, bench_s2);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Table 1 row 9: the general-metric pipeline (Theorems 2.6 / 2.7) on a
+//! graph shortest-path metric.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ukc_bench::workloads::graph;
+use ukc_core::{solve_metric, MetricAssignmentRule, MetricCertainSolver};
+use ukc_kcenter::ExactOptions;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1_row9_metric");
+    g.sample_size(15);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for n in [16usize, 64, 256] {
+        let (fm, set) = graph(n, 4);
+        let ids = fm.ids();
+        g.bench_with_input(BenchmarkId::new("OC_gonzalez", n), &(&fm, &set), |b, (fm, s)| {
+            b.iter(|| {
+                solve_metric(
+                    black_box(s),
+                    4,
+                    MetricAssignmentRule::OneCenter,
+                    MetricCertainSolver::Gonzalez,
+                    &ids,
+                    *fm,
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("ED_gonzalez", n), &(&fm, &set), |b, (fm, s)| {
+            b.iter(|| {
+                solve_metric(
+                    black_box(s),
+                    4,
+                    MetricAssignmentRule::ExpectedDistance,
+                    MetricCertainSolver::Gonzalez,
+                    &ids,
+                    *fm,
+                )
+            })
+        });
+    }
+    let (fm, set) = graph(16, 4);
+    let ids = fm.ids();
+    g.bench_function("OC_exact_discrete_n16", |b| {
+        b.iter(|| {
+            solve_metric(
+                black_box(&set),
+                4,
+                MetricAssignmentRule::OneCenter,
+                MetricCertainSolver::ExactDiscrete(ExactOptions::default()),
+                &ids,
+                &fm,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Table 1 row 1: the O(z) expected-point 1-center (Theorem 2.1) vs the
+//! exact-cost reference optimizer it is certified against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ukc_bench::workloads::euclidean;
+use ukc_core::{expected_point_one_center, reference_one_center};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1_row1_one_center");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for z in [4usize, 16, 64, 256] {
+        let set = euclidean(8, z);
+        g.bench_with_input(BenchmarkId::new("expected_point_O(z)", z), &set, |b, s| {
+            b.iter(|| expected_point_one_center(black_box(s), 0))
+        });
+    }
+    // The reference optimizer is orders of magnitude slower — bench once at
+    // a small size to document the gap the O(z) construction buys.
+    let set = euclidean(8, 4);
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    g.bench_function("reference_optimizer_n8_z4", |b| {
+        b.iter(|| reference_one_center(black_box(&set)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Table 1 row 8: the exact 1-D solver, O(zn log zn + n log k log n).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ukc_bench::workloads::line;
+use ukc_onedim::solve_one_d;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1_row8_onedim");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for n in [64usize, 256, 1024] {
+        let set = line(n, 4);
+        g.bench_with_input(BenchmarkId::new("solve_one_d_k8", n), &set, |b, s| {
+            b.iter(|| solve_one_d(black_box(s), 8))
+        });
+    }
+    // z sweep at fixed n.
+    for z in [2usize, 8, 32] {
+        let set = line(256, z);
+        g.bench_with_input(BenchmarkId::new("solve_one_d_zsweep", z), &set, |b, s| {
+            b.iter(|| solve_one_d(black_box(s), 8))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Table 1 rows 3 and 5: the (1+ε) grid backend (factors 5+ε / 3+ε). The
+//! paper leaves these running times blank — they depend on the chosen
+//! (1+ε) solver; these benches document ours.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ukc_bench::workloads::euclidean;
+use ukc_core::{solve_euclidean, AssignmentRule, CertainSolver};
+use ukc_kcenter::GridOptions;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1_rows3_5_restricted_eps");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for n in [16usize, 32] {
+        let set = euclidean(n, 4);
+        for eps in [0.5f64, 0.25] {
+            let id = format!("n{n}_eps{eps}");
+            g.bench_with_input(BenchmarkId::new("EP_grid", &id), &set, |b, s| {
+                b.iter(|| {
+                    solve_euclidean(
+                        black_box(s),
+                        3,
+                        AssignmentRule::ExpectedPoint,
+                        CertainSolver::Grid(GridOptions { eps, ..Default::default() }),
+                    )
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

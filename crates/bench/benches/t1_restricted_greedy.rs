@@ -1,0 +1,41 @@
+//! Table 1 rows 2 and 4: the O(nz + n log k) greedy pipeline (expected
+//! points + Gonzalez + ED/EP assignment + exact cost report).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ukc_bench::workloads::euclidean;
+use ukc_core::{solve_euclidean, AssignmentRule, CertainSolver};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1_rows2_4_restricted_greedy");
+    g.sample_size(15);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for n in [64usize, 256, 1024] {
+        let set = euclidean(n, 4);
+        g.bench_with_input(BenchmarkId::new("ED_rule", n), &set, |b, s| {
+            b.iter(|| {
+                solve_euclidean(
+                    black_box(s),
+                    4,
+                    AssignmentRule::ExpectedDistance,
+                    CertainSolver::Gonzalez,
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("EP_rule", n), &set, |b, s| {
+            b.iter(|| {
+                solve_euclidean(
+                    black_box(s),
+                    4,
+                    AssignmentRule::ExpectedPoint,
+                    CertainSolver::Gonzalez,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Table 1 rows 6 and 7: the unrestricted assigned version. The paper's
+//! insight is that the restricted pipeline already approximates the
+//! unrestricted optimum — so the bench compares the pipeline against the
+//! exponential brute-force optimum it replaces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ukc_baselines::{brute_force_unrestricted, BruteForceLimits};
+use ukc_bench::workloads::euclidean;
+use ukc_core::{solve_euclidean, AssignmentRule, CertainSolver};
+use ukc_metric::Euclidean;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1_rows6_7_unrestricted");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    let set = euclidean(5, 3);
+    let mut pool = set.location_pool();
+    pool.extend(set.iter().map(ukc_uncertain::expected_point));
+    g.bench_function("paper_pipeline_n5", |b| {
+        b.iter(|| {
+            solve_euclidean(
+                black_box(&set),
+                2,
+                AssignmentRule::ExpectedPoint,
+                CertainSolver::Gonzalez,
+            )
+        })
+    });
+    g.bench_function("brute_force_optimum_n5", |b| {
+        b.iter(|| {
+            brute_force_unrestricted(
+                black_box(&set),
+                &pool,
+                2,
+                &Euclidean,
+                BruteForceLimits::default(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! # ukc-bench — benchmark harness
+//!
+//! Criterion benches reproducing the *running time* column of the paper's
+//! Table 1, one bench target per row family, plus substrate microbenches:
+//!
+//! | bench target | paper artifact |
+//! |---|---|
+//! | `t1_one_center` | row 1: `P̄` in O(z), vs the reference optimizer |
+//! | `t1_restricted_greedy` | rows 2/4: O(nz + n log k) pipeline |
+//! | `t1_restricted_eps` | rows 3/5: (1+ε) grid backend |
+//! | `t1_unrestricted` | rows 6/7: EP pipeline vs brute-force optimum |
+//! | `t1_onedim` | row 8: O(zn log zn) exact 1-D solver |
+//! | `t1_metric` | row 9: general-metric pipeline |
+//! | `substrate` | exact `E[max]` sweep, Gonzalez, MEB, Weiszfeld |
+//! | `scaling` | parameter sweeps behind EXPERIMENTS.md's S1–S3 |
+//!
+//! Run with `cargo bench -p ukc-bench` (or `--bench <target>`).
+//!
+//! This crate exports only shared deterministic workload builders.
+
+pub mod workloads {
+    //! Deterministic workload builders shared by the bench targets.
+    use ukc_metric::{FiniteMetric, Point, WeightedGraph};
+    use ukc_uncertain::generators::{clustered, line_instance, on_finite_metric, ProbModel};
+    use ukc_uncertain::UncertainSet;
+
+    /// Standard clustered Euclidean workload at a given size.
+    pub fn euclidean(n: usize, z: usize) -> UncertainSet<Point> {
+        clustered(42, n, z, 2, 4, 6.0, 1.5, ProbModel::Random)
+    }
+
+    /// Standard 1-D workload at a given size.
+    pub fn line(n: usize, z: usize) -> UncertainSet<Point> {
+        line_instance(42, n, z, 500.0, 3.0, ProbModel::Random)
+    }
+
+    /// Standard graph-metric workload: grid closure plus uncertain ids.
+    pub fn graph(n: usize, z: usize) -> (FiniteMetric, UncertainSet<usize>) {
+        let fm = WeightedGraph::grid(8, 8, 1.0)
+            .shortest_path_metric()
+            .expect("grid is connected");
+        let set = on_finite_metric(42, fm.len(), n, z, ProbModel::Random);
+        (fm, set)
+    }
+}

@@ -1,0 +1,144 @@
+//! Minimal `--flag value` argument parsing (no external parser crates;
+//! the allowed dependency set has none, and the surface is small).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    opts: HashMap<String, String>,
+}
+
+/// Argument errors with enough context for a usage message.
+#[derive(Debug, PartialEq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A `--flag` had no value.
+    MissingValue(String),
+    /// A positional argument appeared where a flag was expected.
+    Unexpected(String),
+    /// A required option is absent.
+    MissingOption(String),
+    /// An option failed to parse.
+    BadValue {
+        /// Option name.
+        key: String,
+        /// Raw value.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "missing subcommand"),
+            ArgError::MissingValue(k) => write!(f, "--{k} needs a value"),
+            ArgError::Unexpected(a) => write!(f, "unexpected argument {a}"),
+            ArgError::MissingOption(k) => write!(f, "required option --{k} missing"),
+            ArgError::BadValue { key, value } => write!(f, "--{key}: cannot parse {value:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses `argv[1..]`.
+    pub fn parse(argv: impl Iterator<Item = String>) -> Result<Self, ArgError> {
+        let mut it = argv.peekable();
+        let command = it.next().ok_or(ArgError::MissingCommand)?;
+        let mut opts = HashMap::new();
+        while let Some(a) = it.next() {
+            let key = a
+                .strip_prefix("--")
+                .ok_or_else(|| ArgError::Unexpected(a.clone()))?
+                .to_string();
+            let value = it.next().ok_or_else(|| ArgError::MissingValue(key.clone()))?;
+            opts.insert(key, value);
+        }
+        Ok(Self { command, opts })
+    }
+
+    /// A required string option.
+    pub fn required(&self, key: &str) -> Result<&str, ArgError> {
+        self.opts
+            .get(key)
+            .map(|s| s.as_str())
+            .ok_or_else(|| ArgError::MissingOption(key.to_string()))
+    }
+
+    /// An optional string option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.opts.get(key).map(|s| s.as_str()).unwrap_or(default)
+    }
+
+    /// A typed option with a default.
+    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.opts.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                key: key.to_string(),
+                value: v.clone(),
+            }),
+        }
+    }
+
+    /// A required typed option.
+    pub fn parse_required<T: std::str::FromStr>(&self, key: &str) -> Result<T, ArgError> {
+        let v = self.required(key)?;
+        v.parse().map_err(|_| ArgError::BadValue {
+            key: key.to_string(),
+            value: v.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse(&["solve", "--k", "3", "--rule", "ep"]).unwrap();
+        assert_eq!(a.command, "solve");
+        assert_eq!(a.parse_required::<usize>("k").unwrap(), 3);
+        assert_eq!(a.get_or("rule", "ed"), "ep");
+        assert_eq!(a.get_or("solver", "gonzalez"), "gonzalez");
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert_eq!(parse(&[]).unwrap_err(), ArgError::MissingCommand);
+        assert_eq!(
+            parse(&["solve", "--k"]).unwrap_err(),
+            ArgError::MissingValue("k".into())
+        );
+        assert_eq!(
+            parse(&["solve", "k", "3"]).unwrap_err(),
+            ArgError::Unexpected("k".into())
+        );
+        let a = parse(&["solve", "--k", "x"]).unwrap();
+        assert!(matches!(
+            a.parse_required::<usize>("k"),
+            Err(ArgError::BadValue { .. })
+        ));
+        assert!(matches!(
+            a.required("instance"),
+            Err(ArgError::MissingOption(_))
+        ));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&["generate"]).unwrap();
+        assert_eq!(a.parse_or("seed", 7u64).unwrap(), 7);
+        assert_eq!(a.parse_or("n", 40usize).unwrap(), 40);
+    }
+}

@@ -1,0 +1,212 @@
+//! JSON instance and solution formats.
+//!
+//! The library types keep their invariants behind validating constructors,
+//! so the on-disk schema is a separate, plain-data layer with explicit
+//! conversion (and therefore explicit validation errors) in both
+//! directions:
+//!
+//! ```json
+//! {
+//!   "dim": 2,
+//!   "points": [
+//!     { "locations": [[0.0, 1.0], [2.0, 3.0]], "probs": [0.25, 0.75] }
+//!   ]
+//! }
+//! ```
+
+use serde::{Deserialize, Serialize};
+use ukc_metric::Point;
+use ukc_uncertain::{UncertainPoint, UncertainSet};
+
+/// One uncertain point on disk.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JsonPoint {
+    /// Possible locations, each a `dim`-length coordinate vector.
+    pub locations: Vec<Vec<f64>>,
+    /// Location probabilities (must sum to 1 within 1e-6).
+    pub probs: Vec<f64>,
+}
+
+/// A complete instance on disk.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JsonInstance {
+    /// Ambient dimension; every location must have this length.
+    pub dim: usize,
+    /// The uncertain points.
+    pub points: Vec<JsonPoint>,
+}
+
+/// A solution on disk.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JsonSolution {
+    /// Chosen centers.
+    pub centers: Vec<Vec<f64>>,
+    /// `assignment[i]` = index into `centers` serving point `i`.
+    pub assignment: Vec<usize>,
+    /// Exact expected cost reported by the solver.
+    pub ecost: f64,
+    /// Certified lower bound at solve time (0 when not computed).
+    pub lower_bound: f64,
+    /// Free-form description of how the solution was produced.
+    pub method: String,
+}
+
+/// Conversion and validation errors, with the failing point index where
+/// applicable.
+#[derive(Debug)]
+pub enum FormatError {
+    /// A location's length disagrees with `dim`.
+    DimMismatch {
+        /// Index of the offending point.
+        point: usize,
+        /// Length found.
+        got: usize,
+        /// Length expected.
+        expected: usize,
+    },
+    /// The underlying distribution was rejected.
+    BadPoint {
+        /// Index of the offending point.
+        point: usize,
+        /// The library's validation error.
+        source: ukc_uncertain::UncertainPointError,
+    },
+    /// The instance has no points.
+    Empty,
+    /// A coordinate is NaN or infinite.
+    NonFinite {
+        /// Index of the offending point.
+        point: usize,
+    },
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::DimMismatch { point, got, expected } => {
+                write!(f, "point {point}: location has {got} coordinates, instance dim is {expected}")
+            }
+            FormatError::BadPoint { point, source } => write!(f, "point {point}: {source}"),
+            FormatError::Empty => write!(f, "instance has no points"),
+            FormatError::NonFinite { point } => write!(f, "point {point}: non-finite coordinate"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+impl JsonInstance {
+    /// Validates and converts to the library representation.
+    pub fn to_set(&self) -> Result<UncertainSet<Point>, FormatError> {
+        if self.points.is_empty() {
+            return Err(FormatError::Empty);
+        }
+        let mut points = Vec::with_capacity(self.points.len());
+        for (i, jp) in self.points.iter().enumerate() {
+            let mut locs = Vec::with_capacity(jp.locations.len());
+            for loc in &jp.locations {
+                if loc.len() != self.dim {
+                    return Err(FormatError::DimMismatch {
+                        point: i,
+                        got: loc.len(),
+                        expected: self.dim,
+                    });
+                }
+                if loc.iter().any(|c| !c.is_finite()) {
+                    return Err(FormatError::NonFinite { point: i });
+                }
+                locs.push(Point::new(loc.clone()));
+            }
+            let up = UncertainPoint::new(locs, jp.probs.clone())
+                .map_err(|source| FormatError::BadPoint { point: i, source })?;
+            points.push(up);
+        }
+        Ok(UncertainSet::new(points))
+    }
+
+    /// Converts a library set into the disk format.
+    pub fn from_set(set: &UncertainSet<Point>) -> Self {
+        let dim = set.point(0).locations()[0].dim();
+        let points = set
+            .iter()
+            .map(|up| JsonPoint {
+                locations: up.locations().iter().map(|p| p.coords().to_vec()).collect(),
+                probs: up.probs().to_vec(),
+            })
+            .collect();
+        Self { dim, points }
+    }
+}
+
+impl JsonSolution {
+    /// The centers as library points.
+    pub fn center_points(&self) -> Vec<Point> {
+        self.centers.iter().map(|c| Point::new(c.clone())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ukc_uncertain::generators::{clustered, ProbModel};
+
+    #[test]
+    fn roundtrip_preserves_instance() {
+        let set = clustered(3, 8, 3, 2, 2, 4.0, 1.0, ProbModel::Random);
+        let json = JsonInstance::from_set(&set);
+        let text = serde_json::to_string(&json).unwrap();
+        let parsed: JsonInstance = serde_json::from_str(&text).unwrap();
+        let back = parsed.to_set().unwrap();
+        // Locations roundtrip exactly (serde_json's float_roundtrip
+        // feature); probabilities are re-normalized at construction, which
+        // can shift the last ulp — compare those within 1e-15.
+        assert_eq!(set.n(), back.n());
+        for (a, b) in set.iter().zip(back.iter()) {
+            assert_eq!(a.locations(), b.locations());
+            for (pa, pb) in a.probs().iter().zip(b.probs().iter()) {
+                assert!((pa - pb).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_dim_mismatch() {
+        let j = JsonInstance {
+            dim: 2,
+            points: vec![JsonPoint {
+                locations: vec![vec![1.0, 2.0], vec![3.0]],
+                probs: vec![0.5, 0.5],
+            }],
+        };
+        assert!(matches!(
+            j.to_set(),
+            Err(FormatError::DimMismatch { point: 0, got: 1, expected: 2 })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_probs() {
+        let j = JsonInstance {
+            dim: 1,
+            points: vec![JsonPoint {
+                locations: vec![vec![1.0]],
+                probs: vec![0.4],
+            }],
+        };
+        assert!(matches!(j.to_set(), Err(FormatError::BadPoint { point: 0, .. })));
+    }
+
+    #[test]
+    fn rejects_empty_and_non_finite() {
+        let j = JsonInstance { dim: 1, points: vec![] };
+        assert!(matches!(j.to_set(), Err(FormatError::Empty)));
+        let j = JsonInstance {
+            dim: 1,
+            points: vec![JsonPoint {
+                locations: vec![vec![f64::NAN]],
+                probs: vec![1.0],
+            }],
+        };
+        assert!(matches!(j.to_set(), Err(FormatError::NonFinite { point: 0 })));
+    }
+}

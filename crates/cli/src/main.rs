@@ -1,0 +1,218 @@
+//! `ukc` — command-line interface for uncertain k-center instances.
+//!
+//! ```text
+//! ukc generate --workload clustered --n 40 --z 4 --dim 2 --seed 7 --out inst.json
+//! ukc solve    --instance inst.json --k 3 --rule ep --solver gonzalez --out sol.json
+//! ukc evaluate --instance inst.json --solution sol.json
+//! ukc bound    --instance inst.json --k 3
+//! ukc info     --instance inst.json
+//! ukc kmedian  --instance inst.json --k 3
+//! ukc kmeans   --instance inst.json --k 3 --seed 1
+//! ```
+//!
+//! All subcommands read/write the JSON formats of [`format`]; numeric
+//! results print on stdout, diagnostics on stderr, non-zero exit on error.
+
+mod args;
+mod format;
+
+use args::Args;
+use format::{JsonInstance, JsonSolution};
+use ukc_core::{
+    lower_bound_euclidean, solve_euclidean, AssignmentRule, CertainSolver,
+};
+use ukc_kcenter::{ExactOptions, GridOptions};
+use ukc_metric::{Euclidean, Point};
+use ukc_uncertain::generators::{clustered, line_instance, ring, two_scale, uniform_box, ProbModel};
+use ukc_uncertain::{ecost_assigned, UncertainSet};
+
+fn main() {
+    let argv = std::env::args().skip(1);
+    let code = match Args::parse(argv) {
+        Ok(a) => run(&a),
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn usage() {
+    eprintln!(
+        "usage: ukc <generate|solve|evaluate|bound|info|kmedian|kmeans> [--flag value ...]\n\
+         see `cargo doc -p ukc-cli` or the module docs for the full flag list"
+    );
+}
+
+fn run(a: &Args) -> i32 {
+    let result = match a.command.as_str() {
+        "generate" => cmd_generate(a),
+        "solve" => cmd_solve(a),
+        "evaluate" => cmd_evaluate(a),
+        "bound" => cmd_bound(a),
+        "info" => cmd_info(a),
+        "kmedian" => cmd_kmedian(a),
+        "kmeans" => cmd_kmeans(a),
+        other => {
+            eprintln!("error: unknown subcommand {other}");
+            usage();
+            return 2;
+        }
+    };
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+fn load_instance(a: &Args) -> Result<UncertainSet<Point>, Box<dyn std::error::Error>> {
+    let path = a.required("instance")?;
+    let text = std::fs::read_to_string(path)?;
+    let json: JsonInstance = serde_json::from_str(&text)?;
+    Ok(json.to_set()?)
+}
+
+fn prob_model(a: &Args) -> Result<ProbModel, Box<dyn std::error::Error>> {
+    match a.get_or("probs", "random") {
+        "uniform" => Ok(ProbModel::Uniform),
+        "random" => Ok(ProbModel::Random),
+        "heavy" | "heavy-tail" => Ok(ProbModel::HeavyTail),
+        other => Err(format!("unknown prob model {other} (uniform|random|heavy)").into()),
+    }
+}
+
+fn cmd_generate(a: &Args) -> CmdResult {
+    let seed: u64 = a.parse_or("seed", 7)?;
+    let n: usize = a.parse_or("n", 40)?;
+    let z: usize = a.parse_or("z", 4)?;
+    let dim: usize = a.parse_or("dim", 2)?;
+    let probs = prob_model(a)?;
+    let set = match a.get_or("workload", "clustered") {
+        "clustered" => {
+            let clusters: usize = a.parse_or("clusters", 3)?;
+            clustered(seed, n, z, dim, clusters, 5.0, 1.5, probs)
+        }
+        "uniform" => uniform_box(seed, n, z, dim, 100.0, 2.0, probs),
+        "ring" => ring(seed, n, z, 50.0, 0.5, probs),
+        "two-scale" => two_scale(seed, n, z, dim, 1.0, 150.0, 0.3),
+        "line" => line_instance(seed, n, z, 200.0, 3.0, probs),
+        other => return Err(format!("unknown workload {other}").into()),
+    };
+    let json = JsonInstance::from_set(&set);
+    let out = a.get_or("out", "instance.json");
+    std::fs::write(out, serde_json::to_string_pretty(&json)?)?;
+    eprintln!("wrote {out}: n={} z={} dim={}", set.n(), set.max_z(), json.dim);
+    Ok(())
+}
+
+fn cmd_solve(a: &Args) -> CmdResult {
+    let set = load_instance(a)?;
+    let k: usize = a.parse_required("k")?;
+    let rule = match a.get_or("rule", "ep") {
+        "ed" => AssignmentRule::ExpectedDistance,
+        "ep" => AssignmentRule::ExpectedPoint,
+        "oc" => AssignmentRule::OneCenter,
+        other => return Err(format!("unknown rule {other} (ed|ep|oc)").into()),
+    };
+    let solver = match a.get_or("solver", "gonzalez") {
+        "gonzalez" => CertainSolver::Gonzalez,
+        "local-search" => CertainSolver::GonzalezLocalSearch { rounds: 50 },
+        "grid" => {
+            let eps: f64 = a.parse_or("eps", 0.25)?;
+            CertainSolver::Grid(GridOptions { eps, ..Default::default() })
+        }
+        "exact" => CertainSolver::ExactDiscrete(ExactOptions::default()),
+        other => {
+            return Err(format!("unknown solver {other} (gonzalez|local-search|grid|exact)").into())
+        }
+    };
+    let sol = solve_euclidean(&set, k, rule, solver);
+    let lb = lower_bound_euclidean(&set, k);
+    let json = JsonSolution {
+        centers: sol.centers.iter().map(|c| c.coords().to_vec()).collect(),
+        assignment: sol.assignment.clone(),
+        ecost: sol.ecost,
+        lower_bound: lb,
+        method: format!("{rule:?}+{}", a.get_or("solver", "gonzalez")),
+    };
+    if let Ok(out) = a.required("out") {
+        std::fs::write(out, serde_json::to_string_pretty(&json)?)?;
+        eprintln!("wrote {out}");
+    }
+    println!("ecost {:.6}", sol.ecost);
+    println!("lower_bound {:.6}", lb);
+    println!("ratio_upper_bound {:.4}", sol.ecost / lb.max(f64::MIN_POSITIVE));
+    Ok(())
+}
+
+fn cmd_evaluate(a: &Args) -> CmdResult {
+    let set = load_instance(a)?;
+    let path = a.required("solution")?;
+    let text = std::fs::read_to_string(path)?;
+    let sol: JsonSolution = serde_json::from_str(&text)?;
+    if sol.assignment.len() != set.n() {
+        return Err(format!(
+            "solution assigns {} points, instance has {}",
+            sol.assignment.len(),
+            set.n()
+        )
+        .into());
+    }
+    let centers = sol.center_points();
+    if let Some(&bad) = sol.assignment.iter().find(|&&x| x >= centers.len()) {
+        return Err(format!("assignment references center {bad} of {}", centers.len()).into());
+    }
+    let cost = ecost_assigned(&set, &centers, &sol.assignment, &Euclidean);
+    println!("ecost {cost:.6}");
+    if (cost - sol.ecost).abs() > 1e-6 * cost.max(1.0) {
+        eprintln!(
+            "warning: recorded ecost {} differs from recomputed {cost}",
+            sol.ecost
+        );
+    }
+    Ok(())
+}
+
+fn cmd_bound(a: &Args) -> CmdResult {
+    let set = load_instance(a)?;
+    let k: usize = a.parse_required("k")?;
+    println!("lower_bound {:.6}", lower_bound_euclidean(&set, k));
+    Ok(())
+}
+
+fn cmd_info(a: &Args) -> CmdResult {
+    let set = load_instance(a)?;
+    println!("n {}", set.n());
+    println!("max_z {}", set.max_z());
+    println!("total_locations {}", set.total_locations());
+    println!("realizations {}", set.realization_count());
+    let dim = set.point(0).locations()[0].dim();
+    println!("dim {dim}");
+    Ok(())
+}
+
+fn cmd_kmedian(a: &Args) -> CmdResult {
+    let set = load_instance(a)?;
+    let k: usize = a.parse_required("k")?;
+    let pool = set.location_pool();
+    let sol = ukc_extensions::uncertain_kmedian_local_search(&set, &pool, k, &Euclidean, 50);
+    println!("kmedian_cost {:.6}", sol.cost);
+    Ok(())
+}
+
+fn cmd_kmeans(a: &Args) -> CmdResult {
+    let set = load_instance(a)?;
+    let k: usize = a.parse_required("k")?;
+    let seed: u64 = a.parse_or("seed", 1)?;
+    let sol = ukc_extensions::uncertain_kmeans(&set, k, seed, 6, 100);
+    println!("kmeans_cost {:.6}", sol.cost);
+    println!("variance_floor {:.6}", sol.variance_floor);
+    Ok(())
+}

@@ -1,0 +1,198 @@
+//! The paper's three assignment rules.
+//!
+//! In the assigned versions of the problem every uncertain point is served
+//! by one center across all realizations. The paper studies three rules for
+//! picking that center:
+//!
+//! * **expected distance** (`ED`, from Wang & Zhang \[26\]):
+//!   `ED(Pᵢ) = argmin_c Σⱼ pᵢⱼ·d(Pᵢⱼ, c)` — works in any metric space;
+//! * **expected point** (`EP`, new in the paper, Euclidean only):
+//!   `EP(Pᵢ) = argmin_c d(P̄ᵢ, c)`;
+//! * **1-center** (`OC`, new in the paper, any metric space):
+//!   `OC(Pᵢ) = argmin_c d(P̃ᵢ, c)`.
+//!
+//! All three return, for each point, the index of its assigned center;
+//! ties break toward the lower center index (deterministic output).
+
+use ukc_metric::{Metric, Point};
+use ukc_uncertain::{expected_distance, expected_point, UncertainSet};
+
+/// Assignment rules available in Euclidean space (paper Theorems 2.2,
+/// 2.4, 2.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AssignmentRule {
+    /// Assign to the center with the smallest expected distance.
+    ExpectedDistance,
+    /// Assign to the center nearest the expected point `P̄`.
+    ExpectedPoint,
+    /// Assign to the center nearest the 1-center `P̃` (also valid in
+    /// Euclidean space; primarily used for the ablation studies).
+    OneCenter,
+}
+
+/// Assignment rules available in a general metric space (paper Theorems
+/// 2.3, 2.6, 2.7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricAssignmentRule {
+    /// Assign to the center with the smallest expected distance.
+    ExpectedDistance,
+    /// Assign to the center nearest the 1-center `P̃`.
+    OneCenter,
+}
+
+/// Expected-distance assignment: each point goes to
+/// `argmin_c E d(Pᵢ, c)`. O(n·z·k) distance evaluations.
+///
+/// # Panics
+/// Panics when `centers` is empty.
+pub fn assign_ed<P, M: Metric<P>>(
+    set: &UncertainSet<P>,
+    centers: &[P],
+    metric: &M,
+) -> Vec<usize> {
+    assert!(!centers.is_empty(), "need at least one center");
+    set.iter()
+        .map(|up| {
+            let mut best = 0usize;
+            let mut best_v = f64::INFINITY;
+            for (c, center) in centers.iter().enumerate() {
+                let v = expected_distance(up, center, metric);
+                if v < best_v {
+                    best_v = v;
+                    best = c;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// Expected-point assignment: each point goes to the center nearest its
+/// expected point `P̄ᵢ`. O(n·(z + k)).
+///
+/// # Panics
+/// Panics when `centers` is empty.
+pub fn assign_ep<M: Metric<Point>>(
+    set: &UncertainSet<Point>,
+    centers: &[Point],
+    metric: &M,
+) -> Vec<usize> {
+    assert!(!centers.is_empty(), "need at least one center");
+    set.iter()
+        .map(|up| {
+            let pbar = expected_point(up);
+            metric
+                .nearest(&pbar, centers)
+                .expect("non-empty centers")
+                .0
+        })
+        .collect()
+}
+
+/// 1-center assignment: each point goes to the center nearest its 1-center
+/// representative `P̃ᵢ`. The representatives are passed in because their
+/// construction differs by space (Weiszfeld in Euclidean, discrete 1-median
+/// in finite metrics) and they are typically already computed by the solver
+/// pipeline.
+///
+/// # Panics
+/// Panics when `centers` is empty or `reps.len() != set.n()`.
+pub fn assign_oc<P, M: Metric<P>>(
+    set: &UncertainSet<P>,
+    centers: &[P],
+    reps: &[P],
+    metric: &M,
+) -> Vec<usize> {
+    assert!(!centers.is_empty(), "need at least one center");
+    assert_eq!(reps.len(), set.n(), "one representative per point required");
+    reps.iter()
+        .map(|rep| metric.nearest(rep, centers).expect("non-empty centers").0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ukc_metric::Euclidean;
+    use ukc_uncertain::{one_center_euclidean, UncertainPoint};
+
+    fn set_two_groups() -> UncertainSet<Point> {
+        UncertainSet::new(vec![
+            UncertainPoint::new(
+                vec![Point::scalar(0.0), Point::scalar(2.0)],
+                vec![0.5, 0.5],
+            )
+            .unwrap(),
+            UncertainPoint::new(
+                vec![Point::scalar(10.0), Point::scalar(12.0)],
+                vec![0.5, 0.5],
+            )
+            .unwrap(),
+        ])
+    }
+
+    #[test]
+    fn ed_assigns_to_nearest_in_expectation() {
+        let s = set_two_groups();
+        let centers = vec![Point::scalar(1.0), Point::scalar(11.0)];
+        assert_eq!(assign_ed(&s, &centers, &Euclidean), vec![0, 1]);
+    }
+
+    #[test]
+    fn ep_assigns_via_expected_point() {
+        let s = set_two_groups();
+        let centers = vec![Point::scalar(1.0), Point::scalar(11.0)];
+        assert_eq!(assign_ep(&s, &centers, &Euclidean), vec![0, 1]);
+    }
+
+    #[test]
+    fn oc_assigns_via_representatives() {
+        let s = set_two_groups();
+        let centers = vec![Point::scalar(1.0), Point::scalar(11.0)];
+        let reps: Vec<Point> = s.iter().map(one_center_euclidean).collect();
+        assert_eq!(assign_oc(&s, &centers, &reps, &Euclidean), vec![0, 1]);
+    }
+
+    #[test]
+    fn ed_and_ep_can_disagree() {
+        // A point whose expected point is near center A, but whose expected
+        // distance is smaller to center B: mass split between two far
+        // locations; EP looks at the centroid, ED at the realizations.
+        let up = UncertainPoint::new(
+            vec![Point::new(vec![-10.0, 0.0]), Point::new(vec![10.0, 0.0])],
+            vec![0.5, 0.5],
+        )
+        .unwrap();
+        let s = UncertainSet::new(vec![up]);
+        // Center A at the centroid (origin), center B at one location.
+        let centers = vec![Point::new(vec![0.0, 0.1]), Point::new(vec![10.0, 0.0])];
+        let ep = assign_ep(&s, &centers, &Euclidean);
+        assert_eq!(ep, vec![0], "EP must pick the centroid-adjacent center");
+        // E d to A ≈ 10.0; E d to B = 0.5*20 + 0 = 10.0 — construct a
+        // sharper case: move B slightly toward the midpoint.
+        let centers2 = vec![Point::new(vec![0.0, 5.0]), Point::new(vec![9.0, 0.0])];
+        let ed = assign_ed(&s, &centers2, &Euclidean);
+        let ep2 = assign_ep(&s, &centers2, &Euclidean);
+        // E d to A = sqrt(125) ≈ 11.18; E d to B = 0.5*19 + 0.5*1 = 10.
+        assert_eq!(ed, vec![1]);
+        // d(P̄, A) = 5 < d(P̄, B) = 9.
+        assert_eq!(ep2, vec![0]);
+    }
+
+    #[test]
+    fn ties_break_to_lower_index() {
+        let s = UncertainSet::new(vec![UncertainPoint::certain(Point::scalar(0.0))]);
+        let centers = vec![Point::scalar(1.0), Point::scalar(-1.0)];
+        assert_eq!(assign_ed(&s, &centers, &Euclidean), vec![0]);
+        assert_eq!(assign_ep(&s, &centers, &Euclidean), vec![0]);
+        let reps = vec![Point::scalar(0.0)];
+        assert_eq!(assign_oc(&s, &centers, &reps, &Euclidean), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one center")]
+    fn empty_centers_panic() {
+        let s = set_two_groups();
+        let _ = assign_ed(&s, &[], &Euclidean);
+    }
+}

@@ -1,0 +1,225 @@
+//! Certified lower bounds on the optimal expected cost.
+//!
+//! Measuring an approximation ratio needs a denominator that never exceeds
+//! the true optimum. Two families of bounds are combined (both proved by
+//! the paper's own lemmas):
+//!
+//! 1. **Per-point 1-median bound** (Lemma 3.2): for any centers and any
+//!    assignment, `EcostA ≥ Σⱼ pᵢⱼ·d(Pᵢⱼ, A(Pᵢ)) ≥ min_c E d(Pᵢ, c)`,
+//!    so `opt ≥ max_i min_c E d(Pᵢ, c)`. The inner minimum is a
+//!    Fermat–Weber value (Weiszfeld) in Euclidean space, or a discrete
+//!    1-median over the candidate pool in a finite metric space.
+//! 2. **Certain-projection bound** (Lemmas 3.4 / 3.6): for the optimal
+//!    centers `c*` one has `cost_certain(c*) ≤ EcostA(c*) = opt` over the
+//!    expected points (Euclidean), hence
+//!    `opt ≥ opt_kcenter(P̄₁..P̄_n) ≥ gonzalez_radius(P̄)/2`. In a general
+//!    metric space Lemma 3.6 gives the weaker
+//!    `opt ≥ opt_kcenter(P̃)/2 ≥ gonzalez_radius(P̃)/4`.
+//!
+//! Both bounds hold for *every* assigned version (restricted under any
+//! rule, and unrestricted), because they hold for arbitrary assignments.
+
+use ukc_geometry::median::{geometric_median, WeiszfeldOptions};
+use ukc_kcenter::gonzalez;
+use ukc_metric::{Euclidean, Metric, Point};
+use ukc_uncertain::{expected_distance, expected_point, one_center_discrete, UncertainSet};
+
+/// Certified lower bound specific to the 1-center problem (`k = 1`, where
+/// assigned and unassigned coincide): combines the per-point 1-median
+/// bound with the *pairwise* bound
+///
+/// ```text
+/// Ecost(c) = E[max_i d(P̂ᵢ, c)] ≥ E[ d(P̂ᵢ, P̂ⱼ) ] / 2   for every i ≠ j,
+/// ```
+///
+/// which holds realization-wise by the triangle inequality
+/// (`max(d(u,c), d(v,c)) ≥ d(u,v)/2`) and independence. O(n²z²).
+pub fn lower_bound_one_center<P, M: Metric<P>>(set: &UncertainSet<P>, metric: &M) -> f64 {
+    let mut best = 0.0f64;
+    let n = set.n();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut e = 0.0;
+            for (u, pu) in set[i].support() {
+                for (v, pv) in set[j].support() {
+                    e += pu * pv * metric.dist(u, v);
+                }
+            }
+            best = best.max(e / 2.0);
+        }
+    }
+    best
+}
+
+/// Certified lower bound on the optimal expected cost of any assigned
+/// k-center solution in Euclidean space.
+pub fn lower_bound_euclidean(set: &UncertainSet<Point>, k: usize) -> f64 {
+    // Per-point Fermat–Weber bound.
+    let per_point = set
+        .iter()
+        .map(|up| {
+            let med = geometric_median(up.locations(), up.probs(), WeiszfeldOptions::default())
+                .expect("valid distribution");
+            expected_distance(up, &med, &Euclidean)
+        })
+        .fold(0.0f64, f64::max);
+    // Certain-projection bound via the expected points.
+    let reps: Vec<Point> = set.iter().map(expected_point).collect();
+    let certain = if k == 0 {
+        0.0
+    } else {
+        gonzalez(&reps, k, &Euclidean, 0).radius / 2.0
+    };
+    per_point.max(certain)
+}
+
+/// Certified lower bound on the optimal expected cost of any assigned
+/// k-center solution in a general metric space, with centers restricted to
+/// `candidates`.
+///
+/// # Panics
+/// Panics when `candidates` is empty.
+pub fn lower_bound_metric<P: Clone, M: Metric<P>>(
+    set: &UncertainSet<P>,
+    k: usize,
+    candidates: &[P],
+    metric: &M,
+) -> f64 {
+    assert!(!candidates.is_empty(), "need a candidate pool");
+    // Per-point discrete 1-median bound (valid because the optimal centers
+    // are themselves drawn from the candidate pool in the discrete
+    // problem).
+    let per_point = set
+        .iter()
+        .map(|up| one_center_discrete(up, candidates, metric).1)
+        .fold(0.0f64, f64::max);
+    // Certain-projection bound via the 1-center representatives
+    // (Lemma 3.6 costs a factor 2, Gonzalez another factor 2).
+    let reps: Vec<P> = set
+        .iter()
+        .map(|up| {
+            let (idx, _) = one_center_discrete(up, candidates, metric);
+            candidates[idx].clone()
+        })
+        .collect();
+    let certain = if k == 0 {
+        0.0
+    } else {
+        gonzalez(&reps, k, metric, 0).radius / 4.0
+    };
+    per_point.max(certain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{solve_euclidean, solve_metric, CertainSolver, MetricCertainSolver};
+    use crate::{AssignmentRule, MetricAssignmentRule};
+    use ukc_metric::FiniteMetric;
+    use ukc_uncertain::generators::{clustered, on_finite_metric, uniform_box, ProbModel};
+
+    #[test]
+    fn euclidean_bound_below_every_algorithm_output() {
+        for seed in 0..6u64 {
+            let set = clustered(seed, 12, 3, 2, 3, 4.0, 1.0, ProbModel::Random);
+            let lb = lower_bound_euclidean(&set, 3);
+            for rule in [
+                AssignmentRule::ExpectedDistance,
+                AssignmentRule::ExpectedPoint,
+                AssignmentRule::OneCenter,
+            ] {
+                let sol = solve_euclidean(&set, 3, rule, CertainSolver::Gonzalez);
+                assert!(
+                    lb <= sol.ecost + 1e-9,
+                    "seed {seed} rule {rule:?}: lb {lb} > ecost {}",
+                    sol.ecost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn euclidean_bound_is_positive_for_uncertain_inputs() {
+        let set = uniform_box(1, 10, 3, 2, 20.0, 2.0, ProbModel::Random);
+        let lb = lower_bound_euclidean(&set, 2);
+        assert!(lb > 0.0);
+    }
+
+    #[test]
+    fn metric_bound_below_every_algorithm_output() {
+        let g = ukc_metric::WeightedGraph::grid(3, 4, 1.5);
+        let fm: FiniteMetric = g.shortest_path_metric().unwrap();
+        for seed in 0..4u64 {
+            let set = on_finite_metric(seed, fm.len(), 8, 3, ProbModel::Random);
+            let pool = set.location_pool();
+            let lb = lower_bound_metric(&set, 2, &pool, &fm);
+            for rule in [
+                MetricAssignmentRule::ExpectedDistance,
+                MetricAssignmentRule::OneCenter,
+            ] {
+                let sol =
+                    solve_metric(&set, 2, rule, MetricCertainSolver::Gonzalez, &pool, &fm);
+                assert!(
+                    lb <= sol.ecost + 1e-9,
+                    "seed {seed} rule {rule:?}: lb {lb} > ecost {}",
+                    sol.ecost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k_greater_equal_n_keeps_per_point_bound() {
+        // With k >= n the certain radius collapses to 0 but the per-point
+        // uncertainty floor remains: even a dedicated center per point pays
+        // the point's own spread.
+        let set = uniform_box(5, 4, 3, 2, 10.0, 2.0, ProbModel::Uniform);
+        let lb = lower_bound_euclidean(&set, 10);
+        assert!(lb > 0.0);
+        let sol = solve_euclidean(
+            &set,
+            4,
+            AssignmentRule::ExpectedDistance,
+            CertainSolver::Gonzalez,
+        );
+        assert!(lb <= sol.ecost + 1e-9);
+    }
+
+    #[test]
+    fn one_center_bound_below_reference_optimum() {
+        use crate::one_center::reference_one_center;
+        for seed in 0..4u64 {
+            let set = uniform_box(seed, 5, 3, 2, 10.0, 2.0, ProbModel::Random);
+            let lb = lower_bound_one_center(&set, &Euclidean);
+            let (_, opt) = reference_one_center(&set);
+            assert!(lb <= opt + 1e-9, "seed {seed}: lb {lb} > opt {opt}");
+            assert!(lb > 0.0);
+        }
+    }
+
+    #[test]
+    fn one_center_bound_tight_on_two_certain_points() {
+        use ukc_uncertain::UncertainPoint;
+        let set = UncertainSet::new(vec![
+            UncertainPoint::certain(Point::scalar(0.0)),
+            UncertainPoint::certain(Point::scalar(10.0)),
+        ]);
+        // Opt 1-center cost is 5; the pairwise bound gives exactly 5.
+        let lb = lower_bound_one_center(&set, &Euclidean);
+        assert!((lb - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certain_points_give_zero_per_point_but_positive_certain_bound() {
+        use ukc_uncertain::UncertainPoint;
+        let set = UncertainSet::new(vec![
+            UncertainPoint::certain(Point::scalar(0.0)),
+            UncertainPoint::certain(Point::scalar(10.0)),
+            UncertainPoint::certain(Point::scalar(20.0)),
+        ]);
+        // k=1: optimal cost is 10 (center at 10). The bound must be > 0 and
+        // <= 10.
+        let lb = lower_bound_euclidean(&set, 1);
+        assert!(lb > 0.0 && lb <= 10.0 + 1e-9, "lb {lb}");
+    }
+}

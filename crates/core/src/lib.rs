@@ -1,0 +1,49 @@
+//! # ukc-core — the paper's uncertain k-center algorithms
+//!
+//! Implements every algorithm of *Improvements on the k-center problem for
+//! uncertain data* (Alipour & Jafari, PODS 2018), mapped to theorems:
+//!
+//! | Paper artifact | API |
+//! |---|---|
+//! | Theorem 2.1 (1-center, factor 2, O(z)) | [`one_center::expected_point_one_center`] |
+//! | Theorem 2.2 + Remark 3.1 (restricted assigned, Euclidean; ED: 6 / 5+ε, EP: 4 / 3+ε) | [`solver::solve_euclidean`] with [`AssignmentRule::ExpectedDistance`] / [`AssignmentRule::ExpectedPoint`] |
+//! | Theorems 2.4 / 2.5 (unrestricted assigned, Euclidean; 4 / 3+ε) | same solver — the paper's point is that the *restricted* pipeline already approximates the unrestricted optimum |
+//! | Theorems 2.6 / 2.7 (any metric; ED: 7+2ε, OC: 5+2ε) | [`solver::solve_metric`] with [`MetricAssignmentRule`] |
+//! | Lemma 3.2-style certified lower bounds | [`bounds`] |
+//!
+//! The pipeline shared by every theorem:
+//!
+//! 1. replace each uncertain point by a certain representative (`P̄` in
+//!    Euclidean space, `P̃` in a general metric space);
+//! 2. solve deterministic k-center on the representatives with any
+//!    (1+ε)-approximate solver ([`CertainSolver`]);
+//! 3. assign each uncertain point to a center by the chosen rule
+//!    ([`assignments`]);
+//! 4. report the *exact* expected cost of the result (via
+//!    `ukc_uncertain::ecost_assigned`).
+//!
+//! ```
+//! use ukc_core::{solve_euclidean, AssignmentRule, CertainSolver};
+//! use ukc_uncertain::generators::{clustered, ProbModel};
+//!
+//! let set = clustered(42, 30, 4, 2, 3, 5.0, 1.0, ProbModel::Random);
+//! let sol = solve_euclidean(&set, 3, AssignmentRule::ExpectedPoint, CertainSolver::Gonzalez);
+//! assert_eq!(sol.centers.len(), 3);
+//! assert!(sol.ecost.is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assignments;
+pub mod bounds;
+pub mod one_center;
+pub mod solver;
+
+pub use assignments::{assign_ed, assign_ep, assign_oc, AssignmentRule, MetricAssignmentRule};
+pub use bounds::{lower_bound_euclidean, lower_bound_metric, lower_bound_one_center};
+pub use one_center::{expected_point_one_center, reference_one_center};
+pub use solver::{
+    solve_euclidean, solve_metric, CertainSolver, EuclideanSolution, MetricCertainSolver,
+    MetricSolution,
+};

@@ -1,0 +1,203 @@
+//! Shared experiment machinery: sound ratio certification, parallel seed
+//! sweeps, and report serialization.
+//!
+//! ## Certification logic
+//!
+//! Each theorem asserts `alg ≤ bound · opt`. The continuous optimum `opt`
+//! is not computable exactly, but we always have a certified sandwich
+//! `LB ≤ opt ≤ UB` (lower bounds from `ukc_core::bounds` / reference
+//! optimizers; upper bounds from the best solution any method finds,
+//! including brute force over enriched candidate pools). This yields a
+//! three-valued verdict per measurement:
+//!
+//! * `ratio_lb = alg / LB ≥ alg / opt` — if `ratio_lb ≤ bound`, the bound
+//!   is **certified** to hold (PASS);
+//! * `ratio_ub = alg / UB ≤ alg / opt` — if `ratio_ub > bound`, the bound
+//!   is **certified** to fail (FAIL, would falsify the theorem or the
+//!   implementation);
+//! * otherwise the measurement is consistent with the bound (OK).
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::path::Path;
+
+/// Verdict of a bound check (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Verdict {
+    /// `alg/LB ≤ bound`: the bound is certified to hold.
+    Pass,
+    /// `alg/UB ≤ bound < alg/LB`: consistent with the bound.
+    Ok,
+    /// `alg/UB > bound`: certified violation.
+    Fail,
+}
+
+/// One measured workload row of an experiment.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// Human-readable workload descriptor.
+    pub workload: String,
+    /// Instance parameters as `key=value` fragments.
+    pub params: String,
+    /// Number of seeds aggregated.
+    pub seeds: usize,
+    /// Worst (largest) `alg / LB` across seeds.
+    pub max_ratio_lb: f64,
+    /// Worst (largest) `alg / UB` across seeds.
+    pub max_ratio_ub: f64,
+    /// Mean of `alg / UB` across seeds (the tight estimate).
+    pub mean_ratio_ub: f64,
+    /// The theorem's bound.
+    pub bound: f64,
+    /// The aggregate verdict (worst across seeds).
+    pub verdict: Verdict,
+}
+
+/// A complete experiment report.
+#[derive(Clone, Debug, Serialize)]
+pub struct Report {
+    /// Experiment id (e.g. "E4").
+    pub id: String,
+    /// Paper artifact reproduced (e.g. "Table 1 row 4").
+    pub artifact: String,
+    /// One-line description.
+    pub description: String,
+    /// Measured rows.
+    pub rows: Vec<Row>,
+}
+
+/// One seed's measurement: `(alg, lb, ub)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// The algorithm's exact expected cost.
+    pub alg: f64,
+    /// Certified lower bound on the optimum.
+    pub lb: f64,
+    /// Certified upper bound on the optimum (best solution found by any
+    /// method, including `alg` itself).
+    pub ub: f64,
+}
+
+/// Aggregates per-seed measurements into a [`Row`].
+pub fn aggregate(
+    workload: &str,
+    params: &str,
+    bound: f64,
+    measurements: &[Measurement],
+) -> Row {
+    assert!(!measurements.is_empty(), "need at least one measurement");
+    let mut max_lb: f64 = 0.0;
+    let mut max_ub: f64 = 0.0;
+    let mut sum_ub = 0.0;
+    for m in measurements {
+        assert!(
+            m.lb <= m.ub + 1e-9,
+            "inconsistent sandwich: lb {} > ub {} ({workload})",
+            m.lb,
+            m.ub
+        );
+        // ub includes alg among candidates, so alg >= ub always.
+        let rl = if m.lb > 0.0 { m.alg / m.lb } else { 1.0 };
+        let ru = if m.ub > 0.0 { m.alg / m.ub } else { 1.0 };
+        max_lb = max_lb.max(rl);
+        max_ub = max_ub.max(ru);
+        sum_ub += ru;
+    }
+    let verdict = if max_ub > bound + 1e-6 {
+        Verdict::Fail
+    } else if max_lb <= bound + 1e-6 {
+        Verdict::Pass
+    } else {
+        Verdict::Ok
+    };
+    Row {
+        workload: workload.to_string(),
+        params: params.to_string(),
+        seeds: measurements.len(),
+        max_ratio_lb: max_lb,
+        max_ratio_ub: max_ub,
+        mean_ratio_ub: sum_ub / measurements.len() as f64,
+        bound,
+        verdict,
+    }
+}
+
+/// Runs `f(seed)` for every seed in parallel (scoped threads), preserving
+/// seed order in the output.
+pub fn par_sweep<T: Send>(seeds: &[u64], f: impl Fn(u64) -> T + Sync) -> Vec<T> {
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(seeds.len()));
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(seeds.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= seeds.len() {
+                    break;
+                }
+                let out = f(seeds[i]);
+                results.lock().push((i, out));
+            });
+        }
+    })
+    .expect("no worker panics");
+    let mut v = results.into_inner();
+    v.sort_by_key(|(i, _)| *i);
+    v.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Prints a report as an aligned text table.
+pub fn print_report(report: &Report) {
+    println!("\n=== {} — {} ===", report.id, report.artifact);
+    println!("{}", report.description);
+    println!(
+        "{:<26} {:<30} {:>5} {:>9} {:>9} {:>9} {:>7} {:>7}",
+        "workload", "params", "seeds", "max r/LB", "max r/UB", "mean", "bound", "verdict"
+    );
+    println!("{}", "-".repeat(110));
+    for r in &report.rows {
+        println!(
+            "{:<26} {:<30} {:>5} {:>9.3} {:>9.3} {:>9.3} {:>7.2} {:>7}",
+            r.workload,
+            r.params,
+            r.seeds,
+            r.max_ratio_lb,
+            r.max_ratio_ub,
+            r.mean_ratio_ub,
+            r.bound,
+            match r.verdict {
+                Verdict::Pass => "PASS",
+                Verdict::Ok => "ok",
+                Verdict::Fail => "FAIL",
+            }
+        );
+    }
+}
+
+/// Saves a report as JSON under `reports/`.
+pub fn save_report(report: &Report) {
+    let dir = Path::new("reports");
+    if std::fs::create_dir_all(dir).is_err() {
+        eprintln!("warning: could not create reports/; skipping JSON dump");
+        return;
+    }
+    let path = dir.join(format!("{}.json", report.id.to_lowercase()));
+    match serde_json::to_string_pretty(report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize report: {e}"),
+    }
+}
+
+/// Returns `true` when any row of any report certifies a violation.
+pub fn any_failures(reports: &[Report]) -> bool {
+    reports
+        .iter()
+        .any(|r| r.rows.iter().any(|row| row.verdict == Verdict::Fail))
+}

@@ -1,0 +1,92 @@
+//! Experiment driver: regenerates the paper's Table 1 as *measured*
+//! approximation factors, plus scaling studies for its running-time
+//! columns and ablations of the design choices.
+//!
+//! ```text
+//! cargo run -p ukc-experiments --release -- table1     # E1..E9
+//! cargo run -p ukc-experiments --release -- e4         # one experiment
+//! cargo run -p ukc-experiments --release -- scaling    # S1..S3
+//! cargo run -p ukc-experiments --release -- ablation   # A1..A4
+//! cargo run -p ukc-experiments --release -- all
+//! ```
+//!
+//! JSON copies of every report land in `reports/`.
+
+mod ablation;
+mod common;
+mod scaling;
+mod table1;
+
+use common::{any_failures, print_report, save_report, Report};
+
+/// Experiment registry entry: name plus constructor.
+type Exp = (&'static str, fn() -> Report);
+
+fn run_table1(filter: Option<&str>) -> Vec<Report> {
+    let all: Vec<Exp> = vec![
+        ("e1", table1::e1),
+        ("e2", table1::e2),
+        ("e3", table1::e3),
+        ("e4", table1::e4),
+        ("e5", table1::e5),
+        ("e6", table1::e6),
+        ("e7", table1::e7),
+        ("e8", table1::e8),
+        ("e9", table1::e9),
+    ];
+    let mut reports = Vec::new();
+    for (name, f) in all {
+        if filter.is_none_or(|w| w == name) {
+            let r = f();
+            print_report(&r);
+            save_report(&r);
+            reports.push(r);
+        }
+    }
+    reports
+}
+
+fn run_scaling() {
+    for r in [scaling::s1(), scaling::s2(), scaling::s3()] {
+        scaling::print_scale(&r);
+        scaling::save_scale(&r);
+    }
+}
+
+fn run_ablation() {
+    for r in [ablation::a1(), ablation::a2(), ablation::a3(), ablation::a4()] {
+        ablation::print_ablation(&r);
+        ablation::save_ablation(&r);
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let mut reports = Vec::new();
+    match arg.as_str() {
+        "table1" => reports = run_table1(None),
+        "scaling" => run_scaling(),
+        "ablation" => run_ablation(),
+        "all" => {
+            reports = run_table1(None);
+            run_scaling();
+            run_ablation();
+        }
+        exp if exp.starts_with('e') && exp.len() == 2 => {
+            reports = run_table1(Some(exp));
+            if reports.is_empty() {
+                eprintln!("unknown experiment {exp}; use e1..e9");
+                std::process::exit(2);
+            }
+        }
+        other => {
+            eprintln!("usage: ukc-experiments [table1|scaling|ablation|all|e1..e9] (got {other})");
+            std::process::exit(2);
+        }
+    }
+    if any_failures(&reports) {
+        eprintln!("\nCERTIFIED BOUND VIOLATION DETECTED — see FAIL rows above");
+        std::process::exit(1);
+    }
+    println!("\nno certified violations; JSON reports in reports/");
+}

@@ -1,0 +1,162 @@
+//! Scaling studies S1–S3: reproduce Table 1's *running time* columns.
+//!
+//! The paper's time claims:
+//! * row 1: the expected point is computable in O(z);
+//! * rows 2/4/6: representative construction + Gonzalez in
+//!   O(nz + n log k) (we measure the O(nz + nk) implementation — the
+//!   log-k variant of Feder–Greene changes constants, not the n-scaling);
+//! * row 8: the 1-D solver in O(zn log zn + n log k log n).
+//!
+//! Each study doubles the driving parameter and reports the time ratio per
+//! doubling; a ratio near 2 confirms linear scaling, near 1 confirms
+//! constancy.
+
+use serde::Serialize;
+use std::time::Instant;
+use ukc_core::{solve_euclidean, AssignmentRule, CertainSolver};
+use ukc_onedim::solve_one_d;
+use ukc_uncertain::generators::{line_instance, uniform_box, ProbModel};
+use ukc_uncertain::{expected_point, UncertainPoint};
+
+/// One scaling measurement.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScalePoint {
+    /// The driving parameter's value (z or n).
+    pub param: usize,
+    /// Median wall time in nanoseconds.
+    pub nanos: u128,
+    /// Ratio to the previous measurement (NaN for the first).
+    pub ratio: f64,
+}
+
+/// A complete scaling study.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScaleReport {
+    /// Study id (S1..S3).
+    pub id: String,
+    /// What is measured.
+    pub description: String,
+    /// The claimed asymptotic in the driving parameter.
+    pub claim: String,
+    /// Measurements.
+    pub points: Vec<ScalePoint>,
+}
+
+fn median_time<T>(reps: usize, mut f: impl FnMut() -> T) -> u128 {
+    let mut times: Vec<u128> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn finish(id: &str, description: &str, claim: &str, raw: Vec<(usize, u128)>) -> ScaleReport {
+    let mut points = Vec::with_capacity(raw.len());
+    let mut prev: Option<u128> = None;
+    for (param, nanos) in raw {
+        let ratio = prev.map_or(f64::NAN, |p| nanos as f64 / p as f64);
+        points.push(ScalePoint { param, nanos, ratio });
+        prev = Some(nanos);
+    }
+    ScaleReport {
+        id: id.into(),
+        description: description.into(),
+        claim: claim.into(),
+        points,
+    }
+}
+
+/// S1: expected-point construction time vs z (claim: O(z)).
+pub fn s1() -> ScaleReport {
+    let mut raw = Vec::new();
+    for exp in 4..=14u32 {
+        let z = 1usize << exp;
+        let set = uniform_box(1, 1, z, 2, 10.0, 1.0, ProbModel::Random);
+        let up: &UncertainPoint<_> = set.point(0);
+        let nanos = median_time(9, || expected_point(up));
+        raw.push((z, nanos));
+    }
+    finish(
+        "S1",
+        "expected point P̄ of one uncertain point, z sweep",
+        "O(z): time ratio ≈ 2 per doubling",
+        raw,
+    )
+}
+
+/// S2: full restricted pipeline (reps + Gonzalez + assignment) vs n
+/// (claim: O(nz + nk) for fixed z, k — linear in n). Excludes the exact
+/// cost report, which is O(N log N) bookkeeping shared by all methods.
+pub fn s2() -> ScaleReport {
+    let mut raw = Vec::new();
+    for exp in 6..=13u32 {
+        let n = 1usize << exp;
+        let set = uniform_box(2, n, 4, 2, 100.0, 2.0, ProbModel::Random);
+        let nanos = median_time(5, || {
+            solve_euclidean(&set, 8, AssignmentRule::ExpectedPoint, CertainSolver::Gonzalez)
+        });
+        raw.push((n, nanos));
+    }
+    finish(
+        "S2",
+        "restricted pipeline (P̄ + Gonzalez + EP assignment + exact cost), n sweep, z=4 k=8",
+        "O(nz + nk) + O(nz log nz) cost report: ratio ≈ 2 per doubling",
+        raw,
+    )
+}
+
+/// S3: the exact 1-D solver vs n (claim: O(zn log zn) dominant term).
+pub fn s3() -> ScaleReport {
+    let mut raw = Vec::new();
+    for exp in 6..=13u32 {
+        let n = 1usize << exp;
+        let set = line_instance(3, n, 4, 1000.0, 3.0, ProbModel::Random);
+        let nanos = median_time(5, || solve_one_d(&set, 8));
+        raw.push((n, nanos));
+    }
+    finish(
+        "S3",
+        "exact 1-D solver, n sweep, z=4 k=8",
+        "O(zn log zn): ratio slightly above 2 per doubling",
+        raw,
+    )
+}
+
+/// Prints a scaling report as an aligned table.
+pub fn print_scale(report: &ScaleReport) {
+    println!("\n=== {} — {} ===", report.id, report.description);
+    println!("claim: {}", report.claim);
+    println!("{:>10} {:>14} {:>10}", "param", "median time", "ratio");
+    println!("{}", "-".repeat(38));
+    for p in &report.points {
+        let time = if p.nanos > 10_000_000 {
+            format!("{:.2} ms", p.nanos as f64 / 1e6)
+        } else if p.nanos > 10_000 {
+            format!("{:.2} µs", p.nanos as f64 / 1e3)
+        } else {
+            format!("{} ns", p.nanos)
+        };
+        if p.ratio.is_nan() {
+            println!("{:>10} {:>14} {:>10}", p.param, time, "-");
+        } else {
+            println!("{:>10} {:>14} {:>10.2}", p.param, time, p.ratio);
+        }
+    }
+}
+
+/// Saves a scaling report as JSON under `reports/`.
+pub fn save_scale(report: &ScaleReport) {
+    if std::fs::create_dir_all("reports").is_err() {
+        return;
+    }
+    if let Ok(json) = serde_json::to_string_pretty(report) {
+        let _ = std::fs::write(
+            format!("reports/{}.json", report.id.to_lowercase()),
+            json,
+        );
+    }
+}

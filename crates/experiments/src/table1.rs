@@ -1,0 +1,549 @@
+//! Experiments E1–E9: one per Table 1 row (see DESIGN.md §4).
+//!
+//! Every experiment sweeps randomized workloads over many seeds, runs the
+//! paper's algorithm for the row, and certifies the row's approximation
+//! factor against a lower/upper-bound sandwich of the relevant optimum
+//! (see `common` for the verdict semantics).
+
+use crate::common::{aggregate, par_sweep, Measurement, Report, Row};
+use ukc_baselines::{brute_force_restricted, brute_force_unrestricted, BruteForceLimits};
+use ukc_core::{
+    expected_point_one_center, lower_bound_euclidean, lower_bound_metric,
+    lower_bound_one_center, reference_one_center, solve_euclidean, solve_metric, AssignmentRule,
+    CertainSolver, MetricAssignmentRule, MetricCertainSolver,
+};
+use ukc_kcenter::{ExactOptions, GridOptions};
+use ukc_metric::{Euclidean, FiniteMetric, Point, WeightedGraph};
+use ukc_onedim::solve_one_d;
+use ukc_uncertain::generators::{
+    clustered, line_instance, on_finite_metric, ring, two_scale, uniform_box, ProbModel,
+};
+use ukc_uncertain::UncertainSet;
+
+/// A boxed seeded workload generator.
+type WorkloadGen = Box<dyn Fn(u64) -> UncertainSet<Point> + Sync>;
+
+fn seeds(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B9).wrapping_add(17)).collect()
+}
+
+/// The candidate pool used by Euclidean brute force: every location plus
+/// every expected point (so the pool contains the paper's own centers).
+fn enriched_pool(set: &UncertainSet<Point>) -> Vec<Point> {
+    let mut pool = set.location_pool();
+    pool.extend(set.iter().map(ukc_uncertain::expected_point));
+    pool
+}
+
+// ---------------------------------------------------------------------
+// E1 — Table 1 row 1: 1-center, Euclidean, factor 2, O(z).
+// ---------------------------------------------------------------------
+
+/// E1: the expected point of any single uncertain point is a 2-approximate
+/// 1-center (Theorem 2.1).
+pub fn e1() -> Report {
+    let mut rows: Vec<Row> = Vec::new();
+    let configs: Vec<(&str, WorkloadGen)> = vec![
+        (
+            "uniform d=2",
+            Box::new(|s| uniform_box(s, 8, 4, 2, 10.0, 2.0, ProbModel::Random)),
+        ),
+        (
+            "uniform d=1",
+            Box::new(|s| uniform_box(s, 8, 4, 1, 10.0, 2.0, ProbModel::Random)),
+        ),
+        (
+            "uniform d=8",
+            Box::new(|s| uniform_box(s, 6, 4, 8, 10.0, 2.0, ProbModel::Random)),
+        ),
+        (
+            "clustered d=2",
+            Box::new(|s| clustered(s, 10, 4, 2, 2, 4.0, 1.0, ProbModel::HeavyTail)),
+        ),
+        (
+            "two-scale d=2",
+            Box::new(|s| two_scale(s, 6, 3, 2, 0.5, 60.0, 0.2)),
+        ),
+        (
+            "ring d=2",
+            Box::new(|s| ring(s, 8, 4, 20.0, 0.4, ProbModel::Random)),
+        ),
+    ];
+    for (name, gen) in &configs {
+        let ms = par_sweep(&seeds(20), |seed| {
+            let set = gen(seed);
+            // The theorem holds for every anchor; measure the WORST anchor
+            // so the certification covers them all.
+            let alg = (0..set.n())
+                .map(|a| expected_point_one_center(&set, a).1)
+                .fold(0.0f64, f64::max);
+            let (_, reference) = reference_one_center(&set);
+            let lb = lower_bound_one_center(&set, &Euclidean)
+                .max(lower_bound_euclidean(&set, 1));
+            Measurement {
+                alg,
+                lb: lb.min(reference),
+                ub: reference.min(alg),
+            }
+        });
+        rows.push(aggregate(name, "n≤10 z≤4, worst anchor", 2.0, &ms));
+    }
+    Report {
+        id: "E1".into(),
+        artifact: "Table 1 row 1 (Theorem 2.1)".into(),
+        description:
+            "Expected point of any single uncertain point as 1-center: factor 2, O(z)".into(),
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E2–E5 — Table 1 rows 2–5: restricted assigned, Euclidean.
+// ---------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn restricted_row(
+    name: &str,
+    params: &str,
+    bound: f64,
+    rule: AssignmentRule,
+    solver: CertainSolver,
+    gen: impl Fn(u64) -> UncertainSet<Point> + Sync,
+    k: usize,
+    n_seeds: usize,
+    brute: bool,
+) -> Row {
+    let ms = par_sweep(&seeds(n_seeds), |seed| {
+        let set = gen(seed);
+        let sol = solve_euclidean(&set, k, rule, solver);
+        let lb = lower_bound_euclidean(&set, k);
+        let mut ub = sol.ecost;
+        if brute {
+            let pool = enriched_pool(&set);
+            if let Some(b) = brute_force_restricted(
+                &set,
+                &pool,
+                k,
+                rule,
+                &Euclidean,
+                BruteForceLimits::default(),
+            ) {
+                ub = ub.min(b.ecost);
+            }
+        }
+        // A tighter certain solver with the same rule also upper-bounds the
+        // rule's optimum.
+        let better = solve_euclidean(
+            &set,
+            k,
+            rule,
+            CertainSolver::ExactDiscrete(ExactOptions::default()),
+        );
+        ub = ub.min(better.ecost);
+        Measurement { alg: sol.ecost, lb, ub }
+    });
+    aggregate(name, params, bound, &ms)
+}
+
+/// E2: restricted assigned, expected-distance rule, Gonzalez backend —
+/// factor 6 in O(nz + n log k) (Remark 3.1).
+pub fn e2() -> Report {
+    let rows = vec![
+        restricted_row(
+            "clustered small",
+            "n=6 z=3 k=2 (brute UB)",
+            6.0,
+            AssignmentRule::ExpectedDistance,
+            CertainSolver::Gonzalez,
+            |s| clustered(s, 6, 3, 2, 2, 4.0, 1.0, ProbModel::Random),
+            2,
+            16,
+            true,
+        ),
+        restricted_row(
+            "uniform small",
+            "n=6 z=2 k=2 (brute UB)",
+            6.0,
+            AssignmentRule::ExpectedDistance,
+            CertainSolver::Gonzalez,
+            |s| uniform_box(s, 6, 2, 2, 20.0, 2.0, ProbModel::Random),
+            2,
+            16,
+            true,
+        ),
+        restricted_row(
+            "clustered large",
+            "n=200 z=6 k=4",
+            6.0,
+            AssignmentRule::ExpectedDistance,
+            CertainSolver::Gonzalez,
+            |s| clustered(s, 200, 6, 2, 4, 6.0, 1.5, ProbModel::Random),
+            4,
+            8,
+            false,
+        ),
+        restricted_row(
+            "two-scale",
+            "n=40 z=4 k=3 q=0.25",
+            6.0,
+            AssignmentRule::ExpectedDistance,
+            CertainSolver::Gonzalez,
+            |s| two_scale(s, 40, 4, 2, 1.0, 120.0, 0.25),
+            3,
+            8,
+            false,
+        ),
+    ];
+    Report {
+        id: "E2".into(),
+        artifact: "Table 1 row 2 (Theorem 2.2 + Remark 3.1)".into(),
+        description: "Restricted assigned, ED rule, Gonzalez backend: factor 6".into(),
+        rows,
+    }
+}
+
+/// E3: restricted assigned, ED rule, grid (1+ε) backend — factor 5+ε.
+pub fn e3() -> Report {
+    let mut rows = Vec::new();
+    for eps in [0.5f64, 0.25] {
+        rows.push(restricted_row(
+            "clustered small",
+            &format!("n=6 z=3 k=2 ε={eps} (brute UB)"),
+            5.0 + eps,
+            AssignmentRule::ExpectedDistance,
+            CertainSolver::Grid(GridOptions { eps, ..Default::default() }),
+            |s| clustered(s, 6, 3, 2, 2, 4.0, 1.0, ProbModel::Random),
+            2,
+            12,
+            true,
+        ));
+        rows.push(restricted_row(
+            "uniform medium",
+            &format!("n=30 z=4 k=3 ε={eps}"),
+            5.0 + eps,
+            AssignmentRule::ExpectedDistance,
+            CertainSolver::Grid(GridOptions { eps, ..Default::default() }),
+            |s| uniform_box(s, 30, 4, 2, 30.0, 2.0, ProbModel::Random),
+            3,
+            8,
+            false,
+        ));
+    }
+    Report {
+        id: "E3".into(),
+        artifact: "Table 1 row 3 (Theorem 2.2)".into(),
+        description: "Restricted assigned, ED rule, (1+ε) grid backend: factor 5+ε".into(),
+        rows,
+    }
+}
+
+/// E4: restricted assigned, expected-point rule, Gonzalez — factor 4.
+pub fn e4() -> Report {
+    let rows = vec![
+        restricted_row(
+            "clustered small",
+            "n=6 z=3 k=2 (brute UB)",
+            4.0,
+            AssignmentRule::ExpectedPoint,
+            CertainSolver::Gonzalez,
+            |s| clustered(s, 6, 3, 2, 2, 4.0, 1.0, ProbModel::Random),
+            2,
+            16,
+            true,
+        ),
+        restricted_row(
+            "uniform small",
+            "n=6 z=2 k=2 (brute UB)",
+            4.0,
+            AssignmentRule::ExpectedPoint,
+            CertainSolver::Gonzalez,
+            |s| uniform_box(s, 6, 2, 2, 20.0, 2.0, ProbModel::Random),
+            2,
+            16,
+            true,
+        ),
+        restricted_row(
+            "ring",
+            "n=40 z=5 k=4",
+            4.0,
+            AssignmentRule::ExpectedPoint,
+            CertainSolver::Gonzalez,
+            |s| ring(s, 40, 5, 30.0, 0.5, ProbModel::Random),
+            4,
+            8,
+            false,
+        ),
+        restricted_row(
+            "clustered large",
+            "n=200 z=6 k=4",
+            4.0,
+            AssignmentRule::ExpectedPoint,
+            CertainSolver::Gonzalez,
+            |s| clustered(s, 200, 6, 2, 4, 6.0, 1.5, ProbModel::Random),
+            4,
+            8,
+            false,
+        ),
+    ];
+    Report {
+        id: "E4".into(),
+        artifact: "Table 1 row 4 (Theorem 2.2 + Remark 3.1)".into(),
+        description: "Restricted assigned, EP rule, Gonzalez backend: factor 4".into(),
+        rows,
+    }
+}
+
+/// E5: restricted assigned, EP rule, grid (1+ε) — factor 3+ε.
+pub fn e5() -> Report {
+    let mut rows = Vec::new();
+    for eps in [0.5f64, 0.25] {
+        rows.push(restricted_row(
+            "clustered small",
+            &format!("n=6 z=3 k=2 ε={eps} (brute UB)"),
+            3.0 + eps,
+            AssignmentRule::ExpectedPoint,
+            CertainSolver::Grid(GridOptions { eps, ..Default::default() }),
+            |s| clustered(s, 6, 3, 2, 2, 4.0, 1.0, ProbModel::Random),
+            2,
+            12,
+            true,
+        ));
+        rows.push(restricted_row(
+            "uniform medium",
+            &format!("n=30 z=4 k=3 ε={eps}"),
+            3.0 + eps,
+            AssignmentRule::ExpectedPoint,
+            CertainSolver::Grid(GridOptions { eps, ..Default::default() }),
+            |s| uniform_box(s, 30, 4, 2, 30.0, 2.0, ProbModel::Random),
+            3,
+            8,
+            false,
+        ));
+    }
+    Report {
+        id: "E5".into(),
+        artifact: "Table 1 row 5 (Theorem 2.2)".into(),
+        description: "Restricted assigned, EP rule, (1+ε) grid backend: factor 3+ε".into(),
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E6/E7 — Table 1 rows 6–7: unrestricted assigned, Euclidean.
+// ---------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn unrestricted_row(
+    name: &str,
+    params: &str,
+    bound: f64,
+    rule: AssignmentRule,
+    solver: CertainSolver,
+    gen: impl Fn(u64) -> UncertainSet<Point> + Sync,
+    k: usize,
+    n_seeds: usize,
+) -> Row {
+    let ms = par_sweep(&seeds(n_seeds), |seed| {
+        let set = gen(seed);
+        let sol = solve_euclidean(&set, k, rule, solver);
+        let lb = lower_bound_euclidean(&set, k);
+        let pool = enriched_pool(&set);
+        // Unrestricted brute-force optimum over the enriched pool is an
+        // upper bound on the continuous unrestricted optimum.
+        let mut ub = sol.ecost;
+        if let Some(b) =
+            brute_force_unrestricted(&set, &pool, k, &Euclidean, BruteForceLimits::default())
+        {
+            ub = ub.min(b.ecost);
+        }
+        Measurement { alg: sol.ecost, lb, ub }
+    });
+    aggregate(name, params, bound, &ms)
+}
+
+/// E6: unrestricted assigned via the EP pipeline, Gonzalez — factor 4
+/// (Theorem 2.5 with ε=1).
+pub fn e6() -> Report {
+    let rows = vec![
+        unrestricted_row(
+            "clustered tiny",
+            "n=5 z=3 k=2 (brute opt)",
+            4.0,
+            AssignmentRule::ExpectedPoint,
+            CertainSolver::Gonzalez,
+            |s| clustered(s, 5, 3, 2, 2, 4.0, 1.0, ProbModel::Random),
+            2,
+            16,
+        ),
+        unrestricted_row(
+            "uniform tiny",
+            "n=5 z=2 k=2 (brute opt)",
+            4.0,
+            AssignmentRule::ExpectedPoint,
+            CertainSolver::Gonzalez,
+            |s| uniform_box(s, 5, 2, 2, 20.0, 2.0, ProbModel::Random),
+            2,
+            16,
+        ),
+        unrestricted_row(
+            "two-scale tiny",
+            "n=5 z=3 k=2 q=0.2 (brute opt)",
+            4.0,
+            AssignmentRule::ExpectedPoint,
+            CertainSolver::Gonzalez,
+            |s| two_scale(s, 5, 3, 2, 0.5, 60.0, 0.2),
+            2,
+            16,
+        ),
+    ];
+    Report {
+        id: "E6".into(),
+        artifact: "Table 1 row 6 (Theorem 2.5, ε=1)".into(),
+        description: "Unrestricted assigned via EP pipeline, Gonzalez: factor 4".into(),
+        rows,
+    }
+}
+
+/// E7: unrestricted assigned via the EP pipeline, grid (1+ε) — factor 3+ε.
+pub fn e7() -> Report {
+    let mut rows = Vec::new();
+    for eps in [0.5f64, 0.25] {
+        rows.push(unrestricted_row(
+            "clustered tiny",
+            &format!("n=5 z=3 k=2 ε={eps} (brute opt)"),
+            3.0 + eps,
+            AssignmentRule::ExpectedPoint,
+            CertainSolver::Grid(GridOptions { eps, ..Default::default() }),
+            |s| clustered(s, 5, 3, 2, 2, 4.0, 1.0, ProbModel::Random),
+            2,
+            12,
+        ));
+    }
+    rows.push(unrestricted_row(
+        "uniform tiny",
+        "n=5 z=2 k=2 ε=0.25 (brute opt)",
+        3.25,
+        AssignmentRule::ExpectedPoint,
+        CertainSolver::Grid(GridOptions { eps: 0.25, ..Default::default() }),
+        |s| uniform_box(s, 5, 2, 2, 20.0, 2.0, ProbModel::Random),
+        2,
+        12,
+    ));
+    Report {
+        id: "E7".into(),
+        artifact: "Table 1 row 7 (Theorem 2.5)".into(),
+        description: "Unrestricted assigned via EP pipeline, (1+ε) grid: factor 3+ε".into(),
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E8 — Table 1 row 8: R¹, exact ED solver + factor-3 lift (Theorem 2.3).
+// ---------------------------------------------------------------------
+
+/// E8: the exact 1-D solver's ED solution is a 3-approximation of the
+/// unrestricted assigned optimum.
+pub fn e8() -> Report {
+    let mut rows = Vec::new();
+    // Tiny instances: certified against the brute unrestricted optimum.
+    let ms = par_sweep(&seeds(16), |seed| {
+        let set = line_instance(seed, 5, 3, 40.0, 2.0, ProbModel::Random);
+        let sol = solve_one_d(&set, 2);
+        let lb = lower_bound_euclidean(&set, 2);
+        let pool = enriched_pool(&set);
+        let mut ub = sol.ecost_ed;
+        if let Some(b) =
+            brute_force_unrestricted(&set, &pool, 2, &Euclidean, BruteForceLimits::default())
+        {
+            ub = ub.min(b.ecost);
+        }
+        Measurement { alg: sol.ecost_ed, lb, ub }
+    });
+    rows.push(aggregate("line tiny", "n=5 z=3 k=2 (brute opt)", 3.0, &ms));
+    // Larger instances: certified against the lower bound only.
+    for (n, z, k) in [(100usize, 4usize, 4usize), (500, 8, 8)] {
+        let ms = par_sweep(&seeds(8), |seed| {
+            let set = line_instance(seed, n, z, 200.0, 3.0, ProbModel::Random);
+            let sol = solve_one_d(&set, k);
+            let lb = lower_bound_euclidean(&set, k);
+            Measurement { alg: sol.ecost_ed, lb, ub: sol.ecost_ed }
+        });
+        rows.push(aggregate("line large", &format!("n={n} z={z} k={k}"), 3.0, &ms));
+    }
+    Report {
+        id: "E8".into(),
+        artifact: "Table 1 row 8 (Theorem 2.3 + Wang–Zhang [26])".into(),
+        description: "Exact 1-D ED solver lifts to a 3-approx of the unrestricted optimum".into(),
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E9 — Table 1 row 9: any metric space (Theorems 2.6 / 2.7).
+// ---------------------------------------------------------------------
+
+/// E9: general metric spaces via graph closures; OC rule (Thm 2.7) and ED
+/// rule (Thm 2.6), with exact-discrete (ε=0) and Gonzalez (ε=1) backends.
+pub fn e9() -> Report {
+    let mut rows = Vec::new();
+    let spaces: Vec<(&str, FiniteMetric)> = vec![
+        ("cycle C12", WeightedGraph::cycle(12, 1.0).shortest_path_metric().unwrap()),
+        ("grid 4x5", WeightedGraph::grid(4, 5, 1.0).shortest_path_metric().unwrap()),
+    ];
+    let cases: Vec<(&str, MetricAssignmentRule, MetricCertainSolver, f64)> = vec![
+        (
+            "OC + exact (5+2ε, ε=0)",
+            MetricAssignmentRule::OneCenter,
+            MetricCertainSolver::ExactDiscrete(ExactOptions::default()),
+            5.0,
+        ),
+        (
+            "OC + Gonzalez (5+2ε, ε=1)",
+            MetricAssignmentRule::OneCenter,
+            MetricCertainSolver::Gonzalez,
+            7.0,
+        ),
+        (
+            "ED + exact (7+2ε, ε=0)",
+            MetricAssignmentRule::ExpectedDistance,
+            MetricCertainSolver::ExactDiscrete(ExactOptions::default()),
+            7.0,
+        ),
+        (
+            "ED + Gonzalez (7+2ε, ε=1)",
+            MetricAssignmentRule::ExpectedDistance,
+            MetricCertainSolver::Gonzalez,
+            9.0,
+        ),
+    ];
+    for (space_name, fm) in &spaces {
+        let ids = fm.ids();
+        for (case_name, rule, solver, bound) in &cases {
+            let ms = par_sweep(&seeds(12), |seed| {
+                let set = on_finite_metric(seed, fm.len(), 6, 3, ProbModel::Random);
+                let sol = solve_metric(&set, 2, *rule, *solver, &ids, fm);
+                let lb = lower_bound_metric(&set, 2, &ids, fm);
+                let mut ub = sol.ecost;
+                if let Some(b) =
+                    brute_force_unrestricted(&set, &ids, 2, fm, BruteForceLimits::default())
+                {
+                    ub = ub.min(b.ecost);
+                }
+                Measurement { alg: sol.ecost, lb, ub }
+            });
+            rows.push(aggregate(
+                &format!("{space_name}: {case_name}"),
+                "n=6 z=3 k=2 (brute opt)",
+                *bound,
+                &ms,
+            ));
+        }
+    }
+    Report {
+        id: "E9".into(),
+        artifact: "Table 1 row 9 (Theorems 2.6 / 2.7)".into(),
+        description:
+            "General metric spaces (graph shortest-path closures): 1-center and ED rules".into(),
+        rows,
+    }
+}

@@ -1,0 +1,329 @@
+//! Uncertain k-median — an *exact* reduction.
+//!
+//! The assigned uncertain k-median cost is, by linearity of expectation,
+//!
+//! ```text
+//! Emed(C, A) = Σ_R prob(R) · Σᵢ d(P̂ᵢ, A(Pᵢ)) = Σᵢ E d(Pᵢ, A(Pᵢ)),
+//! ```
+//!
+//! so (unlike the k-center `E[max]`, which couples the points) the
+//! objective decomposes per point. Consequences implemented here:
+//!
+//! 1. for fixed centers the optimal assignment is the paper's ED rule;
+//! 2. the whole problem reduces to deterministic k-median over the
+//!    expected-distance matrix `D[i][c] = E d(Pᵢ, c)`;
+//! 3. the reduction is lossless — no approximation enters until the
+//!    deterministic solver does (exact enumeration for small instances,
+//!    classic single-swap local search otherwise, 5-approximate by
+//!    Arya et al. \[3\] in the paper's bibliography).
+
+use ukc_metric::Metric;
+use ukc_uncertain::{expected_distance, UncertainSet};
+
+/// A k-median solution over a discrete candidate pool.
+#[derive(Clone, Debug)]
+pub struct KMedianSolution<P> {
+    /// Chosen centers (clones of candidate pool members).
+    pub centers: Vec<P>,
+    /// Indices of the chosen centers in the candidate pool.
+    pub center_indices: Vec<usize>,
+    /// `assignment[i]` = index into `centers` (always the ED-optimal one).
+    pub assignment: Vec<usize>,
+    /// The exact expected k-median cost `Σᵢ E d(Pᵢ, A(Pᵢ))`.
+    pub cost: f64,
+}
+
+/// Exact expected k-median cost of an explicit (centers, assignment) pair:
+/// `Σᵢ E d(Pᵢ, c_{A(i)})`. O(nz) — exact by linearity, no sweep needed.
+pub fn ecost_kmedian<P, M: Metric<P>>(
+    set: &UncertainSet<P>,
+    centers: &[P],
+    assignment: &[usize],
+    metric: &M,
+) -> f64 {
+    assert_eq!(assignment.len(), set.n(), "one center per point");
+    set.iter()
+        .zip(assignment.iter())
+        .map(|(up, &a)| expected_distance(up, &centers[a], metric))
+        .sum()
+}
+
+/// Builds the expected-distance matrix `D[i][c]` (n × m).
+fn expected_distance_matrix<P, M: Metric<P>>(
+    set: &UncertainSet<P>,
+    candidates: &[P],
+    metric: &M,
+) -> Vec<f64> {
+    let n = set.n();
+    let m = candidates.len();
+    let mut d = vec![0.0; n * m];
+    for (i, up) in set.iter().enumerate() {
+        for (c, cand) in candidates.iter().enumerate() {
+            d[i * m + c] = expected_distance(up, cand, metric);
+        }
+    }
+    d
+}
+
+/// Cost of a center-index subset under the matrix (each point takes its
+/// best center), plus the per-point argmins.
+fn subset_cost(d: &[f64], n: usize, m: usize, chosen: &[usize]) -> (f64, Vec<usize>) {
+    let mut total = 0.0;
+    let mut assignment = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut best = 0usize;
+        let mut best_v = f64::INFINITY;
+        for (slot, &c) in chosen.iter().enumerate() {
+            let v = d[i * m + c];
+            if v < best_v {
+                best_v = v;
+                best = slot;
+            }
+        }
+        total += best_v;
+        assignment.push(best);
+    }
+    (total, assignment)
+}
+
+/// Exact uncertain k-median by enumerating all k-subsets of `candidates`.
+///
+/// Returns `None` when `C(m, k)` exceeds `max_subsets`.
+///
+/// # Panics
+/// Panics when `k == 0` or `candidates` is empty.
+pub fn uncertain_kmedian_exact<P: Clone, M: Metric<P>>(
+    set: &UncertainSet<P>,
+    candidates: &[P],
+    k: usize,
+    metric: &M,
+    max_subsets: u64,
+) -> Option<KMedianSolution<P>> {
+    assert!(k > 0, "k must be at least 1");
+    assert!(!candidates.is_empty(), "need a candidate pool");
+    let n = set.n();
+    let m = candidates.len();
+    let k = k.min(m);
+    let d = expected_distance_matrix(set, candidates, metric);
+    let mut best: Option<(f64, Vec<usize>, Vec<usize>)> = None;
+    let mut idx: Vec<usize> = (0..k).collect();
+    let mut used: u64 = 0;
+    loop {
+        used += 1;
+        if used > max_subsets {
+            return None;
+        }
+        let (cost, assignment) = subset_cost(&d, n, m, &idx);
+        if best.as_ref().is_none_or(|(bc, _, _)| cost < *bc) {
+            best = Some((cost, idx.clone(), assignment));
+        }
+        // Next combination.
+        let mut i = k;
+        let done = loop {
+            if i == 0 {
+                break true;
+            }
+            i -= 1;
+            if idx[i] != i + m - k {
+                idx[i] += 1;
+                for j in (i + 1)..k {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break false;
+            }
+        };
+        if done {
+            break;
+        }
+    }
+    let (cost, chosen, assignment) = best.expect("at least one subset");
+    Some(KMedianSolution {
+        centers: chosen.iter().map(|&c| candidates[c].clone()).collect(),
+        center_indices: chosen,
+        assignment,
+        cost,
+    })
+}
+
+/// Uncertain k-median by single-swap local search over the candidate pool
+/// (the classic 5-approximation scheme), seeded greedily.
+///
+/// Deterministic: greedy seeding picks the candidate minimizing the 1-median
+/// cost, then repeatedly the candidate that most reduces the cost;
+/// local search then applies best-improvement swaps until none helps or
+/// `max_rounds` is exhausted.
+///
+/// # Panics
+/// Panics when `k == 0` or `candidates` is empty.
+pub fn uncertain_kmedian_local_search<P: Clone, M: Metric<P>>(
+    set: &UncertainSet<P>,
+    candidates: &[P],
+    k: usize,
+    metric: &M,
+    max_rounds: usize,
+) -> KMedianSolution<P> {
+    assert!(k > 0, "k must be at least 1");
+    assert!(!candidates.is_empty(), "need a candidate pool");
+    let n = set.n();
+    let m = candidates.len();
+    let k = k.min(m);
+    let d = expected_distance_matrix(set, candidates, metric);
+    // Greedy seeding.
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    let mut current_best = vec![f64::INFINITY; n];
+    for _ in 0..k {
+        let mut pick = usize::MAX;
+        let mut pick_gain = f64::NEG_INFINITY;
+        for c in 0..m {
+            if chosen.contains(&c) {
+                continue;
+            }
+            let gain: f64 = (0..n)
+                .map(|i| (current_best[i] - d[i * m + c]).max(0.0))
+                .sum();
+            if gain > pick_gain {
+                pick_gain = gain;
+                pick = c;
+            }
+        }
+        chosen.push(pick);
+        for i in 0..n {
+            current_best[i] = current_best[i].min(d[i * m + pick]);
+        }
+    }
+    let (mut cost, _) = subset_cost(&d, n, m, &chosen);
+    // Single-swap local search.
+    for _ in 0..max_rounds {
+        let mut best_swap: Option<(usize, usize, f64)> = None;
+        for slot in 0..chosen.len() {
+            for c in 0..m {
+                if chosen.contains(&c) {
+                    continue;
+                }
+                let old = chosen[slot];
+                chosen[slot] = c;
+                let (new_cost, _) = subset_cost(&d, n, m, &chosen);
+                chosen[slot] = old;
+                if new_cost < cost && best_swap.is_none_or(|(_, _, bc)| new_cost < bc) {
+                    best_swap = Some((slot, c, new_cost));
+                }
+            }
+        }
+        match best_swap {
+            Some((slot, c, new_cost)) => {
+                chosen[slot] = c;
+                cost = new_cost;
+            }
+            None => break,
+        }
+    }
+    let (cost, assignment) = subset_cost(&d, n, m, &chosen);
+    KMedianSolution {
+        centers: chosen.iter().map(|&c| candidates[c].clone()).collect(),
+        center_indices: chosen,
+        assignment,
+        cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ukc_metric::{Euclidean, Point};
+    use ukc_uncertain::generators::{clustered, uniform_box, ProbModel};
+    use ukc_uncertain::{RealizationIter, UncertainPoint};
+
+    fn pool(set: &UncertainSet<Point>) -> Vec<Point> {
+        set.location_pool()
+    }
+
+    #[test]
+    fn linearity_identity_vs_enumeration() {
+        // Σᵢ E d(Pᵢ, A(Pᵢ)) must equal the Ω-enumerated Σ expectation.
+        let set = clustered(1, 4, 3, 2, 2, 4.0, 1.0, ProbModel::Random);
+        let cands = pool(&set);
+        let centers = vec![cands[0].clone(), cands[5].clone()];
+        let assignment = vec![0usize, 1, 0, 1];
+        let fast = ecost_kmedian(&set, &centers, &assignment, &Euclidean);
+        let mut slow = 0.0;
+        for (idx, prob) in RealizationIter::new(&set) {
+            let mut sum = 0.0;
+            for (i, &j) in idx.iter().enumerate() {
+                sum += Euclidean.dist(&set[i].locations()[j], &centers[assignment[i]]);
+            }
+            slow += prob * sum;
+        }
+        assert!((fast - slow).abs() < 1e-9, "{fast} vs {slow}");
+    }
+
+    #[test]
+    fn exact_beats_or_ties_local_search() {
+        for seed in 0..5u64 {
+            let set = uniform_box(seed, 6, 2, 2, 20.0, 2.0, ProbModel::Random);
+            let cands = pool(&set);
+            let exact =
+                uncertain_kmedian_exact(&set, &cands, 2, &Euclidean, 1_000_000).unwrap();
+            let ls = uncertain_kmedian_local_search(&set, &cands, 2, &Euclidean, 50);
+            assert!(exact.cost <= ls.cost + 1e-9, "seed {seed}");
+            // Local search should be within the 5-approx guarantee with
+            // large margin on these easy instances.
+            assert!(ls.cost <= 5.0 * exact.cost + 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn assignment_is_ed_optimal() {
+        let set = clustered(3, 8, 3, 2, 2, 4.0, 1.0, ProbModel::HeavyTail);
+        let cands = pool(&set);
+        let sol = uncertain_kmedian_local_search(&set, &cands, 3, &Euclidean, 30);
+        for (i, up) in set.iter().enumerate() {
+            let assigned = expected_distance(up, &sol.centers[sol.assignment[i]], &Euclidean);
+            for c in &sol.centers {
+                assert!(assigned <= expected_distance(up, c, &Euclidean) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn certain_points_reduce_to_deterministic_kmedian() {
+        let set = UncertainSet::new(vec![
+            UncertainPoint::certain(Point::scalar(0.0)),
+            UncertainPoint::certain(Point::scalar(1.0)),
+            UncertainPoint::certain(Point::scalar(10.0)),
+        ]);
+        let cands = pool(&set);
+        let sol = uncertain_kmedian_exact(&set, &cands, 2, &Euclidean, 1000).unwrap();
+        // Optimal: centers {0 or 1, 10}; cost 1.
+        assert!((sol.cost - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_centers_never_increase_cost() {
+        let set = uniform_box(9, 8, 3, 2, 30.0, 2.0, ProbModel::Random);
+        let cands = pool(&set);
+        let mut prev = f64::INFINITY;
+        for k in 1..=4 {
+            let sol = uncertain_kmedian_exact(&set, &cands, k, &Euclidean, 10_000_000).unwrap();
+            assert!(sol.cost <= prev + 1e-9, "k={k}");
+            prev = sol.cost;
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none() {
+        let set = uniform_box(2, 6, 2, 2, 10.0, 1.0, ProbModel::Uniform);
+        let cands = pool(&set);
+        assert!(uncertain_kmedian_exact(&set, &cands, 3, &Euclidean, 2).is_none());
+    }
+
+    #[test]
+    fn kcenter_cost_upper_bounds_scaled_kmedian() {
+        // Sanity across objectives: Σᵢ E d ≤ n · E[max d], by max ≥ each.
+        let set = clustered(4, 6, 3, 2, 2, 4.0, 1.0, ProbModel::Random);
+        let cands = pool(&set);
+        let sol = uncertain_kmedian_local_search(&set, &cands, 2, &Euclidean, 30);
+        let kc = ukc_uncertain::ecost_assigned(&set, &sol.centers, &sol.assignment, &Euclidean);
+        assert!(sol.cost <= set.n() as f64 * kc + 1e-9);
+        assert!(kc <= sol.cost + 1e-9 || kc <= sol.cost * set.n() as f64);
+    }
+}

@@ -1,0 +1,285 @@
+//! Streaming k-center via the doubling algorithm, lifted to uncertain
+//! points.
+//!
+//! The doubling algorithm (Charikar–Chekuri–Feder–Motwani) maintains at
+//! most `k` centers over a one-pass stream with an 8-approximation
+//! guarantee: it keeps a lower-bound threshold `τ` such that (a) all kept
+//! centers are pairwise `> τ` apart (so `opt ≥ τ/2` by pigeonhole once
+//! there are k+1 such points... maintained invariantly), and (b) every
+//! seen point is within `4τ` of a kept center. On overflow it doubles `τ`
+//! and merges centers closer than the new `τ`.
+//!
+//! [`StreamingUncertainKCenter`] feeds the O(z)-computable expected points
+//! `P̄` through the summary, extending the paper's replace-by-
+//! representative pipeline to streams (the setting of reference \[25\]):
+//! the certain-solver factor `1+ε` in Theorems 2.2/2.5 simply becomes the
+//! streaming factor 8.
+
+use ukc_metric::{Metric, Point};
+use ukc_uncertain::{expected_point, UncertainPoint};
+
+/// One-pass k-center summary with the doubling invariant.
+#[derive(Clone, Debug)]
+pub struct StreamingKCenter<P> {
+    k: usize,
+    /// Current merge threshold τ (0 until the first overflow).
+    threshold: f64,
+    centers: Vec<P>,
+}
+
+impl<P: Clone> StreamingKCenter<P> {
+    /// Creates an empty summary for `k` centers.
+    ///
+    /// # Panics
+    /// Panics when `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be at least 1");
+        Self {
+            k,
+            threshold: 0.0,
+            centers: Vec::with_capacity(k + 1),
+        }
+    }
+
+    /// Current centers (at most `k` once at least one overflow occurred;
+    /// may briefly hold `k` before any overflow).
+    pub fn centers(&self) -> &[P] {
+        &self.centers
+    }
+
+    /// The current threshold τ; `opt ≥ τ/2` is the certified lower bound
+    /// the 8-approximation rests on.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Inserts a point, maintaining the doubling invariants.
+    pub fn insert<M: Metric<P>>(&mut self, p: P, metric: &M) {
+        // Covered points are dropped.
+        if self
+            .centers
+            .iter()
+            .any(|c| metric.dist(&p, c) <= 4.0 * self.threshold)
+        {
+            return;
+        }
+        self.centers.push(p);
+        while self.centers.len() > self.k {
+            // Overflow: raise τ and merge.
+            self.threshold = if self.threshold == 0.0 {
+                // Initial τ: the smallest pairwise distance among the k+1
+                // centers (all distinct, so positive).
+                let mut min = f64::INFINITY;
+                for i in 0..self.centers.len() {
+                    for j in (i + 1)..self.centers.len() {
+                        let d = metric.dist(&self.centers[i], &self.centers[j]);
+                        if d > 0.0 {
+                            min = min.min(d);
+                        }
+                    }
+                }
+                if min.is_finite() {
+                    min
+                } else {
+                    // All duplicates: keep one.
+                    self.centers.truncate(1);
+                    return;
+                }
+            } else {
+                2.0 * self.threshold
+            };
+            // Greedy merge: keep centers pairwise > τ.
+            let mut kept: Vec<P> = Vec::with_capacity(self.k);
+            for c in self.centers.drain(..) {
+                if kept.iter().all(|q| metric.dist(&c, q) > self.threshold) {
+                    kept.push(c);
+                }
+            }
+            self.centers = kept;
+        }
+    }
+
+    /// Upper bound on the summary's k-center radius over everything
+    /// inserted so far: every seen point is within `4τ` of a center
+    /// (invariant (b)), and `opt ≥ τ/2`, hence the factor 8.
+    pub fn radius_bound(&self) -> f64 {
+        4.0 * self.threshold
+    }
+}
+
+/// Streaming uncertain k-center: expected points through the doubling
+/// summary, with the uncertain points retained for the final assignment
+/// and exact-cost evaluation.
+#[derive(Clone, Debug)]
+pub struct StreamingUncertainKCenter {
+    summary: StreamingKCenter<Point>,
+    seen: Vec<UncertainPoint<Point>>,
+}
+
+impl StreamingUncertainKCenter {
+    /// Creates an empty streaming clusterer for `k` centers.
+    pub fn new(k: usize) -> Self {
+        Self {
+            summary: StreamingKCenter::new(k),
+            seen: Vec::new(),
+        }
+    }
+
+    /// Processes one arriving uncertain point: O(z + k) — the expected
+    /// point costs O(z), the summary update O(k).
+    pub fn insert(&mut self, up: UncertainPoint<Point>) {
+        let pbar = expected_point(&up);
+        self.summary
+            .insert(pbar, &ukc_metric::Euclidean);
+        self.seen.push(up);
+    }
+
+    /// Number of uncertain points processed.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// `true` before the first insertion.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// Finalizes: current centers, the ED assignment of every seen point,
+    /// and the exact expected cost. (Finalization is offline — the stream
+    /// summary itself stays O(k).)
+    pub fn finalize(&self) -> Option<(Vec<Point>, Vec<usize>, f64)> {
+        if self.seen.is_empty() || self.summary.centers().is_empty() {
+            return None;
+        }
+        let set = ukc_uncertain::UncertainSet::new(self.seen.clone());
+        let centers = self.summary.centers().to_vec();
+        let assignment = ukc_core::assign_ed(&set, &centers, &ukc_metric::Euclidean);
+        let cost =
+            ukc_uncertain::ecost_assigned(&set, &centers, &assignment, &ukc_metric::Euclidean);
+        Some((centers, assignment, cost))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ukc_kcenter::{exact_discrete_kcenter, kcenter_cost, ExactOptions};
+    use ukc_metric::Euclidean;
+    use ukc_uncertain::generators::{clustered, ProbModel};
+
+    fn stream_points(seed: u64, n: usize) -> Vec<Point> {
+        let mut s = seed | 1;
+        let mut rnd = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| Point::new(vec![rnd() * 100.0, rnd() * 100.0]))
+            .collect()
+    }
+
+    #[test]
+    fn summary_keeps_at_most_k_centers() {
+        let pts = stream_points(1, 200);
+        let mut s = StreamingKCenter::new(4);
+        for p in &pts {
+            s.insert(p.clone(), &Euclidean);
+            assert!(s.centers().len() <= 4 || s.threshold() == 0.0);
+        }
+        assert!(s.centers().len() <= 4);
+    }
+
+    #[test]
+    fn streaming_radius_within_8x_offline_optimum() {
+        for seed in 1..6u64 {
+            let pts = stream_points(seed, 60);
+            let k = 3;
+            let mut s = StreamingKCenter::new(k);
+            for p in &pts {
+                s.insert(p.clone(), &Euclidean);
+            }
+            let achieved = kcenter_cost(&pts, s.centers(), &Euclidean);
+            let offline =
+                exact_discrete_kcenter(&pts, &pts, k, &Euclidean, ExactOptions::default())
+                    .unwrap();
+            // Discrete offline optimum is within 2x of continuous, so the
+            // guarantee vs discrete is 8 (the invariant is vs continuous).
+            assert!(
+                achieved <= 8.0 * offline.radius + 1e-9,
+                "seed {seed}: streaming {achieved} vs 8 x {}",
+                offline.radius
+            );
+            // And all inserted points are covered by the invariant bound.
+            assert!(achieved <= s.radius_bound().max(1e-12) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn duplicates_do_not_overflow() {
+        let mut s = StreamingKCenter::new(2);
+        let p = Point::new(vec![1.0, 1.0]);
+        for _ in 0..100 {
+            s.insert(p.clone(), &Euclidean);
+        }
+        assert_eq!(s.centers().len(), 1);
+        assert_eq!(s.threshold(), 0.0);
+    }
+
+    #[test]
+    fn uncertain_streaming_matches_offline_pipeline_scale() {
+        let set = clustered(5, 40, 3, 2, 3, 5.0, 1.0, ProbModel::Random);
+        let mut s = StreamingUncertainKCenter::new(3);
+        for up in set.iter() {
+            s.insert(up.clone());
+        }
+        assert_eq!(s.len(), 40);
+        let (centers, assignment, cost) = s.finalize().expect("non-empty");
+        assert!(centers.len() <= 3);
+        assert_eq!(assignment.len(), 40);
+        // Compare against the offline pipeline: streaming pays a constant
+        // factor; on these benign workloads it stays within ~8x.
+        let offline = ukc_core::solve_euclidean(
+            &set,
+            3,
+            ukc_core::AssignmentRule::ExpectedDistance,
+            ukc_core::CertainSolver::Gonzalez,
+        );
+        assert!(
+            cost <= 8.0 * offline.ecost + 1e-9,
+            "streaming {cost} vs offline {}",
+            offline.ecost
+        );
+        // Sound floor: the certified lower bound still holds.
+        let lb = ukc_core::lower_bound_euclidean(&set, 3);
+        assert!(lb <= cost + 1e-9);
+    }
+
+    #[test]
+    fn empty_stream_finalizes_to_none() {
+        let s = StreamingUncertainKCenter::new(2);
+        assert!(s.is_empty());
+        assert!(s.finalize().is_none());
+    }
+
+    #[test]
+    fn insertion_order_changes_centers_not_validity() {
+        let pts = stream_points(9, 40);
+        let k = 3;
+        let mut fwd = StreamingKCenter::new(k);
+        let mut rev = StreamingKCenter::new(k);
+        for p in &pts {
+            fwd.insert(p.clone(), &Euclidean);
+        }
+        for p in pts.iter().rev() {
+            rev.insert(p.clone(), &Euclidean);
+        }
+        let offline = exact_discrete_kcenter(&pts, &pts, k, &Euclidean, ExactOptions::default())
+            .unwrap();
+        for s in [&fwd, &rev] {
+            let achieved = kcenter_cost(&pts, s.centers(), &Euclidean);
+            assert!(achieved <= 8.0 * offline.radius + 1e-9);
+        }
+    }
+}

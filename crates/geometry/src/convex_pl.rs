@@ -1,0 +1,368 @@
+//! One-dimensional convex piecewise-linear functions.
+//!
+//! The expected distance of a 1-D uncertain point to a location `x`,
+//! `E_i(x) = Σⱼ pᵢⱼ·|Pᵢⱼ − x|`, is convex and piecewise linear with
+//! breakpoints at the locations. The exact 1-D solver (paper Table 1 row 8,
+//! after Wang & Zhang [26]) needs exactly three operations on such
+//! functions: evaluate, minimize, and compute the level set
+//! `{x : f(x) ≤ r}` — which by convexity is an interval. This module
+//! implements a canonical breakpoint/slope representation supporting all
+//! three with short walks over the pieces.
+
+/// A convex piecewise-linear function `ℝ → ℝ` represented by its
+/// breakpoints and the slope of each piece.
+///
+/// Invariants (enforced by the constructors):
+/// * breakpoints strictly increasing;
+/// * slopes strictly increasing (convexity), one more slope than breakpoints;
+/// * finite values everywhere.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConvexPiecewiseLinear {
+    /// Breakpoint abscissae, strictly increasing. May be empty (affine
+    /// function).
+    xs: Vec<f64>,
+    /// `slopes[i]` is the slope on `(xs[i-1], xs[i])`; `slopes[0]` applies on
+    /// `(-∞, xs[0])` and `slopes[m]` on `(xs[m-1], ∞)`.
+    slopes: Vec<f64>,
+    /// Function value at `xs[0]` (or at 0 for an affine function).
+    anchor_value: f64,
+}
+
+impl ConvexPiecewiseLinear {
+    /// Builds `f(x) = Σ wᵢ·|x − aᵢ| + offset`.
+    ///
+    /// Returns `None` when inputs are empty/mismatched, a weight is negative,
+    /// all weights are zero, or any value is non-finite.
+    pub fn from_weighted_abs(anchors: &[f64], weights: &[f64], offset: f64) -> Option<Self> {
+        if anchors.is_empty() || anchors.len() != weights.len() || !offset.is_finite() {
+            return None;
+        }
+        if anchors.iter().any(|a| !a.is_finite()) {
+            return None;
+        }
+        if weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
+            return None;
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        // Sort and merge duplicate anchors.
+        let mut order: Vec<usize> = (0..anchors.len()).collect();
+        order.sort_by(|&i, &j| anchors[i].partial_cmp(&anchors[j]).expect("finite"));
+        let mut xs: Vec<f64> = Vec::with_capacity(anchors.len());
+        let mut ws: Vec<f64> = Vec::with_capacity(anchors.len());
+        for &i in &order {
+            if weights[i] == 0.0 {
+                continue;
+            }
+            if let Some(last) = xs.last() {
+                if *last == anchors[i] {
+                    *ws.last_mut().expect("parallel") += weights[i];
+                    continue;
+                }
+            }
+            xs.push(anchors[i]);
+            ws.push(weights[i]);
+        }
+        // Slopes: on (-inf, xs[0]) the slope is -total; each anchor adds 2w.
+        let mut slopes = Vec::with_capacity(xs.len() + 1);
+        let mut s = -total;
+        slopes.push(s);
+        for &w in &ws {
+            s += 2.0 * w;
+            slopes.push(s);
+        }
+        // Value at xs[0]: sum of w_i * (a_i - xs[0]) for a_i >= xs[0].
+        let x0 = xs[0];
+        let anchor_value = xs
+            .iter()
+            .zip(ws.iter())
+            .map(|(a, w)| w * (a - x0))
+            .sum::<f64>()
+            + offset;
+        Some(Self { xs, slopes, anchor_value })
+    }
+
+    /// Evaluates `f(x)` by a linear walk across the pieces between the
+    /// anchor and `x` (O(m) worst case; the solver only evaluates near
+    /// segment boundaries, where the walk is short).
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.xs.is_empty() {
+            return self.anchor_value + self.slopes[0] * x;
+        }
+        let x0 = self.xs[0];
+        if x == x0 {
+            return self.anchor_value;
+        }
+        let mut v = self.anchor_value;
+        if x < x0 {
+            v + self.slopes[0] * (x - x0)
+        } else {
+            // Accumulate across interior breakpoints up to x.
+            let mut prev = x0;
+            let mut i = 1; // segment between xs[i-1] and xs[i] has slope slopes[i]
+            while i < self.xs.len() && self.xs[i] < x {
+                v += self.slopes[i] * (self.xs[i] - prev);
+                prev = self.xs[i];
+                i += 1;
+            }
+            v + self.slopes[i] * (x - prev)
+        }
+    }
+
+    /// The (lowest) minimizer and the minimum value.
+    pub fn min(&self) -> (f64, f64) {
+        if self.xs.is_empty() {
+            // Affine with slope 0 is the only bounded case; constructors do
+            // not produce unbounded-from-below functions with anchors, but be
+            // defensive for the affine case.
+            return (0.0, self.anchor_value);
+        }
+        // First breakpoint where the outgoing slope becomes >= 0.
+        let mut v = self.anchor_value;
+        let mut prev = self.xs[0];
+        if self.slopes[1] >= 0.0 {
+            return (prev, v);
+        }
+        for i in 1..self.xs.len() {
+            v += self.slopes[i] * (self.xs[i] - prev);
+            prev = self.xs[i];
+            if self.slopes[i + 1] >= 0.0 {
+                return (prev, v);
+            }
+        }
+        (prev, v)
+    }
+
+    /// The level set `{x : f(x) ≤ r}` as a closed interval, or `None` when
+    /// the level set is empty.
+    ///
+    /// By convexity the level set is an interval `[lo, hi]`; endpoints are
+    /// computed exactly by inverting the boundary pieces.
+    pub fn level_set(&self, r: f64) -> Option<(f64, f64)> {
+        let (xmin, fmin) = self.min();
+        if fmin > r {
+            return None;
+        }
+        // Left endpoint: walk left from xmin while the value stays <= r.
+        let lo = self.invert_left(r, xmin);
+        let hi = self.invert_right(r, xmin);
+        Some((lo, hi))
+    }
+
+    /// Largest `x ≤ start` with `f(x) = r` (walking left), assuming
+    /// `f(start) ≤ r`. If the function is constant at or below `r` to `-∞`
+    /// (impossible for weighted-abs constructions), returns `-∞`.
+    fn invert_left(&self, r: f64, start: f64) -> f64 {
+        // Find the index of the first breakpoint >= start.
+        let mut i = self.xs.partition_point(|&b| b < start);
+        let mut x = start;
+        let mut v = self.eval(start);
+        loop {
+            // Segment to the left of x has slope slopes[i] (for x in
+            // (xs[i-1], xs[i])); at x == xs[i], left slope is slopes[i].
+            let slope = self.slopes[i.min(self.slopes.len() - 1)];
+            let left_bp = if i == 0 { f64::NEG_INFINITY } else { self.xs[i - 1] };
+            if slope > 0.0 {
+                // Moving left decreases f; cross into the next segment.
+                if left_bp.is_infinite() {
+                    return f64::NEG_INFINITY; // f decreases forever: cannot happen for valid constructions
+                }
+                v -= slope * (x - left_bp);
+                x = left_bp;
+                i -= 1;
+            } else if slope == 0.0 {
+                if left_bp.is_infinite() {
+                    return f64::NEG_INFINITY;
+                }
+                x = left_bp;
+                i -= 1;
+            } else {
+                // slope < 0: moving left increases f at rate -slope.
+                let budget = r - v;
+                debug_assert!(budget >= -1e-12);
+                let reach = x + budget / slope; // slope negative => reach < x
+                if left_bp.is_infinite() || reach >= left_bp {
+                    return reach;
+                }
+                v += slope * (left_bp - x); // increases v
+                x = left_bp;
+                i -= 1;
+            }
+        }
+    }
+
+    /// Smallest `x ≥ start` with `f(x) = r` (walking right), assuming
+    /// `f(start) ≤ r`.
+    fn invert_right(&self, r: f64, start: f64) -> f64 {
+        let mut i = self.xs.partition_point(|&b| b <= start);
+        // Segment to the right of x has slope slopes[i].
+        let mut x = start;
+        let mut v = self.eval(start);
+        loop {
+            let slope = self.slopes[i.min(self.slopes.len() - 1)];
+            let right_bp = if i >= self.xs.len() { f64::INFINITY } else { self.xs[i] };
+            if slope < 0.0 {
+                // Moving right decreases f; cross into the next segment.
+                if right_bp.is_infinite() {
+                    return f64::INFINITY;
+                }
+                v += slope * (right_bp - x);
+                x = right_bp;
+                i += 1;
+            } else if slope == 0.0 {
+                if right_bp.is_infinite() {
+                    return f64::INFINITY;
+                }
+                x = right_bp;
+                i += 1;
+            } else {
+                let budget = r - v;
+                debug_assert!(budget >= -1e-12);
+                let reach = x + budget / slope;
+                if right_bp.is_infinite() || reach <= right_bp {
+                    return reach;
+                }
+                v += slope * (right_bp - x);
+                x = right_bp;
+                i += 1;
+            }
+        }
+    }
+
+    /// The breakpoint abscissae.
+    pub fn breakpoints(&self) -> &[f64] {
+        &self.xs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f_simple() -> ConvexPiecewiseLinear {
+        // f(x) = |x - 1| + |x - 3|
+        ConvexPiecewiseLinear::from_weighted_abs(&[1.0, 3.0], &[1.0, 1.0], 0.0).unwrap()
+    }
+
+    #[test]
+    fn eval_matches_closed_form() {
+        let f = f_simple();
+        let reference = |x: f64| (x - 1.0).abs() + (x - 3.0).abs();
+        for i in -10..=20 {
+            let x = i as f64 * 0.5;
+            assert!((f.eval(x) - reference(x)).abs() < 1e-12, "mismatch at {x}");
+        }
+    }
+
+    #[test]
+    fn eval_weighted_with_offset() {
+        let f = ConvexPiecewiseLinear::from_weighted_abs(&[0.0, 2.0, 5.0], &[0.5, 0.25, 0.25], 1.0)
+            .unwrap();
+        let reference =
+            |x: f64| 0.5 * x.abs() + 0.25 * (x - 2.0).abs() + 0.25 * (x - 5.0).abs() + 1.0;
+        for i in -8..=24 {
+            let x = i as f64 * 0.5;
+            assert!((f.eval(x) - reference(x)).abs() < 1e-12, "mismatch at {x}");
+        }
+    }
+
+    #[test]
+    fn min_is_weighted_median() {
+        let f = f_simple();
+        let (x, v) = f.min();
+        // Minimum value 2 achieved on [1, 3]; lowest minimizer is 1.
+        assert_eq!(x, 1.0);
+        assert_eq!(v, 2.0);
+
+        let g =
+            ConvexPiecewiseLinear::from_weighted_abs(&[0.0, 10.0], &[3.0, 1.0], 0.0).unwrap();
+        let (x, v) = g.min();
+        assert_eq!(x, 0.0);
+        assert_eq!(v, 10.0);
+    }
+
+    #[test]
+    fn level_set_simple() {
+        let f = f_simple();
+        // f(x) <= 4  <=>  x in [0, 4].
+        let (lo, hi) = f.level_set(4.0).unwrap();
+        assert!((lo - 0.0).abs() < 1e-12);
+        assert!((hi - 4.0).abs() < 1e-12);
+        // At the minimum value the level set is the flat segment [1, 3].
+        let (lo, hi) = f.level_set(2.0).unwrap();
+        assert!((lo - 1.0).abs() < 1e-12);
+        assert!((hi - 3.0).abs() < 1e-12);
+        // Below the minimum: empty.
+        assert!(f.level_set(1.9).is_none());
+    }
+
+    #[test]
+    fn level_set_weighted() {
+        let f = ConvexPiecewiseLinear::from_weighted_abs(&[0.0, 4.0], &[0.75, 0.25], 0.0).unwrap();
+        // f(x) = 0.75|x| + 0.25|x-4|; min at 0 with value 1.
+        let (lo, hi) = f.level_set(1.5).unwrap();
+        // Left: f(x) = -x + 1 (x<0) => lo = -0.5.
+        assert!((lo + 0.5).abs() < 1e-12);
+        // Right: f(x) = 0.5x + 1 on [0,4] => hi = 1.
+        assert!((hi - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn level_set_endpoints_evaluate_to_r() {
+        let f = ConvexPiecewiseLinear::from_weighted_abs(
+            &[-3.0, -1.0, 2.0, 7.0],
+            &[0.1, 0.4, 0.3, 0.2],
+            0.25,
+        )
+        .unwrap();
+        let (_, fmin) = f.min();
+        for r in [fmin + 0.01, fmin + 0.5, fmin + 3.0] {
+            let (lo, hi) = f.level_set(r).unwrap();
+            assert!((f.eval(lo) - r).abs() < 1e-9, "f(lo)={} r={r}", f.eval(lo));
+            assert!((f.eval(hi) - r).abs() < 1e-9, "f(hi)={} r={r}", f.eval(hi));
+            assert!(lo <= hi);
+        }
+    }
+
+    #[test]
+    fn duplicate_anchors_merge() {
+        let f = ConvexPiecewiseLinear::from_weighted_abs(&[2.0, 2.0, 5.0], &[0.3, 0.3, 0.4], 0.0)
+            .unwrap();
+        assert_eq!(f.breakpoints(), &[2.0, 5.0]);
+        let reference = |x: f64| 0.6 * (x - 2.0).abs() + 0.4 * (x - 5.0).abs();
+        for i in 0..=20 {
+            let x = i as f64 * 0.5;
+            assert!((f.eval(x) - reference(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_weight_anchors_dropped() {
+        let f = ConvexPiecewiseLinear::from_weighted_abs(&[1.0, 9.0], &[1.0, 0.0], 0.0).unwrap();
+        assert_eq!(f.breakpoints(), &[1.0]);
+        assert_eq!(f.min(), (1.0, 0.0));
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(ConvexPiecewiseLinear::from_weighted_abs(&[], &[], 0.0).is_none());
+        assert!(ConvexPiecewiseLinear::from_weighted_abs(&[1.0], &[1.0, 2.0], 0.0).is_none());
+        assert!(ConvexPiecewiseLinear::from_weighted_abs(&[1.0], &[-1.0], 0.0).is_none());
+        assert!(ConvexPiecewiseLinear::from_weighted_abs(&[1.0], &[0.0], 0.0).is_none());
+        assert!(ConvexPiecewiseLinear::from_weighted_abs(&[f64::NAN], &[1.0], 0.0).is_none());
+        assert!(ConvexPiecewiseLinear::from_weighted_abs(&[1.0], &[1.0], f64::NAN).is_none());
+    }
+
+    #[test]
+    fn single_anchor() {
+        let f = ConvexPiecewiseLinear::from_weighted_abs(&[5.0], &[2.0], 0.0).unwrap();
+        assert_eq!(f.min(), (5.0, 0.0));
+        assert_eq!(f.eval(7.0), 4.0);
+        assert_eq!(f.eval(3.0), 4.0);
+        let (lo, hi) = f.level_set(2.0).unwrap();
+        assert!((lo - 4.0).abs() < 1e-12);
+        assert!((hi - 6.0).abs() < 1e-12);
+    }
+}

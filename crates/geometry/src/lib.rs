@@ -1,0 +1,32 @@
+//! # ukc-geometry — computational-geometry substrate
+//!
+//! Geometric primitives needed by the uncertain k-center reproduction:
+//!
+//! * [`meb`] — minimum enclosing balls: exact Welzl in any dimension plus the
+//!   Bădoiu–Clarkson (1+ε) core-set iteration. The deterministic 1-center of
+//!   certain points is an MEB, and MEB radii appear as lower bounds in the
+//!   k-center experiments.
+//! * [`median`] — weighted geometric medians (Fermat–Weber points) via
+//!   Weiszfeld's algorithm, plus the exact weighted median on a line. The
+//!   paper's metric-space representative `P̃` (the 1-center of a single
+//!   uncertain point) is exactly a Fermat–Weber point of the weighted
+//!   location set.
+//! * [`convex_pl`] — one-dimensional convex piecewise-linear functions
+//!   (`Σ wᵢ·|x − aᵢ|` and friends): evaluation, minimization and level sets.
+//!   These drive the exact 1-D solver of Table 1 row 8.
+//! * [`pattern_search`] — a derivative-free compass-search minimizer used to
+//!   compute *reference optima* of the (non-smooth, but convex) expected
+//!   cost objectives in the experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convex_pl;
+pub mod meb;
+pub mod median;
+pub mod pattern_search;
+
+pub use convex_pl::ConvexPiecewiseLinear;
+pub use meb::{min_enclosing_ball, min_enclosing_ball_approx, Ball};
+pub use median::{geometric_median, weighted_median_1d, WeiszfeldOptions};
+pub use pattern_search::{pattern_search, PatternSearchOptions};

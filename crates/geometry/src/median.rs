@@ -1,0 +1,287 @@
+//! Weighted geometric medians (Fermat–Weber points).
+//!
+//! For an uncertain point `P` with locations `a₁..a_z` and probabilities
+//! `w₁..w_z`, the paper's metric representative `P̃` — the 1-center of the
+//! *single* uncertain point — minimizes the expected distance
+//! `f(x) = Σ wᵢ‖x − aᵢ‖`, i.e. it is the weighted geometric median.
+//! [`geometric_median`] computes it in Euclidean space with Weiszfeld's
+//! algorithm (with the standard singularity fix when an iterate lands on an
+//! input point); [`weighted_median_1d`] is the exact 1-D special case.
+
+use ukc_metric::Point;
+
+/// Options controlling the Weiszfeld iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct WeiszfeldOptions {
+    /// Stop when successive iterates move less than this distance.
+    pub tolerance: f64,
+    /// Hard cap on iterations.
+    pub max_iters: usize,
+}
+
+impl Default for WeiszfeldOptions {
+    fn default() -> Self {
+        Self {
+            tolerance: 1e-10,
+            max_iters: 10_000,
+        }
+    }
+}
+
+/// The weighted Fermat–Weber objective `Σ wᵢ‖x − aᵢ‖`.
+pub fn fermat_weber_cost(x: &Point, points: &[Point], weights: &[f64]) -> f64 {
+    points
+        .iter()
+        .zip(weights.iter())
+        .map(|(p, &w)| w * x.dist(p))
+        .sum()
+}
+
+/// Weighted geometric median by Weiszfeld's algorithm.
+///
+/// Returns `None` when the input is empty, lengths mismatch, a weight is
+/// negative, or the total weight is zero. With a single distinct location
+/// (or all weight on one location) the answer is that location.
+///
+/// The iteration is the classical fixed point
+/// `x ← (Σ wᵢ aᵢ/‖x−aᵢ‖) / (Σ wᵢ/‖x−aᵢ‖)`; when an iterate coincides with
+/// an input point `aⱼ`, Vardi–Zhang's optimality test is applied: `aⱼ` is
+/// optimal iff the residual gradient norm of the other points is at most
+/// `wⱼ`, otherwise the iterate steps along the residual direction.
+pub fn geometric_median(
+    points: &[Point],
+    weights: &[f64],
+    opts: WeiszfeldOptions,
+) -> Option<Point> {
+    if points.is_empty() || points.len() != weights.len() {
+        return None;
+    }
+    if weights.iter().any(|&w| w.is_nan() || w < 0.0) {
+        return None;
+    }
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        return None;
+    }
+    // Start at the weighted centroid: inside the convex hull and cheap.
+    let mut x = Point::weighted_centroid(points, weights)?;
+    // Scale used to decide "coincides with an input point".
+    let spread = points
+        .iter()
+        .map(|p| x.dist(p))
+        .fold(0.0, f64::max)
+        .max(1e-300);
+    let coincide_tol = 1e-12 * spread.max(1.0);
+
+    for _ in 0..opts.max_iters {
+        let mut num = Point::origin(x.dim());
+        let mut den = 0.0;
+        // Residual gradient of the non-coincident points, and the weight of a
+        // coincident point if any (for the Vardi–Zhang step).
+        let mut grad = Point::origin(x.dim());
+        let mut coincident_weight = 0.0;
+        for (p, &w) in points.iter().zip(weights.iter()) {
+            if w == 0.0 {
+                continue;
+            }
+            let d = x.dist(p);
+            if d <= coincide_tol {
+                coincident_weight += w;
+                continue;
+            }
+            let inv = w / d;
+            num.add_scaled_in_place(inv, p);
+            den += inv;
+            grad.add_scaled_in_place(inv, &(p - &x));
+        }
+        if den == 0.0 {
+            // All weight sits on the current point: optimal.
+            return Some(x);
+        }
+        let next = if coincident_weight > 0.0 {
+            let r = grad.norm();
+            if r <= coincident_weight {
+                // Vardi–Zhang optimality condition at the coincident point.
+                return Some(x);
+            }
+            // Step away from the singular point along the residual.
+            let t = (1.0 - coincident_weight / r).max(0.0);
+            x.add_scaled(t / den, &grad)
+        } else {
+            num.scale(1.0 / den)
+        };
+        let moved = x.dist(&next);
+        x = next;
+        if moved <= opts.tolerance {
+            break;
+        }
+    }
+    Some(x)
+}
+
+/// Exact weighted median on the real line: a minimizer of `Σ wᵢ·|x − aᵢ|`.
+///
+/// Returns the *lowest* minimizer (the left endpoint of the minimizing
+/// interval when the total weight splits exactly in half). Returns `None`
+/// under the same input conditions as [`geometric_median`].
+pub fn weighted_median_1d(values: &[f64], weights: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.len() != weights.len() {
+        return None;
+    }
+    if weights.iter().any(|&w| w.is_nan() || w < 0.0) {
+        return None;
+    }
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut acc = 0.0;
+    for &i in &order {
+        acc += weights[i];
+        if acc >= total / 2.0 {
+            return Some(values[i]);
+        }
+    }
+    Some(values[*order.last().expect("non-empty")])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_single_point() {
+        let pts = vec![Point::new(vec![3.0, 4.0])];
+        let m = geometric_median(&pts, &[1.0], WeiszfeldOptions::default()).unwrap();
+        assert!(m.dist(&pts[0]) < 1e-9);
+    }
+
+    #[test]
+    fn median_of_two_points_is_between() {
+        // Any point on the segment minimizes; Weiszfeld starting from the
+        // centroid stays on it.
+        let pts = vec![Point::new(vec![0.0, 0.0]), Point::new(vec![2.0, 0.0])];
+        let m = geometric_median(&pts, &[1.0, 1.0], WeiszfeldOptions::default()).unwrap();
+        let cost = fermat_weber_cost(&m, &pts, &[1.0, 1.0]);
+        assert!((cost - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavy_weight_dominates() {
+        // With w_j > half the total weight, the median is exactly a_j.
+        let pts = vec![
+            Point::new(vec![0.0, 0.0]),
+            Point::new(vec![10.0, 0.0]),
+            Point::new(vec![0.0, 10.0]),
+        ];
+        let w = [0.7, 0.2, 0.1];
+        let m = geometric_median(&pts, &w, WeiszfeldOptions::default()).unwrap();
+        assert!(m.dist(&pts[0]) < 1e-6, "median {m:?} should be at the heavy point");
+    }
+
+    #[test]
+    fn equilateral_median_is_centroid() {
+        let h = 3f64.sqrt() / 2.0;
+        let pts = vec![
+            Point::new(vec![0.0, 0.0]),
+            Point::new(vec![1.0, 0.0]),
+            Point::new(vec![0.5, h]),
+        ];
+        let w = [1.0, 1.0, 1.0];
+        let m = geometric_median(&pts, &w, WeiszfeldOptions::default()).unwrap();
+        let centroid = Point::weighted_centroid(&pts, &w).unwrap();
+        assert!(m.dist(&centroid) < 1e-7);
+    }
+
+    #[test]
+    fn median_cost_no_worse_than_grid() {
+        // Compare against a brute-force grid search on a wide triangle.
+        let pts = vec![
+            Point::new(vec![0.0, 0.0]),
+            Point::new(vec![4.0, 0.0]),
+            Point::new(vec![1.0, 3.0]),
+        ];
+        let w = [1.0, 2.0, 1.5];
+        let m = geometric_median(&pts, &w, WeiszfeldOptions::default()).unwrap();
+        let mc = fermat_weber_cost(&m, &pts, &w);
+        let mut best = f64::INFINITY;
+        for i in 0..=80 {
+            for j in 0..=80 {
+                let g = Point::new(vec![i as f64 * 0.05, j as f64 * 0.05]);
+                best = best.min(fermat_weber_cost(&g, &pts, &w));
+            }
+        }
+        assert!(mc <= best + 1e-4, "weiszfeld {mc} vs grid {best}");
+    }
+
+    #[test]
+    fn zero_weights_are_ignored() {
+        let pts = vec![Point::new(vec![0.0]), Point::new(vec![100.0])];
+        let m = geometric_median(&pts, &[1.0, 0.0], WeiszfeldOptions::default()).unwrap();
+        assert!(m.dist(&pts[0]) < 1e-9);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let pts = vec![Point::new(vec![0.0])];
+        assert!(geometric_median(&[], &[], WeiszfeldOptions::default()).is_none());
+        assert!(geometric_median(&pts, &[1.0, 2.0], WeiszfeldOptions::default()).is_none());
+        assert!(geometric_median(&pts, &[-1.0], WeiszfeldOptions::default()).is_none());
+        assert!(geometric_median(&pts, &[0.0], WeiszfeldOptions::default()).is_none());
+    }
+
+    #[test]
+    fn weighted_median_1d_basic() {
+        assert_eq!(weighted_median_1d(&[1.0, 2.0, 3.0], &[1.0, 1.0, 1.0]), Some(2.0));
+        assert_eq!(weighted_median_1d(&[1.0, 2.0, 3.0], &[5.0, 1.0, 1.0]), Some(1.0));
+        assert_eq!(weighted_median_1d(&[3.0, 1.0, 2.0], &[1.0, 1.0, 5.0]), Some(2.0));
+    }
+
+    #[test]
+    fn weighted_median_1d_half_split_takes_left() {
+        // Weights split exactly in half at value 1.0.
+        assert_eq!(weighted_median_1d(&[1.0, 2.0], &[1.0, 1.0]), Some(1.0));
+    }
+
+    #[test]
+    fn weighted_median_1d_minimizes_objective() {
+        let vals = [0.0, 1.0, 4.0, 9.0, 10.0];
+        let w = [0.1, 0.3, 0.2, 0.25, 0.15];
+        let med = weighted_median_1d(&vals, &w).unwrap();
+        let cost = |x: f64| -> f64 {
+            vals.iter().zip(w.iter()).map(|(v, ww)| ww * (v - x).abs()).sum()
+        };
+        let c = cost(med);
+        for i in 0..=100 {
+            let x = i as f64 * 0.1;
+            assert!(c <= cost(x) + 1e-12, "median {med} beaten at {x}");
+        }
+    }
+
+    #[test]
+    fn weighted_median_1d_invalid() {
+        assert!(weighted_median_1d(&[], &[]).is_none());
+        assert!(weighted_median_1d(&[1.0], &[1.0, 2.0]).is_none());
+        assert!(weighted_median_1d(&[1.0], &[-1.0]).is_none());
+        assert!(weighted_median_1d(&[1.0], &[0.0]).is_none());
+    }
+
+    #[test]
+    fn weiszfeld_handles_coincident_start() {
+        // Centroid coincides with an input point; the Vardi–Zhang branch
+        // must still move toward the optimum.
+        let pts = vec![
+            Point::new(vec![-1.0, 0.0]),
+            Point::new(vec![1.0, 0.0]),
+            Point::new(vec![0.0, 3.0]),
+            Point::new(vec![0.0, -3.0]),
+            Point::new(vec![0.0, 0.0]), // equals the centroid
+        ];
+        let w = [1.0, 1.0, 1.0, 1.0, 1.0];
+        let m = geometric_median(&pts, &w, WeiszfeldOptions::default()).unwrap();
+        // The configuration is symmetric; optimum is the origin.
+        assert!(m.norm() < 1e-6, "median {m:?} should be origin");
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the geometric primitives.
+
+use proptest::prelude::*;
+use ukc_geometry::median::fermat_weber_cost;
+use ukc_geometry::{
+    geometric_median, min_enclosing_ball, min_enclosing_ball_approx, pattern_search,
+    ConvexPiecewiseLinear, PatternSearchOptions, WeiszfeldOptions,
+};
+use ukc_metric::Point;
+
+fn points(n: std::ops::RangeInclusive<usize>, dim: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(prop::collection::vec(-50.0f64..50.0, dim..=dim), n)
+        .prop_map(|rows| rows.into_iter().map(Point::new).collect())
+}
+
+fn weights(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.05f64..1.0, n..=n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The exact MEB encloses every point and is no larger than the
+    /// (1+ε) approximation.
+    #[test]
+    fn meb_encloses_and_beats_approx(pts in points(1..=20, 3)) {
+        let exact = min_enclosing_ball(&pts).unwrap();
+        for p in &pts {
+            prop_assert!(exact.contains(p, 1e-7 * exact.radius.max(1.0)));
+        }
+        let approx = min_enclosing_ball_approx(&pts, 0.1).unwrap();
+        prop_assert!(exact.radius <= approx.radius + 1e-7);
+        prop_assert!(approx.radius <= 1.1 * exact.radius + 1e-7);
+    }
+
+    /// MEB radius is at least half the diameter and at most the diameter.
+    #[test]
+    fn meb_radius_diameter_sandwich(pts in points(2..=12, 2)) {
+        let exact = min_enclosing_ball(&pts).unwrap();
+        let diameter = {
+            let mut d = 0.0f64;
+            for i in 0..pts.len() {
+                for j in (i + 1)..pts.len() {
+                    d = d.max(pts[i].dist(&pts[j]));
+                }
+            }
+            d
+        };
+        prop_assert!(exact.radius >= diameter / 2.0 - 1e-7);
+        prop_assert!(exact.radius <= diameter + 1e-7);
+    }
+
+    /// MEB is invariant under point duplication.
+    #[test]
+    fn meb_invariant_under_duplication(pts in points(1..=8, 2)) {
+        let a = min_enclosing_ball(&pts).unwrap();
+        let mut doubled = pts.clone();
+        doubled.extend(pts.iter().cloned());
+        let b = min_enclosing_ball(&doubled).unwrap();
+        prop_assert!((a.radius - b.radius).abs() < 1e-7);
+    }
+
+    /// Weiszfeld's output cost is never beaten by any input location or
+    /// the centroid (first-order optimality spot checks).
+    #[test]
+    fn weiszfeld_beats_natural_candidates(pts in points(1..=8, 2), ws in weights(8)) {
+        let w = &ws[..pts.len()];
+        let med = geometric_median(&pts, w, WeiszfeldOptions::default()).unwrap();
+        let mc = fermat_weber_cost(&med, &pts, w);
+        for p in &pts {
+            prop_assert!(mc <= fermat_weber_cost(p, &pts, w) + 1e-6);
+        }
+        let centroid = Point::weighted_centroid(&pts, w).unwrap();
+        prop_assert!(mc <= fermat_weber_cost(&centroid, &pts, w) + 1e-6);
+    }
+
+    /// Convexity of the PL construction: f((x+y)/2) ≤ (f(x)+f(y))/2.
+    #[test]
+    fn convex_pl_is_convex(
+        anchors in prop::collection::vec(-50.0f64..50.0, 1..=6),
+        ws in prop::collection::vec(0.05f64..1.0, 6),
+        x in -60.0f64..60.0,
+        y in -60.0f64..60.0,
+    ) {
+        let w = &ws[..anchors.len()];
+        let f = ConvexPiecewiseLinear::from_weighted_abs(&anchors, w, 0.0).unwrap();
+        let mid = 0.5 * (x + y);
+        prop_assert!(f.eval(mid) <= 0.5 * (f.eval(x) + f.eval(y)) + 1e-9);
+    }
+
+    /// Level sets are monotone in r: r1 ≤ r2 ⟹ levelset(r1) ⊆ levelset(r2).
+    #[test]
+    fn level_sets_nested(
+        anchors in prop::collection::vec(-50.0f64..50.0, 1..=6),
+        ws in prop::collection::vec(0.05f64..1.0, 6),
+        dr1 in 0.01f64..20.0,
+        dr2 in 0.01f64..20.0,
+    ) {
+        let w = &ws[..anchors.len()];
+        let f = ConvexPiecewiseLinear::from_weighted_abs(&anchors, w, 0.0).unwrap();
+        let (_, fmin) = f.min();
+        let (rlo, rhi) = if dr1 <= dr2 { (fmin + dr1, fmin + dr2) } else { (fmin + dr2, fmin + dr1) };
+        let (lo1, hi1) = f.level_set(rlo).unwrap();
+        let (lo2, hi2) = f.level_set(rhi).unwrap();
+        prop_assert!(lo2 <= lo1 + 1e-9);
+        prop_assert!(hi1 <= hi2 + 1e-9);
+    }
+
+    /// Pattern search never returns a worse point than its start.
+    #[test]
+    fn pattern_search_monotone(start in prop::collection::vec(-20.0f64..20.0, 2..=3), tx in -10.0f64..10.0) {
+        let target = Point::new(vec![tx; start.len()]);
+        let s = Point::new(start);
+        let f0 = s.dist_sq(&target);
+        let (_, fx) = pattern_search(
+            |p| p.dist_sq(&target),
+            &s,
+            PatternSearchOptions { max_evals: 10_000, ..Default::default() },
+        );
+        prop_assert!(fx <= f0 + 1e-12);
+    }
+}

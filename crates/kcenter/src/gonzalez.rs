@@ -1,0 +1,211 @@
+//! Gonzalez's greedy farthest-point 2-approximation.
+//!
+//! Repeatedly pick the point farthest from the current center set
+//! (Gonzalez \[13\]; paper Remark 3.1). The result is a 2-approximation of
+//! the optimal k-center cost over *any* metric space, which is what turns
+//! the paper's (1+ε)-parameterized theorems into the concrete factor-6 and
+//! factor-4 table rows.
+
+use crate::kcenter_cost;
+use ukc_metric::Metric;
+
+/// A k-center solution over an explicit point slice.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KCenterSolution<P> {
+    /// The chosen centers (owned copies of input points or synthesized
+    /// locations, depending on the solver).
+    pub centers: Vec<P>,
+    /// Indices of the chosen centers in the solver's candidate pool, when
+    /// the solver picks from a pool (Gonzalez picks input points).
+    pub center_indices: Vec<usize>,
+    /// The k-center cost `max_i d(pᵢ, centers)` of this solution.
+    pub radius: f64,
+}
+
+/// Runs Gonzalez's greedy algorithm, returning the chosen center *indices*
+/// into `points` (the first center is `start`).
+///
+/// O(nk) distance evaluations. Returns all indices when `k >= n`.
+///
+/// # Panics
+/// Panics if `points` is empty, `k == 0`, or `start` is out of range.
+pub fn gonzalez_indices<P, M: Metric<P>>(
+    points: &[P],
+    k: usize,
+    metric: &M,
+    start: usize,
+) -> Vec<usize> {
+    assert!(!points.is_empty(), "gonzalez requires at least one point");
+    assert!(k > 0, "gonzalez requires k >= 1");
+    assert!(start < points.len(), "start index out of range");
+    let n = points.len();
+    let k = k.min(n);
+    let mut centers = Vec::with_capacity(k);
+    centers.push(start);
+    // dist_to_centers[i] = d(points[i], current centers)
+    let mut dist: Vec<f64> = points
+        .iter()
+        .map(|p| metric.dist(p, &points[start]))
+        .collect();
+    while centers.len() < k {
+        // Farthest point from the current centers.
+        let (far, far_d) = dist
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("non-empty");
+        if far_d == 0.0 {
+            // Fewer than k distinct points: every point is already a center.
+            break;
+        }
+        centers.push(far);
+        for (i, d) in dist.iter_mut().enumerate() {
+            let nd = metric.dist(&points[i], &points[far]);
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+    centers
+}
+
+/// Runs Gonzalez's greedy algorithm and materializes the full
+/// [`KCenterSolution`] (centers, their indices, and the resulting radius).
+///
+/// # Panics
+/// Panics if `points` is empty, `k == 0`, or `start` is out of range.
+pub fn gonzalez<P: Clone, M: Metric<P>>(
+    points: &[P],
+    k: usize,
+    metric: &M,
+    start: usize,
+) -> KCenterSolution<P> {
+    let idx = gonzalez_indices(points, k, metric, start);
+    let centers: Vec<P> = idx.iter().map(|&i| points[i].clone()).collect();
+    let radius = kcenter_cost(points, &centers, metric);
+    KCenterSolution {
+        centers,
+        center_indices: idx,
+        radius,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ukc_metric::{Euclidean, FiniteMetric, Manhattan, Point};
+
+    fn line(n: usize) -> Vec<Point> {
+        (0..n).map(|i| Point::scalar(i as f64)).collect()
+    }
+
+    #[test]
+    fn one_center_picks_start() {
+        let pts = line(5);
+        let sol = gonzalez(&pts, 1, &Euclidean, 0);
+        assert_eq!(sol.center_indices, vec![0]);
+        assert_eq!(sol.radius, 4.0);
+    }
+
+    #[test]
+    fn two_centers_on_line() {
+        let pts = line(11); // 0..10
+        let sol = gonzalez(&pts, 2, &Euclidean, 0);
+        // Second center is the farthest point from 0, i.e. 10.
+        assert_eq!(sol.center_indices, vec![0, 10]);
+        assert_eq!(sol.radius, 5.0);
+    }
+
+    #[test]
+    fn k_at_least_n_gives_zero_radius() {
+        let pts = line(4);
+        let sol = gonzalez(&pts, 10, &Euclidean, 2);
+        assert_eq!(sol.centers.len(), 4);
+        assert_eq!(sol.radius, 0.0);
+    }
+
+    #[test]
+    fn duplicate_points_terminate_early() {
+        let pts = vec![Point::scalar(1.0), Point::scalar(1.0), Point::scalar(1.0)];
+        let sol = gonzalez(&pts, 3, &Euclidean, 0);
+        assert_eq!(sol.centers.len(), 1);
+        assert_eq!(sol.radius, 0.0);
+    }
+
+    #[test]
+    fn two_approximation_on_random_clusters() {
+        // Three tight clusters far apart: Gonzalez with k=3 must find one
+        // center per cluster, and its radius is at most 2x the optimum.
+        let mut pts = Vec::new();
+        for (cx, cy) in [(0.0, 0.0), (100.0, 0.0), (50.0, 80.0)] {
+            for i in 0..10 {
+                let t = i as f64 * 0.1;
+                pts.push(Point::new(vec![cx + t, cy - t]));
+            }
+        }
+        let sol = gonzalez(&pts, 3, &Euclidean, 0);
+        // Optimal radius is at most the cluster in-radius (~0.64); Gonzalez
+        // must stay within one cluster diameter.
+        assert!(sol.radius <= 1.3, "radius {}", sol.radius);
+        // Centers in distinct clusters.
+        let cluster_of = |p: &Point| -> usize {
+            [(0.0, 0.0), (100.0, 0.0), (50.0, 80.0)]
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    let da = (p[0] - a.0).powi(2) + (p[1] - a.1).powi(2);
+                    let db = (p[0] - b.0).powi(2) + (p[1] - b.1).powi(2);
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap()
+                .0
+        };
+        let mut seen = [false; 3];
+        for c in &sol.centers {
+            seen[cluster_of(c)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn works_on_finite_metric() {
+        // Cycle metric on 6 ids; k=2 should land on opposite sides.
+        let g = ukc_metric::WeightedGraph::cycle(6, 1.0);
+        let fm: FiniteMetric = g.shortest_path_metric().unwrap();
+        let ids = fm.ids();
+        let sol = gonzalez(&ids, 2, &fm, 0);
+        assert_eq!(sol.center_indices.len(), 2);
+        assert!(sol.radius <= 2.0);
+    }
+
+    #[test]
+    fn works_on_manhattan() {
+        let pts = vec![
+            Point::new(vec![0.0, 0.0]),
+            Point::new(vec![1.0, 1.0]),
+            Point::new(vec![10.0, 10.0]),
+        ];
+        let sol = gonzalez(&pts, 2, &Manhattan, 0);
+        assert_eq!(sol.center_indices, vec![0, 2]);
+        assert_eq!(sol.radius, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn zero_k_panics() {
+        let pts = line(3);
+        let _ = gonzalez(&pts, 0, &Euclidean, 0);
+    }
+
+    #[test]
+    fn start_choice_changes_centers_not_quality_much() {
+        let pts = line(21);
+        let a = gonzalez(&pts, 3, &Euclidean, 0);
+        let b = gonzalez(&pts, 3, &Euclidean, 10);
+        // Both are 2-approximations of opt (= 10/3 for 3 centers on 0..20).
+        let opt = 20.0 / 6.0;
+        assert!(a.radius <= 2.0 * opt + 1e-9);
+        assert!(b.radius <= 2.0 * opt + 1e-9);
+    }
+}

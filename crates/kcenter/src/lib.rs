@@ -1,0 +1,101 @@
+//! # ukc-kcenter — deterministic k-center solvers
+//!
+//! The paper's uncertain k-center algorithms reduce to *certain* k-center on
+//! representative points: "let `c₁..c_k` be a (1+ε)-approximation solution
+//! for the k-center problem for `P̄₁..P̄_n`". This crate supplies the
+//! interchangeable certain-point solvers:
+//!
+//! * [`gonzalez`] — the greedy farthest-point 2-approximation of Gonzalez
+//!   \[13\], O(nk); used by the paper's Remark 3.1 to obtain the factor-6 and
+//!   factor-4 rows of Table 1 in O(nz + n log k) total time.
+//! * [`exact`] — exact *discrete* k-center (centers restricted to a candidate
+//!   pool) via binary search over the candidate radii with a
+//!   branch-and-bound set-cover decision procedure; the optimum reference
+//!   for small instances.
+//! * [`local_search`] — single-swap local search refinement over a discrete
+//!   candidate pool; a cheap improvement pass between Gonzalez and exact.
+//! * [`grid`] — a certified (1+ε)-approximation for low-dimensional
+//!   Euclidean inputs: snap candidate centers to a grid of spacing
+//!   `ε·r̂/(2√d)` (where `r̂` is the Gonzalez radius) and solve the discrete
+//!   problem exactly over the grid candidates.
+//! * [`one_d`] — exact 1-D k-center in O(n log n) (binary search over
+//!   candidate radii with a linear sweep), the deterministic special case
+//!   the paper's row 8 builds on.
+//!
+//! All solvers are generic over [`ukc_metric::Metric`] except the grid
+//! solver, which is inherently Euclidean.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cover;
+pub mod exact;
+pub mod gonzalez;
+pub mod grid;
+pub mod local_search;
+pub mod one_d;
+
+pub use exact::{exact_discrete_kcenter, ExactOptions};
+pub use gonzalez::{gonzalez, gonzalez_indices, KCenterSolution};
+pub use grid::{grid_kcenter, GridOptions};
+pub use local_search::local_search_kcenter;
+pub use one_d::one_d_kcenter;
+
+use ukc_metric::Metric;
+
+/// The k-center cost of a center set: `max_i d(pᵢ, C)`.
+///
+/// Returns 0 for an empty point set and `+∞` for an empty center set over a
+/// non-empty point set.
+pub fn kcenter_cost<P, M: Metric<P>>(points: &[P], centers: &[P], metric: &M) -> f64 {
+    points
+        .iter()
+        .map(|p| metric.dist_to_set(p, centers))
+        .fold(0.0, f64::max)
+}
+
+/// Assigns every point to its nearest center, returning center indices.
+///
+/// # Panics
+/// Panics when `centers` is empty and `points` is not.
+pub fn nearest_assignment<P, M: Metric<P>>(points: &[P], centers: &[P], metric: &M) -> Vec<usize> {
+    points
+        .iter()
+        .map(|p| {
+            metric
+                .nearest(p, centers)
+                .expect("nearest_assignment requires at least one center")
+                .0
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ukc_metric::{Euclidean, Point};
+
+    #[test]
+    fn cost_of_empty_inputs() {
+        let m = Euclidean;
+        let pts = vec![Point::scalar(1.0)];
+        assert_eq!(kcenter_cost::<Point, _>(&[], &pts, &m), 0.0);
+        assert_eq!(kcenter_cost(&pts, &[], &m), f64::INFINITY);
+    }
+
+    #[test]
+    fn cost_is_max_min_distance() {
+        let m = Euclidean;
+        let pts = vec![Point::scalar(0.0), Point::scalar(10.0), Point::scalar(4.0)];
+        let centers = vec![Point::scalar(1.0), Point::scalar(9.0)];
+        assert!((kcenter_cost(&pts, &centers, &m) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_assignment_basic() {
+        let m = Euclidean;
+        let pts = vec![Point::scalar(0.0), Point::scalar(10.0), Point::scalar(4.0)];
+        let centers = vec![Point::scalar(1.0), Point::scalar(9.0)];
+        assert_eq!(nearest_assignment(&pts, &centers, &m), vec![0, 1, 0]);
+    }
+}

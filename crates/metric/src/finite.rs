@@ -1,0 +1,208 @@
+//! Explicit finite metric spaces given by a distance matrix.
+
+use crate::validate::{check_metric_axioms, MetricViolation};
+use crate::Metric;
+use std::fmt;
+
+/// Errors produced while constructing a [`FiniteMetric`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum FiniteMetricError {
+    /// The matrix is empty or not square.
+    BadShape {
+        /// Number of rows supplied.
+        rows: usize,
+        /// Length of the offending row (or expected length).
+        cols: usize,
+    },
+    /// The matrix violates a metric axiom.
+    NotAMetric(MetricViolation),
+}
+
+impl fmt::Display for FiniteMetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FiniteMetricError::BadShape { rows, cols } => {
+                write!(f, "distance matrix must be square and non-empty, got {rows}x{cols}")
+            }
+            FiniteMetricError::NotAMetric(v) => write!(f, "matrix is not a metric: {v:?}"),
+        }
+    }
+}
+
+impl std::error::Error for FiniteMetricError {}
+
+/// A finite metric space over point ids `0..n`, stored as a flat row-major
+/// `n × n` distance matrix.
+///
+/// This is the "general metric space" of the paper's Table 1 row 9 and
+/// Theorems 2.6/2.7: points are opaque ids and the only available operation
+/// is a distance lookup. Construct one with [`FiniteMetric::from_matrix`]
+/// (which validates the metric axioms) or derive one from a
+/// [`WeightedGraph`](crate::WeightedGraph) shortest-path closure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FiniteMetric {
+    n: usize,
+    d: Box<[f64]>,
+}
+
+impl FiniteMetric {
+    /// Builds a finite metric from a full square matrix, checking the metric
+    /// axioms with absolute tolerance `tol`.
+    pub fn from_matrix(matrix: Vec<Vec<f64>>, tol: f64) -> Result<Self, FiniteMetricError> {
+        let n = matrix.len();
+        if n == 0 {
+            return Err(FiniteMetricError::BadShape { rows: 0, cols: 0 });
+        }
+        for row in &matrix {
+            if row.len() != n {
+                return Err(FiniteMetricError::BadShape { rows: n, cols: row.len() });
+            }
+        }
+        let mut d = Vec::with_capacity(n * n);
+        for row in &matrix {
+            d.extend_from_slice(row);
+        }
+        let fm = Self { n, d: d.into_boxed_slice() };
+        let ids: Vec<usize> = (0..n).collect();
+        check_metric_axioms(&fm, &ids, tol).map_err(FiniteMetricError::NotAMetric)?;
+        Ok(fm)
+    }
+
+    /// Builds a finite metric without validating the axioms.
+    ///
+    /// Intended for matrices that are metrics by construction (e.g. the
+    /// shortest-path closure of a connected graph, or pairwise distances of
+    /// embedded points). The caller is responsible for the axioms; a
+    /// non-metric matrix voids every approximation guarantee downstream.
+    ///
+    /// # Panics
+    /// Panics if the matrix is empty or not square.
+    pub fn from_matrix_unchecked(matrix: Vec<Vec<f64>>) -> Self {
+        let n = matrix.len();
+        assert!(n > 0, "empty distance matrix");
+        let mut d = Vec::with_capacity(n * n);
+        for row in &matrix {
+            assert_eq!(row.len(), n, "distance matrix must be square");
+            d.extend_from_slice(row);
+        }
+        Self { n, d: d.into_boxed_slice() }
+    }
+
+    /// Builds the finite metric induced by embedding `points` into the metric
+    /// `m` (the pairwise-distance matrix). Always a metric when `m` is.
+    pub fn from_points<P, M: Metric<P>>(points: &[P], m: &M) -> Self {
+        let n = points.len();
+        assert!(n > 0, "empty point set");
+        let mut d = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dij = m.dist(&points[i], &points[j]);
+                d[i * n + j] = dij;
+                d[j * n + i] = dij;
+            }
+        }
+        Self { n, d: d.into_boxed_slice() }
+    }
+
+    /// Number of points in the space.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the space has no points (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// All point ids, `0..n`; the natural candidate pool for discrete
+    /// k-center on this space.
+    pub fn ids(&self) -> Vec<usize> {
+        (0..self.n).collect()
+    }
+
+    /// The largest pairwise distance (the diameter of the space).
+    pub fn diameter(&self) -> f64 {
+        self.d.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+impl Metric<usize> for FiniteMetric {
+    #[inline]
+    fn dist(&self, a: &usize, b: &usize) -> f64 {
+        assert!(*a < self.n && *b < self.n, "point id out of range");
+        self.d[a * self.n + b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Euclidean, Point};
+
+    fn path_metric() -> Vec<Vec<f64>> {
+        // Path 0 - 1 - 2 with unit edges.
+        vec![
+            vec![0.0, 1.0, 2.0],
+            vec![1.0, 0.0, 1.0],
+            vec![2.0, 1.0, 0.0],
+        ]
+    }
+
+    #[test]
+    fn from_matrix_accepts_valid_metric() {
+        let fm = FiniteMetric::from_matrix(path_metric(), 1e-9).unwrap();
+        assert_eq!(fm.len(), 3);
+        assert_eq!(fm.dist(&0, &2), 2.0);
+        assert_eq!(fm.diameter(), 2.0);
+        assert_eq!(fm.ids(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn from_matrix_rejects_triangle_violation() {
+        let mut m = path_metric();
+        m[0][2] = 5.0;
+        m[2][0] = 5.0;
+        let err = FiniteMetric::from_matrix(m, 1e-9).unwrap_err();
+        assert!(matches!(err, FiniteMetricError::NotAMetric(_)));
+    }
+
+    #[test]
+    fn from_matrix_rejects_asymmetry() {
+        let mut m = path_metric();
+        m[0][1] = 1.5;
+        let err = FiniteMetric::from_matrix(m, 1e-9).unwrap_err();
+        assert!(matches!(err, FiniteMetricError::NotAMetric(_)));
+    }
+
+    #[test]
+    fn from_matrix_rejects_ragged() {
+        let m = vec![vec![0.0, 1.0], vec![1.0]];
+        let err = FiniteMetric::from_matrix(m, 1e-9).unwrap_err();
+        assert!(matches!(err, FiniteMetricError::BadShape { .. }));
+    }
+
+    #[test]
+    fn from_points_matches_source_metric() {
+        let pts = vec![
+            Point::new(vec![0.0, 0.0]),
+            Point::new(vec![3.0, 4.0]),
+            Point::new(vec![6.0, 8.0]),
+        ];
+        let fm = FiniteMetric::from_points(&pts, &Euclidean);
+        assert!((fm.dist(&0, &1) - 5.0).abs() < 1e-12);
+        assert!((fm.dist(&1, &2) - 5.0).abs() < 1e-12);
+        assert!((fm.dist(&0, &2) - 10.0).abs() < 1e-12);
+        // And it passes the axiom checker.
+        let ids = fm.ids();
+        crate::validate::check_metric_axioms(&fm, &ids, 1e-9).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_id_panics() {
+        let fm = FiniteMetric::from_matrix(path_metric(), 1e-9).unwrap();
+        let _ = fm.dist(&0, &7);
+    }
+}

@@ -1,0 +1,272 @@
+//! Weighted undirected graphs and their shortest-path metrics.
+//!
+//! Shortest-path closures of connected weighted graphs are the canonical
+//! source of "genuinely non-Euclidean" metric spaces for the paper's
+//! general-metric experiments (Table 1 row 9).
+
+use crate::FiniteMetric;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Errors produced while building or closing a [`WeightedGraph`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphError {
+    /// An edge references a vertex id `>= n`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: usize,
+        /// Number of vertices in the graph.
+        n: usize,
+    },
+    /// An edge weight is negative, NaN or infinite.
+    BadWeight {
+        /// The offending weight.
+        weight: f64,
+    },
+    /// The graph is disconnected, so the shortest-path metric is not finite.
+    Disconnected {
+        /// A vertex unreachable from vertex 0.
+        unreachable: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+            }
+            GraphError::BadWeight { weight } => write!(f, "bad edge weight {weight}"),
+            GraphError::Disconnected { unreachable } => {
+                write!(f, "graph is disconnected: vertex {unreachable} unreachable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An undirected graph with non-negative edge weights, stored as adjacency
+/// lists.
+#[derive(Clone, Debug)]
+pub struct WeightedGraph {
+    adj: Vec<Vec<(usize, f64)>>,
+}
+
+/// Max-heap entry ordered by *smallest* distance first (reversed ordering).
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    vertex: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so that BinaryHeap pops the smallest distance.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+impl WeightedGraph {
+    /// Creates a graph with `n` isolated vertices.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "graph must have at least one vertex");
+        Self { adj: vec![Vec::new(); n] }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// `true` when the graph has no vertices (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Adds the undirected edge `{u, v}` with weight `w`.
+    pub fn add_edge(&mut self, u: usize, v: usize, w: f64) -> Result<(), GraphError> {
+        let n = self.len();
+        for &x in &[u, v] {
+            if x >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: x, n });
+            }
+        }
+        if !w.is_finite() || w < 0.0 {
+            return Err(GraphError::BadWeight { weight: w });
+        }
+        self.adj[u].push((v, w));
+        if u != v {
+            self.adj[v].push((u, w));
+        }
+        Ok(())
+    }
+
+    /// Single-source shortest paths by Dijkstra's algorithm,
+    /// O((V + E) log V). Unreachable vertices get `f64::INFINITY`.
+    pub fn dijkstra(&self, source: usize) -> Vec<f64> {
+        let n = self.len();
+        assert!(source < n, "source out of range");
+        let mut dist = vec![f64::INFINITY; n];
+        dist[source] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry { dist: 0.0, vertex: source });
+        while let Some(HeapEntry { dist: d, vertex: u }) = heap.pop() {
+            if d > dist[u] {
+                continue; // stale entry
+            }
+            for &(v, w) in &self.adj[u] {
+                let nd = d + w;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    heap.push(HeapEntry { dist: nd, vertex: v });
+                }
+            }
+        }
+        dist
+    }
+
+    /// The all-pairs shortest-path closure as a [`FiniteMetric`].
+    ///
+    /// Runs Dijkstra from every vertex, O(V (V + E) log V). Fails when the
+    /// graph is disconnected (the metric would be infinite).
+    pub fn shortest_path_metric(&self) -> Result<FiniteMetric, GraphError> {
+        let n = self.len();
+        let mut rows = Vec::with_capacity(n);
+        for s in 0..n {
+            let d = self.dijkstra(s);
+            if let Some(u) = d.iter().position(|x| !x.is_finite()) {
+                return Err(GraphError::Disconnected { unreachable: u });
+            }
+            rows.push(d);
+        }
+        // Shortest-path distances of an undirected non-negative graph are a
+        // metric by construction; skip the O(n^3) re-validation.
+        Ok(FiniteMetric::from_matrix_unchecked(rows))
+    }
+
+    /// Builds a cycle graph `C_n` with the given uniform edge weight;
+    /// a standard non-tree, non-Euclidean metric for tests and experiments.
+    pub fn cycle(n: usize, weight: f64) -> Self {
+        assert!(n >= 3, "cycle needs at least 3 vertices");
+        let mut g = Self::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n, weight).expect("valid cycle edge");
+        }
+        g
+    }
+
+    /// Builds an `r × c` grid graph with the given uniform edge weight.
+    pub fn grid(r: usize, c: usize, weight: f64) -> Self {
+        assert!(r > 0 && c > 0, "grid must be non-empty");
+        let mut g = Self::new(r * c);
+        for i in 0..r {
+            for j in 0..c {
+                let v = i * c + j;
+                if j + 1 < c {
+                    g.add_edge(v, v + 1, weight).expect("valid grid edge");
+                }
+                if i + 1 < r {
+                    g.add_edge(v, v + c, weight).expect("valid grid edge");
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::check_metric_axioms;
+    use crate::Metric;
+
+    #[test]
+    fn dijkstra_on_path() {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 2, 2.0).unwrap();
+        g.add_edge(2, 3, 3.0).unwrap();
+        let d = g.dijkstra(0);
+        assert_eq!(d, vec![0.0, 1.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn dijkstra_prefers_shortcut() {
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(0, 1, 10.0).unwrap();
+        g.add_edge(0, 2, 1.0).unwrap();
+        g.add_edge(2, 1, 1.0).unwrap();
+        let d = g.dijkstra(0);
+        assert_eq!(d[1], 2.0);
+    }
+
+    #[test]
+    fn closure_of_cycle_is_a_metric() {
+        let g = WeightedGraph::cycle(7, 1.5);
+        let fm = g.shortest_path_metric().unwrap();
+        assert_eq!(fm.len(), 7);
+        // Antipodal distance on C7 is 3 hops.
+        assert!((fm.dist(&0, &3) - 4.5).abs() < 1e-12);
+        assert!((fm.dist(&0, &4) - 4.5).abs() < 1e-12);
+        let ids = fm.ids();
+        check_metric_axioms(&fm, &ids, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn closure_of_grid_is_a_metric() {
+        let g = WeightedGraph::grid(3, 4, 2.0);
+        let fm = g.shortest_path_metric().unwrap();
+        assert_eq!(fm.len(), 12);
+        // Manhattan-like distance on the grid.
+        assert!((fm.dist(&0, &11) - 2.0 * 5.0).abs() < 1e-12);
+        let ids = fm.ids();
+        check_metric_axioms(&fm, &ids, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn disconnected_graph_fails_closure() {
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(0, 1, 1.0).unwrap();
+        let err = g.shortest_path_metric().unwrap_err();
+        assert!(matches!(err, GraphError::Disconnected { unreachable: 2 }));
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        let mut g = WeightedGraph::new(2);
+        assert!(matches!(
+            g.add_edge(0, 5, 1.0),
+            Err(GraphError::VertexOutOfRange { vertex: 5, .. })
+        ));
+        assert!(matches!(g.add_edge(0, 1, -1.0), Err(GraphError::BadWeight { .. })));
+        assert!(matches!(
+            g.add_edge(0, 1, f64::NAN),
+            Err(GraphError::BadWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_edges_take_minimum() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(0, 1, 5.0).unwrap();
+        g.add_edge(0, 1, 2.0).unwrap();
+        assert_eq!(g.dijkstra(0)[1], 2.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! # ukc-metric — metric-space substrate
+//!
+//! The uncertain k-center algorithms of Alipour & Jafari (PODS 2018) are
+//! parameterized over an arbitrary metric space `(X, d)`. This crate provides
+//! the metric abstraction and a family of concrete spaces used throughout the
+//! reproduction:
+//!
+//! * [`Point`] — a dynamically-dimensioned Euclidean vector, the point type
+//!   for all `ℝ^d` experiments.
+//! * [`Euclidean`], [`Manhattan`], [`Chebyshev`], [`Minkowski`] — `L_p`
+//!   metrics over [`Point`].
+//! * [`FiniteMetric`] — an explicit `n × n` distance matrix over point ids,
+//!   the "any metric space" of the paper's Table 1 row 9.
+//! * [`WeightedGraph`] — a weighted undirected graph whose shortest-path
+//!   closure yields a [`FiniteMetric`]; a convenient generator of
+//!   non-Euclidean metrics.
+//! * [`TreeMetric`] — the shortest-path metric of a weighted tree with
+//!   O(log n) distance queries via binary-lifting LCA.
+//! * [`validate`] — symmetry / identity / triangle-inequality checkers used
+//!   by tests and by the [`FiniteMetric`] builder.
+//!
+//! The central trait is [`Metric`]:
+//!
+//! ```
+//! use ukc_metric::{Metric, Euclidean, Point};
+//! let m = Euclidean;
+//! let a = Point::new(vec![0.0, 0.0]);
+//! let b = Point::new(vec![3.0, 4.0]);
+//! assert_eq!(m.dist(&a, &b), 5.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod finite;
+mod graph;
+mod lp;
+mod point;
+mod tree;
+pub mod validate;
+
+pub use finite::{FiniteMetric, FiniteMetricError};
+pub use graph::{GraphError, WeightedGraph};
+pub use lp::{Chebyshev, Euclidean, Manhattan, Minkowski};
+pub use point::Point;
+pub use tree::{TreeError, TreeMetric};
+
+/// A metric over points of type `P`.
+///
+/// Implementations must satisfy, up to floating-point rounding, the metric
+/// axioms: non-negativity, `d(a, a) = 0`, symmetry and the triangle
+/// inequality. The [`validate`] module provides checkers that tests use to
+/// enforce these axioms on every space shipped by this crate.
+pub trait Metric<P: ?Sized> {
+    /// The distance between `a` and `b`.
+    fn dist(&self, a: &P, b: &P) -> f64;
+
+    /// Distance from `a` to the nearest of `centers`, together with the index
+    /// of that nearest center.
+    ///
+    /// Returns `None` when `centers` is empty.
+    fn nearest(&self, a: &P, centers: &[P]) -> Option<(usize, f64)>
+    where
+        P: Sized,
+    {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, c) in centers.iter().enumerate() {
+            let d = self.dist(a, c);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        best
+    }
+
+    /// Distance from `a` to the nearest of `centers` (the k-center point-to-
+    /// set distance `d(a, C)`), or `+∞` for an empty center set.
+    fn dist_to_set(&self, a: &P, centers: &[P]) -> f64
+    where
+        P: Sized,
+    {
+        self.nearest(a, centers)
+            .map_or(f64::INFINITY, |(_, d)| d)
+    }
+}
+
+impl<P: ?Sized, M: Metric<P> + ?Sized> Metric<P> for &M {
+    fn dist(&self, a: &P, b: &P) -> f64 {
+        (**self).dist(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_picks_closest_center() {
+        let m = Euclidean;
+        let p = Point::new(vec![0.0]);
+        let centers = vec![
+            Point::new(vec![5.0]),
+            Point::new(vec![-1.0]),
+            Point::new(vec![2.0]),
+        ];
+        let (idx, d) = m.nearest(&p, &centers).unwrap();
+        assert_eq!(idx, 1);
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_empty_is_none() {
+        let m = Euclidean;
+        let p = Point::new(vec![0.0]);
+        assert!(m.nearest(&p, &[]).is_none());
+        assert_eq!(m.dist_to_set(&p, &[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn metric_by_reference_works() {
+        fn takes_metric<M: Metric<Point>>(m: M, a: &Point, b: &Point) -> f64 {
+            m.dist(a, b)
+        }
+        let a = Point::new(vec![0.0, 0.0]);
+        let b = Point::new(vec![1.0, 0.0]);
+        assert_eq!(takes_metric(Euclidean, &a, &b), 1.0);
+    }
+
+    #[test]
+    fn nearest_ties_prefer_first() {
+        let m = Euclidean;
+        let p = Point::new(vec![0.0]);
+        let centers = vec![Point::new(vec![1.0]), Point::new(vec![-1.0])];
+        let (idx, _) = m.nearest(&p, &centers).unwrap();
+        assert_eq!(idx, 0);
+    }
+}

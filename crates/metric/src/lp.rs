@@ -1,0 +1,141 @@
+//! `L_p` metrics over [`Point`].
+
+use crate::{Metric, Point};
+
+/// The Euclidean (`L₂`) metric on `ℝ^d`.
+///
+/// This is the metric of the paper's Euclidean theorems (2.1, 2.2, 2.4,
+/// 2.5); the expected-point construction `P̄` relies on the convexity of this
+/// norm (paper Lemma 3.1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Euclidean;
+
+impl Metric<Point> for Euclidean {
+    #[inline]
+    fn dist(&self, a: &Point, b: &Point) -> f64 {
+        a.dist(b)
+    }
+}
+
+/// The Manhattan (`L₁`) metric on `ℝ^d`.
+///
+/// `L₁` is a norm, so Lemma 3.1 (and hence the expected-point machinery)
+/// also holds for it; we use it in tests as a second normed space.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Manhattan;
+
+impl Metric<Point> for Manhattan {
+    fn dist(&self, a: &Point, b: &Point) -> f64 {
+        assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+        a.coords()
+            .iter()
+            .zip(b.coords().iter())
+            .map(|(x, y)| (x - y).abs())
+            .sum()
+    }
+}
+
+/// The Chebyshev (`L∞`) metric on `ℝ^d`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Chebyshev;
+
+impl Metric<Point> for Chebyshev {
+    fn dist(&self, a: &Point, b: &Point) -> f64 {
+        assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+        a.coords()
+            .iter()
+            .zip(b.coords().iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The Minkowski (`L_p`) metric on `ℝ^d` for `p ≥ 1`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Minkowski {
+    p: f64,
+}
+
+impl Minkowski {
+    /// Creates the `L_p` metric.
+    ///
+    /// # Panics
+    /// Panics if `p < 1` (the triangle inequality fails for `p < 1`).
+    pub fn new(p: f64) -> Self {
+        assert!(p >= 1.0, "Minkowski metric requires p >= 1, got {p}");
+        Self { p }
+    }
+
+    /// The exponent `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Metric<Point> for Minkowski {
+    fn dist(&self, a: &Point, b: &Point) -> f64 {
+        assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+        a.coords()
+            .iter()
+            .zip(b.coords().iter())
+            .map(|(x, y)| (x - y).abs().powf(self.p))
+            .sum::<f64>()
+            .powf(1.0 / self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts() -> (Point, Point) {
+        (Point::new(vec![1.0, 2.0]), Point::new(vec![4.0, -2.0]))
+    }
+
+    #[test]
+    fn euclidean() {
+        let (a, b) = pts();
+        assert!((Euclidean.dist(&a, &b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan() {
+        let (a, b) = pts();
+        assert!((Manhattan.dist(&a, &b) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chebyshev() {
+        let (a, b) = pts();
+        assert!((Chebyshev.dist(&a, &b) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minkowski_interpolates() {
+        let (a, b) = pts();
+        let l1 = Minkowski::new(1.0).dist(&a, &b);
+        let l2 = Minkowski::new(2.0).dist(&a, &b);
+        assert!((l1 - Manhattan.dist(&a, &b)).abs() < 1e-12);
+        assert!((l2 - Euclidean.dist(&a, &b)).abs() < 1e-12);
+        // L_p distance is non-increasing in p.
+        let l3 = Minkowski::new(3.0).dist(&a, &b);
+        assert!(l3 <= l2 && l2 <= l1);
+        // And lower-bounded by L∞.
+        assert!(l3 >= Chebyshev.dist(&a, &b) - 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "p >= 1")]
+    fn minkowski_rejects_p_below_one() {
+        let _ = Minkowski::new(0.5);
+    }
+
+    #[test]
+    fn identity_of_indiscernibles() {
+        let (a, _) = pts();
+        assert_eq!(Euclidean.dist(&a, &a), 0.0);
+        assert_eq!(Manhattan.dist(&a, &a), 0.0);
+        assert_eq!(Chebyshev.dist(&a, &a), 0.0);
+        assert_eq!(Minkowski::new(2.5).dist(&a, &a), 0.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Weighted tree metrics with O(log n) distance queries.
+//!
+//! Tree metrics appear throughout the deterministic k-center literature the
+//! paper builds on ([5], [12], [23] in its bibliography); we provide them as
+//! a third family of general metric spaces for the row-9 experiments.
+
+use crate::Metric;
+use std::fmt;
+
+/// Errors produced while building a [`TreeMetric`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum TreeError {
+    /// The number of edges is not `n - 1`.
+    WrongEdgeCount {
+        /// Number of vertices.
+        n: usize,
+        /// Number of edges supplied.
+        edges: usize,
+    },
+    /// An edge references a vertex id `>= n`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: usize,
+    },
+    /// An edge weight is negative, NaN or infinite.
+    BadWeight {
+        /// The offending weight.
+        weight: f64,
+    },
+    /// The edge set contains a cycle / leaves the graph disconnected.
+    NotATree,
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::WrongEdgeCount { n, edges } => {
+                write!(f, "a tree on {n} vertices needs {} edges, got {edges}", n - 1)
+            }
+            TreeError::VertexOutOfRange { vertex } => write!(f, "vertex {vertex} out of range"),
+            TreeError::BadWeight { weight } => write!(f, "bad edge weight {weight}"),
+            TreeError::NotATree => write!(f, "edge set is not a tree"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// The shortest-path metric of a weighted tree, answering distance queries
+/// in O(log n) via binary-lifting lowest-common-ancestor.
+///
+/// `dist(u, v) = depth(u) + depth(v) − 2·depth(lca(u, v))` where `depth` is
+/// the weighted root distance.
+#[derive(Clone, Debug)]
+pub struct TreeMetric {
+    /// up[j][v] = 2^j-th ancestor of v (root's ancestor is itself).
+    up: Vec<Vec<usize>>,
+    level: Vec<usize>,
+    depth_w: Vec<f64>,
+}
+
+impl TreeMetric {
+    /// Builds the metric from an edge list `(u, v, w)` on vertices `0..n`.
+    pub fn from_edges(n: usize, edges: &[(usize, usize, f64)]) -> Result<Self, TreeError> {
+        if n == 0 {
+            return Err(TreeError::NotATree);
+        }
+        if edges.len() != n - 1 {
+            return Err(TreeError::WrongEdgeCount { n, edges: edges.len() });
+        }
+        let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for &(u, v, w) in edges {
+            for &x in &[u, v] {
+                if x >= n {
+                    return Err(TreeError::VertexOutOfRange { vertex: x });
+                }
+            }
+            if !w.is_finite() || w < 0.0 {
+                return Err(TreeError::BadWeight { weight: w });
+            }
+            adj[u].push((v, w));
+            adj[v].push((u, w));
+        }
+        // Iterative DFS from root 0, establishing parents / depths.
+        let mut parent = vec![usize::MAX; n];
+        let mut level = vec![0usize; n];
+        let mut depth_w = vec![0.0f64; n];
+        let mut visited = vec![false; n];
+        let mut stack = vec![0usize];
+        visited[0] = true;
+        parent[0] = 0;
+        while let Some(u) = stack.pop() {
+            for &(v, w) in &adj[u] {
+                if !visited[v] {
+                    visited[v] = true;
+                    parent[v] = u;
+                    level[v] = level[u] + 1;
+                    depth_w[v] = depth_w[u] + w;
+                    stack.push(v);
+                }
+            }
+        }
+        if visited.iter().any(|&x| !x) {
+            return Err(TreeError::NotATree);
+        }
+        // Binary lifting table.
+        let log = usize::BITS as usize - n.leading_zeros() as usize;
+        let log = log.max(1);
+        let mut up = vec![parent];
+        for j in 1..log {
+            let prev = &up[j - 1];
+            let mut row = vec![0usize; n];
+            for v in 0..n {
+                row[v] = prev[prev[v]];
+            }
+            up.push(row);
+        }
+        Ok(Self { up, level, depth_w })
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.level.len()
+    }
+
+    /// `true` when the tree has no vertices (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.level.is_empty()
+    }
+
+    /// All vertex ids, `0..n`.
+    pub fn ids(&self) -> Vec<usize> {
+        (0..self.len()).collect()
+    }
+
+    /// Lowest common ancestor of `u` and `v`.
+    pub fn lca(&self, mut u: usize, mut v: usize) -> usize {
+        if self.level[u] < self.level[v] {
+            std::mem::swap(&mut u, &mut v);
+        }
+        let mut diff = self.level[u] - self.level[v];
+        let mut j = 0;
+        while diff > 0 {
+            if diff & 1 == 1 {
+                u = self.up[j][u];
+            }
+            diff >>= 1;
+            j += 1;
+        }
+        if u == v {
+            return u;
+        }
+        for j in (0..self.up.len()).rev() {
+            if self.up[j][u] != self.up[j][v] {
+                u = self.up[j][u];
+                v = self.up[j][v];
+            }
+        }
+        self.up[0][u]
+    }
+}
+
+impl Metric<usize> for TreeMetric {
+    fn dist(&self, a: &usize, b: &usize) -> f64 {
+        assert!(*a < self.len() && *b < self.len(), "vertex id out of range");
+        let l = self.lca(*a, *b);
+        self.depth_w[*a] + self.depth_w[*b] - 2.0 * self.depth_w[l]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::check_metric_axioms;
+
+    /// A small caterpillar tree:
+    ///
+    /// ```text
+    ///      0
+    ///     / \
+    ///    1   2
+    ///   /|    \
+    ///  3 4     5
+    /// ```
+    fn caterpillar() -> TreeMetric {
+        TreeMetric::from_edges(
+            6,
+            &[
+                (0, 1, 1.0),
+                (0, 2, 2.0),
+                (1, 3, 3.0),
+                (1, 4, 4.0),
+                (2, 5, 5.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn distances_match_paths() {
+        let t = caterpillar();
+        assert_eq!(t.dist(&3, &4), 7.0); // 3-1-4
+        assert_eq!(t.dist(&3, &5), 11.0); // 3-1-0-2-5
+        assert_eq!(t.dist(&0, &5), 7.0);
+        assert_eq!(t.dist(&2, &2), 0.0);
+    }
+
+    #[test]
+    fn lca_is_correct() {
+        let t = caterpillar();
+        assert_eq!(t.lca(3, 4), 1);
+        assert_eq!(t.lca(3, 5), 0);
+        assert_eq!(t.lca(1, 3), 1);
+        assert_eq!(t.lca(0, 0), 0);
+    }
+
+    #[test]
+    fn tree_metric_satisfies_axioms() {
+        let t = caterpillar();
+        let ids = t.ids();
+        check_metric_axioms(&t, &ids, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn matches_graph_closure() {
+        use crate::WeightedGraph;
+        let edges = [(0, 1, 1.5), (1, 2, 2.5), (1, 3, 0.5), (3, 4, 4.0)];
+        let t = TreeMetric::from_edges(5, &edges).unwrap();
+        let mut g = WeightedGraph::new(5);
+        for &(u, v, w) in &edges {
+            g.add_edge(u, v, w).unwrap();
+        }
+        let fm = g.shortest_path_metric().unwrap();
+        for i in 0..5usize {
+            for j in 0..5usize {
+                assert!((t.dist(&i, &j) - fm.dist(&i, &j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let err = TreeMetric::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]);
+        assert!(matches!(err, Err(TreeError::WrongEdgeCount { .. })));
+        // Right edge count but with a cycle (vertex 3 disconnected).
+        let err = TreeMetric::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]);
+        assert_eq!(err.unwrap_err(), TreeError::NotATree);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(
+            TreeMetric::from_edges(2, &[(0, 9, 1.0)]),
+            Err(TreeError::VertexOutOfRange { vertex: 9 })
+        ));
+        assert!(matches!(
+            TreeMetric::from_edges(2, &[(0, 1, -1.0)]),
+            Err(TreeError::BadWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn single_vertex_tree() {
+        let t = TreeMetric::from_edges(1, &[]).unwrap();
+        assert_eq!(t.dist(&0, &0), 0.0);
+        assert_eq!(t.len(), 1);
+    }
+}

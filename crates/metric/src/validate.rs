@@ -1,0 +1,184 @@
+//! Metric-axiom validators.
+//!
+//! The approximation proofs in the paper use nothing but the metric axioms,
+//! so every space we feed an experiment must actually satisfy them. These
+//! checkers verify the axioms exhaustively over a finite point sample; tests
+//! and the [`FiniteMetric`](crate::FiniteMetric) builder call them.
+
+use crate::Metric;
+
+/// A violation of one of the metric axioms, reported with enough context to
+/// reproduce it.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricViolation {
+    /// `d(a, b) < 0`.
+    Negative {
+        /// Index of the first point.
+        a: usize,
+        /// Index of the second point.
+        b: usize,
+        /// The offending distance.
+        dist: f64,
+    },
+    /// `d(a, a) != 0`.
+    NonZeroSelf {
+        /// Index of the point.
+        a: usize,
+        /// The offending self-distance.
+        dist: f64,
+    },
+    /// `d(a, b) != d(b, a)` beyond tolerance.
+    Asymmetric {
+        /// Index of the first point.
+        a: usize,
+        /// Index of the second point.
+        b: usize,
+        /// `d(a, b)`.
+        forward: f64,
+        /// `d(b, a)`.
+        backward: f64,
+    },
+    /// `d(a, c) > d(a, b) + d(b, c)` beyond tolerance.
+    Triangle {
+        /// Index of the first endpoint.
+        a: usize,
+        /// Index of the middle point.
+        b: usize,
+        /// Index of the second endpoint.
+        c: usize,
+        /// Amount by which the inequality is violated.
+        excess: f64,
+    },
+    /// A distance is NaN or infinite.
+    NonFinite {
+        /// Index of the first point.
+        a: usize,
+        /// Index of the second point.
+        b: usize,
+    },
+}
+
+/// Checks all four metric axioms of `metric` over the sample `points`,
+/// returning the first violation found.
+///
+/// Runs in O(n³) over the sample; intended for tests and small candidate
+/// pools, not hot paths. `tol` is the absolute slack allowed for symmetry and
+/// triangle checks (floating-point spaces need a small positive value;
+/// `1e-9` is a good default for unit-scale data).
+pub fn check_metric_axioms<P, M: Metric<P>>(
+    metric: &M,
+    points: &[P],
+    tol: f64,
+) -> Result<(), MetricViolation> {
+    let n = points.len();
+    for a in 0..n {
+        for b in 0..n {
+            let d = metric.dist(&points[a], &points[b]);
+            if !d.is_finite() {
+                return Err(MetricViolation::NonFinite { a, b });
+            }
+            if d < 0.0 {
+                return Err(MetricViolation::Negative { a, b, dist: d });
+            }
+            if a == b && d.abs() > tol {
+                return Err(MetricViolation::NonZeroSelf { a, dist: d });
+            }
+            let back = metric.dist(&points[b], &points[a]);
+            if (d - back).abs() > tol {
+                return Err(MetricViolation::Asymmetric {
+                    a,
+                    b,
+                    forward: d,
+                    backward: back,
+                });
+            }
+        }
+    }
+    for a in 0..n {
+        for b in 0..n {
+            let dab = metric.dist(&points[a], &points[b]);
+            for c in 0..n {
+                let dbc = metric.dist(&points[b], &points[c]);
+                let dac = metric.dist(&points[a], &points[c]);
+                let excess = dac - (dab + dbc);
+                if excess > tol {
+                    return Err(MetricViolation::Triangle { a, b, c, excess });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Chebyshev, Euclidean, Manhattan, Minkowski, Point};
+
+    fn sample() -> Vec<Point> {
+        vec![
+            Point::new(vec![0.0, 0.0]),
+            Point::new(vec![1.0, 0.5]),
+            Point::new(vec![-2.0, 3.0]),
+            Point::new(vec![4.0, -1.0]),
+            Point::new(vec![0.1, 0.1]),
+        ]
+    }
+
+    #[test]
+    fn lp_metrics_satisfy_axioms() {
+        let pts = sample();
+        check_metric_axioms(&Euclidean, &pts, 1e-9).unwrap();
+        check_metric_axioms(&Manhattan, &pts, 1e-9).unwrap();
+        check_metric_axioms(&Chebyshev, &pts, 1e-9).unwrap();
+        check_metric_axioms(&Minkowski::new(3.0), &pts, 1e-9).unwrap();
+    }
+
+    /// A deliberately broken "metric" to exercise the violation paths.
+    struct Broken(u8);
+
+    impl Metric<usize> for Broken {
+        fn dist(&self, a: &usize, b: &usize) -> f64 {
+            match self.0 {
+                0 => -1.0,                                  // negative
+                1 => 1.0,                                   // d(a,a) != 0
+                2 => (*a as f64) - (*b as f64),             // asymmetric (and negative)
+                3 => {
+                    // triangle violation: d(0,2)=10, d(0,1)=d(1,2)=1
+                    if (*a, *b) == (0, 2) || (*a, *b) == (2, 0) {
+                        10.0
+                    } else if a == b {
+                        0.0
+                    } else {
+                        1.0
+                    }
+                }
+                _ => f64::NAN,
+            }
+        }
+    }
+
+    #[test]
+    fn detects_negative() {
+        let err = check_metric_axioms(&Broken(0), &[0usize, 1], 1e-9).unwrap_err();
+        assert!(matches!(err, MetricViolation::Negative { .. }));
+    }
+
+    #[test]
+    fn detects_nonzero_self() {
+        let err = check_metric_axioms(&Broken(1), &[0usize], 1e-9).unwrap_err();
+        assert!(matches!(err, MetricViolation::NonZeroSelf { .. }));
+    }
+
+    #[test]
+    fn detects_triangle_violation() {
+        let err = check_metric_axioms(&Broken(3), &[0usize, 1, 2], 1e-9).unwrap_err();
+        assert!(matches!(err, MetricViolation::Triangle { .. }));
+    }
+
+    #[test]
+    fn detects_non_finite() {
+        let err = check_metric_axioms(&Broken(9), &[0usize, 1], 1e-9).unwrap_err();
+        assert!(matches!(err, MetricViolation::NonFinite { .. }));
+    }
+}

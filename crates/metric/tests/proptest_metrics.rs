@@ -1,0 +1,110 @@
+//! Property tests: every shipped space satisfies the metric axioms, and
+//! equivalent constructions agree.
+
+use proptest::prelude::*;
+use ukc_metric::validate::check_metric_axioms;
+use ukc_metric::{
+    Chebyshev, Euclidean, FiniteMetric, Manhattan, Metric, Minkowski, Point, TreeMetric,
+    WeightedGraph,
+};
+
+fn points(n: std::ops::RangeInclusive<usize>, dim: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(
+        prop::collection::vec(-100.0f64..100.0, dim..=dim),
+        n,
+    )
+    .prop_map(|rows| rows.into_iter().map(Point::new).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lp_metrics_satisfy_axioms(pts in points(2..=6, 3), p in 1.0f64..5.0) {
+        check_metric_axioms(&Euclidean, &pts, 1e-9).unwrap();
+        check_metric_axioms(&Manhattan, &pts, 1e-9).unwrap();
+        check_metric_axioms(&Chebyshev, &pts, 1e-9).unwrap();
+        check_metric_axioms(&Minkowski::new(p), &pts, 1e-8).unwrap();
+    }
+
+    #[test]
+    fn lp_distances_are_ordered(pts in points(2..=2, 4), p in 1.0f64..6.0) {
+        // L∞ ≤ L_p ≤ L_1 for every p ≥ 1.
+        let (a, b) = (&pts[0], &pts[1]);
+        let linf = Chebyshev.dist(a, b);
+        let lp = Minkowski::new(p).dist(a, b);
+        let l1 = Manhattan.dist(a, b);
+        prop_assert!(linf <= lp + 1e-9);
+        prop_assert!(lp <= l1 + 1e-9);
+    }
+
+    #[test]
+    fn embedding_preserves_distances(pts in points(2..=8, 2)) {
+        let fm = FiniteMetric::from_points(&pts, &Euclidean);
+        for i in 0..pts.len() {
+            for j in 0..pts.len() {
+                prop_assert!((fm.dist(&i, &j) - Euclidean.dist(&pts[i], &pts[j])).abs() < 1e-12);
+            }
+        }
+        let ids = fm.ids();
+        prop_assert!(check_metric_axioms(&fm, &ids, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn random_tree_matches_graph_closure(
+        weights in prop::collection::vec(0.1f64..10.0, 7),
+        parents_raw in prop::collection::vec(0usize..100, 7),
+    ) {
+        // Build a random tree on 8 vertices: vertex v+1 attaches to a
+        // random earlier vertex.
+        let n = 8;
+        let edges: Vec<(usize, usize, f64)> = (1..n)
+            .map(|v| (parents_raw[v - 1] % v, v, weights[v - 1]))
+            .collect();
+        let tm = TreeMetric::from_edges(n, &edges).unwrap();
+        let mut g = WeightedGraph::new(n);
+        for &(u, v, w) in &edges {
+            g.add_edge(u, v, w).unwrap();
+        }
+        let fm = g.shortest_path_metric().unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((tm.dist(&i, &j) - fm.dist(&i, &j)).abs() < 1e-9,
+                    "tree vs closure disagree at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn graph_closure_never_exceeds_edge_weight(
+        extra in prop::collection::vec((0usize..6, 0usize..6, 0.1f64..10.0), 0..=8),
+    ) {
+        let mut g = WeightedGraph::new(6);
+        for v in 0..5 {
+            g.add_edge(v, v + 1, 5.0).unwrap();
+        }
+        for &(u, v, w) in &extra {
+            g.add_edge(u, v, w).unwrap();
+        }
+        let fm = g.shortest_path_metric().unwrap();
+        // Closure distance is at most any direct edge weight.
+        for &(u, v, w) in &extra {
+            prop_assert!(fm.dist(&u, &v) <= w + 1e-12);
+        }
+        for v in 0..5usize {
+            prop_assert!(fm.dist(&v, &(v + 1)) <= 5.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn nearest_returns_global_minimum(pts in points(3..=8, 2)) {
+        let query = &pts[0];
+        let centers = &pts[1..];
+        let (idx, d) = Euclidean.nearest(query, centers).unwrap();
+        for (i, c) in centers.iter().enumerate() {
+            let di = Euclidean.dist(query, c);
+            prop_assert!(d <= di + 1e-12, "center {i} beats reported nearest");
+        }
+        prop_assert!((Euclidean.dist(query, &centers[idx]) - d).abs() < 1e-12);
+    }
+}

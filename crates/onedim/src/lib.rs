@@ -1,0 +1,30 @@
+//! # ukc-onedim — exact one-dimensional uncertain k-center
+//!
+//! Table 1 row 8 of the paper rests on Wang & Zhang \[26\], who solve the
+//! one-dimensional uncertain k-center problem under the expected-distance
+//! assignment *exactly*: minimize
+//!
+//! ```text
+//! med_cost(c₁..c_k) = max_i  min_j  E d(Pᵢ, cⱼ)
+//! ```
+//!
+//! over center locations on the real line. Each expected-distance function
+//! `Eᵢ(x) = Σⱼ pᵢⱼ·|Pᵢⱼ − x|` is convex piecewise-linear
+//! ([`ukc_geometry::ConvexPiecewiseLinear`]), so the decision problem
+//! "`med_cost ≤ r`?" reduces to stabbing the intervals
+//! `{x : Eᵢ(x) ≤ r}` with `k` points — solvable greedily after sorting by
+//! right endpoint. The optimum `r*` is found by bisection on `r` to 1e-12
+//! relative precision (the substitution for \[26\]'s parametric search is
+//! documented in DESIGN.md §3.5; at f64 scale the results are
+//! indistinguishable).
+//!
+//! Combined with the paper's Theorem 2.3, the solver yields a
+//! 3-approximation for the *unrestricted* assigned version in `ℝ¹` —
+//! certified empirically by experiment E8.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod solver;
+
+pub use solver::{feasible_with_k, solve_one_d, OneDimSolution};

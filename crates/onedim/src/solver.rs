@@ -1,0 +1,315 @@
+//! The 1-D uncertain k-center solver.
+
+use ukc_geometry::ConvexPiecewiseLinear;
+use ukc_metric::{Euclidean, Point};
+use ukc_uncertain::{ecost_assigned, UncertainSet};
+
+/// The output of [`solve_one_d`].
+#[derive(Clone, Debug)]
+pub struct OneDimSolution {
+    /// Optimal center locations on the line, sorted ascending.
+    pub centers: Vec<f64>,
+    /// `assignment[i]` = index into `centers` minimizing point `i`'s
+    /// expected distance (the ED assignment).
+    pub assignment: Vec<usize>,
+    /// The optimal objective `max_i min_j E d(Pᵢ, cⱼ)`.
+    pub med_cost: f64,
+    /// The exact expected cost `EcostED = E[max_i d(P̂ᵢ, c_{A(i)})]` of the
+    /// returned solution under the ED assignment — the quantity Theorem 2.3
+    /// bounds against the unrestricted optimum.
+    pub ecost_ed: f64,
+}
+
+/// Builds the convex expected-distance functions of a 1-D instance.
+fn expected_distance_functions(set: &UncertainSet<Point>) -> Vec<ConvexPiecewiseLinear> {
+    set.iter()
+        .map(|up| {
+            let anchors: Vec<f64> = up
+                .locations()
+                .iter()
+                .map(|p| {
+                    assert_eq!(p.dim(), 1, "solve_one_d requires 1-D points");
+                    p.x()
+                })
+                .collect();
+            ConvexPiecewiseLinear::from_weighted_abs(&anchors, up.probs(), 0.0)
+                .expect("UncertainPoint invariants guarantee a valid function")
+        })
+        .collect()
+}
+
+/// Decision procedure: can `k` centers achieve `med_cost ≤ r`? Returns the
+/// greedily-chosen stabbing points when feasible.
+///
+/// Greedy interval stabbing: sort the level-set intervals by right
+/// endpoint; whenever an interval is not yet stabbed, place a center at its
+/// right endpoint. This uses the minimum possible number of stabbing
+/// points, so the answer is exact.
+pub fn feasible_with_k(funcs: &[ConvexPiecewiseLinear], r: f64, k: usize) -> Option<Vec<f64>> {
+    let mut intervals: Vec<(f64, f64)> = Vec::with_capacity(funcs.len());
+    for f in funcs {
+        intervals.push(f.level_set(r)?); // empty level set: infeasible
+    }
+    intervals.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite endpoints"));
+    let mut centers: Vec<f64> = Vec::new();
+    for &(lo, hi) in &intervals {
+        if let Some(&last) = centers.last() {
+            if last >= lo {
+                continue; // already stabbed
+            }
+        }
+        centers.push(hi);
+        if centers.len() > k {
+            return None;
+        }
+    }
+    Some(centers)
+}
+
+/// Exact 1-D uncertain k-center under the expected-distance objective
+/// (Wang & Zhang-style; paper Table 1 row 8).
+///
+/// Runs in `O(zn log zn)` to build and sort the convex functions plus
+/// `O(n log n)` per decision and ~100 bisection steps.
+///
+/// ```
+/// use ukc_metric::Point;
+/// use ukc_onedim::solve_one_d;
+/// use ukc_uncertain::{UncertainPoint, UncertainSet};
+///
+/// // Two uncertain readings far apart on a line.
+/// let set = UncertainSet::new(vec![
+///     UncertainPoint::new(vec![Point::scalar(0.0), Point::scalar(2.0)], vec![0.5, 0.5]).unwrap(),
+///     UncertainPoint::new(vec![Point::scalar(100.0), Point::scalar(102.0)], vec![0.5, 0.5]).unwrap(),
+/// ]);
+/// let sol = solve_one_d(&set, 2);
+/// assert!((sol.med_cost - 1.0).abs() < 1e-9);   // each point pays its own spread
+/// assert_ne!(sol.assignment[0], sol.assignment[1]);
+/// ```
+///
+/// # Panics
+/// Panics when `k == 0` or any point is not one-dimensional.
+pub fn solve_one_d(set: &UncertainSet<Point>, k: usize) -> OneDimSolution {
+    assert!(k > 0, "k must be at least 1");
+    let funcs = expected_distance_functions(set);
+
+    // Lower bound: every point pays at least its own 1-median value.
+    let lo0 = funcs
+        .iter()
+        .map(|f| f.min().1)
+        .fold(0.0f64, f64::max);
+    // Upper bound: one center at the grand weighted median.
+    let (all_anchors, all_weights): (Vec<f64>, Vec<f64>) = {
+        let mut a = Vec::new();
+        let mut w = Vec::new();
+        for up in set {
+            for (loc, p) in up.support() {
+                a.push(loc.x());
+                w.push(p);
+            }
+        }
+        (a, w)
+    };
+    let grand_median = ukc_geometry::weighted_median_1d(&all_anchors, &all_weights)
+        .expect("non-empty instance");
+    let hi0 = funcs
+        .iter()
+        .map(|f| f.eval(grand_median))
+        .fold(0.0f64, f64::max)
+        .max(lo0);
+
+    // Degenerate: the lower bound itself is feasible.
+    let (mut lo, mut hi) = (lo0, hi0);
+    if feasible_with_k(&funcs, lo, k).is_some() {
+        hi = lo;
+    }
+    for _ in 0..100 {
+        if hi - lo <= 1e-12 * hi.abs().max(1.0) {
+            break;
+        }
+        let mid = 0.5 * (lo + hi);
+        if feasible_with_k(&funcs, mid, k).is_some() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let centers = feasible_with_k(&funcs, hi, k).expect("hi is feasible by invariant");
+
+    // ED assignment w.r.t. the expected-distance functions.
+    let assignment: Vec<usize> = funcs
+        .iter()
+        .map(|f| {
+            let mut best = 0usize;
+            let mut best_v = f64::INFINITY;
+            for (j, &c) in centers.iter().enumerate() {
+                let v = f.eval(c);
+                if v < best_v {
+                    best_v = v;
+                    best = j;
+                }
+            }
+            best
+        })
+        .collect();
+    let med_cost = funcs
+        .iter()
+        .zip(assignment.iter())
+        .map(|(f, &j)| f.eval(centers[j]))
+        .fold(0.0f64, f64::max);
+    let center_points: Vec<Point> = centers.iter().map(|&c| Point::scalar(c)).collect();
+    let ecost_ed = ecost_assigned(set, &center_points, &assignment, &Euclidean);
+    OneDimSolution {
+        centers,
+        assignment,
+        med_cost,
+        ecost_ed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ukc_uncertain::generators::{line_instance, ProbModel};
+    use ukc_uncertain::UncertainPoint;
+
+    fn up1(locs: &[f64], probs: &[f64]) -> UncertainPoint<Point> {
+        UncertainPoint::new(locs.iter().map(|&x| Point::scalar(x)).collect(), probs.to_vec())
+            .unwrap()
+    }
+
+    #[test]
+    fn single_certain_point() {
+        let set = UncertainSet::new(vec![up1(&[5.0], &[1.0])]);
+        let sol = solve_one_d(&set, 1);
+        assert!(sol.med_cost.abs() < 1e-9);
+        assert!((sol.centers[0] - 5.0).abs() < 1e-9);
+        assert!(sol.ecost_ed.abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_uncertain_point_center_at_weighted_median() {
+        let set = UncertainSet::new(vec![up1(&[0.0, 10.0], &[0.5, 0.5])]);
+        let sol = solve_one_d(&set, 1);
+        // Any x in [0,10] gives E d = 5; med_cost must be 5.
+        assert!((sol.med_cost - 5.0).abs() < 1e-9);
+        assert!(sol.centers[0] >= -1e-9 && sol.centers[0] <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn two_separated_points_one_center_each() {
+        let set = UncertainSet::new(vec![
+            up1(&[0.0, 2.0], &[0.5, 0.5]),
+            up1(&[100.0, 102.0], &[0.5, 0.5]),
+        ]);
+        let sol = solve_one_d(&set, 2);
+        // Each point gets its own center at its median: cost 1 each.
+        assert!((sol.med_cost - 1.0).abs() < 1e-9);
+        assert_eq!(sol.assignment.len(), 2);
+        assert_ne!(sol.assignment[0], sol.assignment[1]);
+    }
+
+    #[test]
+    fn med_cost_never_exceeds_ecost() {
+        // max_i E[X_i] <= E[max_i X_i] always.
+        for seed in 0..6u64 {
+            let set = line_instance(seed, 8, 3, 50.0, 2.0, ProbModel::Random);
+            let sol = solve_one_d(&set, 2);
+            assert!(
+                sol.med_cost <= sol.ecost_ed + 1e-9,
+                "seed {seed}: med {} ecost {}",
+                sol.med_cost,
+                sol.ecost_ed
+            );
+        }
+    }
+
+    #[test]
+    fn matches_grid_brute_force() {
+        // Brute-force med_cost over a fine center grid on small instances;
+        // the solver must match (within grid resolution).
+        for seed in 0..4u64 {
+            let set = line_instance(seed, 4, 3, 10.0, 1.0, ProbModel::Random);
+            let funcs = expected_distance_functions(&set);
+            let k = 2;
+            let sol = solve_one_d(&set, k);
+            // Grid search over pairs of centers.
+            let grid: Vec<f64> = (0..=240).map(|i| -2.0 + i as f64 * 0.05).collect();
+            let mut best = f64::INFINITY;
+            for (a_i, &a) in grid.iter().enumerate() {
+                for &b in &grid[a_i..] {
+                    let cost = funcs
+                        .iter()
+                        .map(|f| f.eval(a).min(f.eval(b)))
+                        .fold(0.0f64, f64::max);
+                    best = best.min(cost);
+                }
+            }
+            assert!(
+                sol.med_cost <= best + 0.05,
+                "seed {seed}: solver {} grid {best}",
+                sol.med_cost
+            );
+            // And the solver cannot beat the true optimum by more than
+            // numeric slack — grid is an upper bound on opt, so only check
+            // one direction plus feasibility consistency.
+            assert!(feasible_with_k(&funcs, sol.med_cost + 1e-9, k).is_some());
+            assert!(feasible_with_k(&funcs, sol.med_cost * 0.98 - 1e-6, k).is_none()
+                || sol.med_cost < 1e-6);
+        }
+    }
+
+    #[test]
+    fn more_centers_never_hurt() {
+        let set = line_instance(11, 10, 4, 60.0, 3.0, ProbModel::HeavyTail);
+        let mut prev = f64::INFINITY;
+        for k in 1..=5 {
+            let sol = solve_one_d(&set, k);
+            assert!(
+                sol.med_cost <= prev + 1e-9,
+                "k={k}: {} > prev {prev}",
+                sol.med_cost
+            );
+            prev = sol.med_cost;
+        }
+    }
+
+    #[test]
+    fn greedy_stabbing_is_minimal() {
+        // Feasibility with k = needed must succeed, with k = needed-1 fail.
+        let set = UncertainSet::new(vec![
+            up1(&[0.0], &[1.0]),
+            up1(&[10.0], &[1.0]),
+            up1(&[20.0], &[1.0]),
+        ]);
+        let funcs = expected_distance_functions(&set);
+        // r = 1: three separate intervals.
+        assert!(feasible_with_k(&funcs, 1.0, 3).is_some());
+        assert!(feasible_with_k(&funcs, 1.0, 2).is_none());
+        // r = 5: intervals [−5,5], [5,15], [15,25] chain-overlap; two
+        // points (5, 15... wait 5 stabs first two? [−5,5] and [5,15] share
+        // 5): k=2 suffices.
+        assert!(feasible_with_k(&funcs, 5.0, 2).is_some());
+    }
+
+    #[test]
+    fn assignment_is_ed_optimal() {
+        let set = line_instance(3, 6, 3, 40.0, 2.0, ProbModel::Random);
+        let sol = solve_one_d(&set, 3);
+        let funcs = expected_distance_functions(&set);
+        for (i, f) in funcs.iter().enumerate() {
+            let assigned = f.eval(sol.centers[sol.assignment[i]]);
+            for &c in &sol.centers {
+                assert!(assigned <= f.eval(c) + 1e-9, "point {i} misassigned");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1-D points")]
+    fn rejects_higher_dimension() {
+        let up = UncertainPoint::certain(Point::new(vec![0.0, 1.0]));
+        let set = UncertainSet::new(vec![up]);
+        let _ = solve_one_d(&set, 1);
+    }
+}

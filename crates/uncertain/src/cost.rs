@@ -1,0 +1,364 @@
+//! Expected k-center costs: exact, enumerated, and Monte-Carlo.
+//!
+//! For fixed centers (and, in the assigned versions, a fixed assignment)
+//! the per-point distance variables are independent, so the paper's
+//! expected costs are `E[max]` of independent discrete variables and the
+//! sweep of [`crate::expected_max`] computes them exactly. The enumerated
+//! and Monte-Carlo versions exist to cross-validate that exactness and to
+//! support the sampling baseline.
+
+use crate::expected_max::{expected_max, expected_max_enumerate};
+use crate::realization::sample_realization;
+use crate::set::UncertainSet;
+use rand::Rng;
+use ukc_metric::Metric;
+
+/// Builds the per-point distance variables for the *assigned* cost: point
+/// `i`'s variable takes value `d(Pᵢⱼ, centers[assignment[i]])` with
+/// probability `pᵢⱼ`.
+fn assigned_vars<P, M: Metric<P>>(
+    set: &UncertainSet<P>,
+    centers: &[P],
+    assignment: &[usize],
+    metric: &M,
+) -> Vec<Vec<(f64, f64)>> {
+    assert_eq!(
+        assignment.len(),
+        set.n(),
+        "assignment must name a center for every point"
+    );
+    set.iter()
+        .zip(assignment.iter())
+        .map(|(up, &a)| {
+            assert!(a < centers.len(), "assignment index out of range");
+            up.support()
+                .map(|(loc, p)| (metric.dist(loc, &centers[a]), p))
+                .collect()
+        })
+        .collect()
+}
+
+/// Builds the per-point distance variables for the *unassigned* cost:
+/// point `i`'s variable takes value `d(Pᵢⱼ, C) = min_c d(Pᵢⱼ, c)`.
+fn unassigned_vars<P, M: Metric<P>>(
+    set: &UncertainSet<P>,
+    centers: &[P],
+    metric: &M,
+) -> Vec<Vec<(f64, f64)>> {
+    assert!(!centers.is_empty(), "need at least one center");
+    set.iter()
+        .map(|up| {
+            up.support()
+                .map(|(loc, p)| (metric.dist_to_set(loc, centers), p))
+                .collect()
+        })
+        .collect()
+}
+
+/// Exact `EcostA(c₁..c_k)` for a fixed assignment:
+/// `Σ_R prob(R)·max_i d(P̂ᵢ, A(Pᵢ))`, in O(N log N).
+pub fn ecost_assigned<P, M: Metric<P>>(
+    set: &UncertainSet<P>,
+    centers: &[P],
+    assignment: &[usize],
+    metric: &M,
+) -> f64 {
+    expected_max(&assigned_vars(set, centers, assignment, metric))
+}
+
+/// Exact unassigned `Ecost(c₁..c_k) = Σ_R prob(R)·max_i d(P̂ᵢ, C)`.
+pub fn ecost_unassigned<P, M: Metric<P>>(set: &UncertainSet<P>, centers: &[P], metric: &M) -> f64 {
+    expected_max(&unassigned_vars(set, centers, metric))
+}
+
+/// Assigned cost by full realization enumeration (tests/baselines only).
+///
+/// # Panics
+/// Panics when `|Ω| > 10^7`.
+pub fn ecost_assigned_enumerate<P, M: Metric<P>>(
+    set: &UncertainSet<P>,
+    centers: &[P],
+    assignment: &[usize],
+    metric: &M,
+) -> f64 {
+    expected_max_enumerate(&assigned_vars(set, centers, assignment, metric))
+}
+
+/// Unassigned cost by full realization enumeration (tests/baselines only).
+///
+/// # Panics
+/// Panics when `|Ω| > 10^7`.
+pub fn ecost_unassigned_enumerate<P, M: Metric<P>>(
+    set: &UncertainSet<P>,
+    centers: &[P],
+    metric: &M,
+) -> f64 {
+    expected_max_enumerate(&unassigned_vars(set, centers, metric))
+}
+
+/// Exact `Pr[cost ≤ t]` of an assigned solution: the probability that no
+/// point's realized distance to its assigned center exceeds `t`.
+pub fn cost_cdf_assigned<P, M: Metric<P>>(
+    set: &UncertainSet<P>,
+    centers: &[P],
+    assignment: &[usize],
+    metric: &M,
+    t: f64,
+) -> f64 {
+    crate::expected_max::max_cdf(&assigned_vars(set, centers, assignment, metric), t)
+}
+
+/// Exact `q`-quantile (value-at-risk) of an assigned solution's cost: the
+/// smallest radius `t` such that with probability at least `q` every point
+/// realizes within `t` of its assigned center.
+///
+/// Complements [`ecost_assigned`]: the expectation summarizes the average
+/// realization, the quantile summarizes the tail — uncertain database
+/// applications routinely need both.
+pub fn cost_quantile_assigned<P, M: Metric<P>>(
+    set: &UncertainSet<P>,
+    centers: &[P],
+    assignment: &[usize],
+    metric: &M,
+    q: f64,
+) -> f64 {
+    crate::expected_max::max_quantile(&assigned_vars(set, centers, assignment, metric), q)
+}
+
+/// Exact `Pr[cost ≤ t]` of an unassigned solution (each realization served
+/// by its nearest center).
+pub fn cost_cdf_unassigned<P, M: Metric<P>>(
+    set: &UncertainSet<P>,
+    centers: &[P],
+    metric: &M,
+    t: f64,
+) -> f64 {
+    crate::expected_max::max_cdf(&unassigned_vars(set, centers, metric), t)
+}
+
+/// Exact `q`-quantile of an unassigned solution's cost.
+pub fn cost_quantile_unassigned<P, M: Metric<P>>(
+    set: &UncertainSet<P>,
+    centers: &[P],
+    metric: &M,
+    q: f64,
+) -> f64 {
+    crate::expected_max::max_quantile(&unassigned_vars(set, centers, metric), q)
+}
+
+/// A Monte-Carlo estimate with its standard error.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MonteCarloEstimate {
+    /// Sample mean of the cost.
+    pub mean: f64,
+    /// Standard error of the mean (`σ̂/√samples`).
+    pub std_error: f64,
+    /// Number of samples drawn.
+    pub samples: usize,
+}
+
+/// Monte-Carlo estimate of the expected cost. With `assignment = Some(A)`
+/// estimates the assigned cost, otherwise the unassigned cost.
+///
+/// # Panics
+/// Panics when `samples == 0` or the assignment is malformed.
+pub fn ecost_monte_carlo<P, M: Metric<P>, R: Rng>(
+    set: &UncertainSet<P>,
+    centers: &[P],
+    assignment: Option<&[usize]>,
+    metric: &M,
+    samples: usize,
+    rng: &mut R,
+) -> MonteCarloEstimate {
+    assert!(samples > 0, "need at least one sample");
+    if let Some(a) = assignment {
+        assert_eq!(a.len(), set.n(), "assignment length mismatch");
+    }
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    for _ in 0..samples {
+        let r = sample_realization(set, rng);
+        let mut max = 0.0f64;
+        for (i, &j) in r.iter().enumerate() {
+            let loc = &set[i].locations()[j];
+            let d = match assignment {
+                Some(a) => metric.dist(loc, &centers[a[i]]),
+                None => metric.dist_to_set(loc, centers),
+            };
+            max = max.max(d);
+        }
+        sum += max;
+        sum_sq += max * max;
+    }
+    let n = samples as f64;
+    let mean = sum / n;
+    let var = (sum_sq / n - mean * mean).max(0.0);
+    MonteCarloEstimate {
+        mean,
+        std_error: (var / n).sqrt(),
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::UncertainPoint;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ukc_metric::{Euclidean, Point};
+
+    fn set2d() -> UncertainSet<Point> {
+        UncertainSet::new(vec![
+            UncertainPoint::new(
+                vec![Point::new(vec![0.0, 0.0]), Point::new(vec![1.0, 0.0])],
+                vec![0.5, 0.5],
+            )
+            .unwrap(),
+            UncertainPoint::new(
+                vec![Point::new(vec![5.0, 0.0]), Point::new(vec![6.0, 1.0])],
+                vec![0.25, 0.75],
+            )
+            .unwrap(),
+        ])
+    }
+
+    #[test]
+    fn exact_matches_enumeration_assigned() {
+        let s = set2d();
+        let centers = vec![Point::new(vec![0.5, 0.0]), Point::new(vec![5.5, 0.5])];
+        let assignment = vec![0usize, 1];
+        let fast = ecost_assigned(&s, &centers, &assignment, &Euclidean);
+        let slow = ecost_assigned_enumerate(&s, &centers, &assignment, &Euclidean);
+        assert!((fast - slow).abs() < 1e-12, "{fast} vs {slow}");
+    }
+
+    #[test]
+    fn exact_matches_enumeration_unassigned() {
+        let s = set2d();
+        let centers = vec![Point::new(vec![0.5, 0.0]), Point::new(vec![5.5, 0.5])];
+        let fast = ecost_unassigned(&s, &centers, &Euclidean);
+        let slow = ecost_unassigned_enumerate(&s, &centers, &Euclidean);
+        assert!((fast - slow).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unassigned_never_exceeds_assigned() {
+        // The unassigned cost picks the best center per realization point,
+        // so it lower-bounds every fixed assignment.
+        let s = set2d();
+        let centers = vec![Point::new(vec![0.5, 0.0]), Point::new(vec![5.5, 0.5])];
+        let un = ecost_unassigned(&s, &centers, &Euclidean);
+        for assignment in [[0usize, 0], [0, 1], [1, 0], [1, 1]] {
+            let a = ecost_assigned(&s, &centers, &assignment, &Euclidean);
+            assert!(un <= a + 1e-12, "assignment {assignment:?}");
+        }
+    }
+
+    #[test]
+    fn certain_points_reduce_to_deterministic_cost() {
+        let s = UncertainSet::new(vec![
+            UncertainPoint::certain(Point::scalar(0.0)),
+            UncertainPoint::certain(Point::scalar(10.0)),
+        ]);
+        let centers = vec![Point::scalar(1.0)];
+        let e = ecost_unassigned(&s, &centers, &Euclidean);
+        assert!((e - 9.0).abs() < 1e-12);
+        let ea = ecost_assigned(&s, &centers, &[0, 0], &Euclidean);
+        assert!((ea - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monte_carlo_converges_to_exact() {
+        let s = set2d();
+        let centers = vec![Point::new(vec![0.5, 0.0]), Point::new(vec![5.5, 0.5])];
+        let exact = ecost_unassigned(&s, &centers, &Euclidean);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mc = ecost_monte_carlo(&s, &centers, None, &Euclidean, 100_000, &mut rng);
+        assert!(
+            (mc.mean - exact).abs() < 5.0 * mc.std_error + 1e-3,
+            "mc {} vs exact {exact} (se {})",
+            mc.mean,
+            mc.std_error
+        );
+    }
+
+    #[test]
+    fn monte_carlo_assigned_converges() {
+        let s = set2d();
+        let centers = vec![Point::new(vec![0.5, 0.0]), Point::new(vec![5.5, 0.5])];
+        let assignment = vec![0usize, 1];
+        let exact = ecost_assigned(&s, &centers, &assignment, &Euclidean);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mc =
+            ecost_monte_carlo(&s, &centers, Some(&assignment), &Euclidean, 100_000, &mut rng);
+        assert!((mc.mean - exact).abs() < 5.0 * mc.std_error + 1e-3);
+    }
+
+    #[test]
+    fn hand_computed_example() {
+        // One point on a line, locations 0 (p=0.5) and 2 (p=0.5), center 0:
+        // Ecost = 0.5*0 + 0.5*2 = 1.
+        let s = UncertainSet::new(vec![UncertainPoint::new(
+            vec![Point::scalar(0.0), Point::scalar(2.0)],
+            vec![0.5, 0.5],
+        )
+        .unwrap()]);
+        let c = vec![Point::scalar(0.0)];
+        assert!((ecost_unassigned(&s, &c, &Euclidean) - 1.0).abs() < 1e-12);
+
+        // Two iid points, same setup: max is 2 unless both realize at 0:
+        // E = 0.75*2 = 1.5.
+        let s2 = UncertainSet::new(vec![s[0].clone(), s[0].clone()]);
+        assert!((ecost_unassigned(&s2, &c, &Euclidean) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_and_cdf_consistency() {
+        let s = set2d();
+        let centers = vec![Point::new(vec![0.5, 0.0]), Point::new(vec![5.5, 0.5])];
+        let assignment = vec![0usize, 1];
+        // CDF at the 1.0-quantile must be 1; CDF is monotone in t.
+        let worst = cost_quantile_assigned(&s, &centers, &assignment, &Euclidean, 1.0);
+        assert!((cost_cdf_assigned(&s, &centers, &assignment, &Euclidean, worst) - 1.0).abs() < 1e-12);
+        let med = cost_quantile_assigned(&s, &centers, &assignment, &Euclidean, 0.5);
+        assert!(med <= worst + 1e-12);
+        assert!(cost_cdf_assigned(&s, &centers, &assignment, &Euclidean, med) >= 0.5);
+        // Just below the median the CDF must be < 0.5 (med is the smallest
+        // atom reaching it).
+        assert!(cost_cdf_assigned(&s, &centers, &assignment, &Euclidean, med - 1e-9) < 0.5);
+        // The expectation lies between the 0+ quantile and the worst case.
+        let e = ecost_assigned(&s, &centers, &assignment, &Euclidean);
+        assert!(e <= worst + 1e-12);
+    }
+
+    #[test]
+    fn cdf_matches_enumeration() {
+        let s = set2d();
+        let centers = vec![Point::new(vec![0.5, 0.0]), Point::new(vec![5.5, 0.5])];
+        for t in [0.5f64, 1.0, 2.0, 5.0] {
+            let fast = cost_cdf_unassigned(&s, &centers, &Euclidean, t);
+            // Enumerate: sum prob of realizations whose max distance <= t.
+            let mut slow = 0.0;
+            for (idx, prob) in crate::realization::RealizationIter::new(&s) {
+                let max = idx
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &j)| Euclidean.dist_to_set(&s[i].locations()[j], &centers))
+                    .fold(0.0f64, f64::max);
+                if max <= t {
+                    slow += prob;
+                }
+            }
+            assert!((fast - slow).abs() < 1e-12, "t={t}: {fast} vs {slow}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment index out of range")]
+    fn bad_assignment_panics() {
+        let s = set2d();
+        let centers = vec![Point::new(vec![0.0, 0.0])];
+        let _ = ecost_assigned(&s, &centers, &[0, 5], &Euclidean);
+    }
+}

@@ -1,0 +1,366 @@
+//! Exact expectation of the maximum of independent discrete variables.
+//!
+//! Given independent random variables `X₁..X_n`, each a finite list of
+//! `(value, probability)` atoms, the paper's expected costs are
+//! `E[max_i X_i]`. Enumerating the product space is exponential, but the
+//! CDF of the max factorizes: `Pr[max ≤ v] = Π_i F_i(v)`, which changes
+//! only at the N atom values. Sorting the atoms and sweeping once while
+//! maintaining the running product gives the exact expectation in
+//! `O(N log N)`:
+//!
+//! ```text
+//! E[max] = Σ_t v_t · (G(v_t) − G(v_{t−1})),   G(v) = Π_i F_i(v).
+//! ```
+//!
+//! The running product is maintained in log space with a zero-factor
+//! counter (every `F_i` starts at 0, so the product is structurally 0 until
+//! each variable has at least one atom at or below the sweep value); log
+//! space both avoids underflow for large `n` and keeps the update drift
+//! additive, and the log-sum is rebuilt from scratch every 4096 updates.
+
+/// Exact `E[max_i X_i]` for independent discrete `X_i`.
+///
+/// `vars[i]` lists the atoms `(value, prob)` of `X_i`; each variable's
+/// probabilities must sum to 1 within `1e-6` (checked). Values may repeat
+/// and need not be sorted. Atoms with probability 0 are ignored.
+///
+/// ```
+/// use ukc_uncertain::expected_max;
+/// // Two fair coins taking values {0, 1}: E[max] = 3/4.
+/// let coin = vec![(0.0, 0.5), (1.0, 0.5)];
+/// let e = expected_max(&[coin.clone(), coin]);
+/// assert!((e - 0.75).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+/// Panics when `vars` is empty, some variable has no atoms, a value is
+/// non-finite, a probability is negative, or probabilities do not sum to 1.
+pub fn expected_max(vars: &[Vec<(f64, f64)>]) -> f64 {
+    assert!(!vars.is_empty(), "expected_max requires at least one variable");
+    let n = vars.len();
+    let mut atoms: Vec<(f64, usize, f64)> = Vec::new();
+    for (i, var) in vars.iter().enumerate() {
+        assert!(!var.is_empty(), "variable {i} has no atoms");
+        let mut sum = 0.0;
+        for &(v, p) in var {
+            assert!(v.is_finite(), "variable {i} has non-finite value {v}");
+            assert!(p >= 0.0 && p.is_finite(), "variable {i} has bad probability {p}");
+            sum += p;
+            if p > 0.0 {
+                atoms.push((v, i, p));
+            }
+        }
+        assert!(
+            (sum - 1.0).abs() <= 1e-6,
+            "variable {i} probabilities sum to {sum}"
+        );
+    }
+    atoms.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite values"));
+
+    // Per-variable running CDF. The product Π Fᵢ(v) underflows f64 for
+    // large n (e.g. 1000 factors of 0.1), so it is maintained in log space:
+    // log_product = Σ ln cᵢ over the non-zero CDFs, plus a count of the
+    // variables whose CDF is still exactly zero. The additive log updates
+    // drift slowly; a periodic rebuild cancels it.
+    let mut cdf = vec![0.0f64; n];
+    let mut log_product = 0.0f64;
+    let mut zeros = n;
+    let mut prev_g = 0.0f64;
+    let mut expectation = 0.0f64;
+    let mut updates_since_rebuild = 0usize;
+
+    let mut t = 0;
+    while t < atoms.len() {
+        let v = atoms[t].0;
+        // Apply every atom with this exact value (ties must be grouped so
+        // G jumps once per distinct value).
+        while t < atoms.len() && atoms[t].0 == v {
+            let (_, i, p) = atoms[t];
+            let old = cdf[i];
+            let new = old + p;
+            if old == 0.0 {
+                zeros -= 1;
+                log_product += new.ln();
+            } else {
+                log_product += new.ln() - old.ln();
+            }
+            cdf[i] = new;
+            updates_since_rebuild += 1;
+            t += 1;
+        }
+        if updates_since_rebuild >= 4096 {
+            // Rebuild the log-sum to cancel additive drift.
+            log_product = cdf.iter().filter(|&&c| c > 0.0).map(|c| c.ln()).sum();
+            updates_since_rebuild = 0;
+        }
+        let g = if zeros == 0 {
+            log_product.exp().min(1.0)
+        } else {
+            0.0
+        };
+        let delta = g - prev_g;
+        if delta > 0.0 {
+            expectation += v * delta;
+        }
+        prev_g = g;
+    }
+    debug_assert!(zeros == 0, "every variable must reach total probability 1");
+    expectation
+}
+
+/// Exact `Pr[max_i X_i ≤ t]` for independent discrete `X_i`: the product
+/// of the per-variable CDFs at `t`.
+///
+/// Input conventions as in [`expected_max`]. Computed in log space, so it
+/// stays meaningful for thousands of variables.
+///
+/// # Panics
+/// Panics on invalid inputs, as [`expected_max`].
+pub fn max_cdf(vars: &[Vec<(f64, f64)>], t: f64) -> f64 {
+    assert!(!vars.is_empty(), "max_cdf requires at least one variable");
+    let mut log_sum = 0.0f64;
+    for (i, var) in vars.iter().enumerate() {
+        assert!(!var.is_empty(), "variable {i} has no atoms");
+        let mut sum = 0.0;
+        let mut cdf = 0.0;
+        for &(v, p) in var {
+            assert!(v.is_finite(), "variable {i} has non-finite value {v}");
+            assert!(p >= 0.0 && p.is_finite(), "variable {i} has bad probability {p}");
+            sum += p;
+            if v <= t {
+                cdf += p;
+            }
+        }
+        assert!((sum - 1.0).abs() <= 1e-6, "variable {i} probabilities sum to {sum}");
+        if cdf <= 0.0 {
+            return 0.0;
+        }
+        log_sum += cdf.min(1.0).ln();
+    }
+    log_sum.exp().min(1.0)
+}
+
+/// Exact `q`-quantile of `max_i X_i`: the smallest atom value `t` with
+/// `Pr[max ≤ t] ≥ q`. This is the *value-at-risk* of the k-center cost —
+/// "with probability ≥ q, no point exceeds distance `t`" — a robustness
+/// summary the expectation alone cannot give.
+///
+/// Returns the largest atom value when `q = 1` (the worst case is always
+/// one of the atoms).
+///
+/// # Panics
+/// Panics when `q ∉ (0, 1]` or inputs are invalid per [`expected_max`].
+pub fn max_quantile(vars: &[Vec<(f64, f64)>], q: f64) -> f64 {
+    assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1], got {q}");
+    assert!(!vars.is_empty(), "max_quantile requires at least one variable");
+    let mut values: Vec<f64> = vars
+        .iter()
+        .flat_map(|var| var.iter().filter(|(_, p)| *p > 0.0).map(|(v, _)| *v))
+        .collect();
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    values.dedup();
+    // Pr[max <= t] is a step function jumping only at atom values; binary
+    // search the smallest value reaching q.
+    let mut lo = 0usize;
+    let mut hi = values.len() - 1;
+    if max_cdf(vars, values[hi]) < q {
+        // Only possible through rounding; the top value has CDF 1.
+        return values[hi];
+    }
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if max_cdf(vars, values[mid]) >= q {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    values[hi]
+}
+
+/// Reference implementation by full product-space enumeration; exponential,
+/// for tests only.
+///
+/// # Panics
+/// Panics when the product space exceeds `10^7` realizations, or inputs are
+/// invalid per [`expected_max`].
+pub fn expected_max_enumerate(vars: &[Vec<(f64, f64)>]) -> f64 {
+    assert!(!vars.is_empty(), "requires at least one variable");
+    let count: u128 = vars.iter().fold(1u128, |a, v| a.saturating_mul(v.len() as u128));
+    assert!(count <= 10_000_000, "product space too large to enumerate");
+    let mut idx = vec![0usize; vars.len()];
+    let mut expectation = 0.0;
+    loop {
+        let mut prob = 1.0;
+        let mut max = f64::NEG_INFINITY;
+        for (i, var) in vars.iter().enumerate() {
+            let (v, p) = var[idx[i]];
+            prob *= p;
+            max = max.max(v);
+        }
+        expectation += prob * max;
+        // Odometer.
+        let mut i = 0;
+        loop {
+            if i == vars.len() {
+                return expectation;
+            }
+            idx[i] += 1;
+            if idx[i] < vars[i].len() {
+                break;
+            }
+            idx[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_variable_is_plain_expectation() {
+        let vars = vec![vec![(1.0, 0.25), (3.0, 0.75)]];
+        assert!((expected_max(&vars) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_variables() {
+        let vars = vec![vec![(2.0, 1.0)], vec![(5.0, 1.0)], vec![(3.0, 1.0)]];
+        assert!((expected_max(&vars) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_coin_flips() {
+        // X, Y each uniform on {0, 1}: E[max] = 3/4.
+        let vars = vec![
+            vec![(0.0, 0.5), (1.0, 0.5)],
+            vec![(0.0, 0.5), (1.0, 0.5)],
+        ];
+        assert!((expected_max(&vars) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_enumeration_on_random_instances() {
+        let mut s: u64 = 0xDEADBEEF;
+        let mut rnd = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for trial in 0..50 {
+            let n = 1 + trial % 5;
+            let vars: Vec<Vec<(f64, f64)>> = (0..n)
+                .map(|_| {
+                    let z = 1 + (rnd() * 4.0) as usize;
+                    let mut ps: Vec<f64> = (0..z).map(|_| rnd() + 0.01).collect();
+                    let total: f64 = ps.iter().sum();
+                    for p in &mut ps {
+                        *p /= total;
+                    }
+                    ps.iter().map(|&p| (rnd() * 100.0 - 50.0, p)).collect()
+                })
+                .collect();
+            let fast = expected_max(&vars);
+            let slow = expected_max_enumerate(&vars);
+            assert!(
+                (fast - slow).abs() < 1e-9,
+                "trial {trial}: fast {fast} slow {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn ties_across_variables() {
+        // Both variables can take the same value; grouping must be exact.
+        let vars = vec![
+            vec![(1.0, 0.5), (2.0, 0.5)],
+            vec![(1.0, 0.5), (2.0, 0.5)],
+        ];
+        // E[max] = 2 * (1 - 1/4) + 1 * 1/4 = 1.75.
+        assert!((expected_max(&vars) - 1.75).abs() < 1e-12);
+        assert!((expected_max_enumerate(&vars) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_probability_atoms_ignored() {
+        let vars = vec![vec![(100.0, 0.0), (1.0, 1.0)]];
+        assert!((expected_max(&vars) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_values_supported() {
+        let vars = vec![
+            vec![(-5.0, 0.5), (-1.0, 0.5)],
+            vec![(-3.0, 1.0)],
+        ];
+        // max is -1 w.p. 0.5, -3 w.p. 0.5.
+        assert!((expected_max(&vars) - (-2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_stochastic_dominance() {
+        // Shifting one variable up cannot decrease E[max].
+        let base = vec![
+            vec![(0.0, 0.5), (2.0, 0.5)],
+            vec![(1.0, 1.0)],
+        ];
+        let shifted = vec![
+            vec![(0.5, 0.5), (2.5, 0.5)],
+            vec![(1.0, 1.0)],
+        ];
+        assert!(expected_max(&shifted) >= expected_max(&base) - 1e-12);
+    }
+
+    #[test]
+    fn expectation_bounds() {
+        // max_i E[X_i] <= E[max] <= sum of positive parts bound: just check
+        // the lower bound on a random instance.
+        let vars = vec![
+            vec![(0.0, 0.3), (10.0, 0.7)],
+            vec![(5.0, 0.5), (6.0, 0.5)],
+        ];
+        let e = expected_max(&vars);
+        let max_mean = f64::max(0.0 * 0.3 + 10.0 * 0.7, 5.0 * 0.5 + 6.0 * 0.5);
+        assert!(e >= max_mean - 1e-12);
+        assert!(e <= 10.0 + 1e-12);
+    }
+
+    #[test]
+    fn large_instance_is_stable() {
+        // 1000 variables, 8 atoms each; compare against a coarse Monte-Carlo
+        // style bound: E[max] must lie within [max mean, max value].
+        let mut s: u64 = 7;
+        let mut rnd = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let vars: Vec<Vec<(f64, f64)>> = (0..1000)
+            .map(|_| {
+                let z = 8;
+                let ps: Vec<f64> = (0..z).map(|_| rnd() + 0.01).collect();
+                let total: f64 = ps.iter().sum();
+                ps.iter().map(|&p| (rnd(), p / total)).collect()
+            })
+            .collect();
+        let e = expected_max(&vars);
+        assert!(e > 0.9, "with 8000 uniform atoms the max should be near 1, got {e}");
+        assert!(e <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn bad_distribution_panics() {
+        let _ = expected_max(&[vec![(1.0, 0.5)]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no atoms")]
+    fn empty_variable_panics() {
+        let _ = expected_max(&[vec![]]);
+    }
+}

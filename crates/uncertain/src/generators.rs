@@ -1,0 +1,344 @@
+//! Seeded workload generators.
+//!
+//! The paper has no empirical section, so the reproduction certifies its
+//! bounds over randomized workload families chosen to stress different
+//! aspects of the algorithms:
+//!
+//! * [`clustered`] — points whose distributions scatter around `k` ground
+//!   truth cluster sites: the motivating "sensor sightings" workload.
+//! * [`uniform_box`] — unstructured noise, the hardest case for any
+//!   representative construction.
+//! * [`ring`] — centers of mass far from the data manifold; designed to
+//!   punish the expected-point representative.
+//! * [`two_scale`] — each point is tight with probability `1 − q` but
+//!   teleports far away with probability `q`: maximizes the gap between
+//!   `E[max]` and `max E[...]`, the regime where uncertain k-center differs
+//!   most from its deterministic projection.
+//! * [`line_instance`] — 1-D instances for the row-8 experiments.
+//! * [`on_finite_metric`] — uncertain points over the ids of a finite
+//!   metric space (graph/tree closures) for the row-9 experiments.
+//!
+//! All generators are deterministic in their seed.
+
+use crate::point::UncertainPoint;
+use crate::set::UncertainSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ukc_metric::Point;
+
+/// How location probabilities are drawn.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProbModel {
+    /// All `z` locations equally likely.
+    Uniform,
+    /// Probabilities proportional to iid uniform draws.
+    Random,
+    /// Geometric decay (ratio 1/2) across locations: one dominant location
+    /// with a heavy tail of unlikely ones.
+    HeavyTail,
+}
+
+/// Draws a probability vector of length `z` under the model.
+pub fn draw_probs<R: Rng>(model: ProbModel, z: usize, rng: &mut R) -> Vec<f64> {
+    assert!(z > 0, "need at least one location");
+    let raw: Vec<f64> = match model {
+        ProbModel::Uniform => vec![1.0; z],
+        ProbModel::Random => (0..z).map(|_| rng.gen::<f64>() + 1e-3).collect(),
+        ProbModel::HeavyTail => (0..z).map(|j| 0.5f64.powi(j as i32)).collect(),
+    };
+    let total: f64 = raw.iter().sum();
+    raw.into_iter().map(|p| p / total).collect()
+}
+
+fn gaussian_ish<R: Rng>(rng: &mut R) -> f64 {
+    // Irwin–Hall sum of 12 uniforms, shifted: mean 0, variance 1. Avoids
+    // Box–Muller's trig without changing the workloads' character.
+    (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0
+}
+
+fn point_near<R: Rng>(center: &[f64], spread: f64, rng: &mut R) -> Point {
+    Point::new(
+        center
+            .iter()
+            .map(|&c| c + spread * gaussian_ish(rng))
+            .collect(),
+    )
+}
+
+/// Clustered workload: `n` uncertain points, each owned by one of
+/// `n_clusters` sites placed uniformly in `[0, 100]^dim`; the point's `z`
+/// locations scatter with std-dev `loc_spread` around a nominal position
+/// drawn with std-dev `cluster_radius` around its site.
+#[allow(clippy::too_many_arguments)] // workload knobs are individually meaningful
+pub fn clustered(
+    seed: u64,
+    n: usize,
+    z: usize,
+    dim: usize,
+    n_clusters: usize,
+    cluster_radius: f64,
+    loc_spread: f64,
+    probs: ProbModel,
+) -> UncertainSet<Point> {
+    assert!(n > 0 && z > 0 && dim > 0 && n_clusters > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sites: Vec<Vec<f64>> = (0..n_clusters)
+        .map(|_| (0..dim).map(|_| rng.gen::<f64>() * 100.0).collect())
+        .collect();
+    let points = (0..n)
+        .map(|i| {
+            let site = &sites[i % n_clusters];
+            let nominal = point_near(site, cluster_radius, &mut rng);
+            let locations: Vec<Point> = (0..z)
+                .map(|_| point_near(nominal.coords(), loc_spread, &mut rng))
+                .collect();
+            let p = draw_probs(probs, z, &mut rng);
+            UncertainPoint::new(locations, p).expect("generated distribution is valid")
+        })
+        .collect();
+    UncertainSet::new(points)
+}
+
+/// Unstructured workload: nominal positions uniform in `[0, box_size]^dim`,
+/// locations scattered with std-dev `loc_spread`.
+#[allow(clippy::too_many_arguments)]
+pub fn uniform_box(
+    seed: u64,
+    n: usize,
+    z: usize,
+    dim: usize,
+    box_size: f64,
+    loc_spread: f64,
+    probs: ProbModel,
+) -> UncertainSet<Point> {
+    assert!(n > 0 && z > 0 && dim > 0 && box_size > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = (0..n)
+        .map(|_| {
+            let nominal: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>() * box_size).collect();
+            let locations: Vec<Point> =
+                (0..z).map(|_| point_near(&nominal, loc_spread, &mut rng)).collect();
+            let p = draw_probs(probs, z, &mut rng);
+            UncertainPoint::new(locations, p).expect("generated distribution is valid")
+        })
+        .collect();
+    UncertainSet::new(points)
+}
+
+/// Ring workload (2-D): each point's locations are spread *along* a circle
+/// of the given radius, so weighted centroids fall inside the ring, off the
+/// data manifold — adversarial for the expected-point representative.
+#[allow(clippy::too_many_arguments)]
+pub fn ring(
+    seed: u64,
+    n: usize,
+    z: usize,
+    radius: f64,
+    angular_spread: f64,
+    probs: ProbModel,
+) -> UncertainSet<Point> {
+    assert!(n > 0 && z > 0 && radius > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = (0..n)
+        .map(|_| {
+            let theta0 = rng.gen::<f64>() * std::f64::consts::TAU;
+            let locations: Vec<Point> = (0..z)
+                .map(|_| {
+                    let t = theta0 + angular_spread * gaussian_ish(&mut rng);
+                    Point::new(vec![radius * t.cos(), radius * t.sin()])
+                })
+                .collect();
+            let p = draw_probs(probs, z, &mut rng);
+            UncertainPoint::new(locations, p).expect("generated distribution is valid")
+        })
+        .collect();
+    UncertainSet::new(points)
+}
+
+/// Two-scale adversarial workload: with probability `1 − far_prob` the
+/// point realizes within `near_spread` of its nominal position; with
+/// probability `far_prob` it teleports to a location `far_dist` away.
+/// The teleport mass is split evenly over one far location per point.
+#[allow(clippy::too_many_arguments)]
+pub fn two_scale(
+    seed: u64,
+    n: usize,
+    z: usize,
+    dim: usize,
+    near_spread: f64,
+    far_dist: f64,
+    far_prob: f64,
+) -> UncertainSet<Point> {
+    assert!(n > 0 && z >= 2 && dim > 0);
+    assert!((0.0..1.0).contains(&far_prob), "far_prob must be in [0, 1)");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = (0..n)
+        .map(|_| {
+            let nominal: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>() * 100.0).collect();
+            let mut locations: Vec<Point> = (0..z - 1)
+                .map(|_| point_near(&nominal, near_spread, &mut rng))
+                .collect();
+            // One far location along a random axis direction.
+            let axis = rng.gen_range(0..dim);
+            let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            let mut far = nominal.clone();
+            far[axis] += sign * far_dist;
+            locations.push(Point::new(far));
+            let near_p = (1.0 - far_prob) / (z - 1) as f64;
+            let mut p = vec![near_p; z - 1];
+            p.push(far_prob);
+            UncertainPoint::new(locations, p).expect("generated distribution is valid")
+        })
+        .collect();
+    UncertainSet::new(points)
+}
+
+/// One-dimensional workload for the row-8 experiments: nominal positions
+/// uniform on `[0, span]`, locations scattered by `loc_spread`.
+#[allow(clippy::too_many_arguments)]
+pub fn line_instance(
+    seed: u64,
+    n: usize,
+    z: usize,
+    span: f64,
+    loc_spread: f64,
+    probs: ProbModel,
+) -> UncertainSet<Point> {
+    uniform_box(seed, n, z, 1, span, loc_spread, probs)
+}
+
+/// Uncertain points over the ids `0..n_ids` of a finite metric space: each
+/// point draws `z` distinct ids uniformly (with replacement if
+/// `z > n_ids`).
+pub fn on_finite_metric(
+    seed: u64,
+    n_ids: usize,
+    n: usize,
+    z: usize,
+    probs: ProbModel,
+) -> UncertainSet<usize> {
+    assert!(n_ids > 0 && n > 0 && z > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = (0..n)
+        .map(|_| {
+            let mut ids: Vec<usize> = Vec::with_capacity(z);
+            if z <= n_ids {
+                // Sample distinct ids by partial Fisher–Yates.
+                let mut pool: Vec<usize> = (0..n_ids).collect();
+                for j in 0..z {
+                    let pick = rng.gen_range(j..n_ids);
+                    pool.swap(j, pick);
+                    ids.push(pool[j]);
+                }
+            } else {
+                for _ in 0..z {
+                    ids.push(rng.gen_range(0..n_ids));
+                }
+            }
+            let p = draw_probs(probs, z, &mut rng);
+            UncertainPoint::new(ids, p).expect("generated distribution is valid")
+        })
+        .collect();
+    UncertainSet::new(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_in_seed() {
+        let a = clustered(5, 10, 3, 2, 2, 5.0, 1.0, ProbModel::Random);
+        let b = clustered(5, 10, 3, 2, 2, 5.0, 1.0, ProbModel::Random);
+        assert_eq!(a, b);
+        let c = clustered(6, 10, 3, 2, 2, 5.0, 1.0, ProbModel::Random);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shapes_are_respected() {
+        let s = clustered(1, 12, 4, 3, 2, 5.0, 1.0, ProbModel::Uniform);
+        assert_eq!(s.n(), 12);
+        assert_eq!(s.max_z(), 4);
+        for up in &s {
+            assert_eq!(up.z(), 4);
+            for loc in up.locations() {
+                assert_eq!(loc.dim(), 3);
+            }
+            let sum: f64 = up.probs().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn prob_models_differ() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let u = draw_probs(ProbModel::Uniform, 4, &mut rng);
+        assert_eq!(u, vec![0.25; 4]);
+        let h = draw_probs(ProbModel::HeavyTail, 4, &mut rng);
+        assert!(h[0] > h[1] && h[1] > h[2] && h[2] > h[3]);
+        let sum: f64 = h.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        let r = draw_probs(ProbModel::Random, 4, &mut rng);
+        let sum: f64 = r.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_scale_has_far_location() {
+        let s = two_scale(3, 5, 4, 2, 0.5, 1000.0, 0.1);
+        for up in &s {
+            // Last location is the far one.
+            let far = &up.locations()[3];
+            let near = &up.locations()[0];
+            assert!(far.dist(near) > 500.0);
+            assert!((up.probs()[3] - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ring_points_on_circle() {
+        let s = ring(2, 8, 3, 10.0, 0.1, ProbModel::Uniform);
+        for up in &s {
+            for loc in up.locations() {
+                assert!((loc.norm() - 10.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn line_instance_is_one_dimensional() {
+        let s = line_instance(7, 6, 3, 50.0, 2.0, ProbModel::Random);
+        for up in &s {
+            for loc in up.locations() {
+                assert_eq!(loc.dim(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn finite_metric_ids_in_range_and_distinct() {
+        let s = on_finite_metric(11, 20, 8, 5, ProbModel::Random);
+        for up in &s {
+            for &id in up.locations() {
+                assert!(id < 20);
+            }
+            // z <= n_ids, so ids must be distinct.
+            let mut ids = up.locations().to_vec();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), 5);
+        }
+    }
+
+    #[test]
+    fn finite_metric_with_replacement_when_z_large() {
+        let s = on_finite_metric(13, 3, 4, 6, ProbModel::Uniform);
+        for up in &s {
+            assert_eq!(up.z(), 6);
+            for &id in up.locations() {
+                assert!(id < 3);
+            }
+        }
+    }
+}

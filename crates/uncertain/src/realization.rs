@@ -1,0 +1,147 @@
+//! Realizations of an uncertain set: enumeration and sampling.
+
+use crate::set::UncertainSet;
+use rand::Rng;
+
+/// Iterator over every realization `R ∈ Ω` of an uncertain set, yielding
+/// `(location indices, prob(R))`.
+///
+/// The iteration order is odometer order over the per-point location
+/// indices. Only use on small sets — `|Ω| = Π zᵢ` — the cost and solver
+/// code paths never enumerate; this exists for tests and the brute-force
+/// baselines.
+pub struct RealizationIter<'a, P> {
+    set: &'a UncertainSet<P>,
+    idx: Vec<usize>,
+    done: bool,
+}
+
+impl<'a, P> RealizationIter<'a, P> {
+    /// Creates the iterator.
+    pub fn new(set: &'a UncertainSet<P>) -> Self {
+        Self {
+            set,
+            idx: vec![0; set.n()],
+            done: false,
+        }
+    }
+}
+
+impl<'a, P> Iterator for RealizationIter<'a, P> {
+    type Item = (Vec<usize>, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let current = self.idx.clone();
+        let prob: f64 = self
+            .idx
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| self.set[i].probs()[j])
+            .product();
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == self.idx.len() {
+                self.done = true;
+                break;
+            }
+            self.idx[i] += 1;
+            if self.idx[i] < self.set[i].z() {
+                break;
+            }
+            self.idx[i] = 0;
+            i += 1;
+        }
+        Some((current, prob))
+    }
+}
+
+/// Samples one realization (per-point location indices) from the product
+/// distribution using inverse-CDF sampling per point.
+pub fn sample_realization<P, R: Rng>(set: &UncertainSet<P>, rng: &mut R) -> Vec<usize> {
+    set.iter()
+        .map(|up| {
+            let u: f64 = rng.gen();
+            let mut acc = 0.0;
+            for (j, &p) in up.probs().iter().enumerate() {
+                acc += p;
+                if u < acc {
+                    return j;
+                }
+            }
+            up.z() - 1 // numeric fallback: u extremely close to 1
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::UncertainPoint;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_set() -> UncertainSet<f64> {
+        UncertainSet::new(vec![
+            UncertainPoint::new(vec![0.0, 1.0], vec![0.25, 0.75]).unwrap(),
+            UncertainPoint::new(vec![5.0, 6.0, 7.0], vec![0.5, 0.3, 0.2]).unwrap(),
+        ])
+    }
+
+    #[test]
+    fn enumeration_covers_omega_with_total_probability_one() {
+        let s = small_set();
+        let all: Vec<(Vec<usize>, f64)> = RealizationIter::new(&s).collect();
+        assert_eq!(all.len(), 6);
+        let total: f64 = all.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Distinct index vectors.
+        for i in 0..all.len() {
+            for j in (i + 1)..all.len() {
+                assert_ne!(all[i].0, all[j].0);
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_probabilities_are_products() {
+        let s = small_set();
+        for (idx, p) in RealizationIter::new(&s) {
+            let expect = s[0].probs()[idx[0]] * s[1].probs()[idx[1]];
+            assert!((p - expect).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn sampling_matches_marginals() {
+        let s = small_set();
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 200_000;
+        let mut count0 = [0usize; 2];
+        let mut count1 = [0usize; 3];
+        for _ in 0..trials {
+            let r = sample_realization(&s, &mut rng);
+            count0[r[0]] += 1;
+            count1[r[1]] += 1;
+        }
+        let f = |c: usize| c as f64 / trials as f64;
+        assert!((f(count0[0]) - 0.25).abs() < 0.01);
+        assert!((f(count1[0]) - 0.5).abs() < 0.01);
+        assert!((f(count1[2]) - 0.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn sampling_certain_points_is_deterministic() {
+        let s = UncertainSet::new(vec![
+            UncertainPoint::certain(1.0f64),
+            UncertainPoint::certain(2.0),
+        ]);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(sample_realization(&s, &mut rng), vec![0, 0]);
+        }
+    }
+}

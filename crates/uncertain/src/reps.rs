@@ -1,0 +1,191 @@
+//! Representative constructions — the heart of the paper's approach.
+//!
+//! Every algorithm in the paper replaces each uncertain point `Pᵢ` by a
+//! *certain* representative and solves deterministic k-center on the
+//! representatives:
+//!
+//! * [`expected_point`] — `P̄ᵢ = Σⱼ pᵢⱼ·Pᵢⱼ`, O(zᵢ); Euclidean only (the
+//!   construction uses vector addition, and Lemma 3.1's proof uses the
+//!   norm's convexity).
+//! * [`one_center_euclidean`] / [`one_center_discrete`] — `P̃ᵢ`, the
+//!   1-center of the *single* uncertain point `Pᵢ`. For a single point the
+//!   expected cost is `E d(P̂ᵢ, c)`, so `P̃ᵢ` is the expected-distance
+//!   minimizer: a Fermat–Weber point (computed by Weiszfeld in Euclidean
+//!   space) or a discrete 1-median over a candidate pool in a general
+//!   metric space.
+//! * [`mode_location`] — the most likely location, used only as a baseline.
+
+use crate::point::UncertainPoint;
+use ukc_geometry::median::{geometric_median, WeiszfeldOptions};
+use ukc_metric::{Metric, Point};
+
+/// The expected distance `E d(P, q) = Σⱼ pⱼ·d(Pⱼ, q)` from an uncertain
+/// point to a fixed location.
+pub fn expected_distance<P, M: Metric<P>>(up: &UncertainPoint<P>, q: &P, metric: &M) -> f64 {
+    up.support().map(|(loc, p)| p * metric.dist(loc, q)).sum()
+}
+
+/// The paper's expected point `P̄ = Σⱼ pⱼ·Pⱼ` (probability-weighted
+/// centroid), computable in O(z) — the construction behind Theorems 2.1,
+/// 2.2, 2.4 and 2.5.
+///
+/// # Panics
+/// Panics if locations have mismatched dimensions (malformed input).
+pub fn expected_point(up: &UncertainPoint<Point>) -> Point {
+    Point::weighted_centroid(up.locations(), up.probs())
+        .expect("UncertainPoint invariants guarantee a valid centroid")
+}
+
+/// The 1-center `P̃` of a single uncertain point in Euclidean space: the
+/// weighted Fermat–Weber point of its locations, via Weiszfeld.
+pub fn one_center_euclidean(up: &UncertainPoint<Point>) -> Point {
+    geometric_median(up.locations(), up.probs(), WeiszfeldOptions::default())
+        .expect("UncertainPoint invariants guarantee a valid median")
+}
+
+/// The 1-center `P̃` of a single uncertain point in a general metric space,
+/// minimized over an explicit candidate pool: returns the index into
+/// `candidates` and the achieved expected distance.
+///
+/// In a finite metric space where centers are drawn from the location pool,
+/// passing that pool here yields the exact `P̃`; passing only the point's
+/// own locations yields a 2-approximate 1-median (by the triangle
+/// inequality), degrading the downstream constants gracefully — both uses
+/// appear in the experiments.
+///
+/// # Panics
+/// Panics when `candidates` is empty.
+pub fn one_center_discrete<P, M: Metric<P>>(
+    up: &UncertainPoint<P>,
+    candidates: &[P],
+    metric: &M,
+) -> (usize, f64) {
+    assert!(!candidates.is_empty(), "need at least one candidate");
+    candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i, expected_distance(up, c, metric)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+        .expect("non-empty candidates")
+}
+
+/// The most likely location (ties broken toward the first), the baseline
+/// representative for ablation A2.
+pub fn mode_location<P>(up: &UncertainPoint<P>) -> &P {
+    let mut idx = 0;
+    for (j, &p) in up.probs().iter().enumerate().skip(1) {
+        if p > up.probs()[idx] {
+            idx = j;
+        }
+    }
+    &up.locations()[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ukc_metric::Euclidean;
+
+    fn up2d() -> UncertainPoint<Point> {
+        UncertainPoint::new(
+            vec![
+                Point::new(vec![0.0, 0.0]),
+                Point::new(vec![4.0, 0.0]),
+                Point::new(vec![0.0, 4.0]),
+            ],
+            vec![0.5, 0.25, 0.25],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn expected_point_is_weighted_centroid() {
+        let p = expected_point(&up2d());
+        assert_eq!(p.coords(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn expected_distance_hand_computed() {
+        let up = up2d();
+        let q = Point::new(vec![0.0, 0.0]);
+        let e = expected_distance(&up, &q, &Euclidean);
+        assert!((e - (0.5 * 0.0 + 0.25 * 4.0 + 0.25 * 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_center_euclidean_minimizes_expected_distance() {
+        let up = up2d();
+        let c = one_center_euclidean(&up);
+        let ec = expected_distance(&up, &c, &Euclidean);
+        // Compare against a grid.
+        for i in 0..=40 {
+            for j in 0..=40 {
+                let g = Point::new(vec![i as f64 * 0.1, j as f64 * 0.1]);
+                assert!(
+                    ec <= expected_distance(&up, &g, &Euclidean) + 1e-6,
+                    "beaten at {g:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_3_1_expected_point_lower_bounds_expected_distance() {
+        // Lemma 3.1: d(P̄, Q) <= E d(P, Q) for all Q — the key inequality
+        // behind every Euclidean theorem. Spot-check on a grid.
+        let up = up2d();
+        let pbar = expected_point(&up);
+        for i in -10..=10 {
+            for j in -10..=10 {
+                let q = Point::new(vec![i as f64 * 0.7, j as f64 * 0.7]);
+                let lhs = pbar.dist(&q);
+                let rhs = expected_distance(&up, &q, &Euclidean);
+                assert!(lhs <= rhs + 1e-12, "violated at {q:?}: {lhs} > {rhs}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_center_discrete_picks_argmin() {
+        let up = up2d();
+        let candidates = vec![
+            Point::new(vec![0.0, 0.0]),
+            Point::new(vec![1.0, 1.0]),
+            Point::new(vec![4.0, 4.0]),
+        ];
+        let (idx, val) = one_center_discrete(&up, &candidates, &Euclidean);
+        // Verify it is the minimum.
+        for (i, c) in candidates.iter().enumerate() {
+            let e = expected_distance(&up, c, &Euclidean);
+            assert!(val <= e + 1e-12, "candidate {i} beats the winner");
+        }
+        assert!(idx < candidates.len());
+    }
+
+    #[test]
+    fn discrete_on_own_locations_is_2_approx_of_continuous() {
+        // Folklore: the best input point is a 2-approximate 1-median.
+        let up = up2d();
+        let cont = one_center_euclidean(&up);
+        let cont_val = expected_distance(&up, &cont, &Euclidean);
+        let (_, disc_val) = one_center_discrete(&up, up.locations(), &Euclidean);
+        assert!(disc_val <= 2.0 * cont_val + 1e-9);
+        assert!(cont_val <= disc_val + 1e-9);
+    }
+
+    #[test]
+    fn mode_location_picks_heaviest() {
+        let up = up2d();
+        assert_eq!(mode_location(&up).coords(), &[0.0, 0.0]);
+        let tie = UncertainPoint::new(vec![1.0f64, 2.0], vec![0.5, 0.5]).unwrap();
+        assert_eq!(*mode_location(&tie), 1.0);
+    }
+
+    #[test]
+    fn certain_point_representatives_coincide() {
+        let up = UncertainPoint::certain(Point::new(vec![3.0, -1.0]));
+        assert_eq!(expected_point(&up).coords(), &[3.0, -1.0]);
+        assert!(one_center_euclidean(&up).dist(&expected_point(&up)) < 1e-9);
+        assert_eq!(mode_location(&up).coords(), &[3.0, -1.0]);
+    }
+}

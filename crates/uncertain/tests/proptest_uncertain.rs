@@ -1,0 +1,148 @@
+//! Property tests for the uncertain-point model and cost machinery.
+
+use proptest::prelude::*;
+use ukc_metric::{Euclidean, Manhattan, Metric, Point};
+use ukc_uncertain::expected_max::expected_max_enumerate;
+use ukc_uncertain::generators::{draw_probs, ProbModel};
+use ukc_uncertain::{
+    ecost_assigned, ecost_assigned_enumerate, ecost_unassigned, ecost_unassigned_enumerate,
+    expected_distance, expected_max, expected_point, one_center_euclidean, UncertainPoint,
+    UncertainSet,
+};
+
+fn uncertain_point() -> impl Strategy<Value = UncertainPoint<Point>> {
+    prop::collection::vec(((-50.0f64..50.0, -50.0f64..50.0), 0.05f64..1.0), 1..=4).prop_map(
+        |pairs| {
+            let total: f64 = pairs.iter().map(|(_, w)| w).sum();
+            let locs: Vec<Point> = pairs
+                .iter()
+                .map(|((x, y), _)| Point::new(vec![*x, *y]))
+                .collect();
+            let probs: Vec<f64> = pairs.iter().map(|(_, w)| w / total).collect();
+            UncertainPoint::new(locs, probs).expect("normalized")
+        },
+    )
+}
+
+fn uncertain_set() -> impl Strategy<Value = UncertainSet<Point>> {
+    prop::collection::vec(uncertain_point(), 1..=4).prop_map(UncertainSet::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Costs agree with full Ω enumeration for both problem versions.
+    #[test]
+    fn costs_match_enumeration(set in uncertain_set()) {
+        let centers = vec![Point::new(vec![-20.0, 0.0]), Point::new(vec![20.0, 5.0])];
+        let assignment: Vec<usize> = (0..set.n()).map(|i| i % 2).collect();
+        let fast_a = ecost_assigned(&set, &centers, &assignment, &Euclidean);
+        let slow_a = ecost_assigned_enumerate(&set, &centers, &assignment, &Euclidean);
+        prop_assert!((fast_a - slow_a).abs() < 1e-9);
+        let fast_u = ecost_unassigned(&set, &centers, &Euclidean);
+        let slow_u = ecost_unassigned_enumerate(&set, &centers, &Euclidean);
+        prop_assert!((fast_u - slow_u).abs() < 1e-9);
+        prop_assert!(fast_u <= fast_a + 1e-9);
+    }
+
+    /// `E[max]` is monotone under adding a variable.
+    #[test]
+    fn expected_max_monotone_in_variables(
+        vars_raw in prop::collection::vec(
+            prop::collection::vec((0.0f64..100.0, 0.05f64..1.0), 1..=3), 2..=4),
+    ) {
+        let vars: Vec<Vec<(f64, f64)>> = vars_raw
+            .into_iter()
+            .map(|pairs| {
+                let total: f64 = pairs.iter().map(|(_, w)| w).sum();
+                pairs.into_iter().map(|(v, w)| (v, w / total)).collect()
+            })
+            .collect();
+        let all = expected_max(&vars);
+        let fewer = expected_max(&vars[..vars.len() - 1]);
+        // Distances are non-negative here, so adding a variable can only
+        // raise the max.
+        prop_assert!(all >= fewer - 1e-9);
+        // And agrees with enumeration.
+        prop_assert!((all - expected_max_enumerate(&vars)).abs() < 1e-9);
+    }
+
+    /// Lemma 3.1 holds in any normed space, not just L2: check L1 too.
+    #[test]
+    fn lemma_3_1_in_l1(up in uncertain_point(), qx in -60.0f64..60.0, qy in -60.0f64..60.0) {
+        let q = Point::new(vec![qx, qy]);
+        let pbar = expected_point(&up);
+        prop_assert!(Manhattan.dist(&pbar, &q) <= expected_distance(&up, &q, &Manhattan) + 1e-9);
+        prop_assert!(Euclidean.dist(&pbar, &q) <= expected_distance(&up, &q, &Euclidean) + 1e-9);
+    }
+
+    /// The Weiszfeld 1-center never loses to the expected point on the
+    /// expected-distance objective (P̃ minimizes it by definition).
+    #[test]
+    fn one_center_beats_expected_point_on_expected_distance(up in uncertain_point()) {
+        let p_tilde = one_center_euclidean(&up);
+        let p_bar = expected_point(&up);
+        let at_tilde = expected_distance(&up, &p_tilde, &Euclidean);
+        let at_bar = expected_distance(&up, &p_bar, &Euclidean);
+        prop_assert!(at_tilde <= at_bar + 1e-6);
+    }
+
+    /// Expected distance is 1-Lipschitz in the query: moving Q by δ moves
+    /// E d(P, Q) by at most δ (triangle inequality through the
+    /// expectation).
+    #[test]
+    fn expected_distance_lipschitz(up in uncertain_point(), q1x in -60.0f64..60.0, q2x in -60.0f64..60.0) {
+        let q1 = Point::new(vec![q1x, 0.0]);
+        let q2 = Point::new(vec![q2x, 0.0]);
+        let e1 = expected_distance(&up, &q1, &Euclidean);
+        let e2 = expected_distance(&up, &q2, &Euclidean);
+        prop_assert!((e1 - e2).abs() <= q1.dist(&q2) + 1e-9);
+    }
+
+    /// Generated probability vectors are valid distributions.
+    #[test]
+    fn draw_probs_is_distribution(z in 1usize..=16, seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for model in [ProbModel::Uniform, ProbModel::Random, ProbModel::HeavyTail] {
+            let p = draw_probs(model, z, &mut rng);
+            prop_assert_eq!(p.len(), z);
+            prop_assert!(p.iter().all(|&x| x >= 0.0));
+            let s: f64 = p.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Scaling every location by t scales every cost by t (homogeneity).
+    #[test]
+    fn cost_is_homogeneous(set in uncertain_set(), t in 0.1f64..5.0) {
+        let centers = vec![Point::new(vec![3.0, -2.0])];
+        let assignment = vec![0usize; set.n()];
+        let base = ecost_assigned(&set, &centers, &assignment, &Euclidean);
+        let scaled_set = UncertainSet::new(
+            set.iter()
+                .map(|up| up.map_locations(|p| p.scale(t)))
+                .collect(),
+        );
+        let scaled_centers = vec![centers[0].scale(t)];
+        let scaled = ecost_assigned(&scaled_set, &scaled_centers, &assignment, &Euclidean);
+        prop_assert!((scaled - t * base).abs() < 1e-6 * (1.0 + scaled.abs()));
+    }
+
+    /// Translating everything leaves costs unchanged.
+    #[test]
+    fn cost_is_translation_invariant(set in uncertain_set(), dx in -30.0f64..30.0, dy in -30.0f64..30.0) {
+        let shift = Point::new(vec![dx, dy]);
+        let centers = vec![Point::new(vec![1.0, 1.0])];
+        let assignment = vec![0usize; set.n()];
+        let base = ecost_assigned(&set, &centers, &assignment, &Euclidean);
+        let moved_set = UncertainSet::new(
+            set.iter()
+                .map(|up| up.map_locations(|p| p.add_scaled(1.0, &shift)))
+                .collect(),
+        );
+        let moved_centers = vec![centers[0].add_scaled(1.0, &shift)];
+        let moved = ecost_assigned(&moved_set, &moved_centers, &assignment, &Euclidean);
+        prop_assert!((moved - base).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,86 @@
+//! Facility location on a road network — the general-metric case.
+//!
+//! Customers move between a few known haunts (shops, home, work) on a road
+//! network; each customer is an uncertain point over graph vertices with
+//! visit-frequency probabilities. We must open k facilities at vertices,
+//! binding each customer to one facility, minimizing the expected
+//! worst-case travel distance. This is exactly the paper's Theorems 2.6 /
+//! 2.7 setting: an arbitrary finite metric space where no expected point
+//! exists and the 1-center representative `P̃` takes its place.
+//!
+//! ```text
+//! cargo run --release --example facility_location
+//! ```
+
+use uncertain_kcenter::prelude::*;
+
+fn main() {
+    // A 6x8 road grid with 1.0 km blocks, plus a few diagonal shortcuts.
+    let mut g = WeightedGraph::grid(6, 8, 1.0);
+    for &(u, v) in &[(0usize, 9usize), (20, 29), (38, 47)] {
+        g.add_edge(u, v, 1.2).expect("valid shortcut");
+    }
+    let road = g.shortest_path_metric().expect("grid is connected");
+
+    // 30 customers, each frequenting 4 vertices with random frequencies.
+    let set = on_finite_metric(11, road.len(), 30, 4, ProbModel::Random);
+    let pool = set.location_pool();
+    let k = 3;
+
+    println!(
+        "road network: {} vertices; {} customers with {} haunts each; k = {k}",
+        road.len(),
+        set.n(),
+        set.max_z()
+    );
+
+    let lb = lower_bound_metric(&set, k, &pool, &road);
+    println!("certified lower bound: {:.4}\n", lb);
+    println!("{:<52} {:>10} {:>8}", "method", "Ecost", "vs LB");
+    println!("{}", "-".repeat(74));
+
+    // Theorem 2.7: 1-center representatives + OC assignment (factor 5+2ε).
+    let oc = solve_metric(
+        &set,
+        k,
+        MetricAssignmentRule::OneCenter,
+        MetricCertainSolver::Gonzalez,
+        &pool,
+        &road,
+    );
+    println!("{:<52} {:>10.4} {:>8.3}", "paper Thm 2.7: 1-center rule (5+2ε)", oc.ecost, oc.ecost / lb);
+
+    // Theorem 2.6: same centers, expected-distance assignment (7+2ε).
+    let ed = solve_metric(
+        &set,
+        k,
+        MetricAssignmentRule::ExpectedDistance,
+        MetricCertainSolver::Gonzalez,
+        &pool,
+        &road,
+    );
+    println!("{:<52} {:>10.4} {:>8.3}", "paper Thm 2.6: expected-distance rule (7+2ε)", ed.ecost, ed.ecost / lb);
+
+    // Exact discrete certain solver on the representatives.
+    let exact = solve_metric(
+        &set,
+        k,
+        MetricAssignmentRule::OneCenter,
+        MetricCertainSolver::ExactDiscrete(ExactOptions::default()),
+        &pool,
+        &road,
+    );
+    println!("{:<52} {:>10.4} {:>8.3}", "paper + exact discrete certain solver", exact.ecost, exact.ecost / lb);
+
+    // Naive baseline: most likely haunt.
+    let mode = mode_baseline(&set, k, &road);
+    println!("{:<52} {:>10.4} {:>8.3}", "baseline: most-likely haunt + Gonzalez", mode.ecost, mode.ecost / lb);
+
+    // Show the opened facilities of the best method.
+    let best = if exact.ecost <= oc.ecost { &exact } else { &oc };
+    println!("\nopened facilities (vertex ids): {:?}", best.centers);
+    let served: Vec<usize> = (0..k)
+        .map(|c| best.assignment.iter().filter(|&&a| a == c).count())
+        .collect();
+    println!("customers per facility: {served:?}");
+}

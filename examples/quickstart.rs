@@ -1,0 +1,52 @@
+//! Quickstart: cluster uncertain points with the paper's pipeline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use uncertain_kcenter::prelude::*;
+
+fn main() {
+    // 40 uncertain points in R^2: each has 4 possible locations scattered
+    // around a nominal position near one of 3 cluster sites, with random
+    // location probabilities. Fully deterministic in the seed.
+    let set = clustered(
+        /* seed */ 7, /* n */ 40, /* z */ 4, /* dim */ 2, /* clusters */ 3,
+        /* cluster radius */ 5.0, /* location spread */ 1.0, ProbModel::Random,
+    );
+    let k = 3;
+
+    println!("instance: n={} uncertain points, z={} locations each, |Ω| = {} realizations",
+        set.n(), set.max_z(), set.realization_count());
+
+    // The paper's algorithm (Theorem 2.2 / Remark 3.1): replace each point
+    // by its expected point, run Gonzalez, assign by expected point.
+    let sol = solve_euclidean(&set, k, AssignmentRule::ExpectedPoint, CertainSolver::Gonzalez);
+    println!("\npaper pipeline (EP rule, Gonzalez backend):");
+    for (i, c) in sol.centers.iter().enumerate() {
+        let members = sol.assignment.iter().filter(|&&a| a == i).count();
+        println!("  center {i}: ({:7.2}, {:7.2})  serving {members} points", c[0], c[1]);
+    }
+    println!("  exact expected cost Ecost = {:.4}", sol.ecost);
+
+    // A certified lower bound on what ANY solution can achieve: the ratio
+    // is guaranteed <= 4 by the paper's Theorem 2.2 + Remark 3.1.
+    let lb = lower_bound_euclidean(&set, k);
+    println!("\ncertified lower bound on the optimum: {:.4}", lb);
+    println!("observed ratio <= {:.3}   (theorem guarantees <= 4)", sol.ecost / lb);
+
+    // Upgrading the certain solver tightens the guarantee to 3+eps.
+    let eps = 0.25;
+    let grid = solve_euclidean(
+        &set,
+        k,
+        AssignmentRule::ExpectedPoint,
+        CertainSolver::Grid(GridOptions { eps, ..Default::default() }),
+    );
+    println!(
+        "\nwith the (1+ε) grid backend (ε={eps}): Ecost = {:.4}, ratio <= {:.3} (guarantee <= {:.2})",
+        grid.ecost,
+        grid.ecost / lb,
+        3.0 + eps
+    );
+}

@@ -1,0 +1,53 @@
+//! Streaming uncertain k-center: clustering uncertain points one at a
+//! time with O(k) state (paper future-work direction; reference [25] in
+//! its bibliography covers the streaming probabilistic 1-center).
+//!
+//! The doubling summary keeps at most k expected-point centers with an
+//! 8-approximation invariant; finalization binds each seen point by the
+//! expected-distance rule and reports the *exact* expected cost.
+//!
+//! ```text
+//! cargo run --release --example stream_processing
+//! ```
+
+use uncertain_kcenter::extensions::StreamingUncertainKCenter;
+use uncertain_kcenter::prelude::*;
+
+fn main() {
+    let k = 4;
+    // A long stream of uncertain sensor sightings arriving one by one.
+    let stream = clustered(77, 5_000, 4, 2, 4, 6.0, 1.5, ProbModel::Random);
+
+    let mut clusterer = StreamingUncertainKCenter::new(k);
+    let mut checkpoints = vec![50usize, 500, 5_000];
+    checkpoints.reverse();
+
+    println!("{:>8} {:>10} {:>12} {:>12}", "seen", "centers", "Ecost", "vs offline");
+    for (i, up) in stream.iter().enumerate() {
+        clusterer.insert(up.clone());
+        if Some(&(i + 1)) == checkpoints.last() {
+            checkpoints.pop();
+            let (centers, _, cost) = clusterer.finalize().expect("non-empty");
+            // Offline comparison on the prefix seen so far.
+            let prefix = UncertainSet::new(stream.points()[..=i].to_vec());
+            let offline = solve_euclidean(
+                &prefix,
+                k,
+                AssignmentRule::ExpectedDistance,
+                CertainSolver::Gonzalez,
+            );
+            println!(
+                "{:>8} {:>10} {:>12.4} {:>12.3}",
+                i + 1,
+                centers.len(),
+                cost,
+                cost / offline.ecost
+            );
+        }
+    }
+
+    println!(
+        "\nthe summary held at most {k} centers throughout; each insertion cost O(z + k)\n\
+         (expected point + distance checks), independent of the stream length."
+    );
+}
