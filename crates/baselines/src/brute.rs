@@ -20,9 +20,7 @@
 
 use ukc_core::assignments::{assign_ed, assign_ep, assign_oc, AssignmentRule};
 use ukc_metric::{Metric, Point};
-use ukc_uncertain::{
-    ecost_assigned, expected_distance, one_center_discrete, UncertainSet,
-};
+use ukc_uncertain::{ecost_assigned, expected_distance, one_center_discrete, UncertainSet};
 
 /// Effort limits for the brute-force solvers.
 #[derive(Clone, Copy, Debug)]
@@ -120,9 +118,12 @@ pub fn brute_force_restricted<M: Metric<Point>>(
         let assignment = match rule {
             AssignmentRule::ExpectedDistance => assign_ed(set, &centers, metric),
             AssignmentRule::ExpectedPoint => assign_ep(set, &centers, metric),
-            AssignmentRule::OneCenter => {
-                assign_oc(set, &centers, oc_reps.as_ref().expect("computed above"), metric)
-            }
+            AssignmentRule::OneCenter => assign_oc(
+                set,
+                &centers,
+                oc_reps.as_ref().expect("computed above"),
+                metric,
+            ),
         };
         let ecost = ecost_assigned(set, &centers, &assignment, metric);
         if best.as_ref().is_none_or(|b| ecost < b.ecost) {
@@ -216,7 +217,7 @@ pub fn brute_force_unrestricted<P: Clone, M: Metric<P>>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ukc_core::{solve_euclidean, CertainSolver};
+    use ukc_core::{Problem, SolverConfig};
     use ukc_metric::Euclidean;
     use ukc_uncertain::generators::{clustered, uniform_box, ProbModel};
     use ukc_uncertain::UncertainPoint;
@@ -245,7 +246,16 @@ mod tests {
                     BruteForceLimits::default(),
                 )
                 .expect("within budget");
-                let alg = solve_euclidean(&set, 2, rule, CertainSolver::Gonzalez);
+                let alg = Problem::euclidean(set.clone(), 2)
+                    .expect("valid instance")
+                    .solve(
+                        &SolverConfig::builder()
+                            .rule(rule)
+                            .lower_bound(false)
+                            .build()
+                            .expect("static test config"),
+                    )
+                    .expect("euclidean pipeline accepts every rule");
                 // The brute optimum over the pool need not beat the
                 // algorithm (whose centers are continuous reps), but with
                 // the expected points in the pool it must come close; it
@@ -300,9 +310,8 @@ mod tests {
             UncertainPoint::certain(Point::scalar(5.0)),
         ]);
         let pool = set.location_pool();
-        let sol =
-            brute_force_unrestricted(&set, &pool, 2, &Euclidean, BruteForceLimits::default())
-                .unwrap();
+        let sol = brute_force_unrestricted(&set, &pool, 2, &Euclidean, BruteForceLimits::default())
+            .unwrap();
         assert!(sol.ecost.abs() < 1e-12);
     }
 
@@ -327,9 +336,7 @@ mod tests {
             max_center_sets: 1_000_000,
             max_assignments: 1,
         };
-        assert!(
-            brute_force_unrestricted(&set, &pool, 2, &Euclidean, limits2).is_none()
-        );
+        assert!(brute_force_unrestricted(&set, &pool, 2, &Euclidean, limits2).is_none());
     }
 
     #[test]
@@ -354,9 +361,8 @@ mod tests {
         )
         .unwrap()]);
         let pool = set.location_pool();
-        let sol =
-            brute_force_unrestricted(&set, &pool, 1, &Euclidean, BruteForceLimits::default())
-                .unwrap();
+        let sol = brute_force_unrestricted(&set, &pool, 1, &Euclidean, BruteForceLimits::default())
+            .unwrap();
         // Center at 10: cost 0.3*10 = 3. Center at 0: 0.7*10 = 7.
         assert!((sol.ecost - 3.0).abs() < 1e-12);
         assert_eq!(sol.centers[0].x(), 10.0);

@@ -89,7 +89,15 @@ pub fn paper_baseline(
     k: usize,
     rule: AssignmentRule,
 ) -> BaselineSolution<Point> {
-    let sol = ukc_core::solve_euclidean(set, k, rule, ukc_core::CertainSolver::Gonzalez);
+    let config = ukc_core::SolverConfig::builder()
+        .rule(rule)
+        .lower_bound(false)
+        .build()
+        .expect("static baseline config");
+    let sol = ukc_core::Problem::euclidean(set.clone(), k.min(set.n()))
+        .expect("baseline instances are valid")
+        .solve(&config)
+        .expect("euclidean pipeline accepts every rule");
     BaselineSolution {
         centers: sol.centers,
         assignment: sol.assignment,

@@ -4,8 +4,16 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use ukc_bench::workloads::euclidean;
-use ukc_core::{solve_euclidean, AssignmentRule, CertainSolver};
+use ukc_core::{solve_batch_threads, AssignmentRule, Problem, SolverConfig};
 use ukc_uncertain::expected_point;
+
+fn config() -> SolverConfig {
+    SolverConfig::builder()
+        .rule(AssignmentRule::ExpectedPoint)
+        .lower_bound(false)
+        .build()
+        .expect("static bench config")
+}
 
 fn bench_s1(c: &mut Criterion) {
     let mut g = c.benchmark_group("scaling_s1_expected_point");
@@ -27,22 +35,41 @@ fn bench_s2(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(std::time::Duration::from_millis(300));
     g.measurement_time(std::time::Duration::from_millis(1200));
+    let cfg = config();
     for n in [128usize, 512, 2048] {
-        let set = euclidean(n, 4);
+        let problem = Problem::euclidean(euclidean(n, 4), 8).expect("valid workload");
         g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, s| {
-            b.iter(|| {
-                solve_euclidean(
-                    black_box(s),
-                    8,
-                    AssignmentRule::ExpectedPoint,
-                    CertainSolver::Gonzalez,
-                )
-            })
+        g.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, p| {
+            b.iter(|| black_box(p).solve(&cfg).expect("bench config is valid"))
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_s1, bench_s2);
+/// Batch throughput: `solve_batch` fan-out vs the sequential loop over
+/// the same 16 problems.
+fn bench_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling_batch_throughput");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    let cfg = config();
+    let problems: Vec<Problem<ukc_metric::Point>> = (0..16)
+        .map(|i| Problem::euclidean(euclidean(256 + i, 4), 8).expect("valid workload"))
+        .collect();
+    g.throughput(Throughput::Elements(problems.len() as u64));
+    g.bench_function("sequential_16x256", |b| {
+        b.iter(|| solve_batch_threads(black_box(&problems), &cfg, 1))
+    });
+    for threads in [2usize, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| b.iter(|| solve_batch_threads(black_box(&problems), &cfg, threads)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_s1, bench_s2, bench_batch);
 criterion_main!(benches);

@@ -7,8 +7,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 use ukc_bench::workloads::euclidean;
-use ukc_core::{solve_euclidean, AssignmentRule, CertainSolver};
-use ukc_geometry::{geometric_median, min_enclosing_ball, min_enclosing_ball_approx, WeiszfeldOptions};
+use ukc_core::{AssignmentRule, Problem, SolverConfig};
+use ukc_geometry::{
+    geometric_median, min_enclosing_ball, min_enclosing_ball_approx, WeiszfeldOptions,
+};
 use ukc_kcenter::gonzalez;
 use ukc_metric::Euclidean;
 use ukc_uncertain::{ecost_assigned, ecost_monte_carlo, expected_max};
@@ -47,7 +49,16 @@ fn bench_cost_eval(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(300));
     g.measurement_time(std::time::Duration::from_millis(1200));
     let set = euclidean(256, 4);
-    let sol = solve_euclidean(&set, 4, AssignmentRule::ExpectedPoint, CertainSolver::Gonzalez);
+    let sol = Problem::euclidean(set.clone(), 4)
+        .expect("valid workload")
+        .solve(
+            &SolverConfig::builder()
+                .rule(AssignmentRule::ExpectedPoint)
+                .lower_bound(false)
+                .build()
+                .expect("static bench config"),
+        )
+        .expect("bench config is valid");
     g.bench_function("exact_ecost_n256", |b| {
         b.iter(|| ecost_assigned(black_box(&set), &sol.centers, &sol.assignment, &Euclidean))
     });

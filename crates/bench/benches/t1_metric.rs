@@ -3,55 +3,50 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 use ukc_bench::workloads::graph;
-use ukc_core::{solve_metric, MetricAssignmentRule, MetricCertainSolver};
-use ukc_kcenter::ExactOptions;
+use ukc_core::{AssignmentRule, CertainStrategy, Problem, SolverConfig};
+use ukc_metric::Metric;
+
+fn config(rule: AssignmentRule, strategy: CertainStrategy) -> SolverConfig {
+    SolverConfig::builder()
+        .rule(rule)
+        .strategy(strategy)
+        .lower_bound(false)
+        .build()
+        .expect("static bench config")
+}
+
+fn metric_problem(n: usize, z: usize, k: usize) -> Problem<usize> {
+    let (fm, set) = graph(n, z);
+    let ids: Arc<[usize]> = Arc::from(fm.ids());
+    let metric: Arc<dyn Metric<usize> + Send + Sync> = Arc::new(fm);
+    Problem::in_metric_shared(set, k, metric, ids).expect("valid workload")
+}
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("t1_row9_metric");
     g.sample_size(15);
     g.warm_up_time(std::time::Duration::from_millis(300));
     g.measurement_time(std::time::Duration::from_millis(1200));
+    let oc = config(AssignmentRule::OneCenter, CertainStrategy::Gonzalez);
+    let ed = config(AssignmentRule::ExpectedDistance, CertainStrategy::Gonzalez);
     for n in [16usize, 64, 256] {
-        let (fm, set) = graph(n, 4);
-        let ids = fm.ids();
-        g.bench_with_input(BenchmarkId::new("OC_gonzalez", n), &(&fm, &set), |b, (fm, s)| {
-            b.iter(|| {
-                solve_metric(
-                    black_box(s),
-                    4,
-                    MetricAssignmentRule::OneCenter,
-                    MetricCertainSolver::Gonzalez,
-                    &ids,
-                    *fm,
-                )
-            })
+        let problem = metric_problem(n, 4, 4);
+        g.bench_with_input(BenchmarkId::new("OC_gonzalez", n), &problem, |b, p| {
+            b.iter(|| black_box(p).solve(&oc).expect("bench config is valid"))
         });
-        g.bench_with_input(BenchmarkId::new("ED_gonzalez", n), &(&fm, &set), |b, (fm, s)| {
-            b.iter(|| {
-                solve_metric(
-                    black_box(s),
-                    4,
-                    MetricAssignmentRule::ExpectedDistance,
-                    MetricCertainSolver::Gonzalez,
-                    &ids,
-                    *fm,
-                )
-            })
+        g.bench_with_input(BenchmarkId::new("ED_gonzalez", n), &problem, |b, p| {
+            b.iter(|| black_box(p).solve(&ed).expect("bench config is valid"))
         });
     }
-    let (fm, set) = graph(16, 4);
-    let ids = fm.ids();
+    let problem = metric_problem(16, 4, 4);
+    let oc_exact = config(AssignmentRule::OneCenter, CertainStrategy::ExactDiscrete);
     g.bench_function("OC_exact_discrete_n16", |b| {
         b.iter(|| {
-            solve_metric(
-                black_box(&set),
-                4,
-                MetricAssignmentRule::OneCenter,
-                MetricCertainSolver::ExactDiscrete(ExactOptions::default()),
-                &ids,
-                &fm,
-            )
+            black_box(&problem)
+                .solve(&oc_exact)
+                .expect("bench config is valid")
         })
     });
     g.finish();

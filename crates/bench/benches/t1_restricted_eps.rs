@@ -5,8 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use ukc_bench::workloads::euclidean;
-use ukc_core::{solve_euclidean, AssignmentRule, CertainSolver};
-use ukc_kcenter::GridOptions;
+use ukc_core::{AssignmentRule, CertainStrategy, Problem, SolverConfig};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("t1_rows3_5_restricted_eps");
@@ -14,18 +13,18 @@ fn bench(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(300));
     g.measurement_time(std::time::Duration::from_millis(1200));
     for n in [16usize, 32] {
-        let set = euclidean(n, 4);
+        let problem = Problem::euclidean(euclidean(n, 4), 3).expect("valid workload");
         for eps in [0.5f64, 0.25] {
+            let config = SolverConfig::builder()
+                .rule(AssignmentRule::ExpectedPoint)
+                .strategy(CertainStrategy::Grid)
+                .eps(eps)
+                .lower_bound(false)
+                .build()
+                .expect("static bench config");
             let id = format!("n{n}_eps{eps}");
-            g.bench_with_input(BenchmarkId::new("EP_grid", &id), &set, |b, s| {
-                b.iter(|| {
-                    solve_euclidean(
-                        black_box(s),
-                        3,
-                        AssignmentRule::ExpectedPoint,
-                        CertainSolver::Grid(GridOptions { eps, ..Default::default() }),
-                    )
-                })
+            g.bench_with_input(BenchmarkId::new("EP_grid", &id), &problem, |b, p| {
+                b.iter(|| black_box(p).solve(&config).expect("bench config is valid"))
             });
         }
     }

@@ -4,34 +4,30 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use ukc_bench::workloads::euclidean;
-use ukc_core::{solve_euclidean, AssignmentRule, CertainSolver};
+use ukc_core::{AssignmentRule, Problem, SolverConfig};
+
+fn config(rule: AssignmentRule) -> SolverConfig {
+    SolverConfig::builder()
+        .rule(rule)
+        .lower_bound(false)
+        .build()
+        .expect("static bench config")
+}
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("t1_rows2_4_restricted_greedy");
     g.sample_size(15);
     g.warm_up_time(std::time::Duration::from_millis(300));
     g.measurement_time(std::time::Duration::from_millis(1200));
+    let ed = config(AssignmentRule::ExpectedDistance);
+    let ep = config(AssignmentRule::ExpectedPoint);
     for n in [64usize, 256, 1024] {
-        let set = euclidean(n, 4);
-        g.bench_with_input(BenchmarkId::new("ED_rule", n), &set, |b, s| {
-            b.iter(|| {
-                solve_euclidean(
-                    black_box(s),
-                    4,
-                    AssignmentRule::ExpectedDistance,
-                    CertainSolver::Gonzalez,
-                )
-            })
+        let problem = Problem::euclidean(euclidean(n, 4), 4).expect("valid workload");
+        g.bench_with_input(BenchmarkId::new("ED_rule", n), &problem, |b, p| {
+            b.iter(|| black_box(p).solve(&ed).expect("bench config is valid"))
         });
-        g.bench_with_input(BenchmarkId::new("EP_rule", n), &set, |b, s| {
-            b.iter(|| {
-                solve_euclidean(
-                    black_box(s),
-                    4,
-                    AssignmentRule::ExpectedPoint,
-                    CertainSolver::Gonzalez,
-                )
-            })
+        g.bench_with_input(BenchmarkId::new("EP_rule", n), &problem, |b, p| {
+            b.iter(|| black_box(p).solve(&ep).expect("bench config is valid"))
         });
     }
     g.finish();

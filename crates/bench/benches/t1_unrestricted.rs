@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use ukc_baselines::{brute_force_unrestricted, BruteForceLimits};
 use ukc_bench::workloads::euclidean;
-use ukc_core::{solve_euclidean, AssignmentRule, CertainSolver};
+use ukc_core::{AssignmentRule, Problem, SolverConfig};
 use ukc_metric::Euclidean;
 
 fn bench(c: &mut Criterion) {
@@ -18,14 +18,17 @@ fn bench(c: &mut Criterion) {
     let set = euclidean(5, 3);
     let mut pool = set.location_pool();
     pool.extend(set.iter().map(ukc_uncertain::expected_point));
+    let problem = Problem::euclidean(set.clone(), 2).expect("valid workload");
+    let config = SolverConfig::builder()
+        .rule(AssignmentRule::ExpectedPoint)
+        .lower_bound(false)
+        .build()
+        .expect("static bench config");
     g.bench_function("paper_pipeline_n5", |b| {
         b.iter(|| {
-            solve_euclidean(
-                black_box(&set),
-                2,
-                AssignmentRule::ExpectedPoint,
-                CertainSolver::Gonzalez,
-            )
+            black_box(&problem)
+                .solve(&config)
+                .expect("bench config is valid")
         })
     });
     g.bench_function("brute_force_optimum_n5", |b| {

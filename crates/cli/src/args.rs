@@ -1,9 +1,11 @@
-//! Minimal `--flag value` argument parsing (no external parser crates;
-//! the allowed dependency set has none, and the surface is small).
+//! Minimal `--flag value` / `--flag=value` argument parsing (no external
+//! parser crates; the allowed dependency set has none, and the surface is
+//! small).
 
 use std::collections::HashMap;
 
-/// Parsed command line: a subcommand plus `--key value` options.
+/// Parsed command line: a subcommand plus `--key value` / `--key=value`
+/// options.
 #[derive(Debug)]
 pub struct Args {
     /// The subcommand (first positional argument).
@@ -20,6 +22,9 @@ pub enum ArgError {
     MissingValue(String),
     /// A positional argument appeared where a flag was expected.
     Unexpected(String),
+    /// The same `--flag` appeared twice (the CLI refuses to guess which
+    /// one was meant instead of silently taking the last).
+    Duplicate(String),
     /// A required option is absent.
     MissingOption(String),
     /// An option failed to parse.
@@ -37,6 +42,7 @@ impl std::fmt::Display for ArgError {
             ArgError::MissingCommand => write!(f, "missing subcommand"),
             ArgError::MissingValue(k) => write!(f, "--{k} needs a value"),
             ArgError::Unexpected(a) => write!(f, "unexpected argument {a}"),
+            ArgError::Duplicate(k) => write!(f, "--{k} given more than once"),
             ArgError::MissingOption(k) => write!(f, "required option --{k} missing"),
             ArgError::BadValue { key, value } => write!(f, "--{key}: cannot parse {value:?}"),
         }
@@ -46,18 +52,29 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 impl Args {
-    /// Parses `argv[1..]`.
+    /// Parses `argv[1..]`; both `--key value` and `--key=value` spellings
+    /// are accepted, duplicates are rejected.
     pub fn parse(argv: impl Iterator<Item = String>) -> Result<Self, ArgError> {
         let mut it = argv.peekable();
         let command = it.next().ok_or(ArgError::MissingCommand)?;
         let mut opts = HashMap::new();
         while let Some(a) = it.next() {
-            let key = a
+            let body = a
                 .strip_prefix("--")
-                .ok_or_else(|| ArgError::Unexpected(a.clone()))?
-                .to_string();
-            let value = it.next().ok_or_else(|| ArgError::MissingValue(key.clone()))?;
-            opts.insert(key, value);
+                .ok_or_else(|| ArgError::Unexpected(a.clone()))?;
+            let (key, value) = match body.split_once('=') {
+                Some((k, v)) => (k.to_string(), v.to_string()),
+                None => {
+                    let key = body.to_string();
+                    let value = it
+                        .next()
+                        .ok_or_else(|| ArgError::MissingValue(key.clone()))?;
+                    (key, value)
+                }
+            };
+            if opts.insert(key.clone(), value).is_some() {
+                return Err(ArgError::Duplicate(key));
+            }
         }
         Ok(Self { command, opts })
     }
@@ -111,6 +128,33 @@ mod tests {
         assert_eq!(a.parse_required::<usize>("k").unwrap(), 3);
         assert_eq!(a.get_or("rule", "ed"), "ep");
         assert_eq!(a.get_or("solver", "gonzalez"), "gonzalez");
+    }
+
+    #[test]
+    fn parses_equals_syntax() {
+        let a = parse(&["solve", "--k=3", "--rule=ep", "--out", "x.json"]).unwrap();
+        assert_eq!(a.parse_required::<usize>("k").unwrap(), 3);
+        assert_eq!(a.get_or("rule", "ed"), "ep");
+        assert_eq!(a.required("out").unwrap(), "x.json");
+        // `--key=` is an explicit empty value, not an error.
+        let a = parse(&["solve", "--note="]).unwrap();
+        assert_eq!(a.required("note").unwrap(), "");
+        // Values may contain '=' themselves.
+        let a = parse(&["solve", "--filter=a=b"]).unwrap();
+        assert_eq!(a.required("filter").unwrap(), "a=b");
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        assert_eq!(
+            parse(&["solve", "--k", "3", "--k", "4"]).unwrap_err(),
+            ArgError::Duplicate("k".into())
+        );
+        // Mixed spellings of the same flag are still duplicates.
+        assert_eq!(
+            parse(&["solve", "--k=3", "--k", "4"]).unwrap_err(),
+            ArgError::Duplicate("k".into())
+        );
     }
 
     #[test]

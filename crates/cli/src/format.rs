@@ -13,13 +13,16 @@
 //!   ]
 //! }
 //! ```
+//!
+//! Serialization is hand-rolled over [`ukc_json::Json`]; floats round-trip
+//! exactly (shortest round-trip formatting on write, `f64` parse on read).
 
-use serde::{Deserialize, Serialize};
+use ukc_json::Json;
 use ukc_metric::Point;
 use ukc_uncertain::{UncertainPoint, UncertainSet};
 
 /// One uncertain point on disk.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct JsonPoint {
     /// Possible locations, each a `dim`-length coordinate vector.
     pub locations: Vec<Vec<f64>>,
@@ -28,7 +31,7 @@ pub struct JsonPoint {
 }
 
 /// A complete instance on disk.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct JsonInstance {
     /// Ambient dimension; every location must have this length.
     pub dim: usize,
@@ -37,7 +40,7 @@ pub struct JsonInstance {
 }
 
 /// A solution on disk.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct JsonSolution {
     /// Chosen centers.
     pub centers: Vec<Vec<f64>>,
@@ -55,6 +58,8 @@ pub struct JsonSolution {
 /// applicable.
 #[derive(Debug)]
 pub enum FormatError {
+    /// The document is not valid JSON or misses a required field.
+    Schema(String),
     /// A location's length disagrees with `dim`.
     DimMismatch {
         /// Index of the offending point.
@@ -83,8 +88,16 @@ pub enum FormatError {
 impl std::fmt::Display for FormatError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            FormatError::DimMismatch { point, got, expected } => {
-                write!(f, "point {point}: location has {got} coordinates, instance dim is {expected}")
+            FormatError::Schema(msg) => write!(f, "{msg}"),
+            FormatError::DimMismatch {
+                point,
+                got,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "point {point}: location has {got} coordinates, instance dim is {expected}"
+                )
             }
             FormatError::BadPoint { point, source } => write!(f, "point {point}: {source}"),
             FormatError::Empty => write!(f, "instance has no points"),
@@ -95,7 +108,72 @@ impl std::fmt::Display for FormatError {
 
 impl std::error::Error for FormatError {}
 
+fn field<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, FormatError> {
+    doc.get(key)
+        .ok_or_else(|| FormatError::Schema(format!("missing field {key:?}")))
+}
+
+fn f64_array(value: &Json, what: &str) -> Result<Vec<f64>, FormatError> {
+    value
+        .as_array()
+        .ok_or_else(|| FormatError::Schema(format!("{what} must be an array")))?
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .ok_or_else(|| FormatError::Schema(format!("{what} must contain numbers")))
+        })
+        .collect()
+}
+
 impl JsonInstance {
+    /// Parses an instance document.
+    pub fn parse(text: &str) -> Result<Self, FormatError> {
+        let doc = Json::parse(text).map_err(|e| FormatError::Schema(e.to_string()))?;
+        let dim = field(&doc, "dim")?
+            .as_usize()
+            .ok_or_else(|| FormatError::Schema("dim must be a non-negative integer".into()))?;
+        let points = field(&doc, "points")?
+            .as_array()
+            .ok_or_else(|| FormatError::Schema("points must be an array".into()))?
+            .iter()
+            .map(|p| {
+                Ok(JsonPoint {
+                    locations: field(p, "locations")?
+                        .as_array()
+                        .ok_or_else(|| FormatError::Schema("locations must be an array".into()))?
+                        .iter()
+                        .map(|loc| f64_array(loc, "location"))
+                        .collect::<Result<_, _>>()?,
+                    probs: f64_array(field(p, "probs")?, "probs")?,
+                })
+            })
+            .collect::<Result<Vec<_>, FormatError>>()?;
+        Ok(Self { dim, points })
+    }
+
+    /// Serializes to a JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("dim", Json::from(self.dim)),
+            (
+                "points",
+                Json::arr(self.points.iter().map(|p| {
+                    Json::obj([
+                        (
+                            "locations",
+                            Json::arr(
+                                p.locations
+                                    .iter()
+                                    .map(|loc| Json::nums(loc.iter().copied())),
+                            ),
+                        ),
+                        ("probs", Json::nums(p.probs.iter().copied())),
+                    ])
+                })),
+            ),
+        ])
+    }
+
     /// Validates and converts to the library representation.
     pub fn to_set(&self) -> Result<UncertainSet<Point>, FormatError> {
         if self.points.is_empty() {
@@ -139,6 +217,59 @@ impl JsonInstance {
 }
 
 impl JsonSolution {
+    /// Parses a solution document.
+    pub fn parse(text: &str) -> Result<Self, FormatError> {
+        let doc = Json::parse(text).map_err(|e| FormatError::Schema(e.to_string()))?;
+        let centers = field(&doc, "centers")?
+            .as_array()
+            .ok_or_else(|| FormatError::Schema("centers must be an array".into()))?
+            .iter()
+            .map(|c| f64_array(c, "center"))
+            .collect::<Result<_, _>>()?;
+        let assignment = field(&doc, "assignment")?
+            .as_array()
+            .ok_or_else(|| FormatError::Schema("assignment must be an array".into()))?
+            .iter()
+            .map(|v| {
+                v.as_usize()
+                    .ok_or_else(|| FormatError::Schema("assignment must contain indices".into()))
+            })
+            .collect::<Result<_, _>>()?;
+        let ecost = field(&doc, "ecost")?
+            .as_f64()
+            .ok_or_else(|| FormatError::Schema("ecost must be a number".into()))?;
+        let lower_bound = doc.get("lower_bound").and_then(Json::as_f64).unwrap_or(0.0);
+        let method = doc
+            .get("method")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
+        Ok(Self {
+            centers,
+            assignment,
+            ecost,
+            lower_bound,
+            method,
+        })
+    }
+
+    /// Serializes to a JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "centers",
+                Json::arr(self.centers.iter().map(|c| Json::nums(c.iter().copied()))),
+            ),
+            (
+                "assignment",
+                Json::arr(self.assignment.iter().map(|&a| Json::from(a))),
+            ),
+            ("ecost", Json::from(self.ecost)),
+            ("lower_bound", Json::from(self.lower_bound)),
+            ("method", Json::from(self.method.as_str())),
+        ])
+    }
+
     /// The centers as library points.
     pub fn center_points(&self) -> Vec<Point> {
         self.centers.iter().map(|c| Point::new(c.clone())).collect()
@@ -154,12 +285,12 @@ mod tests {
     fn roundtrip_preserves_instance() {
         let set = clustered(3, 8, 3, 2, 2, 4.0, 1.0, ProbModel::Random);
         let json = JsonInstance::from_set(&set);
-        let text = serde_json::to_string(&json).unwrap();
-        let parsed: JsonInstance = serde_json::from_str(&text).unwrap();
+        let text = json.to_json().pretty();
+        let parsed = JsonInstance::parse(&text).unwrap();
         let back = parsed.to_set().unwrap();
-        // Locations roundtrip exactly (serde_json's float_roundtrip
-        // feature); probabilities are re-normalized at construction, which
-        // can shift the last ulp — compare those within 1e-15.
+        // Locations roundtrip exactly (shortest round-trip float
+        // formatting); probabilities are re-normalized at construction,
+        // which can shift the last ulp — compare those within 1e-15.
         assert_eq!(set.n(), back.n());
         for (a, b) in set.iter().zip(back.iter()) {
             assert_eq!(a.locations(), b.locations());
@@ -167,6 +298,24 @@ mod tests {
                 assert!((pa - pb).abs() < 1e-15);
             }
         }
+    }
+
+    #[test]
+    fn solution_roundtrips() {
+        let sol = JsonSolution {
+            centers: vec![vec![0.5, -1.25], vec![3.0, 4.0]],
+            assignment: vec![0, 1, 1, 0],
+            ecost: 1.75,
+            lower_bound: 0.5,
+            method: "ep+gonzalez".into(),
+        };
+        let text = sol.to_json().pretty();
+        let back = JsonSolution::parse(&text).unwrap();
+        assert_eq!(back.centers, sol.centers);
+        assert_eq!(back.assignment, sol.assignment);
+        assert_eq!(back.ecost, sol.ecost);
+        assert_eq!(back.lower_bound, sol.lower_bound);
+        assert_eq!(back.method, sol.method);
     }
 
     #[test]
@@ -180,7 +329,11 @@ mod tests {
         };
         assert!(matches!(
             j.to_set(),
-            Err(FormatError::DimMismatch { point: 0, got: 1, expected: 2 })
+            Err(FormatError::DimMismatch {
+                point: 0,
+                got: 1,
+                expected: 2
+            })
         ));
     }
 
@@ -193,12 +346,18 @@ mod tests {
                 probs: vec![0.4],
             }],
         };
-        assert!(matches!(j.to_set(), Err(FormatError::BadPoint { point: 0, .. })));
+        assert!(matches!(
+            j.to_set(),
+            Err(FormatError::BadPoint { point: 0, .. })
+        ));
     }
 
     #[test]
     fn rejects_empty_and_non_finite() {
-        let j = JsonInstance { dim: 1, points: vec![] };
+        let j = JsonInstance {
+            dim: 1,
+            points: vec![],
+        };
         assert!(matches!(j.to_set(), Err(FormatError::Empty)));
         let j = JsonInstance {
             dim: 1,
@@ -207,6 +366,25 @@ mod tests {
                 probs: vec![1.0],
             }],
         };
-        assert!(matches!(j.to_set(), Err(FormatError::NonFinite { point: 0 })));
+        assert!(matches!(
+            j.to_set(),
+            Err(FormatError::NonFinite { point: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_schema_errors() {
+        assert!(matches!(
+            JsonInstance::parse("{\"points\": []}"),
+            Err(FormatError::Schema(_))
+        ));
+        assert!(matches!(
+            JsonInstance::parse("not json"),
+            Err(FormatError::Schema(_))
+        ));
+        assert!(matches!(
+            JsonSolution::parse("{\"centers\": [[0]], \"assignment\": [0.5], \"ecost\": 1}"),
+            Err(FormatError::Schema(_))
+        ));
     }
 }

@@ -3,6 +3,8 @@
 //! ```text
 //! ukc generate --workload clustered --n 40 --z 4 --dim 2 --seed 7 --out inst.json
 //! ukc solve    --instance inst.json --k 3 --rule ep --solver gonzalez --out sol.json
+//! ukc solve    --instance inst.json --k=3 --format json        # machine-readable report
+//! ukc batch    --instances a.json,b.json,c.json --k 3 --threads 4
 //! ukc evaluate --instance inst.json --solution sol.json
 //! ukc bound    --instance inst.json --k 3
 //! ukc info     --instance inst.json
@@ -12,6 +14,8 @@
 //!
 //! All subcommands read/write the JSON formats of [`format`]; numeric
 //! results print on stdout, diagnostics on stderr, non-zero exit on error.
+//! `--format json` (on `solve` and `batch`) emits the full solution +
+//! instrumentation report as one JSON document on stdout.
 
 mod args;
 mod format;
@@ -19,11 +23,13 @@ mod format;
 use args::Args;
 use format::{JsonInstance, JsonSolution};
 use ukc_core::{
-    lower_bound_euclidean, solve_euclidean, AssignmentRule, CertainSolver,
+    solve_batch_threads, AssignmentRule, CertainStrategy, Problem, Report, Solution, SolverConfig,
 };
-use ukc_kcenter::{ExactOptions, GridOptions};
+use ukc_json::Json;
 use ukc_metric::{Euclidean, Point};
-use ukc_uncertain::generators::{clustered, line_instance, ring, two_scale, uniform_box, ProbModel};
+use ukc_uncertain::generators::{
+    clustered, line_instance, ring, two_scale, uniform_box, ProbModel,
+};
 use ukc_uncertain::{ecost_assigned, UncertainSet};
 
 fn main() {
@@ -41,7 +47,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage: ukc <generate|solve|evaluate|bound|info|kmedian|kmeans> [--flag value ...]\n\
+        "usage: ukc <generate|solve|batch|evaluate|bound|info|kmedian|kmeans> [--flag value | --flag=value ...]\n\
          see `cargo doc -p ukc-cli` or the module docs for the full flag list"
     );
 }
@@ -50,6 +56,7 @@ fn run(a: &Args) -> i32 {
     let result = match a.command.as_str() {
         "generate" => cmd_generate(a),
         "solve" => cmd_solve(a),
+        "batch" => cmd_batch(a),
         "evaluate" => cmd_evaluate(a),
         "bound" => cmd_bound(a),
         "info" => cmd_info(a),
@@ -72,11 +79,14 @@ fn run(a: &Args) -> i32 {
 
 type CmdResult = Result<(), Box<dyn std::error::Error>>;
 
-fn load_instance(a: &Args) -> Result<UncertainSet<Point>, Box<dyn std::error::Error>> {
-    let path = a.required("instance")?;
+fn load_instance_at(path: &str) -> Result<UncertainSet<Point>, Box<dyn std::error::Error>> {
     let text = std::fs::read_to_string(path)?;
-    let json: JsonInstance = serde_json::from_str(&text)?;
+    let json = JsonInstance::parse(&text)?;
     Ok(json.to_set()?)
+}
+
+fn load_instance(a: &Args) -> Result<UncertainSet<Point>, Box<dyn std::error::Error>> {
+    load_instance_at(a.required("instance")?)
 }
 
 fn prob_model(a: &Args) -> Result<ProbModel, Box<dyn std::error::Error>> {
@@ -86,6 +96,115 @@ fn prob_model(a: &Args) -> Result<ProbModel, Box<dyn std::error::Error>> {
         "heavy" | "heavy-tail" => Ok(ProbModel::HeavyTail),
         other => Err(format!("unknown prob model {other} (uniform|random|heavy)").into()),
     }
+}
+
+/// Builds a [`SolverConfig`] from the shared `--rule`, `--solver`,
+/// `--eps`, `--rounds`, and `--seed` flags.
+fn solver_config(a: &Args) -> Result<SolverConfig, Box<dyn std::error::Error>> {
+    solver_config_with_seed_default(a, 0)
+}
+
+/// Like [`solver_config`] with a caller-chosen `--seed` default
+/// (`kmeans` has historically defaulted to seed 1).
+fn solver_config_with_seed_default(
+    a: &Args,
+    default_seed: u64,
+) -> Result<SolverConfig, Box<dyn std::error::Error>> {
+    let rule = match a.get_or("rule", "ep") {
+        "ed" => AssignmentRule::ExpectedDistance,
+        "ep" => AssignmentRule::ExpectedPoint,
+        "oc" => AssignmentRule::OneCenter,
+        other => return Err(format!("unknown rule {other} (ed|ep|oc)").into()),
+    };
+    let strategy = match a.get_or("solver", "gonzalez") {
+        "gonzalez" => CertainStrategy::Gonzalez,
+        "local-search" => CertainStrategy::GonzalezLocalSearch {
+            rounds: a.parse_or("rounds", 50usize)?,
+        },
+        "grid" => CertainStrategy::Grid,
+        "exact" => CertainStrategy::ExactDiscrete,
+        other => {
+            return Err(format!("unknown solver {other} (gonzalez|local-search|grid|exact)").into())
+        }
+    };
+    let config = SolverConfig::builder()
+        .rule(rule)
+        .strategy(strategy)
+        .eps(a.parse_or("eps", 0.25f64)?)
+        .seed(a.parse_or("seed", default_seed)?)
+        .build()?;
+    Ok(config)
+}
+
+/// Output format selector shared by `solve` and `batch`.
+fn output_format(a: &Args) -> Result<&str, Box<dyn std::error::Error>> {
+    match a.get_or("format", "text") {
+        f @ ("text" | "json") => Ok(f),
+        other => Err(format!("unknown format {other} (text|json)").into()),
+    }
+}
+
+fn report_json(report: &Report) -> Json {
+    let secs = |d: std::time::Duration| Json::from(d.as_secs_f64());
+    Json::obj([
+        ("method", Json::from(report.method.as_str())),
+        (
+            "lower_bound",
+            report.lower_bound.map_or(Json::Null, Json::from),
+        ),
+        (
+            "timings_seconds",
+            Json::obj([
+                ("representatives", secs(report.timings.representatives)),
+                ("certain_solve", secs(report.timings.certain_solve)),
+                ("assignment", secs(report.timings.assignment)),
+                ("cost", secs(report.timings.cost)),
+                ("lower_bound", secs(report.timings.lower_bound)),
+                ("total", secs(report.timings.total)),
+            ]),
+        ),
+        (
+            "distance_evals",
+            Json::obj([
+                (
+                    "representatives",
+                    Json::from(report.distance_evals.representatives as f64),
+                ),
+                (
+                    "certain_solve",
+                    Json::from(report.distance_evals.certain_solve as f64),
+                ),
+                (
+                    "assignment",
+                    Json::from(report.distance_evals.assignment as f64),
+                ),
+                ("cost", Json::from(report.distance_evals.cost as f64)),
+                (
+                    "lower_bound",
+                    Json::from(report.distance_evals.lower_bound as f64),
+                ),
+                ("total", Json::from(report.distance_evals.total() as f64)),
+            ]),
+        ),
+    ])
+}
+
+/// The solution as one JSON document: the [`JsonSolution`] disk schema
+/// plus `certain_radius` and the instrumentation `report`.
+fn solution_document(sol: &Solution<Point>) -> Json {
+    let disk = JsonSolution {
+        centers: sol.centers.iter().map(|c| c.coords().to_vec()).collect(),
+        assignment: sol.assignment.clone(),
+        ecost: sol.ecost,
+        lower_bound: sol.report.lower_bound.unwrap_or(0.0),
+        method: sol.report.method.clone(),
+    };
+    let mut doc = disk.to_json();
+    if let Json::Obj(pairs) = &mut doc {
+        pairs.push(("certain_radius".into(), Json::from(sol.certain_radius)));
+        pairs.push(("report".into(), report_json(&sol.report)));
+    }
+    doc
 }
 
 fn cmd_generate(a: &Args) -> CmdResult {
@@ -107,48 +226,110 @@ fn cmd_generate(a: &Args) -> CmdResult {
     };
     let json = JsonInstance::from_set(&set);
     let out = a.get_or("out", "instance.json");
-    std::fs::write(out, serde_json::to_string_pretty(&json)?)?;
-    eprintln!("wrote {out}: n={} z={} dim={}", set.n(), set.max_z(), json.dim);
+    std::fs::write(out, json.to_json().pretty())?;
+    eprintln!(
+        "wrote {out}: n={} z={} dim={}",
+        set.n(),
+        set.max_z(),
+        json.dim
+    );
     Ok(())
 }
 
 fn cmd_solve(a: &Args) -> CmdResult {
     let set = load_instance(a)?;
     let k: usize = a.parse_required("k")?;
-    let rule = match a.get_or("rule", "ep") {
-        "ed" => AssignmentRule::ExpectedDistance,
-        "ep" => AssignmentRule::ExpectedPoint,
-        "oc" => AssignmentRule::OneCenter,
-        other => return Err(format!("unknown rule {other} (ed|ep|oc)").into()),
-    };
-    let solver = match a.get_or("solver", "gonzalez") {
-        "gonzalez" => CertainSolver::Gonzalez,
-        "local-search" => CertainSolver::GonzalezLocalSearch { rounds: 50 },
-        "grid" => {
-            let eps: f64 = a.parse_or("eps", 0.25)?;
-            CertainSolver::Grid(GridOptions { eps, ..Default::default() })
-        }
-        "exact" => CertainSolver::ExactDiscrete(ExactOptions::default()),
-        other => {
-            return Err(format!("unknown solver {other} (gonzalez|local-search|grid|exact)").into())
-        }
-    };
-    let sol = solve_euclidean(&set, k, rule, solver);
-    let lb = lower_bound_euclidean(&set, k);
-    let json = JsonSolution {
-        centers: sol.centers.iter().map(|c| c.coords().to_vec()).collect(),
-        assignment: sol.assignment.clone(),
-        ecost: sol.ecost,
-        lower_bound: lb,
-        method: format!("{rule:?}+{}", a.get_or("solver", "gonzalez")),
-    };
+    let config = solver_config(a)?;
+    let format = output_format(a)?;
+    let problem = Problem::euclidean(set, k)?;
+    let sol = problem.solve(&config)?;
+    let doc = solution_document(&sol);
     if let Ok(out) = a.required("out") {
-        std::fs::write(out, serde_json::to_string_pretty(&json)?)?;
+        std::fs::write(out, doc.pretty())?;
         eprintln!("wrote {out}");
     }
+    if format == "json" {
+        println!("{}", doc.pretty());
+        return Ok(());
+    }
+    let lb = sol.report.lower_bound.unwrap_or(0.0);
     println!("ecost {:.6}", sol.ecost);
-    println!("lower_bound {:.6}", lb);
-    println!("ratio_upper_bound {:.4}", sol.ecost / lb.max(f64::MIN_POSITIVE));
+    println!("lower_bound {lb:.6}");
+    println!(
+        "ratio_upper_bound {:.4}",
+        sol.ecost / lb.max(f64::MIN_POSITIVE)
+    );
+    println!("certain_radius {:.6}", sol.certain_radius);
+    println!(
+        "solve_time_ms {:.3} (reps {:.3} / certain {:.3} / assign {:.3} / cost {:.3})",
+        sol.report.timings.total.as_secs_f64() * 1e3,
+        sol.report.timings.representatives.as_secs_f64() * 1e3,
+        sol.report.timings.certain_solve.as_secs_f64() * 1e3,
+        sol.report.timings.assignment.as_secs_f64() * 1e3,
+        sol.report.timings.cost.as_secs_f64() * 1e3,
+    );
+    println!("distance_evals {}", sol.report.distance_evals.total());
+    Ok(())
+}
+
+fn cmd_batch(a: &Args) -> CmdResult {
+    let paths: Vec<&str> = a.required("instances")?.split(',').collect();
+    let k: usize = a.parse_required("k")?;
+    let config = solver_config(a)?;
+    let format = output_format(a)?;
+    let threads: usize = a.parse_or(
+        "threads",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    )?;
+    let mut problems = Vec::with_capacity(paths.len());
+    for path in &paths {
+        problems.push(Problem::euclidean(load_instance_at(path)?, k)?);
+    }
+    let results = solve_batch_threads(&problems, &config, threads);
+    if format == "json" {
+        let items = paths
+            .iter()
+            .zip(&results)
+            .map(|(path, result)| match result {
+                Ok(sol) => {
+                    let mut doc = solution_document(sol);
+                    if let Json::Obj(pairs) = &mut doc {
+                        pairs.insert(0, ("instance".into(), Json::from(*path)));
+                    }
+                    doc
+                }
+                Err(e) => Json::obj([
+                    ("instance", Json::from(*path)),
+                    ("error", Json::from(e.to_string())),
+                ]),
+            });
+        println!("{}", Json::arr(items).pretty());
+        return Ok(());
+    }
+    println!(
+        "{:<32} {:>12} {:>12} {:>10}",
+        "instance", "ecost", "lower_bound", "time_ms"
+    );
+    let mut failures = 0usize;
+    for (path, result) in paths.iter().zip(&results) {
+        match result {
+            Ok(sol) => println!(
+                "{path:<32} {:>12.6} {:>12.6} {:>10.3}",
+                sol.ecost,
+                sol.report.lower_bound.unwrap_or(0.0),
+                sol.report.timings.total.as_secs_f64() * 1e3
+            ),
+            Err(e) => {
+                failures += 1;
+                println!("{path:<32} error: {e}");
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!("{failures} of {} instances failed", paths.len()).into());
+    }
     Ok(())
 }
 
@@ -156,7 +337,7 @@ fn cmd_evaluate(a: &Args) -> CmdResult {
     let set = load_instance(a)?;
     let path = a.required("solution")?;
     let text = std::fs::read_to_string(path)?;
-    let sol: JsonSolution = serde_json::from_str(&text)?;
+    let sol = JsonSolution::parse(&text)?;
     if sol.assignment.len() != set.n() {
         return Err(format!(
             "solution assigns {} points, instance has {}",
@@ -183,7 +364,10 @@ fn cmd_evaluate(a: &Args) -> CmdResult {
 fn cmd_bound(a: &Args) -> CmdResult {
     let set = load_instance(a)?;
     let k: usize = a.parse_required("k")?;
-    println!("lower_bound {:.6}", lower_bound_euclidean(&set, k));
+    println!(
+        "lower_bound {:.6}",
+        ukc_core::lower_bound_euclidean(&set, k)
+    );
     Ok(())
 }
 
@@ -201,8 +385,9 @@ fn cmd_info(a: &Args) -> CmdResult {
 fn cmd_kmedian(a: &Args) -> CmdResult {
     let set = load_instance(a)?;
     let k: usize = a.parse_required("k")?;
+    let config = solver_config(a)?;
     let pool = set.location_pool();
-    let sol = ukc_extensions::uncertain_kmedian_local_search(&set, &pool, k, &Euclidean, 50);
+    let sol = ukc_extensions::uncertain_kmedian(&set, &pool, k, &Euclidean, &config)?;
     println!("kmedian_cost {:.6}", sol.cost);
     Ok(())
 }
@@ -210,8 +395,8 @@ fn cmd_kmedian(a: &Args) -> CmdResult {
 fn cmd_kmeans(a: &Args) -> CmdResult {
     let set = load_instance(a)?;
     let k: usize = a.parse_required("k")?;
-    let seed: u64 = a.parse_or("seed", 1)?;
-    let sol = ukc_extensions::uncertain_kmeans(&set, k, seed, 6, 100);
+    let config = solver_config_with_seed_default(a, 1)?;
+    let sol = ukc_extensions::uncertain_kmeans_configured(&set, k, &config)?;
     println!("kmeans_cost {:.6}", sol.cost);
     println!("variance_floor {:.6}", sol.variance_floor);
     Ok(())

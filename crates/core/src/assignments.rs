@@ -45,11 +45,7 @@ pub enum MetricAssignmentRule {
 ///
 /// # Panics
 /// Panics when `centers` is empty.
-pub fn assign_ed<P, M: Metric<P>>(
-    set: &UncertainSet<P>,
-    centers: &[P],
-    metric: &M,
-) -> Vec<usize> {
+pub fn assign_ed<P, M: Metric<P>>(set: &UncertainSet<P>, centers: &[P], metric: &M) -> Vec<usize> {
     assert!(!centers.is_empty(), "need at least one center");
     set.iter()
         .map(|up| {
@@ -81,10 +77,7 @@ pub fn assign_ep<M: Metric<Point>>(
     set.iter()
         .map(|up| {
             let pbar = expected_point(up);
-            metric
-                .nearest(&pbar, centers)
-                .expect("non-empty centers")
-                .0
+            metric.nearest(&pbar, centers).expect("non-empty centers").0
         })
         .collect()
 }
@@ -118,11 +111,8 @@ mod tests {
 
     fn set_two_groups() -> UncertainSet<Point> {
         UncertainSet::new(vec![
-            UncertainPoint::new(
-                vec![Point::scalar(0.0), Point::scalar(2.0)],
-                vec![0.5, 0.5],
-            )
-            .unwrap(),
+            UncertainPoint::new(vec![Point::scalar(0.0), Point::scalar(2.0)], vec![0.5, 0.5])
+                .unwrap(),
             UncertainPoint::new(
                 vec![Point::scalar(10.0), Point::scalar(12.0)],
                 vec![0.5, 0.5],

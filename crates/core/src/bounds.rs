@@ -113,10 +113,25 @@ pub fn lower_bound_metric<P: Clone, M: Metric<P>>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::solver::{solve_euclidean, solve_metric, CertainSolver, MetricCertainSolver};
-    use crate::{AssignmentRule, MetricAssignmentRule};
+    use crate::{AssignmentRule, Problem, Solution, SolverConfig};
     use ukc_metric::FiniteMetric;
     use ukc_uncertain::generators::{clustered, on_finite_metric, uniform_box, ProbModel};
+    use ukc_uncertain::UncertainSet;
+
+    fn config(rule: AssignmentRule) -> SolverConfig {
+        SolverConfig::builder()
+            .rule(rule)
+            .lower_bound(false)
+            .build()
+            .unwrap()
+    }
+
+    fn solve_eu(set: &UncertainSet<Point>, k: usize, rule: AssignmentRule) -> Solution<Point> {
+        Problem::euclidean(set.clone(), k)
+            .unwrap()
+            .solve(&config(rule))
+            .unwrap()
+    }
 
     #[test]
     fn euclidean_bound_below_every_algorithm_output() {
@@ -128,7 +143,7 @@ mod tests {
                 AssignmentRule::ExpectedPoint,
                 AssignmentRule::OneCenter,
             ] {
-                let sol = solve_euclidean(&set, 3, rule, CertainSolver::Gonzalez);
+                let sol = solve_eu(&set, 3, rule);
                 assert!(
                     lb <= sol.ecost + 1e-9,
                     "seed {seed} rule {rule:?}: lb {lb} > ecost {}",
@@ -153,12 +168,11 @@ mod tests {
             let set = on_finite_metric(seed, fm.len(), 8, 3, ProbModel::Random);
             let pool = set.location_pool();
             let lb = lower_bound_metric(&set, 2, &pool, &fm);
-            for rule in [
-                MetricAssignmentRule::ExpectedDistance,
-                MetricAssignmentRule::OneCenter,
-            ] {
-                let sol =
-                    solve_metric(&set, 2, rule, MetricCertainSolver::Gonzalez, &pool, &fm);
+            for rule in [AssignmentRule::ExpectedDistance, AssignmentRule::OneCenter] {
+                let sol = Problem::in_metric(set.clone(), 2, fm.clone(), pool.clone())
+                    .unwrap()
+                    .solve(&config(rule))
+                    .unwrap();
                 assert!(
                     lb <= sol.ecost + 1e-9,
                     "seed {seed} rule {rule:?}: lb {lb} > ecost {}",
@@ -176,12 +190,7 @@ mod tests {
         let set = uniform_box(5, 4, 3, 2, 10.0, 2.0, ProbModel::Uniform);
         let lb = lower_bound_euclidean(&set, 10);
         assert!(lb > 0.0);
-        let sol = solve_euclidean(
-            &set,
-            4,
-            AssignmentRule::ExpectedDistance,
-            CertainSolver::Gonzalez,
-        );
+        let sol = solve_eu(&set, 4, AssignmentRule::ExpectedDistance);
         assert!(lb <= sol.ecost + 1e-9);
     }
 

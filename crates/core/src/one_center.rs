@@ -25,10 +25,7 @@ use ukc_uncertain::{ecost_unassigned, expected_point, UncertainSet};
 ///
 /// # Panics
 /// Panics when `anchor >= set.n()`.
-pub fn expected_point_one_center(
-    set: &UncertainSet<Point>,
-    anchor: usize,
-) -> (Point, f64) {
+pub fn expected_point_one_center(set: &UncertainSet<Point>, anchor: usize) -> (Point, f64) {
     assert!(anchor < set.n(), "anchor out of range");
     let center = expected_point(set.point(anchor));
     let cost = ecost_unassigned(set, std::slice::from_ref(&center), &Euclidean);

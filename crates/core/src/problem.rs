@@ -1,0 +1,632 @@
+//! The unified `Problem` / `Solution` solve path.
+//!
+//! A [`Problem`] is a validated request: an uncertain set, `k`, and the
+//! space solved in — either a continuous space with representative
+//! constructions ([`ContinuousSpace`], with [`EuclideanSpace`] as the
+//! paper's instance) or a general metric space with a discrete candidate
+//! pool. A [`crate::SolverConfig`] picks the pipeline variant. Solving
+//! never panics on user input: every rejection is a typed
+//! [`SolveError`], and every success is a [`Solution`] carrying its own
+//! instrumentation [`Report`].
+//!
+//! The pipeline is the paper's in all cases (Theorems 2.2–2.7):
+//! representatives → certain k-center → assignment rule → exact expected
+//! cost. [`solve_batch`] fans independent problems out across scoped
+//! threads with bit-identical results to the sequential loop.
+//!
+//! ```
+//! use ukc_core::{Problem, SolverConfig};
+//! use ukc_uncertain::generators::{clustered, ProbModel};
+//!
+//! let set = clustered(42, 30, 4, 2, 3, 5.0, 1.0, ProbModel::Random);
+//! let problem = Problem::euclidean(set, 3).unwrap();
+//! let solution = problem.solve(&SolverConfig::default()).unwrap();
+//! assert_eq!(solution.centers.len(), 3);
+//! assert!(solution.ecost >= solution.report.lower_bound.unwrap() - 1e-9);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::assignments::{assign_ed, assign_oc, AssignmentRule};
+use crate::config::{CandidatePolicy, CertainStrategy, SolverConfig};
+use crate::error::SolveError;
+use crate::report::{CountingMetric, Report};
+use ukc_kcenter::{
+    exact_discrete_kcenter, gonzalez, grid_kcenter, local_search_kcenter, KCenterSolution,
+};
+use ukc_metric::{Euclidean, Metric, Point};
+use ukc_uncertain::{ecost_assigned, one_center_discrete, UncertainPoint, UncertainSet};
+
+/// A continuous space a [`Problem`] can live in: representative
+/// constructions plus the space-specific machinery the pipeline needs.
+///
+/// [`EuclideanSpace`] is the paper's instance; implementing this trait for
+/// another normed space (e.g. `L¹`) plugs it into the same `Problem` /
+/// [`crate::SolverConfig`] machinery unchanged.
+pub trait ContinuousSpace<P>: Send + Sync {
+    /// Short name for reports and error messages (e.g. `"euclidean"`).
+    fn name(&self) -> &'static str;
+
+    /// The ambient metric.
+    fn metric(&self) -> &(dyn Metric<P> + Send + Sync);
+
+    /// The linearity representative `P̄` (Lemma 3.1's expected point).
+    fn expected_point(&self, up: &UncertainPoint<P>) -> P;
+
+    /// The 1-center representative `P̃`.
+    fn one_center(&self, up: &UncertainPoint<P>) -> P;
+
+    /// Whether the space defines an expected-point assignment; return
+    /// `false` to make [`AssignmentRule::ExpectedPoint`] a
+    /// [`SolveError::RuleUnsupported`] *before* any pipeline work runs.
+    fn supports_expected_point(&self) -> bool {
+        true
+    }
+
+    /// The expected-point assignment, or `None` when the space has no
+    /// expected point (must agree with
+    /// [`ContinuousSpace::supports_expected_point`]).
+    fn assign_expected_point(
+        &self,
+        set: &UncertainSet<P>,
+        centers: &[P],
+        metric: &dyn Metric<P>,
+    ) -> Option<Vec<usize>>;
+
+    /// The space's certified `(1+ε)` solver, or `None` to fall back to
+    /// Gonzalez (also returned past the solver's resource caps).
+    fn certified_solve(
+        &self,
+        reps: &[P],
+        k: usize,
+        opts: ukc_kcenter::GridOptions,
+    ) -> Option<KCenterSolution<P>>;
+
+    /// A certified lower bound on the optimum expected cost with `k`
+    /// centers.
+    fn lower_bound(&self, set: &UncertainSet<P>, k: usize) -> f64;
+}
+
+/// The paper's continuous space: `ℝ^d` under the Euclidean metric.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EuclideanSpace;
+
+impl ContinuousSpace<Point> for EuclideanSpace {
+    fn name(&self) -> &'static str {
+        "euclidean"
+    }
+
+    fn metric(&self) -> &(dyn Metric<Point> + Send + Sync) {
+        &Euclidean
+    }
+
+    fn expected_point(&self, up: &UncertainPoint<Point>) -> Point {
+        ukc_uncertain::expected_point(up)
+    }
+
+    fn one_center(&self, up: &UncertainPoint<Point>) -> Point {
+        ukc_uncertain::one_center_euclidean(up)
+    }
+
+    fn assign_expected_point(
+        &self,
+        set: &UncertainSet<Point>,
+        centers: &[Point],
+        metric: &dyn Metric<Point>,
+    ) -> Option<Vec<usize>> {
+        Some(crate::assignments::assign_ep(set, centers, &metric))
+    }
+
+    fn certified_solve(
+        &self,
+        reps: &[Point],
+        k: usize,
+        opts: ukc_kcenter::GridOptions,
+    ) -> Option<KCenterSolution<Point>> {
+        grid_kcenter(reps, k, opts)
+    }
+
+    fn lower_bound(&self, set: &UncertainSet<Point>, k: usize) -> f64 {
+        crate::bounds::lower_bound_euclidean(set, k)
+    }
+}
+
+enum Space<P> {
+    Continuous(Arc<dyn ContinuousSpace<P>>),
+    Discrete {
+        metric: Arc<dyn Metric<P> + Send + Sync>,
+        pool: Arc<[P]>,
+    },
+}
+
+impl<P> Clone for Space<P> {
+    fn clone(&self) -> Self {
+        match self {
+            Space::Continuous(s) => Space::Continuous(Arc::clone(s)),
+            Space::Discrete { metric, pool } => Space::Discrete {
+                metric: Arc::clone(metric),
+                pool: Arc::clone(pool),
+            },
+        }
+    }
+}
+
+/// A validated uncertain k-center instance: set + `k` + space.
+///
+/// Construct with [`Problem::euclidean`] (continuous `ℝ^d`),
+/// [`Problem::in_metric`] (any metric space with a discrete candidate
+/// pool), or their non-panicking `*_points` variants taking raw point
+/// vectors. Validation happens here, once — [`Problem::solve`] can then
+/// only fail on problem × config incompatibilities.
+#[derive(Clone)]
+pub struct Problem<P> {
+    set: UncertainSet<P>,
+    k: usize,
+    space: Space<P>,
+}
+
+impl std::fmt::Debug for Problem<Point> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Problem")
+            .field("n", &self.set.n())
+            .field("k", &self.k)
+            .field("space", &self.space_name())
+            .finish()
+    }
+}
+
+/// Validates a `(n, k)` request shape: `k == 0` is
+/// [`SolveError::ZeroK`], `k > n` is [`SolveError::KExceedsN`]. Shared by
+/// every problem constructor and the configured extension entry points so
+/// identical bad input always yields the identical error.
+pub fn validate_k(n: usize, k: usize) -> Result<(), SolveError> {
+    if k == 0 {
+        return Err(SolveError::ZeroK);
+    }
+    if k > n {
+        return Err(SolveError::KExceedsN { k, n });
+    }
+    Ok(())
+}
+
+impl Problem<Point> {
+    /// A Euclidean problem (the paper's Theorems 2.2 / 2.4 / 2.5
+    /// setting).
+    pub fn euclidean(set: UncertainSet<Point>, k: usize) -> Result<Self, SolveError> {
+        Self::continuous(set, k, EuclideanSpace)
+    }
+
+    /// Like [`Problem::euclidean`] from a raw point vector; an empty
+    /// vector yields [`SolveError::EmptySet`] instead of panicking.
+    pub fn euclidean_points(
+        points: Vec<UncertainPoint<Point>>,
+        k: usize,
+    ) -> Result<Self, SolveError> {
+        let set = UncertainSet::try_new(points).ok_or(SolveError::EmptySet)?;
+        Self::euclidean(set, k)
+    }
+}
+
+impl<P: Clone> Problem<P> {
+    /// A problem in a custom [`ContinuousSpace`].
+    pub fn continuous(
+        set: UncertainSet<P>,
+        k: usize,
+        space: impl ContinuousSpace<P> + 'static,
+    ) -> Result<Self, SolveError> {
+        validate_k(set.n(), k)?;
+        Ok(Self {
+            set,
+            k,
+            space: Space::Continuous(Arc::new(space)),
+        })
+    }
+
+    /// A general-metric problem: centers and representatives are drawn
+    /// from `pool` (the paper's Theorems 2.6 / 2.7 setting).
+    pub fn in_metric(
+        set: UncertainSet<P>,
+        k: usize,
+        metric: impl Metric<P> + Send + Sync + 'static,
+        pool: Vec<P>,
+    ) -> Result<Self, SolveError> {
+        Self::in_metric_shared(set, k, Arc::new(metric), Arc::from(pool))
+    }
+
+    /// Like [`Problem::in_metric`] from a raw point vector; an empty
+    /// vector yields [`SolveError::EmptySet`] instead of panicking.
+    pub fn in_metric_points(
+        points: Vec<UncertainPoint<P>>,
+        k: usize,
+        metric: impl Metric<P> + Send + Sync + 'static,
+        pool: Vec<P>,
+    ) -> Result<Self, SolveError> {
+        let set = UncertainSet::try_new(points).ok_or(SolveError::EmptySet)?;
+        Self::in_metric(set, k, metric, pool)
+    }
+
+    /// A general-metric problem sharing an already-`Arc`ed metric and
+    /// pool — the zero-copy constructor for batches of problems over one
+    /// substrate (one road network, many queries).
+    pub fn in_metric_shared(
+        set: UncertainSet<P>,
+        k: usize,
+        metric: Arc<dyn Metric<P> + Send + Sync>,
+        pool: Arc<[P]>,
+    ) -> Result<Self, SolveError> {
+        validate_k(set.n(), k)?;
+        if pool.is_empty() {
+            return Err(SolveError::EmptyCandidates);
+        }
+        Ok(Self {
+            set,
+            k,
+            space: Space::Discrete { metric, pool },
+        })
+    }
+
+    /// The uncertain set.
+    pub fn set(&self) -> &UncertainSet<P> {
+        &self.set
+    }
+
+    /// The number of centers requested.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Short name of the problem's space (`"euclidean"`, `"discrete"`,
+    /// or a custom [`ContinuousSpace::name`]).
+    pub fn space_name(&self) -> &'static str {
+        match &self.space {
+            Space::Continuous(s) => s.name(),
+            Space::Discrete { .. } => "discrete",
+        }
+    }
+
+    /// Runs the paper's pipeline for this problem under `config`.
+    ///
+    /// Deterministic: identical `(problem, config)` pairs produce
+    /// bit-identical solutions, on any thread.
+    pub fn solve(&self, config: &SolverConfig) -> Result<Solution<P>, SolveError> {
+        match &self.space {
+            Space::Continuous(space) => solve_continuous(&self.set, self.k, space.as_ref(), config),
+            Space::Discrete { metric, pool } => {
+                solve_discrete(&self.set, self.k, metric.as_ref(), pool, config)
+            }
+        }
+    }
+}
+
+/// The unified output of [`Problem::solve`]: the solution proper plus a
+/// self-describing [`Report`].
+#[derive(Clone, Debug)]
+pub struct Solution<P> {
+    /// The k chosen centers (pool members for discrete problems).
+    pub centers: Vec<P>,
+    /// `assignment[i]` = index into `centers` serving point `i`.
+    pub assignment: Vec<usize>,
+    /// Exact expected cost `EcostA` of (centers, assignment).
+    pub ecost: f64,
+    /// The certain representatives the k-center step ran on (`P̄` for
+    /// ED/EP rules, `P̃` for the OC rule).
+    pub representatives: Vec<P>,
+    /// The certain k-center radius achieved on the representatives.
+    pub certain_radius: f64,
+    /// Per-stage timings, distance-evaluation counts, and the certified
+    /// lower bound.
+    pub report: Report,
+}
+
+fn method_string(space: &str, rule: AssignmentRule, strategy: CertainStrategy) -> String {
+    let rule = match rule {
+        AssignmentRule::ExpectedDistance => "ed",
+        AssignmentRule::ExpectedPoint => "ep",
+        AssignmentRule::OneCenter => "oc",
+    };
+    format!("{space}/{rule}/{}", strategy.name())
+}
+
+/// The shared tail of both pipelines: assignment, exact cost, lower
+/// bound, report assembly.
+#[allow(clippy::too_many_arguments)]
+fn finish_pipeline<P: Clone>(
+    set: &UncertainSet<P>,
+    config: &SolverConfig,
+    counting: &CountingMetric<'_, P>,
+    reps: Vec<P>,
+    certain: KCenterSolution<P>,
+    assignment: Vec<usize>,
+    lower_bound: impl FnOnce() -> f64,
+    mut report: Report,
+    t_assigned: Instant,
+) -> Solution<P> {
+    let evals_before_cost = counting.count();
+    report.timings.assignment = t_assigned.elapsed();
+
+    let t_cost = Instant::now();
+    let ecost = ecost_assigned(set, &certain.centers, &assignment, &counting);
+    report.timings.cost = t_cost.elapsed();
+    report.distance_evals.cost = counting.since(evals_before_cost);
+
+    if config.computes_lower_bound() {
+        let evals_before = counting.count();
+        let t_bound = Instant::now();
+        report.lower_bound = Some(lower_bound());
+        report.timings.lower_bound = t_bound.elapsed();
+        report.distance_evals.lower_bound = counting.since(evals_before);
+    }
+
+    Solution {
+        centers: certain.centers,
+        assignment,
+        ecost,
+        representatives: reps,
+        certain_radius: certain.radius,
+        report,
+    }
+}
+
+/// The continuous pipeline (paper Theorems 2.2 / 2.4 / 2.5 for
+/// [`EuclideanSpace`]). Shared by [`Problem::solve`] and the deprecated
+/// `solve_euclidean` wrapper — the latter calls it directly, so the two
+/// paths are the same code and bit-identical by construction.
+pub(crate) fn solve_continuous<P: Clone>(
+    set: &UncertainSet<P>,
+    k: usize,
+    space: &dyn ContinuousSpace<P>,
+    config: &SolverConfig,
+) -> Result<Solution<P>, SolveError> {
+    let rule = config.rule();
+    if rule == AssignmentRule::ExpectedPoint && !space.supports_expected_point() {
+        return Err(SolveError::RuleUnsupported {
+            rule,
+            space: space.name(),
+        });
+    }
+    let counting = CountingMetric::new(space.metric());
+    let t_total = Instant::now();
+    let mut report = Report {
+        method: method_string(space.name(), rule, config.strategy()),
+        ..Report::default()
+    };
+
+    // Step 1: representatives, O(nz) (ED/EP) or O(nz·iters) (OC).
+    let t = Instant::now();
+    let reps: Vec<P> = match rule {
+        AssignmentRule::ExpectedDistance | AssignmentRule::ExpectedPoint => {
+            set.iter().map(|up| space.expected_point(up)).collect()
+        }
+        AssignmentRule::OneCenter => set.iter().map(|up| space.one_center(up)).collect(),
+    };
+    report.timings.representatives = t.elapsed();
+    report.distance_evals.representatives = counting.count();
+
+    // Step 2: certain k-center on the representatives.
+    let evals_before = counting.count();
+    let t = Instant::now();
+    let certain = match config.strategy() {
+        CertainStrategy::Gonzalez => gonzalez(&reps, k, &counting, 0),
+        CertainStrategy::GonzalezLocalSearch { rounds } => {
+            let gz = gonzalez(&reps, k, &counting, 0);
+            local_search_kcenter(&reps, &reps, &gz.center_indices, &counting, rounds)
+        }
+        CertainStrategy::Grid => space
+            .certified_solve(&reps, k, config.grid_options())
+            .unwrap_or_else(|| gonzalez(&reps, k, &counting, 0)),
+        CertainStrategy::ExactDiscrete => {
+            let pool_storage;
+            let pool: &[P] = match config.candidate_policy() {
+                CandidatePolicy::ProblemPool => &reps,
+                CandidatePolicy::LocationPool => {
+                    pool_storage = set.location_pool();
+                    &pool_storage
+                }
+            };
+            exact_discrete_kcenter(&reps, pool, k, &counting, config.exact_options())
+                .unwrap_or_else(|| gonzalez(&reps, k, &counting, 0))
+        }
+    };
+    report.timings.certain_solve = t.elapsed();
+    report.distance_evals.certain_solve = counting.since(evals_before);
+
+    // Step 3: assignment by the configured rule.
+    let evals_before = counting.count();
+    let t = Instant::now();
+    let assignment = match rule {
+        AssignmentRule::ExpectedDistance => assign_ed(set, &certain.centers, &counting),
+        AssignmentRule::ExpectedPoint => space
+            .assign_expected_point(set, &certain.centers, &counting)
+            .ok_or(SolveError::RuleUnsupported {
+                rule,
+                space: space.name(),
+            })?,
+        AssignmentRule::OneCenter => assign_oc(set, &certain.centers, &reps, &counting),
+    };
+    report.distance_evals.assignment = counting.since(evals_before);
+
+    // Step 4 (+ optional bound) and assembly.
+    let mut solution = finish_pipeline(
+        set,
+        config,
+        &counting,
+        reps,
+        certain,
+        assignment,
+        || space.lower_bound(set, k),
+        report,
+        t,
+    );
+    solution.report.timings.total = t_total.elapsed();
+    Ok(solution)
+}
+
+/// The general-metric pipeline (paper Theorems 2.6 / 2.7). Shared by
+/// [`Problem::solve`] and the deprecated `solve_metric` wrapper.
+pub(crate) fn solve_discrete<P: Clone>(
+    set: &UncertainSet<P>,
+    k: usize,
+    metric: &(dyn Metric<P> + '_),
+    pool: &[P],
+    config: &SolverConfig,
+) -> Result<Solution<P>, SolveError> {
+    let rule = config.rule();
+    if rule == AssignmentRule::ExpectedPoint {
+        return Err(SolveError::RuleUnsupported {
+            rule,
+            space: "discrete",
+        });
+    }
+    if config.strategy() == CertainStrategy::Grid {
+        return Err(SolveError::StrategyUnsupported {
+            strategy: "grid",
+            space: "discrete",
+        });
+    }
+    if pool.is_empty() {
+        return Err(SolveError::EmptyCandidates);
+    }
+    let candidate_storage;
+    let candidates: &[P] = match config.candidate_policy() {
+        CandidatePolicy::ProblemPool => pool,
+        CandidatePolicy::LocationPool => {
+            candidate_storage = set.location_pool();
+            &candidate_storage
+        }
+    };
+    if candidates.is_empty() {
+        return Err(SolveError::EmptyCandidates);
+    }
+
+    let counting = CountingMetric::new(metric);
+    let t_total = Instant::now();
+    let mut report = Report {
+        method: method_string("discrete", rule, config.strategy()),
+        ..Report::default()
+    };
+
+    // Step 1: discrete 1-center representatives, O(n·z·|candidates|).
+    let t = Instant::now();
+    let reps: Vec<P> = set
+        .iter()
+        .map(|up| {
+            let (idx, _) = one_center_discrete(up, candidates, &counting);
+            candidates[idx].clone()
+        })
+        .collect();
+    report.timings.representatives = t.elapsed();
+    report.distance_evals.representatives = counting.count();
+
+    // Step 2: certain k-center on the representatives, centers from the
+    // candidate pool.
+    let evals_before = counting.count();
+    let t = Instant::now();
+    let certain = match config.strategy() {
+        CertainStrategy::Grid => unreachable!("rejected above"),
+        CertainStrategy::Gonzalez => gonzalez(&reps, k, &counting, 0),
+        CertainStrategy::GonzalezLocalSearch { rounds } => {
+            let gz = gonzalez(&reps, k, &counting, 0);
+            // Swap over the full candidate pool, not just the reps; locate
+            // each chosen rep in the pool by distance-zero match (reps are
+            // pool members).
+            let initial: Vec<usize> = gz
+                .center_indices
+                .iter()
+                .map(|&ri| {
+                    candidates
+                        .iter()
+                        .position(|c| counting.dist(c, &reps[ri]) == 0.0)
+                        .expect("representatives come from the pool")
+                })
+                .collect();
+            local_search_kcenter(&reps, candidates, &initial, &counting, rounds)
+        }
+        CertainStrategy::ExactDiscrete => {
+            exact_discrete_kcenter(&reps, candidates, k, &counting, config.exact_options())
+                .unwrap_or_else(|| gonzalez(&reps, k, &counting, 0))
+        }
+    };
+    report.timings.certain_solve = t.elapsed();
+    report.distance_evals.certain_solve = counting.since(evals_before);
+
+    // Step 3: assignment.
+    let evals_before = counting.count();
+    let t = Instant::now();
+    let assignment = match rule {
+        AssignmentRule::ExpectedDistance => assign_ed(set, &certain.centers, &counting),
+        AssignmentRule::ExpectedPoint => unreachable!("rejected above"),
+        AssignmentRule::OneCenter => assign_oc(set, &certain.centers, &reps, &counting),
+    };
+    report.distance_evals.assignment = counting.since(evals_before);
+
+    // Step 4 (+ optional bound) and assembly.
+    let mut solution = finish_pipeline(
+        set,
+        config,
+        &counting,
+        reps,
+        certain,
+        assignment,
+        || crate::bounds::lower_bound_metric(set, k, candidates, &counting),
+        report,
+        t,
+    );
+    solution.report.timings.total = t_total.elapsed();
+    Ok(solution)
+}
+
+/// Solves every problem under one config, fanning out across scoped
+/// worker threads (work-stealing by atomic index). Output order matches
+/// input order, and every solution is bit-identical to what the
+/// sequential loop `problems.iter().map(|p| p.solve(config))` produces —
+/// each solve is independent and deterministic, so thread scheduling
+/// cannot leak into results.
+///
+/// Uses one worker per available CPU, capped at the batch size.
+pub fn solve_batch<P: Clone + Send + Sync>(
+    problems: &[Problem<P>],
+    config: &SolverConfig,
+) -> Vec<Result<Solution<P>, SolveError>> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    solve_batch_threads(problems, config, threads)
+}
+
+/// [`solve_batch`] with an explicit worker count (`0` and `1` both mean
+/// sequential).
+pub fn solve_batch_threads<P: Clone + Send + Sync>(
+    problems: &[Problem<P>],
+    config: &SolverConfig,
+    threads: usize,
+) -> Vec<Result<Solution<P>, SolveError>> {
+    let threads = threads.min(problems.len());
+    if threads <= 1 {
+        return problems.iter().map(|p| p.solve(config)).collect();
+    }
+    type Indexed<P> = Vec<(usize, Result<Solution<P>, SolveError>)>;
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Indexed<P>> = Mutex::new(Vec::with_capacity(problems.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= problems.len() {
+                    break;
+                }
+                let result = problems[i].solve(config);
+                results
+                    .lock()
+                    .expect("batch worker panicked while holding the results lock")
+                    .push((i, result));
+            });
+        }
+    });
+    let mut indexed = results
+        .into_inner()
+        .expect("batch worker panicked while holding the results lock");
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}

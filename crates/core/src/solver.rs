@@ -1,14 +1,23 @@
-//! The replace-by-representative solver pipelines.
+//! The legacy free-function solver API, kept as thin deprecated wrappers.
 //!
-//! [`solve_euclidean`] implements the paper's Euclidean theorems
-//! (2.2 via Remark 3.1, 2.4, 2.5): expected points `P̄ᵢ` → certain k-center
-//! → assignment rule → exact expected cost. [`solve_metric`] implements the
-//! general-metric theorems (2.6, 2.7): 1-centers `P̃ᵢ` → certain k-center
-//! over a discrete pool → assignment rule → exact expected cost.
+//! [`solve_euclidean`] and [`solve_metric`] predate the
+//! [`Problem`](crate::Problem) / [`SolverConfig`](crate::SolverConfig) /
+//! [`Solution`](crate::Solution) API and survive only for source
+//! compatibility. They delegate to the exact same internal pipelines the
+//! new API runs, so their outputs are bit-identical to
+//! [`Problem::solve`](crate::Problem::solve) under the corresponding
+//! config (proven by the `golden_equivalence` test suite).
 //!
-//! The certain k-center step is pluggable ([`CertainSolver`] /
-//! [`MetricCertainSolver`]); the combination (solver, rule) determines the
-//! proven factor:
+//! Migration:
+//!
+//! | legacy | new |
+//! |---|---|
+//! | `solve_euclidean(&set, k, rule, solver)` | `Problem::euclidean(set, k)?.solve(&cfg)?` |
+//! | `solve_metric(&set, k, rule, solver, &pool, &m)` | `Problem::in_metric(set, k, m, pool)?.solve(&cfg)?` |
+//! | `CertainSolver::Grid(opts)` | `.strategy(CertainStrategy::Grid).grid_limits(opts)` |
+//! | panics on `k == 0` | `Err(SolveError::ZeroK)` |
+//!
+//! The (solver, rule) combination determines the proven factor:
 //!
 //! | space | solver (certain factor `1+ε`) | rule | proven factor | table row |
 //! |---|---|---|---|---|
@@ -19,17 +28,15 @@
 //! | any metric | Gonzalez (2) | ED | 7+2·1 = 9 → with (1+ε): 7+2ε | (2.6) |
 //! | any metric | Gonzalez (2) | OC | 5+2·1 = 7 → with (1+ε): 5+2ε | 9 (2.7) |
 
-use crate::assignments::{assign_ed, assign_ep, assign_oc, AssignmentRule, MetricAssignmentRule};
-use ukc_kcenter::{
-    exact_discrete_kcenter, gonzalez, grid_kcenter, local_search_kcenter, ExactOptions,
-    GridOptions,
-};
-use ukc_metric::{Euclidean, Metric, Point};
-use ukc_uncertain::{
-    ecost_assigned, expected_point, one_center_discrete, one_center_euclidean, UncertainSet,
-};
+use crate::assignments::{AssignmentRule, MetricAssignmentRule};
+use crate::config::{CertainStrategy, SolverConfig};
+use crate::problem::{solve_continuous, solve_discrete, EuclideanSpace};
+use ukc_kcenter::{ExactOptions, GridOptions};
+use ukc_metric::{Metric, Point};
+use ukc_uncertain::UncertainSet;
 
-/// Deterministic k-center strategies for Euclidean representative points.
+/// Deterministic k-center strategies for Euclidean representative points
+/// (legacy twin of [`CertainStrategy`]).
 #[derive(Clone, Copy, Debug)]
 pub enum CertainSolver {
     /// Gonzalez greedy: factor 2, O(nk) — the paper's Remark 3.1 choice.
@@ -50,7 +57,7 @@ pub enum CertainSolver {
 }
 
 /// Deterministic k-center strategies over a discrete candidate pool in a
-/// general metric space.
+/// general metric space (legacy twin of [`CertainStrategy`]).
 #[derive(Clone, Copy, Debug)]
 pub enum MetricCertainSolver {
     /// Gonzalez greedy over the representatives.
@@ -96,6 +103,27 @@ pub struct MetricSolution<P> {
     pub certain_radius: f64,
 }
 
+fn legacy_config(
+    rule: AssignmentRule,
+    strategy: CertainStrategy,
+    grid: Option<GridOptions>,
+    exact: Option<ExactOptions>,
+) -> SolverConfig {
+    let mut builder = SolverConfig::builder()
+        .rule(rule)
+        .strategy(strategy)
+        .lower_bound(false);
+    if let Some(opts) = grid {
+        builder = builder.grid_limits(opts);
+    }
+    if let Some(opts) = exact {
+        builder = builder.exact_limits(opts);
+    }
+    // The legacy API forwarded caller options unvalidated; keep that
+    // contract (an absurd ε just makes the grid solver fall back).
+    builder.build_unchecked()
+}
+
 /// Runs the paper's Euclidean pipeline (Theorems 2.2 / 2.4 / 2.5 and
 /// Remark 3.1).
 ///
@@ -104,7 +132,12 @@ pub struct MetricSolution<P> {
 /// expected cost is exact.
 ///
 /// # Panics
-/// Panics when `k == 0`.
+/// Panics when `k == 0`. The replacement API returns
+/// [`SolveError::ZeroK`](crate::SolveError::ZeroK) instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Problem::euclidean(set, k)?.solve(&SolverConfig) instead"
+)]
 pub fn solve_euclidean(
     set: &UncertainSet<Point>,
     k: usize,
@@ -112,43 +145,23 @@ pub fn solve_euclidean(
     solver: CertainSolver,
 ) -> EuclideanSolution {
     assert!(k > 0, "k must be at least 1");
-    let metric = Euclidean;
-    // Step 1: representatives, O(nz) (ED/EP) or O(nz·iters) (OC).
-    let reps: Vec<Point> = match rule {
-        AssignmentRule::ExpectedDistance | AssignmentRule::ExpectedPoint => {
-            set.iter().map(expected_point).collect()
-        }
-        AssignmentRule::OneCenter => set.iter().map(one_center_euclidean).collect(),
-    };
-    // Step 2: certain k-center on the representatives.
-    let certain = match solver {
-        CertainSolver::Gonzalez => gonzalez(&reps, k, &metric, 0),
+    let (strategy, grid, exact) = match solver {
+        CertainSolver::Gonzalez => (CertainStrategy::Gonzalez, None, None),
         CertainSolver::GonzalezLocalSearch { rounds } => {
-            let gz = gonzalez(&reps, k, &metric, 0);
-            local_search_kcenter(&reps, &reps, &gz.center_indices, &metric, rounds)
+            (CertainStrategy::GonzalezLocalSearch { rounds }, None, None)
         }
-        CertainSolver::Grid(opts) => {
-            grid_kcenter(&reps, k, opts).unwrap_or_else(|| gonzalez(&reps, k, &metric, 0))
-        }
-        CertainSolver::ExactDiscrete(opts) => {
-            exact_discrete_kcenter(&reps, &reps, k, &metric, opts)
-                .unwrap_or_else(|| gonzalez(&reps, k, &metric, 0))
-        }
+        CertainSolver::Grid(opts) => (CertainStrategy::Grid, Some(opts), None),
+        CertainSolver::ExactDiscrete(opts) => (CertainStrategy::ExactDiscrete, None, Some(opts)),
     };
-    // Step 3: assignment by the chosen rule.
-    let assignment = match rule {
-        AssignmentRule::ExpectedDistance => assign_ed(set, &certain.centers, &metric),
-        AssignmentRule::ExpectedPoint => assign_ep(set, &certain.centers, &metric),
-        AssignmentRule::OneCenter => assign_oc(set, &certain.centers, &reps, &metric),
-    };
-    // Step 4: exact expected cost.
-    let ecost = ecost_assigned(set, &certain.centers, &assignment, &metric);
+    let config = legacy_config(rule, strategy, grid, exact);
+    let sol = solve_continuous(set, k, &EuclideanSpace, &config)
+        .expect("the legacy Euclidean pipeline accepts every rule and strategy");
     EuclideanSolution {
-        centers: certain.centers,
-        assignment,
-        ecost,
-        representatives: reps,
-        certain_radius: certain.radius,
+        centers: sol.centers,
+        assignment: sol.assignment,
+        ecost: sol.ecost,
+        representatives: sol.representatives,
+        certain_radius: sol.certain_radius,
     }
 }
 
@@ -161,6 +174,7 @@ pub fn solve_euclidean(
 /// `P̃ᵢ = argmin_{c∈candidates} E d(Pᵢ, c)`.
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use ukc_core::{solve_metric, MetricAssignmentRule, MetricCertainSolver};
 /// use ukc_metric::WeightedGraph;
 /// use ukc_uncertain::generators::{on_finite_metric, ProbModel};
@@ -179,7 +193,12 @@ pub fn solve_euclidean(
 /// ```
 ///
 /// # Panics
-/// Panics when `k == 0` or `candidates` is empty.
+/// Panics when `k == 0` or `candidates` is empty. The replacement API
+/// returns typed [`SolveError`](crate::SolveError)s instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Problem::in_metric(set, k, metric, pool)?.solve(&SolverConfig) instead"
+)]
 pub fn solve_metric<P: Clone, M: Metric<P>>(
     set: &UncertainSet<P>,
     k: usize,
@@ -190,56 +209,31 @@ pub fn solve_metric<P: Clone, M: Metric<P>>(
 ) -> MetricSolution<P> {
     assert!(k > 0, "k must be at least 1");
     assert!(!candidates.is_empty(), "need a candidate pool");
-    // Step 1: discrete 1-center representatives, O(n·z·|candidates|).
-    let reps: Vec<P> = set
-        .iter()
-        .map(|up| {
-            let (idx, _) = one_center_discrete(up, candidates, metric);
-            candidates[idx].clone()
-        })
-        .collect();
-    // Step 2: certain k-center on the representatives.
-    let certain = match solver {
-        MetricCertainSolver::Gonzalez => gonzalez(&reps, k, metric, 0),
+    let rule = match rule {
+        MetricAssignmentRule::ExpectedDistance => AssignmentRule::ExpectedDistance,
+        MetricAssignmentRule::OneCenter => AssignmentRule::OneCenter,
+    };
+    let (strategy, exact) = match solver {
+        MetricCertainSolver::Gonzalez => (CertainStrategy::Gonzalez, None),
         MetricCertainSolver::GonzalezLocalSearch { rounds } => {
-            let gz = gonzalez(&reps, k, metric, 0);
-            // Swap over the full candidate pool, not just the reps.
-            let initial: Vec<usize> = gz
-                .center_indices
-                .iter()
-                .map(|&ri| {
-                    // Locate each chosen rep in the candidate pool by
-                    // distance-zero match (reps are pool members).
-                    candidates
-                        .iter()
-                        .position(|c| metric.dist(c, &reps[ri]) == 0.0)
-                        .expect("representatives come from the pool")
-                })
-                .collect();
-            local_search_kcenter(&reps, candidates, &initial, metric, rounds)
+            (CertainStrategy::GonzalezLocalSearch { rounds }, None)
         }
-        MetricCertainSolver::ExactDiscrete(opts) => {
-            exact_discrete_kcenter(&reps, candidates, k, metric, opts)
-                .unwrap_or_else(|| gonzalez(&reps, k, metric, 0))
-        }
+        MetricCertainSolver::ExactDiscrete(opts) => (CertainStrategy::ExactDiscrete, Some(opts)),
     };
-    // Step 3: assignment.
-    let assignment = match rule {
-        MetricAssignmentRule::ExpectedDistance => assign_ed(set, &certain.centers, metric),
-        MetricAssignmentRule::OneCenter => assign_oc(set, &certain.centers, &reps, metric),
-    };
-    // Step 4: exact expected cost.
-    let ecost = ecost_assigned(set, &certain.centers, &assignment, metric);
+    let config = legacy_config(rule, strategy, None, exact);
+    let sol = solve_discrete(set, k, metric as &dyn Metric<P>, candidates, &config)
+        .expect("the legacy metric pipeline accepts every rule and strategy");
     MetricSolution {
-        centers: certain.centers,
-        assignment,
-        ecost,
-        representatives: reps,
-        certain_radius: certain.radius,
+        centers: sol.centers,
+        assignment: sol.assignment,
+        ecost: sol.ecost,
+        representatives: sol.representatives,
+        certain_radius: sol.certain_radius,
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use ukc_metric::FiniteMetric;
@@ -304,10 +298,7 @@ mod tests {
                 let nominal = base + rnd() * 2.0;
                 pts.push(
                     UncertainPoint::new(
-                        vec![
-                            Point::scalar(nominal - 0.5),
-                            Point::scalar(nominal + 0.5),
-                        ],
+                        vec![Point::scalar(nominal - 0.5), Point::scalar(nominal + 0.5)],
                         vec![0.5, 0.5],
                     )
                     .unwrap(),
@@ -324,7 +315,11 @@ mod tests {
             AssignmentRule::ExpectedDistance,
             CertainSolver::Gonzalez,
         );
-        assert!(sol.ecost < 10.0, "ecost {} should be cluster-scale", sol.ecost);
+        assert!(
+            sol.ecost < 10.0,
+            "ecost {} should be cluster-scale",
+            sol.ecost
+        );
         // Points 0..5 share a center; points 5..10 share the other.
         assert!(sol.assignment[..5].iter().all(|&a| a == sol.assignment[0]));
         assert!(sol.assignment[5..].iter().all(|&a| a == sol.assignment[5]));

@@ -9,16 +9,15 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
 use ukc_baselines::mode_baseline;
-use ukc_core::{solve_euclidean, AssignmentRule, CertainSolver};
-use ukc_kcenter::{ExactOptions, GridOptions};
+use ukc_core::{AssignmentRule, CertainStrategy, Problem, Solution, SolverConfig};
+use ukc_json::Json;
 use ukc_metric::Euclidean;
 use ukc_uncertain::generators::{clustered, ring, two_scale, uniform_box, ProbModel};
 use ukc_uncertain::{ecost_assigned, ecost_monte_carlo};
 
 /// A named ablation measurement.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct AblationRow {
     /// Workload name.
     pub workload: String,
@@ -29,7 +28,7 @@ pub struct AblationRow {
 }
 
 /// A complete ablation report.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct AblationReport {
     /// Study id (A1..A4).
     pub id: String,
@@ -41,6 +40,27 @@ pub struct AblationReport {
     pub rows: Vec<AblationRow>,
 }
 
+impl AblationReport {
+    /// The report as a JSON document (what `save_ablation` writes).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::from(self.id.as_str())),
+            ("description", Json::from(self.description.as_str())),
+            ("metric", Json::from(self.metric.as_str())),
+            (
+                "rows",
+                Json::arr(self.rows.iter().map(|r| {
+                    Json::obj([
+                        ("workload", Json::from(r.workload.as_str())),
+                        ("variant", Json::from(r.variant.as_str())),
+                        ("value", Json::from(r.value)),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
 /// A named, boxed seeded workload generator.
 type Workload = (
     &'static str,
@@ -49,15 +69,49 @@ type Workload = (
 
 fn workloads() -> Vec<Workload> {
     vec![
-        ("clustered", Box::new(|s| clustered(s, 40, 4, 2, 3, 5.0, 1.5, ProbModel::Random))),
-        ("uniform", Box::new(|s| uniform_box(s, 40, 4, 2, 50.0, 2.0, ProbModel::Random))),
-        ("ring", Box::new(|s| ring(s, 40, 4, 30.0, 0.5, ProbModel::Random))),
-        ("two-scale", Box::new(|s| two_scale(s, 40, 4, 2, 1.0, 150.0, 0.3))),
+        (
+            "clustered",
+            Box::new(|s| clustered(s, 40, 4, 2, 3, 5.0, 1.5, ProbModel::Random)),
+        ),
+        (
+            "uniform",
+            Box::new(|s| uniform_box(s, 40, 4, 2, 50.0, 2.0, ProbModel::Random)),
+        ),
+        (
+            "ring",
+            Box::new(|s| ring(s, 40, 4, 30.0, 0.5, ProbModel::Random)),
+        ),
+        (
+            "two-scale",
+            Box::new(|s| two_scale(s, 40, 4, 2, 1.0, 150.0, 0.3)),
+        ),
     ]
 }
 
 const ABLATION_SEEDS: u64 = 6;
 const K: usize = 3;
+
+/// One Euclidean solve through the `Problem` API (no per-solve bound:
+/// the ablations compare costs, not certificates).
+fn solve_eu(
+    set: &ukc_uncertain::UncertainSet<ukc_metric::Point>,
+    rule: AssignmentRule,
+    strategy: CertainStrategy,
+) -> Solution<ukc_metric::Point> {
+    let config = SolverConfig::builder()
+        .rule(rule)
+        .strategy(strategy)
+        // Only the Grid strategy reads ε; 0.25 matches the "grid ε=0.25"
+        // tier label in a4().
+        .eps(0.25)
+        .lower_bound(false)
+        .build()
+        .expect("static ablation config");
+    Problem::euclidean(set.clone(), K)
+        .expect("generated instances are valid")
+        .solve(&config)
+        .expect("euclidean pipeline accepts every ablation config")
+}
 
 fn mean(vals: impl Iterator<Item = f64>) -> f64 {
     let v: Vec<f64> = vals.collect();
@@ -78,15 +132,21 @@ pub fn a1() -> AblationReport {
                 // All three share the P̄-based centers: compute centers via
                 // the EP pipeline, then re-assign.
                 let set = gen(s);
-                let base = solve_euclidean(&set, K, AssignmentRule::ExpectedPoint, CertainSolver::Gonzalez);
+                let base = solve_eu(
+                    &set,
+                    AssignmentRule::ExpectedPoint,
+                    CertainStrategy::Gonzalez,
+                );
                 let assignment = match rule {
                     AssignmentRule::ExpectedDistance => {
                         ukc_core::assign_ed(&set, &base.centers, &Euclidean)
                     }
                     AssignmentRule::ExpectedPoint => base.assignment.clone(),
                     AssignmentRule::OneCenter => {
-                        let reps: Vec<_> =
-                            set.iter().map(ukc_uncertain::one_center_euclidean).collect();
+                        let reps: Vec<_> = set
+                            .iter()
+                            .map(ukc_uncertain::one_center_euclidean)
+                            .collect();
                         ukc_core::assign_oc(&set, &base.centers, &reps, &Euclidean)
                     }
                 };
@@ -116,12 +176,15 @@ pub fn a2() -> AblationReport {
                 let set = gen(s);
                 match variant {
                     "P̄ (expected point)" => {
-                        solve_euclidean(&set, K, AssignmentRule::ExpectedPoint, CertainSolver::Gonzalez)
-                            .ecost
+                        solve_eu(
+                            &set,
+                            AssignmentRule::ExpectedPoint,
+                            CertainStrategy::Gonzalez,
+                        )
+                        .ecost
                     }
                     "P̃ (1-center)" => {
-                        solve_euclidean(&set, K, AssignmentRule::OneCenter, CertainSolver::Gonzalez)
-                            .ecost
+                        solve_eu(&set, AssignmentRule::OneCenter, CertainStrategy::Gonzalez).ecost
                     }
                     _ => mode_baseline(&set, K, &Euclidean).ecost,
                 }
@@ -146,7 +209,11 @@ pub fn a2() -> AblationReport {
 pub fn a3() -> AblationReport {
     let mut rows = Vec::new();
     let set = clustered(9, 40, 4, 2, 3, 5.0, 1.5, ProbModel::HeavyTail);
-    let sol = solve_euclidean(&set, K, AssignmentRule::ExpectedPoint, CertainSolver::Gonzalez);
+    let sol = solve_eu(
+        &set,
+        AssignmentRule::ExpectedPoint,
+        CertainStrategy::Gonzalez,
+    );
     let exact = sol.ecost;
     for budget in [100usize, 1_000, 10_000, 100_000] {
         let value = mean((0..ABLATION_SEEDS).map(|s| {
@@ -178,26 +245,20 @@ pub fn a3() -> AblationReport {
 /// A4: certain-solver tier on the same representatives.
 pub fn a4() -> AblationReport {
     let mut rows = Vec::new();
-    let tiers: Vec<(&str, CertainSolver)> = vec![
-        ("Gonzalez (2-approx)", CertainSolver::Gonzalez),
+    let tiers: Vec<(&str, CertainStrategy)> = vec![
+        ("Gonzalez (2-approx)", CertainStrategy::Gonzalez),
         (
             "Gonzalez + local search",
-            CertainSolver::GonzalezLocalSearch { rounds: 30 },
+            CertainStrategy::GonzalezLocalSearch { rounds: 30 },
         ),
-        (
-            "grid ε=0.25",
-            CertainSolver::Grid(GridOptions { eps: 0.25, ..Default::default() }),
-        ),
-        (
-            "exact discrete",
-            CertainSolver::ExactDiscrete(ExactOptions::default()),
-        ),
+        ("grid ε=0.25", CertainStrategy::Grid),
+        ("exact discrete", CertainStrategy::ExactDiscrete),
     ];
     for (name, gen) in &workloads() {
         for (variant, solver) in &tiers {
             let value = mean((0..ABLATION_SEEDS).map(|s| {
                 let set = gen(s);
-                solve_euclidean(&set, K, AssignmentRule::ExpectedPoint, *solver).ecost
+                solve_eu(&set, AssignmentRule::ExpectedPoint, *solver).ecost
             }));
             rows.push(AblationRow {
                 workload: name.to_string(),
@@ -257,10 +318,8 @@ pub fn save_ablation(report: &AblationReport) {
     if std::fs::create_dir_all("reports").is_err() {
         return;
     }
-    if let Ok(json) = serde_json::to_string_pretty(report) {
-        let _ = std::fs::write(
-            format!("reports/{}.json", report.id.to_lowercase()),
-            json,
-        );
-    }
+    let _ = std::fs::write(
+        format!("reports/{}.json", report.id.to_lowercase()),
+        report.to_json().pretty(),
+    );
 }

@@ -17,12 +17,12 @@
 //!   implementation);
 //! * otherwise the measurement is consistent with the bound (OK).
 
-use parking_lot::Mutex;
-use serde::Serialize;
 use std::path::Path;
+use std::sync::Mutex;
+use ukc_json::Json;
 
 /// Verdict of a bound check (see module docs).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Verdict {
     /// `alg/LB ≤ bound`: the bound is certified to hold.
     Pass,
@@ -33,7 +33,7 @@ pub enum Verdict {
 }
 
 /// One measured workload row of an experiment.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Row {
     /// Human-readable workload descriptor.
     pub workload: String,
@@ -54,7 +54,7 @@ pub struct Row {
 }
 
 /// A complete experiment report.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Report {
     /// Experiment id (e.g. "E4").
     pub id: String,
@@ -64,6 +64,43 @@ pub struct Report {
     pub description: String,
     /// Measured rows.
     pub rows: Vec<Row>,
+}
+
+impl Verdict {
+    fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Ok => "ok",
+            Verdict::Fail => "fail",
+        }
+    }
+}
+
+impl Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("workload", Json::from(self.workload.as_str())),
+            ("params", Json::from(self.params.as_str())),
+            ("seeds", Json::from(self.seeds)),
+            ("max_ratio_lb", Json::from(self.max_ratio_lb)),
+            ("max_ratio_ub", Json::from(self.max_ratio_ub)),
+            ("mean_ratio_ub", Json::from(self.mean_ratio_ub)),
+            ("bound", Json::from(self.bound)),
+            ("verdict", Json::from(self.verdict.as_str())),
+        ])
+    }
+}
+
+impl Report {
+    /// The report as a JSON document (what `save_report` writes).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::from(self.id.as_str())),
+            ("artifact", Json::from(self.artifact.as_str())),
+            ("description", Json::from(self.description.as_str())),
+            ("rows", Json::arr(self.rows.iter().map(Row::to_json))),
+        ])
+    }
 }
 
 /// One seed's measurement: `(alg, lb, ub)`.
@@ -79,12 +116,7 @@ pub struct Measurement {
 }
 
 /// Aggregates per-seed measurements into a [`Row`].
-pub fn aggregate(
-    workload: &str,
-    params: &str,
-    bound: f64,
-    measurements: &[Measurement],
-) -> Row {
+pub fn aggregate(workload: &str, params: &str, bound: f64, measurements: &[Measurement]) -> Row {
     assert!(!measurements.is_empty(), "need at least one measurement");
     let mut max_lb: f64 = 0.0;
     let mut max_ub: f64 = 0.0;
@@ -131,20 +163,19 @@ pub fn par_sweep<T: Send>(seeds: &[u64], f: impl Fn(u64) -> T + Sync) -> Vec<T> 
         .unwrap_or(4)
         .min(seeds.len().max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= seeds.len() {
                     break;
                 }
                 let out = f(seeds[i]);
-                results.lock().push((i, out));
+                results.lock().expect("no worker panics").push((i, out));
             });
         }
-    })
-    .expect("no worker panics");
-    let mut v = results.into_inner();
+    });
+    let mut v = results.into_inner().expect("no worker panics");
     v.sort_by_key(|(i, _)| *i);
     v.into_iter().map(|(_, t)| t).collect()
 }
@@ -185,13 +216,8 @@ pub fn save_report(report: &Report) {
         return;
     }
     let path = dir.join(format!("{}.json", report.id.to_lowercase()));
-    match serde_json::to_string_pretty(report) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write(&path, json) {
-                eprintln!("warning: could not write {}: {e}", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: could not serialize report: {e}"),
+    if let Err(e) = std::fs::write(&path, report.to_json().pretty()) {
+        eprintln!("warning: could not write {}: {e}", path.display());
     }
 }
 

@@ -54,7 +54,12 @@ fn run_scaling() {
 }
 
 fn run_ablation() {
-    for r in [ablation::a1(), ablation::a2(), ablation::a3(), ablation::a4()] {
+    for r in [
+        ablation::a1(),
+        ablation::a2(),
+        ablation::a3(),
+        ablation::a4(),
+    ] {
         ablation::print_ablation(&r);
         ablation::save_ablation(&r);
     }

@@ -11,15 +11,15 @@
 //! doubling; a ratio near 2 confirms linear scaling, near 1 confirms
 //! constancy.
 
-use serde::Serialize;
 use std::time::Instant;
-use ukc_core::{solve_euclidean, AssignmentRule, CertainSolver};
+use ukc_core::{AssignmentRule, Problem, SolverConfig};
+use ukc_json::Json;
 use ukc_onedim::solve_one_d;
 use ukc_uncertain::generators::{line_instance, uniform_box, ProbModel};
 use ukc_uncertain::{expected_point, UncertainPoint};
 
 /// One scaling measurement.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ScalePoint {
     /// The driving parameter's value (z or n).
     pub param: usize,
@@ -30,7 +30,7 @@ pub struct ScalePoint {
 }
 
 /// A complete scaling study.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ScaleReport {
     /// Study id (S1..S3).
     pub id: String,
@@ -40,6 +40,27 @@ pub struct ScaleReport {
     pub claim: String,
     /// Measurements.
     pub points: Vec<ScalePoint>,
+}
+
+impl ScaleReport {
+    /// The study as a JSON document (what `save_scale` writes).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::from(self.id.as_str())),
+            ("description", Json::from(self.description.as_str())),
+            ("claim", Json::from(self.claim.as_str())),
+            (
+                "points",
+                Json::arr(self.points.iter().map(|p| {
+                    Json::obj([
+                        ("param", Json::from(p.param)),
+                        ("nanos", Json::from(p.nanos as f64)),
+                        ("ratio", Json::from(p.ratio)),
+                    ])
+                })),
+            ),
+        ])
+    }
 }
 
 fn median_time<T>(reps: usize, mut f: impl FnMut() -> T) -> u128 {
@@ -59,7 +80,11 @@ fn finish(id: &str, description: &str, claim: &str, raw: Vec<(usize, u128)>) -> 
     let mut prev: Option<u128> = None;
     for (param, nanos) in raw {
         let ratio = prev.map_or(f64::NAN, |p| nanos as f64 / p as f64);
-        points.push(ScalePoint { param, nanos, ratio });
+        points.push(ScalePoint {
+            param,
+            nanos,
+            ratio,
+        });
         prev = Some(nanos);
     }
     ScaleReport {
@@ -96,9 +121,13 @@ pub fn s2() -> ScaleReport {
     for exp in 6..=13u32 {
         let n = 1usize << exp;
         let set = uniform_box(2, n, 4, 2, 100.0, 2.0, ProbModel::Random);
-        let nanos = median_time(5, || {
-            solve_euclidean(&set, 8, AssignmentRule::ExpectedPoint, CertainSolver::Gonzalez)
-        });
+        let config = SolverConfig::builder()
+            .rule(AssignmentRule::ExpectedPoint)
+            .lower_bound(false)
+            .build()
+            .expect("static scaling config");
+        let problem = Problem::euclidean(set, 8).expect("generated instances are valid");
+        let nanos = median_time(5, || problem.solve(&config).expect("valid config"));
         raw.push((n, nanos));
     }
     finish(
@@ -153,10 +182,8 @@ pub fn save_scale(report: &ScaleReport) {
     if std::fs::create_dir_all("reports").is_err() {
         return;
     }
-    if let Ok(json) = serde_json::to_string_pretty(report) {
-        let _ = std::fs::write(
-            format!("reports/{}.json", report.id.to_lowercase()),
-            json,
-        );
-    }
+    let _ = std::fs::write(
+        format!("reports/{}.json", report.id.to_lowercase()),
+        report.to_json().pretty(),
+    );
 }

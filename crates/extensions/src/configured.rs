@@ -1,0 +1,139 @@
+//! [`SolverConfig`]-driven entry points for the extensions.
+//!
+//! The core crate's `Problem` / [`SolverConfig`] API makes the
+//! (rule × strategy) combination a first-class value; these wrappers let
+//! the same config object drive the k-median, k-means, and streaming
+//! extensions, so a serving layer configures one pipeline once and runs
+//! every objective through it. All of them validate inputs into typed
+//! [`SolveError`]s instead of panicking.
+
+use crate::kmeans::{uncertain_kmeans, KMeansSolution};
+use crate::kmedian::{uncertain_kmedian_exact, uncertain_kmedian_local_search, KMedianSolution};
+use ukc_core::{validate_k, CertainStrategy, SolveError, SolverConfig};
+use ukc_metric::{Metric, Point};
+use ukc_uncertain::UncertainSet;
+
+/// Budget handed to the exact k-median enumerator before falling back to
+/// local search (the enumerator walks `C(m, k)` subsets).
+const KMEDIAN_EXACT_SUBSET_BUDGET: u64 = 2_000_000;
+
+/// Uncertain k-median under a [`SolverConfig`].
+///
+/// [`CertainStrategy::ExactDiscrete`] runs the exact enumerator (falling
+/// back to local search past its subset budget);
+/// [`CertainStrategy::GonzalezLocalSearch`] runs local search with the
+/// configured round count; everything else uses local search with the
+/// default 50 rounds. The assignment is always ED — for k-median that
+/// rule is optimal, not heuristic (see the crate docs).
+pub fn uncertain_kmedian<P: Clone, M: Metric<P>>(
+    set: &UncertainSet<P>,
+    candidates: &[P],
+    k: usize,
+    metric: &M,
+    config: &SolverConfig,
+) -> Result<KMedianSolution<P>, SolveError> {
+    validate_k(set.n(), k)?;
+    if candidates.is_empty() {
+        return Err(SolveError::EmptyCandidates);
+    }
+    Ok(match config.strategy() {
+        CertainStrategy::ExactDiscrete => {
+            uncertain_kmedian_exact(set, candidates, k, metric, KMEDIAN_EXACT_SUBSET_BUDGET)
+                .unwrap_or_else(|| uncertain_kmedian_local_search(set, candidates, k, metric, 50))
+        }
+        CertainStrategy::GonzalezLocalSearch { rounds } => {
+            uncertain_kmedian_local_search(set, candidates, k, metric, rounds)
+        }
+        CertainStrategy::Gonzalez | CertainStrategy::Grid => {
+            uncertain_kmedian_local_search(set, candidates, k, metric, 50)
+        }
+    })
+}
+
+/// Lloyd iterations per restart used by [`uncertain_kmeans_configured`].
+const KMEANS_ITERS: usize = 100;
+/// k-means++ restarts used by [`uncertain_kmeans_configured`].
+const KMEANS_RESTARTS: usize = 6;
+
+/// Uncertain k-means under a [`SolverConfig`]: the config's seed drives
+/// the k-means++ restarts, so identical configs reproduce identical
+/// clusterings.
+pub fn uncertain_kmeans_configured(
+    set: &UncertainSet<Point>,
+    k: usize,
+    config: &SolverConfig,
+) -> Result<KMeansSolution, SolveError> {
+    validate_k(set.n(), k)?;
+    Ok(uncertain_kmeans(
+        set,
+        k,
+        config.seed(),
+        KMEANS_RESTARTS,
+        KMEANS_ITERS,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ukc_core::AssignmentRule;
+    use ukc_metric::Euclidean;
+    use ukc_uncertain::generators::{clustered, ProbModel};
+
+    #[test]
+    fn kmedian_respects_strategy() {
+        let set = clustered(1, 8, 3, 2, 2, 4.0, 1.0, ProbModel::Random);
+        let pool = set.location_pool();
+        let cfg_ls = SolverConfig::builder()
+            .strategy(CertainStrategy::GonzalezLocalSearch { rounds: 30 })
+            .build()
+            .unwrap();
+        let ls = uncertain_kmedian(&set, &pool, 2, &Euclidean, &cfg_ls).unwrap();
+        let cfg_ex = SolverConfig::builder()
+            .strategy(CertainStrategy::ExactDiscrete)
+            .build()
+            .unwrap();
+        let ex = uncertain_kmedian(&set, &pool, 2, &Euclidean, &cfg_ex).unwrap();
+        // Exact never loses to local search on the k-median objective.
+        assert!(ex.cost <= ls.cost + 1e-9);
+    }
+
+    #[test]
+    fn typed_errors_not_panics() {
+        let set = clustered(2, 4, 2, 2, 2, 4.0, 1.0, ProbModel::Random);
+        let pool = set.location_pool();
+        let cfg = SolverConfig::default();
+        assert_eq!(
+            uncertain_kmedian(&set, &pool, 0, &Euclidean, &cfg).unwrap_err(),
+            SolveError::ZeroK
+        );
+        assert_eq!(
+            uncertain_kmedian(&set, &pool, 9, &Euclidean, &cfg).unwrap_err(),
+            SolveError::KExceedsN { k: 9, n: 4 }
+        );
+        assert_eq!(
+            uncertain_kmedian(&set, &[], 2, &Euclidean, &cfg).unwrap_err(),
+            SolveError::EmptyCandidates
+        );
+        assert_eq!(
+            uncertain_kmeans_configured(&set, 0, &cfg).unwrap_err(),
+            SolveError::ZeroK
+        );
+    }
+
+    #[test]
+    fn kmeans_seed_comes_from_config() {
+        let set = clustered(3, 12, 3, 2, 3, 5.0, 1.0, ProbModel::Random);
+        let mk = |seed| {
+            SolverConfig::builder()
+                .rule(AssignmentRule::ExpectedPoint)
+                .seed(seed)
+                .build()
+                .unwrap()
+        };
+        let a = uncertain_kmeans_configured(&set, 3, &mk(7)).unwrap();
+        let b = uncertain_kmeans_configured(&set, 3, &mk(7)).unwrap();
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.cost, b.cost);
+    }
+}

@@ -42,11 +42,7 @@ pub fn variance(up: &ukc_uncertain::UncertainPoint<Point>) -> f64 {
 
 /// Exact expected k-means cost of an explicit (centers, assignment) pair,
 /// via the bias–variance identity. O(nz).
-pub fn ecost_kmeans(
-    set: &UncertainSet<Point>,
-    centers: &[Point],
-    assignment: &[usize],
-) -> f64 {
+pub fn ecost_kmeans(set: &UncertainSet<Point>, centers: &[Point], assignment: &[usize]) -> f64 {
     assert_eq!(assignment.len(), set.n(), "one center per point");
     set.iter()
         .zip(assignment.iter())

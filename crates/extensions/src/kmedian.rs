@@ -261,8 +261,7 @@ mod tests {
         for seed in 0..5u64 {
             let set = uniform_box(seed, 6, 2, 2, 20.0, 2.0, ProbModel::Random);
             let cands = pool(&set);
-            let exact =
-                uncertain_kmedian_exact(&set, &cands, 2, &Euclidean, 1_000_000).unwrap();
+            let exact = uncertain_kmedian_exact(&set, &cands, 2, &Euclidean, 1_000_000).unwrap();
             let ls = uncertain_kmedian_local_search(&set, &cands, 2, &Euclidean, 50);
             assert!(exact.cost <= ls.cost + 1e-9, "seed {seed}");
             // Local search should be within the 5-approx guarantee with

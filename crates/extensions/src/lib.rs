@@ -27,10 +27,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod configured;
 pub mod kmeans;
 pub mod kmedian;
 pub mod streaming;
 
+pub use configured::{uncertain_kmeans_configured, uncertain_kmedian};
 pub use kmeans::{uncertain_kmeans, variance, KMeansSolution};
 pub use kmedian::{
     ecost_kmedian, uncertain_kmedian_exact, uncertain_kmedian_local_search, KMedianSolution,

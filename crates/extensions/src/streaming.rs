@@ -114,23 +114,42 @@ impl<P: Clone> StreamingKCenter<P> {
 pub struct StreamingUncertainKCenter {
     summary: StreamingKCenter<Point>,
     seen: Vec<UncertainPoint<Point>>,
+    rule: ukc_core::AssignmentRule,
 }
 
 impl StreamingUncertainKCenter {
-    /// Creates an empty streaming clusterer for `k` centers.
+    /// Creates an empty streaming clusterer for `k` centers, finalizing
+    /// with the expected-distance rule.
     pub fn new(k: usize) -> Self {
         Self {
             summary: StreamingKCenter::new(k),
             seen: Vec::new(),
+            rule: ukc_core::AssignmentRule::ExpectedDistance,
         }
+    }
+
+    /// Creates a streaming clusterer whose finalization uses the
+    /// assignment rule of `config`; `k == 0` is a typed error instead of
+    /// a panic.
+    pub fn with_config(
+        k: usize,
+        config: &ukc_core::SolverConfig,
+    ) -> Result<Self, ukc_core::SolveError> {
+        if k == 0 {
+            return Err(ukc_core::SolveError::ZeroK);
+        }
+        Ok(Self {
+            summary: StreamingKCenter::new(k),
+            seen: Vec::new(),
+            rule: config.rule(),
+        })
     }
 
     /// Processes one arriving uncertain point: O(z + k) — the expected
     /// point costs O(z), the summary update O(k).
     pub fn insert(&mut self, up: UncertainPoint<Point>) {
         let pbar = expected_point(&up);
-        self.summary
-            .insert(pbar, &ukc_metric::Euclidean);
+        self.summary.insert(pbar, &ukc_metric::Euclidean);
         self.seen.push(up);
     }
 
@@ -144,18 +163,31 @@ impl StreamingUncertainKCenter {
         self.seen.is_empty()
     }
 
-    /// Finalizes: current centers, the ED assignment of every seen point,
-    /// and the exact expected cost. (Finalization is offline — the stream
-    /// summary itself stays O(k).)
+    /// Finalizes: current centers, the configured-rule assignment of every
+    /// seen point (ED unless built via [`Self::with_config`]), and the
+    /// exact expected cost. (Finalization is offline — the stream summary
+    /// itself stays O(k).)
     pub fn finalize(&self) -> Option<(Vec<Point>, Vec<usize>, f64)> {
         if self.seen.is_empty() || self.summary.centers().is_empty() {
             return None;
         }
         let set = ukc_uncertain::UncertainSet::new(self.seen.clone());
         let centers = self.summary.centers().to_vec();
-        let assignment = ukc_core::assign_ed(&set, &centers, &ukc_metric::Euclidean);
-        let cost =
-            ukc_uncertain::ecost_assigned(&set, &centers, &assignment, &ukc_metric::Euclidean);
+        let metric = ukc_metric::Euclidean;
+        let assignment = match self.rule {
+            ukc_core::AssignmentRule::ExpectedDistance => {
+                ukc_core::assign_ed(&set, &centers, &metric)
+            }
+            ukc_core::AssignmentRule::ExpectedPoint => ukc_core::assign_ep(&set, &centers, &metric),
+            ukc_core::AssignmentRule::OneCenter => {
+                let reps: Vec<Point> = set
+                    .iter()
+                    .map(ukc_uncertain::one_center_euclidean)
+                    .collect();
+                ukc_core::assign_oc(&set, &centers, &reps, &metric)
+            }
+        };
+        let cost = ukc_uncertain::ecost_assigned(&set, &centers, &assignment, &metric);
         Some((centers, assignment, cost))
     }
 }
@@ -202,8 +234,7 @@ mod tests {
             }
             let achieved = kcenter_cost(&pts, s.centers(), &Euclidean);
             let offline =
-                exact_discrete_kcenter(&pts, &pts, k, &Euclidean, ExactOptions::default())
-                    .unwrap();
+                exact_discrete_kcenter(&pts, &pts, k, &Euclidean, ExactOptions::default()).unwrap();
             // Discrete offline optimum is within 2x of continuous, so the
             // guarantee vs discrete is 8 (the invariant is vs continuous).
             assert!(
@@ -240,12 +271,15 @@ mod tests {
         assert_eq!(assignment.len(), 40);
         // Compare against the offline pipeline: streaming pays a constant
         // factor; on these benign workloads it stays within ~8x.
-        let offline = ukc_core::solve_euclidean(
-            &set,
-            3,
-            ukc_core::AssignmentRule::ExpectedDistance,
-            ukc_core::CertainSolver::Gonzalez,
-        );
+        let offline = ukc_core::Problem::euclidean(set.clone(), 3)
+            .unwrap()
+            .solve(
+                &ukc_core::SolverConfig::builder()
+                    .rule(ukc_core::AssignmentRule::ExpectedDistance)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
         assert!(
             cost <= 8.0 * offline.ecost + 1e-9,
             "streaming {cost} vs offline {}",
@@ -275,8 +309,8 @@ mod tests {
         for p in pts.iter().rev() {
             rev.insert(p.clone(), &Euclidean);
         }
-        let offline = exact_discrete_kcenter(&pts, &pts, k, &Euclidean, ExactOptions::default())
-            .unwrap();
+        let offline =
+            exact_discrete_kcenter(&pts, &pts, k, &Euclidean, ExactOptions::default()).unwrap();
         for s in [&fwd, &rev] {
             let achieved = kcenter_cost(&pts, s.centers(), &Euclidean);
             assert!(achieved <= 8.0 * offline.radius + 1e-9);

@@ -81,7 +81,11 @@ impl ConvexPiecewiseLinear {
             .map(|(a, w)| w * (a - x0))
             .sum::<f64>()
             + offset;
-        Some(Self { xs, slopes, anchor_value })
+        Some(Self {
+            xs,
+            slopes,
+            anchor_value,
+        })
     }
 
     /// Evaluates `f(x)` by a linear walk across the pieces between the
@@ -163,7 +167,11 @@ impl ConvexPiecewiseLinear {
             // Segment to the left of x has slope slopes[i] (for x in
             // (xs[i-1], xs[i])); at x == xs[i], left slope is slopes[i].
             let slope = self.slopes[i.min(self.slopes.len() - 1)];
-            let left_bp = if i == 0 { f64::NEG_INFINITY } else { self.xs[i - 1] };
+            let left_bp = if i == 0 {
+                f64::NEG_INFINITY
+            } else {
+                self.xs[i - 1]
+            };
             if slope > 0.0 {
                 // Moving left decreases f; cross into the next segment.
                 if left_bp.is_infinite() {
@@ -202,7 +210,11 @@ impl ConvexPiecewiseLinear {
         let mut v = self.eval(start);
         loop {
             let slope = self.slopes[i.min(self.slopes.len() - 1)];
-            let right_bp = if i >= self.xs.len() { f64::INFINITY } else { self.xs[i] };
+            let right_bp = if i >= self.xs.len() {
+                f64::INFINITY
+            } else {
+                self.xs[i]
+            };
             if slope < 0.0 {
                 // Moving right decreases f; cross into the next segment.
                 if right_bp.is_infinite() {
@@ -276,8 +288,7 @@ mod tests {
         assert_eq!(x, 1.0);
         assert_eq!(v, 2.0);
 
-        let g =
-            ConvexPiecewiseLinear::from_weighted_abs(&[0.0, 10.0], &[3.0, 1.0], 0.0).unwrap();
+        let g = ConvexPiecewiseLinear::from_weighted_abs(&[0.0, 10.0], &[3.0, 1.0], 0.0).unwrap();
         let (x, v) = g.min();
         assert_eq!(x, 0.0);
         assert_eq!(v, 10.0);

@@ -202,10 +202,7 @@ pub fn min_enclosing_ball_approx(points: &[Point], eps: f64) -> Option<Ball> {
             .expect("non-empty");
         center = center.lerp(far, 1.0 / (t as f64 + 1.0));
     }
-    let radius = points
-        .iter()
-        .map(|p| center.dist(p))
-        .fold(0.0, f64::max);
+    let radius = points.iter().map(|p| center.dist(p)).fold(0.0, f64::max);
     Some(Ball { center, radius })
 }
 
@@ -274,7 +271,9 @@ mod tests {
 
     #[test]
     fn collinear_points() {
-        let pts: Vec<Point> = (0..20).map(|i| Point::new(vec![i as f64, 2.0 * i as f64])).collect();
+        let pts: Vec<Point> = (0..20)
+            .map(|i| Point::new(vec![i as f64, 2.0 * i as f64]))
+            .collect();
         let b = min_enclosing_ball(&pts).unwrap();
         let expected = pts[0].dist(&pts[19]) / 2.0;
         assert!((b.radius - expected).abs() < 1e-8);
@@ -324,7 +323,9 @@ mod tests {
         // Pseudo-random point cloud (deterministic LCG to avoid an RNG dep).
         let mut state: u64 = 0x9E3779B97F4A7C15;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) * 10.0 - 5.0
         };
         let pts: Vec<Point> = (0..200)
@@ -348,7 +349,9 @@ mod tests {
     fn exact_beats_or_ties_approx_high_dim() {
         let mut state: u64 = 42;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };
         let pts: Vec<Point> = (0..60)

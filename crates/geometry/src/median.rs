@@ -136,7 +136,11 @@ pub fn weighted_median_1d(values: &[f64], weights: &[f64]) -> Option<f64> {
         return None;
     }
     let mut order: Vec<usize> = (0..values.len()).collect();
-    order.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&i, &j| {
+        values[i]
+            .partial_cmp(&values[j])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut acc = 0.0;
     for &i in &order {
         acc += weights[i];
@@ -178,7 +182,10 @@ mod tests {
         ];
         let w = [0.7, 0.2, 0.1];
         let m = geometric_median(&pts, &w, WeiszfeldOptions::default()).unwrap();
-        assert!(m.dist(&pts[0]) < 1e-6, "median {m:?} should be at the heavy point");
+        assert!(
+            m.dist(&pts[0]) < 1e-6,
+            "median {m:?} should be at the heavy point"
+        );
     }
 
     #[test]
@@ -234,9 +241,18 @@ mod tests {
 
     #[test]
     fn weighted_median_1d_basic() {
-        assert_eq!(weighted_median_1d(&[1.0, 2.0, 3.0], &[1.0, 1.0, 1.0]), Some(2.0));
-        assert_eq!(weighted_median_1d(&[1.0, 2.0, 3.0], &[5.0, 1.0, 1.0]), Some(1.0));
-        assert_eq!(weighted_median_1d(&[3.0, 1.0, 2.0], &[1.0, 1.0, 5.0]), Some(2.0));
+        assert_eq!(
+            weighted_median_1d(&[1.0, 2.0, 3.0], &[1.0, 1.0, 1.0]),
+            Some(2.0)
+        );
+        assert_eq!(
+            weighted_median_1d(&[1.0, 2.0, 3.0], &[5.0, 1.0, 1.0]),
+            Some(1.0)
+        );
+        assert_eq!(
+            weighted_median_1d(&[3.0, 1.0, 2.0], &[1.0, 1.0, 5.0]),
+            Some(2.0)
+        );
     }
 
     #[test]
@@ -251,7 +267,10 @@ mod tests {
         let w = [0.1, 0.3, 0.2, 0.25, 0.15];
         let med = weighted_median_1d(&vals, &w).unwrap();
         let cost = |x: f64| -> f64 {
-            vals.iter().zip(w.iter()).map(|(v, ww)| ww * (v - x).abs()).sum()
+            vals.iter()
+                .zip(w.iter())
+                .map(|(v, ww)| ww * (v - x).abs())
+                .sum()
         };
         let c = cost(med);
         for i in 0..=100 {

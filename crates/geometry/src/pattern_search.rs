@@ -94,9 +94,11 @@ mod tests {
         // 1-center objective: max distance to three unit-triangle corners;
         // optimum is the circumcenter.
         let h = 3f64.sqrt() / 2.0;
-        let pts = [Point::new(vec![0.0, 0.0]),
+        let pts = [
+            Point::new(vec![0.0, 0.0]),
             Point::new(vec![1.0, 0.0]),
-            Point::new(vec![0.5, h])];
+            Point::new(vec![0.5, h]),
+        ];
         let (x, fx) = pattern_search(
             |p| pts.iter().map(|q| p.dist(q)).fold(0.0, f64::max),
             &Point::origin(2),

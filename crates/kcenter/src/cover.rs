@@ -255,7 +255,7 @@ mod tests {
     #[test]
     fn dominated_candidates_do_not_matter() {
         let masks = vec![
-            mask(4, &[0]),          // dominated by 2
+            mask(4, &[0]), // dominated by 2
             mask(4, &[2, 3]),
             mask(4, &[0, 1]),
         ];

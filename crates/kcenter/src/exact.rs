@@ -12,7 +12,7 @@ use crate::gonzalez::KCenterSolution;
 use ukc_metric::Metric;
 
 /// Options bounding the exact solver's effort.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ExactOptions {
     /// Refuse instances with more points than this (the decision procedure
     /// is exponential in the worst case).
@@ -144,8 +144,8 @@ mod tests {
             Point::new(vec![4.0, 4.0]),
         ];
         for k in 1..=3 {
-            let sol = exact_discrete_kcenter(&pts, &pts, k, &Euclidean, ExactOptions::default())
-                .unwrap();
+            let sol =
+                exact_discrete_kcenter(&pts, &pts, k, &Euclidean, ExactOptions::default()).unwrap();
             let cost = kcenter_cost(&pts, &sol.centers, &Euclidean);
             assert!((cost - sol.radius).abs() < 1e-12);
             assert!(sol.centers.len() <= k);
@@ -167,8 +167,8 @@ mod tests {
                 .map(|_| Point::new(vec![rnd() * 10.0, rnd() * 10.0]))
                 .collect();
             let k = 1 + trial % 4;
-            let ex = exact_discrete_kcenter(&pts, &pts, k, &Euclidean, ExactOptions::default())
-                .unwrap();
+            let ex =
+                exact_discrete_kcenter(&pts, &pts, k, &Euclidean, ExactOptions::default()).unwrap();
             let gz = gonzalez(&pts, k, &Euclidean, 0);
             assert!(ex.radius <= gz.radius + 1e-12, "trial {trial}");
             assert!(gz.radius <= 2.0 * ex.radius + 1e-12, "trial {trial}");
@@ -205,8 +205,7 @@ mod tests {
         let g = WeightedGraph::cycle(8, 1.0);
         let fm: FiniteMetric = g.shortest_path_metric().unwrap();
         let ids = fm.ids();
-        let sol =
-            exact_discrete_kcenter(&ids, &ids, 2, &fm, ExactOptions::default()).unwrap();
+        let sol = exact_discrete_kcenter(&ids, &ids, 2, &fm, ExactOptions::default()).unwrap();
         // Two centers on an 8-cycle cover within distance 2.
         assert_eq!(sol.radius, 2.0);
     }

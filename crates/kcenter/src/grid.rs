@@ -23,7 +23,7 @@ use crate::gonzalez::{gonzalez, KCenterSolution};
 use ukc_metric::{Euclidean, Point};
 
 /// Options for the grid (1+ε) solver.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct GridOptions {
     /// Approximation slack ε (> 0).
     pub eps: f64,
@@ -55,7 +55,11 @@ impl Default for GridOptions {
 ///
 /// # Panics
 /// Panics if `points` is empty, `k == 0`, or `eps <= 0`.
-pub fn grid_kcenter(points: &[Point], k: usize, opts: GridOptions) -> Option<KCenterSolution<Point>> {
+pub fn grid_kcenter(
+    points: &[Point],
+    k: usize,
+    opts: GridOptions,
+) -> Option<KCenterSolution<Point>> {
     assert!(!points.is_empty(), "grid solver requires points");
     assert!(k > 0, "grid solver requires k >= 1");
     assert!(opts.eps > 0.0, "eps must be positive");
@@ -184,14 +188,9 @@ mod tests {
                     // The certified property we rely on: grid beats
                     // (1+eps) times the *discrete* optimum over the points
                     // (which itself is at most 2x continuous opt).
-                    let disc = exact_discrete_kcenter(
-                        &pts,
-                        &pts,
-                        k,
-                        &Euclidean,
-                        ExactOptions::default(),
-                    )
-                    .unwrap();
+                    let disc =
+                        exact_discrete_kcenter(&pts, &pts, k, &Euclidean, ExactOptions::default())
+                            .unwrap();
                     assert!(
                         sol.radius <= (1.0 + eps) * disc.radius + 1e-9,
                         "seed {seed}: grid {} discrete {}",
@@ -217,7 +216,15 @@ mod tests {
             .iter()
             .map(|&x| Point::scalar(x))
             .collect();
-        let sol = grid_kcenter(&pts, 2, GridOptions { eps: 0.1, ..Default::default() }).unwrap();
+        let sol = grid_kcenter(
+            &pts,
+            2,
+            GridOptions {
+                eps: 0.1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // Optimal continuous radius is 1 (centers at 1 and 10).
         assert!(sol.radius <= 1.1 + 1e-9, "radius {}", sol.radius);
     }
@@ -250,7 +257,15 @@ mod tests {
             .map(|&x| Point::scalar(x))
             .collect();
         let gz = gonzalez(&pts, 2, &Euclidean, 0);
-        let grid = grid_kcenter(&pts, 2, GridOptions { eps: 0.1, ..Default::default() }).unwrap();
+        let grid = grid_kcenter(
+            &pts,
+            2,
+            GridOptions {
+                eps: 0.1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(grid.radius <= gz.radius + 1e-12);
         // Continuous optimum: centers ~1.95 and ~6.05, radius ~1.95.
         assert!(grid.radius <= 1.95 * 1.1 + 1e-6, "radius {}", grid.radius);

@@ -35,9 +35,8 @@ pub fn local_search_kcenter<P: Clone, M: Metric<P>>(
         "initial center index out of range"
     );
     let mut current: Vec<usize> = initial.to_vec();
-    let materialize = |idx: &[usize]| -> Vec<P> {
-        idx.iter().map(|&i| candidates[i].clone()).collect()
-    };
+    let materialize =
+        |idx: &[usize]| -> Vec<P> { idx.iter().map(|&i| candidates[i].clone()).collect() };
     let mut cost = kcenter_cost(points, &materialize(&current), metric);
     for _ in 0..max_rounds {
         let mut best_swap: Option<(usize, usize, f64)> = None;
@@ -107,8 +106,8 @@ mod tests {
             let k = 2 + (seed as usize) % 3;
             let gz = gonzalez(&pts, k, &Euclidean, 0);
             let ls = local_search_kcenter(&pts, &pts, &gz.center_indices, &Euclidean, 100);
-            let ex = exact_discrete_kcenter(&pts, &pts, k, &Euclidean, ExactOptions::default())
-                .unwrap();
+            let ex =
+                exact_discrete_kcenter(&pts, &pts, k, &Euclidean, ExactOptions::default()).unwrap();
             assert!(ex.radius <= ls.radius + 1e-12);
             assert!(ls.radius <= gz.radius + 1e-12);
         }

@@ -22,7 +22,10 @@ impl fmt::Display for FiniteMetricError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FiniteMetricError::BadShape { rows, cols } => {
-                write!(f, "distance matrix must be square and non-empty, got {rows}x{cols}")
+                write!(
+                    f,
+                    "distance matrix must be square and non-empty, got {rows}x{cols}"
+                )
             }
             FiniteMetricError::NotAMetric(v) => write!(f, "matrix is not a metric: {v:?}"),
         }
@@ -55,14 +58,20 @@ impl FiniteMetric {
         }
         for row in &matrix {
             if row.len() != n {
-                return Err(FiniteMetricError::BadShape { rows: n, cols: row.len() });
+                return Err(FiniteMetricError::BadShape {
+                    rows: n,
+                    cols: row.len(),
+                });
             }
         }
         let mut d = Vec::with_capacity(n * n);
         for row in &matrix {
             d.extend_from_slice(row);
         }
-        let fm = Self { n, d: d.into_boxed_slice() };
+        let fm = Self {
+            n,
+            d: d.into_boxed_slice(),
+        };
         let ids: Vec<usize> = (0..n).collect();
         check_metric_axioms(&fm, &ids, tol).map_err(FiniteMetricError::NotAMetric)?;
         Ok(fm)
@@ -85,7 +94,10 @@ impl FiniteMetric {
             assert_eq!(row.len(), n, "distance matrix must be square");
             d.extend_from_slice(row);
         }
-        Self { n, d: d.into_boxed_slice() }
+        Self {
+            n,
+            d: d.into_boxed_slice(),
+        }
     }
 
     /// Builds the finite metric induced by embedding `points` into the metric
@@ -101,7 +113,10 @@ impl FiniteMetric {
                 d[j * n + i] = dij;
             }
         }
-        Self { n, d: d.into_boxed_slice() }
+        Self {
+            n,
+            d: d.into_boxed_slice(),
+        }
     }
 
     /// Number of points in the space.

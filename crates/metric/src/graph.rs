@@ -35,7 +35,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::VertexOutOfRange { vertex, n } => {
-                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+                write!(
+                    f,
+                    "vertex {vertex} out of range for graph with {n} vertices"
+                )
             }
             GraphError::BadWeight { weight } => write!(f, "bad edge weight {weight}"),
             GraphError::Disconnected { unreachable } => {
@@ -87,7 +90,9 @@ impl WeightedGraph {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "graph must have at least one vertex");
-        Self { adj: vec![Vec::new(); n] }
+        Self {
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Number of vertices.
@@ -126,7 +131,10 @@ impl WeightedGraph {
         let mut dist = vec![f64::INFINITY; n];
         dist[source] = 0.0;
         let mut heap = BinaryHeap::new();
-        heap.push(HeapEntry { dist: 0.0, vertex: source });
+        heap.push(HeapEntry {
+            dist: 0.0,
+            vertex: source,
+        });
         while let Some(HeapEntry { dist: d, vertex: u }) = heap.pop() {
             if d > dist[u] {
                 continue; // stale entry
@@ -135,7 +143,10 @@ impl WeightedGraph {
                 let nd = d + w;
                 if nd < dist[v] {
                     dist[v] = nd;
-                    heap.push(HeapEntry { dist: nd, vertex: v });
+                    heap.push(HeapEntry {
+                        dist: nd,
+                        vertex: v,
+                    });
                 }
             }
         }
@@ -167,7 +178,8 @@ impl WeightedGraph {
         assert!(n >= 3, "cycle needs at least 3 vertices");
         let mut g = Self::new(n);
         for i in 0..n {
-            g.add_edge(i, (i + 1) % n, weight).expect("valid cycle edge");
+            g.add_edge(i, (i + 1) % n, weight)
+                .expect("valid cycle edge");
         }
         g
     }
@@ -255,7 +267,10 @@ mod tests {
             g.add_edge(0, 5, 1.0),
             Err(GraphError::VertexOutOfRange { vertex: 5, .. })
         ));
-        assert!(matches!(g.add_edge(0, 1, -1.0), Err(GraphError::BadWeight { .. })));
+        assert!(matches!(
+            g.add_edge(0, 1, -1.0),
+            Err(GraphError::BadWeight { .. })
+        ));
         assert!(matches!(
             g.add_edge(0, 1, f64::NAN),
             Err(GraphError::BadWeight { .. })

@@ -79,8 +79,7 @@ pub trait Metric<P: ?Sized> {
     where
         P: Sized,
     {
-        self.nearest(a, centers)
-            .map_or(f64::INFINITY, |(_, d)| d)
+        self.nearest(a, centers).map_or(f64::INFINITY, |(_, d)| d)
     }
 }
 

@@ -23,7 +23,10 @@ impl Point {
     /// # Panics
     /// Panics if `coords` is empty or contains a non-finite value.
     pub fn new(coords: Vec<f64>) -> Self {
-        assert!(!coords.is_empty(), "Point must have at least one coordinate");
+        assert!(
+            !coords.is_empty(),
+            "Point must have at least one coordinate"
+        );
         assert!(
             coords.iter().all(|c| c.is_finite()),
             "Point coordinates must be finite"

@@ -35,7 +35,11 @@ impl fmt::Display for TreeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TreeError::WrongEdgeCount { n, edges } => {
-                write!(f, "a tree on {n} vertices needs {} edges, got {edges}", n - 1)
+                write!(
+                    f,
+                    "a tree on {n} vertices needs {} edges, got {edges}",
+                    n - 1
+                )
             }
             TreeError::VertexOutOfRange { vertex } => write!(f, "vertex {vertex} out of range"),
             TreeError::BadWeight { weight } => write!(f, "bad edge weight {weight}"),
@@ -66,7 +70,10 @@ impl TreeMetric {
             return Err(TreeError::NotATree);
         }
         if edges.len() != n - 1 {
-            return Err(TreeError::WrongEdgeCount { n, edges: edges.len() });
+            return Err(TreeError::WrongEdgeCount {
+                n,
+                edges: edges.len(),
+            });
         }
         let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
         for &(u, v, w) in edges {

@@ -140,9 +140,9 @@ mod tests {
     impl Metric<usize> for Broken {
         fn dist(&self, a: &usize, b: &usize) -> f64 {
             match self.0 {
-                0 => -1.0,                                  // negative
-                1 => 1.0,                                   // d(a,a) != 0
-                2 => (*a as f64) - (*b as f64),             // asymmetric (and negative)
+                0 => -1.0,                      // negative
+                1 => 1.0,                       // d(a,a) != 0
+                2 => (*a as f64) - (*b as f64), // asymmetric (and negative)
                 3 => {
                     // triangle violation: d(0,2)=10, d(0,1)=d(1,2)=1
                     if (*a, *b) == (0, 2) || (*a, *b) == (2, 0) {

@@ -9,11 +9,8 @@ use ukc_metric::{
 };
 
 fn points(n: std::ops::RangeInclusive<usize>, dim: usize) -> impl Strategy<Value = Vec<Point>> {
-    prop::collection::vec(
-        prop::collection::vec(-100.0f64..100.0, dim..=dim),
-        n,
-    )
-    .prop_map(|rows| rows.into_iter().map(Point::new).collect())
+    prop::collection::vec(prop::collection::vec(-100.0f64..100.0, dim..=dim), n)
+        .prop_map(|rows| rows.into_iter().map(Point::new).collect())
 }
 
 proptest! {

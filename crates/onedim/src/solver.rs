@@ -94,10 +94,7 @@ pub fn solve_one_d(set: &UncertainSet<Point>, k: usize) -> OneDimSolution {
     let funcs = expected_distance_functions(set);
 
     // Lower bound: every point pays at least its own 1-median value.
-    let lo0 = funcs
-        .iter()
-        .map(|f| f.min().1)
-        .fold(0.0f64, f64::max);
+    let lo0 = funcs.iter().map(|f| f.min().1).fold(0.0f64, f64::max);
     // Upper bound: one center at the grand weighted median.
     let (all_anchors, all_weights): (Vec<f64>, Vec<f64>) = {
         let mut a = Vec::new();
@@ -110,8 +107,8 @@ pub fn solve_one_d(set: &UncertainSet<Point>, k: usize) -> OneDimSolution {
         }
         (a, w)
     };
-    let grand_median = ukc_geometry::weighted_median_1d(&all_anchors, &all_weights)
-        .expect("non-empty instance");
+    let grand_median =
+        ukc_geometry::weighted_median_1d(&all_anchors, &all_weights).expect("non-empty instance");
     let hi0 = funcs
         .iter()
         .map(|f| f.eval(grand_median))
@@ -174,8 +171,11 @@ mod tests {
     use ukc_uncertain::UncertainPoint;
 
     fn up1(locs: &[f64], probs: &[f64]) -> UncertainPoint<Point> {
-        UncertainPoint::new(locs.iter().map(|&x| Point::scalar(x)).collect(), probs.to_vec())
-            .unwrap()
+        UncertainPoint::new(
+            locs.iter().map(|&x| Point::scalar(x)).collect(),
+            probs.to_vec(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -254,8 +254,10 @@ mod tests {
             // numeric slack — grid is an upper bound on opt, so only check
             // one direction plus feasibility consistency.
             assert!(feasible_with_k(&funcs, sol.med_cost + 1e-9, k).is_some());
-            assert!(feasible_with_k(&funcs, sol.med_cost * 0.98 - 1e-6, k).is_none()
-                || sol.med_cost < 1e-6);
+            assert!(
+                feasible_with_k(&funcs, sol.med_cost * 0.98 - 1e-6, k).is_none()
+                    || sol.med_cost < 1e-6
+            );
         }
     }
 

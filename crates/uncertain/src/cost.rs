@@ -290,8 +290,14 @@ mod tests {
         let assignment = vec![0usize, 1];
         let exact = ecost_assigned(&s, &centers, &assignment, &Euclidean);
         let mut rng = StdRng::seed_from_u64(11);
-        let mc =
-            ecost_monte_carlo(&s, &centers, Some(&assignment), &Euclidean, 100_000, &mut rng);
+        let mc = ecost_monte_carlo(
+            &s,
+            &centers,
+            Some(&assignment),
+            &Euclidean,
+            100_000,
+            &mut rng,
+        );
         assert!((mc.mean - exact).abs() < 5.0 * mc.std_error + 1e-3);
     }
 
@@ -320,7 +326,9 @@ mod tests {
         let assignment = vec![0usize, 1];
         // CDF at the 1.0-quantile must be 1; CDF is monotone in t.
         let worst = cost_quantile_assigned(&s, &centers, &assignment, &Euclidean, 1.0);
-        assert!((cost_cdf_assigned(&s, &centers, &assignment, &Euclidean, worst) - 1.0).abs() < 1e-12);
+        assert!(
+            (cost_cdf_assigned(&s, &centers, &assignment, &Euclidean, worst) - 1.0).abs() < 1e-12
+        );
         let med = cost_quantile_assigned(&s, &centers, &assignment, &Euclidean, 0.5);
         assert!(med <= worst + 1e-12);
         assert!(cost_cdf_assigned(&s, &centers, &assignment, &Euclidean, med) >= 0.5);

@@ -36,7 +36,10 @@
 /// Panics when `vars` is empty, some variable has no atoms, a value is
 /// non-finite, a probability is negative, or probabilities do not sum to 1.
 pub fn expected_max(vars: &[Vec<(f64, f64)>]) -> f64 {
-    assert!(!vars.is_empty(), "expected_max requires at least one variable");
+    assert!(
+        !vars.is_empty(),
+        "expected_max requires at least one variable"
+    );
     let n = vars.len();
     let mut atoms: Vec<(f64, usize, f64)> = Vec::new();
     for (i, var) in vars.iter().enumerate() {
@@ -44,7 +47,10 @@ pub fn expected_max(vars: &[Vec<(f64, f64)>]) -> f64 {
         let mut sum = 0.0;
         for &(v, p) in var {
             assert!(v.is_finite(), "variable {i} has non-finite value {v}");
-            assert!(p >= 0.0 && p.is_finite(), "variable {i} has bad probability {p}");
+            assert!(
+                p >= 0.0 && p.is_finite(),
+                "variable {i} has bad probability {p}"
+            );
             sum += p;
             if p > 0.0 {
                 atoms.push((v, i, p));
@@ -125,13 +131,19 @@ pub fn max_cdf(vars: &[Vec<(f64, f64)>], t: f64) -> f64 {
         let mut cdf = 0.0;
         for &(v, p) in var {
             assert!(v.is_finite(), "variable {i} has non-finite value {v}");
-            assert!(p >= 0.0 && p.is_finite(), "variable {i} has bad probability {p}");
+            assert!(
+                p >= 0.0 && p.is_finite(),
+                "variable {i} has bad probability {p}"
+            );
             sum += p;
             if v <= t {
                 cdf += p;
             }
         }
-        assert!((sum - 1.0).abs() <= 1e-6, "variable {i} probabilities sum to {sum}");
+        assert!(
+            (sum - 1.0).abs() <= 1e-6,
+            "variable {i} probabilities sum to {sum}"
+        );
         if cdf <= 0.0 {
             return 0.0;
         }
@@ -152,7 +164,10 @@ pub fn max_cdf(vars: &[Vec<(f64, f64)>], t: f64) -> f64 {
 /// Panics when `q ∉ (0, 1]` or inputs are invalid per [`expected_max`].
 pub fn max_quantile(vars: &[Vec<(f64, f64)>], q: f64) -> f64 {
     assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1], got {q}");
-    assert!(!vars.is_empty(), "max_quantile requires at least one variable");
+    assert!(
+        !vars.is_empty(),
+        "max_quantile requires at least one variable"
+    );
     let mut values: Vec<f64> = vars
         .iter()
         .flat_map(|var| var.iter().filter(|(_, p)| *p > 0.0).map(|(v, _)| *v))
@@ -186,7 +201,9 @@ pub fn max_quantile(vars: &[Vec<(f64, f64)>], q: f64) -> f64 {
 /// invalid per [`expected_max`].
 pub fn expected_max_enumerate(vars: &[Vec<(f64, f64)>]) -> f64 {
     assert!(!vars.is_empty(), "requires at least one variable");
-    let count: u128 = vars.iter().fold(1u128, |a, v| a.saturating_mul(v.len() as u128));
+    let count: u128 = vars
+        .iter()
+        .fold(1u128, |a, v| a.saturating_mul(v.len() as u128));
     assert!(count <= 10_000_000, "product space too large to enumerate");
     let mut idx = vec![0usize; vars.len()];
     let mut expectation = 0.0;
@@ -234,10 +251,7 @@ mod tests {
     #[test]
     fn two_coin_flips() {
         // X, Y each uniform on {0, 1}: E[max] = 3/4.
-        let vars = vec![
-            vec![(0.0, 0.5), (1.0, 0.5)],
-            vec![(0.0, 0.5), (1.0, 0.5)],
-        ];
+        let vars = vec![vec![(0.0, 0.5), (1.0, 0.5)], vec![(0.0, 0.5), (1.0, 0.5)]];
         assert!((expected_max(&vars) - 0.75).abs() < 1e-12);
     }
 
@@ -275,10 +289,7 @@ mod tests {
     #[test]
     fn ties_across_variables() {
         // Both variables can take the same value; grouping must be exact.
-        let vars = vec![
-            vec![(1.0, 0.5), (2.0, 0.5)],
-            vec![(1.0, 0.5), (2.0, 0.5)],
-        ];
+        let vars = vec![vec![(1.0, 0.5), (2.0, 0.5)], vec![(1.0, 0.5), (2.0, 0.5)]];
         // E[max] = 2 * (1 - 1/4) + 1 * 1/4 = 1.75.
         assert!((expected_max(&vars) - 1.75).abs() < 1e-12);
         assert!((expected_max_enumerate(&vars) - 1.75).abs() < 1e-12);
@@ -292,10 +303,7 @@ mod tests {
 
     #[test]
     fn negative_values_supported() {
-        let vars = vec![
-            vec![(-5.0, 0.5), (-1.0, 0.5)],
-            vec![(-3.0, 1.0)],
-        ];
+        let vars = vec![vec![(-5.0, 0.5), (-1.0, 0.5)], vec![(-3.0, 1.0)]];
         // max is -1 w.p. 0.5, -3 w.p. 0.5.
         assert!((expected_max(&vars) - (-2.0)).abs() < 1e-12);
     }
@@ -303,14 +311,8 @@ mod tests {
     #[test]
     fn monotone_in_stochastic_dominance() {
         // Shifting one variable up cannot decrease E[max].
-        let base = vec![
-            vec![(0.0, 0.5), (2.0, 0.5)],
-            vec![(1.0, 1.0)],
-        ];
-        let shifted = vec![
-            vec![(0.5, 0.5), (2.5, 0.5)],
-            vec![(1.0, 1.0)],
-        ];
+        let base = vec![vec![(0.0, 0.5), (2.0, 0.5)], vec![(1.0, 1.0)]];
+        let shifted = vec![vec![(0.5, 0.5), (2.5, 0.5)], vec![(1.0, 1.0)]];
         assert!(expected_max(&shifted) >= expected_max(&base) - 1e-12);
     }
 
@@ -318,10 +320,7 @@ mod tests {
     fn expectation_bounds() {
         // max_i E[X_i] <= E[max] <= sum of positive parts bound: just check
         // the lower bound on a random instance.
-        let vars = vec![
-            vec![(0.0, 0.3), (10.0, 0.7)],
-            vec![(5.0, 0.5), (6.0, 0.5)],
-        ];
+        let vars = vec![vec![(0.0, 0.3), (10.0, 0.7)], vec![(5.0, 0.5), (6.0, 0.5)]];
         let e = expected_max(&vars);
         let max_mean = f64::max(0.0 * 0.3 + 10.0 * 0.7, 5.0 * 0.5 + 6.0 * 0.5);
         assert!(e >= max_mean - 1e-12);
@@ -348,7 +347,10 @@ mod tests {
             })
             .collect();
         let e = expected_max(&vars);
-        assert!(e > 0.9, "with 8000 uniform atoms the max should be near 1, got {e}");
+        assert!(
+            e > 0.9,
+            "with 8000 uniform atoms the max should be near 1, got {e}"
+        );
         assert!(e <= 1.0 + 1e-9);
     }
 

@@ -116,8 +116,9 @@ pub fn uniform_box(
     let points = (0..n)
         .map(|_| {
             let nominal: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>() * box_size).collect();
-            let locations: Vec<Point> =
-                (0..z).map(|_| point_near(&nominal, loc_spread, &mut rng)).collect();
+            let locations: Vec<Point> = (0..z)
+                .map(|_| point_near(&nominal, loc_spread, &mut rng))
+                .collect();
             let p = draw_probs(probs, z, &mut rng);
             UncertainPoint::new(locations, p).expect("generated distribution is valid")
         })

@@ -15,8 +15,21 @@ impl<P> UncertainSet<P> {
     /// # Panics
     /// Panics on an empty vector; an instance needs at least one point.
     pub fn new(points: Vec<UncertainPoint<P>>) -> Self {
-        assert!(!points.is_empty(), "UncertainSet requires at least one point");
+        assert!(
+            !points.is_empty(),
+            "UncertainSet requires at least one point"
+        );
         Self { points }
+    }
+
+    /// Wraps a vector of uncertain points, returning `None` when it is
+    /// empty (the non-panicking counterpart of [`UncertainSet::new`]).
+    pub fn try_new(points: Vec<UncertainPoint<P>>) -> Option<Self> {
+        if points.is_empty() {
+            None
+        } else {
+            Some(Self { points })
+        }
     }
 
     /// Number of uncertain points (`n`).

@@ -1,0 +1,72 @@
+//! Batch serving: many uncertain k-center queries over one substrate,
+//! fanned out with `solve_batch` — the request/response shape a
+//! production deployment runs.
+//!
+//! Builds one road network (an `Arc`-shared metric + candidate pool),
+//! then solves 24 independent facility-location queries against it in a
+//! single batch call. The batch output is bit-identical to the
+//! sequential loop, so sharding across workers never changes answers.
+//!
+//! ```text
+//! cargo run --release --example batch_serving
+//! ```
+
+use std::sync::Arc;
+use uncertain_kcenter::prelude::*;
+
+fn main() {
+    // One substrate, shared by every query: a 7x7 road grid.
+    let road = WeightedGraph::grid(7, 7, 1.0)
+        .shortest_path_metric()
+        .expect("grid is connected");
+    let pool: Arc<[usize]> = Arc::from(road.ids());
+    let metric: Arc<dyn Metric<usize> + Send + Sync> = Arc::new(road.clone());
+
+    // 24 incoming requests: different customer sets, same road network.
+    let problems: Vec<Problem<usize>> = (0..24)
+        .map(|seed| {
+            let customers = on_finite_metric(seed, road.len(), 20, 3, ProbModel::Random);
+            Problem::in_metric_shared(customers, 3, Arc::clone(&metric), Arc::clone(&pool))
+                .expect("valid request")
+        })
+        .collect();
+
+    // One config for the whole batch: Theorem 2.7's 1-center rule.
+    let config = SolverConfig::builder()
+        .rule(AssignmentRule::OneCenter)
+        .build()
+        .expect("valid config");
+
+    let batch = solve_batch(&problems, &config);
+    let sequential: Vec<_> = problems.iter().map(|p| p.solve(&config)).collect();
+
+    println!(
+        "{:>6} {:>10} {:>10} {:>8} {:>12}",
+        "query", "Ecost", "bound", "ratio", "dist evals"
+    );
+    let mut total_evals = 0u64;
+    for (i, result) in batch.iter().enumerate() {
+        let sol = result.as_ref().expect("OC rule is metric-supported");
+        let lb = sol.report.lower_bound.expect("bound certification is on");
+        total_evals += sol.report.distance_evals.total();
+        println!(
+            "{i:>6} {:>10.4} {:>10.4} {:>8.3} {:>12}",
+            sol.ecost,
+            lb,
+            sol.ecost / lb.max(f64::MIN_POSITIVE),
+            sol.report.distance_evals.total()
+        );
+    }
+    println!("\ntotal distance evaluations across the batch: {total_evals}");
+
+    // Determinism check: the fan-out answers exactly match the loop.
+    let identical = batch.iter().zip(&sequential).all(|(a, b)| match (a, b) {
+        (Ok(x), Ok(y)) => {
+            x.centers == y.centers && x.assignment == y.assignment && x.ecost == y.ecost
+        }
+        (Err(x), Err(y)) => x == y,
+        _ => false,
+    });
+    println!("batch output bit-identical to the sequential loop: {identical}");
+    assert!(identical);
+}

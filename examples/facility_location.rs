@@ -12,6 +12,7 @@
 //! cargo run --release --example facility_location
 //! ```
 
+use std::sync::Arc;
 use uncertain_kcenter::prelude::*;
 
 fn main() {
@@ -39,42 +40,68 @@ fn main() {
     println!("{:<52} {:>10} {:>8}", "method", "Ecost", "vs LB");
     println!("{}", "-".repeat(74));
 
+    // One shared problem substrate (Arc'd metric + pool), one config per
+    // method — the request/response shape the serving layer uses.
+    let metric: Arc<dyn Metric<usize> + Send + Sync> = Arc::new(road.clone());
+    let pool_arc: Arc<[usize]> = Arc::from(pool.clone());
+    let problem =
+        Problem::in_metric_shared(set.clone(), k, metric, pool_arc).expect("valid instance");
+    let cfg = |rule, strategy| {
+        SolverConfig::builder()
+            .rule(rule)
+            .strategy(strategy)
+            .lower_bound(false)
+            .build()
+            .expect("valid config")
+    };
+
     // Theorem 2.7: 1-center representatives + OC assignment (factor 5+2ε).
-    let oc = solve_metric(
-        &set,
-        k,
-        MetricAssignmentRule::OneCenter,
-        MetricCertainSolver::Gonzalez,
-        &pool,
-        &road,
+    let oc = problem
+        .solve(&cfg(AssignmentRule::OneCenter, CertainStrategy::Gonzalez))
+        .expect("OC rule is metric-supported");
+    println!(
+        "{:<52} {:>10.4} {:>8.3}",
+        "paper Thm 2.7: 1-center rule (5+2ε)",
+        oc.ecost,
+        oc.ecost / lb
     );
-    println!("{:<52} {:>10.4} {:>8.3}", "paper Thm 2.7: 1-center rule (5+2ε)", oc.ecost, oc.ecost / lb);
 
     // Theorem 2.6: same centers, expected-distance assignment (7+2ε).
-    let ed = solve_metric(
-        &set,
-        k,
-        MetricAssignmentRule::ExpectedDistance,
-        MetricCertainSolver::Gonzalez,
-        &pool,
-        &road,
+    let ed = problem
+        .solve(&cfg(
+            AssignmentRule::ExpectedDistance,
+            CertainStrategy::Gonzalez,
+        ))
+        .expect("ED rule is metric-supported");
+    println!(
+        "{:<52} {:>10.4} {:>8.3}",
+        "paper Thm 2.6: expected-distance rule (7+2ε)",
+        ed.ecost,
+        ed.ecost / lb
     );
-    println!("{:<52} {:>10.4} {:>8.3}", "paper Thm 2.6: expected-distance rule (7+2ε)", ed.ecost, ed.ecost / lb);
 
     // Exact discrete certain solver on the representatives.
-    let exact = solve_metric(
-        &set,
-        k,
-        MetricAssignmentRule::OneCenter,
-        MetricCertainSolver::ExactDiscrete(ExactOptions::default()),
-        &pool,
-        &road,
+    let exact = problem
+        .solve(&cfg(
+            AssignmentRule::OneCenter,
+            CertainStrategy::ExactDiscrete,
+        ))
+        .expect("exact discrete is metric-supported");
+    println!(
+        "{:<52} {:>10.4} {:>8.3}",
+        "paper + exact discrete certain solver",
+        exact.ecost,
+        exact.ecost / lb
     );
-    println!("{:<52} {:>10.4} {:>8.3}", "paper + exact discrete certain solver", exact.ecost, exact.ecost / lb);
 
     // Naive baseline: most likely haunt.
     let mode = mode_baseline(&set, k, &road);
-    println!("{:<52} {:>10.4} {:>8.3}", "baseline: most-likely haunt + Gonzalez", mode.ecost, mode.ecost / lb);
+    println!(
+        "{:<52} {:>10.4} {:>8.3}",
+        "baseline: most-likely haunt + Gonzalez",
+        mode.ecost,
+        mode.ecost / lb
+    );
 
     // Show the opened facilities of the best method.
     let best = if exact.ecost <= oc.ecost { &exact } else { &oc };

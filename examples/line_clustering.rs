@@ -14,8 +14,12 @@ use uncertain_kcenter::prelude::*;
 
 fn main() {
     let set = line_instance(
-        /* seed */ 31, /* n */ 200, /* z */ 6, /* span km */ 500.0,
-        /* spread */ 4.0, ProbModel::Random,
+        /* seed */ 31,
+        /* n */ 200,
+        /* z */ 6,
+        /* span km */ 500.0,
+        /* spread */ 4.0,
+        ProbModel::Random,
     );
     println!(
         "pipeline readings: n = {}, z = {} candidate positions each",
@@ -23,7 +27,10 @@ fn main() {
         set.max_z()
     );
 
-    println!("\n{:<6} {:>14} {:>14} {:>10}", "k", "med-cost", "Ecost (ED)", "vs LB");
+    println!(
+        "\n{:<6} {:>14} {:>14} {:>10}",
+        "k", "med-cost", "Ecost (ED)", "vs LB"
+    );
     println!("{}", "-".repeat(48));
     for k in [1usize, 2, 4, 8, 16] {
         let sol = solve_one_d(&set, k);
@@ -41,7 +48,16 @@ fn main() {
     // the med-cost objective, and usually wins on Ecost too.
     let k = 4;
     let exact = solve_one_d(&set, k);
-    let generic = solve_euclidean(&set, k, AssignmentRule::ExpectedDistance, CertainSolver::Gonzalez);
+    let generic = Problem::euclidean(set.clone(), k)
+        .expect("valid instance")
+        .solve(
+            &SolverConfig::builder()
+                .rule(AssignmentRule::ExpectedDistance)
+                .lower_bound(false)
+                .build()
+                .expect("valid config"),
+        )
+        .expect("ED rule is Euclidean-supported");
     println!("\nk = {k}: exact 1-D solver Ecost = {:.4}", exact.ecost_ed);
     println!("        generic pipeline Ecost = {:.4}", generic.ecost);
 

@@ -11,38 +11,79 @@ fn main() {
     // around a nominal position near one of 3 cluster sites, with random
     // location probabilities. Fully deterministic in the seed.
     let set = clustered(
-        /* seed */ 7, /* n */ 40, /* z */ 4, /* dim */ 2, /* clusters */ 3,
-        /* cluster radius */ 5.0, /* location spread */ 1.0, ProbModel::Random,
+        /* seed */ 7,
+        /* n */ 40,
+        /* z */ 4,
+        /* dim */ 2,
+        /* clusters */ 3,
+        /* cluster radius */ 5.0,
+        /* location spread */ 1.0,
+        ProbModel::Random,
     );
     let k = 3;
 
-    println!("instance: n={} uncertain points, z={} locations each, |Ω| = {} realizations",
-        set.n(), set.max_z(), set.realization_count());
+    println!(
+        "instance: n={} uncertain points, z={} locations each, |Ω| = {} realizations",
+        set.n(),
+        set.max_z(),
+        set.realization_count()
+    );
 
-    // The paper's algorithm (Theorem 2.2 / Remark 3.1): replace each point
-    // by its expected point, run Gonzalez, assign by expected point.
-    let sol = solve_euclidean(&set, k, AssignmentRule::ExpectedPoint, CertainSolver::Gonzalez);
+    // The paper's algorithm (Theorem 2.2 / Remark 3.1) as a validated
+    // request: replace each point by its expected point, run Gonzalez,
+    // assign by expected point. Invalid input (k = 0, k > n, ...) comes
+    // back as a typed SolveError instead of a panic.
+    let problem = Problem::euclidean(set, k).expect("valid instance");
+    let config = SolverConfig::builder()
+        .rule(AssignmentRule::ExpectedPoint)
+        .build()
+        .expect("valid config");
+    let sol = problem
+        .solve(&config)
+        .expect("EP rule is Euclidean-supported");
     println!("\npaper pipeline (EP rule, Gonzalez backend):");
     for (i, c) in sol.centers.iter().enumerate() {
         let members = sol.assignment.iter().filter(|&&a| a == i).count();
-        println!("  center {i}: ({:7.2}, {:7.2})  serving {members} points", c[0], c[1]);
+        println!(
+            "  center {i}: ({:7.2}, {:7.2})  serving {members} points",
+            c[0], c[1]
+        );
     }
     println!("  exact expected cost Ecost = {:.4}", sol.ecost);
 
-    // A certified lower bound on what ANY solution can achieve: the ratio
-    // is guaranteed <= 4 by the paper's Theorem 2.2 + Remark 3.1.
-    let lb = lower_bound_euclidean(&set, k);
-    println!("\ncertified lower bound on the optimum: {:.4}", lb);
-    println!("observed ratio <= {:.3}   (theorem guarantees <= 4)", sol.ecost / lb);
-
-    // Upgrading the certain solver tightens the guarantee to 3+eps.
-    let eps = 0.25;
-    let grid = solve_euclidean(
-        &set,
-        k,
-        AssignmentRule::ExpectedPoint,
-        CertainSolver::Grid(GridOptions { eps, ..Default::default() }),
+    // Every solve certifies and instruments itself: a lower bound on what
+    // ANY solution can achieve (the ratio is guaranteed <= 4 by the
+    // paper's Theorem 2.2 + Remark 3.1), per-stage timings, and
+    // distance-evaluation counts.
+    let lb = sol
+        .report
+        .lower_bound
+        .expect("bound certification is on by default");
+    println!("\ncertified lower bound on the optimum: {lb:.4}");
+    println!(
+        "observed ratio <= {:.3}   (theorem guarantees <= 4)",
+        sol.ecost / lb
     );
+    println!(
+        "solve took {:.2?} ({} distance evaluations; certain solve {:.2?}, exact cost {:.2?})",
+        sol.report.timings.total,
+        sol.report.distance_evals.total(),
+        sol.report.timings.certain_solve,
+        sol.report.timings.cost,
+    );
+
+    // Upgrading the certain solver tightens the guarantee to 3+eps — one
+    // builder knob, same problem object.
+    let eps = 0.25;
+    let grid_config = SolverConfig::builder()
+        .rule(AssignmentRule::ExpectedPoint)
+        .strategy(CertainStrategy::Grid)
+        .eps(eps)
+        .build()
+        .expect("valid config");
+    let grid = problem
+        .solve(&grid_config)
+        .expect("grid is Euclidean-supported");
     println!(
         "\nwith the (1+ε) grid backend (ε={eps}): Ecost = {:.4}, ratio <= {:.3} (guarantee <= {:.2})",
         grid.ecost,

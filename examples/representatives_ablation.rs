@@ -16,7 +16,10 @@ use uncertain_kcenter::prelude::*;
 
 fn main() {
     let k = 4;
-    println!("{:<26} {:>12} {:>12} {:>12}", "workload", "EP rule (P̄)", "OC rule (P̃)", "mode");
+    println!(
+        "{:<26} {:>12} {:>12} {:>12}",
+        "workload", "EP rule (P̄)", "OC rule (P̃)", "mode"
+    );
     println!("{}", "-".repeat(66));
     for (name, set) in [
         (
@@ -36,8 +39,20 @@ fn main() {
             two_scale(8, 40, 5, 2, 1.0, 150.0, 0.3),
         ),
     ] {
-        let ep = solve_euclidean(&set, k, AssignmentRule::ExpectedPoint, CertainSolver::Gonzalez);
-        let oc = solve_euclidean(&set, k, AssignmentRule::OneCenter, CertainSolver::Gonzalez);
+        let problem = Problem::euclidean(set.clone(), k).expect("valid instance");
+        let cfg = |rule| {
+            SolverConfig::builder()
+                .rule(rule)
+                .lower_bound(false)
+                .build()
+                .expect("valid config")
+        };
+        let ep = problem
+            .solve(&cfg(AssignmentRule::ExpectedPoint))
+            .expect("EP rule is Euclidean-supported");
+        let oc = problem
+            .solve(&cfg(AssignmentRule::OneCenter))
+            .expect("OC rule is Euclidean-supported");
         let mode = mode_baseline(&set, k, &Euclidean);
         println!(
             "{name:<26} {:>12.4} {:>12.4} {:>12.4}",

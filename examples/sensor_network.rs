@@ -19,12 +19,22 @@ use uncertain_kcenter::prelude::*;
 fn main() {
     let k = 4;
     let set = clustered(
-        /* seed */ 2024, /* n */ 60, /* z */ 5, /* dim */ 2, /* clusters */ 4,
-        /* cluster radius */ 6.0, /* location spread */ 2.0, ProbModel::HeavyTail,
+        /* seed */ 2024,
+        /* n */ 60,
+        /* z */ 5,
+        /* dim */ 2,
+        /* clusters */ 4,
+        /* cluster radius */ 6.0,
+        /* location spread */ 2.0,
+        ProbModel::HeavyTail,
     );
     let lb = lower_bound_euclidean(&set, k);
 
-    println!("sensor network: {} sensors, {} candidate positions each, k = {k}", set.n(), set.max_z());
+    println!(
+        "sensor network: {} sensors, {} candidate positions each, k = {k}",
+        set.n(),
+        set.max_z()
+    );
     println!("certified lower bound on any solution: {:.4}\n", lb);
     println!("{:<44} {:>10} {:>8}", "method", "Ecost", "vs LB");
     println!("{}", "-".repeat(66));
@@ -33,22 +43,45 @@ fn main() {
         println!("{name:<44} {ecost:>10.4} {:>8.3}", ecost / lb);
     };
 
-    // The paper's pipelines.
+    // The paper's pipelines: one Problem, a config per rule.
+    let problem = Problem::euclidean(set.clone(), k).expect("valid instance");
+    let cfg = |rule| {
+        SolverConfig::builder()
+            .rule(rule)
+            .lower_bound(false)
+            .build()
+            .expect("valid config")
+    };
     for (name, rule) in [
-        ("paper: expected-distance rule (factor 6)", AssignmentRule::ExpectedDistance),
-        ("paper: expected-point rule (factor 4)", AssignmentRule::ExpectedPoint),
-        ("paper: 1-center rule (metric machinery)", AssignmentRule::OneCenter),
+        (
+            "paper: expected-distance rule (factor 6)",
+            AssignmentRule::ExpectedDistance,
+        ),
+        (
+            "paper: expected-point rule (factor 4)",
+            AssignmentRule::ExpectedPoint,
+        ),
+        (
+            "paper: 1-center rule (metric machinery)",
+            AssignmentRule::OneCenter,
+        ),
     ] {
-        let sol = solve_euclidean(&set, k, rule, CertainSolver::Gonzalez);
+        let sol = problem
+            .solve(&cfg(rule))
+            .expect("Euclidean supports every rule");
         report(name, sol.ecost);
     }
     // Tighter certain solver: factor 3+eps.
-    let grid = solve_euclidean(
-        &set,
-        k,
-        AssignmentRule::ExpectedPoint,
-        CertainSolver::Grid(GridOptions { eps: 0.25, ..Default::default() }),
-    );
+    let grid_cfg = SolverConfig::builder()
+        .rule(AssignmentRule::ExpectedPoint)
+        .strategy(CertainStrategy::Grid)
+        .eps(0.25)
+        .lower_bound(false)
+        .build()
+        .expect("valid config");
+    let grid = problem
+        .solve(&grid_cfg)
+        .expect("grid is Euclidean-supported");
     report("paper: EP rule + (1+ε) grid (factor 3.25)", grid.ecost);
 
     // Baselines.
@@ -67,7 +100,9 @@ fn main() {
 
     // How tight is the exact cost vs a Monte-Carlo estimate? (sanity view
     // for practitioners used to sampling)
-    let sol = solve_euclidean(&set, k, AssignmentRule::ExpectedPoint, CertainSolver::Gonzalez);
+    let sol = problem
+        .solve(&cfg(AssignmentRule::ExpectedPoint))
+        .expect("Euclidean supports every rule");
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     let mc = ecost_monte_carlo(

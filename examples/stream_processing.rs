@@ -18,11 +18,21 @@ fn main() {
     // A long stream of uncertain sensor sightings arriving one by one.
     let stream = clustered(77, 5_000, 4, 2, 4, 6.0, 1.5, ProbModel::Random);
 
-    let mut clusterer = StreamingUncertainKCenter::new(k);
+    // The streaming clusterer takes the same SolverConfig as the offline
+    // pipeline; its rule drives finalization.
+    let config = SolverConfig::builder()
+        .rule(AssignmentRule::ExpectedDistance)
+        .lower_bound(false)
+        .build()
+        .expect("valid config");
+    let mut clusterer = StreamingUncertainKCenter::with_config(k, &config).expect("k > 0");
     let mut checkpoints = vec![50usize, 500, 5_000];
     checkpoints.reverse();
 
-    println!("{:>8} {:>10} {:>12} {:>12}", "seen", "centers", "Ecost", "vs offline");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12}",
+        "seen", "centers", "Ecost", "vs offline"
+    );
     for (i, up) in stream.iter().enumerate() {
         clusterer.insert(up.clone());
         if Some(&(i + 1)) == checkpoints.last() {
@@ -30,12 +40,10 @@ fn main() {
             let (centers, _, cost) = clusterer.finalize().expect("non-empty");
             // Offline comparison on the prefix seen so far.
             let prefix = UncertainSet::new(stream.points()[..=i].to_vec());
-            let offline = solve_euclidean(
-                &prefix,
-                k,
-                AssignmentRule::ExpectedDistance,
-                CertainSolver::Gonzalez,
-            );
+            let offline = Problem::euclidean(prefix, k)
+                .expect("valid prefix")
+                .solve(&config)
+                .expect("ED rule is Euclidean-supported");
             println!(
                 "{:>8} {:>10} {:>12.4} {:>12.3}",
                 i + 1,

@@ -33,13 +33,38 @@
 //! // A workload of 40 uncertain points around 3 cluster sites in R^2.
 //! let set = clustered(7, 40, 4, 2, 3, 5.0, 1.0, ProbModel::Random);
 //!
-//! // The paper's pipeline: expected points -> Gonzalez -> EP assignment.
-//! let sol = solve_euclidean(&set, 3, AssignmentRule::ExpectedPoint, CertainSolver::Gonzalez);
+//! // The paper's pipeline as a validated request: expected points ->
+//! // Gonzalez -> EP assignment. Bad input is a typed SolveError, not a
+//! // panic.
+//! let problem = Problem::euclidean(set, 3).unwrap();
+//! let config = SolverConfig::builder()
+//!     .rule(AssignmentRule::ExpectedPoint)
+//!     .build()
+//!     .unwrap();
+//! let sol = problem.solve(&config).unwrap();
 //!
-//! // Certified sanity: the exact expected cost respects the lower bound.
-//! let lb = lower_bound_euclidean(&set, 3);
-//! assert!(lb <= sol.ecost);
+//! // Certified sanity, straight from the per-solve report: the exact
+//! // expected cost respects the lower bound.
+//! assert!(sol.report.lower_bound.unwrap() <= sol.ecost);
+//!
+//! // Throughput workloads fan out with bit-identical results:
+//! let problems = vec![problem.clone(), problem];
+//! let results = solve_batch(&problems, &config);
+//! assert!(results.iter().all(|r| r.is_ok()));
 //! ```
+//!
+//! ## Migrating from the 0.1 free functions
+//!
+//! | legacy (still compiles, `#[deprecated]`) | replacement |
+//! |---|---|
+//! | `solve_euclidean(&set, k, rule, solver)` | `Problem::euclidean(set, k)?.solve(&config)?` |
+//! | `solve_metric(&set, k, rule, solver, &pool, &m)` | `Problem::in_metric(set, k, m, pool)?.solve(&config)?` |
+//! | `CertainSolver::Gonzalez` | `SolverConfig::builder().strategy(CertainStrategy::Gonzalez)` |
+//! | `CertainSolver::Grid(GridOptions { eps, .. })` | `.strategy(CertainStrategy::Grid).eps(eps)` |
+//! | `MetricAssignmentRule::*` | the unified `AssignmentRule::*` |
+//! | panic on `k == 0` / empty pool | `Err(SolveError::ZeroK)` / `Err(SolveError::EmptyCandidates)` |
+//! | hand-rolled timing around the call | `solution.report.timings` / `.distance_evals` |
+//! | `lower_bound_euclidean(&set, k)` after solving | `solution.report.lower_bound` (one call does both) |
 //!
 //! ## Crate map
 //!
@@ -49,9 +74,10 @@
 //! | [`geometry`](ukc_geometry) | minimum enclosing balls, Weiszfeld medians, convex piecewise-linear functions, compass search |
 //! | [`kcenter`](ukc_kcenter) | Gonzalez, local search, exact discrete, grid (1+ε), exact 1-D — the pluggable certain solvers |
 //! | [`uncertain`](ukc_uncertain) | the model, exact `E[max]`, expected costs, representatives, workload generators |
-//! | [`core`](ukc_core) | the paper's Theorems 2.1–2.7 pipelines and certified lower bounds |
+//! | [`core`](ukc_core) | `Problem`/`SolverConfig`/`Solution`, the Theorems 2.1–2.7 pipelines, certified lower bounds |
 //! | [`onedim`](ukc_onedim) | the exact 1-D solver (Table 1 row 8) |
 //! | [`baselines`](ukc_baselines) | mode / all-locations / sampling heuristics and brute-force optima |
+//! | [`extensions`](ukc_extensions) | uncertain k-median / k-means / streaming, driven by the same `SolverConfig` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -73,10 +99,19 @@ pub mod prelude {
     };
     pub use ukc_core::{
         assign_ed, assign_ep, assign_oc, expected_point_one_center, lower_bound_euclidean,
-        lower_bound_metric, lower_bound_one_center, reference_one_center, solve_euclidean,
-        solve_metric, AssignmentRule,
-        CertainSolver, EuclideanSolution, MetricAssignmentRule, MetricCertainSolver,
+        lower_bound_metric, lower_bound_one_center, reference_one_center, solve_batch,
+        solve_batch_threads, AssignmentRule, CandidatePolicy, CertainStrategy, ContinuousSpace,
+        DistanceEvals, EuclideanSpace, MetricAssignmentRule, Problem, Report, Solution, SolveError,
+        SolverConfig, SolverConfigBuilder, StageTimings,
+    };
+    #[allow(deprecated)]
+    pub use ukc_core::{
+        solve_euclidean, solve_metric, CertainSolver, EuclideanSolution, MetricCertainSolver,
         MetricSolution,
+    };
+    pub use ukc_extensions::{
+        uncertain_kmeans, uncertain_kmeans_configured, uncertain_kmedian, uncertain_kmedian_exact,
+        uncertain_kmedian_local_search, StreamingKCenter, StreamingUncertainKCenter,
     };
     pub use ukc_kcenter::{
         exact_discrete_kcenter, gonzalez, grid_kcenter, kcenter_cost, local_search_kcenter,
@@ -85,10 +120,6 @@ pub mod prelude {
     pub use ukc_metric::{
         Chebyshev, Euclidean, FiniteMetric, Manhattan, Metric, Minkowski, Point, TreeMetric,
         WeightedGraph,
-    };
-    pub use ukc_extensions::{
-        uncertain_kmeans, uncertain_kmedian_exact, uncertain_kmedian_local_search,
-        StreamingKCenter, StreamingUncertainKCenter,
     };
     pub use ukc_onedim::{solve_one_d, OneDimSolution};
     pub use ukc_uncertain::generators::{
@@ -108,12 +139,16 @@ mod tests {
     #[test]
     fn prelude_covers_the_pipeline() {
         let set = clustered(1, 10, 3, 2, 2, 4.0, 1.0, ProbModel::Uniform);
-        let sol = solve_euclidean(
-            &set,
-            2,
-            AssignmentRule::ExpectedDistance,
-            CertainSolver::Gonzalez,
-        );
+        let sol = Problem::euclidean(set.clone(), 2)
+            .unwrap()
+            .solve(
+                &SolverConfig::builder()
+                    .rule(AssignmentRule::ExpectedDistance)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
         assert!(sol.ecost >= lower_bound_euclidean(&set, 2) - 1e-9);
+        assert_eq!(sol.report.lower_bound, Some(lower_bound_euclidean(&set, 2)));
     }
 }

@@ -1,0 +1,134 @@
+//! Property tests over the typed-error contract: `k == 0`, empty sets,
+//! and `k > n` always come back as `SolveError` variants — never panics —
+//! across every rule × strategy combination, in both spaces.
+
+use proptest::prelude::*;
+use uncertain_kcenter::prelude::*;
+
+fn rules() -> [AssignmentRule; 3] {
+    [
+        AssignmentRule::ExpectedDistance,
+        AssignmentRule::ExpectedPoint,
+        AssignmentRule::OneCenter,
+    ]
+}
+
+fn strategies() -> [CertainStrategy; 4] {
+    [
+        CertainStrategy::Gonzalez,
+        CertainStrategy::GonzalezLocalSearch { rounds: 5 },
+        CertainStrategy::Grid,
+        CertainStrategy::ExactDiscrete,
+    ]
+}
+
+fn config(rule: AssignmentRule, strategy: CertainStrategy) -> SolverConfig {
+    SolverConfig::builder()
+        .rule(rule)
+        .strategy(strategy)
+        .build()
+        .expect("rule × strategy configs are all buildable")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `k == 0` is `SolveError::ZeroK` for every instance shape.
+    #[test]
+    fn zero_k_is_typed(seed in 0u64..500, n in 1usize..8, z in 1usize..4) {
+        let set = uniform_box(seed, n, z, 2, 10.0, 1.0, ProbModel::Random);
+        prop_assert_eq!(Problem::euclidean(set, 0).err(), Some(SolveError::ZeroK));
+    }
+
+    /// An empty point list is `SolveError::EmptySet` for any k (the set
+    /// is validated before k, so even `k == 0` reports the empty set).
+    #[test]
+    fn empty_set_is_typed(k in 0usize..6) {
+        prop_assert_eq!(
+            Problem::euclidean_points(vec![], k).err(),
+            Some(SolveError::EmptySet)
+        );
+    }
+
+    /// `k > n` is `SolveError::KExceedsN` with the exact numbers.
+    #[test]
+    fn k_exceeds_n_is_typed(seed in 0u64..500, n in 1usize..6, extra in 1usize..5) {
+        let set = uniform_box(seed, n, 2, 2, 10.0, 1.0, ProbModel::Random);
+        let k = n + extra;
+        prop_assert_eq!(
+            Problem::euclidean(set, k).err(),
+            Some(SolveError::KExceedsN { k, n })
+        );
+    }
+
+    /// Valid problems solve without panicking for every rule × strategy
+    /// combination, in the Euclidean space.
+    #[test]
+    fn all_combos_solve_euclidean(seed in 0u64..200, n in 2usize..7, k in 1usize..3) {
+        let n = n.max(k);
+        let set = uniform_box(seed, n, 2, 2, 10.0, 1.0, ProbModel::Random);
+        let problem = Problem::euclidean(set, k).expect("k <= n by construction");
+        for rule in rules() {
+            for strategy in strategies() {
+                let sol = problem.solve(&config(rule, strategy))
+                    .expect("euclidean space supports every combination");
+                prop_assert_eq!(sol.centers.len(), k);
+                prop_assert!(sol.ecost.is_finite());
+                prop_assert!(sol.report.lower_bound.expect("bound on") <= sol.ecost + 1e-9);
+            }
+        }
+    }
+
+    /// Discrete problems: every combination either solves or returns the
+    /// documented typed error (EP rule / grid strategy unsupported) —
+    /// never a panic.
+    #[test]
+    fn all_combos_typed_on_discrete(seed in 0u64..200, n in 2usize..6, k in 1usize..3) {
+        let n = n.max(k);
+        let fm = WeightedGraph::cycle(8, 1.0).shortest_path_metric().expect("valid cycle");
+        let set = on_finite_metric(seed, fm.len(), n, 2, ProbModel::Random);
+        let pool: Vec<usize> = fm.ids();
+        let problem = Problem::in_metric(set, k, fm, pool).expect("k <= n by construction");
+        for rule in rules() {
+            for strategy in strategies() {
+                match problem.solve(&config(rule, strategy)) {
+                    Ok(sol) => {
+                        prop_assert!(rule != AssignmentRule::ExpectedPoint);
+                        prop_assert!(strategy != CertainStrategy::Grid);
+                        prop_assert_eq!(sol.centers.len(), k);
+                        prop_assert!(sol.ecost.is_finite());
+                    }
+                    Err(SolveError::RuleUnsupported { rule: r, space }) => {
+                        prop_assert_eq!(r, AssignmentRule::ExpectedPoint);
+                        prop_assert_eq!(space, "discrete");
+                    }
+                    Err(SolveError::StrategyUnsupported { strategy: s, space }) => {
+                        prop_assert_eq!(s, "grid");
+                        prop_assert_eq!(space, "discrete");
+                    }
+                    Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// Non-positive or non-finite ε never builds a config.
+    #[test]
+    fn bad_epsilon_is_typed(eps in -5.0f64..0.0) {
+        prop_assert!(matches!(
+            SolverConfig::builder().eps(eps).build(),
+            Err(SolveError::BadEpsilon { .. })
+        ));
+    }
+
+    /// An empty candidate pool is `SolveError::EmptyCandidates`.
+    #[test]
+    fn empty_pool_is_typed(seed in 0u64..200) {
+        let fm = WeightedGraph::cycle(6, 1.0).shortest_path_metric().expect("valid cycle");
+        let set = on_finite_metric(seed, fm.len(), 3, 2, ProbModel::Random);
+        prop_assert_eq!(
+            Problem::in_metric(set, 2, fm, vec![]).err(),
+            Some(SolveError::EmptyCandidates)
+        );
+    }
+}

@@ -10,6 +10,74 @@
 
 use uncertain_kcenter::prelude::*;
 
+/// One Euclidean solve through the `Problem` API with a (rule, default
+/// Gonzalez) config and no per-solve bound.
+fn solve_eu(set: &UncertainSet<Point>, k: usize, rule: AssignmentRule) -> Solution<Point> {
+    solve_eu_with(set, k, rule, CertainStrategy::Gonzalez)
+}
+
+/// Like [`solve_eu`] with an explicit certain strategy.
+fn solve_eu_with(
+    set: &UncertainSet<Point>,
+    k: usize,
+    rule: AssignmentRule,
+    strategy: CertainStrategy,
+) -> Solution<Point> {
+    let config = SolverConfig::builder()
+        .rule(rule)
+        .strategy(strategy)
+        .lower_bound(false)
+        .build()
+        .expect("static test config");
+    Problem::euclidean(set.clone(), k.min(set.n()))
+        .expect("test instances are valid")
+        .solve(&config)
+        .expect("euclidean pipeline accepts every test config")
+}
+
+/// One grid-strategy solve at a given ε.
+#[allow(dead_code)]
+fn solve_eu_grid(
+    set: &UncertainSet<Point>,
+    k: usize,
+    rule: AssignmentRule,
+    eps: f64,
+) -> Solution<Point> {
+    let config = SolverConfig::builder()
+        .rule(rule)
+        .strategy(CertainStrategy::Grid)
+        .eps(eps)
+        .lower_bound(false)
+        .build()
+        .expect("static test config");
+    Problem::euclidean(set.clone(), k)
+        .expect("test instances are valid")
+        .solve(&config)
+        .expect("euclidean pipeline accepts every test config")
+}
+
+/// One metric-space solve through the `Problem` API.
+#[allow(dead_code)]
+fn solve_me<M: Metric<usize> + Send + Sync + Clone + 'static>(
+    set: &UncertainSet<usize>,
+    k: usize,
+    rule: AssignmentRule,
+    strategy: CertainStrategy,
+    pool: &[usize],
+    metric: &M,
+) -> Solution<usize> {
+    let config = SolverConfig::builder()
+        .rule(rule)
+        .strategy(strategy)
+        .lower_bound(false)
+        .build()
+        .expect("static test config");
+    Problem::in_metric(set.clone(), k, metric.clone(), pool.to_vec())
+        .expect("test instances are valid")
+        .solve(&config)
+        .expect("metric pipeline accepts ED/OC rules")
+}
+
 fn enriched_pool(set: &UncertainSet<Point>) -> Vec<Point> {
     let mut pool = set.location_pool();
     pool.extend(set.iter().map(expected_point));
@@ -35,12 +103,7 @@ fn theorem_2_1_one_center_factor_2() {
 fn theorem_2_2_restricted_ed_factor_6_greedy() {
     for seed in 0..8u64 {
         let set = clustered(seed, 6, 3, 2, 2, 4.0, 1.0, ProbModel::Random);
-        let sol = solve_euclidean(
-            &set,
-            2,
-            AssignmentRule::ExpectedDistance,
-            CertainSolver::Gonzalez,
-        );
+        let sol = solve_eu(&set, 2, AssignmentRule::ExpectedDistance);
         let pool = enriched_pool(&set);
         let brute = brute_force_restricted(
             &set,
@@ -65,12 +128,7 @@ fn theorem_2_2_restricted_ed_factor_6_greedy() {
 fn theorem_2_2_restricted_ep_factor_4_greedy() {
     for seed in 0..8u64 {
         let set = uniform_box(seed, 6, 2, 2, 20.0, 2.0, ProbModel::Random);
-        let sol = solve_euclidean(
-            &set,
-            2,
-            AssignmentRule::ExpectedPoint,
-            CertainSolver::Gonzalez,
-        );
+        let sol = solve_eu(&set, 2, AssignmentRule::ExpectedPoint);
         let pool = enriched_pool(&set);
         let brute = brute_force_restricted(
             &set,
@@ -99,12 +157,7 @@ fn theorem_2_2_grid_backends_tighten_factors() {
             (AssignmentRule::ExpectedDistance, 5.25),
             (AssignmentRule::ExpectedPoint, 3.25),
         ] {
-            let sol = solve_euclidean(
-                &set,
-                2,
-                rule,
-                CertainSolver::Grid(GridOptions { eps: 0.25, ..Default::default() }),
-            );
+            let sol = solve_eu_grid(&set, 2, rule, 0.25);
             let brute = brute_force_restricted(
                 &set,
                 &pool,
@@ -134,17 +187,12 @@ fn theorems_2_4_2_5_unrestricted_factors() {
         // Theorem 2.4 (ED, Gonzalez => 5+1=6... the paper's greedy row is 4
         // via EP; use the stated factors): ED+greedy unrestricted <= 6*opt,
         // EP+greedy <= 4*opt.
-        let ed = solve_euclidean(&set, 2, AssignmentRule::ExpectedDistance, CertainSolver::Gonzalez);
+        let ed = solve_eu(&set, 2, AssignmentRule::ExpectedDistance);
         assert!(ed.ecost <= 6.0 * opt.ecost + 1e-9, "seed {seed} ED");
-        let ep = solve_euclidean(&set, 2, AssignmentRule::ExpectedPoint, CertainSolver::Gonzalez);
+        let ep = solve_eu(&set, 2, AssignmentRule::ExpectedPoint);
         assert!(ep.ecost <= 4.0 * opt.ecost + 1e-9, "seed {seed} EP");
         // Theorem 2.5 with grid (3+eps).
-        let grid = solve_euclidean(
-            &set,
-            2,
-            AssignmentRule::ExpectedPoint,
-            CertainSolver::Grid(GridOptions { eps: 0.5, ..Default::default() }),
-        );
+        let grid = solve_eu_grid(&set, 2, AssignmentRule::ExpectedPoint, 0.5);
         assert!(grid.ecost <= 3.5 * opt.ecost + 1e-9, "seed {seed} grid");
     }
 }
@@ -168,7 +216,9 @@ fn theorem_2_3_one_d_lift_factor_3() {
 
 #[test]
 fn theorems_2_6_2_7_metric_factors() {
-    let fm = WeightedGraph::cycle(10, 1.0).shortest_path_metric().unwrap();
+    let fm = WeightedGraph::cycle(10, 1.0)
+        .shortest_path_metric()
+        .unwrap();
     let ids = fm.ids();
     for seed in 0..6u64 {
         let set = on_finite_metric(seed, fm.len(), 5, 3, ProbModel::Random);
@@ -176,34 +226,43 @@ fn theorems_2_6_2_7_metric_factors() {
             .expect("tiny instance");
         // Theorem 2.7 with the exact discrete certain solver (eps = 0):
         // factor 5; Gonzalez (eps = 1): factor 7.
-        let oc_exact = solve_metric(
+        let oc_exact = solve_me(
             &set,
             2,
-            MetricAssignmentRule::OneCenter,
-            MetricCertainSolver::ExactDiscrete(ExactOptions::default()),
+            AssignmentRule::OneCenter,
+            CertainStrategy::ExactDiscrete,
             &ids,
             &fm,
         );
-        assert!(oc_exact.ecost <= 5.0 * opt.ecost + 1e-9, "seed {seed} OC exact");
-        let oc_gz = solve_metric(
+        assert!(
+            oc_exact.ecost <= 5.0 * opt.ecost + 1e-9,
+            "seed {seed} OC exact"
+        );
+        let oc_gz = solve_me(
             &set,
             2,
-            MetricAssignmentRule::OneCenter,
-            MetricCertainSolver::Gonzalez,
+            AssignmentRule::OneCenter,
+            CertainStrategy::Gonzalez,
             &ids,
             &fm,
         );
-        assert!(oc_gz.ecost <= 7.0 * opt.ecost + 1e-9, "seed {seed} OC greedy");
+        assert!(
+            oc_gz.ecost <= 7.0 * opt.ecost + 1e-9,
+            "seed {seed} OC greedy"
+        );
         // Theorem 2.6: ED rule, factors 7 / 9.
-        let ed_exact = solve_metric(
+        let ed_exact = solve_me(
             &set,
             2,
-            MetricAssignmentRule::ExpectedDistance,
-            MetricCertainSolver::ExactDiscrete(ExactOptions::default()),
+            AssignmentRule::ExpectedDistance,
+            CertainStrategy::ExactDiscrete,
             &ids,
             &fm,
         );
-        assert!(ed_exact.ecost <= 7.0 * opt.ecost + 1e-9, "seed {seed} ED exact");
+        assert!(
+            ed_exact.ecost <= 7.0 * opt.ecost + 1e-9,
+            "seed {seed} ED exact"
+        );
     }
 }
 
@@ -217,7 +276,7 @@ fn lower_bounds_never_exceed_any_solution() {
             AssignmentRule::ExpectedPoint,
             AssignmentRule::OneCenter,
         ] {
-            let sol = solve_euclidean(&set, 2, rule, CertainSolver::Gonzalez);
+            let sol = solve_eu(&set, 2, rule);
             assert!(lb <= sol.ecost + 1e-9, "seed {seed} rule {rule:?}");
         }
         let pool = enriched_pool(&set);
@@ -238,6 +297,9 @@ fn one_center_lower_bound_sandwiches_reference() {
         assert!(lb <= opt + 1e-6, "seed {seed}: {lb} > {opt}");
         // And the bound is non-trivial: at least a third of opt on these
         // workloads (empirical but stable — deterministic seeds).
-        assert!(lb >= opt / 3.0, "seed {seed}: bound too weak ({lb} vs {opt})");
+        assert!(
+            lb >= opt / 3.0,
+            "seed {seed}: bound too weak ({lb} vs {opt})"
+        );
     }
 }

@@ -6,11 +6,79 @@ use rand::SeedableRng;
 use uncertain_kcenter::prelude::*;
 use uncertain_kcenter::uncertain::{ecost_assigned_enumerate, ecost_unassigned_enumerate};
 
+/// One Euclidean solve through the `Problem` API with a (rule, default
+/// Gonzalez) config and no per-solve bound.
+fn solve_eu(set: &UncertainSet<Point>, k: usize, rule: AssignmentRule) -> Solution<Point> {
+    solve_eu_with(set, k, rule, CertainStrategy::Gonzalez)
+}
+
+/// Like [`solve_eu`] with an explicit certain strategy.
+fn solve_eu_with(
+    set: &UncertainSet<Point>,
+    k: usize,
+    rule: AssignmentRule,
+    strategy: CertainStrategy,
+) -> Solution<Point> {
+    let config = SolverConfig::builder()
+        .rule(rule)
+        .strategy(strategy)
+        .lower_bound(false)
+        .build()
+        .expect("static test config");
+    Problem::euclidean(set.clone(), k.min(set.n()))
+        .expect("test instances are valid")
+        .solve(&config)
+        .expect("euclidean pipeline accepts every test config")
+}
+
+/// One grid-strategy solve at a given ε.
+#[allow(dead_code)]
+fn solve_eu_grid(
+    set: &UncertainSet<Point>,
+    k: usize,
+    rule: AssignmentRule,
+    eps: f64,
+) -> Solution<Point> {
+    let config = SolverConfig::builder()
+        .rule(rule)
+        .strategy(CertainStrategy::Grid)
+        .eps(eps)
+        .lower_bound(false)
+        .build()
+        .expect("static test config");
+    Problem::euclidean(set.clone(), k)
+        .expect("test instances are valid")
+        .solve(&config)
+        .expect("euclidean pipeline accepts every test config")
+}
+
+/// One metric-space solve through the `Problem` API.
+#[allow(dead_code)]
+fn solve_me<M: Metric<usize> + Send + Sync + Clone + 'static>(
+    set: &UncertainSet<usize>,
+    k: usize,
+    rule: AssignmentRule,
+    strategy: CertainStrategy,
+    pool: &[usize],
+    metric: &M,
+) -> Solution<usize> {
+    let config = SolverConfig::builder()
+        .rule(rule)
+        .strategy(strategy)
+        .lower_bound(false)
+        .build()
+        .expect("static test config");
+    Problem::in_metric(set.clone(), k, metric.clone(), pool.to_vec())
+        .expect("test instances are valid")
+        .solve(&config)
+        .expect("metric pipeline accepts ED/OC rules")
+}
+
 #[test]
 fn exact_cost_matches_enumeration_through_full_pipeline() {
     for seed in 0..6u64 {
         let set = clustered(seed, 5, 3, 2, 2, 5.0, 1.0, ProbModel::Random);
-        let sol = solve_euclidean(&set, 2, AssignmentRule::ExpectedDistance, CertainSolver::Gonzalez);
+        let sol = solve_eu(&set, 2, AssignmentRule::ExpectedDistance);
         let enumerated = ecost_assigned_enumerate(&set, &sol.centers, &sol.assignment, &Euclidean);
         assert!(
             (sol.ecost - enumerated).abs() < 1e-9,
@@ -23,7 +91,7 @@ fn exact_cost_matches_enumeration_through_full_pipeline() {
 #[test]
 fn exact_cost_matches_monte_carlo_through_full_pipeline() {
     let set = clustered(3, 20, 4, 2, 3, 5.0, 1.5, ProbModel::HeavyTail);
-    let sol = solve_euclidean(&set, 3, AssignmentRule::ExpectedPoint, CertainSolver::Gonzalez);
+    let sol = solve_eu(&set, 3, AssignmentRule::ExpectedPoint);
     let mut rng = StdRng::seed_from_u64(123);
     let mc = ecost_monte_carlo(
         &set,
@@ -77,11 +145,11 @@ fn euclidean_instance_embedded_as_finite_metric_gives_consistent_costs() {
 
     // Lower bounds agree too (over the same discrete pool).
     let lb_ids = lower_bound_metric(&id_set, 2, &ids, &fm);
-    let sol = solve_metric(
+    let sol = solve_me(
         &id_set,
         2,
-        MetricAssignmentRule::ExpectedDistance,
-        MetricCertainSolver::Gonzalez,
+        AssignmentRule::ExpectedDistance,
+        CertainStrategy::Gonzalez,
         &ids,
         &fm,
     );
@@ -93,11 +161,11 @@ fn more_centers_never_increase_cost() {
     let set = clustered(9, 24, 3, 2, 4, 5.0, 1.0, ProbModel::Random);
     let mut prev = f64::INFINITY;
     for k in 1..=6 {
-        let sol = solve_euclidean(
+        let sol = solve_eu_with(
             &set,
             k,
             AssignmentRule::ExpectedPoint,
-            CertainSolver::GonzalezLocalSearch { rounds: 20 },
+            CertainStrategy::GonzalezLocalSearch { rounds: 20 },
         );
         // Local search is not globally monotone in k, but the trend must
         // hold with slack: k+1 centers never cost more than 1.5x the k
@@ -109,8 +177,8 @@ fn more_centers_never_increase_cost() {
         );
         prev = prev.min(sol.ecost);
     }
-    let k1 = solve_euclidean(&set, 1, AssignmentRule::ExpectedPoint, CertainSolver::Gonzalez);
-    let k6 = solve_euclidean(&set, 6, AssignmentRule::ExpectedPoint, CertainSolver::Gonzalez);
+    let k1 = solve_eu(&set, 1, AssignmentRule::ExpectedPoint);
+    let k6 = solve_eu(&set, 6, AssignmentRule::ExpectedPoint);
     assert!(k6.ecost <= k1.ecost + 1e-9);
 }
 
@@ -118,7 +186,7 @@ fn more_centers_never_increase_cost() {
 fn unassigned_cost_lower_bounds_assigned_cost_end_to_end() {
     for seed in 0..5u64 {
         let set = uniform_box(seed, 10, 3, 2, 20.0, 2.0, ProbModel::Random);
-        let sol = solve_euclidean(&set, 3, AssignmentRule::ExpectedDistance, CertainSolver::Gonzalez);
+        let sol = solve_eu(&set, 3, AssignmentRule::ExpectedDistance);
         let unassigned = ecost_unassigned(&set, &sol.centers, &Euclidean);
         assert!(
             unassigned <= sol.ecost + 1e-9,
@@ -153,20 +221,30 @@ fn one_d_solver_agrees_with_generic_pipeline_on_easy_instances() {
     pts.extend(mk(1000.0));
     let set = UncertainSet::new(pts);
     let exact = solve_one_d(&set, 2);
-    let generic = solve_euclidean(&set, 2, AssignmentRule::ExpectedDistance, CertainSolver::Gonzalez);
+    let generic = solve_eu(&set, 2, AssignmentRule::ExpectedDistance);
     assert!(exact.ecost_ed < 10.0);
     assert!(generic.ecost < 10.0);
     // Identical cluster structure.
     assert_eq!(exact.assignment[..4], exact.assignment[..4]);
-    assert!(exact.assignment[..4].iter().all(|&a| a == exact.assignment[0]));
-    assert!(exact.assignment[4..].iter().all(|&a| a == exact.assignment[4]));
+    assert!(exact.assignment[..4]
+        .iter()
+        .all(|&a| a == exact.assignment[0]));
+    assert!(exact.assignment[4..]
+        .iter()
+        .all(|&a| a == exact.assignment[4]));
 }
 
 #[test]
 fn tree_and_graph_metrics_interoperate_with_solver() {
     // The same tree as a TreeMetric and as a graph closure: identical
     // pipeline outputs.
-    let edges = [(0usize, 1usize, 2.0f64), (1, 2, 1.0), (1, 3, 3.0), (3, 4, 1.0), (0, 5, 2.5)];
+    let edges = [
+        (0usize, 1usize, 2.0f64),
+        (1, 2, 1.0),
+        (1, 3, 3.0),
+        (3, 4, 1.0),
+        (0, 5, 2.5),
+    ];
     let tm = TreeMetric::from_edges(6, &edges).unwrap();
     let mut g = WeightedGraph::new(6);
     for &(u, v, w) in &edges {
@@ -175,19 +253,19 @@ fn tree_and_graph_metrics_interoperate_with_solver() {
     let fm = g.shortest_path_metric().unwrap();
     let set = on_finite_metric(5, 6, 5, 2, ProbModel::Random);
     let ids: Vec<usize> = (0..6).collect();
-    let sol_tree = solve_metric(
+    let sol_tree = solve_me(
         &set,
         2,
-        MetricAssignmentRule::OneCenter,
-        MetricCertainSolver::Gonzalez,
+        AssignmentRule::OneCenter,
+        CertainStrategy::Gonzalez,
         &ids,
         &tm,
     );
-    let sol_graph = solve_metric(
+    let sol_graph = solve_me(
         &set,
         2,
-        MetricAssignmentRule::OneCenter,
-        MetricCertainSolver::Gonzalez,
+        AssignmentRule::OneCenter,
+        CertainStrategy::Gonzalez,
         &ids,
         &fm,
     );

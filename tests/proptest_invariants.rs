@@ -32,7 +32,9 @@ fn uncertain_point_2d() -> impl Strategy<Value = UncertainPoint<Point>> {
     )
 }
 
-fn uncertain_set_2d(n: std::ops::RangeInclusive<usize>) -> impl Strategy<Value = UncertainSet<Point>> {
+fn uncertain_set_2d(
+    n: std::ops::RangeInclusive<usize>,
+) -> impl Strategy<Value = UncertainSet<Point>> {
     prop::collection::vec(uncertain_point_2d(), n).prop_map(UncertainSet::new)
 }
 
@@ -110,7 +112,16 @@ proptest! {
     fn lower_bound_below_pipeline(set in uncertain_set_2d(2..=5), k in 1usize..=2) {
         let lb = lower_bound_euclidean(&set, k);
         for rule in [AssignmentRule::ExpectedDistance, AssignmentRule::ExpectedPoint] {
-            let sol = solve_euclidean(&set, k, rule, CertainSolver::Gonzalez);
+            let sol = Problem::euclidean(set.clone(), k.min(set.n()))
+                .expect("generated instances are valid")
+                .solve(
+                    &SolverConfig::builder()
+                        .rule(rule)
+                        .lower_bound(false)
+                        .build()
+                        .expect("static test config"),
+                )
+                .expect("euclidean pipeline accepts every rule");
             prop_assert!(lb <= sol.ecost + 1e-9, "rule {rule:?}: lb {lb} ecost {}", sol.ecost);
         }
     }

@@ -5,6 +5,30 @@
 
 use uncertain_kcenter::prelude::*;
 
+/// One Euclidean solve through the `Problem` API (no per-solve bound).
+fn solve_eu(set: &UncertainSet<Point>, k: usize, rule: AssignmentRule) -> Solution<Point> {
+    solve_eu_with(set, k, rule, CertainStrategy::Gonzalez)
+}
+
+/// Like [`solve_eu`] with an explicit certain strategy.
+fn solve_eu_with(
+    set: &UncertainSet<Point>,
+    k: usize,
+    rule: AssignmentRule,
+    strategy: CertainStrategy,
+) -> Solution<Point> {
+    let config = SolverConfig::builder()
+        .rule(rule)
+        .strategy(strategy)
+        .lower_bound(false)
+        .build()
+        .expect("static test config");
+    Problem::euclidean(set.clone(), k)
+        .expect("test instances are valid")
+        .solve(&config)
+        .expect("euclidean pipeline accepts every test config")
+}
+
 // ---------------------------------------------------------------------
 // Degenerate instances
 // ---------------------------------------------------------------------
@@ -12,7 +36,7 @@ use uncertain_kcenter::prelude::*;
 #[test]
 fn single_point_single_location() {
     let set = UncertainSet::new(vec![UncertainPoint::certain(Point::new(vec![1.0, 2.0]))]);
-    let sol = solve_euclidean(&set, 1, AssignmentRule::ExpectedDistance, CertainSolver::Gonzalez);
+    let sol = solve_eu(&set, 1, AssignmentRule::ExpectedDistance);
     assert_eq!(sol.ecost, 0.0);
     assert_eq!(sol.centers.len(), 1);
     assert_eq!(sol.assignment, vec![0]);
@@ -21,14 +45,14 @@ fn single_point_single_location() {
 
 #[test]
 fn all_points_identical() {
-    let up = UncertainPoint::new(
-        vec![Point::scalar(5.0), Point::scalar(5.0)],
-        vec![0.5, 0.5],
-    )
-    .unwrap();
+    let up =
+        UncertainPoint::new(vec![Point::scalar(5.0), Point::scalar(5.0)], vec![0.5, 0.5]).unwrap();
     let set = UncertainSet::new(vec![up.clone(), up.clone(), up]);
-    for rule in [AssignmentRule::ExpectedDistance, AssignmentRule::ExpectedPoint] {
-        let sol = solve_euclidean(&set, 2, rule, CertainSolver::Gonzalez);
+    for rule in [
+        AssignmentRule::ExpectedDistance,
+        AssignmentRule::ExpectedPoint,
+    ] {
+        let sol = solve_eu(&set, 2, rule);
         assert!(sol.ecost.abs() < 1e-12, "rule {rule:?}");
     }
     let one_d = solve_one_d(&set, 2);
@@ -39,9 +63,20 @@ fn all_points_identical() {
 #[test]
 fn k_exceeds_n() {
     let set = uniform_box(1, 3, 2, 2, 10.0, 1.0, ProbModel::Random);
-    let sol = solve_euclidean(&set, 10, AssignmentRule::ExpectedPoint, CertainSolver::Gonzalez);
-    // At most n distinct representatives -> at most n centers; every point
-    // still gets a valid assignment and pays only its own spread.
+    // The validated API rejects over-asking with a typed error...
+    assert_eq!(
+        Problem::euclidean(set.clone(), 10).err(),
+        Some(SolveError::KExceedsN { k: 10, n: 3 })
+    );
+    // ...while the deprecated wrapper keeps its historical clamping
+    // behavior: at most n distinct representatives -> at most n centers.
+    #[allow(deprecated)]
+    let sol = solve_euclidean(
+        &set,
+        10,
+        AssignmentRule::ExpectedPoint,
+        CertainSolver::Gonzalez,
+    );
     assert!(sol.centers.len() <= 3);
     assert!(sol.assignment.iter().all(|&a| a < sol.centers.len()));
     assert!(sol.ecost >= lower_bound_euclidean(&set, 10) - 1e-9);
@@ -51,7 +86,7 @@ fn k_exceeds_n() {
 fn one_dimensional_everything() {
     // d=1 through the generic (not 1-D-specialized) pipeline.
     let set = line_instance(2, 12, 3, 50.0, 1.0, ProbModel::Random);
-    let generic = solve_euclidean(&set, 3, AssignmentRule::ExpectedDistance, CertainSolver::Gonzalez);
+    let generic = solve_eu(&set, 3, AssignmentRule::ExpectedDistance);
     let special = solve_one_d(&set, 3);
     // The exact solver's ED cost can't be beaten by more than the greedy
     // pipeline's slack; both respect the LB.
@@ -68,13 +103,13 @@ fn one_dimensional_everything() {
 fn huge_coordinates() {
     let up = |x: f64| {
         UncertainPoint::new(
-            vec![Point::new(vec![x, x]), Point::new(vec![x + 1e3, x]) ],
+            vec![Point::new(vec![x, x]), Point::new(vec![x + 1e3, x])],
             vec![0.5, 0.5],
         )
         .unwrap()
     };
     let set = UncertainSet::new(vec![up(1e12), up(1e12 + 1e6), up(-1e12)]);
-    let sol = solve_euclidean(&set, 2, AssignmentRule::ExpectedDistance, CertainSolver::Gonzalez);
+    let sol = solve_eu(&set, 2, AssignmentRule::ExpectedDistance);
     assert!(sol.ecost.is_finite());
     // The two 1e12-side points share a center; the -1e12 point gets its own.
     assert_eq!(sol.assignment[0], sol.assignment[1]);
@@ -110,7 +145,7 @@ fn many_points_large_z_exact_costs_stay_stable() {
     // 500 points x 16 locations: the log-space CDF sweep must not
     // underflow to zero or exceed max atom value.
     let set = uniform_box(9, 500, 16, 2, 100.0, 3.0, ProbModel::HeavyTail);
-    let sol = solve_euclidean(&set, 5, AssignmentRule::ExpectedPoint, CertainSolver::Gonzalez);
+    let sol = solve_eu(&set, 5, AssignmentRule::ExpectedPoint);
     assert!(sol.ecost.is_finite() && sol.ecost > 0.0);
     // Ecost is at most the worst realized distance.
     let worst = cost_quantile_assigned(&set, &sol.centers, &sol.assignment, &Euclidean, 1.0);
@@ -129,7 +164,10 @@ fn invalid_distributions_rejected() {
     let bad = UncertainPoint::new(vec![Point::scalar(0.0)], vec![0.5]);
     assert!(matches!(bad, Err(UncertainPointError::BadSum { .. })));
     let bad = UncertainPoint::new(vec![Point::scalar(0.0)], vec![f64::INFINITY]);
-    assert!(matches!(bad, Err(UncertainPointError::BadProbability { .. })));
+    assert!(matches!(
+        bad,
+        Err(UncertainPointError::BadProbability { .. })
+    ));
     let bad = UncertainPoint::<Point>::new(vec![], vec![]);
     assert!(matches!(bad, Err(UncertainPointError::Empty)));
 }
@@ -141,10 +179,22 @@ fn nan_coordinates_rejected_at_construction() {
 }
 
 #[test]
-#[should_panic(expected = "k must be at least 1")]
-fn zero_k_rejected() {
+fn zero_k_rejected_with_typed_error() {
     let set = uniform_box(1, 3, 2, 2, 10.0, 1.0, ProbModel::Random);
-    let _ = solve_euclidean(&set, 0, AssignmentRule::ExpectedPoint, CertainSolver::Gonzalez);
+    assert_eq!(Problem::euclidean(set, 0).err(), Some(SolveError::ZeroK));
+}
+
+#[test]
+#[should_panic(expected = "k must be at least 1")]
+fn zero_k_still_panics_in_deprecated_wrapper() {
+    let set = uniform_box(1, 3, 2, 2, 10.0, 1.0, ProbModel::Random);
+    #[allow(deprecated)]
+    let _ = solve_euclidean(
+        &set,
+        0,
+        AssignmentRule::ExpectedPoint,
+        CertainSolver::Gonzalez,
+    );
 }
 
 #[test]
@@ -178,8 +228,8 @@ fn point_mass_equals_certain_point() {
     let certain = UncertainPoint::certain(Point::scalar(3.0));
     let set_a = UncertainSet::new(vec![massed, UncertainPoint::certain(Point::scalar(10.0))]);
     let set_b = UncertainSet::new(vec![certain, UncertainPoint::certain(Point::scalar(10.0))]);
-    let a = solve_euclidean(&set_a, 1, AssignmentRule::ExpectedDistance, CertainSolver::Gonzalez);
-    let b = solve_euclidean(&set_b, 1, AssignmentRule::ExpectedDistance, CertainSolver::Gonzalez);
+    let a = solve_eu(&set_a, 1, AssignmentRule::ExpectedDistance);
+    let b = solve_eu(&set_b, 1, AssignmentRule::ExpectedDistance);
     assert!((a.ecost - b.ecost).abs() < 1e-12);
 }
 
@@ -198,7 +248,7 @@ fn near_tolerance_probability_sums_renormalize() {
 #[test]
 fn quantiles_are_monotone_in_q() {
     let set = clustered(4, 10, 3, 2, 2, 4.0, 1.0, ProbModel::Random);
-    let sol = solve_euclidean(&set, 2, AssignmentRule::ExpectedPoint, CertainSolver::Gonzalez);
+    let sol = solve_eu(&set, 2, AssignmentRule::ExpectedPoint);
     let mut prev = 0.0;
     for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
         let v = cost_quantile_assigned(&set, &sol.centers, &sol.assignment, &Euclidean, q);
@@ -213,7 +263,7 @@ fn cdf_brackets_expectation() {
     // and the CDF at Ecost must be strictly positive for non-degenerate
     // instances.
     let set = clustered(5, 8, 3, 2, 2, 4.0, 1.0, ProbModel::HeavyTail);
-    let sol = solve_euclidean(&set, 2, AssignmentRule::ExpectedDistance, CertainSolver::Gonzalez);
+    let sol = solve_eu(&set, 2, AssignmentRule::ExpectedDistance);
     let worst = cost_quantile_assigned(&set, &sol.centers, &sol.assignment, &Euclidean, 1.0);
     assert!(sol.ecost <= worst + 1e-12);
     let cdf_at_e = cost_cdf_assigned(&set, &sol.centers, &sol.assignment, &Euclidean, sol.ecost);

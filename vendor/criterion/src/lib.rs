@@ -1,0 +1,340 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this in-tree crate
+//! implements the subset of criterion's API the workspace's benches use —
+//! groups, `bench_function` / `bench_with_input`, `sample_size`,
+//! `warm_up_time`, `measurement_time`, `Throughput`, `BenchmarkId`, and
+//! the `criterion_group!` / `criterion_main!` macros — backed by a plain
+//! wall-clock harness: warm up, then take `sample_size` timed samples and
+//! report min / mean / max per iteration.
+//!
+//! Run with `cargo bench`. Passing `--quick` (or setting the env var
+//! `CRITERION_QUICK=1`) caps warm-up and measurement at a few
+//! milliseconds for smoke runs.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id like `name/param`.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        Self {
+            label: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+/// Throughput annotation (recorded, reported as elements/second).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Config {
+    fn quick() -> bool {
+        std::env::var_os("CRITERION_QUICK").is_some() || std::env::args().any(|a| a == "--quick")
+    }
+
+    fn effective(self) -> Config {
+        if Self::quick() {
+            Config {
+                sample_size: self.sample_size.min(3),
+                warm_up_time: Duration::from_millis(5),
+                measurement_time: Duration::from_millis(20),
+            }
+        } else {
+            self
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+        }
+    }
+}
+
+/// The bench harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            config: self.config,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Benches a single function outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(None, &id.into(), self.config, None, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Total measurement budget across samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benches `f`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(
+            Some(&self.name),
+            &id.into(),
+            self.config,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Benches `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(
+            Some(&self.name),
+            &id,
+            self.config,
+            self.throughput,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the bench closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    config: Config,
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f`: warm-up, then `sample_size` samples of a batch each.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let cfg = self.config;
+        // Warm-up while estimating the per-iteration time.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < cfg.warm_up_time || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().div_f64(warm_iters as f64);
+        // Size batches so all samples fit the measurement budget.
+        let budget = cfg.measurement_time.div_f64(cfg.sample_size as f64);
+        let batch = if per_iter.is_zero() {
+            1000
+        } else {
+            (budget.as_secs_f64() / per_iter.as_secs_f64()).clamp(1.0, 1e9) as u64
+        };
+        self.iters_per_sample = batch;
+        self.samples.clear();
+        for _ in 0..cfg.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed().div_f64(batch as f64));
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn run_bench(
+    group: Option<&str>,
+    id: &BenchmarkId,
+    config: Config,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        config: config.effective(),
+        samples: Vec::new(),
+        iters_per_sample: 0,
+    };
+    f(&mut b);
+    let label = match group {
+        Some(g) => format!("{g}/{}", id.label),
+        None => id.label.clone(),
+    };
+    if b.samples.is_empty() {
+        println!("{label:<56} (no samples — closure never called iter)");
+        return;
+    }
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    let max = b.samples.iter().max().copied().unwrap_or_default();
+    let mean = b
+        .samples
+        .iter()
+        .sum::<Duration>()
+        .div_f64(b.samples.len() as f64);
+    let mut line = format!(
+        "{label:<56} time: [{} {} {}]",
+        format_duration(min),
+        format_duration(mean),
+        format_duration(max)
+    );
+    if let Some(t) = throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        if mean > Duration::ZERO {
+            let rate = count as f64 / mean.as_secs_f64();
+            line.push_str(&format!("  thrpt: {rate:.0} {unit}"));
+        }
+    }
+    println!("{line}");
+}
+
+/// Bundles bench functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(2);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("sum_to", 50u64), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+        c.bench_function("top_level", |b| b.iter(|| black_box(1 + 1)));
+    }
+}
