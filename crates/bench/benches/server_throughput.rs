@@ -1,0 +1,100 @@
+//! Serving throughput: loopback requests/sec through the full HTTP
+//! stack (TCP, HTTP parse, routing, scheduler, cache, JSON render).
+//!
+//! Two regimes at 1, 4, and `available_parallelism` concurrent clients:
+//!
+//! * **cache-warm** — every request is the same `(instance, config)`;
+//!   after the first solve all requests are cache hits, so this measures
+//!   the serving overhead alone (the amortized-repeated-work regime the
+//!   solution cache exists for);
+//! * **cache-cold** — every request sets `"cache": false` and re-pays
+//!   the solve, so this measures the scheduler's batch pipeline under
+//!   concurrent load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::net::SocketAddr;
+
+use ukc_bench::workloads::euclidean;
+use ukc_json::format::JsonInstance;
+use ukc_server::client::ClientConn;
+use ukc_server::{serve, ServerConfig, ServerHandle};
+
+/// Requests each client thread issues per iteration (amortizes thread
+/// spawn and connection setup into the measurement).
+const REQUESTS_PER_CLIENT: usize = 4;
+
+fn start_server() -> (ServerHandle, SocketAddr, String) {
+    let handle = serve(ServerConfig::default()).expect("bind ephemeral port");
+    let addr = handle.addr();
+    let instance = JsonInstance::from_set(&euclidean(24, 3))
+        .to_json()
+        .compact();
+    let mut conn = ClientConn::connect(addr).expect("connect");
+    let upload = conn
+        .request("POST", "/instances", Some(&instance))
+        .expect("upload");
+    assert!(upload.is_success(), "{}", upload.body);
+    let id = ukc_json::Json::parse(&upload.body)
+        .expect("upload response")
+        .get("id")
+        .and_then(ukc_json::Json::as_str)
+        .expect("id")
+        .to_string();
+    (handle, addr, id)
+}
+
+fn client_counts() -> Vec<usize> {
+    let ncpu = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![1, 4, ncpu];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// Fires `clients` threads, each sending `REQUESTS_PER_CLIENT` solves on
+/// its own keep-alive connection, and joins them all.
+fn fan_out(addr: SocketAddr, path: &str, body: &str, clients: usize) {
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| {
+                let mut conn = ClientConn::connect(addr).expect("connect");
+                for _ in 0..REQUESTS_PER_CLIENT {
+                    let r = conn.request("POST", path, Some(body)).expect("solve");
+                    assert!(r.is_success(), "{}", r.body);
+                }
+            });
+        }
+    });
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let (handle, addr, id) = start_server();
+    let path = format!("/instances/{id}/solve");
+    let warm_body = r#"{"k": 3, "lower_bound": false}"#;
+    let cold_body = r#"{"k": 3, "lower_bound": false, "cache": false}"#;
+
+    // Prime the cache so the warm regime is all hits.
+    fan_out(addr, &path, warm_body, 1);
+
+    for (regime, body) in [("warm", warm_body), ("cold", cold_body)] {
+        let mut group = c.benchmark_group(format!("server_throughput_cache_{regime}"));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_millis(1500));
+        for clients in client_counts() {
+            group.throughput(Throughput::Elements((clients * REQUESTS_PER_CLIENT) as u64));
+            group.bench_with_input(
+                BenchmarkId::from_parameter(clients),
+                &clients,
+                |b, &clients| b.iter(|| fan_out(addr, &path, body, clients)),
+            );
+        }
+        group.finish();
+    }
+    handle.shutdown();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

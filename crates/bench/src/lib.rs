@@ -13,6 +13,7 @@
 //! | `t1_metric` | row 9: general-metric pipeline |
 //! | `substrate` | exact `E[max]` sweep, Gonzalez, MEB, Weiszfeld |
 //! | `scaling` | parameter sweeps behind EXPERIMENTS.md's S1–S3 |
+//! | `server_throughput` | loopback requests/sec through `ukc-server` (cache-warm vs cache-cold, 1 / 4 / ncpu clients) |
 //!
 //! Run with `cargo bench -p ukc-bench` (or `--bench <target>`).
 //!

@@ -10,6 +10,9 @@
 //! ukc info     --instance inst.json
 //! ukc kmedian  --instance inst.json --k 3
 //! ukc kmeans   --instance inst.json --k 3 --seed 1
+//! ukc serve    --addr 127.0.0.1:8080 --workers 4 --cache-cap 256
+//! ukc client   --addr 127.0.0.1:8080 --path /healthz
+//! ukc client   --addr 127.0.0.1:8080 --instance inst.json --k 3   # one-shot /solve
 //! ```
 //!
 //! All subcommands read/write the JSON formats of [`format`]; numeric
@@ -18,13 +21,10 @@
 //! instrumentation report as one JSON document on stdout.
 
 mod args;
-mod format;
 
 use args::Args;
-use format::{JsonInstance, JsonSolution};
-use ukc_core::{
-    solve_batch_threads, AssignmentRule, CertainStrategy, Problem, Report, Solution, SolverConfig,
-};
+use ukc_core::{solve_batch_threads, AssignmentRule, CertainStrategy, Problem, SolverConfig};
+use ukc_json::format::{solution_document, JsonInstance, JsonSolution};
 use ukc_json::Json;
 use ukc_metric::{Euclidean, Point};
 use ukc_uncertain::generators::{
@@ -47,7 +47,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage: ukc <generate|solve|batch|evaluate|bound|info|kmedian|kmeans> [--flag value | --flag=value ...]\n\
+        "usage: ukc <generate|solve|batch|evaluate|bound|info|kmedian|kmeans|serve|client> [--flag value | --flag=value ...]\n\
          see `cargo doc -p ukc-cli` or the module docs for the full flag list"
     );
 }
@@ -62,6 +62,8 @@ fn run(a: &Args) -> i32 {
         "info" => cmd_info(a),
         "kmedian" => cmd_kmedian(a),
         "kmeans" => cmd_kmeans(a),
+        "serve" => cmd_serve(a),
+        "client" => cmd_client(a),
         other => {
             eprintln!("error: unknown subcommand {other}");
             usage();
@@ -142,69 +144,6 @@ fn output_format(a: &Args) -> Result<&str, Box<dyn std::error::Error>> {
         f @ ("text" | "json") => Ok(f),
         other => Err(format!("unknown format {other} (text|json)").into()),
     }
-}
-
-fn report_json(report: &Report) -> Json {
-    let secs = |d: std::time::Duration| Json::from(d.as_secs_f64());
-    Json::obj([
-        ("method", Json::from(report.method.as_str())),
-        (
-            "lower_bound",
-            report.lower_bound.map_or(Json::Null, Json::from),
-        ),
-        (
-            "timings_seconds",
-            Json::obj([
-                ("representatives", secs(report.timings.representatives)),
-                ("certain_solve", secs(report.timings.certain_solve)),
-                ("assignment", secs(report.timings.assignment)),
-                ("cost", secs(report.timings.cost)),
-                ("lower_bound", secs(report.timings.lower_bound)),
-                ("total", secs(report.timings.total)),
-            ]),
-        ),
-        (
-            "distance_evals",
-            Json::obj([
-                (
-                    "representatives",
-                    Json::from(report.distance_evals.representatives as f64),
-                ),
-                (
-                    "certain_solve",
-                    Json::from(report.distance_evals.certain_solve as f64),
-                ),
-                (
-                    "assignment",
-                    Json::from(report.distance_evals.assignment as f64),
-                ),
-                ("cost", Json::from(report.distance_evals.cost as f64)),
-                (
-                    "lower_bound",
-                    Json::from(report.distance_evals.lower_bound as f64),
-                ),
-                ("total", Json::from(report.distance_evals.total() as f64)),
-            ]),
-        ),
-    ])
-}
-
-/// The solution as one JSON document: the [`JsonSolution`] disk schema
-/// plus `certain_radius` and the instrumentation `report`.
-fn solution_document(sol: &Solution<Point>) -> Json {
-    let disk = JsonSolution {
-        centers: sol.centers.iter().map(|c| c.coords().to_vec()).collect(),
-        assignment: sol.assignment.clone(),
-        ecost: sol.ecost,
-        lower_bound: sol.report.lower_bound.unwrap_or(0.0),
-        method: sol.report.method.clone(),
-    };
-    let mut doc = disk.to_json();
-    if let Json::Obj(pairs) = &mut doc {
-        pairs.push(("certain_radius".into(), Json::from(sol.certain_radius)));
-        pairs.push(("report".into(), report_json(&sol.report)));
-    }
-    doc
 }
 
 fn cmd_generate(a: &Args) -> CmdResult {
@@ -389,6 +328,64 @@ fn cmd_kmedian(a: &Args) -> CmdResult {
     let pool = set.location_pool();
     let sol = ukc_extensions::uncertain_kmedian(&set, &pool, k, &Euclidean, &config)?;
     println!("kmedian_cost {:.6}", sol.cost);
+    Ok(())
+}
+
+/// `ukc serve`: run the HTTP solver service on the calling thread.
+fn cmd_serve(a: &Args) -> CmdResult {
+    let config = ukc_server::ServerConfig {
+        addr: a.get_or("addr", "127.0.0.1:8080").to_string(),
+        workers: a.parse_or("workers", 0usize)?,
+        cache_cap: a.parse_or("cache-cap", 256usize)?,
+        max_body_bytes: a.parse_or("max-body-bytes", 8 * 1024 * 1024usize)?,
+    };
+    ukc_server::serve_blocking(config)?;
+    Ok(())
+}
+
+/// `ukc client`: a thin smoke client. Either a raw request
+/// (`--path [--method] [--body | --body-file]`) or, with `--instance`,
+/// a one-shot `POST /solve` built from the shared `--k`/`--rule`/
+/// `--solver`/`--eps`/`--seed` flags.
+fn cmd_client(a: &Args) -> CmdResult {
+    let addr = a.required("addr")?;
+    let (method, path, body) = if let Ok(instance) = a.required("instance") {
+        let text = std::fs::read_to_string(instance)?;
+        let instance_doc =
+            Json::parse(&text).map_err(|e| format!("{instance} is not valid JSON: {e}"))?;
+        let k: usize = a.parse_required("k")?;
+        let body = Json::obj([
+            ("k", Json::from(k)),
+            ("rule", Json::from(a.get_or("rule", "ep"))),
+            ("solver", Json::from(a.get_or("solver", "gonzalez"))),
+            ("eps", Json::from(a.parse_or("eps", 0.25f64)?)),
+            ("seed", Json::from(a.parse_or("seed", 0u64)? as f64)),
+            ("instance", instance_doc),
+        ]);
+        (
+            "POST".to_string(),
+            "/solve".to_string(),
+            Some(body.compact()),
+        )
+    } else {
+        let path = a.get_or("path", "/healthz").to_string();
+        let body = if let Ok(file) = a.required("body-file") {
+            Some(std::fs::read_to_string(file)?)
+        } else {
+            a.required("body").ok().map(str::to_string)
+        };
+        let default_method = if body.is_some() { "POST" } else { "GET" };
+        (
+            a.get_or("method", default_method).to_uppercase(),
+            path,
+            body,
+        )
+    };
+    let response = ukc_server::client::request(addr, &method, &path, body.as_deref())?;
+    println!("{}", response.body);
+    if !response.is_success() {
+        return Err(format!("{method} {path} returned status {}", response.status).into());
+    }
     Ok(())
 }
 

@@ -72,6 +72,7 @@
 pub mod assignments;
 pub mod bounds;
 pub mod config;
+pub mod digest;
 pub mod error;
 pub mod one_center;
 pub mod problem;
@@ -81,6 +82,7 @@ pub mod solver;
 pub use assignments::{assign_ed, assign_ep, assign_oc, AssignmentRule, MetricAssignmentRule};
 pub use bounds::{lower_bound_euclidean, lower_bound_metric, lower_bound_one_center};
 pub use config::{CandidatePolicy, CertainStrategy, SolverConfig, SolverConfigBuilder};
+pub use digest::{digest_hex, digest_problem, digest_set};
 pub use error::SolveError;
 pub use one_center::{expected_point_one_center, reference_one_center};
 pub use problem::{

@@ -192,6 +192,29 @@ pub fn validate_k(n: usize, k: usize) -> Result<(), SolveError> {
 }
 
 impl Problem<Point> {
+    /// A stable, canonical content digest of this problem: the
+    /// uncertain set (order-invariant, see [`crate::digest::digest_set`]),
+    /// `k`, the space name, and — for discrete problems — the candidate
+    /// pool. Identical instances digest identically regardless of upload
+    /// order, so a serving layer can deduplicate uploads and key solution
+    /// caches by `(digest, config)`.
+    ///
+    /// The digest does not cover the *behavior* of a custom
+    /// [`ContinuousSpace`] or metric beyond its name; spaces with equal
+    /// names are assumed to compute equal distances.
+    pub fn instance_digest(&self) -> u64 {
+        let pool_digest = match &self.space {
+            Space::Discrete { pool, .. } => Some(crate::digest::digest_pool(pool)),
+            Space::Continuous(_) => None,
+        };
+        crate::digest::digest_problem(
+            self.space_name(),
+            self.k,
+            crate::digest::digest_set(&self.set),
+            pool_digest,
+        )
+    }
+
     /// A Euclidean problem (the paper's Theorems 2.2 / 2.4 / 2.5
     /// setting).
     pub fn euclidean(set: UncertainSet<Point>, k: usize) -> Result<Self, SolveError> {

@@ -1,7 +1,12 @@
-//! JSON instance and solution formats.
+//! JSON instance, solution, and report formats.
+//!
+//! One encoder for every surface: the CLI's files and `--format json`
+//! output, the HTTP server's request/response bodies, and the experiment
+//! drivers all go through this module, so the same instance or solution
+//! is byte-identical no matter which tool emitted it.
 //!
 //! The library types keep their invariants behind validating constructors,
-//! so the on-disk schema is a separate, plain-data layer with explicit
+//! so the wire schema is a separate, plain-data layer with explicit
 //! conversion (and therefore explicit validation errors) in both
 //! directions:
 //!
@@ -17,7 +22,8 @@
 //! Serialization is hand-rolled over [`ukc_json::Json`]; floats round-trip
 //! exactly (shortest round-trip formatting on write, `f64` parse on read).
 
-use ukc_json::Json;
+use crate::Json;
+use ukc_core::{Report, Solution};
 use ukc_metric::Point;
 use ukc_uncertain::{UncertainPoint, UncertainSet};
 
@@ -129,10 +135,16 @@ impl JsonInstance {
     /// Parses an instance document.
     pub fn parse(text: &str) -> Result<Self, FormatError> {
         let doc = Json::parse(text).map_err(|e| FormatError::Schema(e.to_string()))?;
-        let dim = field(&doc, "dim")?
+        Self::from_json(&doc)
+    }
+
+    /// Reads an instance from an already-parsed document (e.g. an
+    /// `"instance"` sub-object of a larger request body).
+    pub fn from_json(doc: &Json) -> Result<Self, FormatError> {
+        let dim = field(doc, "dim")?
             .as_usize()
             .ok_or_else(|| FormatError::Schema("dim must be a non-negative integer".into()))?;
-        let points = field(&doc, "points")?
+        let points = field(doc, "points")?
             .as_array()
             .ok_or_else(|| FormatError::Schema("points must be an array".into()))?
             .iter()
@@ -276,6 +288,74 @@ impl JsonSolution {
     }
 }
 
+/// The instrumentation [`Report`] as one JSON object: method, lower
+/// bound, per-stage timings in seconds, and per-stage distance-evaluation
+/// counts.
+pub fn report_json(report: &Report) -> Json {
+    let secs = |d: std::time::Duration| Json::from(d.as_secs_f64());
+    Json::obj([
+        ("method", Json::from(report.method.as_str())),
+        (
+            "lower_bound",
+            report.lower_bound.map_or(Json::Null, Json::from),
+        ),
+        (
+            "timings_seconds",
+            Json::obj([
+                ("representatives", secs(report.timings.representatives)),
+                ("certain_solve", secs(report.timings.certain_solve)),
+                ("assignment", secs(report.timings.assignment)),
+                ("cost", secs(report.timings.cost)),
+                ("lower_bound", secs(report.timings.lower_bound)),
+                ("total", secs(report.timings.total)),
+            ]),
+        ),
+        (
+            "distance_evals",
+            Json::obj([
+                (
+                    "representatives",
+                    Json::from(report.distance_evals.representatives as f64),
+                ),
+                (
+                    "certain_solve",
+                    Json::from(report.distance_evals.certain_solve as f64),
+                ),
+                (
+                    "assignment",
+                    Json::from(report.distance_evals.assignment as f64),
+                ),
+                ("cost", Json::from(report.distance_evals.cost as f64)),
+                (
+                    "lower_bound",
+                    Json::from(report.distance_evals.lower_bound as f64),
+                ),
+                ("total", Json::from(report.distance_evals.total() as f64)),
+            ]),
+        ),
+    ])
+}
+
+/// A solved [`Solution`] as one JSON document: the [`JsonSolution`] disk
+/// schema plus `certain_radius` and the instrumentation `report`. The
+/// CLI's `--format json` output and the server's solve responses are both
+/// this document.
+pub fn solution_document(sol: &Solution<Point>) -> Json {
+    let disk = JsonSolution {
+        centers: sol.centers.iter().map(|c| c.coords().to_vec()).collect(),
+        assignment: sol.assignment.clone(),
+        ecost: sol.ecost,
+        lower_bound: sol.report.lower_bound.unwrap_or(0.0),
+        method: sol.report.method.clone(),
+    };
+    let mut doc = disk.to_json();
+    if let Json::Obj(pairs) = &mut doc {
+        pairs.push(("certain_radius".into(), Json::from(sol.certain_radius)));
+        pairs.push(("report".into(), report_json(&sol.report)));
+    }
+    doc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,6 +450,35 @@ mod tests {
             j.to_set(),
             Err(FormatError::NonFinite { point: 0 })
         ));
+    }
+
+    #[test]
+    fn solution_document_roundtrips_and_carries_report() {
+        let set = clustered(5, 10, 3, 2, 2, 4.0, 1.0, ProbModel::Random);
+        let problem = ukc_core::Problem::euclidean(set, 2).unwrap();
+        let sol = problem.solve(&ukc_core::SolverConfig::default()).unwrap();
+        let doc = solution_document(&sol);
+        // The document embeds the JsonSolution schema exactly and is
+        // parseable back through it.
+        let parsed = JsonSolution::parse(&doc.pretty()).unwrap();
+        assert_eq!(parsed.ecost, sol.ecost);
+        assert_eq!(parsed.assignment, sol.assignment);
+        assert_eq!(parsed.method, sol.report.method);
+        // Plus the extras: certain_radius and the full report.
+        assert_eq!(
+            doc.get("certain_radius").and_then(Json::as_f64),
+            Some(sol.certain_radius)
+        );
+        let report = doc.get("report").unwrap();
+        assert_eq!(
+            report.get("method").and_then(Json::as_str),
+            Some(sol.report.method.as_str())
+        );
+        assert!(report
+            .get("distance_evals")
+            .and_then(|d| d.get("total"))
+            .and_then(Json::as_f64)
+            .is_some());
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! # ukc-json — dependency-free JSON for instance and report I/O
 //!
 //! The workspace's on-disk formats (instances, solutions, experiment
-//! reports) and the CLI's `--format json` output need JSON without any
-//! external crates. This crate provides a small, strict implementation:
-//! a [`Json`] value type, a recursive-descent [`Json::parse`], and
-//! compact / pretty writers.
+//! reports), the CLI's `--format json` output, and the HTTP server's
+//! wire bodies need JSON without any external crates. This crate
+//! provides a small, strict implementation — a [`Json`] value type, a
+//! recursive-descent [`Json::parse`], and compact / pretty writers —
+//! plus the shared instance/solution/report schemas in [`format`], so
+//! every tool emits byte-identical documents from one encoder.
 //!
 //! Numbers are `f64` throughout (like `serde_json`'s default float mode)
 //! and are written with Rust's shortest round-trip formatting, so
@@ -25,6 +27,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod format;
 
 use std::fmt::Write as _;
 

@@ -1,0 +1,200 @@
+//! A capacity-bounded LRU solution cache keyed by `(digest, config)`.
+//!
+//! The approximate-LOO lesson from the conformal literature applies
+//! directly: when many requests hit the same instance, the expensive part
+//! must be paid once and amortized. The cache key is the problem's
+//! canonical content digest ([`ukc_core::Problem::instance_digest`],
+//! which covers the set, `k`, and the space) plus a canonical rendering
+//! of the [`SolverConfig`], so a hit is only possible when the solve
+//! would be bit-identical anyway — solves are deterministic in
+//! `(problem, config)`.
+//!
+//! Recency is tracked with a monotonic stamp per entry; eviction scans
+//! for the minimum stamp. That is O(capacity) per eviction, which is the
+//! right trade at the few-hundred-entry capacities this service runs
+//! with (no linked-list bookkeeping on the hot hit path, just a stamp
+//! store).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use ukc_core::{CandidatePolicy, CertainStrategy, SolverConfig};
+
+/// A canonical cache key for one solve request.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SolveKey {
+    /// [`ukc_core::Problem::instance_digest`] of the problem.
+    pub digest: u64,
+    /// Canonical rendering of the configuration.
+    pub config: String,
+}
+
+impl SolveKey {
+    /// Builds the key for `(digest, config)`.
+    pub fn new(digest: u64, config: &SolverConfig) -> Self {
+        SolveKey {
+            digest,
+            config: config_key(config),
+        }
+    }
+}
+
+/// Renders a [`SolverConfig`] canonically: every field that can change a
+/// solve result appears, floats by bit pattern so distinct values can
+/// never collide.
+pub fn config_key(config: &SolverConfig) -> String {
+    let strategy = match config.strategy() {
+        CertainStrategy::Gonzalez => "gonzalez".to_string(),
+        CertainStrategy::GonzalezLocalSearch { rounds } => format!("local-search:{rounds}"),
+        CertainStrategy::Grid => "grid".to_string(),
+        CertainStrategy::ExactDiscrete => "exact".to_string(),
+    };
+    let policy = match config.candidate_policy() {
+        CandidatePolicy::ProblemPool => "problem",
+        CandidatePolicy::LocationPool => "location",
+    };
+    let grid = config.grid_options();
+    let exact = config.exact_options();
+    format!(
+        "rule={:?};strategy={strategy};eps={:016x};seed={};policy={policy};lb={};grid={:?};exact={:?}",
+        config.rule(),
+        config.eps().to_bits(),
+        config.seed(),
+        config.computes_lower_bound(),
+        grid,
+        exact,
+    )
+}
+
+/// A minimal LRU map. Not thread-safe by itself — the server wraps it in
+/// a `Mutex` (hit bookkeeping mutates recency, so a shared lock would not
+/// help).
+pub struct LruCache<K, V> {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<K, (u64, V)>,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// A cache holding at most `capacity` entries. Capacity 0 disables
+    /// caching entirely (every `get` misses, `insert` is a no-op).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Looks up and refreshes recency.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some((stamp, value)) => {
+                *stamp = tick;
+                Some(value)
+            }
+            None => None,
+        }
+    }
+
+    /// Inserts, evicting the least-recently-used entry at capacity.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (self.tick, value));
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = LruCache::new(2);
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        assert_eq!(cache.get(&"a"), Some(&1)); // refresh a
+        cache.insert("c", 3); // evicts b
+        assert_eq!(cache.get(&"b"), None);
+        assert_eq!(cache.get(&"a"), Some(&1));
+        assert_eq!(cache.get(&"c"), Some(&3));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_updates_without_eviction() {
+        let mut cache = LruCache::new(2);
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        cache.insert("a", 10);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&"a"), Some(&10));
+        assert_eq!(cache.get(&"b"), Some(&2));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut cache = LruCache::new(0);
+        cache.insert("a", 1);
+        assert_eq!(cache.get(&"a"), None);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn config_keys_separate_every_knob() {
+        use ukc_core::AssignmentRule;
+        let base = SolverConfig::default();
+        let variants = [
+            SolverConfig::builder()
+                .rule(AssignmentRule::ExpectedDistance)
+                .build()
+                .unwrap(),
+            SolverConfig::builder()
+                .strategy(CertainStrategy::GonzalezLocalSearch { rounds: 3 })
+                .build()
+                .unwrap(),
+            SolverConfig::builder().eps(0.125).build().unwrap(),
+            SolverConfig::builder().seed(9).build().unwrap(),
+            SolverConfig::builder().lower_bound(false).build().unwrap(),
+            SolverConfig::builder()
+                .candidate_policy(CandidatePolicy::LocationPool)
+                .build()
+                .unwrap(),
+        ];
+        let base_key = config_key(&base);
+        for v in &variants {
+            assert_ne!(config_key(v), base_key, "{v:?}");
+        }
+        assert_eq!(config_key(&base), config_key(&SolverConfig::default()));
+    }
+}

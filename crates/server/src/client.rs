@@ -1,0 +1,147 @@
+//! A thin blocking HTTP client for smoke use: the CLI's `ukc client`,
+//! the integration tests, and the throughput bench all drive the server
+//! through this module, so the client exercises the same wire format the
+//! server speaks (one request per call; `Connection: close` unless a
+//! [`ClientConn`] keep-alive session is used).
+
+use std::io::{BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A parsed response: status code and body text.
+#[derive(Clone, Debug)]
+pub struct HttpResponse {
+    /// The HTTP status code.
+    pub status: u16,
+    /// The response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// Whether the status is 2xx.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+fn io_err(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Performs one request over a fresh connection.
+pub fn request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<HttpResponse> {
+    let stream = TcpStream::connect(addr)?;
+    send_request(&stream, method, path, body, false)?;
+    let mut reader = BufReader::new(stream);
+    read_response(&mut reader)
+}
+
+/// A keep-alive session: many requests over one connection (what the
+/// throughput bench uses, so connection setup does not dominate).
+pub struct ClientConn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl ClientConn {
+    /// Connects.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(ClientConn { stream, reader })
+    }
+
+    /// Performs one request on the open connection.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<HttpResponse> {
+        send_request(&self.stream, method, path, body, true)?;
+        read_response(&mut self.reader)
+    }
+}
+
+fn send_request(
+    mut stream: &TcpStream,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: ukc\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{body}",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    stream.flush()
+}
+
+fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<HttpResponse> {
+    let status_line = read_line(reader)?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io_err(format!("bad status line {status_line:?}")))?;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+    let mut body = match content_length {
+        Some(len) => {
+            let mut buf = vec![0u8; len];
+            reader.read_exact(&mut buf)?;
+            buf
+        }
+        None => {
+            let mut buf = Vec::new();
+            reader.read_to_end(&mut buf)?;
+            buf
+        }
+    };
+    // Tolerate a stray trailing CRLF from read_to_end on close.
+    while matches!(body.last(), Some(b'\r' | b'\n')) && content_length.is_none() {
+        body.pop();
+    }
+    Ok(HttpResponse {
+        status,
+        body: String::from_utf8(body).map_err(|_| io_err("non-utf8 response body"))?,
+    })
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> std::io::Result<String> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte)? {
+            0 => break,
+            _ => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+            }
+        }
+    }
+    while matches!(line.last(), Some(b'\r')) {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| io_err("non-utf8 response header"))
+}

@@ -1,0 +1,198 @@
+//! Typed API errors and their status-code mapping.
+//!
+//! Every failure the service can produce is an [`ApiError`] with a
+//! machine-readable `kind`, mirroring [`SolveError`]'s philosophy: a
+//! client can dispatch on `error.kind` without string matching. The JSON
+//! payload is always
+//!
+//! ```json
+//! { "error": { "status": 422, "kind": "k_exceeds_n", "message": "..." } }
+//! ```
+//!
+//! Mapping policy: transport/shape problems (unreadable HTTP, invalid
+//! JSON, schema violations, unknown fields) are `400`; a well-formed
+//! request naming something that does not exist is `404`; a wrong method
+//! on a real route is `405`; an oversized body is `413`; a request that
+//! parses but is semantically invalid — every [`SolveError`] and every
+//! instance-validation failure — is `422`; scheduler shutdown is `503`.
+
+use crate::http::HttpError;
+use ukc_core::SolveError;
+use ukc_json::format::FormatError;
+use ukc_json::Json;
+
+/// A typed, JSON-serializable API failure.
+#[derive(Clone, Debug)]
+pub struct ApiError {
+    /// The HTTP status code.
+    pub status: u16,
+    /// Stable machine-readable discriminator.
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ApiError {
+    /// A `400` with the given kind.
+    pub fn bad_request(kind: &'static str, message: impl Into<String>) -> Self {
+        ApiError {
+            status: 400,
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// `404` for an unknown route.
+    pub fn route_not_found(path: &str) -> Self {
+        ApiError {
+            status: 404,
+            kind: "route_not_found",
+            message: format!("no route {path}"),
+        }
+    }
+
+    /// `404` for an unknown instance.
+    pub fn instance_not_found(id: &str) -> Self {
+        ApiError {
+            status: 404,
+            kind: "instance_not_found",
+            message: format!("no instance {id}"),
+        }
+    }
+
+    /// `405` for a known route with the wrong method.
+    pub fn method_not_allowed(method: &str, path: &str) -> Self {
+        ApiError {
+            status: 405,
+            kind: "method_not_allowed",
+            message: format!("{method} is not supported on {path}"),
+        }
+    }
+
+    /// `503` when the scheduler is gone (server shutting down).
+    pub fn unavailable() -> Self {
+        ApiError {
+            status: 503,
+            kind: "shutting_down",
+            message: "the solve scheduler is no longer accepting work".into(),
+        }
+    }
+
+    /// The wire payload.
+    pub fn to_json(&self) -> Json {
+        Json::obj([(
+            "error",
+            Json::obj([
+                ("status", Json::from(self.status as f64)),
+                ("kind", Json::from(self.kind)),
+                ("message", Json::from(self.message.as_str())),
+            ]),
+        )])
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}: {}", self.status, self.kind, self.message)
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+impl From<HttpError> for ApiError {
+    fn from(e: HttpError) -> Self {
+        match e {
+            HttpError::PayloadTooLarge { limit, declared } => ApiError {
+                status: 413,
+                kind: "payload_too_large",
+                message: format!("body of {declared} bytes exceeds the {limit}-byte limit"),
+            },
+            HttpError::Closed | HttpError::Io(_) | HttpError::BadRequest(_) => {
+                ApiError::bad_request("bad_http", e.to_string())
+            }
+        }
+    }
+}
+
+impl From<SolveError> for ApiError {
+    fn from(e: SolveError) -> Self {
+        let kind = match &e {
+            SolveError::ZeroK => "zero_k",
+            SolveError::EmptySet => "empty_set",
+            SolveError::KExceedsN { .. } => "k_exceeds_n",
+            SolveError::EmptyCandidates => "empty_candidates",
+            SolveError::RuleUnsupported { .. } => "rule_unsupported",
+            SolveError::StrategyUnsupported { .. } => "strategy_unsupported",
+            SolveError::BadEpsilon { .. } => "bad_epsilon",
+            SolveError::UnknownTableRow { .. } => "unknown_table_row",
+        };
+        ApiError {
+            status: 422,
+            kind,
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<FormatError> for ApiError {
+    fn from(e: FormatError) -> Self {
+        match &e {
+            FormatError::Schema(_) => ApiError::bad_request("bad_schema", e.to_string()),
+            FormatError::Empty => ApiError {
+                status: 422,
+                kind: "empty_set",
+                message: e.to_string(),
+            },
+            FormatError::DimMismatch { .. }
+            | FormatError::BadPoint { .. }
+            | FormatError::NonFinite { .. } => ApiError {
+                status: 422,
+                kind: "bad_instance",
+                message: e.to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_errors_map_to_422_with_stable_kinds() {
+        let e: ApiError = SolveError::KExceedsN { k: 5, n: 3 }.into();
+        assert_eq!((e.status, e.kind), (422, "k_exceeds_n"));
+        let e: ApiError = SolveError::ZeroK.into();
+        assert_eq!((e.status, e.kind), (422, "zero_k"));
+        let e: ApiError = SolveError::BadEpsilon { eps: -1.0 }.into();
+        assert_eq!((e.status, e.kind), (422, "bad_epsilon"));
+    }
+
+    #[test]
+    fn payload_shape_is_stable() {
+        let doc = ApiError::instance_not_found("deadbeef").to_json();
+        let err = doc.get("error").unwrap();
+        assert_eq!(err.get("status").and_then(Json::as_f64), Some(404.0));
+        assert_eq!(
+            err.get("kind").and_then(Json::as_str),
+            Some("instance_not_found")
+        );
+        assert!(err
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("deadbeef"));
+    }
+
+    #[test]
+    fn http_errors_map_to_400_or_413() {
+        let e: ApiError = HttpError::BadRequest("nope".into()).into();
+        assert_eq!((e.status, e.kind), (400, "bad_http"));
+        let e: ApiError = HttpError::PayloadTooLarge {
+            limit: 10,
+            declared: 20,
+        }
+        .into();
+        assert_eq!((e.status, e.kind), (413, "payload_too_large"));
+    }
+}

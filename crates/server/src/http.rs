@@ -1,0 +1,392 @@
+//! A minimal HTTP/1.1 request/response layer over `std::io`.
+//!
+//! The build environment has no registry access, so this is the smallest
+//! honest subset of RFC 7230 the service needs: request line, headers,
+//! `Content-Length` bodies, keep-alive, and hard limits (header and body
+//! size) that fail as typed errors instead of unbounded allocation.
+//! `Transfer-Encoding: chunked` is deliberately not implemented and is
+//! rejected up front.
+
+use std::io::{self, BufRead, Write};
+
+/// Maximum bytes accepted for the request line plus all headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, `DELETE`, ...).
+    pub method: String,
+    /// The path, query string stripped.
+    pub path: String,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HttpError {
+    /// The connection closed cleanly before a request started.
+    Closed,
+    /// The bytes on the wire are not a well-formed HTTP/1.x request.
+    BadRequest(String),
+    /// The declared body exceeds the configured limit.
+    PayloadTooLarge {
+        /// The configured maximum body size in bytes.
+        limit: usize,
+        /// The declared `Content-Length`.
+        declared: usize,
+    },
+    /// The socket failed mid-request.
+    Io(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            HttpError::PayloadTooLarge { limit, declared } => {
+                write!(f, "body of {declared} bytes exceeds the {limit}-byte limit")
+            }
+            HttpError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Reads one request, enforcing [`MAX_HEAD_BYTES`], `max_body`, and an
+/// optional wall-clock `deadline` for the *whole* request (checked
+/// between reads — a per-read socket timeout alone does not bound a
+/// client trickling one byte per timeout window).
+///
+/// Returns [`HttpError::Closed`] when the peer closed the connection
+/// between requests (the normal end of a keep-alive session).
+pub fn read_request(
+    reader: &mut impl BufRead,
+    max_body: usize,
+    deadline: Option<std::time::Instant>,
+) -> Result<Request, HttpError> {
+    let mut head_bytes = 0usize;
+    let request_line = match read_line(reader, &mut head_bytes, deadline)? {
+        None => return Err(HttpError::Closed),
+        Some(line) if line.is_empty() => return Err(HttpError::BadRequest("empty request".into())),
+        Some(line) => line,
+    };
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpError::BadRequest("missing method".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing HTTP version".into()))?;
+    if parts.next().is_some() {
+        return Err(HttpError::BadRequest("malformed request line".into()));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    if !path.starts_with('/') {
+        return Err(HttpError::BadRequest(format!(
+            "bad request target {target:?}"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, &mut head_bytes, deadline)?
+            .ok_or_else(|| HttpError::BadRequest("connection closed inside headers".into()))?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut request = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+        keep_alive: version == "HTTP/1.1",
+    };
+    match request.header("connection").map(str::to_ascii_lowercase) {
+        Some(c) if c == "close" => request.keep_alive = false,
+        Some(c) if c == "keep-alive" => request.keep_alive = true,
+        _ => {}
+    }
+    if request.header("transfer-encoding").is_some() {
+        return Err(HttpError::BadRequest(
+            "transfer-encoding is not supported; send Content-Length".into(),
+        ));
+    }
+    if let Some(raw) = request.header("content-length") {
+        let declared: usize = raw
+            .parse()
+            .map_err(|_| HttpError::BadRequest(format!("bad Content-Length {raw:?}")))?;
+        if declared > max_body {
+            return Err(HttpError::PayloadTooLarge {
+                limit: max_body,
+                declared,
+            });
+        }
+        // Read the body in chunks so the deadline is enforced even
+        // against a sender trickling bytes (read_exact would reset the
+        // per-read socket timeout on every byte).
+        let mut body = vec![0u8; declared];
+        let mut filled = 0usize;
+        while filled < declared {
+            check_deadline(deadline)?;
+            let chunk = (declared - filled).min(64 * 1024);
+            reader
+                .read_exact(&mut body[filled..filled + chunk])
+                .map_err(|e| HttpError::Io(e.to_string()))?;
+            filled += chunk;
+        }
+        request.body = body;
+    }
+    Ok(request)
+}
+
+fn check_deadline(deadline: Option<std::time::Instant>) -> Result<(), HttpError> {
+    match deadline {
+        Some(d) if std::time::Instant::now() > d => {
+            Err(HttpError::Io("request deadline exceeded".into()))
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Reads and discards up to `limit` pending body bytes, so an error
+/// response written before consuming the body is not torn down by a TCP
+/// reset on close (closing with unread data in the receive queue RSTs).
+pub fn drain_body(reader: &mut impl BufRead, limit: usize) {
+    let mut remaining = limit;
+    while remaining > 0 {
+        match reader.fill_buf() {
+            Ok([]) | Err(_) => return,
+            Ok(buf) => {
+                let n = buf.len().min(remaining);
+                reader.consume(n);
+                remaining -= n;
+            }
+        }
+    }
+}
+
+/// Reads one CRLF- (or LF-) terminated line, counting bytes against
+/// [`MAX_HEAD_BYTES`]. `None` means EOF before any byte of the line.
+fn read_line(
+    reader: &mut impl BufRead,
+    head_bytes: &mut usize,
+    deadline: Option<std::time::Instant>,
+) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        check_deadline(deadline)?;
+        let buf = reader
+            .fill_buf()
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+        if buf.is_empty() {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Err(HttpError::BadRequest("truncated header line".into()));
+        }
+        let (chunk, done) = match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => (i + 1, true),
+            None => (buf.len(), false),
+        };
+        line.extend_from_slice(&buf[..chunk]);
+        reader.consume(chunk);
+        *head_bytes += chunk;
+        if *head_bytes > MAX_HEAD_BYTES {
+            return Err(HttpError::BadRequest(format!(
+                "headers exceed {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        if done {
+            while matches!(line.last(), Some(b'\n' | b'\r')) {
+                line.pop();
+            }
+            let text = String::from_utf8(line)
+                .map_err(|_| HttpError::BadRequest("non-utf8 header bytes".into()))?;
+            return Ok(Some(text));
+        }
+    }
+}
+
+/// A response ready to serialize.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (always JSON in this service).
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: String) -> Self {
+        Response { status, body }
+    }
+}
+
+/// The reason phrase for every status this service emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes a response, honoring keep-alive.
+pub fn write_response(
+    writer: &mut impl Write,
+    response: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        status_text(response.status),
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    writer.write_all(response.body.as_bytes())?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str, max_body: usize) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), max_body, None)
+    }
+
+    #[test]
+    fn parses_a_full_request() {
+        let r = parse(
+            "POST /instances HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/instances");
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(r.body, b"body");
+        assert!(r.keep_alive);
+    }
+
+    #[test]
+    fn query_strings_are_stripped_and_connection_close_honored() {
+        let r = parse(
+            "GET /metrics?verbose=1 HTTP/1.1\r\nConnection: close\r\n\r\n",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(r.path, "/metrics");
+        assert!(!r.keep_alive);
+        // HTTP/1.0 defaults to close.
+        let r = parse("GET / HTTP/1.0\r\n\r\n", 1024).unwrap();
+        assert!(!r.keep_alive);
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversize() {
+        assert!(matches!(
+            parse("nonsense\r\n\r\n", 1024),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/2\r\n\r\n", 1024),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 1024),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\n", 10),
+            Err(HttpError::PayloadTooLarge {
+                limit: 10,
+                declared: 99
+            })
+        );
+        assert_eq!(parse("", 10), Err(HttpError::Closed));
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_tolerated() {
+        let r = parse("GET /healthz HTTP/1.1\nHost: y\n\n", 1024).unwrap();
+        assert_eq!(r.path, "/healthz");
+        assert_eq!(r.header("host"), Some("y"));
+    }
+
+    #[test]
+    fn expired_deadline_aborts_the_read() {
+        let past = std::time::Instant::now() - std::time::Duration::from_secs(1);
+        let result = read_request(
+            &mut BufReader::new("GET / HTTP/1.1\r\n\r\n".as_bytes()),
+            1024,
+            Some(past),
+        );
+        assert!(matches!(result, Err(HttpError::Io(_))));
+    }
+
+    #[test]
+    fn drain_body_consumes_up_to_limit() {
+        let mut reader = BufReader::new("abcdefgh".as_bytes());
+        drain_body(&mut reader, 5);
+        let mut rest = String::new();
+        std::io::Read::read_to_string(&mut reader, &mut rest).unwrap();
+        assert_eq!(rest, "fgh");
+    }
+
+    #[test]
+    fn response_serializes_with_length() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{}".into()), false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

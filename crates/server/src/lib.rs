@@ -1,0 +1,62 @@
+//! # ukc-server — the solver as a long-running service
+//!
+//! Turns the [`ukc_core::Problem`] / [`ukc_core::SolverConfig`] solve
+//! path into an HTTP service, using only `std` (a TCP listener plus a
+//! minimal HTTP/1.1 layer in [`http`]) and [`ukc_json`] for the wire
+//! format. Four layers:
+//!
+//! 1. **protocol** — [`http`] parses requests under hard size limits;
+//!    [`error::ApiError`] maps every failure (including each
+//!    [`ukc_core::SolveError`] variant) to a status code and a stable
+//!    machine-readable `kind`.
+//! 2. **instance store** — [`store::InstanceStore`], an `RwLock`-guarded
+//!    map of uploaded instances keyed by canonical content digest
+//!    ([`ukc_core::digest_set`]), so identical uploads deduplicate.
+//! 3. **scheduler + cache** — [`scheduler::Scheduler`] coalesces
+//!    concurrent solve requests into [`ukc_core::solve_batch_threads`]
+//!    waves (identical in-flight requests collapse to one solve), and
+//!    [`cache::LruCache`] remembers solutions by `(digest, config)` so a
+//!    repeated request never re-pays the solve.
+//! 4. **ops** — `/healthz` and `/metrics` ([`metrics::Metrics`]) expose
+//!    per-route counts, cache hit rate, scheduler wave shape, and
+//!    aggregated per-stage solve timings.
+//!
+//! | Endpoint | Meaning |
+//! |---|---|
+//! | `POST /instances` | upload an instance, get its content ID |
+//! | `GET /instances` | list stored instances |
+//! | `GET /instances/{id}` | fetch one instance |
+//! | `DELETE /instances/{id}` | remove it |
+//! | `POST /instances/{id}/solve` | solve a stored instance |
+//! | `POST /solve` | one-shot solve of an inline instance |
+//! | `GET /healthz` | liveness |
+//! | `GET /metrics` | counters (JSON) |
+//!
+//! See `docs/PROTOCOL.md` for the full schemas. Embed with [`serve`]
+//! (returns a [`ServerHandle`] bound to an ephemeral port in tests), or
+//! run `ukc serve` from the CLI.
+//!
+//! ```
+//! use ukc_server::{serve, client, ServerConfig};
+//!
+//! let handle = serve(ServerConfig::default()).unwrap();
+//! let health = client::request(handle.addr(), "GET", "/healthz", None).unwrap();
+//! assert_eq!(health.status, 200);
+//! handle.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cache;
+pub mod client;
+pub mod error;
+pub mod http;
+pub mod metrics;
+pub mod scheduler;
+pub mod server;
+pub mod store;
+
+pub use error::ApiError;
+pub use server::{serve, serve_blocking, ServerConfig, ServerHandle};

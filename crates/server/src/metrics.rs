@@ -1,0 +1,266 @@
+//! The ops surface: lock-free counters behind `/metrics`.
+//!
+//! Everything is a relaxed [`AtomicU64`] — counters are monotonically
+//! increasing and read racily by `/metrics`, which is fine for
+//! monitoring. Solve instrumentation aggregates the per-solve
+//! [`Report`]s (stage timings and distance evaluations) so the dashboard
+//! shows where server time actually goes without re-profiling.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ukc_core::Report;
+use ukc_json::Json;
+
+/// Route labels, one counter slot each.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /metrics`
+    Metrics,
+    /// `POST /instances`
+    InstanceCreate,
+    /// `GET /instances`
+    InstanceList,
+    /// `GET /instances/{id}`
+    InstanceGet,
+    /// `DELETE /instances/{id}`
+    InstanceDelete,
+    /// `POST /instances/{id}/solve`
+    InstanceSolve,
+    /// `POST /solve`
+    OneShotSolve,
+    /// Anything that matched no route, or a real route with a method it
+    /// does not support.
+    Unmatched,
+}
+
+const ROUTES: [(Route, &str); 9] = [
+    (Route::Healthz, "healthz"),
+    (Route::Metrics, "metrics"),
+    (Route::InstanceCreate, "instances_create"),
+    (Route::InstanceList, "instances_list"),
+    (Route::InstanceGet, "instances_get"),
+    (Route::InstanceDelete, "instances_delete"),
+    (Route::InstanceSolve, "instances_solve"),
+    (Route::OneShotSolve, "solve"),
+    (Route::Unmatched, "unmatched"),
+];
+
+fn route_slot(route: Route) -> usize {
+    ROUTES
+        .iter()
+        .position(|(r, _)| *r == route)
+        .expect("every route has a slot")
+}
+
+/// All server counters.
+#[derive(Default)]
+pub struct Metrics {
+    requests_by_route: [AtomicU64; ROUTES.len()],
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+    /// Solve requests answered from the cache.
+    pub cache_hits: AtomicU64,
+    /// Solve requests that had to compute.
+    pub cache_misses: AtomicU64,
+    /// Scheduler waves executed.
+    pub waves: AtomicU64,
+    /// Jobs carried by those waves (jobs/waves = achieved batching).
+    pub wave_jobs: AtomicU64,
+    /// Duplicate jobs coalesced inside waves (served one solve, many replies).
+    pub coalesced_jobs: AtomicU64,
+    solves_ok: AtomicU64,
+    solves_err: AtomicU64,
+    solve_nanos: AtomicU64,
+    representatives_nanos: AtomicU64,
+    certain_solve_nanos: AtomicU64,
+    assignment_nanos: AtomicU64,
+    cost_nanos: AtomicU64,
+    lower_bound_nanos: AtomicU64,
+    distance_evals: AtomicU64,
+}
+
+fn add(counter: &AtomicU64, v: u64) {
+    counter.fetch_add(v, Ordering::Relaxed);
+}
+
+fn get(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed)
+}
+
+impl Metrics {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts a request against its route.
+    pub fn record_request(&self, route: Route) {
+        add(&self.requests_by_route[route_slot(route)], 1);
+    }
+
+    /// Counts a response by status class.
+    pub fn record_response(&self, status: u16) {
+        match status {
+            200..=299 => add(&self.responses_2xx, 1),
+            400..=499 => add(&self.responses_4xx, 1),
+            _ => add(&self.responses_5xx, 1),
+        }
+    }
+
+    /// Folds one successful solve's [`Report`] into the aggregates.
+    pub fn record_solve(&self, report: &Report) {
+        add(&self.solves_ok, 1);
+        let nanos = |d: std::time::Duration| d.as_nanos().min(u128::from(u64::MAX)) as u64;
+        add(&self.solve_nanos, nanos(report.timings.total));
+        add(
+            &self.representatives_nanos,
+            nanos(report.timings.representatives),
+        );
+        add(
+            &self.certain_solve_nanos,
+            nanos(report.timings.certain_solve),
+        );
+        add(&self.assignment_nanos, nanos(report.timings.assignment));
+        add(&self.cost_nanos, nanos(report.timings.cost));
+        add(&self.lower_bound_nanos, nanos(report.timings.lower_bound));
+        add(&self.distance_evals, report.distance_evals.total());
+    }
+
+    /// Counts a solve that returned a typed error.
+    pub fn record_solve_error(&self) {
+        add(&self.solves_err, 1);
+    }
+
+    /// Cache hits so far (also readable in the `/metrics` document).
+    pub fn cache_hit_count(&self) -> u64 {
+        get(&self.cache_hits)
+    }
+
+    /// The `/metrics` document body (cache size/capacity and instance
+    /// count are owned elsewhere and passed in).
+    pub fn to_json(&self, cache_len: usize, cache_cap: usize, instances: usize) -> Json {
+        let secs = |c: &AtomicU64| Json::from(get(c) as f64 / 1e9);
+        let hits = get(&self.cache_hits);
+        let misses = get(&self.cache_misses);
+        let lookups = hits + misses;
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        };
+        Json::obj([
+            (
+                "requests",
+                Json::obj(ROUTES.iter().enumerate().map(|(i, (_, name))| {
+                    (*name, Json::from(get(&self.requests_by_route[i]) as f64))
+                })),
+            ),
+            (
+                "responses",
+                Json::obj([
+                    ("2xx", Json::from(get(&self.responses_2xx) as f64)),
+                    ("4xx", Json::from(get(&self.responses_4xx) as f64)),
+                    ("5xx", Json::from(get(&self.responses_5xx) as f64)),
+                ]),
+            ),
+            (
+                "cache",
+                Json::obj([
+                    ("hits", Json::from(hits as f64)),
+                    ("misses", Json::from(misses as f64)),
+                    ("hit_rate", Json::from(hit_rate)),
+                    ("size", Json::from(cache_len)),
+                    ("capacity", Json::from(cache_cap)),
+                ]),
+            ),
+            (
+                "scheduler",
+                Json::obj([
+                    ("waves", Json::from(get(&self.waves) as f64)),
+                    ("wave_jobs", Json::from(get(&self.wave_jobs) as f64)),
+                    (
+                        "coalesced_jobs",
+                        Json::from(get(&self.coalesced_jobs) as f64),
+                    ),
+                ]),
+            ),
+            (
+                "solves",
+                Json::obj([
+                    ("ok", Json::from(get(&self.solves_ok) as f64)),
+                    ("errors", Json::from(get(&self.solves_err) as f64)),
+                    (
+                        "distance_evals",
+                        Json::from(get(&self.distance_evals) as f64),
+                    ),
+                    (
+                        "seconds",
+                        Json::obj([
+                            ("total", secs(&self.solve_nanos)),
+                            ("representatives", secs(&self.representatives_nanos)),
+                            ("certain_solve", secs(&self.certain_solve_nanos)),
+                            ("assignment", secs(&self.assignment_nanos)),
+                            ("cost", secs(&self.cost_nanos)),
+                            ("lower_bound", secs(&self.lower_bound_nanos)),
+                        ]),
+                    ),
+                ]),
+            ),
+            ("instances", Json::from(instances)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_roll_up_into_the_document() {
+        let m = Metrics::new();
+        m.record_request(Route::Healthz);
+        m.record_request(Route::InstanceSolve);
+        m.record_request(Route::InstanceSolve);
+        m.record_response(200);
+        m.record_response(404);
+        add(&m.cache_hits, 3);
+        add(&m.cache_misses, 1);
+        let doc = m.to_json(2, 64, 5);
+        let req = doc.get("requests").unwrap();
+        assert_eq!(req.get("healthz").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(req.get("instances_solve").and_then(Json::as_f64), Some(2.0));
+        let cache = doc.get("cache").unwrap();
+        assert_eq!(cache.get("hits").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(cache.get("hit_rate").and_then(Json::as_f64), Some(0.75));
+        assert_eq!(cache.get("capacity").and_then(Json::as_f64), Some(64.0));
+        assert_eq!(doc.get("instances").and_then(Json::as_f64), Some(5.0));
+    }
+
+    #[test]
+    fn solve_reports_aggregate() {
+        let m = Metrics::new();
+        let mut report = Report::default();
+        report.timings.total = std::time::Duration::from_millis(3);
+        report.distance_evals.cost = 40;
+        m.record_solve(&report);
+        m.record_solve(&report);
+        m.record_solve_error();
+        let doc = m.to_json(0, 0, 0);
+        let solves = doc.get("solves").unwrap();
+        assert_eq!(solves.get("ok").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(solves.get("errors").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(
+            solves.get("distance_evals").and_then(Json::as_f64),
+            Some(80.0)
+        );
+        let total = solves
+            .get("seconds")
+            .and_then(|s| s.get("total"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((total - 0.006).abs() < 1e-9);
+    }
+}

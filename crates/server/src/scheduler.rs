@@ -1,0 +1,262 @@
+//! The solve scheduler: coalesces concurrent requests into batch waves.
+//!
+//! Connection threads do no solving. They submit a [`Job`] over an
+//! `mpsc` channel and block on a reply channel; a single long-lived
+//! dispatcher thread drains the queue into a **wave** (everything
+//! currently pending, up to [`MAX_WAVE`]), groups the wave by
+//! [`SolverConfig`], deduplicates identical `(digest, config)` jobs, and
+//! runs each group through [`ukc_core::solve_batch_threads`] over the
+//! configured worker count. Duplicates get clones of the one computed
+//! solution — N identical concurrent requests cost one solve.
+//!
+//! Determinism is load-bearing: `solve_batch_threads` is bit-identical
+//! to the sequential loop, so batching, coalescing, and thread
+//! scheduling can never leak into a response — a client observes exactly
+//! what `Problem::solve` would have returned.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::metrics::Metrics;
+use ukc_core::{solve_batch_threads, Problem, Solution, SolveError, SolverConfig};
+use ukc_metric::Point;
+
+/// Hard ceiling on jobs per wave (backpressure: later jobs wait for the
+/// next wave, they are never dropped).
+pub const MAX_WAVE: usize = 256;
+
+/// One queued solve request.
+struct Job {
+    problem: Problem<Point>,
+    config: SolverConfig,
+    digest: u64,
+    reply: mpsc::Sender<Result<Solution<Point>, SolveError>>,
+}
+
+/// The scheduler handle shared by all connection threads.
+pub struct Scheduler {
+    tx: Mutex<Option<mpsc::Sender<Job>>>,
+    dispatcher: Mutex<Option<JoinHandle<()>>>,
+    workers: usize,
+}
+
+impl Scheduler {
+    /// Starts the dispatcher. `workers` is the thread count handed to
+    /// [`solve_batch_threads`] per wave (0 and 1 both mean sequential).
+    pub fn new(workers: usize, metrics: Arc<Metrics>) -> Self {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let dispatcher = std::thread::Builder::new()
+            .name("ukc-dispatch".into())
+            .spawn(move || dispatch_loop(rx, workers, metrics))
+            .expect("spawning the dispatcher thread");
+        Scheduler {
+            tx: Mutex::new(Some(tx)),
+            dispatcher: Mutex::new(Some(dispatcher)),
+            workers,
+        }
+    }
+
+    /// The per-wave worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Submits one solve and blocks for its result. The outer `Err(())`
+    /// means the scheduler has shut down (the caller should answer 503);
+    /// the inner result is the solve's own outcome.
+    #[allow(clippy::result_unit_err)]
+    pub fn solve(
+        &self,
+        problem: Problem<Point>,
+        config: SolverConfig,
+        digest: u64,
+    ) -> Result<Result<Solution<Point>, SolveError>, ()> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        {
+            let guard = self.tx.lock().expect("scheduler submit lock poisoned");
+            let tx = guard.as_ref().ok_or(())?;
+            tx.send(Job {
+                problem,
+                config,
+                digest,
+                reply: reply_tx,
+            })
+            .map_err(|_| ())?;
+        }
+        reply_rx.recv().map_err(|_| ())
+    }
+
+    /// Stops accepting work and joins the dispatcher after it drains the
+    /// queue. Idempotent.
+    pub fn shutdown(&self) {
+        drop(
+            self.tx
+                .lock()
+                .expect("scheduler submit lock poisoned")
+                .take(),
+        );
+        if let Some(handle) = self
+            .dispatcher
+            .lock()
+            .expect("scheduler join lock poisoned")
+            .take()
+        {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn dispatch_loop(rx: mpsc::Receiver<Job>, workers: usize, metrics: Arc<Metrics>) {
+    loop {
+        // Block for the first job; every sender gone means shutdown.
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => return,
+        };
+        let mut jobs = vec![first];
+        while jobs.len() < MAX_WAVE {
+            match rx.try_recv() {
+                Ok(job) => jobs.push(job),
+                Err(_) => break,
+            }
+        }
+        run_wave(jobs, workers, &metrics);
+    }
+}
+
+/// Executes one wave: group by config, dedupe by digest, batch-solve,
+/// fan results back out.
+fn run_wave(jobs: Vec<Job>, workers: usize, metrics: &Metrics) {
+    metrics
+        .waves
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    metrics
+        .wave_jobs
+        .fetch_add(jobs.len() as u64, std::sync::atomic::Ordering::Relaxed);
+
+    // Group job indices by configuration (configs are small and few per
+    // wave; linear scan keeps SolverConfig free of Hash requirements).
+    let mut groups: Vec<(SolverConfig, Vec<usize>)> = Vec::new();
+    for (i, job) in jobs.iter().enumerate() {
+        match groups.iter_mut().find(|(cfg, _)| *cfg == job.config) {
+            Some((_, idxs)) => idxs.push(i),
+            None => groups.push((job.config.clone(), vec![i])),
+        }
+    }
+
+    let mut coalesced = 0u64;
+    for (config, idxs) in groups {
+        // Deduplicate identical problems inside the group: the digest is
+        // canonical content identity, so equal digests get one solve.
+        let mut unique: Vec<(u64, usize)> = Vec::new(); // (digest, representative job)
+        let mut job_to_unique: Vec<usize> = Vec::with_capacity(idxs.len());
+        for &i in &idxs {
+            match unique.iter().position(|&(d, _)| d == jobs[i].digest) {
+                Some(u) => {
+                    coalesced += 1;
+                    job_to_unique.push(u);
+                }
+                None => {
+                    unique.push((jobs[i].digest, i));
+                    job_to_unique.push(unique.len() - 1);
+                }
+            }
+        }
+        let problems: Vec<Problem<Point>> = unique
+            .iter()
+            .map(|&(_, i)| jobs[i].problem.clone())
+            .collect();
+        let results = solve_batch_threads(&problems, &config, workers);
+        for result in &results {
+            match result {
+                Ok(solution) => metrics.record_solve(&solution.report),
+                Err(_) => metrics.record_solve_error(),
+            }
+        }
+        for (&i, &u) in idxs.iter().zip(&job_to_unique) {
+            // A dead reply channel just means the client hung up.
+            let _ = jobs[i].reply.send(results[u].clone());
+        }
+    }
+    metrics
+        .coalesced_jobs
+        .fetch_add(coalesced, std::sync::atomic::Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ukc_uncertain::generators::{clustered, ProbModel};
+
+    fn problem(seed: u64) -> Problem<Point> {
+        let set = clustered(seed, 12, 3, 2, 2, 4.0, 1.0, ProbModel::Random);
+        Problem::euclidean(set, 2).unwrap()
+    }
+
+    #[test]
+    fn results_match_direct_solves_bit_for_bit() {
+        let metrics = Arc::new(Metrics::new());
+        let scheduler = Arc::new(Scheduler::new(2, Arc::clone(&metrics)));
+        let config = SolverConfig::default();
+        let mut handles = Vec::new();
+        for seed in 0..8u64 {
+            let scheduler = Arc::clone(&scheduler);
+            let config = config.clone();
+            handles.push(std::thread::spawn(move || {
+                let p = problem(seed);
+                let digest = p.instance_digest();
+                (seed, scheduler.solve(p, config, digest).unwrap().unwrap())
+            }));
+        }
+        for handle in handles {
+            let (seed, served) = handle.join().unwrap();
+            let direct = problem(seed).solve(&config).unwrap();
+            assert_eq!(served.ecost.to_bits(), direct.ecost.to_bits());
+            assert_eq!(served.assignment, direct.assignment);
+            assert_eq!(served.centers.len(), direct.centers.len());
+            for (a, b) in served.centers.iter().zip(&direct.centers) {
+                assert_eq!(a.coords(), b.coords());
+            }
+        }
+    }
+
+    #[test]
+    fn typed_errors_come_back_through_the_queue() {
+        let metrics = Arc::new(Metrics::new());
+        let scheduler = Scheduler::new(1, metrics);
+        let p = problem(3);
+        let digest = p.instance_digest();
+        // EP rule is undefined on discrete problems; build one.
+        let set = clustered(3, 6, 2, 2, 2, 4.0, 1.0, ProbModel::Random);
+        let pool = set.location_pool();
+        let discrete = Problem::in_metric(set, 2, ukc_metric::Euclidean, pool).unwrap();
+        let d2 = discrete.instance_digest();
+        let err = scheduler
+            .solve(discrete, SolverConfig::default(), d2)
+            .unwrap()
+            .unwrap_err();
+        assert!(matches!(err, SolveError::RuleUnsupported { .. }));
+        // The scheduler is still alive afterwards.
+        assert!(scheduler
+            .solve(p, SolverConfig::default(), digest)
+            .unwrap()
+            .is_ok());
+    }
+
+    #[test]
+    fn shutdown_refuses_new_work() {
+        let scheduler = Scheduler::new(1, Arc::new(Metrics::new()));
+        scheduler.shutdown();
+        let p = problem(1);
+        let digest = p.instance_digest();
+        assert!(scheduler.solve(p, SolverConfig::default(), digest).is_err());
+        scheduler.shutdown(); // idempotent
+    }
+}

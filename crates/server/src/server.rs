@@ -1,0 +1,446 @@
+//! The service itself: shared state, routing, handlers, and the TCP
+//! accept loop.
+//!
+//! One thread per connection (connections are cheap; solves are the
+//! expensive part and those are centralized in the
+//! [`crate::scheduler::Scheduler`], so a thousand idle keep-alive
+//! connections cannot oversubscribe the CPU). [`serve`] returns a
+//! [`ServerHandle`] for embedding (tests, benches, examples);
+//! [`serve_blocking`] runs the accept loop on the caller's thread for
+//! the CLI.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::api::{self, SolveRequest};
+use crate::cache::{LruCache, SolveKey};
+use crate::error::ApiError;
+use crate::http::{read_request, write_response, HttpError, Request, Response};
+use crate::metrics::{Metrics, Route};
+use crate::scheduler::Scheduler;
+use crate::store::InstanceStore;
+use ukc_core::{digest_hex, Problem, Solution};
+use ukc_json::format::{solution_document, JsonInstance};
+use ukc_json::Json;
+use ukc_metric::Point;
+use ukc_uncertain::UncertainSet;
+
+/// Tunables for one server.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads per solve wave (0 means one per available CPU).
+    pub workers: usize,
+    /// Solution-cache capacity in entries (0 disables the cache).
+    pub cache_cap: usize,
+    /// Maximum accepted request-body size in bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            cache_cap: 256,
+            max_body_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// Everything the handlers share.
+pub(crate) struct AppState {
+    store: InstanceStore,
+    cache: Mutex<LruCache<SolveKey, Arc<Solution<Point>>>>,
+    cache_cap: usize,
+    scheduler: Scheduler,
+    metrics: Arc<Metrics>,
+    max_body_bytes: usize,
+    started: Instant,
+}
+
+impl AppState {
+    fn new(config: &ServerConfig) -> Self {
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            config.workers
+        };
+        let metrics = Arc::new(Metrics::new());
+        AppState {
+            store: InstanceStore::new(),
+            cache: Mutex::new(LruCache::new(config.cache_cap)),
+            cache_cap: config.cache_cap,
+            scheduler: Scheduler::new(workers, Arc::clone(&metrics)),
+            metrics,
+            max_body_bytes: config.max_body_bytes,
+            started: Instant::now(),
+        }
+    }
+}
+
+/// A running server, embeddable in tests/benches/examples.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections, drains the scheduler, and joins the
+    /// accept thread. In-flight connection threads finish their current
+    /// response on their own.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        self.state.scheduler.shutdown();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Binds and serves in background threads, returning a handle.
+pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(AppState::new(&config));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let accept = {
+        let state = Arc::clone(&state);
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::Builder::new()
+            .name("ukc-accept".into())
+            .spawn(move || accept_loop(listener, state, shutdown))?
+    };
+    Ok(ServerHandle {
+        addr,
+        state,
+        shutdown,
+        accept: Some(accept),
+    })
+}
+
+/// Binds and serves on the calling thread until the process dies (the
+/// CLI's `ukc serve`). Prints the bound address on stderr so scripts can
+/// scrape it when binding port 0.
+pub fn serve_blocking(config: ServerConfig) -> std::io::Result<()> {
+    let listener = TcpListener::bind(&config.addr)?;
+    eprintln!("ukc-server listening on {}", listener.local_addr()?);
+    let state = Arc::new(AppState::new(&config));
+    accept_loop(listener, state, Arc::new(AtomicBool::new(false)));
+    Ok(())
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<AppState>, shutdown: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let state = Arc::clone(&state);
+        let _ = std::thread::Builder::new()
+            .name("ukc-conn".into())
+            .spawn(move || handle_connection(stream, &state));
+    }
+}
+
+/// Per-read socket timeout: how long a single `read` may block before
+/// the thread checks the request deadline.
+const READ_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(60);
+
+/// Wall-clock budget for reading one complete request (headers + body).
+/// This, not [`READ_TIMEOUT`], is what bounds a slowloris client
+/// trickling one byte per timeout window: the deadline is checked
+/// between reads inside [`read_request`], so a connection thread is
+/// reclaimed at most one `READ_TIMEOUT` past it.
+const REQUEST_DEADLINE: std::time::Duration = std::time::Duration::from_secs(120);
+
+/// How many pending body bytes to drain before closing on an error, so
+/// the error response is not torn down by a TCP reset (closing with
+/// unread data in the receive queue RSTs, and the client would see
+/// "connection reset" instead of the typed 413/400 payload).
+const ERROR_DRAIN_LIMIT: usize = 64 * 1024 * 1024;
+
+fn handle_connection(stream: TcpStream, state: &AppState) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let mut reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(_) => return,
+    };
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let deadline = Instant::now() + REQUEST_DEADLINE;
+        match read_request(&mut reader, state.max_body_bytes, Some(deadline)) {
+            Err(HttpError::Closed) => return,
+            // Timeout, deadline, or socket failure: the peer is stalled
+            // or gone, so there is no point writing a response — just
+            // reclaim the thread.
+            Err(HttpError::Io(_)) => return,
+            Err(e) => {
+                // Without a fully-read request the stream cannot be
+                // resynced; answer and close — but drain what the client
+                // already sent first, or the close may RST the response
+                // away before the client reads it.
+                let api: ApiError = e.into();
+                state.metrics.record_response(api.status);
+                let response = Response::json(api.status, api.to_json().pretty());
+                if write_response(&mut writer, &response, false).is_ok() {
+                    crate::http::drain_body(&mut reader, ERROR_DRAIN_LIMIT);
+                }
+                return;
+            }
+            Ok(request) => {
+                let keep_alive = request.keep_alive;
+                let response = dispatch(state, &request);
+                state.metrics.record_response(response.status);
+                if write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Routes one request and renders its response.
+///
+/// Wrong-method requests (405) count under the `unmatched` metrics
+/// label, not the sibling route's, so per-route counters only reflect
+/// requests that actually reached their handler.
+pub(crate) fn dispatch(state: &AppState, request: &Request) -> Response {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    let method = request.method.as_str();
+    let (route, outcome) = match segments.as_slice() {
+        ["healthz"] => match method {
+            "GET" => (Route::Healthz, handle_healthz(state)),
+            _ => (Route::Unmatched, Err(method_err(request))),
+        },
+        ["metrics"] => match method {
+            "GET" => (Route::Metrics, handle_metrics(state)),
+            _ => (Route::Unmatched, Err(method_err(request))),
+        },
+        ["instances"] => match method {
+            "POST" => (
+                Route::InstanceCreate,
+                handle_instance_create(state, request),
+            ),
+            "GET" => (Route::InstanceList, handle_instance_list(state)),
+            _ => (Route::Unmatched, Err(method_err(request))),
+        },
+        ["instances", id] => match method {
+            "GET" => (Route::InstanceGet, handle_instance_get(state, id)),
+            "DELETE" => (Route::InstanceDelete, handle_instance_delete(state, id)),
+            _ => (Route::Unmatched, Err(method_err(request))),
+        },
+        ["instances", id, "solve"] => match method {
+            "POST" => (
+                Route::InstanceSolve,
+                handle_instance_solve(state, id, request),
+            ),
+            _ => (Route::Unmatched, Err(method_err(request))),
+        },
+        ["solve"] => match method {
+            "POST" => (Route::OneShotSolve, handle_oneshot_solve(state, request)),
+            _ => (Route::Unmatched, Err(method_err(request))),
+        },
+        _ => (
+            Route::Unmatched,
+            Err(ApiError::route_not_found(&request.path)),
+        ),
+    };
+    state.metrics.record_request(route);
+    match outcome {
+        Ok((status, body)) => Response::json(status, body.pretty()),
+        Err(e) => Response::json(e.status, e.to_json().pretty()),
+    }
+}
+
+fn method_err(request: &Request) -> ApiError {
+    ApiError::method_not_allowed(&request.method, &request.path)
+}
+
+type Handled = Result<(u16, Json), ApiError>;
+
+fn handle_healthz(state: &AppState) -> Handled {
+    Ok((
+        200,
+        Json::obj([
+            ("status", Json::from("ok")),
+            (
+                "uptime_seconds",
+                Json::from(state.started.elapsed().as_secs_f64()),
+            ),
+            ("workers", Json::from(state.scheduler.workers())),
+        ]),
+    ))
+}
+
+fn handle_metrics(state: &AppState) -> Handled {
+    let cache_len = state.cache.lock().expect("cache lock poisoned").len();
+    Ok((
+        200,
+        state
+            .metrics
+            .to_json(cache_len, state.cache_cap, state.store.len()),
+    ))
+}
+
+fn handle_instance_create(state: &AppState, request: &Request) -> Handled {
+    let doc = api::parse_body(&request.body)?;
+    let instance = JsonInstance::from_json(&doc).map_err(ApiError::from)?;
+    let set = instance.to_set().map_err(ApiError::from)?;
+    let (stored, created) = state.store.insert(set);
+    let mut body = stored.summary();
+    if let Json::Obj(pairs) = &mut body {
+        pairs.push(("created".into(), Json::from(created)));
+    }
+    Ok((if created { 201 } else { 200 }, body))
+}
+
+fn handle_instance_list(state: &AppState) -> Handled {
+    Ok((
+        200,
+        Json::obj([(
+            "instances",
+            Json::arr(state.store.list().iter().map(|i| i.summary())),
+        )]),
+    ))
+}
+
+fn handle_instance_get(state: &AppState, id: &str) -> Handled {
+    let stored = state
+        .store
+        .get(id)
+        .ok_or_else(|| ApiError::instance_not_found(id))?;
+    let mut body = stored.summary();
+    if let Json::Obj(pairs) = &mut body {
+        pairs.push((
+            "instance".into(),
+            JsonInstance::from_set(&stored.set).to_json(),
+        ));
+    }
+    Ok((200, body))
+}
+
+fn handle_instance_delete(state: &AppState, id: &str) -> Handled {
+    if state.store.remove(id) {
+        Ok((
+            200,
+            Json::obj([("id", Json::from(id)), ("deleted", Json::from(true))]),
+        ))
+    } else {
+        Err(ApiError::instance_not_found(id))
+    }
+}
+
+fn handle_instance_solve(state: &AppState, id: &str, request: &Request) -> Handled {
+    let doc = api::parse_body(&request.body)?;
+    let solve = api::parse_solve_request(&doc, false)?;
+    let stored = state
+        .store
+        .get(id)
+        .ok_or_else(|| ApiError::instance_not_found(id))?;
+    // The set digest was computed at upload time; cloning the (possibly
+    // large) set is deferred to the cache-miss path.
+    run_solve(state, stored.digest, || (*stored.set).clone(), &solve)
+}
+
+fn handle_oneshot_solve(state: &AppState, request: &Request) -> Handled {
+    let doc = api::parse_body(&request.body)?;
+    let (instance, solve) = api::parse_oneshot(&doc)?;
+    let set = instance.to_set().map_err(ApiError::from)?;
+    let digest = ukc_core::digest_set(&set);
+    run_solve(state, digest, move || set, &solve)
+}
+
+/// The shared solve path: cache lookup by `(digest, config)`, then — on
+/// a miss only — problem construction, scheduler submission, and cache
+/// fill. `set_digest` is the instance's content digest (the store ID);
+/// the cache key extends it with `k` and the space so different requests
+/// against one instance cannot collide.
+fn run_solve(
+    state: &AppState,
+    set_digest: u64,
+    make_set: impl FnOnce() -> UncertainSet<Point>,
+    solve: &SolveRequest,
+) -> Handled {
+    let problem_digest = ukc_core::digest_problem("euclidean", solve.k, set_digest, None);
+    let key = SolveKey::new(problem_digest, &solve.config);
+
+    if solve.use_cache {
+        let cached = state
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .get(&key)
+            .cloned();
+        if let Some(solution) = cached {
+            state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((200, solve_response(&solution, set_digest, true)));
+        }
+    }
+
+    let problem = Problem::euclidean(make_set(), solve.k).map_err(|e| {
+        state.metrics.record_solve_error();
+        ApiError::from(e)
+    })?;
+    let solution = state
+        .scheduler
+        .solve(problem, solve.config.clone(), problem_digest)
+        .map_err(|()| ApiError::unavailable())?
+        .map_err(ApiError::from)?;
+    let solution = Arc::new(solution);
+    if solve.use_cache {
+        // A miss is only recorded once a cacheable solve actually
+        // completed, so hits + misses counts cache *lookup outcomes*
+        // for real solutions and failed requests cannot skew hit_rate.
+        state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+        state
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .insert(key, Arc::clone(&solution));
+    }
+    Ok((200, solve_response(&solution, set_digest, false)))
+}
+
+/// The solve response: the shared solution document plus serving
+/// metadata (`instance_digest` — the same content digest `POST
+/// /instances` returns as the ID — and `cached`).
+fn solve_response(solution: &Solution<Point>, set_digest: u64, cached: bool) -> Json {
+    let mut doc = solution_document(solution);
+    if let Json::Obj(pairs) = &mut doc {
+        pairs.push(("instance_digest".into(), Json::from(digest_hex(set_digest))));
+        pairs.push(("cached".into(), Json::from(cached)));
+    }
+    doc
+}

@@ -1,0 +1,56 @@
+//! Serving the solver over HTTP, in-process.
+//!
+//! Starts a `ukc-server` on an ephemeral loopback port, uploads an
+//! instance, solves it twice (the second response comes from the
+//! solution cache), and reads the ops counters back from `/metrics` —
+//! the embedded-server workflow the integration tests and benches use.
+//!
+//! Run with: `cargo run --release --example solver_service`
+
+use ukc_json::format::JsonInstance;
+use ukc_json::Json;
+use ukc_server::client::ClientConn;
+use ukc_server::{serve, ServerConfig};
+use ukc_uncertain::generators::{clustered, ProbModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let handle = serve(ServerConfig::default())?;
+    println!("serving on {}", handle.addr());
+    let mut conn = ClientConn::connect(handle.addr())?;
+
+    // Upload: the ID is a canonical content digest, so re-uploading the
+    // same instance (in any point order) dedupes onto the same entry.
+    let set = clustered(7, 40, 4, 2, 3, 5.0, 1.0, ProbModel::Random);
+    let body = JsonInstance::from_set(&set).to_json().compact();
+    let upload = conn.request("POST", "/instances", Some(&body))?;
+    let doc = Json::parse(&upload.body)?;
+    let id = doc.get("id").and_then(Json::as_str).unwrap().to_string();
+    println!("uploaded instance {id} (status {})", upload.status);
+
+    // Solve twice with the same (instance, config): the first pays the
+    // solve, the second is served from the (digest, config) cache.
+    let solve_body = r#"{"k": 3, "rule": "ep", "solver": "gonzalez"}"#;
+    for attempt in 1..=2 {
+        let response = conn.request("POST", &format!("/instances/{id}/solve"), Some(solve_body))?;
+        let doc = Json::parse(&response.body)?;
+        println!(
+            "solve #{attempt}: ecost {:.4}, cached: {}",
+            doc.get("ecost").and_then(Json::as_f64).unwrap(),
+            doc.get("cached").and_then(Json::as_bool).unwrap(),
+        );
+    }
+
+    // The ops surface shows exactly what happened.
+    let metrics = conn.request("GET", "/metrics", None)?;
+    let doc = Json::parse(&metrics.body)?;
+    let cache = doc.get("cache").unwrap();
+    println!(
+        "cache: {} hit(s), {} miss(es), hit rate {:.2}",
+        cache.get("hits").and_then(Json::as_f64).unwrap(),
+        cache.get("misses").and_then(Json::as_f64).unwrap(),
+        cache.get("hit_rate").and_then(Json::as_f64).unwrap(),
+    );
+
+    handle.shutdown();
+    Ok(())
+}

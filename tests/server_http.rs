@@ -1,0 +1,415 @@
+//! Integration coverage for the `ukc-server` HTTP protocol.
+//!
+//! Binds a real server on an ephemeral loopback port and exercises every
+//! endpoint over actual TCP: the happy paths, malformed JSON, unknown
+//! instance IDs, oversized bodies, typed error payloads, the solution
+//! cache (asserted via the `/metrics` hit counter), and bit-identity of
+//! concurrently served solves against direct `Problem::solve` calls.
+
+use std::net::SocketAddr;
+
+use ukc_core::{Problem, SolverConfig};
+use ukc_json::format::JsonInstance;
+use ukc_json::Json;
+use ukc_metric::Point;
+use ukc_server::client::{self, HttpResponse};
+use ukc_server::{serve, ServerConfig};
+use ukc_uncertain::generators::{clustered, ProbModel};
+use ukc_uncertain::UncertainSet;
+
+fn start(config: ServerConfig) -> (ukc_server::ServerHandle, SocketAddr) {
+    let handle = serve(config).expect("bind ephemeral port");
+    let addr = handle.addr();
+    (handle, addr)
+}
+
+fn small_set(seed: u64) -> UncertainSet<Point> {
+    clustered(seed, 14, 3, 2, 2, 5.0, 1.0, ProbModel::Random)
+}
+
+fn instance_body(seed: u64) -> String {
+    JsonInstance::from_set(&small_set(seed)).to_json().compact()
+}
+
+fn get(addr: SocketAddr, path: &str) -> HttpResponse {
+    client::request(addr, "GET", path, None).expect("request")
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> HttpResponse {
+    client::request(addr, "POST", path, Some(body)).expect("request")
+}
+
+fn parse(response: &HttpResponse) -> Json {
+    Json::parse(&response.body).unwrap_or_else(|e| panic!("non-JSON body ({e}): {}", response.body))
+}
+
+/// The typed error payload: `{"error": {"status", "kind", "message"}}`.
+fn error_kind(response: &HttpResponse) -> (f64, String) {
+    let doc = parse(response);
+    let err = doc.get("error").expect("error object");
+    (
+        err.get("status").and_then(Json::as_f64).expect("status"),
+        err.get("kind")
+            .and_then(Json::as_str)
+            .expect("kind")
+            .to_string(),
+    )
+}
+
+fn metric(addr: SocketAddr, path: &[&str]) -> f64 {
+    let doc = parse(&get(addr, "/metrics"));
+    let mut node = &doc;
+    for key in path {
+        node = node.get(key).unwrap_or_else(|| panic!("missing {key}"));
+    }
+    node.as_f64().expect("numeric metric")
+}
+
+#[test]
+fn healthz_and_metrics_respond() {
+    let (handle, addr) = start(ServerConfig::default());
+    let health = get(addr, "/healthz");
+    assert_eq!(health.status, 200);
+    let doc = parse(&health);
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+    assert!(doc.get("uptime_seconds").and_then(Json::as_f64).is_some());
+
+    let metrics = get(addr, "/metrics");
+    assert_eq!(metrics.status, 200);
+    let doc = parse(&metrics);
+    for section in ["requests", "responses", "cache", "scheduler", "solves"] {
+        assert!(doc.get(section).is_some(), "missing {section}");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn instance_lifecycle_upload_dedupe_get_list_delete() {
+    let (handle, addr) = start(ServerConfig::default());
+
+    // Upload creates.
+    let created = post(addr, "/instances", &instance_body(1));
+    assert_eq!(created.status, 201);
+    let doc = parse(&created);
+    let id = doc
+        .get("id")
+        .and_then(Json::as_str)
+        .expect("id")
+        .to_string();
+    assert_eq!(doc.get("created").and_then(Json::as_bool), Some(true));
+    assert_eq!(doc.get("n").and_then(Json::as_usize), Some(14));
+
+    // An identical upload (here: points in reverse order) dedupes to the
+    // same content ID with 200, not 201.
+    let mut points = small_set(1).points().to_vec();
+    points.reverse();
+    let permuted = JsonInstance::from_set(&UncertainSet::new(points))
+        .to_json()
+        .compact();
+    let deduped = post(addr, "/instances", &permuted);
+    assert_eq!(deduped.status, 200);
+    let doc = parse(&deduped);
+    assert_eq!(doc.get("id").and_then(Json::as_str), Some(id.as_str()));
+    assert_eq!(doc.get("created").and_then(Json::as_bool), Some(false));
+
+    // A different instance gets a different ID.
+    let other = post(addr, "/instances", &instance_body(2));
+    assert_eq!(other.status, 201);
+    let other_id = parse(&other)
+        .get("id")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    assert_ne!(other_id, id);
+
+    // List shows both, sorted by ID.
+    let list = parse(&get(addr, "/instances"));
+    let items = list.get("instances").and_then(Json::as_array).unwrap();
+    assert_eq!(items.len(), 2);
+    let ids: Vec<&str> = items
+        .iter()
+        .map(|i| i.get("id").and_then(Json::as_str).unwrap())
+        .collect();
+    let mut sorted = ids.clone();
+    sorted.sort();
+    assert_eq!(ids, sorted);
+
+    // Get returns the full instance document, which round-trips.
+    let fetched = get(addr, &format!("/instances/{id}"));
+    assert_eq!(fetched.status, 200);
+    let doc = parse(&fetched);
+    let instance = doc.get("instance").expect("instance document");
+    let roundtrip = JsonInstance::from_json(instance).unwrap().to_set().unwrap();
+    assert_eq!(roundtrip.n(), 14);
+
+    // Delete removes exactly once.
+    let deleted = client::request(addr, "DELETE", &format!("/instances/{id}"), None).unwrap();
+    assert_eq!(deleted.status, 200);
+    assert_eq!(
+        parse(&deleted).get("deleted").and_then(Json::as_bool),
+        Some(true)
+    );
+    let again = client::request(addr, "DELETE", &format!("/instances/{id}"), None).unwrap();
+    assert_eq!(again.status, 404);
+    assert_eq!(get(addr, &format!("/instances/{id}")).status, 404);
+
+    handle.shutdown();
+}
+
+#[test]
+fn typed_errors_cover_the_failure_matrix() {
+    let (handle, addr) = start(ServerConfig {
+        max_body_bytes: 4096,
+        ..ServerConfig::default()
+    });
+
+    // Malformed JSON → 400 bad_json.
+    let r = post(addr, "/instances", "{not json");
+    assert_eq!(error_kind(&r), (400.0, "bad_json".into()));
+
+    // Schema violation → 400 bad_schema.
+    let r = post(addr, "/instances", r#"{"points": []}"#);
+    assert_eq!(error_kind(&r), (400.0, "bad_schema".into()));
+
+    // Valid JSON, invalid instance → 422 bad_instance.
+    let r = post(
+        addr,
+        "/instances",
+        r#"{"dim": 2, "points": [{"locations": [[1]], "probs": [1]}]}"#,
+    );
+    assert_eq!(error_kind(&r), (422.0, "bad_instance".into()));
+
+    // Unknown instance ID → 404 instance_not_found, on get and solve.
+    let r = get(addr, "/instances/ffffffffffffffff");
+    assert_eq!(error_kind(&r), (404.0, "instance_not_found".into()));
+    let r = post(addr, "/instances/ffffffffffffffff/solve", r#"{"k": 2}"#);
+    assert_eq!(error_kind(&r), (404.0, "instance_not_found".into()));
+
+    // Unknown route → 404 route_not_found; wrong method → 405.
+    let r = get(addr, "/nope");
+    assert_eq!(error_kind(&r), (404.0, "route_not_found".into()));
+    let r = post(addr, "/healthz", "{}");
+    assert_eq!(error_kind(&r), (405.0, "method_not_allowed".into()));
+
+    // Oversized body → 413 payload_too_large.
+    let huge = format!(r#"{{"dim": 2, "points": [{}]}}"#, "x".repeat(8192));
+    let r = post(addr, "/instances", &huge);
+    assert_eq!(error_kind(&r), (413.0, "payload_too_large".into()));
+
+    // SolveError variants surface with their own kinds.
+    let upload = parse(&post(addr, "/instances", &instance_body(3)));
+    let id = upload.get("id").and_then(Json::as_str).unwrap();
+    let r = post(addr, &format!("/instances/{id}/solve"), r#"{"k": 0}"#);
+    assert_eq!(error_kind(&r), (422.0, "zero_k".into()));
+    let r = post(addr, &format!("/instances/{id}/solve"), r#"{"k": 500}"#);
+    assert_eq!(error_kind(&r), (422.0, "k_exceeds_n".into()));
+    let r = post(
+        addr,
+        &format!("/instances/{id}/solve"),
+        r#"{"k": 2, "eps": -0.5}"#,
+    );
+    assert_eq!(error_kind(&r), (422.0, "bad_epsilon".into()));
+    let r = post(
+        addr,
+        &format!("/instances/{id}/solve"),
+        r#"{"k": 2, "slover": "grid"}"#,
+    );
+    assert_eq!(error_kind(&r), (400.0, "unknown_field".into()));
+
+    handle.shutdown();
+}
+
+#[test]
+fn repeated_solves_hit_the_cache_and_report_it() {
+    let (handle, addr) = start(ServerConfig::default());
+    let upload = parse(&post(addr, "/instances", &instance_body(4)));
+    let id = upload.get("id").and_then(Json::as_str).unwrap().to_string();
+
+    assert_eq!(metric(addr, &["cache", "hits"]), 0.0);
+    let body = r#"{"k": 3, "rule": "ep"}"#;
+
+    let first = post(addr, &format!("/instances/{id}/solve"), body);
+    assert_eq!(first.status, 200);
+    let first_doc = parse(&first);
+    assert_eq!(first_doc.get("cached").and_then(Json::as_bool), Some(false));
+    // The reported digest is the instance's store ID (not a k-dependent
+    // problem digest), so clients can cross-reference it.
+    assert_eq!(
+        first_doc.get("instance_digest").and_then(Json::as_str),
+        Some(id.as_str())
+    );
+
+    let second = post(addr, &format!("/instances/{id}/solve"), body);
+    let second_doc = parse(&second);
+    assert_eq!(second_doc.get("cached").and_then(Json::as_bool), Some(true));
+
+    // The acceptance criterion: the second identical solve is a cache
+    // hit, visible in /metrics.
+    assert_eq!(metric(addr, &["cache", "hits"]), 1.0);
+    assert_eq!(metric(addr, &["cache", "misses"]), 1.0);
+    assert_eq!(metric(addr, &["solves", "ok"]), 1.0);
+
+    // The cached response carries the same solution bits.
+    for key in ["ecost", "certain_radius"] {
+        assert_eq!(
+            first_doc.get(key).and_then(Json::as_f64),
+            second_doc.get(key).and_then(Json::as_f64),
+            "{key}"
+        );
+    }
+    assert_eq!(
+        first_doc.get("centers").unwrap(),
+        second_doc.get("centers").unwrap()
+    );
+    assert_eq!(
+        first_doc.get("assignment").unwrap(),
+        second_doc.get("assignment").unwrap()
+    );
+
+    // A different config is a different cache key.
+    let third = post(
+        addr,
+        &format!("/instances/{id}/solve"),
+        r#"{"k": 3, "rule": "ed"}"#,
+    );
+    assert_eq!(
+        parse(&third).get("cached").and_then(Json::as_bool),
+        Some(false)
+    );
+    assert_eq!(metric(addr, &["cache", "misses"]), 2.0);
+
+    // `"cache": false` bypasses without recording a hit.
+    let bypass = post(
+        addr,
+        &format!("/instances/{id}/solve"),
+        r#"{"k": 3, "rule": "ep", "cache": false}"#,
+    );
+    assert_eq!(
+        parse(&bypass).get("cached").and_then(Json::as_bool),
+        Some(false)
+    );
+    assert_eq!(metric(addr, &["cache", "hits"]), 1.0);
+
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_solves_are_bit_identical_to_sequential() {
+    let (handle, addr) = start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+
+    // Upload several distinct instances, then solve them all at once
+    // from parallel client threads (they coalesce into scheduler waves).
+    let seeds: Vec<u64> = (10..18).collect();
+    let mut ids = Vec::new();
+    for &seed in &seeds {
+        let doc = parse(&post(addr, "/instances", &instance_body(seed)));
+        ids.push(doc.get("id").and_then(Json::as_str).unwrap().to_string());
+    }
+
+    let mut threads = Vec::new();
+    for (seed, id) in seeds.iter().copied().zip(ids.iter().cloned()) {
+        threads.push(std::thread::spawn(move || {
+            let r = client::request(
+                addr,
+                "POST",
+                &format!("/instances/{id}/solve"),
+                Some(r#"{"k": 3, "cache": false}"#),
+            )
+            .unwrap();
+            assert_eq!(r.status, 200, "{}", r.body);
+            (seed, Json::parse(&r.body).unwrap())
+        }));
+    }
+
+    let config = SolverConfig::default();
+    for thread in threads {
+        let (seed, served) = thread.join().unwrap();
+        // The expected side must see the same bytes the server saw: the
+        // upload round-trips through JSON, whose probability
+        // re-normalization can shift an ulp vs. the generator's set.
+        let uploaded = JsonInstance::parse(&instance_body(seed))
+            .unwrap()
+            .to_set()
+            .unwrap();
+        let expected = Problem::euclidean(uploaded, 3)
+            .unwrap()
+            .solve(&config)
+            .unwrap();
+        // Bit-identical payload: exact float equality after the f64 →
+        // shortest-round-trip-JSON → f64 round trip, which is lossless.
+        assert_eq!(
+            served
+                .get("ecost")
+                .and_then(Json::as_f64)
+                .unwrap()
+                .to_bits(),
+            expected.ecost.to_bits(),
+            "seed {seed}"
+        );
+        let centers = served.get("centers").and_then(Json::as_array).unwrap();
+        assert_eq!(centers.len(), expected.centers.len());
+        for (center, exp) in centers.iter().zip(&expected.centers) {
+            let coords: Vec<f64> = center
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|c| c.as_f64().unwrap())
+                .collect();
+            assert_eq!(coords, exp.coords());
+        }
+        let assignment: Vec<usize> = served
+            .get("assignment")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .map(|a| a.as_usize().unwrap())
+            .collect();
+        assert_eq!(assignment, expected.assignment);
+    }
+
+    // The wave machinery actually ran.
+    assert!(metric(addr, &["scheduler", "waves"]) >= 1.0);
+    assert_eq!(
+        metric(addr, &["scheduler", "wave_jobs"]),
+        seeds.len() as f64
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn oneshot_solve_and_keep_alive_sessions() {
+    let (handle, addr) = start(ServerConfig::default());
+
+    // One-shot with an inline instance.
+    let body = format!(
+        r#"{{"k": 2, "solver": "local-search", "rounds": 4, "instance": {}}}"#,
+        instance_body(6)
+    );
+    let r = post(addr, "/solve", &body);
+    assert_eq!(r.status, 200, "{}", r.body);
+    let doc = parse(&r);
+    assert!(doc.get("report").is_some());
+    assert_eq!(
+        doc.get("method").and_then(Json::as_str),
+        Some("euclidean/ep/gonzalez+local-search")
+    );
+
+    // A second identical one-shot hits the cache too: content digests
+    // make inline and stored instances share identity.
+    let r = post(addr, "/solve", &body);
+    assert_eq!(parse(&r).get("cached").and_then(Json::as_bool), Some(true));
+
+    // Many requests on one keep-alive connection.
+    let mut conn = client::ClientConn::connect(addr).unwrap();
+    for _ in 0..3 {
+        let r = conn.request("GET", "/healthz", None).unwrap();
+        assert_eq!(r.status, 200);
+    }
+    let r = conn.request("POST", "/solve", Some(&body)).unwrap();
+    assert_eq!(r.status, 200);
+
+    handle.shutdown();
+}
