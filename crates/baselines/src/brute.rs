@@ -19,7 +19,7 @@
 //! lower-bound of `ukc_core::bounds` is used alongside to sandwich).
 
 use ukc_core::assignments::{assign_ed, assign_ep, assign_oc, AssignmentRule};
-use ukc_metric::{Metric, Point};
+use ukc_metric::{DistanceOracle, Point};
 use ukc_uncertain::{ecost_assigned, expected_distance, one_center_discrete, UncertainSet};
 
 /// Effort limits for the brute-force solvers.
@@ -90,7 +90,7 @@ fn for_each_subset(m: usize, k: usize, budget: u64, mut f: impl FnMut(&[usize]))
 /// large). For the `EP`/`OC` rules the representatives needed by the rule
 /// are recomputed per call from the set (expected points via the Euclidean
 /// structure, 1-centers via the candidate pool).
-pub fn brute_force_restricted<M: Metric<Point>>(
+pub fn brute_force_restricted<M: DistanceOracle<Point>>(
     set: &UncertainSet<Point>,
     candidates: &[Point],
     k: usize,
@@ -149,7 +149,7 @@ pub fn brute_force_restricted<M: Metric<Point>>(
 /// exceeds the incumbent are skipped without assignment enumeration.
 ///
 /// Returns `None` when either budget is exhausted.
-pub fn brute_force_unrestricted<P: Clone, M: Metric<P>>(
+pub fn brute_force_unrestricted<P: Clone, M: DistanceOracle<P>>(
     set: &UncertainSet<P>,
     candidates: &[P],
     k: usize,

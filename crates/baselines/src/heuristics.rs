@@ -4,7 +4,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ukc_core::assignments::{assign_ed, AssignmentRule};
 use ukc_kcenter::gonzalez;
-use ukc_metric::{Euclidean, Metric, Point};
+use ukc_metric::{DistanceOracle, Euclidean, Point};
 use ukc_uncertain::{ecost_assigned, mode_location, sample_realization, UncertainSet};
 
 /// A baseline's output: centers, ED assignment, and exact expected cost.
@@ -18,7 +18,7 @@ pub struct BaselineSolution<P> {
     pub ecost: f64,
 }
 
-fn finish<P: Clone, M: Metric<P>>(
+fn finish<P: Clone, M: DistanceOracle<P>>(
     set: &UncertainSet<P>,
     centers: Vec<P>,
     metric: &M,
@@ -37,7 +37,7 @@ fn finish<P: Clone, M: Metric<P>>(
 /// Mode baseline: replace every uncertain point by its most likely
 /// location, run Gonzalez. Ignores all probability mass except the mode —
 /// the ablation-A2 strawman.
-pub fn mode_baseline<P: Clone, M: Metric<P>>(
+pub fn mode_baseline<P: Clone, M: DistanceOracle<P>>(
     set: &UncertainSet<P>,
     k: usize,
     metric: &M,
@@ -50,7 +50,7 @@ pub fn mode_baseline<P: Clone, M: Metric<P>>(
 /// All-locations baseline: treat every location of every point as a
 /// certain point (ignoring probabilities) and run Gonzalez with `k`
 /// centers over the inflated set.
-pub fn all_locations_baseline<P: Clone, M: Metric<P>>(
+pub fn all_locations_baseline<P: Clone, M: DistanceOracle<P>>(
     set: &UncertainSet<P>,
     k: usize,
     metric: &M,

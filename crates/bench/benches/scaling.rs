@@ -1,10 +1,17 @@
 //! Criterion version of the EXPERIMENTS.md scaling studies S1/S2: the
-//! O(z) expected point and the O(nz + nk) pipeline.
+//! O(z) expected point and the O(nz + nk) pipeline, plus the
+//! `kernel_comparison` group pitting the scalar distance kernel against
+//! the blocked one on Gonzalez sweeps (the numbers behind
+//! `BENCH_kernel.json`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Instant;
 use ukc_bench::workloads::euclidean;
 use ukc_core::{solve_batch_threads, AssignmentRule, Problem, SolverConfig};
+use ukc_json::Json;
+use ukc_kcenter::gonzalez;
+use ukc_metric::{Kernel, Point, PointStore, StoreOracle};
 use ukc_uncertain::expected_point;
 
 fn config() -> SolverConfig {
@@ -71,5 +78,106 @@ fn bench_batch(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_s1, bench_s2, bench_batch);
+/// Deterministic coordinate cloud as a [`PointStore`].
+fn coord_store(seed: u64, n: usize, d: usize) -> PointStore {
+    let mut s = seed | 1;
+    let mut rnd = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let pts: Vec<Point> = (0..n)
+        .map(|_| Point::new((0..d).map(|_| rnd() * 100.0 - 50.0).collect()))
+        .collect();
+    PointStore::from_points(&pts)
+}
+
+const KERNEL_K: usize = 8;
+
+/// One Gonzalez solve (k centers + the radius sweep) over the store with
+/// the given kernel; returns the radius so the work cannot be elided.
+fn gonzalez_store(store: &PointStore, ids: &[ukc_metric::PointId], kernel: Kernel) -> f64 {
+    let oracle = StoreOracle::new(store, kernel);
+    gonzalez(ids, KERNEL_K, &oracle, 0).radius
+}
+
+/// Scalar-vs-blocked Gonzalez throughput across the (n, d) matrix of the
+/// perf-tracking acceptance grid.
+///
+/// Setting `BENCH_KERNEL_JSON=1` additionally runs a manual timing sweep
+/// and rewrites the version-controlled `BENCH_kernel.json` at the
+/// workspace root; without it the committed trajectory file is left
+/// untouched (quick/filtered runs must not clobber it).
+fn bench_kernel_comparison(c: &mut Criterion) {
+    let quick = std::env::var_os("CRITERION_QUICK").is_some();
+    let record = std::env::var_os("BENCH_KERNEL_JSON").is_some();
+    let mut g = c.benchmark_group("kernel_comparison");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    let mut results: Vec<Json> = Vec::new();
+    for &n in &[1_000usize, 10_000, 100_000] {
+        if quick && n > 1_000 {
+            continue; // smoke runs only cover the small tier
+        }
+        for &d in &[2usize, 8, 32] {
+            let store = coord_store(42, n, d);
+            let ids = store.ids();
+            // pair evaluations per solve: k passes + the radius sweep
+            let evals = (2 * KERNEL_K * n) as u64;
+            g.throughput(Throughput::Elements(evals));
+            for kernel in [Kernel::Scalar, Kernel::Blocked] {
+                g.bench_with_input(
+                    BenchmarkId::new(format!("n{n}_d{d}"), kernel.name()),
+                    &kernel,
+                    |b, &kernel| b.iter(|| gonzalez_store(black_box(&store), &ids, kernel)),
+                );
+                if record {
+                    // Manual timing for the committed BENCH_kernel.json:
+                    // min of 3 runs after one warm-up (1 under quick).
+                    let reps = if quick { 1 } else { 3 };
+                    let _ = gonzalez_store(&store, &ids, kernel);
+                    let mut best = f64::INFINITY;
+                    for _ in 0..reps {
+                        let t = Instant::now();
+                        let _ = black_box(gonzalez_store(&store, &ids, kernel));
+                        best = best.min(t.elapsed().as_secs_f64());
+                    }
+                    results.push(Json::obj([
+                        ("n", Json::from(n)),
+                        ("d", Json::from(d)),
+                        ("k", Json::from(KERNEL_K)),
+                        ("kernel", Json::from(kernel.name())),
+                        ("seconds", Json::from(best)),
+                        ("pair_evals", Json::from(evals as f64)),
+                        ("evals_per_sec", Json::from(evals as f64 / best)),
+                    ]));
+                }
+            }
+        }
+    }
+    g.finish();
+    if record {
+        // Record the trajectory point. Written next to the workspace root
+        // so the numbers ride along in version control.
+        let doc = Json::obj([
+            ("bench", Json::from("kernel_comparison")),
+            ("quick", Json::Bool(quick)),
+            ("results", Json::arr(results)),
+        ]);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernel.json");
+        if let Err(e) = std::fs::write(path, doc.pretty() + "\n") {
+            eprintln!("warning: could not write BENCH_kernel.json: {e}");
+        }
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_s1,
+    bench_s2,
+    bench_batch,
+    bench_kernel_comparison
+);
 criterion_main!(benches);

@@ -14,7 +14,7 @@
 //! All three return, for each point, the index of its assigned center;
 //! ties break toward the lower center index (deterministic output).
 
-use ukc_metric::{Metric, Point};
+use ukc_metric::{DistanceOracle, Point};
 use ukc_uncertain::{expected_distance, expected_point, UncertainSet};
 
 /// Assignment rules available in Euclidean space (paper Theorems 2.2,
@@ -45,7 +45,11 @@ pub enum MetricAssignmentRule {
 ///
 /// # Panics
 /// Panics when `centers` is empty.
-pub fn assign_ed<P, M: Metric<P>>(set: &UncertainSet<P>, centers: &[P], metric: &M) -> Vec<usize> {
+pub fn assign_ed<P, M: DistanceOracle<P>>(
+    set: &UncertainSet<P>,
+    centers: &[P],
+    metric: &M,
+) -> Vec<usize> {
     assert!(!centers.is_empty(), "need at least one center");
     set.iter()
         .map(|up| {
@@ -68,7 +72,7 @@ pub fn assign_ed<P, M: Metric<P>>(set: &UncertainSet<P>, centers: &[P], metric: 
 ///
 /// # Panics
 /// Panics when `centers` is empty.
-pub fn assign_ep<M: Metric<Point>>(
+pub fn assign_ep<M: DistanceOracle<Point>>(
     set: &UncertainSet<Point>,
     centers: &[Point],
     metric: &M,
@@ -90,7 +94,7 @@ pub fn assign_ep<M: Metric<Point>>(
 ///
 /// # Panics
 /// Panics when `centers` is empty or `reps.len() != set.n()`.
-pub fn assign_oc<P, M: Metric<P>>(
+pub fn assign_oc<P, M: DistanceOracle<P>>(
     set: &UncertainSet<P>,
     centers: &[P],
     reps: &[P],

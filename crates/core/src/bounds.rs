@@ -21,7 +21,7 @@
 
 use ukc_geometry::median::{geometric_median, WeiszfeldOptions};
 use ukc_kcenter::gonzalez;
-use ukc_metric::{Euclidean, Metric, Point};
+use ukc_metric::{DistanceOracle, Euclidean, Metric, Point};
 use ukc_uncertain::{expected_distance, expected_point, one_center_discrete, UncertainSet};
 
 /// Certified lower bound specific to the 1-center problem (`k = 1`, where
@@ -79,7 +79,7 @@ pub fn lower_bound_euclidean(set: &UncertainSet<Point>, k: usize) -> f64 {
 ///
 /// # Panics
 /// Panics when `candidates` is empty.
-pub fn lower_bound_metric<P: Clone, M: Metric<P>>(
+pub fn lower_bound_metric<P: Clone, M: DistanceOracle<P>>(
     set: &UncertainSet<P>,
     k: usize,
     candidates: &[P],

@@ -27,6 +27,7 @@
 use crate::assignments::AssignmentRule;
 use crate::error::SolveError;
 use ukc_kcenter::{ExactOptions, GridOptions};
+use ukc_metric::Kernel;
 
 /// Which deterministic k-center backend runs on the representatives.
 ///
@@ -89,6 +90,7 @@ pub struct SolverConfig {
     seed: u64,
     candidate_policy: CandidatePolicy,
     lower_bound: bool,
+    kernel: Kernel,
     grid_limits: GridOptions,
     exact_limits: ExactOptions,
 }
@@ -102,6 +104,7 @@ impl Default for SolverConfig {
             seed: 0,
             candidate_policy: CandidatePolicy::ProblemPool,
             lower_bound: true,
+            kernel: Kernel::default(),
             grid_limits: GridOptions::default(),
             exact_limits: ExactOptions::default(),
         }
@@ -183,10 +186,18 @@ impl SolverConfig {
         self.lower_bound
     }
 
+    /// The distance kernel evaluating batched sweeps
+    /// ([`Kernel::Blocked`] by default; [`Kernel::Scalar`] reproduces the
+    /// pointwise summation order bit-for-bit).
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
     /// The grid solver's options (ε folded in).
     pub fn grid_options(&self) -> GridOptions {
         GridOptions {
             eps: self.eps,
+            kernel: self.kernel,
             ..self.grid_limits
         }
     }
@@ -245,6 +256,17 @@ impl SolverConfigBuilder {
     /// (on by default; disable on hot paths that only need the solution).
     pub fn lower_bound(mut self, enabled: bool) -> Self {
         self.config.lower_bound = enabled;
+        self
+    }
+
+    /// Picks the distance kernel. [`Kernel::Blocked`] (the default) wins
+    /// at moderate-to-high dimension (see `BENCH_kernel.json`; at `d ≤ 2`
+    /// the two are within a few percent of each other);
+    /// [`Kernel::Scalar`] preserves the historical per-pair f64 summation
+    /// order exactly, which the golden-equivalence suite pins.
+    /// Both kernels evaluate — and count — identical distance pairs.
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.config.kernel = kernel;
         self
     }
 

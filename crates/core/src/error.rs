@@ -24,6 +24,16 @@ pub enum SolveError {
     },
     /// A discrete problem was given an empty candidate pool.
     EmptyCandidates,
+    /// Two locations of the instance live in different dimensions; the
+    /// pipeline requires one ambient `ℝ^d`.
+    DimensionMismatch {
+        /// Index of the uncertain point carrying the offending location.
+        point: usize,
+        /// Dimension found.
+        got: usize,
+        /// Dimension of the instance's first location.
+        expected: usize,
+    },
     /// The assignment rule is not defined in the problem's space (e.g.
     /// the expected-point rule in a general metric space, where no
     /// expected point exists).
@@ -64,6 +74,16 @@ impl std::fmt::Display for SolveError {
             }
             SolveError::EmptyCandidates => {
                 write!(f, "discrete problems need a non-empty candidate pool")
+            }
+            SolveError::DimensionMismatch {
+                point,
+                got,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "point {point} has a location of dimension {got}, expected {expected}"
+                )
             }
             SolveError::RuleUnsupported { rule, space } => {
                 write!(

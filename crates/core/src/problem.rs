@@ -36,7 +36,7 @@ use crate::report::{CountingMetric, Report};
 use ukc_kcenter::{
     exact_discrete_kcenter, gonzalez, grid_kcenter, local_search_kcenter, KCenterSolution,
 };
-use ukc_metric::{Euclidean, Metric, Point};
+use ukc_metric::{DistCounter, Euclidean, Metric, Point, PointId, PointStore, StoreOracle};
 use ukc_uncertain::{ecost_assigned, one_center_discrete, UncertainPoint, UncertainSet};
 
 /// A continuous space a [`Problem`] can live in: representative
@@ -87,6 +87,24 @@ pub trait ContinuousSpace<P>: Send + Sync {
     /// A certified lower bound on the optimum expected cost with `k`
     /// centers.
     fn lower_bound(&self, set: &UncertainSet<P>, k: usize) -> f64;
+
+    /// The raw coordinates of a point, when the space is backed by
+    /// finite-dimensional real coordinates under the Euclidean metric.
+    ///
+    /// Returning `Some` for every point of an instance opts the space into
+    /// the structure-of-arrays kernel fast path: the solve copies all
+    /// coordinates into one [`PointStore`] and evaluates every distance
+    /// through the batched [`ukc_metric::batch`] kernels (selected by
+    /// [`crate::SolverConfig::kernel`]) instead of per-pair
+    /// [`Metric::dist`] calls. Only override this when
+    /// [`ContinuousSpace::metric`] is the Euclidean metric on those
+    /// coordinates and the expected-point assignment is
+    /// nearest-center-to-`P̄` — the fast path assumes both. The default
+    /// (`None`) keeps the space on the pointwise path.
+    fn coords_of<'a>(&self, p: &'a P) -> Option<&'a [f64]> {
+        let _ = p;
+        None
+    }
 }
 
 /// The paper's continuous space: `ℝ^d` under the Euclidean metric.
@@ -130,6 +148,10 @@ impl ContinuousSpace<Point> for EuclideanSpace {
 
     fn lower_bound(&self, set: &UncertainSet<Point>, k: usize) -> f64 {
         crate::bounds::lower_bound_euclidean(set, k)
+    }
+
+    fn coords_of<'a>(&self, p: &'a Point) -> Option<&'a [f64]> {
+        Some(p.coords())
     }
 }
 
@@ -217,7 +239,24 @@ impl Problem<Point> {
 
     /// A Euclidean problem (the paper's Theorems 2.2 / 2.4 / 2.5
     /// setting).
+    ///
+    /// Validates that every location lives in one shared `ℝ^d`
+    /// ([`SolveError::DimensionMismatch`] otherwise), so malformed input
+    /// surfaces here as a typed error instead of a panic deep inside a
+    /// solve.
     pub fn euclidean(set: UncertainSet<Point>, k: usize) -> Result<Self, SolveError> {
+        let expected = set.point(0).locations()[0].dim();
+        for (i, up) in set.iter().enumerate() {
+            for loc in up.locations() {
+                if loc.dim() != expected {
+                    return Err(SolveError::DimensionMismatch {
+                        point: i,
+                        got: loc.dim(),
+                        expected,
+                    });
+                }
+            }
+        }
         Self::continuous(set, k, EuclideanSpace)
     }
 
@@ -409,6 +448,11 @@ pub(crate) fn solve_continuous<P: Clone>(
             space: space.name(),
         });
     }
+    // Coordinate-backed spaces take the structure-of-arrays kernel path;
+    // everything else falls through to the pointwise metric pipeline.
+    if let Some(solution) = solve_continuous_store(set, k, space, config)? {
+        return Ok(solution);
+    }
     let counting = CountingMetric::new(space.metric());
     let t_total = Instant::now();
     let mut report = Report {
@@ -484,6 +528,206 @@ pub(crate) fn solve_continuous<P: Clone>(
     );
     solution.report.timings.total = t_total.elapsed();
     Ok(solution)
+}
+
+/// The structure-of-arrays fast path of the continuous pipeline: one
+/// [`PointStore`] per solve holds every realization coordinate, every
+/// representative, and (for the grid strategy) every synthesized center;
+/// all distance work then runs through the batched kernels of a
+/// [`StoreOracle`] under the configured [`crate::SolverConfig::kernel`].
+///
+/// Returns `Ok(None)` when the space does not expose coordinates (custom
+/// spaces, default [`ContinuousSpace::coords_of`]) or the coordinates are
+/// unusable (mixed dimensions, non-finite values) — the caller then runs
+/// the pointwise pipeline, whose behavior is unchanged.
+///
+/// Stage structure, evaluation counting, and tie-breaking mirror the
+/// pointwise pipeline exactly; with [`ukc_metric::Kernel::Scalar`] the
+/// results are bit-identical to it, and the evaluation *counts* are
+/// kernel-independent by the [`DistanceOracle`] contract.
+fn solve_continuous_store<P: Clone>(
+    set: &UncertainSet<P>,
+    k: usize,
+    space: &dyn ContinuousSpace<P>,
+    config: &SolverConfig,
+) -> Result<Option<Solution<P>>, SolveError> {
+    let rule = config.rule();
+    // Probe the space: every location must expose coordinates of one
+    // shared dimension.
+    let mut dim = 0usize;
+    for up in set.iter() {
+        for loc in up.locations() {
+            match space.coords_of(loc) {
+                Some(c) if dim == 0 && !c.is_empty() => dim = c.len(),
+                Some(c) if c.len() == dim => {}
+                _ => return Ok(None),
+            }
+        }
+    }
+    let counter = DistCounter::new();
+    let kernel = config.kernel();
+    let t_total = Instant::now();
+    let mut report = Report {
+        method: method_string(space.name(), rule, config.strategy()),
+        ..Report::default()
+    };
+
+    // id -> owning point, parallel to the store, for materializing output
+    // centers without a reverse coordinate conversion.
+    let mut registry: Vec<P> = Vec::with_capacity(set.total_locations() + set.n());
+    let mut store = PointStore::with_capacity(dim, set.total_locations() + set.n());
+    let push = |store: &mut PointStore, registry: &mut Vec<P>, p: &P| -> Option<PointId> {
+        let coords = space.coords_of(p)?;
+        let id = store.try_push(coords).ok()?;
+        registry.push(p.clone());
+        Some(id)
+    };
+    // The realization coordinates, point-major in support order (so the
+    // flattened id order matches `UncertainSet::location_pool`).
+    let mut id_points: Vec<UncertainPoint<PointId>> = Vec::with_capacity(set.n());
+    for up in set.iter() {
+        let mut ids = Vec::with_capacity(up.z());
+        for loc in up.locations() {
+            match push(&mut store, &mut registry, loc) {
+                Some(id) => ids.push(id),
+                None => return Ok(None),
+            }
+        }
+        let mut next = ids.iter().copied();
+        id_points.push(up.map_locations(|_| next.next().expect("one id per location")));
+    }
+    let set_ids = UncertainSet::new(id_points);
+
+    // Step 1: representatives, O(nz) (ED/EP) or O(nz·iters) (OC) —
+    // coordinate arithmetic, not metric evaluations (counted as zero, as
+    // in the pointwise pipeline).
+    let t = Instant::now();
+    let reps: Vec<P> = match rule {
+        AssignmentRule::ExpectedDistance | AssignmentRule::ExpectedPoint => {
+            set.iter().map(|up| space.expected_point(up)).collect()
+        }
+        AssignmentRule::OneCenter => set.iter().map(|up| space.one_center(up)).collect(),
+    };
+    let mut rep_ids = Vec::with_capacity(reps.len());
+    for rep in &reps {
+        match push(&mut store, &mut registry, rep) {
+            Some(id) => rep_ids.push(id),
+            None => return Ok(None),
+        }
+    }
+    report.timings.representatives = t.elapsed();
+    report.distance_evals.representatives = counter.count();
+
+    // Step 2: certain k-center on the representatives.
+    let evals_before = counter.count();
+    let t = Instant::now();
+    let certain: KCenterSolution<PointId> = match config.strategy() {
+        CertainStrategy::Gonzalez => {
+            let oracle = StoreOracle::new(&store, kernel).with_counter(&counter);
+            gonzalez(&rep_ids, k, &oracle, 0)
+        }
+        CertainStrategy::GonzalezLocalSearch { rounds } => {
+            let oracle = StoreOracle::new(&store, kernel).with_counter(&counter);
+            let gz = gonzalez(&rep_ids, k, &oracle, 0);
+            local_search_kcenter(&rep_ids, &rep_ids, &gz.center_indices, &oracle, rounds)
+        }
+        CertainStrategy::Grid => {
+            // The certified grid solver synthesizes new center locations;
+            // its internal work bypasses the oracle (and the counters),
+            // exactly as in the pointwise pipeline.
+            match space.certified_solve(&reps, k, config.grid_options()) {
+                Some(sol) => {
+                    let mut ids = Vec::with_capacity(sol.centers.len());
+                    for c in &sol.centers {
+                        match push(&mut store, &mut registry, c) {
+                            Some(id) => ids.push(id),
+                            None => return Ok(None),
+                        }
+                    }
+                    KCenterSolution {
+                        centers: ids,
+                        center_indices: sol.center_indices,
+                        radius: sol.radius,
+                    }
+                }
+                None => {
+                    let oracle = StoreOracle::new(&store, kernel).with_counter(&counter);
+                    gonzalez(&rep_ids, k, &oracle, 0)
+                }
+            }
+        }
+        CertainStrategy::ExactDiscrete => {
+            let oracle = StoreOracle::new(&store, kernel).with_counter(&counter);
+            let pool_storage;
+            let pool: &[PointId] = match config.candidate_policy() {
+                CandidatePolicy::ProblemPool => &rep_ids,
+                CandidatePolicy::LocationPool => {
+                    pool_storage = set_ids.location_pool();
+                    &pool_storage
+                }
+            };
+            exact_discrete_kcenter(&rep_ids, pool, k, &oracle, config.exact_options())
+                .unwrap_or_else(|| gonzalez(&rep_ids, k, &oracle, 0))
+        }
+    };
+    report.timings.certain_solve = t.elapsed();
+    report.distance_evals.certain_solve = counter.since(evals_before);
+
+    // The store is frozen from here on; one oracle serves the tail.
+    let oracle = StoreOracle::new(&store, kernel).with_counter(&counter);
+
+    // Step 3: assignment by the configured rule.
+    let evals_before = counter.count();
+    let t = Instant::now();
+    let assignment: Vec<usize> = match rule {
+        AssignmentRule::ExpectedDistance => assign_ed(&set_ids, &certain.centers, &oracle),
+        // For the EP rule the representatives *are* the expected points
+        // `P̄ᵢ`, so the expected-point assignment is nearest-center per
+        // representative (the coords_of contract requires this semantics).
+        AssignmentRule::ExpectedPoint => rep_ids
+            .iter()
+            .map(|r| {
+                oracle
+                    .nearest(r, &certain.centers)
+                    .expect("certain solve produced at least one center")
+                    .0
+            })
+            .collect(),
+        AssignmentRule::OneCenter => assign_oc(&set_ids, &certain.centers, &rep_ids, &oracle),
+    };
+    report.distance_evals.assignment = counter.since(evals_before);
+    let evals_before_cost = counter.count();
+    report.timings.assignment = t.elapsed();
+
+    // Step 4: exact expected cost over the id-space mirror.
+    let t_cost = Instant::now();
+    let ecost = ecost_assigned(&set_ids, &certain.centers, &assignment, &oracle);
+    report.timings.cost = t_cost.elapsed();
+    report.distance_evals.cost = counter.since(evals_before_cost);
+
+    // Optional stage 5: the certified lower bound (space-internal
+    // arithmetic, uncounted — as in the pointwise pipeline).
+    if config.computes_lower_bound() {
+        let evals_before = counter.count();
+        let t_bound = Instant::now();
+        report.lower_bound = Some(space.lower_bound(set, k));
+        report.timings.lower_bound = t_bound.elapsed();
+        report.distance_evals.lower_bound = counter.since(evals_before);
+    }
+
+    report.timings.total = t_total.elapsed();
+    Ok(Some(Solution {
+        centers: certain
+            .centers
+            .iter()
+            .map(|id| registry[id.index()].clone())
+            .collect(),
+        assignment,
+        ecost,
+        representatives: reps,
+        certain_radius: certain.radius,
+        report,
+    }))
 }
 
 /// The general-metric pipeline (paper Theorems 2.6 / 2.7). Shared by

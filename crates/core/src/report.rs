@@ -11,9 +11,8 @@
 //! Euclidean grid solver's internal arithmetic) is deliberately not
 //! counted and is documented as such on [`Report::distance_evals`].
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
-use ukc_metric::Metric;
+use ukc_metric::{DistCounter, DistanceOracle, Metric};
 
 /// Wall-clock time spent in each pipeline stage.
 #[derive(Clone, Copy, Debug, Default)]
@@ -80,7 +79,7 @@ pub struct Report {
 /// ordering and costs one uncontended atomic add per call.
 pub struct CountingMetric<'a, P: ?Sized> {
     inner: &'a (dyn Metric<P> + 'a),
-    count: AtomicU64,
+    count: DistCounter,
 }
 
 impl<'a, P: ?Sized> CountingMetric<'a, P> {
@@ -88,27 +87,29 @@ impl<'a, P: ?Sized> CountingMetric<'a, P> {
     pub fn new(inner: &'a (dyn Metric<P> + 'a)) -> Self {
         Self {
             inner,
-            count: AtomicU64::new(0),
+            count: DistCounter::new(),
         }
     }
 
     /// The number of evaluations so far.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.count()
     }
 
     /// Evaluations since `since` (a previous [`CountingMetric::count`]).
     pub fn since(&self, since: u64) -> u64 {
-        self.count().saturating_sub(since)
+        self.count.since(since)
     }
 }
 
 impl<P: ?Sized> Metric<P> for CountingMetric<'_, P> {
     fn dist(&self, a: &P, b: &P) -> f64 {
-        self.count.fetch_add(1, Ordering::Relaxed);
+        self.count.add(1);
         self.inner.dist(a, b)
     }
 }
+
+impl<P> DistanceOracle<P> for CountingMetric<'_, P> {}
 
 #[cfg(test)]
 mod tests {

@@ -1,7 +1,7 @@
 //! The legacy free-function solver API, kept as thin deprecated wrappers.
 //!
 //! [`solve_euclidean`] and [`solve_metric`] predate the
-//! [`Problem`](crate::Problem) / [`SolverConfig`](crate::SolverConfig) /
+//! [`Problem`](crate::Problem) / [`SolverConfig`] /
 //! [`Solution`](crate::Solution) API and survive only for source
 //! compatibility. They delegate to the exact same internal pipelines the
 //! new API runs, so their outputs are bit-identical to

@@ -47,7 +47,7 @@ fn cfg(rule: AssignmentRule, strategy: CertainStrategy) -> SolverConfig {
         .expect("static experiment config")
 }
 
-/// Like [`cfg`] with the grid strategy at a given ε.
+/// Like [`cfg()`] with the grid strategy at a given ε.
 fn cfg_grid(rule: AssignmentRule, eps: f64) -> SolverConfig {
     SolverConfig::builder()
         .rule(rule)

@@ -10,7 +10,7 @@
 use crate::kmeans::{uncertain_kmeans, KMeansSolution};
 use crate::kmedian::{uncertain_kmedian_exact, uncertain_kmedian_local_search, KMedianSolution};
 use ukc_core::{validate_k, CertainStrategy, SolveError, SolverConfig};
-use ukc_metric::{Metric, Point};
+use ukc_metric::{DistanceOracle, Point};
 use ukc_uncertain::UncertainSet;
 
 /// Budget handed to the exact k-median enumerator before falling back to
@@ -25,7 +25,7 @@ const KMEDIAN_EXACT_SUBSET_BUDGET: u64 = 2_000_000;
 /// configured round count; everything else uses local search with the
 /// default 50 rounds. The assignment is always ED — for k-median that
 /// rule is optimal, not heuristic (see the crate docs).
-pub fn uncertain_kmedian<P: Clone, M: Metric<P>>(
+pub fn uncertain_kmedian<P: Clone, M: DistanceOracle<P>>(
     set: &UncertainSet<P>,
     candidates: &[P],
     k: usize,

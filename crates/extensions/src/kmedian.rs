@@ -17,7 +17,7 @@
 //!    classic single-swap local search otherwise, 5-approximate by
 //!    Arya et al. \[3\] in the paper's bibliography).
 
-use ukc_metric::Metric;
+use ukc_metric::DistanceOracle;
 use ukc_uncertain::{expected_distance, UncertainSet};
 
 /// A k-median solution over a discrete candidate pool.
@@ -35,7 +35,7 @@ pub struct KMedianSolution<P> {
 
 /// Exact expected k-median cost of an explicit (centers, assignment) pair:
 /// `Σᵢ E d(Pᵢ, c_{A(i)})`. O(nz) — exact by linearity, no sweep needed.
-pub fn ecost_kmedian<P, M: Metric<P>>(
+pub fn ecost_kmedian<P, M: DistanceOracle<P>>(
     set: &UncertainSet<P>,
     centers: &[P],
     assignment: &[usize],
@@ -49,7 +49,7 @@ pub fn ecost_kmedian<P, M: Metric<P>>(
 }
 
 /// Builds the expected-distance matrix `D[i][c]` (n × m).
-fn expected_distance_matrix<P, M: Metric<P>>(
+fn expected_distance_matrix<P, M: DistanceOracle<P>>(
     set: &UncertainSet<P>,
     candidates: &[P],
     metric: &M,
@@ -92,7 +92,7 @@ fn subset_cost(d: &[f64], n: usize, m: usize, chosen: &[usize]) -> (f64, Vec<usi
 ///
 /// # Panics
 /// Panics when `k == 0` or `candidates` is empty.
-pub fn uncertain_kmedian_exact<P: Clone, M: Metric<P>>(
+pub fn uncertain_kmedian_exact<P: Clone, M: DistanceOracle<P>>(
     set: &UncertainSet<P>,
     candidates: &[P],
     k: usize,
@@ -155,7 +155,7 @@ pub fn uncertain_kmedian_exact<P: Clone, M: Metric<P>>(
 ///
 /// # Panics
 /// Panics when `k == 0` or `candidates` is empty.
-pub fn uncertain_kmedian_local_search<P: Clone, M: Metric<P>>(
+pub fn uncertain_kmedian_local_search<P: Clone, M: DistanceOracle<P>>(
     set: &UncertainSet<P>,
     candidates: &[P],
     k: usize,
@@ -229,7 +229,7 @@ pub fn uncertain_kmedian_local_search<P: Clone, M: Metric<P>>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ukc_metric::{Euclidean, Point};
+    use ukc_metric::{Euclidean, Metric, Point};
     use ukc_uncertain::generators::{clustered, uniform_box, ProbModel};
     use ukc_uncertain::{RealizationIter, UncertainPoint};
 

@@ -15,7 +15,7 @@
 //! the certain-solver factor `1+ε` in Theorems 2.2/2.5 simply becomes the
 //! streaming factor 8.
 
-use ukc_metric::{Metric, Point};
+use ukc_metric::{DistanceOracle, Point};
 use ukc_uncertain::{expected_point, UncertainPoint};
 
 /// One-pass k-center summary with the doubling invariant.
@@ -54,7 +54,7 @@ impl<P: Clone> StreamingKCenter<P> {
     }
 
     /// Inserts a point, maintaining the doubling invariants.
-    pub fn insert<M: Metric<P>>(&mut self, p: P, metric: &M) {
+    pub fn insert<M: DistanceOracle<P>>(&mut self, p: P, metric: &M) {
         // Covered points are dropped.
         if self
             .centers

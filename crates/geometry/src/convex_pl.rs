@@ -3,7 +3,7 @@
 //! The expected distance of a 1-D uncertain point to a location `x`,
 //! `E_i(x) = Σⱼ pᵢⱼ·|Pᵢⱼ − x|`, is convex and piecewise linear with
 //! breakpoints at the locations. The exact 1-D solver (paper Table 1 row 8,
-//! after Wang & Zhang [26]) needs exactly three operations on such
+//! after Wang & Zhang \[26\]) needs exactly three operations on such
 //! functions: evaluate, minimize, and compute the level set
 //! `{x : f(x) ≤ r}` — which by convexity is an interval. This module
 //! implements a canonical breakpoint/slope representation supporting all

@@ -14,7 +14,7 @@
 //! * [`convex_pl`] — one-dimensional convex piecewise-linear functions
 //!   (`Σ wᵢ·|x − aᵢ|` and friends): evaluation, minimization and level sets.
 //!   These drive the exact 1-D solver of Table 1 row 8.
-//! * [`pattern_search`] — a derivative-free compass-search minimizer used to
+//! * [`pattern_search()`] — a derivative-free compass-search minimizer used to
 //!   compute *reference optima* of the (non-smooth, but convex) expected
 //!   cost objectives in the experiments.
 
@@ -27,6 +27,8 @@ pub mod median;
 pub mod pattern_search;
 
 pub use convex_pl::ConvexPiecewiseLinear;
-pub use meb::{min_enclosing_ball, min_enclosing_ball_approx, Ball};
+pub use meb::{
+    min_enclosing_ball, min_enclosing_ball_approx, min_enclosing_ball_approx_store, Ball,
+};
 pub use median::{geometric_median, weighted_median_1d, WeiszfeldOptions};
 pub use pattern_search::{pattern_search, PatternSearchOptions};

@@ -9,7 +9,8 @@
 //!   a (1+ε)-approximation in `O(n·d/ε²)` that is independent of the
 //!   combinatorial structure and therefore robust for large `d`.
 
-use ukc_metric::Point;
+use ukc_metric::batch::{dist_sq_blocked, dist_sq_scalar, dot_blocked};
+use ukc_metric::{Kernel, Point, PointId, PointStore};
 
 /// A ball `{x : ‖x − center‖ ≤ radius}`.
 #[derive(Clone, Debug, PartialEq)]
@@ -191,19 +192,61 @@ pub fn min_enclosing_ball_approx(points: &[Point], eps: f64) -> Option<Ball> {
         points.iter().all(|p| p.dim() == dim),
         "all points must share a dimension"
     );
-    let rounds = (1.0 / (eps * eps)).ceil() as usize + 1;
-    let mut center = points[0].clone();
-    for t in 1..=rounds {
-        // Farthest point from the current center.
-        let (far, _) = points
-            .iter()
-            .map(|p| (p, center.dist_sq(p)))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .expect("non-empty");
-        center = center.lerp(far, 1.0 / (t as f64 + 1.0));
+    min_enclosing_ball_approx_store(&PointStore::from_points(points), eps, Kernel::default())
+}
+
+/// [`min_enclosing_ball_approx`] over an already-built [`PointStore`],
+/// with an explicit distance kernel: every round is one blocked
+/// farthest-point sweep over the contiguous coordinate buffer instead of
+/// `n` boxed-point distance calls.
+///
+/// Returns `None` for an empty store.
+///
+/// # Panics
+/// Panics if `eps` is not strictly positive.
+pub fn min_enclosing_ball_approx_store(
+    store: &PointStore,
+    eps: f64,
+    kernel: Kernel,
+) -> Option<Ball> {
+    assert!(eps > 0.0, "eps must be positive");
+    if store.is_empty() {
+        return None;
     }
-    let radius = points.iter().map(|p| center.dist(p)).fold(0.0, f64::max);
-    Some(Ball { center, radius })
+    let rounds = (1.0 / (eps * eps)).ceil() as usize + 1;
+    let mut center: Vec<f64> = store.coords(PointId(0)).to_vec();
+    // The farthest-point sweep against the moving center, by the chosen
+    // kernel (the center itself is not a store member, so its squared
+    // norm is refreshed per round).
+    let sweep = |center: &[f64]| -> (usize, f64) {
+        let center_norm_sq = dot_blocked(center, center);
+        let mut far = (0usize, f64::NEG_INFINITY);
+        for i in 0..store.len() {
+            let id = PointId(i);
+            let d_sq = match kernel {
+                Kernel::Scalar => dist_sq_scalar(store.coords(id), center),
+                Kernel::Blocked => {
+                    dist_sq_blocked(store.coords(id), store.norm_sq(id), center, center_norm_sq)
+                }
+            };
+            if d_sq > far.1 {
+                far = (i, d_sq);
+            }
+        }
+        far
+    };
+    for t in 1..=rounds {
+        let (far, _) = sweep(&center);
+        let step = 1.0 / (t as f64 + 1.0);
+        for (c, &f) in center.iter_mut().zip(store.coords(PointId(far))) {
+            *c = (1.0 - step) * *c + step * f;
+        }
+    }
+    let (_, radius_sq) = sweep(&center);
+    Some(Ball {
+        center: Point::new(center),
+        radius: radius_sq.max(0.0).sqrt(),
+    })
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@
 //! }
 //! ```
 //!
-//! Serialization is hand-rolled over [`ukc_json::Json`]; floats round-trip
+//! Serialization is hand-rolled over [`crate::Json`]; floats round-trip
 //! exactly (shortest round-trip formatting on write, `f64` parse on read).
 
 use crate::Json;
@@ -89,6 +89,12 @@ pub enum FormatError {
         /// Index of the offending point.
         point: usize,
     },
+    /// A location has no coordinates (`dim` 0 instances are rejected
+    /// here, *before* the panicking `Point` constructor can see them).
+    EmptyLocation {
+        /// Index of the offending point.
+        point: usize,
+    },
 }
 
 impl std::fmt::Display for FormatError {
@@ -108,6 +114,9 @@ impl std::fmt::Display for FormatError {
             FormatError::BadPoint { point, source } => write!(f, "point {point}: {source}"),
             FormatError::Empty => write!(f, "instance has no points"),
             FormatError::NonFinite { point } => write!(f, "point {point}: non-finite coordinate"),
+            FormatError::EmptyLocation { point } => {
+                write!(f, "point {point}: location has no coordinates")
+            }
         }
     }
 }
@@ -202,10 +211,14 @@ impl JsonInstance {
                         expected: self.dim,
                     });
                 }
-                if loc.iter().any(|c| !c.is_finite()) {
-                    return Err(FormatError::NonFinite { point: i });
-                }
-                locs.push(Point::new(loc.clone()));
+                // `Point::try_new` is the typed gate: non-finite values
+                // (e.g. a JSON `1e999`, which parses to +∞) and empty
+                // locations become errors here instead of panics in the
+                // panicking constructor downstream.
+                locs.push(Point::try_new(loc.clone()).map_err(|e| match e {
+                    ukc_metric::PointError::Empty => FormatError::EmptyLocation { point: i },
+                    _ => FormatError::NonFinite { point: i },
+                })?);
             }
             let up = UncertainPoint::new(locs, jp.probs.clone())
                 .map_err(|source| FormatError::BadPoint { point: i, source })?;

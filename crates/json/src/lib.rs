@@ -5,7 +5,7 @@
 //! wire bodies need JSON without any external crates. This crate
 //! provides a small, strict implementation — a [`Json`] value type, a
 //! recursive-descent [`Json::parse`], and compact / pretty writers —
-//! plus the shared instance/solution/report schemas in [`format`], so
+//! plus the shared instance/solution/report schemas in [`mod@format`], so
 //! every tool emits byte-identical documents from one encoder.
 //!
 //! Numbers are `f64` throughout (like `serde_json`'s default float mode)

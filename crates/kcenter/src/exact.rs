@@ -9,7 +9,7 @@
 
 use crate::cover::{cover_decision, BitSet};
 use crate::gonzalez::KCenterSolution;
-use ukc_metric::Metric;
+use ukc_metric::DistanceOracle;
 
 /// Options bounding the exact solver's effort.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -42,7 +42,7 @@ impl Default for ExactOptions {
 ///
 /// # Panics
 /// Panics when `points` or `candidates` is empty.
-pub fn exact_discrete_kcenter<P: Clone, M: Metric<P>>(
+pub fn exact_discrete_kcenter<P: Clone, M: DistanceOracle<P>>(
     points: &[P],
     candidates: &[P],
     k: usize,
@@ -56,12 +56,11 @@ pub fn exact_discrete_kcenter<P: Clone, M: Metric<P>>(
     if n > opts.max_points || m > opts.max_candidates || k == 0 {
         return None;
     }
-    // Distance matrix candidate x point, plus the sorted distinct radii.
+    // Distance matrix candidate x point (one batched row per candidate),
+    // plus the sorted distinct radii.
     let mut dist = vec![0.0f64; m * n];
     for (c, cand) in candidates.iter().enumerate() {
-        for (p, pt) in points.iter().enumerate() {
-            dist[c * n + p] = metric.dist(pt, cand);
-        }
+        metric.dists_to_one(points, cand, &mut dist[c * n..(c + 1) * n]);
     }
     let mut radii: Vec<f64> = dist.clone();
     radii.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));

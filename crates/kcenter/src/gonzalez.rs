@@ -7,7 +7,7 @@
 //! factor-4 table rows.
 
 use crate::kcenter_cost;
-use ukc_metric::Metric;
+use ukc_metric::DistanceOracle;
 
 /// A k-center solution over an explicit point slice.
 #[derive(Clone, Debug, PartialEq)]
@@ -29,7 +29,7 @@ pub struct KCenterSolution<P> {
 ///
 /// # Panics
 /// Panics if `points` is empty, `k == 0`, or `start` is out of range.
-pub fn gonzalez_indices<P, M: Metric<P>>(
+pub fn gonzalez_indices<P, M: DistanceOracle<P>>(
     points: &[P],
     k: usize,
     metric: &M,
@@ -42,11 +42,10 @@ pub fn gonzalez_indices<P, M: Metric<P>>(
     let k = k.min(n);
     let mut centers = Vec::with_capacity(k);
     centers.push(start);
-    // dist_to_centers[i] = d(points[i], current centers)
-    let mut dist: Vec<f64> = points
-        .iter()
-        .map(|p| metric.dist(p, &points[start]))
-        .collect();
+    // dist[i] = d(points[i], current centers), maintained by the batched
+    // min-update kernel (one pass per new center).
+    let mut dist = vec![f64::INFINITY; n];
+    metric.dists_to_one(points, &points[start], &mut dist);
     while centers.len() < k {
         // Farthest point from the current centers.
         let (far, far_d) = dist
@@ -60,12 +59,7 @@ pub fn gonzalez_indices<P, M: Metric<P>>(
             break;
         }
         centers.push(far);
-        for (i, d) in dist.iter_mut().enumerate() {
-            let nd = metric.dist(&points[i], &points[far]);
-            if nd < *d {
-                *d = nd;
-            }
-        }
+        metric.dists_to_set_min(points, &points[far], &mut dist);
     }
     centers
 }
@@ -75,7 +69,7 @@ pub fn gonzalez_indices<P, M: Metric<P>>(
 ///
 /// # Panics
 /// Panics if `points` is empty, `k == 0`, or `start` is out of range.
-pub fn gonzalez<P: Clone, M: Metric<P>>(
+pub fn gonzalez<P: Clone, M: DistanceOracle<P>>(
     points: &[P],
     k: usize,
     metric: &M,

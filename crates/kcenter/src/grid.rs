@@ -20,7 +20,8 @@
 
 use crate::exact::{exact_discrete_kcenter, ExactOptions};
 use crate::gonzalez::{gonzalez, KCenterSolution};
-use ukc_metric::{Euclidean, Point};
+use ukc_metric::batch;
+use ukc_metric::{Kernel, Point, PointId, PointStore, StoreOracle};
 
 /// Options for the grid (1+ε) solver.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -31,6 +32,10 @@ pub struct GridOptions {
     pub max_candidates: usize,
     /// Limits forwarded to the exact discrete solver.
     pub exact: ExactOptions,
+    /// Distance kernel for the internal sweeps (the solver runs on a
+    /// [`PointStore`]; `Scalar` reproduces the historical per-pair
+    /// arithmetic bit-for-bit).
+    pub kernel: Kernel,
 }
 
 impl Default for GridOptions {
@@ -42,6 +47,7 @@ impl Default for GridOptions {
                 max_points: 512,
                 max_candidates: 20_000,
             },
+            kernel: Kernel::default(),
         }
     }
 }
@@ -64,11 +70,19 @@ pub fn grid_kcenter(
     assert!(k > 0, "grid solver requires k >= 1");
     assert!(opts.eps > 0.0, "eps must be positive");
     let d = points[0].dim();
-    let metric = Euclidean;
-    let gz = gonzalez(points, k, &metric, 0);
+    // The whole solve runs over one SoA store: the input points first,
+    // kept grid vertices appended behind them.
+    let mut store = PointStore::from_points(points);
+    let point_ids = store.ids();
+    let materialize = |sol: KCenterSolution<PointId>, store: &PointStore| KCenterSolution {
+        centers: sol.centers.iter().map(|&id| store.point(id)).collect(),
+        center_indices: sol.center_indices,
+        radius: sol.radius,
+    };
+    let gz = gonzalez(&point_ids, k, &StoreOracle::new(&store, opts.kernel), 0);
     if gz.radius == 0.0 {
         // k distinct-ish points already have zero radius: optimal.
-        return Some(gz);
+        return Some(materialize(gz, &store));
     }
     let r_hat = gz.radius; // in [opt, 2 opt]
     let sqrt_d = (d as f64).sqrt();
@@ -95,15 +109,26 @@ pub fn grid_kcenter(
         }
     }
     let keep_radius = r_hat + delta * sqrt_d;
-    let mut candidates: Vec<Point> = Vec::new();
+    let near_input = |store: &PointStore, coords: &[f64]| -> bool {
+        let cand_norm_sq = batch::dot_blocked(coords, coords);
+        point_ids.iter().any(|&p| {
+            let d_sq = match opts.kernel {
+                Kernel::Scalar => batch::dist_sq_scalar(store.coords(p), coords),
+                Kernel::Blocked => {
+                    batch::dist_sq_blocked(store.coords(p), store.norm_sq(p), coords, cand_norm_sq)
+                }
+            };
+            d_sq.sqrt() <= keep_radius
+        })
+    };
+    let mut cand_ids: Vec<PointId> = Vec::new();
     let mut idx = vec![0usize; d];
     'cells: loop {
         let coords: Vec<f64> = (0..d).map(|i| lo[i] + idx[i] as f64 * delta).collect();
-        let cand = Point::new(coords);
         // Keep the vertex only if some input point is within keep_radius.
-        if points.iter().any(|p| p.dist(&cand) <= keep_radius) {
-            candidates.push(cand);
-            if candidates.len() > opts.max_candidates {
+        if near_input(&store, &coords) {
+            cand_ids.push(store.push(&coords));
+            if cand_ids.len() > opts.max_candidates {
                 return None;
             }
         }
@@ -117,17 +142,18 @@ pub fn grid_kcenter(
         }
         break;
     }
-    if candidates.is_empty() {
-        return Some(gz);
+    if cand_ids.is_empty() {
+        return Some(materialize(gz, &store));
     }
-    let sol = exact_discrete_kcenter(points, &candidates, k, &metric, opts.exact)?;
+    let oracle = StoreOracle::new(&store, opts.kernel);
+    let sol = exact_discrete_kcenter(&point_ids, &cand_ids, k, &oracle, opts.exact)?;
     // The grid optimum is certified (1+eps); but Gonzalez may still win on
     // degenerate inputs (e.g. grid quantization of tiny instances), so take
     // the better of the two.
     if gz.radius < sol.radius {
-        Some(gz)
+        Some(materialize(gz, &store))
     } else {
-        Some(sol)
+        Some(materialize(sol, &store))
     }
 }
 
@@ -136,7 +162,7 @@ mod tests {
     use super::*;
     use crate::exact::{exact_discrete_kcenter, ExactOptions};
     use crate::kcenter_cost;
-    use ukc_metric::Metric;
+    use ukc_metric::{Euclidean, Metric};
 
     fn cloud(seed: u64, n: usize, d: usize) -> Vec<Point> {
         let mut s = seed | 1;
@@ -242,7 +268,7 @@ mod tests {
         let opts = GridOptions {
             eps: 0.01,
             max_candidates: 100,
-            exact: ExactOptions::default(),
+            ..Default::default()
         };
         assert!(grid_kcenter(&pts, 2, opts).is_none());
     }

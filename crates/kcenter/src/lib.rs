@@ -5,20 +5,20 @@
 //! for the k-center problem for `P̄₁..P̄_n`". This crate supplies the
 //! interchangeable certain-point solvers:
 //!
-//! * [`gonzalez`] — the greedy farthest-point 2-approximation of Gonzalez
+//! * [`gonzalez()`] — the greedy farthest-point 2-approximation of Gonzalez
 //!   \[13\], O(nk); used by the paper's Remark 3.1 to obtain the factor-6 and
 //!   factor-4 rows of Table 1 in O(nz + n log k) total time.
-//! * [`exact`] — exact *discrete* k-center (centers restricted to a candidate
+//! * [`mod@exact`] — exact *discrete* k-center (centers restricted to a candidate
 //!   pool) via binary search over the candidate radii with a
 //!   branch-and-bound set-cover decision procedure; the optimum reference
 //!   for small instances.
-//! * [`local_search`] — single-swap local search refinement over a discrete
+//! * [`mod@local_search`] — single-swap local search refinement over a discrete
 //!   candidate pool; a cheap improvement pass between Gonzalez and exact.
-//! * [`grid`] — a certified (1+ε)-approximation for low-dimensional
+//! * [`mod@grid`] — a certified (1+ε)-approximation for low-dimensional
 //!   Euclidean inputs: snap candidate centers to a grid of spacing
 //!   `ε·r̂/(2√d)` (where `r̂` is the Gonzalez radius) and solve the discrete
 //!   problem exactly over the grid candidates.
-//! * [`one_d`] — exact 1-D k-center in O(n log n) (binary search over
+//! * [`mod@one_d`] — exact 1-D k-center in O(n log n) (binary search over
 //!   candidate radii with a linear sweep), the deterministic special case
 //!   the paper's row 8 builds on.
 //!
@@ -41,24 +41,37 @@ pub use grid::{grid_kcenter, GridOptions};
 pub use local_search::local_search_kcenter;
 pub use one_d::one_d_kcenter;
 
-use ukc_metric::Metric;
+use ukc_metric::DistanceOracle;
 
 /// The k-center cost of a center set: `max_i d(pᵢ, C)`.
 ///
 /// Returns 0 for an empty point set and `+∞` for an empty center set over a
 /// non-empty point set.
-pub fn kcenter_cost<P, M: Metric<P>>(points: &[P], centers: &[P], metric: &M) -> f64 {
-    points
-        .iter()
-        .map(|p| metric.dist_to_set(p, centers))
-        .fold(0.0, f64::max)
+///
+/// Evaluated center-major through the batched
+/// [`DistanceOracle::dists_to_set_min`] kernel; the result is identical to
+/// the point-major `max_i min_c` loop (min and max are order-independent
+/// over the same pair set), and the evaluation count is `n·k` either way.
+pub fn kcenter_cost<P, M: DistanceOracle<P>>(points: &[P], centers: &[P], metric: &M) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let mut min_dist = vec![f64::INFINITY; points.len()];
+    for c in centers {
+        metric.dists_to_set_min(points, c, &mut min_dist);
+    }
+    min_dist.into_iter().fold(0.0, f64::max)
 }
 
 /// Assigns every point to its nearest center, returning center indices.
 ///
 /// # Panics
 /// Panics when `centers` is empty and `points` is not.
-pub fn nearest_assignment<P, M: Metric<P>>(points: &[P], centers: &[P], metric: &M) -> Vec<usize> {
+pub fn nearest_assignment<P, M: DistanceOracle<P>>(
+    points: &[P],
+    centers: &[P],
+    metric: &M,
+) -> Vec<usize> {
     points
         .iter()
         .map(|p| {

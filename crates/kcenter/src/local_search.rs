@@ -10,7 +10,7 @@
 
 use crate::gonzalez::KCenterSolution;
 use crate::kcenter_cost;
-use ukc_metric::Metric;
+use ukc_metric::DistanceOracle;
 
 /// Improves `initial` center indices (into `candidates`) by best-improvement
 /// single swaps until no swap helps or `max_rounds` is exhausted.
@@ -21,7 +21,7 @@ use ukc_metric::Metric;
 /// # Panics
 /// Panics when `points` or `candidates` is empty, or an initial index is out
 /// of range.
-pub fn local_search_kcenter<P: Clone, M: Metric<P>>(
+pub fn local_search_kcenter<P: Clone, M: DistanceOracle<P>>(
     points: &[P],
     candidates: &[P],
     initial: &[usize],

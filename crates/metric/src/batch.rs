@@ -1,0 +1,337 @@
+//! Batched Euclidean distance kernels over a [`PointStore`].
+//!
+//! Two interchangeable kernels compute every routine:
+//!
+//! * [`Kernel::Scalar`] — per-pair difference-and-square with sequential
+//!   summation, the exact arithmetic of [`crate::Point::dist`]. Results
+//!   are bit-identical to the pointwise [`crate::Euclidean`] metric; this
+//!   is the reference path the golden-equivalence suites pin against.
+//! * [`Kernel::Blocked`] — the `‖a−b‖² = ‖a‖² + ‖b‖² − 2a·b` form over
+//!   8-wide unrolled dot products, using the store's cached squared
+//!   norms. Faster (independent accumulators expose instruction-level
+//!   parallelism and vectorize), but the different f64 summation order
+//!   perturbs results by a few ulps; callers needing bit-stability pick
+//!   `Scalar`.
+//!
+//! Both kernels perform — and [`DistCounter`]-instrumented callers count —
+//! exactly one distance evaluation per point-pair, so switching kernels
+//! never changes instrumentation.
+
+use crate::store::{PointId, PointStore};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which distance kernel evaluates batched routines.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Per-pair difference-and-square, sequential summation over
+    /// dimensions: bit-identical to [`crate::Point::dist`].
+    Scalar,
+    /// Norm-factorized form over 8-wide unrolled dot products; fastest,
+    /// with last-ulp deviations from the scalar path.
+    #[default]
+    Blocked,
+}
+
+impl Kernel {
+    /// Short name for reports and config keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Scalar => "scalar",
+            Kernel::Blocked => "blocked",
+        }
+    }
+}
+
+/// A shared distance-evaluation counter (relaxed atomic adds).
+///
+/// The kernels' callers bump it by the number of point-pairs evaluated;
+/// `ukc-core` threads one through every solve so [`Kernel::Scalar`] and
+/// [`Kernel::Blocked`] report identical `distance_evals`.
+#[derive(Debug, Default)]
+pub struct DistCounter(AtomicU64);
+
+impl DistCounter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Adds `n` evaluations.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The evaluations so far.
+    pub fn count(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Evaluations since a previous [`DistCounter::count`].
+    pub fn since(&self, since: u64) -> u64 {
+        self.count().saturating_sub(since)
+    }
+}
+
+/// Squared distance by sequential difference-and-square — the exact
+/// arithmetic of [`crate::Point::dist_sq`].
+///
+/// # Panics
+/// Debug-asserts equal lengths; release builds truncate to the shorter.
+#[inline]
+pub fn dist_sq_scalar(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// One 8-lane block: products summed by the fixed reduction tree.
+#[inline(always)]
+fn dot8(xs: &[f64; 8], ys: &[f64; 8]) -> f64 {
+    ((xs[0] * ys[0] + xs[4] * ys[4]) + (xs[1] * ys[1] + xs[5] * ys[5]))
+        + ((xs[2] * ys[2] + xs[6] * ys[6]) + (xs[3] * ys[3] + xs[7] * ys[7]))
+}
+
+/// Dot product with eight independent accumulators (8-wide unroll).
+///
+/// The independent partial sums break the sequential-add dependency
+/// chain, which is what lets the compiler vectorize and the CPU overlap
+/// the multiply-adds.
+#[inline]
+pub fn dot_blocked(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+    // The d == 8 case (one exact block) is the kernel-comparison sweet
+    // spot; dispatching to the fixed-size form skips all iterator and
+    // remainder machinery. The summation tree is identical to the general
+    // path's, so both produce the same value for the same input.
+    if let (Ok(xs), Ok(ys)) = (<&[f64; 8]>::try_from(a), <&[f64; 8]>::try_from(b)) {
+        return dot8(xs, ys);
+    }
+    let n = a.len().min(b.len());
+    let mut ca = a[..n].chunks_exact(8);
+    let mut cb = b[..n].chunks_exact(8);
+    let mut acc = [0.0f64; 8];
+    for (xs, ys) in (&mut ca).zip(&mut cb) {
+        // Fixed-size views let the compiler drop every bounds check and
+        // keep the 8 lanes in vector registers.
+        let xs: &[f64; 8] = xs.try_into().expect("chunks_exact(8)");
+        let ys: &[f64; 8] = ys.try_into().expect("chunks_exact(8)");
+        for lane in 0..8 {
+            acc[lane] += xs[lane] * ys[lane];
+        }
+    }
+    let mut tail = 0.0;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y;
+    }
+    (((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]))) + tail
+}
+
+/// Squared distance via `‖a‖² + ‖b‖² − 2a·b` with precomputed norms,
+/// clamped at zero (cancellation can produce a tiny negative).
+#[inline]
+pub fn dist_sq_blocked(a: &[f64], a_norm_sq: f64, b: &[f64], b_norm_sq: f64) -> f64 {
+    ((a_norm_sq + b_norm_sq) - 2.0 * dot_blocked(a, b)).max(0.0)
+}
+
+#[inline]
+fn pair_dist(
+    store: &PointStore,
+    a: PointId,
+    q_coords: &[f64],
+    q_norm_sq: f64,
+    kernel: Kernel,
+) -> f64 {
+    match kernel {
+        Kernel::Scalar => dist_sq_scalar(store.coords(a), q_coords).sqrt(),
+        Kernel::Blocked => {
+            dist_sq_blocked(store.coords(a), store.norm_sq(a), q_coords, q_norm_sq).sqrt()
+        }
+    }
+}
+
+/// Fills `out[i] = d(points[i], q)`.
+///
+/// # Panics
+/// Panics when `out` is shorter than `points`.
+pub fn dists_to_one(
+    store: &PointStore,
+    points: &[PointId],
+    q: PointId,
+    kernel: Kernel,
+    out: &mut [f64],
+) {
+    assert!(out.len() >= points.len(), "output buffer too small");
+    let qc = store.coords(q);
+    let qn = store.norm_sq(q);
+    for (p, o) in points.iter().zip(out.iter_mut()) {
+        *o = pair_dist(store, *p, qc, qn, kernel);
+    }
+}
+
+/// Tightens a running minimum-distance array against a new center:
+/// `min_dist[i] = min(min_dist[i], d(points[i], center))` — the exact
+/// inner loop of Gonzalez's farthest-point sweep.
+///
+/// # Panics
+/// Panics when `min_dist` is shorter than `points`.
+pub fn dists_to_set_min(
+    store: &PointStore,
+    points: &[PointId],
+    center: PointId,
+    kernel: Kernel,
+    min_dist: &mut [f64],
+) {
+    assert!(min_dist.len() >= points.len(), "min-dist buffer too small");
+    let cc = store.coords(center);
+    let cn = store.norm_sq(center);
+    match kernel {
+        Kernel::Scalar => {
+            for (p, d) in points.iter().zip(min_dist.iter_mut()) {
+                let nd = dist_sq_scalar(store.coords(*p), cc).sqrt();
+                if nd < *d {
+                    *d = nd;
+                }
+            }
+        }
+        Kernel::Blocked => {
+            // Compare in squared space and take the square root only on an
+            // actual improvement: in a min-update sweep most pairs do not
+            // tighten the minimum, so most `sqrt`s are skipped. (sqrt is
+            // monotone, so the comparison is equivalent up to rounding —
+            // within the blocked kernel's tolerance contract.)
+            for (p, d) in points.iter().zip(min_dist.iter_mut()) {
+                let nd_sq = dist_sq_blocked(store.coords(*p), store.norm_sq(*p), cc, cn);
+                if nd_sq < *d * *d {
+                    *d = nd_sq.sqrt();
+                }
+            }
+        }
+    }
+}
+
+/// Index (into `centers`) and distance of the center nearest to `q`,
+/// ties broken toward the lower index; `None` for an empty center set.
+pub fn nearest_center(
+    store: &PointStore,
+    centers: &[PointId],
+    q: PointId,
+    kernel: Kernel,
+) -> Option<(usize, f64)> {
+    let qc = store.coords(q);
+    let qn = store.norm_sq(q);
+    match kernel {
+        Kernel::Scalar => {
+            let mut best: Option<(usize, f64)> = None;
+            for (i, c) in centers.iter().enumerate() {
+                let d = dist_sq_scalar(store.coords(*c), qc).sqrt();
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((i, d));
+                }
+            }
+            best
+        }
+        Kernel::Blocked => {
+            // Squared-space argmin, one sqrt at the end.
+            let mut best: Option<(usize, f64)> = None;
+            for (i, c) in centers.iter().enumerate() {
+                let d_sq = dist_sq_blocked(store.coords(*c), store.norm_sq(*c), qc, qn);
+                if best.is_none_or(|(_, bd)| d_sq < bd) {
+                    best = Some((i, d_sq));
+                }
+            }
+            best.map(|(i, d_sq)| (i, d_sq.sqrt()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Point;
+
+    fn store(seed: u64, n: usize, d: usize) -> PointStore {
+        let mut s = seed | 1;
+        let mut rnd = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<Point> = (0..n)
+            .map(|_| Point::new((0..d).map(|_| rnd() * 10.0 - 5.0).collect()))
+            .collect();
+        PointStore::from_points(&pts)
+    }
+
+    #[test]
+    fn dot_blocked_matches_sequential() {
+        for d in [1usize, 7, 8, 9, 24, 31] {
+            let s = store(d as u64, 2, d);
+            let a = s.coords(PointId(0));
+            let b = s.coords(PointId(1));
+            let sequential: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+            assert!((dot_blocked(a, b) - sequential).abs() < 1e-9 * (1.0 + sequential.abs()));
+        }
+    }
+
+    #[test]
+    fn kernels_agree_on_batched_routines() {
+        let s = store(11, 20, 9);
+        let ids = s.ids();
+        for q in [PointId(0), PointId(7), PointId(19)] {
+            let mut scalar = vec![0.0; ids.len()];
+            let mut blocked = vec![0.0; ids.len()];
+            dists_to_one(&s, &ids, q, Kernel::Scalar, &mut scalar);
+            dists_to_one(&s, &ids, q, Kernel::Blocked, &mut blocked);
+            for (a, b) in scalar.iter().zip(blocked.iter()) {
+                assert!((a - b).abs() < 1e-9 * (1.0 + a));
+            }
+        }
+    }
+
+    #[test]
+    fn dists_to_set_min_is_running_minimum() {
+        let s = store(2, 15, 3);
+        let ids = s.ids();
+        let mut min_dist = vec![f64::INFINITY; ids.len()];
+        for c in [PointId(3), PointId(9)] {
+            dists_to_set_min(&s, &ids, c, Kernel::Scalar, &mut min_dist);
+        }
+        for (i, id) in ids.iter().enumerate() {
+            let d3 = dist_sq_scalar(s.coords(*id), s.coords(PointId(3))).sqrt();
+            let d9 = dist_sq_scalar(s.coords(*id), s.coords(PointId(9))).sqrt();
+            assert_eq!(min_dist[i], d3.min(d9), "point {i}");
+        }
+    }
+
+    #[test]
+    fn nearest_center_ties_prefer_first() {
+        let pts = vec![
+            Point::new(vec![1.0, 0.0]),
+            Point::new(vec![-1.0, 0.0]),
+            Point::new(vec![0.0, 0.0]),
+        ];
+        let s = PointStore::from_points(&pts);
+        let centers = [PointId(0), PointId(1)];
+        let (idx, d) = nearest_center(&s, &centers, PointId(2), Kernel::Blocked).unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(d, 1.0);
+        assert!(nearest_center(&s, &[], PointId(2), Kernel::Scalar).is_none());
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let c = DistCounter::new();
+        c.add(3);
+        c.add(4);
+        assert_eq!(c.count(), 7);
+        assert_eq!(c.since(5), 2);
+        assert_eq!(c.since(10), 0);
+    }
+}

@@ -32,17 +32,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod finite;
 mod graph;
 mod lp;
 mod point;
+mod store;
 mod tree;
 pub mod validate;
 
+pub use batch::{DistCounter, Kernel};
 pub use finite::{FiniteMetric, FiniteMetricError};
 pub use graph::{GraphError, WeightedGraph};
 pub use lp::{Chebyshev, Euclidean, Manhattan, Minkowski};
-pub use point::Point;
+pub use point::{Point, PointError};
+pub use store::{PointId, PointStore, StoreOracle};
 pub use tree::{TreeError, TreeMetric};
 
 /// A metric over points of type `P`.
@@ -86,6 +90,73 @@ pub trait Metric<P: ?Sized> {
 impl<P: ?Sized, M: Metric<P> + ?Sized> Metric<P> for &M {
     fn dist(&self, a: &P, b: &P) -> f64 {
         (**self).dist(a, b)
+    }
+}
+
+/// A [`Metric`] that additionally answers *batched* distance queries —
+/// the trait every solver hot loop is written against.
+///
+/// The default methods evaluate one pair at a time through
+/// [`Metric::dist`], in the exact order the scalar loops always used, so
+/// finite, graph, and tree metrics (and any custom [`Metric`]) participate
+/// unchanged by adding an empty `impl DistanceOracle<…> for …` block. The
+/// [`StoreOracle`] over a [`PointStore`] overrides them with the blocked
+/// kernels of [`batch`], which is where the structure-of-arrays layout and
+/// the `‖a−b‖² = ‖a‖² + ‖b‖² − 2a·b` factorization pay off.
+///
+/// Contract for implementors: every override must evaluate (and, when
+/// instrumented, count) exactly one distance per point-pair, must break
+/// nearest-center ties toward the lower index, and may only change the
+/// *rounding* of results relative to the defaults — never which pairs are
+/// evaluated.
+pub trait DistanceOracle<P>: Metric<P> {
+    /// Fills `out[i] = d(points[i], q)`.
+    ///
+    /// # Panics
+    /// Panics when `out` is shorter than `points`.
+    fn dists_to_one(&self, points: &[P], q: &P, out: &mut [f64]) {
+        assert!(out.len() >= points.len(), "output buffer too small");
+        for (p, o) in points.iter().zip(out.iter_mut()) {
+            *o = self.dist(p, q);
+        }
+    }
+
+    /// Tightens a running minimum-distance array against a new center:
+    /// `min_dist[i] = min(min_dist[i], d(points[i], center))` — the
+    /// Gonzalez inner loop.
+    ///
+    /// # Panics
+    /// Panics when `min_dist` is shorter than `points`.
+    fn dists_to_set_min(&self, points: &[P], center: &P, min_dist: &mut [f64]) {
+        assert!(min_dist.len() >= points.len(), "min-dist buffer too small");
+        for (p, d) in points.iter().zip(min_dist.iter_mut()) {
+            let nd = self.dist(p, center);
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+}
+
+impl<P> DistanceOracle<P> for Euclidean where Euclidean: Metric<P> {}
+impl<P> DistanceOracle<P> for Manhattan where Manhattan: Metric<P> {}
+impl<P> DistanceOracle<P> for Chebyshev where Chebyshev: Metric<P> {}
+impl<P> DistanceOracle<P> for Minkowski where Minkowski: Metric<P> {}
+impl DistanceOracle<usize> for FiniteMetric {}
+impl DistanceOracle<usize> for TreeMetric {}
+
+// Metric trait objects participate with the default (pointwise) batch
+// loops, so `&dyn Metric<P>` plugs into oracle-bounded algorithms as-is.
+impl<P> DistanceOracle<P> for dyn Metric<P> + '_ {}
+impl<P> DistanceOracle<P> for dyn Metric<P> + Send + Sync + '_ {}
+
+impl<P, M: DistanceOracle<P> + ?Sized> DistanceOracle<P> for &M {
+    fn dists_to_one(&self, points: &[P], q: &P, out: &mut [f64]) {
+        (**self).dists_to_one(points, q, out)
+    }
+
+    fn dists_to_set_min(&self, points: &[P], center: &P, min_dist: &mut [f64]) {
+        (**self).dists_to_set_min(points, center, min_dist)
     }
 }
 

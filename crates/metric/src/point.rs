@@ -3,6 +3,44 @@
 use std::fmt;
 use std::ops::{Add, Index, Mul, Sub};
 
+/// Errors produced while constructing a [`Point`] (or pushing raw
+/// coordinates into a [`crate::PointStore`]) without panicking.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PointError {
+    /// No coordinates supplied.
+    Empty,
+    /// A coordinate is NaN or infinite.
+    NonFinite {
+        /// Index of the offending coordinate.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The coordinate count disagrees with the expected dimension.
+    DimMismatch {
+        /// Length found.
+        got: usize,
+        /// Length expected.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for PointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PointError::Empty => write!(f, "Point must have at least one coordinate"),
+            PointError::NonFinite { index, value } => {
+                write!(f, "coordinate {index} is not finite: {value}")
+            }
+            PointError::DimMismatch { got, expected } => {
+                write!(f, "dimension mismatch: {got} vs {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PointError {}
+
 /// A point in `ℝ^d` with runtime-determined dimension `d`.
 ///
 /// `Point` is the workhorse coordinate type of the Euclidean experiments.
@@ -34,6 +72,24 @@ impl Point {
         Self {
             coords: coords.into_boxed_slice(),
         }
+    }
+
+    /// Creates a point, returning a typed error instead of panicking on
+    /// empty or non-finite coordinates — the constructor for coordinates
+    /// that arrive from untrusted input (JSON bodies, CLI files).
+    pub fn try_new(coords: Vec<f64>) -> Result<Self, PointError> {
+        if coords.is_empty() {
+            return Err(PointError::Empty);
+        }
+        if let Some(index) = coords.iter().position(|c| !c.is_finite()) {
+            return Err(PointError::NonFinite {
+                index,
+                value: coords[index],
+            });
+        }
+        Ok(Self {
+            coords: coords.into_boxed_slice(),
+        })
     }
 
     /// The origin of `ℝ^dim`.

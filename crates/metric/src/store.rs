@@ -1,0 +1,364 @@
+//! Structure-of-arrays point storage — the substrate of the distance
+//! kernels.
+//!
+//! Every hot loop of the reproduction bottoms out in pairwise distance
+//! evaluations. Individually boxed [`Point`]s make those loops
+//! pointer-chases: each distance dereferences two heap allocations. A
+//! [`PointStore`] instead keeps *all* coordinates in one contiguous
+//! `Vec<f64>` (point `i` occupies `[i·d, (i+1)·d)`) and caches each
+//! point's squared norm, so the blocked kernels of [`crate::batch`] can
+//! stream coordinates and use the `‖a−b‖² = ‖a‖² + ‖b‖² − 2a·b`
+//! factorization.
+//!
+//! Points are addressed by [`PointId`], a plain index newtype. A
+//! [`StoreOracle`] view over a store implements
+//! [`Metric<PointId>`](crate::Metric) and overrides the batched methods of
+//! [`DistanceOracle`](crate::DistanceOracle) with the kernels, so every
+//! generic algorithm in the workspace runs unchanged — only faster — when
+//! handed ids instead of boxed points.
+
+use crate::batch::{self, DistCounter, Kernel};
+use crate::point::{Point, PointError};
+use crate::{DistanceOracle, Metric};
+
+/// Index of a point inside a [`PointStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PointId(pub usize);
+
+impl PointId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Contiguous structure-of-arrays storage for fixed-dimension Euclidean
+/// points: one flat coordinate buffer plus cached squared norms.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PointStore {
+    dim: usize,
+    coords: Vec<f64>,
+    norms_sq: Vec<f64>,
+}
+
+impl PointStore {
+    /// An empty store of dimension `dim`.
+    ///
+    /// # Panics
+    /// Panics when `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "PointStore dimension must be positive");
+        Self {
+            dim,
+            coords: Vec::new(),
+            norms_sq: Vec::new(),
+        }
+    }
+
+    /// An empty store with room for `n` points.
+    pub fn with_capacity(dim: usize, n: usize) -> Self {
+        let mut s = Self::new(dim);
+        s.coords.reserve(n * dim);
+        s.norms_sq.reserve(n);
+        s
+    }
+
+    /// Builds a store from a point slice.
+    ///
+    /// # Panics
+    /// Panics when `points` is empty or dimensions disagree.
+    pub fn from_points(points: &[Point]) -> Self {
+        assert!(!points.is_empty(), "PointStore needs at least one point");
+        let mut s = Self::with_capacity(points[0].dim(), points.len());
+        for p in points {
+            s.push_point(p);
+        }
+        s
+    }
+
+    /// Appends a point given its coordinates, returning its id.
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch or a non-finite coordinate.
+    pub fn push(&mut self, coords: &[f64]) -> PointId {
+        self.try_push(coords).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Appends a point, returning a typed error instead of panicking on a
+    /// dimension mismatch or non-finite coordinate.
+    pub fn try_push(&mut self, coords: &[f64]) -> Result<PointId, PointError> {
+        if coords.len() != self.dim {
+            return Err(PointError::DimMismatch {
+                got: coords.len(),
+                expected: self.dim,
+            });
+        }
+        if let Some(index) = coords.iter().position(|c| !c.is_finite()) {
+            return Err(PointError::NonFinite {
+                index,
+                value: coords[index],
+            });
+        }
+        let id = PointId(self.norms_sq.len());
+        self.coords.extend_from_slice(coords);
+        // The cached norm uses the same blocked summation as the kernels'
+        // dot products, so `‖a‖² + ‖b‖² − 2a·b` cancels exactly for a == b.
+        self.norms_sq.push(batch::dot_blocked(coords, coords));
+        Ok(id)
+    }
+
+    /// Appends an existing [`Point`].
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch.
+    pub fn push_point(&mut self, p: &Point) -> PointId {
+        self.push(p.coords())
+    }
+
+    /// Number of stored points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.norms_sq.len()
+    }
+
+    /// `true` when no points are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.norms_sq.is_empty()
+    }
+
+    /// The shared dimension `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The coordinates of point `id`.
+    ///
+    /// # Panics
+    /// Panics when `id` is out of range.
+    #[inline]
+    pub fn coords(&self, id: PointId) -> &[f64] {
+        &self.coords[id.0 * self.dim..(id.0 + 1) * self.dim]
+    }
+
+    /// The cached squared norm `‖p‖²` of point `id`.
+    #[inline]
+    pub fn norm_sq(&self, id: PointId) -> f64 {
+        self.norms_sq[id.0]
+    }
+
+    /// The whole coordinate buffer (`len() * dim()` values, point-major).
+    #[inline]
+    pub fn raw_coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// All cached squared norms, indexed by point.
+    #[inline]
+    pub fn raw_norms_sq(&self) -> &[f64] {
+        &self.norms_sq
+    }
+
+    /// Materializes point `id` as an owned [`Point`].
+    pub fn point(&self, id: PointId) -> Point {
+        Point::new(self.coords(id).to_vec())
+    }
+
+    /// The ids `0..len()` in order.
+    pub fn ids(&self) -> Vec<PointId> {
+        (0..self.len()).map(PointId).collect()
+    }
+}
+
+/// A distance oracle over a [`PointStore`]: implements
+/// [`Metric<PointId>`] pairwise and overrides the batched
+/// [`DistanceOracle`] methods with the [`crate::batch`] kernels.
+///
+/// The oracle optionally shares a [`DistCounter`]; every evaluated
+/// point-pair bumps it by exactly one, whether computed by the scalar or
+/// the blocked kernel, so instrumentation counts are kernel-independent.
+pub struct StoreOracle<'a> {
+    store: &'a PointStore,
+    kernel: Kernel,
+    counter: Option<&'a DistCounter>,
+}
+
+impl<'a> StoreOracle<'a> {
+    /// An oracle over `store` using `kernel`, not counting evaluations.
+    pub fn new(store: &'a PointStore, kernel: Kernel) -> Self {
+        Self {
+            store,
+            kernel,
+            counter: None,
+        }
+    }
+
+    /// Attaches an evaluation counter (one tick per point-pair).
+    pub fn with_counter(mut self, counter: &'a DistCounter) -> Self {
+        self.counter = Some(counter);
+        self
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &'a PointStore {
+        self.store
+    }
+
+    /// The active kernel.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    #[inline]
+    fn tally(&self, n: usize) {
+        if let Some(c) = self.counter {
+            c.add(n as u64);
+        }
+    }
+}
+
+impl Metric<PointId> for StoreOracle<'_> {
+    #[inline]
+    fn dist(&self, a: &PointId, b: &PointId) -> f64 {
+        self.tally(1);
+        let s = self.store;
+        match self.kernel {
+            Kernel::Scalar => batch::dist_sq_scalar(s.coords(*a), s.coords(*b)).sqrt(),
+            Kernel::Blocked => {
+                batch::dist_sq_blocked(s.coords(*a), s.norm_sq(*a), s.coords(*b), s.norm_sq(*b))
+                    .sqrt()
+            }
+        }
+    }
+
+    fn nearest(&self, a: &PointId, centers: &[PointId]) -> Option<(usize, f64)> {
+        self.tally(centers.len());
+        batch::nearest_center(self.store, centers, *a, self.kernel)
+    }
+}
+
+impl DistanceOracle<PointId> for StoreOracle<'_> {
+    fn dists_to_one(&self, points: &[PointId], q: &PointId, out: &mut [f64]) {
+        self.tally(points.len());
+        batch::dists_to_one(self.store, points, *q, self.kernel, out);
+    }
+
+    fn dists_to_set_min(&self, points: &[PointId], center: &PointId, min_dist: &mut [f64]) {
+        self.tally(points.len());
+        batch::dists_to_set_min(self.store, points, *center, self.kernel, min_dist);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Euclidean;
+
+    fn cloud(seed: u64, n: usize, d: usize) -> Vec<Point> {
+        let mut s = seed | 1;
+        let mut rnd = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| Point::new((0..d).map(|_| rnd() * 20.0 - 10.0).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn store_roundtrips_points() {
+        let pts = cloud(1, 7, 3);
+        let store = PointStore::from_points(&pts);
+        assert_eq!(store.len(), 7);
+        assert_eq!(store.dim(), 3);
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(store.coords(PointId(i)), p.coords());
+            assert_eq!(store.point(PointId(i)), *p);
+        }
+    }
+
+    #[test]
+    fn try_push_rejects_bad_input() {
+        let mut store = PointStore::new(2);
+        assert!(matches!(
+            store.try_push(&[1.0]),
+            Err(PointError::DimMismatch {
+                got: 1,
+                expected: 2
+            })
+        ));
+        assert!(matches!(
+            store.try_push(&[1.0, f64::NAN]),
+            Err(PointError::NonFinite { index: 1, .. })
+        ));
+        assert!(store.try_push(&[1.0, 2.0]).is_ok());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn scalar_oracle_matches_euclidean_exactly() {
+        let pts = cloud(3, 12, 5);
+        let store = PointStore::from_points(&pts);
+        let oracle = StoreOracle::new(&store, Kernel::Scalar);
+        for i in 0..pts.len() {
+            for j in 0..pts.len() {
+                let reference = Euclidean.dist(&pts[i], &pts[j]);
+                let d = oracle.dist(&PointId(i), &PointId(j));
+                assert_eq!(d.to_bits(), reference.to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_oracle_matches_within_tolerance() {
+        for d in [1usize, 2, 3, 7, 8, 9, 16, 33] {
+            let pts = cloud(d as u64 + 1, 9, d);
+            let store = PointStore::from_points(&pts);
+            let oracle = StoreOracle::new(&store, Kernel::Blocked);
+            for i in 0..pts.len() {
+                for j in 0..pts.len() {
+                    let reference = Euclidean.dist(&pts[i], &pts[j]);
+                    let got = oracle.dist(&PointId(i), &PointId(j));
+                    assert!(
+                        (got - reference).abs() <= 1e-9 * (1.0 + reference),
+                        "d={d} ({i},{j}): {got} vs {reference}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_distance_of_point_to_itself_is_exactly_zero() {
+        let pts = cloud(9, 5, 13);
+        let store = PointStore::from_points(&pts);
+        let oracle = StoreOracle::new(&store, Kernel::Blocked);
+        for i in 0..pts.len() {
+            assert_eq!(oracle.dist(&PointId(i), &PointId(i)), 0.0);
+        }
+    }
+
+    #[test]
+    fn oracle_counts_every_pair_once_regardless_of_kernel() {
+        let pts = cloud(5, 10, 4);
+        let store = PointStore::from_points(&pts);
+        let ids = store.ids();
+        let mut counts = Vec::new();
+        for kernel in [Kernel::Scalar, Kernel::Blocked] {
+            let counter = DistCounter::new();
+            let oracle = StoreOracle::new(&store, kernel).with_counter(&counter);
+            let mut out = vec![0.0; ids.len()];
+            oracle.dists_to_one(&ids, &PointId(0), &mut out);
+            oracle.dists_to_set_min(&ids, &PointId(3), &mut out);
+            let _ = oracle.nearest(&PointId(2), &ids[..4]);
+            let _ = oracle.dist(&PointId(0), &PointId(1));
+            counts.push(counter.count());
+        }
+        assert_eq!(counts[0], counts[1]);
+        assert_eq!(counts[0], 10 + 10 + 4 + 1);
+    }
+}

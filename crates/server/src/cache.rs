@@ -56,11 +56,12 @@ pub fn config_key(config: &SolverConfig) -> String {
     let grid = config.grid_options();
     let exact = config.exact_options();
     format!(
-        "rule={:?};strategy={strategy};eps={:016x};seed={};policy={policy};lb={};grid={:?};exact={:?}",
+        "rule={:?};strategy={strategy};eps={:016x};seed={};policy={policy};lb={};kernel={};grid={:?};exact={:?}",
         config.rule(),
         config.eps().to_bits(),
         config.seed(),
         config.computes_lower_bound(),
+        config.kernel().name(),
         grid,
         exact,
     )

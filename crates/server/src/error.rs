@@ -121,6 +121,7 @@ impl From<SolveError> for ApiError {
             SolveError::EmptySet => "empty_set",
             SolveError::KExceedsN { .. } => "k_exceeds_n",
             SolveError::EmptyCandidates => "empty_candidates",
+            SolveError::DimensionMismatch { .. } => "dimension_mismatch",
             SolveError::RuleUnsupported { .. } => "rule_unsupported",
             SolveError::StrategyUnsupported { .. } => "strategy_unsupported",
             SolveError::BadEpsilon { .. } => "bad_epsilon",
@@ -145,7 +146,8 @@ impl From<FormatError> for ApiError {
             },
             FormatError::DimMismatch { .. }
             | FormatError::BadPoint { .. }
-            | FormatError::NonFinite { .. } => ApiError {
+            | FormatError::NonFinite { .. }
+            | FormatError::EmptyLocation { .. } => ApiError {
                 status: 422,
                 kind: "bad_instance",
                 message: e.to_string(),

@@ -1,6 +1,6 @@
 //! The solve scheduler: coalesces concurrent requests into batch waves.
 //!
-//! Connection threads do no solving. They submit a [`Job`] over an
+//! Connection threads do no solving. They submit a `Job` over an
 //! `mpsc` channel and block on a reply channel; a single long-lived
 //! dispatcher thread drains the queue into a **wave** (everything
 //! currently pending, up to [`MAX_WAVE`]), groups the wave by

@@ -3,7 +3,7 @@
 //! For fixed centers (and, in the assigned versions, a fixed assignment)
 //! the per-point distance variables are independent, so the paper's
 //! expected costs are `E[max]` of independent discrete variables and the
-//! sweep of [`crate::expected_max`] computes them exactly. The enumerated
+//! sweep of [`crate::expected_max()`] computes them exactly. The enumerated
 //! and Monte-Carlo versions exist to cross-validate that exactness and to
 //! support the sampling baseline.
 
@@ -11,12 +11,12 @@ use crate::expected_max::{expected_max, expected_max_enumerate};
 use crate::realization::sample_realization;
 use crate::set::UncertainSet;
 use rand::Rng;
-use ukc_metric::Metric;
+use ukc_metric::DistanceOracle;
 
 /// Builds the per-point distance variables for the *assigned* cost: point
 /// `i`'s variable takes value `d(Pᵢⱼ, centers[assignment[i]])` with
 /// probability `pᵢⱼ`.
-fn assigned_vars<P, M: Metric<P>>(
+fn assigned_vars<P, M: DistanceOracle<P>>(
     set: &UncertainSet<P>,
     centers: &[P],
     assignment: &[usize],
@@ -27,12 +27,18 @@ fn assigned_vars<P, M: Metric<P>>(
         set.n(),
         "assignment must name a center for every point"
     );
+    let mut dists = vec![0.0f64; set.max_z()];
     set.iter()
         .zip(assignment.iter())
         .map(|(up, &a)| {
             assert!(a < centers.len(), "assignment index out of range");
-            up.support()
-                .map(|(loc, p)| (metric.dist(loc, &centers[a]), p))
+            // One batched sweep per point: distances from every location
+            // to the assigned center, then zip in the probabilities.
+            metric.dists_to_one(up.locations(), &centers[a], &mut dists);
+            dists[..up.z()]
+                .iter()
+                .zip(up.probs().iter())
+                .map(|(&d, &p)| (d, p))
                 .collect()
         })
         .collect()
@@ -40,16 +46,26 @@ fn assigned_vars<P, M: Metric<P>>(
 
 /// Builds the per-point distance variables for the *unassigned* cost:
 /// point `i`'s variable takes value `d(Pᵢⱼ, C) = min_c d(Pᵢⱼ, c)`.
-fn unassigned_vars<P, M: Metric<P>>(
+fn unassigned_vars<P, M: DistanceOracle<P>>(
     set: &UncertainSet<P>,
     centers: &[P],
     metric: &M,
 ) -> Vec<Vec<(f64, f64)>> {
     assert!(!centers.is_empty(), "need at least one center");
+    let mut min_dist = vec![0.0f64; set.max_z()];
     set.iter()
         .map(|up| {
-            up.support()
-                .map(|(loc, p)| (metric.dist_to_set(loc, centers), p))
+            // Center-major batched sweeps: min over centers per location.
+            // Identical values and evaluation count (z·k) as the
+            // location-major `dist_to_set` loop — min is order-free.
+            min_dist[..up.z()].fill(f64::INFINITY);
+            for c in centers {
+                metric.dists_to_set_min(up.locations(), c, &mut min_dist);
+            }
+            min_dist[..up.z()]
+                .iter()
+                .zip(up.probs().iter())
+                .map(|(&d, &p)| (d, p))
                 .collect()
         })
         .collect()
@@ -57,7 +73,7 @@ fn unassigned_vars<P, M: Metric<P>>(
 
 /// Exact `EcostA(c₁..c_k)` for a fixed assignment:
 /// `Σ_R prob(R)·max_i d(P̂ᵢ, A(Pᵢ))`, in O(N log N).
-pub fn ecost_assigned<P, M: Metric<P>>(
+pub fn ecost_assigned<P, M: DistanceOracle<P>>(
     set: &UncertainSet<P>,
     centers: &[P],
     assignment: &[usize],
@@ -67,7 +83,11 @@ pub fn ecost_assigned<P, M: Metric<P>>(
 }
 
 /// Exact unassigned `Ecost(c₁..c_k) = Σ_R prob(R)·max_i d(P̂ᵢ, C)`.
-pub fn ecost_unassigned<P, M: Metric<P>>(set: &UncertainSet<P>, centers: &[P], metric: &M) -> f64 {
+pub fn ecost_unassigned<P, M: DistanceOracle<P>>(
+    set: &UncertainSet<P>,
+    centers: &[P],
+    metric: &M,
+) -> f64 {
     expected_max(&unassigned_vars(set, centers, metric))
 }
 
@@ -75,7 +95,7 @@ pub fn ecost_unassigned<P, M: Metric<P>>(set: &UncertainSet<P>, centers: &[P], m
 ///
 /// # Panics
 /// Panics when `|Ω| > 10^7`.
-pub fn ecost_assigned_enumerate<P, M: Metric<P>>(
+pub fn ecost_assigned_enumerate<P, M: DistanceOracle<P>>(
     set: &UncertainSet<P>,
     centers: &[P],
     assignment: &[usize],
@@ -88,7 +108,7 @@ pub fn ecost_assigned_enumerate<P, M: Metric<P>>(
 ///
 /// # Panics
 /// Panics when `|Ω| > 10^7`.
-pub fn ecost_unassigned_enumerate<P, M: Metric<P>>(
+pub fn ecost_unassigned_enumerate<P, M: DistanceOracle<P>>(
     set: &UncertainSet<P>,
     centers: &[P],
     metric: &M,
@@ -98,7 +118,7 @@ pub fn ecost_unassigned_enumerate<P, M: Metric<P>>(
 
 /// Exact `Pr[cost ≤ t]` of an assigned solution: the probability that no
 /// point's realized distance to its assigned center exceeds `t`.
-pub fn cost_cdf_assigned<P, M: Metric<P>>(
+pub fn cost_cdf_assigned<P, M: DistanceOracle<P>>(
     set: &UncertainSet<P>,
     centers: &[P],
     assignment: &[usize],
@@ -115,7 +135,7 @@ pub fn cost_cdf_assigned<P, M: Metric<P>>(
 /// Complements [`ecost_assigned`]: the expectation summarizes the average
 /// realization, the quantile summarizes the tail — uncertain database
 /// applications routinely need both.
-pub fn cost_quantile_assigned<P, M: Metric<P>>(
+pub fn cost_quantile_assigned<P, M: DistanceOracle<P>>(
     set: &UncertainSet<P>,
     centers: &[P],
     assignment: &[usize],
@@ -127,7 +147,7 @@ pub fn cost_quantile_assigned<P, M: Metric<P>>(
 
 /// Exact `Pr[cost ≤ t]` of an unassigned solution (each realization served
 /// by its nearest center).
-pub fn cost_cdf_unassigned<P, M: Metric<P>>(
+pub fn cost_cdf_unassigned<P, M: DistanceOracle<P>>(
     set: &UncertainSet<P>,
     centers: &[P],
     metric: &M,
@@ -137,7 +157,7 @@ pub fn cost_cdf_unassigned<P, M: Metric<P>>(
 }
 
 /// Exact `q`-quantile of an unassigned solution's cost.
-pub fn cost_quantile_unassigned<P, M: Metric<P>>(
+pub fn cost_quantile_unassigned<P, M: DistanceOracle<P>>(
     set: &UncertainSet<P>,
     centers: &[P],
     metric: &M,
@@ -162,7 +182,7 @@ pub struct MonteCarloEstimate {
 ///
 /// # Panics
 /// Panics when `samples == 0` or the assignment is malformed.
-pub fn ecost_monte_carlo<P, M: Metric<P>, R: Rng>(
+pub fn ecost_monte_carlo<P, M: DistanceOracle<P>, R: Rng>(
     set: &UncertainSet<P>,
     centers: &[P],
     assignment: Option<&[usize]>,
@@ -206,7 +226,7 @@ mod tests {
     use crate::point::UncertainPoint;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use ukc_metric::{Euclidean, Point};
+    use ukc_metric::{Euclidean, Metric, Point};
 
     fn set2d() -> UncertainSet<Point> {
         UncertainSet::new(vec![

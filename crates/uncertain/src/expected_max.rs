@@ -18,6 +18,94 @@
 //! space both avoids underflow for large `n` and keeps the update drift
 //! additive, and the log-sum is rebuilt from scratch every 4096 updates.
 
+/// What is wrong with an atom list handed to [`try_expected_max`] /
+/// [`try_max_cdf`] / [`try_max_quantile`].
+///
+/// The panicking entry points ([`expected_max`] and friends) raise exactly
+/// these conditions as messages; callers reachable from untrusted input
+/// (extension entry points, servers) should prefer the `try_` variants and
+/// dispatch on the variant instead of the panic string.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AtomsError {
+    /// The variable list is empty.
+    NoVariables,
+    /// A variable has no atoms.
+    EmptyVariable {
+        /// Index of the offending variable.
+        index: usize,
+    },
+    /// An atom value is NaN or infinite.
+    NonFiniteValue {
+        /// Index of the offending variable.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// An atom probability is negative or non-finite.
+    BadProbability {
+        /// Index of the offending variable.
+        index: usize,
+        /// The offending probability.
+        value: f64,
+    },
+    /// A variable's probabilities do not sum to 1 within `1e-6`.
+    BadSum {
+        /// Index of the offending variable.
+        index: usize,
+        /// The actual sum.
+        sum: f64,
+    },
+    /// The requested quantile is outside `(0, 1]`.
+    BadQuantile {
+        /// The rejected quantile.
+        q: f64,
+    },
+}
+
+impl std::fmt::Display for AtomsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AtomsError::NoVariables => write!(f, "requires at least one variable"),
+            AtomsError::EmptyVariable { index } => write!(f, "variable {index} has no atoms"),
+            AtomsError::NonFiniteValue { index, value } => {
+                write!(f, "variable {index} has non-finite value {value}")
+            }
+            AtomsError::BadProbability { index, value } => {
+                write!(f, "variable {index} has bad probability {value}")
+            }
+            AtomsError::BadSum { index, sum } => {
+                write!(f, "variable {index} probabilities sum to {sum}")
+            }
+            AtomsError::BadQuantile { q } => {
+                write!(f, "quantile must be in (0, 1], got {q}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AtomsError {}
+
+/// Validates one variable's atom list, returning its probability sum.
+fn validate_var(index: usize, var: &[(f64, f64)]) -> Result<f64, AtomsError> {
+    if var.is_empty() {
+        return Err(AtomsError::EmptyVariable { index });
+    }
+    let mut sum = 0.0;
+    for &(v, p) in var {
+        if !v.is_finite() {
+            return Err(AtomsError::NonFiniteValue { index, value: v });
+        }
+        if !(p >= 0.0 && p.is_finite()) {
+            return Err(AtomsError::BadProbability { index, value: p });
+        }
+        sum += p;
+    }
+    if (sum - 1.0).abs() > 1e-6 {
+        return Err(AtomsError::BadSum { index, sum });
+    }
+    Ok(sum)
+}
+
 /// Exact `E[max_i X_i]` for independent discrete `X_i`.
 ///
 /// `vars[i]` lists the atoms `(value, prob)` of `X_i`; each variable's
@@ -34,34 +122,29 @@
 ///
 /// # Panics
 /// Panics when `vars` is empty, some variable has no atoms, a value is
-/// non-finite, a probability is negative, or probabilities do not sum to 1.
+/// non-finite, a probability is negative, or probabilities do not sum to 1
+/// — see [`try_expected_max`] for the non-panicking form.
 pub fn expected_max(vars: &[Vec<(f64, f64)>]) -> f64 {
-    assert!(
-        !vars.is_empty(),
-        "expected_max requires at least one variable"
-    );
+    try_expected_max(vars).unwrap_or_else(|e| panic!("expected_max {e}"))
+}
+
+/// [`expected_max`] with malformed atom lists reported as a typed
+/// [`AtomsError`] instead of a panic.
+pub fn try_expected_max(vars: &[Vec<(f64, f64)>]) -> Result<f64, AtomsError> {
+    if vars.is_empty() {
+        return Err(AtomsError::NoVariables);
+    }
     let n = vars.len();
     let mut atoms: Vec<(f64, usize, f64)> = Vec::new();
     for (i, var) in vars.iter().enumerate() {
-        assert!(!var.is_empty(), "variable {i} has no atoms");
-        let mut sum = 0.0;
+        validate_var(i, var)?;
         for &(v, p) in var {
-            assert!(v.is_finite(), "variable {i} has non-finite value {v}");
-            assert!(
-                p >= 0.0 && p.is_finite(),
-                "variable {i} has bad probability {p}"
-            );
-            sum += p;
             if p > 0.0 {
                 atoms.push((v, i, p));
             }
         }
-        assert!(
-            (sum - 1.0).abs() <= 1e-6,
-            "variable {i} probabilities sum to {sum}"
-        );
     }
-    atoms.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite values"));
+    atoms.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("validated finite values"));
 
     // Per-variable running CDF. The product Π Fᵢ(v) underflows f64 for
     // large n (e.g. 1000 factors of 0.1), so it is maintained in log space:
@@ -111,7 +194,7 @@ pub fn expected_max(vars: &[Vec<(f64, f64)>]) -> f64 {
         prev_g = g;
     }
     debug_assert!(zeros == 0, "every variable must reach total probability 1");
-    expectation
+    Ok(expectation)
 }
 
 /// Exact `Pr[max_i X_i ≤ t]` for independent discrete `X_i`: the product
@@ -121,35 +204,28 @@ pub fn expected_max(vars: &[Vec<(f64, f64)>]) -> f64 {
 /// stays meaningful for thousands of variables.
 ///
 /// # Panics
-/// Panics on invalid inputs, as [`expected_max`].
+/// Panics on invalid inputs, as [`expected_max`] — see [`try_max_cdf`]
+/// for the non-panicking form.
 pub fn max_cdf(vars: &[Vec<(f64, f64)>], t: f64) -> f64 {
-    assert!(!vars.is_empty(), "max_cdf requires at least one variable");
+    try_max_cdf(vars, t).unwrap_or_else(|e| panic!("max_cdf {e}"))
+}
+
+/// [`max_cdf`] with malformed atom lists reported as a typed
+/// [`AtomsError`] instead of a panic.
+pub fn try_max_cdf(vars: &[Vec<(f64, f64)>], t: f64) -> Result<f64, AtomsError> {
+    if vars.is_empty() {
+        return Err(AtomsError::NoVariables);
+    }
     let mut log_sum = 0.0f64;
     for (i, var) in vars.iter().enumerate() {
-        assert!(!var.is_empty(), "variable {i} has no atoms");
-        let mut sum = 0.0;
-        let mut cdf = 0.0;
-        for &(v, p) in var {
-            assert!(v.is_finite(), "variable {i} has non-finite value {v}");
-            assert!(
-                p >= 0.0 && p.is_finite(),
-                "variable {i} has bad probability {p}"
-            );
-            sum += p;
-            if v <= t {
-                cdf += p;
-            }
-        }
-        assert!(
-            (sum - 1.0).abs() <= 1e-6,
-            "variable {i} probabilities sum to {sum}"
-        );
+        validate_var(i, var)?;
+        let cdf: f64 = var.iter().filter(|(v, _)| *v <= t).map(|(_, p)| p).sum();
         if cdf <= 0.0 {
-            return 0.0;
+            return Ok(0.0);
         }
         log_sum += cdf.min(1.0).ln();
     }
-    log_sum.exp().min(1.0)
+    Ok(log_sum.exp().min(1.0))
 }
 
 /// Exact `q`-quantile of `max_i X_i`: the smallest atom value `t` with
@@ -161,36 +237,49 @@ pub fn max_cdf(vars: &[Vec<(f64, f64)>], t: f64) -> f64 {
 /// one of the atoms).
 ///
 /// # Panics
-/// Panics when `q ∉ (0, 1]` or inputs are invalid per [`expected_max`].
+/// Panics when `q ∉ (0, 1]` or inputs are invalid per [`expected_max`] —
+/// see [`try_max_quantile`] for the non-panicking form.
 pub fn max_quantile(vars: &[Vec<(f64, f64)>], q: f64) -> f64 {
-    assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1], got {q}");
-    assert!(
-        !vars.is_empty(),
-        "max_quantile requires at least one variable"
-    );
+    try_max_quantile(vars, q).unwrap_or_else(|e| panic!("max_quantile {e}"))
+}
+
+/// [`max_quantile`] with bad quantiles and malformed atom lists reported
+/// as a typed [`AtomsError`] instead of a panic.
+pub fn try_max_quantile(vars: &[Vec<(f64, f64)>], q: f64) -> Result<f64, AtomsError> {
+    if !(q > 0.0 && q <= 1.0) {
+        return Err(AtomsError::BadQuantile { q });
+    }
+    if vars.is_empty() {
+        return Err(AtomsError::NoVariables);
+    }
+    for (i, var) in vars.iter().enumerate() {
+        validate_var(i, var)?;
+    }
     let mut values: Vec<f64> = vars
         .iter()
         .flat_map(|var| var.iter().filter(|(_, p)| *p > 0.0).map(|(v, _)| *v))
         .collect();
-    values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    values.sort_by(|a, b| a.partial_cmp(b).expect("validated finite values"));
     values.dedup();
     // Pr[max <= t] is a step function jumping only at atom values; binary
-    // search the smallest value reaching q.
+    // search the smallest value reaching q. Validation already ran, so the
+    // inner CDF evaluations cannot fail.
+    let cdf_at = |t: f64| try_max_cdf(vars, t).expect("inputs validated above");
     let mut lo = 0usize;
     let mut hi = values.len() - 1;
-    if max_cdf(vars, values[hi]) < q {
+    if cdf_at(values[hi]) < q {
         // Only possible through rounding; the top value has CDF 1.
-        return values[hi];
+        return Ok(values[hi]);
     }
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        if max_cdf(vars, values[mid]) >= q {
+        if cdf_at(values[mid]) >= q {
             hi = mid;
         } else {
             lo = mid + 1;
         }
     }
-    values[hi]
+    Ok(values[hi])
 }
 
 /// Reference implementation by full product-space enumeration; exponential,

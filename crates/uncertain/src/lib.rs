@@ -14,12 +14,12 @@
 //! Although Ω has `Π zᵢ` elements, the per-point distance variables are
 //! independent, so both costs are computable *exactly* in `O(N log N)`
 //! (N = total number of locations) by the product-CDF sweep of
-//! [`expected_max`]. That exactness is what lets the experiments certify
+//! [`expected_max()`]. That exactness is what lets the experiments certify
 //! the paper's approximation factors instead of sampling them.
 //!
 //! Modules:
 //! * [`point`] / [`set`] — the model types with validating constructors.
-//! * [`expected_max`] — exact `E[max]` of independent discrete variables.
+//! * [`mod@expected_max`] — exact `E[max]` of independent discrete variables.
 //! * [`cost`] — exact, enumerated, and Monte-Carlo expected costs for the
 //!   assigned and unassigned problem versions.
 //! * [`reps`] — the paper's representative constructions: expected point
@@ -43,7 +43,10 @@ pub use cost::{
     ecost_assigned, ecost_assigned_enumerate, ecost_monte_carlo, ecost_unassigned,
     ecost_unassigned_enumerate, MonteCarloEstimate,
 };
-pub use expected_max::{expected_max, max_cdf, max_quantile};
+pub use expected_max::{
+    expected_max, max_cdf, max_quantile, try_expected_max, try_max_cdf, try_max_quantile,
+    AtomsError,
+};
 pub use point::{UncertainPoint, UncertainPointError};
 pub use realization::{sample_realization, RealizationIter};
 pub use reps::{

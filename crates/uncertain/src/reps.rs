@@ -17,11 +17,15 @@
 
 use crate::point::UncertainPoint;
 use ukc_geometry::median::{geometric_median, WeiszfeldOptions};
-use ukc_metric::{Metric, Point};
+use ukc_metric::{DistanceOracle, Point};
 
 /// The expected distance `E d(P, q) = Σⱼ pⱼ·d(Pⱼ, q)` from an uncertain
 /// point to a fixed location.
-pub fn expected_distance<P, M: Metric<P>>(up: &UncertainPoint<P>, q: &P, metric: &M) -> f64 {
+pub fn expected_distance<P, M: DistanceOracle<P>>(
+    up: &UncertainPoint<P>,
+    q: &P,
+    metric: &M,
+) -> f64 {
     up.support().map(|(loc, p)| p * metric.dist(loc, q)).sum()
 }
 
@@ -55,16 +59,24 @@ pub fn one_center_euclidean(up: &UncertainPoint<Point>) -> Point {
 ///
 /// # Panics
 /// Panics when `candidates` is empty.
-pub fn one_center_discrete<P, M: Metric<P>>(
+pub fn one_center_discrete<P, M: DistanceOracle<P>>(
     up: &UncertainPoint<P>,
     candidates: &[P],
     metric: &M,
 ) -> (usize, f64) {
     assert!(!candidates.is_empty(), "need at least one candidate");
+    // One batched location sweep per candidate, reusing a scratch buffer;
+    // the probability-weighted sum keeps the location order, so values
+    // match the per-pair loop exactly.
+    let mut dists = vec![0.0f64; up.z()];
     candidates
         .iter()
         .enumerate()
-        .map(|(i, c)| (i, expected_distance(up, c, metric)))
+        .map(|(i, c)| {
+            metric.dists_to_one(up.locations(), c, &mut dists);
+            let e: f64 = dists.iter().zip(up.probs()).map(|(&d, &p)| p * d).sum();
+            (i, e)
+        })
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
         .expect("non-empty candidates")
 }

@@ -1,6 +1,7 @@
 //! Collections of uncertain points.
 
 use crate::point::UncertainPoint;
+use ukc_metric::{Point, PointId, PointStore};
 
 /// An indexed collection of independent uncertain points — the input of
 /// every uncertain k-center instance.
@@ -95,6 +96,35 @@ impl<P> UncertainSet<P> {
     /// Iterates over the points.
     pub fn iter(&self) -> std::slice::Iter<'_, UncertainPoint<P>> {
         self.points.iter()
+    }
+}
+
+impl UncertainSet<Point> {
+    /// Copies every realization coordinate into one contiguous
+    /// [`PointStore`] and mirrors the set in id space.
+    ///
+    /// Locations are pushed point-major in support order, so the id-space
+    /// set's `location_pool()` enumerates the same ids in the same order
+    /// as [`UncertainSet::location_pool`] enumerates points — discrete
+    /// solvers can use either interchangeably. The store can keep growing
+    /// afterwards (representatives, candidate centers) without
+    /// invalidating the ids already handed out.
+    ///
+    /// # Panics
+    /// Panics when locations have mismatched dimensions (malformed input;
+    /// [`crate::UncertainPoint`] is dimension-agnostic by design, the
+    /// store is not).
+    pub fn indexed_store(&self) -> (PointStore, UncertainSet<PointId>) {
+        let dim = self.points[0].locations()[0].dim();
+        let mut store = PointStore::with_capacity(dim, self.total_locations());
+        let ids = UncertainSet {
+            points: self
+                .points
+                .iter()
+                .map(|up| up.map_locations(|loc| store.push_point(loc)))
+                .collect(),
+        };
+        (store, ids)
     }
 }
 

@@ -70,14 +70,14 @@
 //!
 //! | Crate | Contents |
 //! |---|---|
-//! | [`metric`](ukc_metric) | `Metric` trait; Euclidean/L₁/L∞/L_p, distance matrices, graph & tree metrics, axiom validators |
-//! | [`geometry`](ukc_geometry) | minimum enclosing balls, Weiszfeld medians, convex piecewise-linear functions, compass search |
-//! | [`kcenter`](ukc_kcenter) | Gonzalez, local search, exact discrete, grid (1+ε), exact 1-D — the pluggable certain solvers |
-//! | [`uncertain`](ukc_uncertain) | the model, exact `E[max]`, expected costs, representatives, workload generators |
-//! | [`core`](ukc_core) | `Problem`/`SolverConfig`/`Solution`, the Theorems 2.1–2.7 pipelines, certified lower bounds |
-//! | [`onedim`](ukc_onedim) | the exact 1-D solver (Table 1 row 8) |
-//! | [`baselines`](ukc_baselines) | mode / all-locations / sampling heuristics and brute-force optima |
-//! | [`extensions`](ukc_extensions) | uncertain k-median / k-means / streaming, driven by the same `SolverConfig` |
+//! | [`metric`] | `Metric` trait; Euclidean/L₁/L∞/L_p, distance matrices, graph & tree metrics, axiom validators |
+//! | [`geometry`] | minimum enclosing balls, Weiszfeld medians, convex piecewise-linear functions, compass search |
+//! | [`kcenter`] | Gonzalez, local search, exact discrete, grid (1+ε), exact 1-D — the pluggable certain solvers |
+//! | [`uncertain`] | the model, exact `E[max]`, expected costs, representatives, workload generators |
+//! | [`core`] | `Problem`/`SolverConfig`/`Solution`, the Theorems 2.1–2.7 pipelines, certified lower bounds |
+//! | [`onedim`] | the exact 1-D solver (Table 1 row 8) |
+//! | [`baselines`] | mode / all-locations / sampling heuristics and brute-force optima |
+//! | [`extensions`] | uncertain k-median / k-means / streaming, driven by the same `SolverConfig` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -118,8 +118,8 @@ pub mod prelude {
         one_d_kcenter, ExactOptions, GridOptions,
     };
     pub use ukc_metric::{
-        Chebyshev, Euclidean, FiniteMetric, Manhattan, Metric, Minkowski, Point, TreeMetric,
-        WeightedGraph,
+        Chebyshev, DistCounter, DistanceOracle, Euclidean, FiniteMetric, Kernel, Manhattan, Metric,
+        Minkowski, Point, PointId, PointStore, StoreOracle, TreeMetric, WeightedGraph,
     };
     pub use ukc_onedim::{solve_one_d, OneDimSolution};
     pub use ukc_uncertain::generators::{
@@ -128,7 +128,8 @@ pub mod prelude {
     pub use ukc_uncertain::{
         cost_cdf_assigned, cost_quantile_assigned, ecost_assigned, ecost_monte_carlo,
         ecost_unassigned, expected_distance, expected_max, expected_point, max_cdf, max_quantile,
-        mode_location, one_center_discrete, one_center_euclidean, UncertainPoint, UncertainSet,
+        mode_location, one_center_discrete, one_center_euclidean, try_expected_max, try_max_cdf,
+        try_max_quantile, AtomsError, UncertainPoint, UncertainSet,
     };
 }
 

@@ -131,4 +131,55 @@ proptest! {
             Some(SolveError::EmptyCandidates)
         );
     }
+
+    /// Mixed-dimension locations are `SolveError::DimensionMismatch` at
+    /// problem construction, never a panic inside a solve.
+    #[test]
+    fn mixed_dims_are_typed(d1 in 1usize..4, extra in 1usize..3) {
+        let set = UncertainSet::new(vec![
+            UncertainPoint::certain(Point::origin(d1)),
+            UncertainPoint::certain(Point::origin(d1 + extra)),
+        ]);
+        prop_assert_eq!(
+            Problem::euclidean(set, 1).err(),
+            Some(SolveError::DimensionMismatch { point: 1, got: d1 + extra, expected: d1 })
+        );
+    }
+}
+
+/// Malformed atom lists through the public `try_` entry points are typed
+/// errors; the panicking wrappers keep their messages for internal use.
+#[test]
+fn expected_max_atom_errors_are_typed() {
+    assert_eq!(try_expected_max(&[]), Err(AtomsError::NoVariables));
+    assert_eq!(
+        try_expected_max(&[vec![]]),
+        Err(AtomsError::EmptyVariable { index: 0 })
+    );
+    assert!(matches!(
+        try_expected_max(&[vec![(1.0, 1.0)], vec![(f64::NAN, 1.0)]]),
+        Err(AtomsError::NonFiniteValue { index: 1, .. })
+    ));
+    assert!(matches!(
+        try_expected_max(&[vec![(1.0, -0.5), (2.0, 1.5)]]),
+        Err(AtomsError::BadProbability { index: 0, .. })
+    ));
+    assert!(matches!(
+        try_expected_max(&[vec![(1.0, 0.25)]]),
+        Err(AtomsError::BadSum { index: 0, .. })
+    ));
+    assert!(matches!(
+        try_max_cdf(&[vec![]], 1.0),
+        Err(AtomsError::EmptyVariable { index: 0 })
+    ));
+    assert!(matches!(
+        try_max_quantile(&[vec![(1.0, 1.0)]], 0.0),
+        Err(AtomsError::BadQuantile { .. })
+    ));
+    // Valid inputs agree with the panicking path.
+    let coin = vec![(0.0, 0.5), (1.0, 0.5)];
+    let vars = [coin.clone(), coin];
+    assert_eq!(try_expected_max(&vars), Ok(expected_max(&vars)));
+    assert_eq!(try_max_cdf(&vars, 0.5), Ok(max_cdf(&vars, 0.5)));
+    assert_eq!(try_max_quantile(&vars, 0.9), Ok(max_quantile(&vars, 0.9)));
 }

@@ -1,0 +1,200 @@
+//! Bit-identity and tolerance equivalence between the distance kernels.
+//!
+//! The solver pipeline evaluates every distance through one of two
+//! kernels (`SolverConfig::kernel`): `Scalar`, which preserves the
+//! historical per-pair f64 summation order, and `Blocked`, the default
+//! norm-factorized 8-wide path. This suite pins the contract between
+//! them:
+//!
+//! * `Scalar` is **bit-identical** to a hand-rolled reference pipeline
+//!   built from the pointwise `Euclidean` metric (exact-equality
+//!   goldens);
+//! * `Blocked` agrees with `Scalar` on centers and costs within `1e-9`
+//!   and on assignments exactly (random instances have no knife-edge
+//!   ties at kernel rounding scale);
+//! * the per-stage `Report.distance_evals` counters are **identical**
+//!   between the kernels — switching kernels must never change which
+//!   pairs are evaluated, only their rounding.
+
+use proptest::prelude::*;
+use uncertain_kcenter::prelude::*;
+
+fn cfg(rule: AssignmentRule, strategy: CertainStrategy, kernel: Kernel) -> SolverConfig {
+    SolverConfig::builder()
+        .rule(rule)
+        .strategy(strategy)
+        .kernel(kernel)
+        .eps(0.5)
+        .lower_bound(false)
+        .build()
+        .expect("static test config")
+}
+
+fn rules() -> [AssignmentRule; 3] {
+    [
+        AssignmentRule::ExpectedDistance,
+        AssignmentRule::ExpectedPoint,
+        AssignmentRule::OneCenter,
+    ]
+}
+
+fn strategies() -> [CertainStrategy; 4] {
+    [
+        CertainStrategy::Gonzalez,
+        CertainStrategy::GonzalezLocalSearch { rounds: 10 },
+        CertainStrategy::Grid,
+        CertainStrategy::ExactDiscrete,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Scalar and Blocked agree on random instances: same assignment,
+    /// centers and costs within 1e-9, identical per-stage eval counts.
+    #[test]
+    fn scalar_and_blocked_agree(
+        seed in 0u64..1000,
+        n in 3usize..16,
+        z in 1usize..4,
+        dim in 1usize..4,
+        k in 1usize..4,
+    ) {
+        let k = k.min(n);
+        let set = clustered(seed, n, z, dim, 3, 5.0, 1.0, ProbModel::Random);
+        for rule in rules() {
+            for strategy in strategies() {
+                let scalar = Problem::euclidean(set.clone(), k)
+                    .unwrap()
+                    .solve(&cfg(rule, strategy, Kernel::Scalar))
+                    .unwrap();
+                let blocked = Problem::euclidean(set.clone(), k)
+                    .unwrap()
+                    .solve(&cfg(rule, strategy, Kernel::Blocked))
+                    .unwrap();
+                prop_assert_eq!(
+                    &scalar.assignment, &blocked.assignment,
+                    "assignment ({:?}/{:?})", rule, strategy
+                );
+                prop_assert_eq!(scalar.centers.len(), blocked.centers.len());
+                for (a, b) in scalar.centers.iter().zip(blocked.centers.iter()) {
+                    for (x, y) in a.coords().iter().zip(b.coords().iter()) {
+                        prop_assert!((x - y).abs() <= 1e-9, "center coord {x} vs {y}");
+                    }
+                }
+                prop_assert!(
+                    (scalar.ecost - blocked.ecost).abs() <= 1e-9 * (1.0 + scalar.ecost),
+                    "ecost {} vs {} ({:?}/{:?})", scalar.ecost, blocked.ecost, rule, strategy
+                );
+                prop_assert!(
+                    (scalar.certain_radius - blocked.certain_radius).abs()
+                        <= 1e-9 * (1.0 + scalar.certain_radius),
+                    "radius {} vs {}", scalar.certain_radius, blocked.certain_radius
+                );
+                // The acceptance bar: switching kernels never changes the
+                // number of distance evaluations, stage by stage.
+                let (s, b) = (scalar.report.distance_evals, blocked.report.distance_evals);
+                prop_assert_eq!(s.representatives, b.representatives);
+                prop_assert_eq!(s.certain_solve, b.certain_solve, "{:?}/{:?}", rule, strategy);
+                prop_assert_eq!(s.assignment, b.assignment);
+                prop_assert_eq!(s.cost, b.cost);
+                prop_assert_eq!(s.lower_bound, b.lower_bound);
+            }
+        }
+    }
+
+    /// Exact-equality golden: the Scalar kernel reproduces a hand-rolled
+    /// pointwise-metric pipeline bit for bit, for every assignment rule
+    /// over the Gonzalez backend.
+    #[test]
+    fn scalar_kernel_matches_pointwise_reference_bitwise(
+        seed in 0u64..1000,
+        n in 2usize..14,
+        z in 1usize..4,
+        dim in 1usize..4,
+        k in 1usize..3,
+    ) {
+        let k = k.min(n);
+        let set = uniform_box(seed, n, z, dim, 10.0, 2.0, ProbModel::Random);
+        for rule in rules() {
+            // Reference: the paper pipeline over boxed points and the
+            // pointwise Euclidean metric (pre-kernel arithmetic).
+            let reps: Vec<Point> = match rule {
+                AssignmentRule::OneCenter => set.iter().map(one_center_euclidean).collect(),
+                _ => set.iter().map(expected_point).collect(),
+            };
+            let certain = gonzalez(&reps, k, &Euclidean, 0);
+            let assignment = match rule {
+                AssignmentRule::ExpectedDistance => assign_ed(&set, &certain.centers, &Euclidean),
+                AssignmentRule::ExpectedPoint => assign_ep(&set, &certain.centers, &Euclidean),
+                AssignmentRule::OneCenter => assign_oc(&set, &certain.centers, &reps, &Euclidean),
+            };
+            let ecost = ecost_assigned(&set, &certain.centers, &assignment, &Euclidean);
+
+            let sol = Problem::euclidean(set.clone(), k)
+                .unwrap()
+                .solve(&cfg(rule, CertainStrategy::Gonzalez, Kernel::Scalar))
+                .unwrap();
+
+            prop_assert_eq!(&sol.assignment, &assignment, "{:?}", rule);
+            prop_assert_eq!(sol.centers.len(), certain.centers.len());
+            for (a, b) in sol.centers.iter().zip(certain.centers.iter()) {
+                prop_assert_eq!(a.coords(), b.coords(), "{:?}", rule);
+            }
+            prop_assert_eq!(
+                sol.ecost.to_bits(), ecost.to_bits(),
+                "ecost {} vs {} ({:?})", sol.ecost, ecost, rule
+            );
+            prop_assert_eq!(
+                sol.certain_radius.to_bits(), certain.radius.to_bits(),
+                "radius ({:?})", rule
+            );
+        }
+    }
+
+    /// Batch solving under either kernel stays bit-identical to the
+    /// sequential loop (the kernels are deterministic and thread-free).
+    #[test]
+    fn batch_is_bit_identical_under_both_kernels(seed in 0u64..300) {
+        for kernel in [Kernel::Scalar, Kernel::Blocked] {
+            let config = cfg(AssignmentRule::ExpectedPoint, CertainStrategy::Gonzalez, kernel);
+            let problems: Vec<Problem<Point>> = (0..4)
+                .map(|i| {
+                    let set = clustered(seed + i, 8, 2, 2, 2, 4.0, 1.0, ProbModel::Random);
+                    Problem::euclidean(set, 2).unwrap()
+                })
+                .collect();
+            let sequential = solve_batch_threads(&problems, &config, 1);
+            let threaded = solve_batch_threads(&problems, &config, 3);
+            for (a, b) in sequential.iter().zip(threaded.iter()) {
+                let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+                prop_assert_eq!(a.ecost.to_bits(), b.ecost.to_bits());
+                prop_assert_eq!(&a.assignment, &b.assignment);
+            }
+        }
+    }
+}
+
+/// The blocked kernel's distance of a point to itself is exactly zero
+/// (cached norms make `‖a‖² + ‖a‖² − 2a·a` cancel), so duplicate-point
+/// degeneracies behave identically under both kernels.
+#[test]
+fn duplicate_points_collapse_identically() {
+    let set = UncertainSet::new(vec![
+        UncertainPoint::certain(Point::new(vec![0.1, 0.2, 0.3])),
+        UncertainPoint::certain(Point::new(vec![0.1, 0.2, 0.3])),
+        UncertainPoint::certain(Point::new(vec![0.1, 0.2, 0.3])),
+    ]);
+    for kernel in [Kernel::Scalar, Kernel::Blocked] {
+        let sol = Problem::euclidean(set.clone(), 2)
+            .unwrap()
+            .solve(&cfg(
+                AssignmentRule::ExpectedPoint,
+                CertainStrategy::Gonzalez,
+                kernel,
+            ))
+            .unwrap();
+        assert_eq!(sol.certain_radius, 0.0, "{kernel:?}");
+        assert_eq!(sol.ecost, 0.0, "{kernel:?}");
+    }
+}

@@ -219,6 +219,58 @@ fn typed_errors_cover_the_failure_matrix() {
     handle.shutdown();
 }
 
+/// Regression: payloads whose numbers parse to non-finite floats (JSON
+/// `1e999` → +∞) or whose locations are empty used to reach the panicking
+/// `Point` constructor and kill the worker thread mid-request. All of
+/// them must now come back as typed 422s — and the server must stay up.
+#[test]
+fn non_finite_and_empty_coordinates_are_422_not_panics() {
+    let (handle, addr) = start(ServerConfig::default());
+
+    // 1e999 overflows f64 to +∞: rejected as a bad instance.
+    let r = post(
+        addr,
+        "/instances",
+        r#"{"dim": 1, "points": [{"locations": [[1e999]], "probs": [1]}]}"#,
+    );
+    assert_eq!(error_kind(&r), (422.0, "bad_instance".into()));
+
+    // Same payload inline through the one-shot endpoint.
+    let r = post(
+        addr,
+        "/solve",
+        r#"{"k": 1, "instance": {"dim": 1, "points": [{"locations": [[-1e999]], "probs": [1]}]}}"#,
+    );
+    assert_eq!(error_kind(&r), (422.0, "bad_instance".into()));
+
+    // NaN-producing probability (∞ is not a valid probability either).
+    let r = post(
+        addr,
+        "/instances",
+        r#"{"dim": 1, "points": [{"locations": [[0]], "probs": [1e999]}]}"#,
+    );
+    assert_eq!(error_kind(&r), (422.0, "bad_instance".into()));
+
+    // dim-0 instance with an empty location: previously panicked inside
+    // `Point::new` on the worker thread (connection dropped); now a 422.
+    let r = post(
+        addr,
+        "/instances",
+        r#"{"dim": 0, "points": [{"locations": [[]], "probs": [1]}]}"#,
+    );
+    assert_eq!(error_kind(&r), (422.0, "bad_instance".into()));
+
+    // The server survived all of the above and still solves.
+    let r = post(
+        addr,
+        "/solve",
+        &format!(r#"{{"k": 2, "instance": {}}}"#, instance_body(9)),
+    );
+    assert_eq!(r.status, 200);
+
+    handle.shutdown();
+}
+
 #[test]
 fn repeated_solves_hit_the_cache_and_report_it() {
     let (handle, addr) = start(ServerConfig::default());

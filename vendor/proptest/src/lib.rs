@@ -3,9 +3,9 @@
 //! The build environment has no registry access, so this in-tree crate
 //! implements the subset of proptest this workspace's property tests use:
 //!
-//! * the [`Strategy`] trait with [`Strategy::prop_map`];
+//! * the [`strategy::Strategy`] trait with [`strategy::Strategy::prop_map`];
 //! * range strategies (`0.0f64..1.0`, `1usize..=4`, ...), tuple
-//!   strategies, and [`collection::vec`];
+//!   strategies, and [`collection::vec()`];
 //! * the [`proptest!`] macro with `#![proptest_config(...)]`,
 //!   [`ProptestConfig::with_cases`], [`prop_assert!`] and
 //!   [`prop_assert_eq!`].
@@ -78,7 +78,7 @@ pub mod test_runner {
     }
 }
 
-/// The [`Strategy`] trait and combinators.
+/// The `Strategy` trait and combinators.
 pub mod strategy {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
@@ -190,7 +190,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// A length distribution for [`vec`].
+    /// A length distribution for [`vec()`].
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,
@@ -230,7 +230,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,
