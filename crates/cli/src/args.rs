@@ -111,6 +111,28 @@ impl Args {
             value: v.to_string(),
         })
     }
+
+    /// An optional strictly-positive integer option (`--threads` and
+    /// friends): absent is `None`; `0` and non-numeric values are
+    /// [`ArgError::BadValue`] — zero lanes is never a meaningful request,
+    /// so the CLI refuses it instead of guessing.
+    pub fn parse_positive(&self, key: &str) -> Result<Option<usize>, ArgError> {
+        match self.opts.get(key) {
+            None => Ok(None),
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(Some(n)),
+                _ => Err(ArgError::BadValue {
+                    key: key.to_string(),
+                    value: v.clone(),
+                }),
+            },
+        }
+    }
+
+    /// Whether `--key` was given at all.
+    pub fn has(&self, key: &str) -> bool {
+        self.opts.contains_key(key)
+    }
 }
 
 #[cfg(test)]
@@ -184,5 +206,26 @@ mod tests {
         let a = parse(&["generate"]).unwrap();
         assert_eq!(a.parse_or("seed", 7u64).unwrap(), 7);
         assert_eq!(a.parse_or("n", 40usize).unwrap(), 40);
+    }
+
+    #[test]
+    fn parse_positive_rejects_zero_and_garbage() {
+        let a = parse(&["solve", "--threads", "4"]).unwrap();
+        assert_eq!(a.parse_positive("threads").unwrap(), Some(4));
+        assert!(a.has("threads"));
+        let a = parse(&["solve"]).unwrap();
+        assert_eq!(a.parse_positive("threads").unwrap(), None);
+        assert!(!a.has("threads"));
+        for bad in ["0", "-1", "two", "1.5", ""] {
+            let a = parse(&["solve", &format!("--threads={bad}")]).unwrap();
+            assert_eq!(
+                a.parse_positive("threads").unwrap_err(),
+                ArgError::BadValue {
+                    key: "threads".into(),
+                    value: bad.into()
+                },
+                "{bad:?}"
+            );
+        }
     }
 }

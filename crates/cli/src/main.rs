@@ -4,6 +4,7 @@
 //! ukc generate --workload clustered --n 40 --z 4 --dim 2 --seed 7 --out inst.json
 //! ukc solve    --instance inst.json --k 3 --rule ep --solver gonzalez --out sol.json
 //! ukc solve    --instance inst.json --k=3 --format json        # machine-readable report
+//! ukc solve    --instance inst.json --k 3 --threads 4          # intra-solve pool lanes
 //! ukc batch    --instances a.json,b.json,c.json --k 3 --threads 4
 //! ukc evaluate --instance inst.json --solution sol.json
 //! ukc bound    --instance inst.json --k 3
@@ -11,9 +12,15 @@
 //! ukc kmedian  --instance inst.json --k 3
 //! ukc kmeans   --instance inst.json --k 3 --seed 1
 //! ukc serve    --addr 127.0.0.1:8080 --workers 4 --cache-cap 256
+//! ukc serve    --addr 127.0.0.1:8080 --threads 4               # alias of --workers
 //! ukc client   --addr 127.0.0.1:8080 --path /healthz
 //! ukc client   --addr 127.0.0.1:8080 --instance inst.json --k 3   # one-shot /solve
 //! ```
+//!
+//! `--threads N` caps how many lanes of the process-wide worker pool a
+//! solve (or a batch wave, or the server's waves) may occupy. `N = 1` is
+//! fully sequential; any `N` produces bit-identical results — threads
+//! are a resource knob, never a semantics knob. `0` is rejected.
 //!
 //! All subcommands read/write the JSON formats of [`format`]; numeric
 //! results print on stdout, diagnostics on stderr, non-zero exit on error.
@@ -101,7 +108,7 @@ fn prob_model(a: &Args) -> Result<ProbModel, Box<dyn std::error::Error>> {
 }
 
 /// Builds a [`SolverConfig`] from the shared `--rule`, `--solver`,
-/// `--eps`, `--rounds`, and `--seed` flags.
+/// `--eps`, `--rounds`, `--seed`, and `--threads` flags.
 fn solver_config(a: &Args) -> Result<SolverConfig, Box<dyn std::error::Error>> {
     solver_config_with_seed_default(a, 0)
 }
@@ -129,13 +136,17 @@ fn solver_config_with_seed_default(
             return Err(format!("unknown solver {other} (gonzalez|local-search|grid|exact)").into())
         }
     };
-    let config = SolverConfig::builder()
+    let mut builder = SolverConfig::builder()
         .rule(rule)
         .strategy(strategy)
         .eps(a.parse_or("eps", 0.25f64)?)
-        .seed(a.parse_or("seed", default_seed)?)
-        .build()?;
-    Ok(config)
+        .seed(a.parse_or("seed", default_seed)?);
+    // --threads=N caps the solve's pool lanes (0/non-numeric rejected);
+    // absent means auto (UKC_THREADS / available parallelism).
+    if let Some(threads) = a.parse_positive("threads")? {
+        builder = builder.threads(threads);
+    }
+    Ok(builder.build()?)
 }
 
 /// Output format selector shared by `solve` and `batch`.
@@ -216,12 +227,13 @@ fn cmd_batch(a: &Args) -> CmdResult {
     let k: usize = a.parse_required("k")?;
     let config = solver_config(a)?;
     let format = output_format(a)?;
-    let threads: usize = a.parse_or(
-        "threads",
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
-    )?;
+    // The same --threads value caps the batch fan-out and (via
+    // solver_config) each solve's own lanes — both draw on the one
+    // shared pool, so they cooperate rather than multiply.
+    let threads = match a.parse_positive("threads")? {
+        Some(n) => n,
+        None => ukc_pool::default_threads(),
+    };
     let mut problems = Vec::with_capacity(paths.len());
     for path in &paths {
         problems.push(Problem::euclidean(load_instance_at(path)?, k)?);
@@ -332,10 +344,20 @@ fn cmd_kmedian(a: &Args) -> CmdResult {
 }
 
 /// `ukc serve`: run the HTTP solver service on the calling thread.
+/// `--workers` and its alias `--threads` cap the pool lanes one solve
+/// wave may occupy (the pool is process-wide and shared with intra-solve
+/// parallelism); `--workers 0` means auto, `--threads 0` is rejected.
 fn cmd_serve(a: &Args) -> CmdResult {
+    let threads = a.parse_positive("threads")?;
+    if threads.is_some() && a.has("workers") {
+        return Err("--workers and --threads are aliases; give only one".into());
+    }
     let config = ukc_server::ServerConfig {
         addr: a.get_or("addr", "127.0.0.1:8080").to_string(),
-        workers: a.parse_or("workers", 0usize)?,
+        workers: match threads {
+            Some(n) => n,
+            None => a.parse_or("workers", 0usize)?,
+        },
         cache_cap: a.parse_or("cache-cap", 256usize)?,
         max_body_bytes: a.parse_or("max-body-bytes", 8 * 1024 * 1024usize)?,
     };

@@ -14,7 +14,8 @@
 //! All three return, for each point, the index of its assigned center;
 //! ties break toward the lower center index (deterministic output).
 
-use ukc_metric::{DistanceOracle, Point};
+use ukc_metric::{DistanceOracle, Point, PAR_CHUNK, PAR_MIN_POINTS};
+use ukc_pool::Exec;
 use ukc_uncertain::{expected_distance, expected_point, UncertainSet};
 
 /// Assignment rules available in Euclidean space (paper Theorems 2.2,
@@ -40,6 +41,24 @@ pub enum MetricAssignmentRule {
     OneCenter,
 }
 
+/// One point's ED argmin: `argmin_c E d(Pᵢ, c)`, ties to the lower index.
+fn ed_argmin<P, M: DistanceOracle<P>>(
+    up: &ukc_uncertain::UncertainPoint<P>,
+    centers: &[P],
+    metric: &M,
+) -> usize {
+    let mut best = 0usize;
+    let mut best_v = f64::INFINITY;
+    for (c, center) in centers.iter().enumerate() {
+        let v = expected_distance(up, center, metric);
+        if v < best_v {
+            best_v = v;
+            best = c;
+        }
+    }
+    best
+}
+
 /// Expected-distance assignment: each point goes to
 /// `argmin_c E d(Pᵢ, c)`. O(n·z·k) distance evaluations.
 ///
@@ -52,19 +71,34 @@ pub fn assign_ed<P, M: DistanceOracle<P>>(
 ) -> Vec<usize> {
     assert!(!centers.is_empty(), "need at least one center");
     set.iter()
-        .map(|up| {
-            let mut best = 0usize;
-            let mut best_v = f64::INFINITY;
-            for (c, center) in centers.iter().enumerate() {
-                let v = expected_distance(up, center, metric);
-                if v < best_v {
-                    best_v = v;
-                    best = c;
-                }
-            }
-            best
-        })
+        .map(|up| ed_argmin(up, centers, metric))
         .collect()
+}
+
+/// [`assign_ed`] with an execution context: points are assigned in
+/// block-parallel chunks on the pool. Each point's argmin is computed by
+/// the exact sequential arithmetic, so the assignment — and the
+/// distance-eval count — is identical for every `exec`.
+///
+/// # Panics
+/// Panics when `centers` is empty.
+pub fn assign_ed_exec<P: Sync, M: DistanceOracle<P> + Sync>(
+    set: &UncertainSet<P>,
+    centers: &[P],
+    metric: &M,
+    exec: Exec<'_>,
+) -> Vec<usize> {
+    if !exec.is_parallel() || set.n() < PAR_MIN_POINTS {
+        return assign_ed(set, centers, metric);
+    }
+    assert!(!centers.is_empty(), "need at least one center");
+    let mut out = vec![0usize; set.n()];
+    ukc_pool::for_each_slice(exec, &mut out, PAR_CHUNK, |start, slice| {
+        for (j, o) in slice.iter_mut().enumerate() {
+            *o = ed_argmin(&set[start + j], centers, metric);
+        }
+    });
+    out
 }
 
 /// Expected-point assignment: each point goes to the center nearest its
@@ -102,9 +136,11 @@ pub fn assign_oc<P, M: DistanceOracle<P>>(
 ) -> Vec<usize> {
     assert!(!centers.is_empty(), "need at least one center");
     assert_eq!(reps.len(), set.n(), "one representative per point required");
-    reps.iter()
-        .map(|rep| metric.nearest(rep, centers).expect("non-empty centers").0)
-        .collect()
+    // The batched nearest sweep: a pool-backed oracle parallelizes it
+    // across representatives with identical output and eval counts.
+    let mut nearest = vec![(0usize, 0.0f64); reps.len()];
+    metric.nearest_each(reps, centers, &mut nearest);
+    nearest.into_iter().map(|(i, _)| i).collect()
 }
 
 #[cfg(test)]

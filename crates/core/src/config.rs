@@ -91,6 +91,7 @@ pub struct SolverConfig {
     candidate_policy: CandidatePolicy,
     lower_bound: bool,
     kernel: Kernel,
+    threads: usize,
     grid_limits: GridOptions,
     exact_limits: ExactOptions,
 }
@@ -105,6 +106,7 @@ impl Default for SolverConfig {
             candidate_policy: CandidatePolicy::ProblemPool,
             lower_bound: true,
             kernel: Kernel::default(),
+            threads: 0,
             grid_limits: GridOptions::default(),
             exact_limits: ExactOptions::default(),
         }
@@ -193,6 +195,29 @@ impl SolverConfig {
         self.kernel
     }
 
+    /// The requested intra-solve lane count: `0` (the default) means
+    /// "auto" — `UKC_THREADS` when set, otherwise the machine's available
+    /// parallelism. See [`SolverConfig::resolved_threads`].
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The lane count a solve will actually request from the shared pool:
+    /// the explicit [`SolverConfigBuilder::threads`] value, or
+    /// [`ukc_pool::default_threads`] when set to auto.
+    ///
+    /// Threads are a pure *resource* knob: solver output, per-stage
+    /// distance-eval counts, and instance digests are bit-identical for
+    /// every value (pinned by `tests/parallel_equivalence.rs`), which is
+    /// also why the serving layer's cache key deliberately excludes it.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            ukc_pool::default_threads()
+        } else {
+            self.threads
+        }
+    }
+
     /// The grid solver's options (ε folded in).
     pub fn grid_options(&self) -> GridOptions {
         GridOptions {
@@ -270,6 +295,17 @@ impl SolverConfigBuilder {
         self
     }
 
+    /// Caps the number of pool lanes a single solve may use. `0` (the
+    /// default) resolves to `UKC_THREADS` / available parallelism; `1`
+    /// runs fully inline — today's sequential path, byte for byte. Any
+    /// value yields bit-identical output (the execution layer's
+    /// determinism contract); the knob only trades latency for pool
+    /// capacity.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
     /// Overrides the grid solver's candidate caps. The ε inside `limits`
     /// applies only when [`Self::eps`] was not called; an explicit
     /// `.eps(...)` always wins.
@@ -326,6 +362,18 @@ mod tests {
         assert_eq!(cfg.candidate_policy(), CandidatePolicy::LocationPool);
         assert!(!cfg.computes_lower_bound());
         assert_eq!(cfg.grid_options().eps, 0.125);
+    }
+
+    #[test]
+    fn threads_knob_roundtrips_and_resolves() {
+        let cfg = SolverConfig::builder().threads(3).build().unwrap();
+        assert_eq!(cfg.threads(), 3);
+        assert_eq!(cfg.resolved_threads(), 3);
+        let auto = SolverConfig::default();
+        assert_eq!(auto.threads(), 0);
+        assert!(auto.resolved_threads() >= 1);
+        let sequential = SolverConfig::builder().threads(1).build().unwrap();
+        assert_eq!(sequential.resolved_threads(), 1);
     }
 
     #[test]

@@ -25,19 +25,23 @@
 //! assert!(solution.ecost >= solution.report.lower_bound.unwrap() - 1e-9);
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
-use crate::assignments::{assign_ed, assign_oc, AssignmentRule};
+use crate::assignments::{assign_ed, assign_ed_exec, assign_oc, AssignmentRule};
 use crate::config::{CandidatePolicy, CertainStrategy, SolverConfig};
 use crate::error::SolveError;
 use crate::report::{CountingMetric, Report};
 use ukc_kcenter::{
-    exact_discrete_kcenter, gonzalez, grid_kcenter, local_search_kcenter, KCenterSolution,
+    exact_discrete_kcenter, gonzalez, grid_kcenter_exec, local_search_kcenter, KCenterSolution,
 };
-use ukc_metric::{DistCounter, Euclidean, Metric, Point, PointId, PointStore, StoreOracle};
-use ukc_uncertain::{ecost_assigned, one_center_discrete, UncertainPoint, UncertainSet};
+use ukc_metric::{
+    DistCounter, DistanceOracle, Euclidean, Metric, Point, PointId, PointStore, StoreOracle,
+};
+use ukc_pool::Exec;
+use ukc_uncertain::{
+    ecost_assigned, ecost_assigned_exec, one_center_discrete, UncertainPoint, UncertainSet,
+};
 
 /// A continuous space a [`Problem`] can live in: representative
 /// constructions plus the space-specific machinery the pipeline needs.
@@ -76,12 +80,16 @@ pub trait ContinuousSpace<P>: Send + Sync {
     ) -> Option<Vec<usize>>;
 
     /// The space's certified `(1+ε)` solver, or `None` to fall back to
-    /// Gonzalez (also returned past the solver's resource caps).
+    /// Gonzalez (also returned past the solver's resource caps). `exec`
+    /// is the solve's execution context: implementations may run their
+    /// internal sweeps on it, provided the result stays bit-identical
+    /// for every lane count (the execution-layer determinism contract).
     fn certified_solve(
         &self,
         reps: &[P],
         k: usize,
         opts: ukc_kcenter::GridOptions,
+        exec: Exec<'_>,
     ) -> Option<KCenterSolution<P>>;
 
     /// A certified lower bound on the optimum expected cost with `k`
@@ -142,8 +150,9 @@ impl ContinuousSpace<Point> for EuclideanSpace {
         reps: &[Point],
         k: usize,
         opts: ukc_kcenter::GridOptions,
+        exec: Exec<'_>,
     ) -> Option<KCenterSolution<Point>> {
-        grid_kcenter(reps, k, opts)
+        grid_kcenter_exec(reps, k, opts, exec)
     }
 
     fn lower_bound(&self, set: &UncertainSet<Point>, k: usize) -> f64 {
@@ -481,7 +490,12 @@ pub(crate) fn solve_continuous<P: Clone>(
             local_search_kcenter(&reps, &reps, &gz.center_indices, &counting, rounds)
         }
         CertainStrategy::Grid => space
-            .certified_solve(&reps, k, config.grid_options())
+            .certified_solve(
+                &reps,
+                k,
+                config.grid_options(),
+                Exec::auto(config.resolved_threads()),
+            )
             .unwrap_or_else(|| gonzalez(&reps, k, &counting, 0)),
         CertainStrategy::ExactDiscrete => {
             let pool_storage;
@@ -545,6 +559,14 @@ pub(crate) fn solve_continuous<P: Clone>(
 /// pointwise pipeline exactly; with [`ukc_metric::Kernel::Scalar`] the
 /// results are bit-identical to it, and the evaluation *counts* are
 /// kernel-independent by the [`DistanceOracle`] contract.
+///
+/// Parallelism: [`SolverConfig::resolved_threads`] lanes of the shared
+/// [`ukc_pool::global`] pool drive every batched sweep (certain solve,
+/// assignment, cost) through the pooled [`StoreOracle`]. The lane count
+/// never reaches the arithmetic — chunk boundaries and reduction order
+/// are pure functions of input size — so output, per-stage eval counts,
+/// and digests are bit-identical for `threads = 1` and `threads = N`
+/// (pinned by `tests/parallel_equivalence.rs`).
 fn solve_continuous_store<P: Clone>(
     set: &UncertainSet<P>,
     k: usize,
@@ -566,6 +588,7 @@ fn solve_continuous_store<P: Clone>(
     }
     let counter = DistCounter::new();
     let kernel = config.kernel();
+    let exec = Exec::auto(config.resolved_threads());
     let t_total = Instant::now();
     let mut report = Report {
         method: method_string(space.name(), rule, config.strategy()),
@@ -623,11 +646,15 @@ fn solve_continuous_store<P: Clone>(
     let t = Instant::now();
     let certain: KCenterSolution<PointId> = match config.strategy() {
         CertainStrategy::Gonzalez => {
-            let oracle = StoreOracle::new(&store, kernel).with_counter(&counter);
+            let oracle = StoreOracle::new(&store, kernel)
+                .with_counter(&counter)
+                .with_exec(exec);
             gonzalez(&rep_ids, k, &oracle, 0)
         }
         CertainStrategy::GonzalezLocalSearch { rounds } => {
-            let oracle = StoreOracle::new(&store, kernel).with_counter(&counter);
+            let oracle = StoreOracle::new(&store, kernel)
+                .with_counter(&counter)
+                .with_exec(exec);
             let gz = gonzalez(&rep_ids, k, &oracle, 0);
             local_search_kcenter(&rep_ids, &rep_ids, &gz.center_indices, &oracle, rounds)
         }
@@ -635,7 +662,7 @@ fn solve_continuous_store<P: Clone>(
             // The certified grid solver synthesizes new center locations;
             // its internal work bypasses the oracle (and the counters),
             // exactly as in the pointwise pipeline.
-            match space.certified_solve(&reps, k, config.grid_options()) {
+            match space.certified_solve(&reps, k, config.grid_options(), exec) {
                 Some(sol) => {
                     let mut ids = Vec::with_capacity(sol.centers.len());
                     for c in &sol.centers {
@@ -651,13 +678,17 @@ fn solve_continuous_store<P: Clone>(
                     }
                 }
                 None => {
-                    let oracle = StoreOracle::new(&store, kernel).with_counter(&counter);
+                    let oracle = StoreOracle::new(&store, kernel)
+                        .with_counter(&counter)
+                        .with_exec(exec);
                     gonzalez(&rep_ids, k, &oracle, 0)
                 }
             }
         }
         CertainStrategy::ExactDiscrete => {
-            let oracle = StoreOracle::new(&store, kernel).with_counter(&counter);
+            let oracle = StoreOracle::new(&store, kernel)
+                .with_counter(&counter)
+                .with_exec(exec);
             let pool_storage;
             let pool: &[PointId] = match config.candidate_policy() {
                 CandidatePolicy::ProblemPool => &rep_ids,
@@ -673,26 +704,26 @@ fn solve_continuous_store<P: Clone>(
     report.timings.certain_solve = t.elapsed();
     report.distance_evals.certain_solve = counter.since(evals_before);
 
-    // The store is frozen from here on; one oracle serves the tail.
-    let oracle = StoreOracle::new(&store, kernel).with_counter(&counter);
+    // The store is frozen from here on; one pooled oracle serves the tail.
+    let oracle = StoreOracle::new(&store, kernel)
+        .with_counter(&counter)
+        .with_exec(exec);
 
     // Step 3: assignment by the configured rule.
     let evals_before = counter.count();
     let t = Instant::now();
     let assignment: Vec<usize> = match rule {
-        AssignmentRule::ExpectedDistance => assign_ed(&set_ids, &certain.centers, &oracle),
+        AssignmentRule::ExpectedDistance => {
+            assign_ed_exec(&set_ids, &certain.centers, &oracle, exec)
+        }
         // For the EP rule the representatives *are* the expected points
         // `P̄ᵢ`, so the expected-point assignment is nearest-center per
         // representative (the coords_of contract requires this semantics).
-        AssignmentRule::ExpectedPoint => rep_ids
-            .iter()
-            .map(|r| {
-                oracle
-                    .nearest(r, &certain.centers)
-                    .expect("certain solve produced at least one center")
-                    .0
-            })
-            .collect(),
+        AssignmentRule::ExpectedPoint => {
+            let mut nearest = vec![(0usize, 0.0f64); rep_ids.len()];
+            oracle.nearest_each(&rep_ids, &certain.centers, &mut nearest);
+            nearest.into_iter().map(|(i, _)| i).collect()
+        }
         AssignmentRule::OneCenter => assign_oc(&set_ids, &certain.centers, &rep_ids, &oracle),
     };
     report.distance_evals.assignment = counter.since(evals_before);
@@ -701,7 +732,7 @@ fn solve_continuous_store<P: Clone>(
 
     // Step 4: exact expected cost over the id-space mirror.
     let t_cost = Instant::now();
-    let ecost = ecost_assigned(&set_ids, &certain.centers, &assignment, &oracle);
+    let ecost = ecost_assigned_exec(&set_ids, &certain.centers, &assignment, &oracle, exec);
     report.timings.cost = t_cost.elapsed();
     report.distance_evals.cost = counter.since(evals_before_cost);
 
@@ -844,26 +875,31 @@ pub(crate) fn solve_discrete<P: Clone>(
     Ok(solution)
 }
 
-/// Solves every problem under one config, fanning out across scoped
-/// worker threads (work-stealing by atomic index). Output order matches
-/// input order, and every solution is bit-identical to what the
-/// sequential loop `problems.iter().map(|p| p.solve(config))` produces —
-/// each solve is independent and deterministic, so thread scheduling
-/// cannot leak into results.
+/// Solves every problem under one config, fanning out across the shared
+/// [`ukc_pool::global`] worker pool. Output order matches input order,
+/// and every solution is bit-identical to what the sequential loop
+/// `problems.iter().map(|p| p.solve(config))` produces — each solve is
+/// independent and deterministic, so pool scheduling cannot leak into
+/// results.
 ///
-/// Uses one worker per available CPU, capped at the batch size.
+/// Uses one lane per available CPU, capped at the batch size.
 pub fn solve_batch<P: Clone + Send + Sync>(
     problems: &[Problem<P>],
     config: &SolverConfig,
 ) -> Vec<Result<Solution<P>, SolveError>> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    solve_batch_threads(problems, config, threads)
+    solve_batch_threads(problems, config, ukc_pool::default_threads())
 }
 
-/// [`solve_batch`] with an explicit worker count (`0` and `1` both mean
+/// [`solve_batch`] with an explicit lane cap (`0` and `1` both mean
 /// sequential).
+///
+/// Lanes come from the process-wide [`ukc_pool::global`] pool — the same
+/// pool the intra-solve kernels draw on — so batch fan-out and
+/// per-solve parallelism *cooperate* under one fixed worker set instead
+/// of multiplying thread counts. Each problem is one pool chunk; a lane
+/// solving a problem that itself parallelizes simply submits nested
+/// chunks to the same pool (deadlock-free: the submitting lane always
+/// participates).
 pub fn solve_batch_threads<P: Clone + Send + Sync>(
     problems: &[Problem<P>],
     config: &SolverConfig,
@@ -873,27 +909,16 @@ pub fn solve_batch_threads<P: Clone + Send + Sync>(
     if threads <= 1 {
         return problems.iter().map(|p| p.solve(config)).collect();
     }
-    type Indexed<P> = Vec<(usize, Result<Solution<P>, SolveError>)>;
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Indexed<P>> = Mutex::new(Vec::with_capacity(problems.len()));
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= problems.len() {
-                    break;
-                }
-                let result = problems[i].solve(config);
-                results
-                    .lock()
-                    .expect("batch worker panicked while holding the results lock")
-                    .push((i, result));
-            });
-        }
-    });
-    let mut indexed = results
-        .into_inner()
-        .expect("batch worker panicked while holding the results lock");
-    indexed.sort_by_key(|(i, _)| *i);
-    indexed.into_iter().map(|(_, r)| r).collect()
+    let mut slots: Vec<Option<Result<Solution<P>, SolveError>>> = Vec::new();
+    slots.resize_with(problems.len(), || None);
+    ukc_pool::for_each_slice(
+        Exec::pooled(ukc_pool::global(), threads),
+        &mut slots,
+        1,
+        |i, slot| slot[0] = Some(problems[i].solve(config)),
+    );
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("the pool executes every chunk exactly once"))
+        .collect()
 }

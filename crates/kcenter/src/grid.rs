@@ -22,6 +22,7 @@ use crate::exact::{exact_discrete_kcenter, ExactOptions};
 use crate::gonzalez::{gonzalez, KCenterSolution};
 use ukc_metric::batch;
 use ukc_metric::{Kernel, Point, PointId, PointStore, StoreOracle};
+use ukc_pool::Exec;
 
 /// Options for the grid (1+ε) solver.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -66,6 +67,22 @@ pub fn grid_kcenter(
     k: usize,
     opts: GridOptions,
 ) -> Option<KCenterSolution<Point>> {
+    grid_kcenter_exec(points, k, opts, Exec::sequential())
+}
+
+/// [`grid_kcenter`] with an execution context: the internal Gonzalez
+/// radius estimate and the exact inner solve run their batched sweeps
+/// through `exec`. Output is bit-identical for every `exec` (the
+/// parallel kernels' determinism contract).
+///
+/// # Panics
+/// Panics if `points` is empty, `k == 0`, or `eps <= 0`.
+pub fn grid_kcenter_exec(
+    points: &[Point],
+    k: usize,
+    opts: GridOptions,
+    exec: Exec<'_>,
+) -> Option<KCenterSolution<Point>> {
     assert!(!points.is_empty(), "grid solver requires points");
     assert!(k > 0, "grid solver requires k >= 1");
     assert!(opts.eps > 0.0, "eps must be positive");
@@ -79,7 +96,12 @@ pub fn grid_kcenter(
         center_indices: sol.center_indices,
         radius: sol.radius,
     };
-    let gz = gonzalez(&point_ids, k, &StoreOracle::new(&store, opts.kernel), 0);
+    let gz = gonzalez(
+        &point_ids,
+        k,
+        &StoreOracle::new(&store, opts.kernel).with_exec(exec),
+        0,
+    );
     if gz.radius == 0.0 {
         // k distinct-ish points already have zero radius: optimal.
         return Some(materialize(gz, &store));
@@ -145,7 +167,7 @@ pub fn grid_kcenter(
     if cand_ids.is_empty() {
         return Some(materialize(gz, &store));
     }
-    let oracle = StoreOracle::new(&store, opts.kernel);
+    let oracle = StoreOracle::new(&store, opts.kernel).with_exec(exec);
     let sol = exact_discrete_kcenter(&point_ids, &cand_ids, k, &oracle, opts.exact)?;
     // The grid optimum is certified (1+eps); but Gonzalez may still win on
     // degenerate inputs (e.g. grid quantization of tiny instances), so take

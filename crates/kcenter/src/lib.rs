@@ -37,7 +37,7 @@ pub mod one_d;
 
 pub use exact::{exact_discrete_kcenter, ExactOptions};
 pub use gonzalez::{gonzalez, gonzalez_indices, KCenterSolution};
-pub use grid::{grid_kcenter, GridOptions};
+pub use grid::{grid_kcenter, grid_kcenter_exec, GridOptions};
 pub use local_search::local_search_kcenter;
 pub use one_d::one_d_kcenter;
 
@@ -65,6 +65,10 @@ pub fn kcenter_cost<P, M: DistanceOracle<P>>(points: &[P], centers: &[P], metric
 
 /// Assigns every point to its nearest center, returning center indices.
 ///
+/// Runs through the batched [`DistanceOracle::nearest_each`] sweep, so a
+/// pool-backed oracle parallelizes it across points with identical
+/// output.
+///
 /// # Panics
 /// Panics when `centers` is empty and `points` is not.
 pub fn nearest_assignment<P, M: DistanceOracle<P>>(
@@ -72,15 +76,16 @@ pub fn nearest_assignment<P, M: DistanceOracle<P>>(
     centers: &[P],
     metric: &M,
 ) -> Vec<usize> {
-    points
-        .iter()
-        .map(|p| {
-            metric
-                .nearest(p, centers)
-                .expect("nearest_assignment requires at least one center")
-                .0
-        })
-        .collect()
+    if points.is_empty() {
+        return Vec::new();
+    }
+    assert!(
+        !centers.is_empty(),
+        "nearest_assignment requires at least one center"
+    );
+    let mut nearest = vec![(0usize, 0.0f64); points.len()];
+    metric.nearest_each(points, centers, &mut nearest);
+    nearest.into_iter().map(|(i, _)| i).collect()
 }
 
 #[cfg(test)]

@@ -18,7 +18,20 @@
 //! never changes instrumentation.
 
 use crate::store::{PointId, PointStore};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use ukc_pool::Exec;
+
+/// Rows per parallel chunk. A pure constant — chunk boundaries must
+/// depend only on the input size, never on the worker count, so the
+/// ordered chunk reductions below are bit-identical for every lane count
+/// (the execution-layer determinism contract).
+pub const PAR_CHUNK: usize = 2048;
+
+/// Minimum row count before a sweep is worth handing to the pool (below
+/// this, chunk-dispatch overhead exceeds the sweep itself). Also a pure
+/// function of input size, for the same determinism reason.
+pub const PAR_MIN_POINTS: usize = 4096;
 
 /// Which distance kernel evaluates batched routines.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -42,29 +55,75 @@ impl Kernel {
     }
 }
 
-/// A shared distance-evaluation counter (relaxed atomic adds).
+/// How many cache-line-padded cells a [`DistCounter`] spreads its adds
+/// over.
+const COUNTER_SHARDS: usize = 8;
+
+/// One counter cell on its own cache line, so concurrent adds from
+/// different lanes do not false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct CounterCell(AtomicU64);
+
+/// Monotone shard-id source for [`thread_shard`].
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's counter shard, assigned round-robin on first use.
+    static THREAD_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// The calling thread's shard index (stable for the thread's lifetime).
+fn thread_shard() -> usize {
+    THREAD_SHARD.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            return v;
+        }
+        let v = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % COUNTER_SHARDS;
+        s.set(v);
+        v
+    })
+}
+
+/// A shared, *sharded* distance-evaluation counter.
 ///
 /// The kernels' callers bump it by the number of point-pairs evaluated;
 /// `ukc-core` threads one through every solve so [`Kernel::Scalar`] and
-/// [`Kernel::Blocked`] report identical `distance_evals`.
-#[derive(Debug, Default)]
-pub struct DistCounter(AtomicU64);
+/// [`Kernel::Blocked`] report identical `distance_evals`. Internally the
+/// count is spread over cache-line-padded cells indexed by a per-thread
+/// shard, so the parallel sweeps (and per-pair counting from many pool
+/// lanes at once) never contend on one cache line; [`DistCounter::count`]
+/// sums the cells, so per-stage totals stay **exact** — sharding changes
+/// where an add lands, never whether it is counted.
+#[derive(Debug)]
+pub struct DistCounter {
+    cells: [CounterCell; COUNTER_SHARDS],
+}
+
+impl Default for DistCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl DistCounter {
     /// A counter starting at zero.
     pub fn new() -> Self {
-        Self(AtomicU64::new(0))
+        Self {
+            cells: std::array::from_fn(|_| CounterCell::default()),
+        }
     }
 
-    /// Adds `n` evaluations.
+    /// Adds `n` evaluations (to the calling thread's shard).
     #[inline]
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        self.cells[thread_shard()].0.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// The evaluations so far.
+    /// The evaluations so far (sum over all shards).
     pub fn count(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
     }
 
     /// Evaluations since a previous [`DistCounter::count`].
@@ -250,6 +309,96 @@ pub fn nearest_center(
     }
 }
 
+/// Parallel [`dists_to_one`]: splits `points` into [`PAR_CHUNK`]-row
+/// blocks and fills each block's output slice on a pool lane. The fill
+/// is elementwise (every `out[i]` depends only on pair `i`), so the
+/// result is bit-identical to the sequential kernel for every [`Exec`].
+///
+/// # Panics
+/// Panics when `out` is shorter than `points`.
+pub fn par_dists_to_one(
+    store: &PointStore,
+    points: &[PointId],
+    q: PointId,
+    kernel: Kernel,
+    exec: Exec<'_>,
+    out: &mut [f64],
+) {
+    assert!(out.len() >= points.len(), "output buffer too small");
+    if !exec.is_parallel() || points.len() < PAR_MIN_POINTS {
+        return dists_to_one(store, points, q, kernel, out);
+    }
+    ukc_pool::for_each_slice(exec, &mut out[..points.len()], PAR_CHUNK, |start, slice| {
+        dists_to_one(store, &points[start..start + slice.len()], q, kernel, slice);
+    });
+}
+
+/// Parallel min-update sweep ([`dists_to_set_min`]): block-parallel over
+/// [`PAR_CHUNK`]-row blocks. Elementwise like [`par_dists_to_one`], so
+/// bit-identical across every [`Exec`] — this is the Gonzalez inner loop,
+/// and the sweep where intra-solve parallelism pays the most.
+///
+/// # Panics
+/// Panics when `min_dist` is shorter than `points`.
+pub fn par_dists_to_set_min(
+    store: &PointStore,
+    points: &[PointId],
+    center: PointId,
+    kernel: Kernel,
+    exec: Exec<'_>,
+    min_dist: &mut [f64],
+) {
+    assert!(min_dist.len() >= points.len(), "min-dist buffer too small");
+    if !exec.is_parallel() || points.len() < PAR_MIN_POINTS {
+        return dists_to_set_min(store, points, center, kernel, min_dist);
+    }
+    ukc_pool::for_each_slice(
+        exec,
+        &mut min_dist[..points.len()],
+        PAR_CHUNK,
+        |start, slice| {
+            dists_to_set_min(
+                store,
+                &points[start..start + slice.len()],
+                center,
+                kernel,
+                slice,
+            );
+        },
+    );
+}
+
+/// Parallel [`nearest_center`] over a large center set: per-chunk argmins
+/// are computed independently and folded **in chunk-index order** with a
+/// strict `<`, which preserves the sequential first-wins tie-breaking, so
+/// the chosen index is independent of the lane count.
+///
+/// Chunking engages purely by size (`centers.len() >= PAR_MIN_POINTS`),
+/// never by [`Exec`]: a sequential `Exec` folds the *same* chunks in the
+/// same order, so `threads = 1` and `threads = N` agree bit for bit even
+/// in the blocked kernel's rounding corners.
+pub fn par_nearest_center(
+    store: &PointStore,
+    centers: &[PointId],
+    q: PointId,
+    kernel: Kernel,
+    exec: Exec<'_>,
+) -> Option<(usize, f64)> {
+    if centers.len() < PAR_MIN_POINTS {
+        return nearest_center(store, centers, q, kernel);
+    }
+    let partials = ukc_pool::map_chunks(exec, centers.len(), PAR_CHUNK, |r| {
+        nearest_center(store, &centers[r.clone()], q, kernel).map(|(i, d)| (i + r.start, d))
+    });
+    let mut best: Option<(usize, f64)> = None;
+    for p in partials.into_iter().flatten() {
+        if best.is_none_or(|(_, bd)| p.1 < bd) {
+            best = Some(p);
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,5 +482,67 @@ mod tests {
         assert_eq!(c.count(), 7);
         assert_eq!(c.since(5), 2);
         assert_eq!(c.since(10), 0);
+    }
+
+    #[test]
+    fn counter_sums_adds_from_many_threads_exactly() {
+        let c = DistCounter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        c.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.count(), 4000);
+    }
+
+    #[test]
+    fn par_fills_match_sequential_bitwise() {
+        let s = store(21, 2 * PAR_MIN_POINTS + 37, 5);
+        let ids = s.ids();
+        let pool = ukc_pool::Pool::new(3);
+        let exec = Exec::pooled(&pool, 3);
+        for kernel in [Kernel::Scalar, Kernel::Blocked] {
+            let mut seq = vec![0.0; ids.len()];
+            dists_to_one(&s, &ids, PointId(5), kernel, &mut seq);
+            let mut par = vec![0.0; ids.len()];
+            par_dists_to_one(&s, &ids, PointId(5), kernel, exec, &mut par);
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{kernel:?}");
+            }
+
+            let mut seq = vec![f64::INFINITY; ids.len()];
+            let mut par = vec![f64::INFINITY; ids.len()];
+            for c in [PointId(0), PointId(999), PointId(4321)] {
+                dists_to_set_min(&s, &ids, c, kernel, &mut seq);
+                par_dists_to_set_min(&s, &ids, c, kernel, exec, &mut par);
+            }
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{kernel:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_nearest_center_is_lane_count_independent() {
+        let s = store(4, PAR_MIN_POINTS + 123, 3);
+        let centers = s.ids();
+        let pool = ukc_pool::Pool::new(4);
+        for kernel in [Kernel::Scalar, Kernel::Blocked] {
+            for q in [PointId(0), PointId(17), PointId(4000)] {
+                let seq = par_nearest_center(&s, &centers, q, kernel, Exec::sequential());
+                let par = par_nearest_center(&s, &centers, q, kernel, Exec::pooled(&pool, 4));
+                let (si, sd) = seq.expect("non-empty centers");
+                let (pi, pd) = par.expect("non-empty centers");
+                assert_eq!(si, pi, "{kernel:?}");
+                assert_eq!(sd.to_bits(), pd.to_bits(), "{kernel:?}");
+            }
+        }
+        assert!(
+            par_nearest_center(&s, &[], PointId(0), Kernel::Scalar, Exec::sequential()).is_none()
+        );
     }
 }

@@ -41,7 +41,7 @@ mod store;
 mod tree;
 pub mod validate;
 
-pub use batch::{DistCounter, Kernel};
+pub use batch::{DistCounter, Kernel, PAR_CHUNK, PAR_MIN_POINTS};
 pub use finite::{FiniteMetric, FiniteMetricError};
 pub use graph::{GraphError, WeightedGraph};
 pub use lp::{Chebyshev, Euclidean, Manhattan, Minkowski};
@@ -136,6 +136,24 @@ pub trait DistanceOracle<P>: Metric<P> {
             }
         }
     }
+
+    /// Fills `out[i]` with the index and distance of the center nearest
+    /// `queries[i]` (ties toward the lower index) — the batched form of
+    /// [`Metric::nearest`] behind every assignment sweep. Elementwise per
+    /// query, so overrides may parallelize across queries without
+    /// changing any result.
+    ///
+    /// # Panics
+    /// Panics when `out` is shorter than `queries` or `centers` is empty
+    /// while `queries` is not.
+    fn nearest_each(&self, queries: &[P], centers: &[P], out: &mut [(usize, f64)]) {
+        assert!(out.len() >= queries.len(), "output buffer too small");
+        for (q, o) in queries.iter().zip(out.iter_mut()) {
+            *o = self
+                .nearest(q, centers)
+                .expect("nearest_each requires at least one center");
+        }
+    }
 }
 
 impl<P> DistanceOracle<P> for Euclidean where Euclidean: Metric<P> {}
@@ -157,6 +175,10 @@ impl<P, M: DistanceOracle<P> + ?Sized> DistanceOracle<P> for &M {
 
     fn dists_to_set_min(&self, points: &[P], center: &P, min_dist: &mut [f64]) {
         (**self).dists_to_set_min(points, center, min_dist)
+    }
+
+    fn nearest_each(&self, queries: &[P], centers: &[P], out: &mut [(usize, f64)]) {
+        (**self).nearest_each(queries, centers, out)
     }
 }
 

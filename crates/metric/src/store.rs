@@ -17,9 +17,10 @@
 //! generic algorithm in the workspace runs unchanged — only faster — when
 //! handed ids instead of boxed points.
 
-use crate::batch::{self, DistCounter, Kernel};
+use crate::batch::{self, DistCounter, Kernel, PAR_CHUNK, PAR_MIN_POINTS};
 use crate::point::{Point, PointError};
 use crate::{DistanceOracle, Metric};
+use ukc_pool::Exec;
 
 /// Index of a point inside a [`PointStore`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -179,25 +180,41 @@ impl PointStore {
 /// The oracle optionally shares a [`DistCounter`]; every evaluated
 /// point-pair bumps it by exactly one, whether computed by the scalar or
 /// the blocked kernel, so instrumentation counts are kernel-independent.
+///
+/// [`StoreOracle::with_exec`] attaches an execution context: batched
+/// sweeps over at least [`PAR_MIN_POINTS`] rows then run block-parallel
+/// on the pool through the `par_*` kernels of [`crate::batch`]. Chunk
+/// boundaries and reduction order are pure functions of the input size,
+/// so results — and evaluation counts — are bit-identical for every
+/// lane count (the execution-layer determinism contract).
 pub struct StoreOracle<'a> {
     store: &'a PointStore,
     kernel: Kernel,
     counter: Option<&'a DistCounter>,
+    exec: Exec<'a>,
 }
 
 impl<'a> StoreOracle<'a> {
-    /// An oracle over `store` using `kernel`, not counting evaluations.
+    /// An oracle over `store` using `kernel`, not counting evaluations,
+    /// running sequentially.
     pub fn new(store: &'a PointStore, kernel: Kernel) -> Self {
         Self {
             store,
             kernel,
             counter: None,
+            exec: Exec::sequential(),
         }
     }
 
     /// Attaches an evaluation counter (one tick per point-pair).
     pub fn with_counter(mut self, counter: &'a DistCounter) -> Self {
         self.counter = Some(counter);
+        self
+    }
+
+    /// Attaches an execution context for the batched sweeps.
+    pub fn with_exec(mut self, exec: Exec<'a>) -> Self {
+        self.exec = exec;
         self
     }
 
@@ -209,6 +226,11 @@ impl<'a> StoreOracle<'a> {
     /// The active kernel.
     pub fn kernel(&self) -> Kernel {
         self.kernel
+    }
+
+    /// The active execution context.
+    pub fn exec(&self) -> Exec<'a> {
+        self.exec
     }
 
     #[inline]
@@ -235,19 +257,59 @@ impl Metric<PointId> for StoreOracle<'_> {
 
     fn nearest(&self, a: &PointId, centers: &[PointId]) -> Option<(usize, f64)> {
         self.tally(centers.len());
-        batch::nearest_center(self.store, centers, *a, self.kernel)
+        batch::par_nearest_center(self.store, centers, *a, self.kernel, self.exec)
     }
 }
 
 impl DistanceOracle<PointId> for StoreOracle<'_> {
     fn dists_to_one(&self, points: &[PointId], q: &PointId, out: &mut [f64]) {
         self.tally(points.len());
-        batch::dists_to_one(self.store, points, *q, self.kernel, out);
+        batch::par_dists_to_one(self.store, points, *q, self.kernel, self.exec, out);
     }
 
     fn dists_to_set_min(&self, points: &[PointId], center: &PointId, min_dist: &mut [f64]) {
         self.tally(points.len());
-        batch::dists_to_set_min(self.store, points, *center, self.kernel, min_dist);
+        batch::par_dists_to_set_min(
+            self.store,
+            points,
+            *center,
+            self.kernel,
+            self.exec,
+            min_dist,
+        );
+    }
+
+    fn nearest_each(&self, queries: &[PointId], centers: &[PointId], out: &mut [(usize, f64)]) {
+        assert!(out.len() >= queries.len(), "output buffer too small");
+        if queries.is_empty() {
+            // The trait contract: empty queries are trivially done, even
+            // with no centers (matching the default implementation).
+            return;
+        }
+        assert!(
+            !centers.is_empty(),
+            "nearest_each requires at least one center"
+        );
+        self.tally(queries.len() * centers.len());
+        let per_query = |start: usize, slice: &mut [(usize, f64)]| {
+            for (q, o) in queries[start..start + slice.len()].iter().zip(slice) {
+                // Per-query work stays on one lane; the size-chunked
+                // nearest keeps it consistent with `Metric::nearest`.
+                *o = batch::par_nearest_center(
+                    self.store,
+                    centers,
+                    *q,
+                    self.kernel,
+                    Exec::sequential(),
+                )
+                .expect("non-empty centers");
+            }
+        };
+        if !self.exec.is_parallel() || queries.len() < PAR_MIN_POINTS {
+            per_query(0, &mut out[..queries.len()]);
+        } else {
+            ukc_pool::for_each_slice(self.exec, &mut out[..queries.len()], PAR_CHUNK, per_query);
+        }
     }
 }
 
@@ -340,6 +402,23 @@ mod tests {
         for i in 0..pts.len() {
             assert_eq!(oracle.dist(&PointId(i), &PointId(i)), 0.0);
         }
+    }
+
+    #[test]
+    fn nearest_each_accepts_empty_queries_like_the_default() {
+        let pts = cloud(2, 4, 2);
+        let store = PointStore::from_points(&pts);
+        let oracle = StoreOracle::new(&store, Kernel::Blocked);
+        // Empty queries are trivially done, even with no centers — the
+        // documented trait contract.
+        oracle.nearest_each(&[], &[], &mut []);
+        let mut out = [(0usize, 0.0f64); 2];
+        oracle.nearest_each(
+            &[PointId(0), PointId(1)],
+            &[PointId(2), PointId(3)],
+            &mut out,
+        );
+        assert!(out.iter().all(|&(i, d)| i < 2 && d.is_finite()));
     }
 
     #[test]

@@ -42,6 +42,12 @@ impl SolveKey {
 /// Renders a [`SolverConfig`] canonically: every field that can change a
 /// solve result appears, floats by bit pattern so distinct values can
 /// never collide.
+///
+/// [`SolverConfig::threads`] is deliberately **excluded**: the execution
+/// layer guarantees bit-identical solutions for every lane count, so a
+/// result computed at `threads = 1` may serve a `threads = N` request
+/// (and vice versa) — splitting the cache by threads would only lower
+/// the hit rate (pinned by `config_keys_ignore_threads`).
 pub fn config_key(config: &SolverConfig) -> String {
     let strategy = match config.strategy() {
         CertainStrategy::Gonzalez => "gonzalez".to_string(),
@@ -197,5 +203,16 @@ mod tests {
             assert_ne!(config_key(v), base_key, "{v:?}");
         }
         assert_eq!(config_key(&base), config_key(&SolverConfig::default()));
+    }
+
+    #[test]
+    fn config_keys_ignore_threads() {
+        // Threads are a resource knob with bit-identical output, so a
+        // cached solution must be shared across every lane count.
+        let base_key = config_key(&SolverConfig::default());
+        for threads in [1usize, 2, 8] {
+            let cfg = SolverConfig::builder().threads(threads).build().unwrap();
+            assert_eq!(config_key(&cfg), base_key, "threads = {threads}");
+        }
     }
 }

@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use ukc_core::Report;
 use ukc_json::Json;
+use ukc_pool::PoolStats;
 
 /// Route labels, one counter slot each.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -67,6 +68,9 @@ pub struct Metrics {
     pub cache_misses: AtomicU64,
     /// Scheduler waves executed.
     pub waves: AtomicU64,
+    /// Waves whose batch actually fanned out on the shared worker pool
+    /// (more than one unique job and more than one lane configured).
+    pub pool_waves: AtomicU64,
     /// Jobs carried by those waves (jobs/waves = achieved batching).
     pub wave_jobs: AtomicU64,
     /// Duplicate jobs coalesced inside waves (served one solve, many replies).
@@ -139,9 +143,16 @@ impl Metrics {
         get(&self.cache_hits)
     }
 
-    /// The `/metrics` document body (cache size/capacity and instance
-    /// count are owned elsewhere and passed in).
-    pub fn to_json(&self, cache_len: usize, cache_cap: usize, instances: usize) -> Json {
+    /// The `/metrics` document body (cache size/capacity, instance
+    /// count, and the shared worker pool's occupancy are owned elsewhere
+    /// and passed in).
+    pub fn to_json(
+        &self,
+        cache_len: usize,
+        cache_cap: usize,
+        instances: usize,
+        pool: PoolStats,
+    ) -> Json {
         let secs = |c: &AtomicU64| Json::from(get(c) as f64 / 1e9);
         let hits = get(&self.cache_hits);
         let misses = get(&self.cache_misses);
@@ -188,6 +199,17 @@ impl Metrics {
                 ]),
             ),
             (
+                "pool",
+                Json::obj([
+                    ("workers", Json::from(pool.workers)),
+                    ("busy", Json::from(pool.busy)),
+                    ("queued_chunks", Json::from(pool.queued_chunks)),
+                    ("tasks", Json::from(pool.tasks as f64)),
+                    ("chunks", Json::from(pool.chunks as f64)),
+                    ("waves", Json::from(get(&self.pool_waves) as f64)),
+                ]),
+            ),
+            (
                 "solves",
                 Json::obj([
                     ("ok", Json::from(get(&self.solves_ok) as f64)),
@@ -228,7 +250,18 @@ mod tests {
         m.record_response(404);
         add(&m.cache_hits, 3);
         add(&m.cache_misses, 1);
-        let doc = m.to_json(2, 64, 5);
+        let doc = m.to_json(
+            2,
+            64,
+            5,
+            PoolStats {
+                workers: 3,
+                busy: 1,
+                queued_chunks: 7,
+                tasks: 11,
+                chunks: 400,
+            },
+        );
         let req = doc.get("requests").unwrap();
         assert_eq!(req.get("healthz").and_then(Json::as_f64), Some(1.0));
         assert_eq!(req.get("instances_solve").and_then(Json::as_f64), Some(2.0));
@@ -237,6 +270,12 @@ mod tests {
         assert_eq!(cache.get("hit_rate").and_then(Json::as_f64), Some(0.75));
         assert_eq!(cache.get("capacity").and_then(Json::as_f64), Some(64.0));
         assert_eq!(doc.get("instances").and_then(Json::as_f64), Some(5.0));
+        let pool = doc.get("pool").unwrap();
+        assert_eq!(pool.get("workers").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(pool.get("busy").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(pool.get("queued_chunks").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(pool.get("chunks").and_then(Json::as_f64), Some(400.0));
+        assert_eq!(pool.get("waves").and_then(Json::as_f64), Some(0.0));
     }
 
     #[test]
@@ -248,7 +287,7 @@ mod tests {
         m.record_solve(&report);
         m.record_solve(&report);
         m.record_solve_error();
-        let doc = m.to_json(0, 0, 0);
+        let doc = m.to_json(0, 0, 0, PoolStats::default());
         let solves = doc.get("solves").unwrap();
         assert_eq!(solves.get("ok").and_then(Json::as_f64), Some(2.0));
         assert_eq!(solves.get("errors").and_then(Json::as_f64), Some(1.0));

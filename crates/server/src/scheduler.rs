@@ -5,14 +5,21 @@
 //! dispatcher thread drains the queue into a **wave** (everything
 //! currently pending, up to [`MAX_WAVE`]), groups the wave by
 //! [`SolverConfig`], deduplicates identical `(digest, config)` jobs, and
-//! runs each group through [`ukc_core::solve_batch_threads`] over the
-//! configured worker count. Duplicates get clones of the one computed
+//! runs each group through [`ukc_core::solve_batch_threads`] with the
+//! configured lane cap. Duplicates get clones of the one computed
 //! solution — N identical concurrent requests cost one solve.
 //!
+//! Waves execute on the process-wide [`ukc_pool::global`] worker pool —
+//! the same pool each solve's intra-solve kernels draw on — so wave
+//! fan-out and per-solve parallelism cooperate under one fixed worker
+//! set instead of oversubscribing the host. `workers` is therefore a
+//! *lane cap*, not a thread count: it bounds how many pool lanes one
+//! wave may occupy.
+//!
 //! Determinism is load-bearing: `solve_batch_threads` is bit-identical
-//! to the sequential loop, so batching, coalescing, and thread
-//! scheduling can never leak into a response — a client observes exactly
-//! what `Problem::solve` would have returned.
+//! to the sequential loop, so batching, coalescing, and pool scheduling
+//! can never leak into a response — a client observes exactly what
+//! `Problem::solve` would have returned.
 
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -42,7 +49,7 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
-    /// Starts the dispatcher. `workers` is the thread count handed to
+    /// Starts the dispatcher. `workers` is the pool-lane cap handed to
     /// [`solve_batch_threads`] per wave (0 and 1 both mean sequential).
     pub fn new(workers: usize, metrics: Arc<Metrics>) -> Self {
         let (tx, rx) = mpsc::channel::<Job>();
@@ -152,6 +159,7 @@ fn run_wave(jobs: Vec<Job>, workers: usize, metrics: &Metrics) {
     }
 
     let mut coalesced = 0u64;
+    let mut fanned_out = false;
     for (config, idxs) in groups {
         // Deduplicate identical problems inside the group: the digest is
         // canonical content identity, so equal digests get one solve.
@@ -173,6 +181,10 @@ fn run_wave(jobs: Vec<Job>, workers: usize, metrics: &Metrics) {
             .iter()
             .map(|&(_, i)| jobs[i].problem.clone())
             .collect();
+        // A group fans out on the pool only when more than one unique
+        // problem meets more than one lane *and* the pool has workers to
+        // claim chunks (a 0-worker pool degrades to the inline loop).
+        fanned_out |= workers > 1 && problems.len() > 1 && ukc_pool::global().workers() > 0;
         let results = solve_batch_threads(&problems, &config, workers);
         for result in &results {
             match result {
@@ -188,6 +200,13 @@ fn run_wave(jobs: Vec<Job>, workers: usize, metrics: &Metrics) {
     metrics
         .coalesced_jobs
         .fetch_add(coalesced, std::sync::atomic::Ordering::Relaxed);
+    // At most one pool-wave tick per wave, however many config groups it
+    // split into.
+    if fanned_out {
+        metrics
+            .pool_waves
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]

@@ -33,7 +33,11 @@ use ukc_uncertain::UncertainSet;
 pub struct ServerConfig {
     /// Bind address (`127.0.0.1:0` picks an ephemeral port).
     pub addr: String,
-    /// Worker threads per solve wave (0 means one per available CPU).
+    /// Pool-lane cap per solve wave (0 means one per available CPU /
+    /// `UKC_THREADS`). Waves run on the process-wide [`ukc_pool::global`]
+    /// pool, shared with each solve's intra-solve kernels, so this caps
+    /// how many of the pool's lanes one wave may occupy — it does not
+    /// spawn threads of its own.
     pub workers: usize,
     /// Solution-cache capacity in entries (0 disables the cache).
     pub cache_cap: usize,
@@ -66,9 +70,7 @@ pub(crate) struct AppState {
 impl AppState {
     fn new(config: &ServerConfig) -> Self {
         let workers = if config.workers == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            ukc_pool::default_threads()
         } else {
             config.workers
         };
@@ -308,9 +310,12 @@ fn handle_metrics(state: &AppState) -> Handled {
     let cache_len = state.cache.lock().expect("cache lock poisoned").len();
     Ok((
         200,
-        state
-            .metrics
-            .to_json(cache_len, state.cache_cap, state.store.len()),
+        state.metrics.to_json(
+            cache_len,
+            state.cache_cap,
+            state.store.len(),
+            ukc_pool::global().stats(),
+        ),
     ))
 }
 

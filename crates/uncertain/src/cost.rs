@@ -11,7 +11,8 @@ use crate::expected_max::{expected_max, expected_max_enumerate};
 use crate::realization::sample_realization;
 use crate::set::UncertainSet;
 use rand::Rng;
-use ukc_metric::DistanceOracle;
+use ukc_metric::{DistanceOracle, PAR_CHUNK, PAR_MIN_POINTS};
+use ukc_pool::Exec;
 
 /// Builds the per-point distance variables for the *assigned* cost: point
 /// `i`'s variable takes value `d(Pᵢⱼ, centers[assignment[i]])` with
@@ -71,6 +72,75 @@ fn unassigned_vars<P, M: DistanceOracle<P>>(
         .collect()
 }
 
+/// Parallel [`assigned_vars`]: the per-point distance variables are
+/// independent, so points are built in [`PAR_CHUNK`]-sized blocks on pool
+/// lanes (each with its own scratch buffer). Every variable's arithmetic
+/// is identical to the sequential sweep's, so the vector — and the
+/// [`expected_max`] over it — is bit-identical for every [`Exec`].
+fn assigned_vars_exec<P: Sync, M: DistanceOracle<P> + Sync>(
+    set: &UncertainSet<P>,
+    centers: &[P],
+    assignment: &[usize],
+    metric: &M,
+    exec: Exec<'_>,
+) -> Vec<Vec<(f64, f64)>> {
+    if !exec.is_parallel() || set.n() < PAR_MIN_POINTS {
+        return assigned_vars(set, centers, assignment, metric);
+    }
+    assert_eq!(
+        assignment.len(),
+        set.n(),
+        "assignment must name a center for every point"
+    );
+    let mut vars: Vec<Vec<(f64, f64)>> = vec![Vec::new(); set.n()];
+    ukc_pool::for_each_slice(exec, &mut vars, PAR_CHUNK, |start, slice| {
+        let mut dists = vec![0.0f64; set.max_z()];
+        for (j, slot) in slice.iter_mut().enumerate() {
+            let up = &set[start + j];
+            let a = assignment[start + j];
+            assert!(a < centers.len(), "assignment index out of range");
+            metric.dists_to_one(up.locations(), &centers[a], &mut dists);
+            *slot = dists[..up.z()]
+                .iter()
+                .zip(up.probs().iter())
+                .map(|(&d, &p)| (d, p))
+                .collect();
+        }
+    });
+    vars
+}
+
+/// Parallel [`unassigned_vars`], block-parallel over points like
+/// [`assigned_vars_exec`].
+fn unassigned_vars_exec<P: Sync, M: DistanceOracle<P> + Sync>(
+    set: &UncertainSet<P>,
+    centers: &[P],
+    metric: &M,
+    exec: Exec<'_>,
+) -> Vec<Vec<(f64, f64)>> {
+    if !exec.is_parallel() || set.n() < PAR_MIN_POINTS {
+        return unassigned_vars(set, centers, metric);
+    }
+    assert!(!centers.is_empty(), "need at least one center");
+    let mut vars: Vec<Vec<(f64, f64)>> = vec![Vec::new(); set.n()];
+    ukc_pool::for_each_slice(exec, &mut vars, PAR_CHUNK, |start, slice| {
+        let mut min_dist = vec![0.0f64; set.max_z()];
+        for (j, slot) in slice.iter_mut().enumerate() {
+            let up = &set[start + j];
+            min_dist[..up.z()].fill(f64::INFINITY);
+            for c in centers {
+                metric.dists_to_set_min(up.locations(), c, &mut min_dist);
+            }
+            *slot = min_dist[..up.z()]
+                .iter()
+                .zip(up.probs().iter())
+                .map(|(&d, &p)| (d, p))
+                .collect();
+        }
+    });
+    vars
+}
+
 /// Exact `EcostA(c₁..c_k)` for a fixed assignment:
 /// `Σ_R prob(R)·max_i d(P̂ᵢ, A(Pᵢ))`, in O(N log N).
 pub fn ecost_assigned<P, M: DistanceOracle<P>>(
@@ -82,6 +152,19 @@ pub fn ecost_assigned<P, M: DistanceOracle<P>>(
     expected_max(&assigned_vars(set, centers, assignment, metric))
 }
 
+/// [`ecost_assigned`] with an execution context: the per-point variable
+/// sweep runs block-parallel on the pool, the `E[max]` fold stays
+/// sequential. Bit-identical to [`ecost_assigned`] for every `exec`.
+pub fn ecost_assigned_exec<P: Sync, M: DistanceOracle<P> + Sync>(
+    set: &UncertainSet<P>,
+    centers: &[P],
+    assignment: &[usize],
+    metric: &M,
+    exec: Exec<'_>,
+) -> f64 {
+    expected_max(&assigned_vars_exec(set, centers, assignment, metric, exec))
+}
+
 /// Exact unassigned `Ecost(c₁..c_k) = Σ_R prob(R)·max_i d(P̂ᵢ, C)`.
 pub fn ecost_unassigned<P, M: DistanceOracle<P>>(
     set: &UncertainSet<P>,
@@ -89,6 +172,17 @@ pub fn ecost_unassigned<P, M: DistanceOracle<P>>(
     metric: &M,
 ) -> f64 {
     expected_max(&unassigned_vars(set, centers, metric))
+}
+
+/// [`ecost_unassigned`] with an execution context (see
+/// [`ecost_assigned_exec`]).
+pub fn ecost_unassigned_exec<P: Sync, M: DistanceOracle<P> + Sync>(
+    set: &UncertainSet<P>,
+    centers: &[P],
+    metric: &M,
+    exec: Exec<'_>,
+) -> f64 {
+    expected_max(&unassigned_vars_exec(set, centers, metric, exec))
 }
 
 /// Assigned cost by full realization enumeration (tests/baselines only).

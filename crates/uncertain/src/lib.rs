@@ -40,8 +40,8 @@ pub mod set;
 
 pub use cost::{
     cost_cdf_assigned, cost_cdf_unassigned, cost_quantile_assigned, cost_quantile_unassigned,
-    ecost_assigned, ecost_assigned_enumerate, ecost_monte_carlo, ecost_unassigned,
-    ecost_unassigned_enumerate, MonteCarloEstimate,
+    ecost_assigned, ecost_assigned_enumerate, ecost_assigned_exec, ecost_monte_carlo,
+    ecost_unassigned, ecost_unassigned_enumerate, ecost_unassigned_exec, MonteCarloEstimate,
 };
 pub use expected_max::{
     expected_max, max_cdf, max_quantile, try_expected_max, try_max_cdf, try_max_quantile,

@@ -70,6 +70,7 @@
 //!
 //! | Crate | Contents |
 //! |---|---|
+//! | [`pool`] | the shared execution layer: worker pool, deterministic chunked execution, `Exec` contexts |
 //! | [`metric`] | `Metric` trait; Euclidean/L₁/L∞/L_p, distance matrices, graph & tree metrics, axiom validators |
 //! | [`geometry`] | minimum enclosing balls, Weiszfeld medians, convex piecewise-linear functions, compass search |
 //! | [`kcenter`] | Gonzalez, local search, exact discrete, grid (1+ε), exact 1-D — the pluggable certain solvers |
@@ -89,6 +90,7 @@ pub use ukc_geometry as geometry;
 pub use ukc_kcenter as kcenter;
 pub use ukc_metric as metric;
 pub use ukc_onedim as onedim;
+pub use ukc_pool as pool;
 pub use ukc_uncertain as uncertain;
 
 /// One-stop imports for applications.

@@ -77,9 +77,50 @@ fn healthz_and_metrics_respond() {
     let metrics = get(addr, "/metrics");
     assert_eq!(metrics.status, 200);
     let doc = parse(&metrics);
-    for section in ["requests", "responses", "cache", "scheduler", "solves"] {
+    for section in [
+        "requests",
+        "responses",
+        "cache",
+        "scheduler",
+        "solves",
+        "pool",
+    ] {
         assert!(doc.get(section).is_some(), "missing {section}");
     }
+    handle.shutdown();
+}
+
+/// `/metrics` exposes the shared worker pool's occupancy gauges
+/// (workers, busy, queued chunks, lifetime tasks/chunks, waves run on
+/// the pool), the worker gauge matches the process-wide pool, and the
+/// lifetime counters are monotone across a served solve.
+#[test]
+fn pool_gauges_are_exported_and_monotone() {
+    let (handle, addr) = start(ServerConfig::default());
+    for gauge in [
+        "workers",
+        "busy",
+        "queued_chunks",
+        "tasks",
+        "chunks",
+        "waves",
+    ] {
+        assert!(metric(addr, &["pool", gauge]) >= 0.0, "{gauge}");
+    }
+    // The worker gauge reflects the process-wide pool (lanes - 1).
+    assert_eq!(
+        metric(addr, &["pool", "workers"]),
+        ukc_pool::global().workers() as f64
+    );
+    let tasks_before = metric(addr, &["pool", "tasks"]);
+    let chunks_before = metric(addr, &["pool", "chunks"]);
+    let body = format!(
+        r#"{{"k": 2, "instance": {}}}"#,
+        instance_body(11).trim_end()
+    );
+    assert_eq!(post(addr, "/solve", &body).status, 200);
+    assert!(metric(addr, &["pool", "tasks"]) >= tasks_before);
+    assert!(metric(addr, &["pool", "chunks"]) >= chunks_before);
     handle.shutdown();
 }
 
