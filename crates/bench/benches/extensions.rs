@@ -6,9 +6,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use ukc_bench::workloads::euclidean;
 use ukc_core::{CertainStrategy, SolverConfig};
+#[allow(deprecated)] // the streaming bench pins the legacy wrapper's historical workload
 use ukc_extensions::{uncertain_kmeans, uncertain_kmedian, StreamingUncertainKCenter};
 use ukc_metric::Euclidean;
 
+#[allow(deprecated)] // see the import note
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("extensions");
     g.sample_size(10);

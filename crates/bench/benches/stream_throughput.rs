@@ -1,0 +1,60 @@
+//! Streaming ingestion throughput: points/sec through
+//! `ukc_stream::StreamSolver`, across summary budgets and chunk sizes.
+//!
+//! Each insertion costs O(z + budget) — the expected point plus one
+//! batched distance sweep over the kept centers — so throughput should
+//! degrade roughly linearly in the budget and be insensitive to the
+//! chunking (chunks only bound the transient working set and the
+//! expected-point fan-out granularity).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use ukc_bench::workloads::euclidean;
+use ukc_core::SolverConfig;
+use ukc_stream::StreamSolver;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream_throughput");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    let set = euclidean(10_000, 3);
+    let k = 8;
+    for budget in [k, 4 * k, 16 * k] {
+        g.throughput(Throughput::Elements(set.n() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("ingest_10k", format!("budget_{budget}")),
+            &set,
+            |b, s| {
+                b.iter(|| {
+                    let mut solver = StreamSolver::builder(k)
+                        .config(SolverConfig::default())
+                        .budget(budget)
+                        .build()
+                        .expect("valid stream config");
+                    for chunk in s.points().chunks(1024) {
+                        solver.push_chunk(black_box(chunk)).expect("valid chunk");
+                    }
+                    solver.digest()
+                })
+            },
+        );
+    }
+    // Finalization on top of an ingested stream: the per-checkpoint cost
+    // of asking a live stream for its current solution.
+    let mut solver = StreamSolver::builder(k)
+        .config(SolverConfig::default())
+        .budget(16 * k)
+        .build()
+        .expect("valid stream config");
+    for chunk in set.points().chunks(1024) {
+        solver.push_chunk(chunk).expect("valid chunk");
+    }
+    g.bench_function("finalize_budget_128", |b| {
+        b.iter(|| solver.solution().expect("non-empty").certain_radius)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

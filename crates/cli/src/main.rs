@@ -2,10 +2,13 @@
 //!
 //! ```text
 //! ukc generate --workload clustered --n 40 --z 4 --dim 2 --seed 7 --out inst.json
+//! ukc generate --n 10000 --format ndjson --out feed.ndjson    # one point per line
 //! ukc solve    --instance inst.json --k 3 --rule ep --solver gonzalez --out sol.json
 //! ukc solve    --instance inst.json --k=3 --format json        # machine-readable report
 //! ukc solve    --instance inst.json --k 3 --threads 4          # intra-solve pool lanes
 //! ukc batch    --instances a.json,b.json,c.json --k 3 --threads 4
+//! ukc stream   --k 8 < feed.ndjson                             # memory-bounded streaming
+//! ukc stream   --k 8 --input feed.ndjson --chunk 1024 --budget 64
 //! ukc evaluate --instance inst.json --solution sol.json
 //! ukc bound    --instance inst.json --k 3
 //! ukc info     --instance inst.json
@@ -16,6 +19,13 @@
 //! ukc client   --addr 127.0.0.1:8080 --path /healthz
 //! ukc client   --addr 127.0.0.1:8080 --instance inst.json --k 3   # one-shot /solve
 //! ```
+//!
+//! `ukc stream` reads line-delimited JSON (one uncertain point per
+//! line: `{"locations": [[...], ...], "probs": [...]}`; `probs`
+//! defaults to uniform) from `--input` or stdin, folds it through the
+//! memory-bounded `ukc_stream::StreamSolver` in `--chunk`-sized epochs,
+//! and emits one JSON report (centers, certified bounds, state digest,
+//! memory high-water mark) on stdout.
 //!
 //! `--threads N` caps how many lanes of the process-wide worker pool a
 //! solve (or a batch wave, or the server's waves) may occupy. `N = 1` is
@@ -54,7 +64,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage: ukc <generate|solve|batch|evaluate|bound|info|kmedian|kmeans|serve|client> [--flag value | --flag=value ...]\n\
+        "usage: ukc <generate|solve|batch|stream|evaluate|bound|info|kmedian|kmeans|serve|client> [--flag value | --flag=value ...]\n\
          see `cargo doc -p ukc-cli` or the module docs for the full flag list"
     );
 }
@@ -64,6 +74,7 @@ fn run(a: &Args) -> i32 {
         "generate" => cmd_generate(a),
         "solve" => cmd_solve(a),
         "batch" => cmd_batch(a),
+        "stream" => cmd_stream(a),
         "evaluate" => cmd_evaluate(a),
         "bound" => cmd_bound(a),
         "info" => cmd_info(a),
@@ -176,13 +187,175 @@ fn cmd_generate(a: &Args) -> CmdResult {
     };
     let json = JsonInstance::from_set(&set);
     let out = a.get_or("out", "instance.json");
-    std::fs::write(out, json.to_json().pretty())?;
+    match a.get_or("format", "json") {
+        "json" => std::fs::write(out, json.to_json().pretty())?,
+        // One point per line — the `ukc stream` ingestion format.
+        "ndjson" => {
+            let mut lines = String::new();
+            for p in &json.points {
+                let point = Json::obj([
+                    (
+                        "locations",
+                        Json::arr(
+                            p.locations
+                                .iter()
+                                .map(|loc| Json::nums(loc.iter().copied())),
+                        ),
+                    ),
+                    ("probs", Json::nums(p.probs.iter().copied())),
+                ]);
+                lines.push_str(&point.compact());
+                lines.push('\n');
+            }
+            std::fs::write(out, lines)?;
+        }
+        other => return Err(format!("unknown format {other} (json|ndjson)").into()),
+    }
     eprintln!(
         "wrote {out}: n={} z={} dim={}",
         set.n(),
         set.max_z(),
         json.dim
     );
+    Ok(())
+}
+
+/// One ndjson line -> an uncertain point. `probs` defaults to uniform.
+fn parse_ndjson_point(
+    line: &str,
+    lineno: usize,
+) -> Result<ukc_uncertain::UncertainPoint<Point>, Box<dyn std::error::Error>> {
+    let context = |what: &str| format!("line {lineno}: {what}");
+    let doc = Json::parse(line).map_err(|e| context(&e.to_string()))?;
+    let locations = doc
+        .get("locations")
+        .ok_or_else(|| context("missing \"locations\""))?
+        .as_array()
+        .ok_or_else(|| context("\"locations\" must be an array of coordinate arrays"))?;
+    let mut points = Vec::with_capacity(locations.len());
+    for loc in locations {
+        let coords: Vec<f64> = loc
+            .as_array()
+            .ok_or_else(|| context("each location must be a coordinate array"))?
+            .iter()
+            .map(|c| {
+                c.as_f64()
+                    .ok_or_else(|| context("coordinates must be numbers"))
+            })
+            .collect::<Result<_, _>>()?;
+        points.push(Point::try_new(coords).map_err(|e| context(&e.to_string()))?);
+    }
+    let up = match doc.get("probs") {
+        Some(probs) => {
+            let probs: Vec<f64> = probs
+                .as_array()
+                .ok_or_else(|| context("\"probs\" must be an array of numbers"))?
+                .iter()
+                .map(|p| {
+                    p.as_f64()
+                        .ok_or_else(|| context("probabilities must be numbers"))
+                })
+                .collect::<Result<_, _>>()?;
+            ukc_uncertain::UncertainPoint::new(points, probs)
+        }
+        None => ukc_uncertain::UncertainPoint::uniform(points),
+    };
+    Ok(up.map_err(|e| context(&e.to_string()))?)
+}
+
+/// `ukc stream`: fold a line-delimited JSON feed through the
+/// memory-bounded streaming solver in `--chunk`-sized epochs and emit
+/// one report document. `--format json` (the default) prints the full
+/// machine-readable report; `text` prints the headline numbers.
+fn cmd_stream(a: &Args) -> CmdResult {
+    let k: usize = a.parse_required("k")?;
+    let config = solver_config(a)?;
+    let chunk = a.parse_positive("chunk")?.unwrap_or(4096);
+    let format = match a.get_or("format", "json") {
+        f @ ("text" | "json") => f,
+        other => return Err(format!("unknown format {other} (text|json)").into()),
+    };
+    let mut builder = ukc_stream::StreamSolver::builder(k).config(config);
+    if let Some(budget) = a.parse_positive("budget")? {
+        builder = builder.budget(budget);
+    }
+    let mut solver = builder.build()?;
+
+    use std::io::BufRead;
+    let stdin = std::io::stdin();
+    let reader: Box<dyn BufRead> = match a.required("input") {
+        Ok(path) => Box::new(std::io::BufReader::new(std::fs::File::open(path)?)),
+        Err(_) => Box::new(stdin.lock()),
+    };
+    let mut buffer = Vec::with_capacity(chunk);
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        buffer.push(parse_ndjson_point(line, i + 1)?);
+        if buffer.len() == chunk {
+            solver.push_chunk(&buffer)?;
+            buffer.clear();
+        }
+    }
+    if !buffer.is_empty() {
+        solver.push_chunk(&buffer)?;
+    }
+    if solver.is_empty() {
+        return Err("the stream contained no points".into());
+    }
+
+    let solution = solver.solution()?;
+    let report = &solution.stream;
+    let doc = Json::obj([
+        ("k", Json::from(k)),
+        ("budget", Json::from(solver.budget())),
+        ("points", Json::from(report.points as f64)),
+        ("epochs", Json::from(report.epochs as f64)),
+        ("summary_size", Json::from(report.summary_len)),
+        ("threshold", Json::from(report.threshold)),
+        ("digest", Json::from(ukc_core::digest_hex(report.digest))),
+        ("memory_peak_points", Json::from(report.memory_peak_points)),
+        ("distance_evals", Json::from(report.distance_evals as f64)),
+        ("merges", Json::from(report.merges as f64)),
+        (
+            "centers",
+            Json::arr(
+                solution
+                    .centers
+                    .iter()
+                    .map(|c| Json::nums(c.coords().iter().copied())),
+            ),
+        ),
+        ("certain_radius", Json::from(solution.certain_radius)),
+        ("radius_bound", Json::from(solution.radius_bound)),
+        ("lower_bound", Json::from(solution.lower_bound)),
+        (
+            "finalize_report",
+            ukc_json::format::report_json(&solution.finalize),
+        ),
+    ]);
+    if let Ok(out) = a.required("out") {
+        std::fs::write(out, doc.pretty())?;
+        eprintln!("wrote {out}");
+    }
+    if format == "json" {
+        println!("{}", doc.pretty());
+        return Ok(());
+    }
+    println!("points {}", report.points);
+    println!(
+        "summary_size {} (budget {})",
+        report.summary_len,
+        solver.budget()
+    );
+    println!("certain_radius {:.6}", solution.certain_radius);
+    println!("radius_bound {:.6}", solution.radius_bound);
+    println!("lower_bound {:.6}", solution.lower_bound);
+    println!("memory_peak_points {}", report.memory_peak_points);
+    println!("digest {}", ukc_core::digest_hex(report.digest));
     Ok(())
 }
 

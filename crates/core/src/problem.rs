@@ -191,6 +191,26 @@ impl<P> Clone for Space<P> {
 /// pool), or their non-panicking `*_points` variants taking raw point
 /// vectors. Validation happens here, once — [`Problem::solve`] can then
 /// only fail on problem × config incompatibilities.
+///
+/// ```
+/// use ukc_core::{Problem, SolveError};
+/// use ukc_uncertain::generators::{clustered, ProbModel};
+///
+/// let set = clustered(1, 12, 3, 2, 2, 4.0, 1.0, ProbModel::Random);
+/// let problem = Problem::euclidean(set.clone(), 3).unwrap();
+/// assert_eq!((problem.k(), problem.set().n()), (3, 12));
+/// // Identical content digests identically, whatever the upload order —
+/// // what serving layers key stores and caches on.
+/// assert_eq!(
+///     problem.instance_digest(),
+///     Problem::euclidean(set.clone(), 3).unwrap().instance_digest(),
+/// );
+/// // Validation happens at construction: k > n is typed, not a panic.
+/// assert!(matches!(
+///     Problem::euclidean(set, 13),
+///     Err(SolveError::KExceedsN { k: 13, n: 12 })
+/// ));
+/// ```
 #[derive(Clone)]
 pub struct Problem<P> {
     set: UncertainSet<P>,
@@ -373,6 +393,23 @@ impl<P: Clone> Problem<P> {
 
 /// The unified output of [`Problem::solve`]: the solution proper plus a
 /// self-describing [`Report`].
+///
+/// ```
+/// use ukc_core::{Problem, SolverConfig};
+/// use ukc_uncertain::generators::{clustered, ProbModel};
+///
+/// let set = clustered(5, 20, 3, 2, 3, 5.0, 1.0, ProbModel::Random);
+/// let solution = Problem::euclidean(set, 2)
+///     .unwrap()
+///     .solve(&SolverConfig::default())
+///     .unwrap();
+/// assert_eq!(solution.centers.len(), 2);
+/// assert_eq!(solution.assignment.len(), 20);
+/// // The exact expected cost is bracketed by the certified lower bound,
+/// // and every stage is instrumented in the report.
+/// assert!(solution.report.lower_bound.unwrap() <= solution.ecost + 1e-9);
+/// assert!(solution.report.distance_evals.total() > 0);
+/// ```
 #[derive(Clone, Debug)]
 pub struct Solution<P> {
     /// The k chosen centers (pool members for discrete problems).

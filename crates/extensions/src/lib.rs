@@ -22,7 +22,11 @@
 //!   algorithm of Charikar et al. maintains an 8-approximate k-center
 //!   summary in one pass; feeding it the O(z)-computable expected points
 //!   extends the paper's pipeline to streams, the setting of the
-//!   Munteanu–Sohler–Feldman reference \[25\].
+//!   Munteanu–Sohler–Feldman reference \[25\]. Streaming has since been
+//!   promoted to the dedicated `ukc-stream` crate (memory-bounded
+//!   working sets, epoch instrumentation, server + CLI integration);
+//!   the [`streaming::StreamingUncertainKCenter`] kept here is a
+//!   `#[deprecated]`, bit-identical wrapper over that subsystem.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,4 +41,6 @@ pub use kmeans::{uncertain_kmeans, variance, KMeansSolution};
 pub use kmedian::{
     ecost_kmedian, uncertain_kmedian_exact, uncertain_kmedian_local_search, KMedianSolution,
 };
-pub use streaming::{StreamingKCenter, StreamingUncertainKCenter};
+pub use streaming::StreamingKCenter;
+#[allow(deprecated)]
+pub use streaming::StreamingUncertainKCenter;

@@ -110,19 +110,37 @@ impl<P: Clone> StreamingKCenter<P> {
 /// Streaming uncertain k-center: expected points through the doubling
 /// summary, with the uncertain points retained for the final assignment
 /// and exact-cost evaluation.
+///
+/// Deprecated in favor of `ukc_stream::StreamSolver`, which keeps the
+/// working set bounded (this type retains every seen point for its
+/// offline finalization), reports per-epoch instrumentation, and is
+/// reachable from the server and CLI. This wrapper now runs on the same
+/// `ukc_stream::StreamSummary` state with a budget of exactly `k`; its
+/// center sequence is bit-identical to the historical implementation
+/// (pinned by the `wrapper_summary_is_bit_identical_to_the_legacy_path`
+/// golden test against the untouched [`StreamingKCenter`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "use ukc_stream::StreamSolver: memory-bounded, instrumented, and served over HTTP"
+)]
 #[derive(Clone, Debug)]
 pub struct StreamingUncertainKCenter {
-    summary: StreamingKCenter<Point>,
+    summary: ukc_stream::StreamSummary,
     seen: Vec<UncertainPoint<Point>>,
     rule: ukc_core::AssignmentRule,
 }
 
+#[allow(deprecated)]
 impl StreamingUncertainKCenter {
     /// Creates an empty streaming clusterer for `k` centers, finalizing
     /// with the expected-distance rule.
+    ///
+    /// # Panics
+    /// Panics when `k == 0` (use [`Self::with_config`] for a typed
+    /// error).
     pub fn new(k: usize) -> Self {
         Self {
-            summary: StreamingKCenter::new(k),
+            summary: ukc_stream::StreamSummary::new(k),
             seen: Vec::new(),
             rule: ukc_core::AssignmentRule::ExpectedDistance,
         }
@@ -139,7 +157,7 @@ impl StreamingUncertainKCenter {
             return Err(ukc_core::SolveError::ZeroK);
         }
         Ok(Self {
-            summary: StreamingKCenter::new(k),
+            summary: ukc_stream::StreamSummary::new(k),
             seen: Vec::new(),
             rule: config.rule(),
         })
@@ -149,7 +167,9 @@ impl StreamingUncertainKCenter {
     /// point costs O(z), the summary update O(k).
     pub fn insert(&mut self, up: UncertainPoint<Point>) {
         let pbar = expected_point(&up);
-        self.summary.insert(pbar, &ukc_metric::Euclidean);
+        self.summary
+            .insert(pbar.coords())
+            .expect("locations of one instance share a dimension");
         self.seen.push(up);
     }
 
@@ -168,11 +188,11 @@ impl StreamingUncertainKCenter {
     /// exact expected cost. (Finalization is offline — the stream summary
     /// itself stays O(k).)
     pub fn finalize(&self) -> Option<(Vec<Point>, Vec<usize>, f64)> {
-        if self.seen.is_empty() || self.summary.centers().is_empty() {
+        if self.seen.is_empty() || self.summary.is_empty() {
             return None;
         }
         let set = ukc_uncertain::UncertainSet::new(self.seen.clone());
-        let centers = self.summary.centers().to_vec();
+        let centers = self.summary.center_points();
         let metric = ukc_metric::Euclidean;
         let assignment = match self.rule {
             ukc_core::AssignmentRule::ExpectedDistance => {
@@ -193,6 +213,7 @@ impl StreamingUncertainKCenter {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use ukc_kcenter::{exact_discrete_kcenter, kcenter_cost, ExactOptions};
@@ -288,6 +309,61 @@ mod tests {
         // Sound floor: the certified lower bound still holds.
         let lb = ukc_core::lower_bound_euclidean(&set, 3);
         assert!(lb <= cost + 1e-9);
+    }
+
+    /// The golden equivalence pin for the deprecation: the wrapper now
+    /// runs on `ukc_stream::StreamSummary`, and its kept-center sequence
+    /// must match the untouched generic [`StreamingKCenter`] (the
+    /// historical implementation) bit for bit, on streams that exercise
+    /// absorption, the initial threshold fix, repeated doubling, and
+    /// duplicates.
+    #[test]
+    fn wrapper_summary_is_bit_identical_to_the_legacy_path() {
+        for (seed, n, k) in [(1u64, 300usize, 3usize), (2, 500, 5), (9, 64, 2)] {
+            let mut pts = stream_points(seed, n);
+            // Salt in exact duplicates so the τ = 0 absorption path runs.
+            let dup = pts[0].clone();
+            pts.insert(n / 2, dup.clone());
+            pts.push(dup);
+            let mut legacy = StreamingKCenter::new(k);
+            let mut new = ukc_stream::StreamSummary::new(k);
+            for p in &pts {
+                legacy.insert(p.clone(), &Euclidean);
+                new.insert(p.coords()).unwrap();
+            }
+            assert_eq!(legacy.centers().len(), new.len(), "seed {seed}");
+            for (a, b) in legacy.centers().iter().zip(new.center_points()) {
+                assert_eq!(a.coords(), b.coords(), "seed {seed}");
+            }
+            assert_eq!(
+                legacy.threshold().to_bits(),
+                new.threshold().to_bits(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    /// The uncertain wrapper end to end: same centers, assignment, and
+    /// cost as driving the legacy summary by hand.
+    #[test]
+    fn wrapper_finalize_matches_the_legacy_pipeline_bit_for_bit() {
+        let set = clustered(8, 60, 3, 2, 4, 6.0, 1.0, ProbModel::Random);
+        let mut wrapper = StreamingUncertainKCenter::new(3);
+        let mut legacy = StreamingKCenter::new(3);
+        for up in set.iter() {
+            wrapper.insert(up.clone());
+            legacy.insert(expected_point(up), &Euclidean);
+        }
+        let (centers, assignment, cost) = wrapper.finalize().expect("non-empty");
+        assert_eq!(centers.len(), legacy.centers().len());
+        for (a, b) in centers.iter().zip(legacy.centers()) {
+            assert_eq!(a.coords(), b.coords());
+        }
+        let expected_assignment = ukc_core::assign_ed(&set, legacy.centers(), &Euclidean);
+        assert_eq!(assignment, expected_assignment);
+        let expected_cost =
+            ukc_uncertain::ecost_assigned(&set, legacy.centers(), &expected_assignment, &Euclidean);
+        assert_eq!(cost.to_bits(), expected_cost.to_bits());
     }
 
     #[test]

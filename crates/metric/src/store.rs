@@ -171,6 +171,16 @@ impl PointStore {
     pub fn ids(&self) -> Vec<PointId> {
         (0..self.len()).map(PointId).collect()
     }
+
+    /// Drops every point with index `>= n`, keeping the first `n` rows
+    /// (a no-op when `n >= len()`). Ids `0..n` remain valid; higher ids
+    /// become dangling. Capacity is retained, so a caller that pushes and
+    /// retracts points in a loop (e.g. a streaming summary absorbing a
+    /// covered point) does not reallocate.
+    pub fn truncate(&mut self, n: usize) {
+        self.coords.truncate(n * self.dim);
+        self.norms_sq.truncate(n);
+    }
 }
 
 /// A distance oracle over a [`PointStore`]: implements
@@ -419,6 +429,25 @@ mod tests {
             &mut out,
         );
         assert!(out.iter().all(|&(i, d)| i < 2 && d.is_finite()));
+    }
+
+    #[test]
+    fn truncate_drops_tail_rows_and_keeps_prefix_intact() {
+        let pts = cloud(7, 5, 3);
+        let mut store = PointStore::from_points(&pts);
+        let before: Vec<Vec<f64>> = (0..3).map(|i| store.coords(PointId(i)).to_vec()).collect();
+        store.truncate(3);
+        assert_eq!(store.len(), 3);
+        for (i, coords) in before.iter().enumerate() {
+            assert_eq!(store.coords(PointId(i)), coords.as_slice());
+        }
+        // Re-pushing after a truncate reuses the freed rows.
+        let id = store.push(pts[4].coords());
+        assert_eq!(id, PointId(3));
+        assert_eq!(store.coords(id), pts[4].coords());
+        // Truncating past the end is a no-op.
+        store.truncate(100);
+        assert_eq!(store.len(), 4);
     }
 
     #[test]

@@ -81,7 +81,14 @@ pub fn parse_solve_request(doc: &Json, allow_instance: bool) -> Result<SolveRequ
     if allow_instance {
         allowed.push("instance");
     }
-    reject_unknown_fields(doc, &allowed)?;
+    parse_solve_fields(doc, &allowed)
+}
+
+/// The shared field parser behind [`parse_solve_request`] and
+/// [`parse_stream_create`]: rejects fields outside `allowed`, then reads
+/// the solve fields proper.
+fn parse_solve_fields(doc: &Json, allowed: &[&str]) -> Result<SolveRequest, ApiError> {
+    reject_unknown_fields(doc, allowed)?;
 
     let k = doc
         .get("k")
@@ -174,6 +181,25 @@ pub fn parse_solve_request(doc: &Json, allow_instance: bool) -> Result<SolveRequ
         config,
         use_cache,
     })
+}
+
+/// Parses the `POST /streams` body: the solve fields plus an optional
+/// `"budget"` (summary working-set bound; defaults to
+/// `ukc_stream::DEFAULT_BUDGET_PER_CENTER * k`, values below `k` are
+/// clamped up to `k`).
+pub fn parse_stream_create(doc: &Json) -> Result<(SolveRequest, Option<usize>), ApiError> {
+    let mut allowed = SOLVE_FIELDS.to_vec();
+    allowed.push("budget");
+    let budget = match doc.get("budget") {
+        None => None,
+        Some(b) => Some(b.as_usize().filter(|&b| b > 0).ok_or_else(|| {
+            ApiError::bad_request("bad_schema", "\"budget\" must be a positive integer")
+        })?),
+    };
+    // parse_solve_fields runs the unknown-field check against the
+    // extended allowlist, so "budget" passes and typos still 400.
+    let request = parse_solve_fields(doc, &allowed)?;
+    Ok((request, budget))
 }
 
 /// Parses the one-shot body: the solve fields plus the inline instance.

@@ -60,6 +60,15 @@ impl ApiError {
         }
     }
 
+    /// `404` for an unknown stream.
+    pub fn stream_not_found(id: &str) -> Self {
+        ApiError {
+            status: 404,
+            kind: "stream_not_found",
+            message: format!("no stream {id}"),
+        }
+    }
+
     /// `405` for a known route with the wrong method.
     pub fn method_not_allowed(method: &str, path: &str) -> Self {
         ApiError {

@@ -28,7 +28,12 @@
 //! | `GET /instances/{id}` | fetch one instance |
 //! | `DELETE /instances/{id}` | remove it |
 //! | `POST /instances/{id}/solve` | solve a stored instance |
+//! | `POST /instances/{id}/append` | grow a stored instance (new content ID) |
 //! | `POST /solve` | one-shot solve of an inline instance |
+//! | `POST /streams` | open a streaming session ([`streams`], backed by `ukc_stream`) |
+//! | `POST /streams/{id}/push` | feed one chunk (= one epoch) into a stream |
+//! | `GET /streams/{id}/solution` | incremental re-solve of the stream's summary |
+//! | `GET /streams` · `GET /streams/{id}` · `DELETE /streams/{id}` | stream lifecycle |
 //! | `GET /healthz` | liveness |
 //! | `GET /metrics` | counters (JSON) |
 //!
@@ -57,6 +62,7 @@ pub mod metrics;
 pub mod scheduler;
 pub mod server;
 pub mod store;
+pub mod streams;
 
 pub use error::ApiError;
 pub use server::{serve, serve_blocking, ServerConfig, ServerHandle};

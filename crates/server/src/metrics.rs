@@ -29,14 +29,28 @@ pub enum Route {
     InstanceDelete,
     /// `POST /instances/{id}/solve`
     InstanceSolve,
+    /// `POST /instances/{id}/append`
+    InstanceAppend,
     /// `POST /solve`
     OneShotSolve,
+    /// `POST /streams`
+    StreamCreate,
+    /// `GET /streams`
+    StreamList,
+    /// `GET /streams/{id}`
+    StreamGet,
+    /// `DELETE /streams/{id}`
+    StreamDelete,
+    /// `POST /streams/{id}/push`
+    StreamPush,
+    /// `GET /streams/{id}/solution`
+    StreamSolution,
     /// Anything that matched no route, or a real route with a method it
     /// does not support.
     Unmatched,
 }
 
-const ROUTES: [(Route, &str); 9] = [
+const ROUTES: [(Route, &str); 16] = [
     (Route::Healthz, "healthz"),
     (Route::Metrics, "metrics"),
     (Route::InstanceCreate, "instances_create"),
@@ -44,7 +58,14 @@ const ROUTES: [(Route, &str); 9] = [
     (Route::InstanceGet, "instances_get"),
     (Route::InstanceDelete, "instances_delete"),
     (Route::InstanceSolve, "instances_solve"),
+    (Route::InstanceAppend, "instances_append"),
     (Route::OneShotSolve, "solve"),
+    (Route::StreamCreate, "streams_create"),
+    (Route::StreamList, "streams_list"),
+    (Route::StreamGet, "streams_get"),
+    (Route::StreamDelete, "streams_delete"),
+    (Route::StreamPush, "streams_push"),
+    (Route::StreamSolution, "streams_solution"),
     (Route::Unmatched, "unmatched"),
 ];
 
@@ -143,14 +164,15 @@ impl Metrics {
         get(&self.cache_hits)
     }
 
-    /// The `/metrics` document body (cache size/capacity, instance
-    /// count, and the shared worker pool's occupancy are owned elsewhere
-    /// and passed in).
+    /// The `/metrics` document body (cache size/capacity, instance and
+    /// stream counts, and the shared worker pool's occupancy are owned
+    /// elsewhere and passed in).
     pub fn to_json(
         &self,
         cache_len: usize,
         cache_cap: usize,
         instances: usize,
+        streams: usize,
         pool: PoolStats,
     ) -> Json {
         let secs = |c: &AtomicU64| Json::from(get(c) as f64 / 1e9);
@@ -232,6 +254,7 @@ impl Metrics {
                 ]),
             ),
             ("instances", Json::from(instances)),
+            ("streams", Json::from(streams)),
         ])
     }
 }
@@ -254,6 +277,7 @@ mod tests {
             2,
             64,
             5,
+            1,
             PoolStats {
                 workers: 3,
                 busy: 1,
@@ -270,6 +294,7 @@ mod tests {
         assert_eq!(cache.get("hit_rate").and_then(Json::as_f64), Some(0.75));
         assert_eq!(cache.get("capacity").and_then(Json::as_f64), Some(64.0));
         assert_eq!(doc.get("instances").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(doc.get("streams").and_then(Json::as_f64), Some(1.0));
         let pool = doc.get("pool").unwrap();
         assert_eq!(pool.get("workers").and_then(Json::as_f64), Some(3.0));
         assert_eq!(pool.get("busy").and_then(Json::as_f64), Some(1.0));
@@ -287,7 +312,7 @@ mod tests {
         m.record_solve(&report);
         m.record_solve(&report);
         m.record_solve_error();
-        let doc = m.to_json(0, 0, 0, PoolStats::default());
+        let doc = m.to_json(0, 0, 0, 0, PoolStats::default());
         let solves = doc.get("solves").unwrap();
         assert_eq!(solves.get("ok").and_then(Json::as_f64), Some(2.0));
         assert_eq!(solves.get("errors").and_then(Json::as_f64), Some(1.0));

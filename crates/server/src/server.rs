@@ -22,11 +22,13 @@ use crate::http::{read_request, write_response, HttpError, Request, Response};
 use crate::metrics::{Metrics, Route};
 use crate::scheduler::Scheduler;
 use crate::store::InstanceStore;
+use crate::streams::StreamStore;
 use ukc_core::{digest_hex, Problem, Solution};
 use ukc_json::format::{solution_document, JsonInstance};
 use ukc_json::Json;
 use ukc_metric::Point;
-use ukc_uncertain::UncertainSet;
+use ukc_stream::StreamSolver;
+use ukc_uncertain::{UncertainPoint, UncertainSet};
 
 /// Tunables for one server.
 #[derive(Clone, Debug)]
@@ -59,6 +61,7 @@ impl Default for ServerConfig {
 /// Everything the handlers share.
 pub(crate) struct AppState {
     store: InstanceStore,
+    streams: StreamStore,
     cache: Mutex<LruCache<SolveKey, Arc<Solution<Point>>>>,
     cache_cap: usize,
     scheduler: Scheduler,
@@ -77,6 +80,7 @@ impl AppState {
         let metrics = Arc::new(Metrics::new());
         AppState {
             store: InstanceStore::new(),
+            streams: StreamStore::new(),
             cache: Mutex::new(LruCache::new(config.cache_cap)),
             cache_cap: config.cache_cap,
             scheduler: Scheduler::new(workers, Arc::clone(&metrics)),
@@ -270,8 +274,33 @@ pub(crate) fn dispatch(state: &AppState, request: &Request) -> Response {
             ),
             _ => (Route::Unmatched, Err(method_err(request))),
         },
+        ["instances", id, "append"] => match method {
+            "POST" => (
+                Route::InstanceAppend,
+                handle_instance_append(state, id, request),
+            ),
+            _ => (Route::Unmatched, Err(method_err(request))),
+        },
         ["solve"] => match method {
             "POST" => (Route::OneShotSolve, handle_oneshot_solve(state, request)),
+            _ => (Route::Unmatched, Err(method_err(request))),
+        },
+        ["streams"] => match method {
+            "POST" => (Route::StreamCreate, handle_stream_create(state, request)),
+            "GET" => (Route::StreamList, handle_stream_list(state)),
+            _ => (Route::Unmatched, Err(method_err(request))),
+        },
+        ["streams", id] => match method {
+            "GET" => (Route::StreamGet, handle_stream_get(state, id)),
+            "DELETE" => (Route::StreamDelete, handle_stream_delete(state, id)),
+            _ => (Route::Unmatched, Err(method_err(request))),
+        },
+        ["streams", id, "push"] => match method {
+            "POST" => (Route::StreamPush, handle_stream_push(state, id, request)),
+            _ => (Route::Unmatched, Err(method_err(request))),
+        },
+        ["streams", id, "solution"] => match method {
+            "GET" => (Route::StreamSolution, handle_stream_solution(state, id)),
             _ => (Route::Unmatched, Err(method_err(request))),
         },
         _ => (
@@ -314,6 +343,7 @@ fn handle_metrics(state: &AppState) -> Handled {
             cache_len,
             state.cache_cap,
             state.store.len(),
+            state.streams.len(),
             ukc_pool::global().stats(),
         ),
     ))
@@ -385,6 +415,191 @@ fn handle_oneshot_solve(state: &AppState, request: &Request) -> Handled {
     let set = instance.to_set().map_err(ApiError::from)?;
     let digest = ukc_core::digest_set(&set);
     run_solve(state, digest, move || set, &solve)
+}
+
+/// `POST /instances/{id}/append`: grows a stored instance by the body's
+/// points. Instances are content-addressed and therefore immutable, so
+/// the grown instance is stored under its *own* digest and the response
+/// carries the new ID; the original stays available, and solution-cache
+/// entries need no invalidation — the new digest simply never hits them.
+fn handle_instance_append(state: &AppState, id: &str, request: &Request) -> Handled {
+    let doc = api::parse_body(&request.body)?;
+    let instance = JsonInstance::from_json(&doc).map_err(ApiError::from)?;
+    let appended = instance.to_set().map_err(ApiError::from)?;
+    let stored = state
+        .store
+        .get(id)
+        .ok_or_else(|| ApiError::instance_not_found(id))?;
+    if instance.dim != stored.dim {
+        return Err(ukc_core::SolveError::DimensionMismatch {
+            point: stored.set.n(),
+            got: instance.dim,
+            expected: stored.dim,
+        }
+        .into());
+    }
+    let mut points = stored.set.points().to_vec();
+    points.extend(appended.points().iter().cloned());
+    let (grown, created) = state.store.insert(UncertainSet::new(points));
+    let mut body = grown.summary();
+    if let Json::Obj(pairs) = &mut body {
+        pairs.push(("previous_id".into(), Json::from(id)));
+        pairs.push(("appended".into(), Json::from(appended.n())));
+        pairs.push(("created".into(), Json::from(created)));
+    }
+    Ok((if created { 201 } else { 200 }, body))
+}
+
+/// The stream summary document shared by create/get/list responses.
+fn stream_summary(entry: &crate::streams::StreamEntry) -> Json {
+    let solver = entry.solver.lock().expect("stream solver lock poisoned");
+    let report = solver.report();
+    Json::obj([
+        ("id", Json::from(entry.id.as_str())),
+        ("k", Json::from(solver.k())),
+        ("budget", Json::from(solver.budget())),
+        ("points_seen", Json::from(report.points as f64)),
+        ("epochs", Json::from(report.epochs as f64)),
+        ("summary_size", Json::from(report.summary_len)),
+        ("threshold", Json::from(report.threshold)),
+        ("digest", Json::from(digest_hex(report.digest))),
+    ])
+}
+
+fn handle_stream_create(state: &AppState, request: &Request) -> Handled {
+    let doc = api::parse_body(&request.body)?;
+    let (solve, budget) = api::parse_stream_create(&doc)?;
+    let mut builder = StreamSolver::builder(solve.k).config(solve.config.clone());
+    if let Some(budget) = budget {
+        builder = builder.budget(budget);
+    }
+    let solver = builder.build().map_err(ApiError::from)?;
+    let entry = state.streams.create(solver, solve.use_cache);
+    Ok((201, stream_summary(&entry)))
+}
+
+fn handle_stream_list(state: &AppState) -> Handled {
+    Ok((
+        200,
+        Json::obj([(
+            "streams",
+            Json::arr(state.streams.list().iter().map(|e| stream_summary(e))),
+        )]),
+    ))
+}
+
+fn handle_stream_get(state: &AppState, id: &str) -> Handled {
+    let entry = state
+        .streams
+        .get(id)
+        .ok_or_else(|| ApiError::stream_not_found(id))?;
+    Ok((200, stream_summary(&entry)))
+}
+
+fn handle_stream_delete(state: &AppState, id: &str) -> Handled {
+    if state.streams.remove(id) {
+        Ok((
+            200,
+            Json::obj([("id", Json::from(id)), ("deleted", Json::from(true))]),
+        ))
+    } else {
+        Err(ApiError::stream_not_found(id))
+    }
+}
+
+/// `POST /streams/{id}/push`: one instance document = one epoch.
+/// All-or-nothing per chunk — a dimension mismatch consumes nothing.
+fn handle_stream_push(state: &AppState, id: &str, request: &Request) -> Handled {
+    let doc = api::parse_body(&request.body)?;
+    let instance = JsonInstance::from_json(&doc).map_err(ApiError::from)?;
+    let chunk = instance.to_set().map_err(ApiError::from)?;
+    let entry = state
+        .streams
+        .get(id)
+        .ok_or_else(|| ApiError::stream_not_found(id))?;
+    let mut solver = entry.solver.lock().expect("stream solver lock poisoned");
+    let epoch = solver.push_chunk(chunk.points()).map_err(ApiError::from)?;
+    let report = solver.report();
+    Ok((
+        200,
+        Json::obj([
+            ("id", Json::from(entry.id.as_str())),
+            ("epoch", Json::from(epoch.epoch as f64)),
+            ("points", Json::from(epoch.points)),
+            ("points_seen", Json::from(report.points as f64)),
+            ("summary_size", Json::from(report.summary_len)),
+            ("threshold", Json::from(report.threshold)),
+            ("merges", Json::from(epoch.merges as f64)),
+            ("distance_evals", Json::from(epoch.distance_evals as f64)),
+            ("memory_peak_points", Json::from(report.memory_peak_points)),
+            ("digest", Json::from(digest_hex(report.digest))),
+        ]),
+    ))
+}
+
+/// `GET /streams/{id}/solution`: incremental re-solve. The summary is
+/// snapshotted under the stream lock, then solved as a problem *through
+/// the scheduler* like any other request; the solution cache is keyed on
+/// the snapshot's content digest, which every push changes — so repeated
+/// reads of an unchanged stream hit the cache, and a push invalidates it
+/// by construction.
+fn handle_stream_solution(state: &AppState, id: &str) -> Handled {
+    let entry = state
+        .streams
+        .get(id)
+        .ok_or_else(|| ApiError::stream_not_found(id))?;
+    let (set, solve, report, coverage, stream_lb) = {
+        let solver = entry.solver.lock().expect("stream solver lock poisoned");
+        if solver.is_empty() {
+            return Err(ukc_core::SolveError::EmptySet.into());
+        }
+        let summary_points = solver.summary().center_points();
+        // The summary may hold fewer points than k (the stream is still
+        // warming up): solve for every summary point as a center.
+        let k_eff = solver.k().min(summary_points.len());
+        let certain: Vec<UncertainPoint<Point>> = summary_points
+            .into_iter()
+            .map(UncertainPoint::certain)
+            .collect();
+        let solve = SolveRequest {
+            k: k_eff,
+            config: solver.config().clone(),
+            use_cache: entry.use_cache,
+        };
+        (
+            UncertainSet::new(certain),
+            solve,
+            solver.report(),
+            solver.summary().coverage_radius(),
+            solver.summary().lower_bound(),
+        )
+    };
+    // The cache key is the *stream* digest — the full evolved state
+    // (centers, weights, threshold, count) — so any push invalidates by
+    // construction, and replicas that consumed the same stream share
+    // entries. It also becomes the response's `instance_digest`.
+    let (status, mut body) = run_solve(state, report.digest, move || set, &solve)?;
+    let certain_radius = body
+        .get("certain_radius")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    if let Json::Obj(pairs) = &mut body {
+        pairs.push((
+            "stream".into(),
+            Json::obj([
+                ("id", Json::from(entry.id.as_str())),
+                ("digest", Json::from(digest_hex(report.digest))),
+                ("points_seen", Json::from(report.points as f64)),
+                ("epochs", Json::from(report.epochs as f64)),
+                ("summary_size", Json::from(report.summary_len)),
+                ("threshold", Json::from(report.threshold)),
+                ("radius_bound", Json::from(certain_radius + coverage)),
+                ("lower_bound", Json::from(stream_lb)),
+                ("memory_peak_points", Json::from(report.memory_peak_points)),
+            ]),
+        ));
+    }
+    Ok((status, body))
 }
 
 /// The shared solve path: cache lookup by `(digest, config)`, then — on

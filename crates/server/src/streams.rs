@@ -1,0 +1,140 @@
+//! The stream store: long-lived [`StreamSolver`]s behind server-assigned
+//! IDs.
+//!
+//! Unlike instances — immutable uploads addressed by content digest —
+//! streams are *mutable* state machines: every `POST /streams/{id}/push`
+//! evolves the summary. IDs are therefore server-assigned sequence
+//! numbers, not content digests; the content digest lives one level
+//! down, as the summary's [`StreamSolver::digest`], and is what the
+//! solution cache keys on — so identical stream states still share
+//! cached solutions, and every push naturally invalidates the key.
+//!
+//! Each entry guards its solver with a [`Mutex`]: pushes are serialized
+//! per stream (epoch order is part of the state), while distinct streams
+//! evolve concurrently. Solution requests snapshot the summary under the
+//! lock, then release it before entering the scheduler, so a slow solve
+//! never blocks the stream's ingestion path.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use ukc_stream::StreamSolver;
+
+/// One stored stream.
+pub struct StreamEntry {
+    /// The server-assigned ID (`s` + hex sequence number).
+    pub id: String,
+    /// Whether solution requests may consult / fill the solution cache.
+    pub use_cache: bool,
+    /// The solver, serialized per stream.
+    pub solver: Mutex<StreamSolver>,
+}
+
+/// The `RwLock`-guarded stream map.
+#[derive(Default)]
+pub struct StreamStore {
+    map: RwLock<HashMap<String, Arc<StreamEntry>>>,
+    next: AtomicU64,
+}
+
+impl StreamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new stream and returns its entry.
+    pub fn create(&self, solver: StreamSolver, use_cache: bool) -> Arc<StreamEntry> {
+        let seq = self.next.fetch_add(1, Ordering::Relaxed) + 1;
+        let id = format!("s{seq:06x}");
+        let entry = Arc::new(StreamEntry {
+            id: id.clone(),
+            use_cache,
+            solver: Mutex::new(solver),
+        });
+        self.map
+            .write()
+            .expect("stream store lock poisoned")
+            .insert(id, Arc::clone(&entry));
+        entry
+    }
+
+    /// Fetches a stream by ID.
+    pub fn get(&self, id: &str) -> Option<Arc<StreamEntry>> {
+        self.map
+            .read()
+            .expect("stream store lock poisoned")
+            .get(id)
+            .cloned()
+    }
+
+    /// Deletes a stream; `true` if it existed. In-flight requests
+    /// holding the `Arc` finish normally.
+    pub fn remove(&self, id: &str) -> bool {
+        self.map
+            .write()
+            .expect("stream store lock poisoned")
+            .remove(id)
+            .is_some()
+    }
+
+    /// All streams, sorted by ID for stable listings.
+    pub fn list(&self) -> Vec<Arc<StreamEntry>> {
+        let mut all: Vec<_> = self
+            .map
+            .read()
+            .expect("stream store lock poisoned")
+            .values()
+            .cloned()
+            .collect();
+        all.sort_by(|a, b| a.id.cmp(&b.id));
+        all
+    }
+
+    /// Number of live streams.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("stream store lock poisoned").len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ukc_core::SolverConfig;
+
+    fn solver() -> StreamSolver {
+        StreamSolver::new(2, SolverConfig::default()).expect("k > 0")
+    }
+
+    #[test]
+    fn create_get_list_remove() {
+        let store = StreamStore::new();
+        let a = store.create(solver(), true);
+        let b = store.create(solver(), false);
+        assert_ne!(a.id, b.id);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(&a.id).unwrap().id, a.id);
+        let listed: Vec<String> = store.list().iter().map(|e| e.id.clone()).collect();
+        let mut sorted = listed.clone();
+        sorted.sort();
+        assert_eq!(listed, sorted);
+        assert!(store.remove(&a.id));
+        assert!(!store.remove(&a.id));
+        assert!(store.get(&a.id).is_none());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_stable_and_prefixed() {
+        let store = StreamStore::new();
+        let e = store.create(solver(), true);
+        assert!(e.id.starts_with('s'));
+        assert!(e.use_cache);
+    }
+}

@@ -78,7 +78,8 @@
 //! | [`core`] | `Problem`/`SolverConfig`/`Solution`, the Theorems 2.1–2.7 pipelines, certified lower bounds |
 //! | [`onedim`] | the exact 1-D solver (Table 1 row 8) |
 //! | [`baselines`] | mode / all-locations / sampling heuristics and brute-force optima |
-//! | [`extensions`] | uncertain k-median / k-means / streaming, driven by the same `SolverConfig` |
+//! | [`extensions`] | uncertain k-median / k-means, driven by the same `SolverConfig` |
+//! | [`stream`] | memory-bounded streaming: `StreamSummary` / `StreamSolver`, epoch reports, state digests |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -91,6 +92,7 @@ pub use ukc_kcenter as kcenter;
 pub use ukc_metric as metric;
 pub use ukc_onedim as onedim;
 pub use ukc_pool as pool;
+pub use ukc_stream as stream;
 pub use ukc_uncertain as uncertain;
 
 /// One-stop imports for applications.
@@ -111,9 +113,11 @@ pub mod prelude {
         solve_euclidean, solve_metric, CertainSolver, EuclideanSolution, MetricCertainSolver,
         MetricSolution,
     };
+    #[allow(deprecated)]
+    pub use ukc_extensions::StreamingUncertainKCenter;
     pub use ukc_extensions::{
         uncertain_kmeans, uncertain_kmeans_configured, uncertain_kmedian, uncertain_kmedian_exact,
-        uncertain_kmedian_local_search, StreamingKCenter, StreamingUncertainKCenter,
+        uncertain_kmedian_local_search, StreamingKCenter,
     };
     pub use ukc_kcenter::{
         exact_discrete_kcenter, gonzalez, grid_kcenter, kcenter_cost, local_search_kcenter,
@@ -124,6 +128,9 @@ pub mod prelude {
         Minkowski, Point, PointId, PointStore, StoreOracle, TreeMetric, WeightedGraph,
     };
     pub use ukc_onedim::{solve_one_d, OneDimSolution};
+    pub use ukc_stream::{
+        EpochReport, StreamReport, StreamSolution, StreamSolver, StreamSolverBuilder, StreamSummary,
+    };
     pub use ukc_uncertain::generators::{
         clustered, line_instance, on_finite_metric, ring, two_scale, uniform_box, ProbModel,
     };

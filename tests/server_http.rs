@@ -506,3 +506,164 @@ fn oneshot_solve_and_keep_alive_sessions() {
 
     handle.shutdown();
 }
+
+#[test]
+fn append_grows_an_instance_under_a_new_content_id() {
+    let (handle, addr) = start(ServerConfig::default());
+    let upload = parse(&post(addr, "/instances", &instance_body(21)));
+    let id = upload.get("id").and_then(Json::as_str).unwrap().to_string();
+
+    // Append a second batch: the grown instance gets its own digest ID;
+    // the original stays stored and solvable.
+    let grown = post(addr, &format!("/instances/{id}/append"), &instance_body(22));
+    assert_eq!(grown.status, 201, "{}", grown.body);
+    let doc = parse(&grown);
+    let new_id = doc.get("id").and_then(Json::as_str).unwrap().to_string();
+    assert_ne!(new_id, id);
+    assert_eq!(
+        doc.get("previous_id").and_then(Json::as_str),
+        Some(id.as_str())
+    );
+    assert_eq!(doc.get("appended").and_then(Json::as_usize), Some(14));
+    assert_eq!(doc.get("n").and_then(Json::as_usize), Some(28));
+    assert_eq!(get(addr, &format!("/instances/{id}")).status, 200);
+    assert_eq!(get(addr, &format!("/instances/{new_id}")).status, 200);
+
+    // Appending the same batch again deduplicates onto the same grown ID.
+    let again = post(addr, &format!("/instances/{id}/append"), &instance_body(22));
+    assert_eq!(again.status, 200);
+    assert_eq!(
+        parse(&again).get("id").and_then(Json::as_str),
+        Some(new_id.as_str())
+    );
+
+    // Typed failures: unknown base instance, mismatched dimension.
+    let r = post(
+        addr,
+        "/instances/ffffffffffffffff/append",
+        &instance_body(22),
+    );
+    assert_eq!(error_kind(&r), (404.0, "instance_not_found".into()));
+    let r = post(
+        addr,
+        &format!("/instances/{id}/append"),
+        r#"{"dim": 3, "points": [{"locations": [[0, 1, 2]], "probs": [1]}]}"#,
+    );
+    assert_eq!(error_kind(&r), (422.0, "dimension_mismatch".into()));
+
+    handle.shutdown();
+}
+
+#[test]
+fn stream_lifecycle_push_solution_and_digest_keyed_caching() {
+    let (handle, addr) = start(ServerConfig::default());
+
+    // Create a stream; server-assigned ID, echoed configuration.
+    let created = post(addr, "/streams", r#"{"k": 3, "rule": "ep", "budget": 12}"#);
+    assert_eq!(created.status, 201, "{}", created.body);
+    let doc = parse(&created);
+    let id = doc.get("id").and_then(Json::as_str).unwrap().to_string();
+    assert_eq!(doc.get("k").and_then(Json::as_usize), Some(3));
+    assert_eq!(doc.get("budget").and_then(Json::as_usize), Some(12));
+    assert_eq!(doc.get("points_seen").and_then(Json::as_f64), Some(0.0));
+
+    // Push two chunks (= two epochs); the digest evolves.
+    let push1 = parse(&post(
+        addr,
+        &format!("/streams/{id}/push"),
+        &instance_body(31),
+    ));
+    assert_eq!(push1.get("epoch").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(push1.get("points_seen").and_then(Json::as_f64), Some(14.0));
+    let digest1 = push1
+        .get("digest")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    let push2 = parse(&post(
+        addr,
+        &format!("/streams/{id}/push"),
+        &instance_body(32),
+    ));
+    assert_eq!(push2.get("epoch").and_then(Json::as_f64), Some(2.0));
+    let digest2 = push2
+        .get("digest")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    assert_ne!(digest1, digest2);
+    let summary_size = push2.get("summary_size").and_then(Json::as_usize).unwrap();
+    assert!(summary_size <= 12);
+
+    // Solutions run through the scheduler and cache on the digest:
+    // unchanged stream -> second read is a cache hit.
+    let hits_before = metric(addr, &["cache", "hits"]);
+    let sol1 = get(addr, &format!("/streams/{id}/solution"));
+    assert_eq!(sol1.status, 200, "{}", sol1.body);
+    let sol1 = parse(&sol1);
+    assert_eq!(sol1.get("cached").and_then(Json::as_bool), Some(false));
+    let stream_meta = sol1.get("stream").expect("stream metadata");
+    assert_eq!(
+        stream_meta.get("digest").and_then(Json::as_str),
+        Some(digest2.as_str())
+    );
+    assert_eq!(
+        stream_meta.get("points_seen").and_then(Json::as_f64),
+        Some(28.0)
+    );
+    let radius_bound = stream_meta
+        .get("radius_bound")
+        .and_then(Json::as_f64)
+        .unwrap();
+    let certain_radius = sol1.get("certain_radius").and_then(Json::as_f64).unwrap();
+    assert!(radius_bound >= certain_radius);
+    let centers = sol1.get("centers").and_then(Json::as_array).unwrap();
+    assert!(centers.len() <= 3);
+
+    let sol2 = parse(&get(addr, &format!("/streams/{id}/solution")));
+    assert_eq!(sol2.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(metric(addr, &["cache", "hits"]), hits_before + 1.0);
+    assert_eq!(sol1.get("centers").unwrap(), sol2.get("centers").unwrap());
+
+    // A push invalidates by construction: the digest changed, so the
+    // next solution is a fresh solve.
+    post(addr, &format!("/streams/{id}/push"), &instance_body(33));
+    let sol3 = parse(&get(addr, &format!("/streams/{id}/solution")));
+    assert_eq!(sol3.get("cached").and_then(Json::as_bool), Some(false));
+
+    // Lifecycle + typed errors.
+    let listed = parse(&get(addr, "/streams"));
+    assert_eq!(
+        listed
+            .get("streams")
+            .and_then(Json::as_array)
+            .map(<[Json]>::len),
+        Some(1)
+    );
+    assert_eq!(get(addr, &format!("/streams/{id}")).status, 200);
+    let r = get(addr, "/streams/s9999ff/solution");
+    assert_eq!(error_kind(&r), (404.0, "stream_not_found".into()));
+    let r = post(
+        addr,
+        &format!("/streams/{id}/push"),
+        r#"{"dim": 5, "points": [{"locations": [[0, 1, 2, 3, 4]], "probs": [1]}]}"#,
+    );
+    assert_eq!(error_kind(&r), (422.0, "dimension_mismatch".into()));
+    let r = post(addr, "/streams", r#"{"k": 0}"#);
+    assert_eq!(error_kind(&r), (422.0, "zero_k".into()));
+    let r = post(addr, "/streams", r#"{"k": 2, "budget": 0}"#);
+    assert_eq!(error_kind(&r), (400.0, "bad_schema".into()));
+
+    // An empty stream has no solution yet.
+    let empty = parse(&post(addr, "/streams", r#"{"k": 2}"#));
+    let empty_id = empty.get("id").and_then(Json::as_str).unwrap();
+    let r = get(addr, &format!("/streams/{empty_id}/solution"));
+    assert_eq!(error_kind(&r), (422.0, "empty_set".into()));
+
+    let r = client::request(addr, "DELETE", &format!("/streams/{id}"), None).unwrap();
+    assert_eq!(r.status, 200);
+    assert_eq!(get(addr, &format!("/streams/{id}")).status, 404);
+    assert_eq!(metric(addr, &["requests", "streams_push"]), 4.0);
+
+    handle.shutdown();
+}
