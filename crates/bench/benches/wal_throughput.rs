@@ -1,0 +1,203 @@
+//! Durability-layer throughput: how fast the write-ahead log can
+//! acknowledge stream epochs, and what periodic snapshots cost.
+//!
+//! Three axes:
+//!
+//! * **fsync on/off** — the WAL's ack contract fsyncs every push, so
+//!   the on/off gap is the price of durability itself (device sync
+//!   latency), separated from framing/CRC/write overhead.
+//! * **body size** — small vs chunk-sized push bodies, to show where
+//!   the path shifts from sync-bound to bandwidth-bound.
+//! * **snapshot interval** — the full [`DurableStore`] epoch path with
+//!   a snapshot written every N epochs (0 = never), the same knob as
+//!   `ukc serve --snapshot-interval`.
+//!
+//! Setting `BENCH_DURABLE_JSON=1` rewrites `BENCH_durable.json` at the
+//! workspace root (see `docs/BENCHMARKS.md`), recording `host_cpus`
+//! alongside the samples like the other committed artifacts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+use ukc_durable::snapshot::Snapshot;
+use ukc_durable::wal::{StreamWal, WalRecord};
+use ukc_durable::DurableStore;
+use ukc_json::Json;
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ukc-bench-wal-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A push body of roughly `bytes` length (the WAL stores wire bodies
+/// verbatim, so content is irrelevant — only length matters).
+fn body(bytes: usize) -> Vec<u8> {
+    br#"{"dim": 2, "points": []}"#.iter().copied().cycle().take(bytes).collect()
+}
+
+/// Appends `epochs` push records to a fresh WAL; returns bytes written
+/// so the work cannot be elided.
+fn wal_run(dir: &PathBuf, epochs: u64, body: &[u8], sync: bool) -> u64 {
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).unwrap();
+    let (mut wal, _, _) = StreamWal::open(dir).unwrap();
+    for epoch in 1..=epochs {
+        wal.append(
+            &WalRecord::Push {
+                seq: 1,
+                epoch,
+                body: body.to_vec(),
+            },
+            sync,
+        )
+        .unwrap();
+    }
+    if !sync {
+        wal.sync().unwrap(); // one terminal sync keeps totals honest
+    }
+    wal.bytes()
+}
+
+/// The serving-layer epoch path: WAL append (always fsync'd, as the
+/// ack contract demands) plus a snapshot write every `interval` epochs.
+fn store_run(dir: &PathBuf, epochs: u64, body: &[u8], interval: u64, payload: &[u8]) -> u64 {
+    let _ = std::fs::remove_dir_all(dir);
+    let (store, _) = DurableStore::open(dir).unwrap();
+    store.create_stream(1, b"{\"k\": 2}").unwrap();
+    for epoch in 1..=epochs {
+        store.append_push(1, epoch, body).unwrap();
+        if interval > 0 && epoch % interval == 0 {
+            store
+                .write_snapshot(
+                    1,
+                    &Snapshot {
+                        epochs: epoch,
+                        digest: epoch.wrapping_mul(0x9e3779b97f4a7c15),
+                        payload: payload.to_vec(),
+                    },
+                )
+                .unwrap();
+        }
+    }
+    store.stats().wal_bytes
+}
+
+fn bench_wal_throughput(c: &mut Criterion) {
+    let quick = std::env::var_os("CRITERION_QUICK").is_some();
+    let record = std::env::var_os("BENCH_DURABLE_JSON").is_some();
+    let epochs: u64 = if quick { 64 } else { 256 };
+    let mut results: Vec<Json> = Vec::new();
+
+    let mut g = c.benchmark_group("wal_append");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    for &bytes in &[256usize, 16 * 1024] {
+        let body = body(bytes);
+        for &sync in &[true, false] {
+            if quick && !sync {
+                continue; // smoke runs only cover the contractual path
+            }
+            let dir = bench_dir(&format!("append-{bytes}-{sync}"));
+            g.throughput(Throughput::Elements(epochs));
+            g.bench_with_input(
+                BenchmarkId::new(
+                    format!("body{bytes}"),
+                    if sync { "fsync" } else { "nosync" },
+                ),
+                &sync,
+                |b, &sync| b.iter(|| black_box(wal_run(&dir, epochs, &body, sync))),
+            );
+            if record {
+                let reps = if quick { 1 } else { 3 };
+                let _ = wal_run(&dir, epochs, &body, sync);
+                let mut best = f64::INFINITY;
+                for _ in 0..reps {
+                    let t = Instant::now();
+                    let _ = black_box(wal_run(&dir, epochs, &body, sync));
+                    best = best.min(t.elapsed().as_secs_f64());
+                }
+                results.push(Json::obj([
+                    ("mode", Json::from("wal_append")),
+                    ("body_bytes", Json::from(bytes)),
+                    ("fsync", Json::Bool(sync)),
+                    ("epochs", Json::from(epochs as f64)),
+                    ("seconds", Json::from(best)),
+                    ("epochs_per_sec", Json::from(epochs as f64 / best)),
+                    (
+                        "bytes_per_sec",
+                        Json::from((epochs as usize * bytes) as f64 / best),
+                    ),
+                ]));
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("snapshot_interval");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    let push_body = body(4 * 1024);
+    let payload = body(2 * 1024); // a realistic small-summary snapshot
+    for &interval in &[0u64, 4, 16, 64] {
+        if quick && !matches!(interval, 0 | 16) {
+            continue;
+        }
+        let dir = bench_dir(&format!("interval-{interval}"));
+        g.throughput(Throughput::Elements(epochs));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(interval),
+            &interval,
+            |b, &interval| {
+                b.iter(|| black_box(store_run(&dir, epochs, &push_body, interval, &payload)))
+            },
+        );
+        if record {
+            let reps = if quick { 1 } else { 3 };
+            let _ = store_run(&dir, epochs, &push_body, interval, &payload);
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let t = Instant::now();
+                let _ = black_box(store_run(&dir, epochs, &push_body, interval, &payload));
+                best = best.min(t.elapsed().as_secs_f64());
+            }
+            results.push(Json::obj([
+                ("mode", Json::from("store_epoch")),
+                ("body_bytes", Json::from(push_body.len())),
+                ("snapshot_interval", Json::from(interval as f64)),
+                ("epochs", Json::from(epochs as f64)),
+                ("seconds", Json::from(best)),
+                ("epochs_per_sec", Json::from(epochs as f64 / best)),
+            ]));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    g.finish();
+
+    if record {
+        let doc = Json::obj([
+            ("bench", Json::from("wal_throughput")),
+            ("quick", Json::Bool(quick)),
+            (
+                "host_cpus",
+                Json::from(
+                    std::thread::available_parallelism()
+                        .map(|v| v.get())
+                        .unwrap_or(1),
+                ),
+            ),
+            ("results", Json::arr(results)),
+        ]);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_durable.json");
+        if let Err(e) = std::fs::write(path, doc.pretty() + "\n") {
+            eprintln!("warning: could not write BENCH_durable.json: {e}");
+        }
+    }
+}
+
+criterion_group!(benches, bench_wal_throughput);
+criterion_main!(benches);

@@ -34,6 +34,17 @@ pub enum ArgError {
         /// Raw value.
         value: String,
     },
+    /// A path option names something unusable (a file where a directory
+    /// is needed, an unwritable location, ...). Caught at startup so the
+    /// failure is a usage error, not a mid-serve surprise.
+    BadPath {
+        /// Option name.
+        key: String,
+        /// The offending path.
+        path: String,
+        /// Why it cannot be used.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for ArgError {
@@ -45,6 +56,7 @@ impl std::fmt::Display for ArgError {
             ArgError::Duplicate(k) => write!(f, "--{k} given more than once"),
             ArgError::MissingOption(k) => write!(f, "required option --{k} missing"),
             ArgError::BadValue { key, value } => write!(f, "--{key}: cannot parse {value:?}"),
+            ArgError::BadPath { key, path, reason } => write!(f, "--{key}: {path:?} {reason}"),
         }
     }
 }
@@ -206,6 +218,19 @@ mod tests {
         let a = parse(&["generate"]).unwrap();
         assert_eq!(a.parse_or("seed", 7u64).unwrap(), 7);
         assert_eq!(a.parse_or("n", 40usize).unwrap(), 40);
+    }
+
+    #[test]
+    fn bad_path_formats_with_key_path_and_reason() {
+        let e = ArgError::BadPath {
+            key: "data-dir".into(),
+            path: "/tmp/x".into(),
+            reason: "exists but is not a directory".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "--data-dir: \"/tmp/x\" exists but is not a directory"
+        );
     }
 
     #[test]

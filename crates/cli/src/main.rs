@@ -16,6 +16,7 @@
 //! ukc kmeans   --instance inst.json --k 3 --seed 1
 //! ukc serve    --addr 127.0.0.1:8080 --workers 4 --cache-cap 256
 //! ukc serve    --addr 127.0.0.1:8080 --threads 4               # alias of --workers
+//! ukc serve    --addr 127.0.0.1:8080 --data-dir ./ukc-data     # durable across restarts
 //! ukc client   --addr 127.0.0.1:8080 --path /healthz
 //! ukc client   --addr 127.0.0.1:8080 --instance inst.json --k 3   # one-shot /solve
 //! ```
@@ -516,14 +517,52 @@ fn cmd_kmedian(a: &Args) -> CmdResult {
     Ok(())
 }
 
+/// Validates `--data-dir` before anything binds or opens: the path must
+/// be (or be creatable as) a writable directory. A file in the way or an
+/// unwritable location is a typed [`args::ArgError::BadPath`] — a usage
+/// error and a clean exit, not a mid-serve storage failure.
+fn validate_data_dir(a: &Args) -> Result<Option<std::path::PathBuf>, args::ArgError> {
+    let Ok(raw) = a.required("data-dir") else {
+        return Ok(None);
+    };
+    let bad = |reason: String| args::ArgError::BadPath {
+        key: "data-dir".into(),
+        path: raw.to_string(),
+        reason,
+    };
+    let path = std::path::PathBuf::from(raw);
+    if path.exists() && !path.is_dir() {
+        return Err(bad("exists but is not a directory".into()));
+    }
+    if !path.is_dir() {
+        std::fs::create_dir_all(&path)
+            .map_err(|e| bad(format!("cannot be created as a directory ({e})")))?;
+    }
+    // Touch-and-remove probe: prove writability while we can still fail
+    // as an argument error rather than a 503 after the listener binds.
+    let probe = path.join(".ukc-write-probe");
+    std::fs::write(&probe, b"")
+        .and_then(|()| std::fs::remove_file(&probe))
+        .map_err(|e| bad(format!("is not writable ({e})")))?;
+    Ok(Some(path))
+}
+
 /// `ukc serve`: run the HTTP solver service on the calling thread.
 /// `--workers` and its alias `--threads` cap the pool lanes one solve
 /// wave may occupy (the pool is process-wide and shared with intra-solve
 /// parallelism); `--workers 0` means auto, `--threads 0` is rejected.
+/// `--data-dir <path>` makes instances and streams durable (recovered on
+/// the next boot); `--snapshot-interval <n>` snapshots each stream every
+/// `n` pushed epochs (0 disables snapshots, recovery then replays the
+/// full log).
 fn cmd_serve(a: &Args) -> CmdResult {
     let threads = a.parse_positive("threads")?;
     if threads.is_some() && a.has("workers") {
         return Err("--workers and --threads are aliases; give only one".into());
+    }
+    let data_dir = validate_data_dir(a)?;
+    if data_dir.is_none() && a.has("snapshot-interval") {
+        return Err("--snapshot-interval is only meaningful with --data-dir".into());
     }
     let config = ukc_server::ServerConfig {
         addr: a.get_or("addr", "127.0.0.1:8080").to_string(),
@@ -533,6 +572,8 @@ fn cmd_serve(a: &Args) -> CmdResult {
         },
         cache_cap: a.parse_or("cache-cap", 256usize)?,
         max_body_bytes: a.parse_or("max-body-bytes", 8 * 1024 * 1024usize)?,
+        data_dir,
+        snapshot_interval: a.parse_or("snapshot-interval", 16u64)?,
     };
     ukc_server::serve_blocking(config)?;
     Ok(())

@@ -1,0 +1,144 @@
+//! Minimal binary payload codec.
+//!
+//! Frame payloads (and snapshot bodies built by the serving layer) are
+//! encoded with this fixed-width little-endian codec rather than JSON:
+//! floats travel as IEEE bit patterns, so a recovered stream summary is
+//! *bit-identical* to the pre-crash state by construction — no text
+//! round-trip to reason about.
+
+/// An append-only byte encoder.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    bytes: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) -> &mut Self {
+        self.bytes.push(v);
+        self
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends an `f64` by IEEE bit pattern (exact round trip).
+    pub fn put_f64(&mut self, v: f64) -> &mut Self {
+        self.put_u64(v.to_bits())
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.put_u64(v.len() as u64);
+        self.bytes.extend_from_slice(v);
+        self
+    }
+
+    /// The encoded payload.
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// A bounds-checked decoder over one payload. Every read returns `None`
+/// past the end instead of panicking, so a malformed payload surfaces as
+/// a typed decode failure in the caller, never a crash.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Decoder { bytes, at: 0 }
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.at == self.bytes.len()
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        let v = *self.bytes.get(self.at)?;
+        self.at += 1;
+        Some(v)
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        let end = self.at.checked_add(8)?;
+        let v = u64::from_le_bytes(self.bytes.get(self.at..end)?.try_into().ok()?);
+        self.at = end;
+        Some(v)
+    }
+
+    /// Reads an `f64` from its IEEE bit pattern.
+    pub fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Option<&'a [u8]> {
+        let len = usize::try_from(self.u64()?).ok()?;
+        let end = self.at.checked_add(len)?;
+        let v = self.bytes.get(self.at..end)?;
+        self.at = end;
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_type() {
+        let mut e = Encoder::new();
+        e.put_u8(7)
+            .put_u64(u64::MAX)
+            .put_f64(-0.0)
+            .put_f64(f64::MIN_POSITIVE)
+            .put_bytes(b"payload")
+            .put_bytes(b"");
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.u8(), Some(7));
+        assert_eq!(d.u64(), Some(u64::MAX));
+        assert_eq!(d.f64().map(f64::to_bits), Some((-0.0f64).to_bits()));
+        assert_eq!(d.f64(), Some(f64::MIN_POSITIVE));
+        assert_eq!(d.bytes(), Some(&b"payload"[..]));
+        assert_eq!(d.bytes(), Some(&b""[..]));
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_payloads_decode_to_none_not_panics() {
+        let mut e = Encoder::new();
+        e.put_u64(1).put_bytes(b"abcdef");
+        let bytes = e.finish();
+        for cut in 0..bytes.len() {
+            let mut d = Decoder::new(&bytes[..cut]);
+            // Either read may fail, but nothing panics and nothing reads
+            // past the end.
+            let _ = d.u64();
+            let _ = d.bytes();
+            assert!(d.at <= cut);
+        }
+        // A declared length larger than the remaining bytes is a None.
+        let mut e = Encoder::new();
+        e.put_u64(1 << 40);
+        let bytes = e.finish();
+        assert_eq!(Decoder::new(&bytes).bytes(), None);
+    }
+}

@@ -1,0 +1,333 @@
+//! CRC-framed append-only record files.
+//!
+//! Every durable file in this crate — instance segments and the stream
+//! WAL — is a sequence of frames:
+//!
+//! ```text
+//! [len: u32 LE] [crc32(payload): u32 LE] [payload: len bytes]
+//! ```
+//!
+//! The framing gives the recovery path exactly two failure modes, with
+//! deliberately different handling:
+//!
+//! * **Torn tail** — the process died mid-append, so the *last* frame is
+//!   incomplete (short header, short payload, or a payload that reaches
+//!   EOF with a bad checksum). This is the expected crash artifact: the
+//!   frame was never acknowledged, so it is silently dropped and the
+//!   file is truncated back to the last good frame on reopen.
+//! * **Corruption** — a frame *before* the tail fails its checksum, or a
+//!   frame length is absurd while bytes remain after it. Acknowledged
+//!   data has been damaged; recovery refuses to guess and surfaces
+//!   [`StoreError::CorruptSegment`] with the offending path and offset.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::StoreError;
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial), table-driven.
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 == 1 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 checksum of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+/// Frame header size: length + checksum.
+pub const FRAME_HEADER: u64 = 8;
+
+/// A decoded file: the payloads of every intact frame plus tail facts.
+#[derive(Debug)]
+pub struct ReadFrames {
+    /// Payloads in file order.
+    pub frames: Vec<Vec<u8>>,
+    /// Bytes occupied by intact frames (the truncation point when a torn
+    /// tail follows).
+    pub valid_bytes: u64,
+    /// Whether a torn tail was dropped.
+    pub torn_tail: bool,
+}
+
+pub(crate) fn io_err(path: &Path, op: &'static str, source: std::io::Error) -> StoreError {
+    StoreError::Io {
+        path: path.to_path_buf(),
+        op,
+        source,
+    }
+}
+
+/// Reads every frame of `path` (which must exist), applying the torn-tail
+/// policy from the module docs.
+pub fn read_frames(path: &Path) -> Result<ReadFrames, StoreError> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| io_err(path, "read", e))?;
+    let mut frames = Vec::new();
+    let mut at = 0usize;
+    loop {
+        let remaining = bytes.len() - at;
+        if remaining == 0 {
+            return Ok(ReadFrames {
+                frames,
+                valid_bytes: at as u64,
+                torn_tail: false,
+            });
+        }
+        if remaining < FRAME_HEADER as usize {
+            // Short header: only a torn append can leave one.
+            return Ok(ReadFrames {
+                frames,
+                valid_bytes: at as u64,
+                torn_tail: true,
+            });
+        }
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("4 bytes"));
+        let body_start = at + FRAME_HEADER as usize;
+        if bytes.len() - body_start < len {
+            // Short payload: the declared length extends past EOF. A torn
+            // append — or a garbage length field in the final header;
+            // either way nothing after this point was acknowledged intact.
+            return Ok(ReadFrames {
+                frames,
+                valid_bytes: at as u64,
+                torn_tail: true,
+            });
+        }
+        let payload = &bytes[body_start..body_start + len];
+        if crc32(payload) != crc {
+            if body_start + len == bytes.len() {
+                // Bad checksum on the frame that ends exactly at EOF: the
+                // tail was torn mid-payload after the header landed.
+                return Ok(ReadFrames {
+                    frames,
+                    valid_bytes: at as u64,
+                    torn_tail: true,
+                });
+            }
+            // Bad checksum with acknowledged frames after it: corruption.
+            return Err(StoreError::CorruptSegment {
+                path: path.to_path_buf(),
+                offset: at as u64,
+                detail: "frame checksum mismatch before end of file".into(),
+            });
+        }
+        frames.push(payload.to_vec());
+        at = body_start + len;
+    }
+}
+
+/// An append handle on a framed file. Created by [`FrameWriter::open`],
+/// which truncates any torn tail so new frames never land after garbage.
+#[derive(Debug)]
+pub struct FrameWriter {
+    file: File,
+    path: PathBuf,
+    bytes: u64,
+}
+
+impl FrameWriter {
+    /// Opens (creating if absent) `path` for appending, first truncating
+    /// a torn tail back to the last intact frame.
+    pub fn open(path: &Path) -> Result<(Self, ReadFrames), StoreError> {
+        if !path.exists() {
+            let file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| io_err(path, "create", e))?;
+            return Ok((
+                FrameWriter {
+                    file,
+                    path: path.to_path_buf(),
+                    bytes: 0,
+                },
+                ReadFrames {
+                    frames: Vec::new(),
+                    valid_bytes: 0,
+                    torn_tail: false,
+                },
+            ));
+        }
+        let read = read_frames(path)?;
+        if read.torn_tail {
+            let file = OpenOptions::new()
+                .write(true)
+                .open(path)
+                .map_err(|e| io_err(path, "open", e))?;
+            file.set_len(read.valid_bytes)
+                .map_err(|e| io_err(path, "truncate", e))?;
+            file.sync_all().map_err(|e| io_err(path, "fsync", e))?;
+        }
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err(path, "open", e))?;
+        Ok((
+            FrameWriter {
+                file,
+                path: path.to_path_buf(),
+                bytes: read.valid_bytes,
+            },
+            read,
+        ))
+    }
+
+    /// Appends one frame (no sync — call [`FrameWriter::sync`] before
+    /// acknowledging).
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), StoreError> {
+        let mut frame = Vec::with_capacity(FRAME_HEADER as usize + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| io_err(&self.path, "append", e))?;
+        self.bytes += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Forces appended frames to stable storage (fsync).
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file
+            .sync_all()
+            .map_err(|e| io_err(&self.path, "fsync", e))
+    }
+
+    /// Bytes of intact frames written or recovered so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The underlying path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ukc-frame-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE 802.3 test vectors.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b"hello"), 0x3610_a686);
+    }
+
+    #[test]
+    fn append_and_read_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let path = dir.join("log");
+        let (mut w, read) = FrameWriter::open(&path).unwrap();
+        assert!(read.frames.is_empty());
+        w.append(b"alpha").unwrap();
+        w.append(b"").unwrap();
+        w.append(&[0xff; 1000]).unwrap();
+        w.sync().unwrap();
+        let read = read_frames(&path).unwrap();
+        assert!(!read.torn_tail);
+        assert_eq!(read.frames.len(), 3);
+        assert_eq!(read.frames[0], b"alpha");
+        assert_eq!(read.frames[1], b"");
+        assert_eq!(read.frames[2], vec![0xff; 1000]);
+        assert_eq!(read.valid_bytes, w.bytes());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_truncated_on_reopen() {
+        let dir = temp_dir("torn");
+        let path = dir.join("log");
+        let (mut w, _) = FrameWriter::open(&path).unwrap();
+        w.append(b"kept-1").unwrap();
+        w.append(b"kept-2").unwrap();
+        w.sync().unwrap();
+        let intact = w.bytes();
+        w.append(b"torn-away").unwrap();
+        drop(w);
+        // Simulate the crash: chop the last frame mid-payload.
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in [intact + 3, intact + FRAME_HEADER + 4, intact + FRAME_HEADER] {
+            std::fs::write(&path, &bytes[..cut as usize]).unwrap();
+            let read = read_frames(&path).unwrap();
+            assert!(read.torn_tail, "cut at {cut}");
+            assert_eq!(read.frames.len(), 2);
+            assert_eq!(read.valid_bytes, intact);
+        }
+        // Reopening truncates, and fresh appends land cleanly after.
+        std::fs::write(&path, &bytes[..(intact + 5) as usize]).unwrap();
+        let (mut w, read) = FrameWriter::open(&path).unwrap();
+        assert!(read.torn_tail);
+        assert_eq!(read.frames.len(), 2);
+        w.append(b"kept-3").unwrap();
+        w.sync().unwrap();
+        let read = read_frames(&path).unwrap();
+        assert!(!read.torn_tail);
+        assert_eq!(
+            read.frames,
+            vec![b"kept-1".to_vec(), b"kept-2".to_vec(), b"kept-3".to_vec()]
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_a_typed_error_not_a_truncation() {
+        let dir = temp_dir("corrupt");
+        let path = dir.join("log");
+        let (mut w, _) = FrameWriter::open(&path).unwrap();
+        w.append(b"first-record").unwrap();
+        w.append(b"second-record").unwrap();
+        w.sync().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one payload byte of the *first* frame: acknowledged data
+        // damaged, with intact frames after it.
+        bytes[FRAME_HEADER as usize] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_frames(&path).unwrap_err();
+        match err {
+            StoreError::CorruptSegment { offset, .. } => assert_eq!(offset, 0),
+            other => panic!("expected CorruptSegment, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,502 @@
+//! `ukc-durable` — the durability subsystem: everything the server must
+//! not lose across a restart, on disk, dependency-free (std only).
+//!
+//! In-memory serving state has three durable counterparts, each with its
+//! own file format and failure story:
+//!
+//! * **Instance segments** ([`segments`]) — a content-addressed,
+//!   append-only store of uploaded instance documents, keyed by the
+//!   canonical `instance_digest`. Identical uploads deduplicate on
+//!   write; deletes append tombstones; compaction on open rewrites the
+//!   live set and unlinks dead segments.
+//! * **Stream WAL** ([`wal`]) — one fsync'd, CRC-framed record per
+//!   stream lifecycle event. A push is acknowledged *only after* its
+//!   record is durable, so every acked epoch survives a crash by
+//!   construction. Recovery replays the records through the same
+//!   parse-and-fold path the live server ran.
+//! * **Snapshots** ([`snapshot`]) — periodic per-stream state snapshots,
+//!   written atomically and keyed by the stream's canonical state
+//!   digest, so recovery replays only the WAL tail past the last
+//!   snapshot instead of the stream's whole history.
+//!
+//! The crate is deliberately *byte-oriented*: it stores documents and
+//! state payloads as opaque bytes and knows nothing about solvers,
+//! summaries, or JSON. The serving layer owns the encoding of both and
+//! the digest verification at the seams. Every failure is a typed
+//! [`StoreError`]; nothing in this crate panics on disk contents.
+//!
+//! Crash-consistency policy, in one table:
+//!
+//! | artifact | torn tail | mid-file damage |
+//! |---|---|---|
+//! | segment / WAL | dropped + truncated (unacked) | [`StoreError::CorruptSegment`] |
+//! | snapshot | ignored (WAL covers it) | ignored (WAL covers it) |
+
+pub mod codec;
+pub mod frame;
+pub mod segments;
+pub mod snapshot;
+pub mod wal;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use segments::SegmentLog;
+use snapshot::{Snapshot, SnapshotStore};
+use wal::{StreamWal, WalRecord};
+
+/// A typed durability failure.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An I/O operation failed (disk gone, permissions, out of space).
+    Io {
+        /// The file or directory involved.
+        path: PathBuf,
+        /// What was being attempted (`"fsync"`, `"append"`, ...).
+        op: &'static str,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// Acknowledged data failed its checksum or decoded to garbage.
+    CorruptSegment {
+        /// The offending file.
+        path: PathBuf,
+        /// Byte offset of the damaged frame (0 when unknown).
+        offset: u64,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The data directory path exists but is not a directory.
+    NotADirectory {
+        /// The offending path.
+        path: PathBuf,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { path, op, source } => {
+                write!(f, "storage {op} failed on {}: {source}", path.display())
+            }
+            StoreError::CorruptSegment {
+                path,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "corrupt segment {} at byte {offset}: {detail}",
+                path.display()
+            ),
+            StoreError::NotADirectory { path } => {
+                write!(f, "{} exists and is not a directory", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// One stream reassembled from the WAL and its snapshot.
+#[derive(Debug)]
+pub struct RecoveredStream {
+    /// Server-assigned stream sequence number.
+    pub seq: u64,
+    /// The original `POST /streams` body.
+    pub create: Vec<u8>,
+    /// The newest intact snapshot, if any (already pruned from `pushes`).
+    pub snapshot: Option<Snapshot>,
+    /// Push bodies to replay, `(epoch, body)` in epoch order — only the
+    /// tail past the snapshot.
+    pub pushes: Vec<(u64, Vec<u8>)>,
+}
+
+/// Everything [`DurableStore::open`] recovered from disk.
+#[derive(Debug)]
+pub struct Recovery {
+    /// Live instance documents, `(digest, doc)` in digest order.
+    pub instances: Vec<(u64, Vec<u8>)>,
+    /// Live streams in sequence order.
+    pub streams: Vec<RecoveredStream>,
+    /// The next stream sequence number to assign.
+    pub next_seq: u64,
+    /// Whether any torn tail was dropped during replay.
+    pub torn_tail: bool,
+}
+
+/// Durability gauges for `/metrics`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DurabilityStats {
+    /// Intact stream-WAL bytes.
+    pub wal_bytes: u64,
+    /// Instance segment files on disk.
+    pub segments: u64,
+    /// Intact instance-segment bytes.
+    pub segment_bytes: u64,
+    /// Snapshot files on disk.
+    pub snapshots: u64,
+    /// Live instances in the segment store.
+    pub instances: u64,
+    /// Durable appends synced so far.
+    pub fsync_count: u64,
+    /// Wall-clock seconds spent making appends durable (write + fsync).
+    pub fsync_seconds: f64,
+}
+
+/// The open durability layer: one per `--data-dir`.
+///
+/// Interior mutability mirrors the in-memory stores: the instance log
+/// and WAL serialize appends behind mutexes, snapshots are
+/// atomic-replace files, and the fsync clock is a relaxed counter.
+#[derive(Debug)]
+pub struct DurableStore {
+    instances: Mutex<SegmentLog>,
+    wal: Mutex<StreamWal>,
+    snapshots: SnapshotStore,
+    fsync_count: AtomicU64,
+    fsync_nanos: AtomicU64,
+}
+
+impl DurableStore {
+    /// Opens (creating or recovering) the durability layer under `dir`.
+    ///
+    /// Validates the path (a file where the directory should be is
+    /// [`StoreError::NotADirectory`]; an unwritable one fails the probe
+    /// with [`StoreError::Io`]), replays segments + WAL + snapshots into
+    /// a [`Recovery`], prunes snapshot-covered pushes, and compacts the
+    /// WAL down to the live tail.
+    pub fn open(dir: &Path) -> Result<(Self, Recovery), StoreError> {
+        if dir.exists() && !dir.is_dir() {
+            return Err(StoreError::NotADirectory {
+                path: dir.to_path_buf(),
+            });
+        }
+        std::fs::create_dir_all(dir).map_err(|e| StoreError::Io {
+            path: dir.to_path_buf(),
+            op: "create_dir",
+            source: e,
+        })?;
+        // Writability probe: fail at open, not on the first push.
+        let probe = dir.join(".probe");
+        std::fs::write(&probe, b"probe")
+            .and_then(|()| std::fs::remove_file(&probe))
+            .map_err(|e| StoreError::Io {
+                path: dir.to_path_buf(),
+                op: "probe",
+                source: e,
+            })?;
+
+        let (instance_log, instances) = SegmentLog::open(&dir.join("instances"))?;
+        let (mut stream_wal, records, torn_tail) = StreamWal::open(&dir.join("wal"))?;
+        let snapshots = SnapshotStore::open(&dir.join("snapshots"))?;
+
+        // Reassemble streams from the WAL, in record order.
+        let mut streams: BTreeMap<u64, RecoveredStream> = BTreeMap::new();
+        let mut next_seq = 1u64;
+        for record in records {
+            match record {
+                WalRecord::Create { seq, body } => {
+                    next_seq = next_seq.max(seq + 1);
+                    streams.insert(
+                        seq,
+                        RecoveredStream {
+                            seq,
+                            create: body,
+                            snapshot: None,
+                            pushes: Vec::new(),
+                        },
+                    );
+                }
+                WalRecord::Push { seq, epoch, body } => {
+                    // Pushes for unknown streams (deleted mid-flight) are
+                    // dropped: nothing references them anymore.
+                    if let Some(stream) = streams.get_mut(&seq) {
+                        stream.pushes.push((epoch, body));
+                    }
+                }
+                WalRecord::Delete { seq } => {
+                    streams.remove(&seq);
+                    snapshots.remove(seq)?;
+                }
+            }
+        }
+
+        // Attach snapshots and prune the pushes they cover.
+        for stream in streams.values_mut() {
+            if let Some(snapshot) = snapshots.load(stream.seq)? {
+                stream.pushes.retain(|(epoch, _)| *epoch > snapshot.epochs);
+                stream.snapshot = Some(snapshot);
+            }
+        }
+
+        // Compact the WAL down to what recovery actually needs: creates
+        // plus the surviving push tails. Deleted streams and
+        // snapshot-covered epochs vanish from disk here.
+        let mut survivors: Vec<WalRecord> = Vec::new();
+        for stream in streams.values() {
+            survivors.push(WalRecord::Create {
+                seq: stream.seq,
+                body: stream.create.clone(),
+            });
+            for (epoch, body) in &stream.pushes {
+                survivors.push(WalRecord::Push {
+                    seq: stream.seq,
+                    epoch: *epoch,
+                    body: body.clone(),
+                });
+            }
+        }
+        stream_wal.rewrite(&survivors)?;
+
+        let recovery = Recovery {
+            instances,
+            streams: streams.into_values().collect(),
+            next_seq,
+            torn_tail,
+        };
+        Ok((
+            DurableStore {
+                instances: Mutex::new(instance_log),
+                wal: Mutex::new(stream_wal),
+                snapshots,
+                fsync_count: AtomicU64::new(0),
+                fsync_nanos: AtomicU64::new(0),
+            },
+            recovery,
+        ))
+    }
+
+    fn record_sync(&self, t: Instant) {
+        self.fsync_count.fetch_add(1, Ordering::Relaxed);
+        self.fsync_nanos.fetch_add(
+            t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Durably stores an instance document; `false` means the digest was
+    /// already live (dedup) and nothing touched disk.
+    pub fn put_instance(&self, digest: u64, doc: &[u8]) -> Result<bool, StoreError> {
+        let t = Instant::now();
+        let wrote = self
+            .instances
+            .lock()
+            .expect("instance log lock poisoned")
+            .put(digest, doc)?;
+        if wrote {
+            self.record_sync(t);
+        }
+        Ok(wrote)
+    }
+
+    /// Durably tombstones an instance; `false` when it was not live.
+    pub fn delete_instance(&self, digest: u64) -> Result<bool, StoreError> {
+        let t = Instant::now();
+        let wrote = self
+            .instances
+            .lock()
+            .expect("instance log lock poisoned")
+            .delete(digest)?;
+        if wrote {
+            self.record_sync(t);
+        }
+        Ok(wrote)
+    }
+
+    /// Durably records a stream creation.
+    pub fn create_stream(&self, seq: u64, body: &[u8]) -> Result<(), StoreError> {
+        let t = Instant::now();
+        self.wal.lock().expect("wal lock poisoned").append(
+            &WalRecord::Create {
+                seq,
+                body: body.to_vec(),
+            },
+            true,
+        )?;
+        self.record_sync(t);
+        Ok(())
+    }
+
+    /// Durably records one pushed epoch — the ack contract: callers must
+    /// not answer the push until this returns.
+    pub fn append_push(&self, seq: u64, epoch: u64, body: &[u8]) -> Result<(), StoreError> {
+        let t = Instant::now();
+        self.wal.lock().expect("wal lock poisoned").append(
+            &WalRecord::Push {
+                seq,
+                epoch,
+                body: body.to_vec(),
+            },
+            true,
+        )?;
+        self.record_sync(t);
+        Ok(())
+    }
+
+    /// Durably records a stream deletion and drops its snapshot.
+    pub fn delete_stream(&self, seq: u64) -> Result<(), StoreError> {
+        let t = Instant::now();
+        self.wal
+            .lock()
+            .expect("wal lock poisoned")
+            .append(&WalRecord::Delete { seq }, true)?;
+        self.record_sync(t);
+        self.snapshots.remove(seq)
+    }
+
+    /// Atomically replaces stream `seq`'s snapshot.
+    pub fn write_snapshot(&self, seq: u64, snapshot: &Snapshot) -> Result<(), StoreError> {
+        self.snapshots.write(seq, snapshot)
+    }
+
+    /// Current durability gauges.
+    pub fn stats(&self) -> DurabilityStats {
+        let (segments, segment_bytes, instances) = {
+            let log = self.instances.lock().expect("instance log lock poisoned");
+            (log.segments(), log.bytes(), log.len() as u64)
+        };
+        let wal_bytes = self.wal.lock().expect("wal lock poisoned").bytes();
+        DurabilityStats {
+            wal_bytes,
+            segments,
+            segment_bytes,
+            snapshots: self.snapshots.count().unwrap_or(0),
+            instances,
+            fsync_count: self.fsync_count.load(Ordering::Relaxed),
+            fsync_seconds: self.fsync_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ukc-durable-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn open_recovers_instances_streams_and_next_seq() {
+        let dir = temp_dir("recover");
+        {
+            let (store, recovery) = DurableStore::open(&dir).unwrap();
+            assert!(recovery.instances.is_empty());
+            assert!(recovery.streams.is_empty());
+            assert_eq!(recovery.next_seq, 1);
+            store.put_instance(11, b"inst-11").unwrap();
+            store.put_instance(22, b"inst-22").unwrap();
+            store.delete_instance(22).unwrap();
+            store.create_stream(1, b"create-1").unwrap();
+            store.append_push(1, 1, b"push-1-1").unwrap();
+            store.append_push(1, 2, b"push-1-2").unwrap();
+            store.create_stream(2, b"create-2").unwrap();
+            store.append_push(2, 1, b"push-2-1").unwrap();
+            store.delete_stream(2).unwrap();
+        }
+        let (store, recovery) = DurableStore::open(&dir).unwrap();
+        assert_eq!(recovery.instances, vec![(11, b"inst-11".to_vec())]);
+        assert_eq!(recovery.streams.len(), 1);
+        let s = &recovery.streams[0];
+        assert_eq!((s.seq, s.create.as_slice()), (1, &b"create-1"[..]));
+        assert!(s.snapshot.is_none());
+        assert_eq!(
+            s.pushes,
+            vec![(1, b"push-1-1".to_vec()), (2, b"push-1-2".to_vec())]
+        );
+        assert_eq!(recovery.next_seq, 3);
+        let stats = store.stats();
+        assert_eq!(stats.instances, 1);
+        assert!(stats.wal_bytes > 0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn snapshots_prune_replay_to_the_wal_tail() {
+        let dir = temp_dir("snapshot-prune");
+        {
+            let (store, _) = DurableStore::open(&dir).unwrap();
+            store.create_stream(1, b"create").unwrap();
+            for epoch in 1..=6u64 {
+                store
+                    .append_push(1, epoch, format!("push-{epoch}").as_bytes())
+                    .unwrap();
+            }
+            store
+                .write_snapshot(
+                    1,
+                    &Snapshot {
+                        epochs: 4,
+                        digest: 77,
+                        payload: b"state-at-4".to_vec(),
+                    },
+                )
+                .unwrap();
+        }
+        let (_, recovery) = DurableStore::open(&dir).unwrap();
+        let s = &recovery.streams[0];
+        let snap = s.snapshot.as_ref().expect("snapshot recovered");
+        assert_eq!((snap.epochs, snap.digest), (4, 77));
+        assert_eq!(snap.payload, b"state-at-4");
+        // Only the tail past the snapshot replays.
+        assert_eq!(
+            s.pushes,
+            vec![(5, b"push-5".to_vec()), (6, b"push-6".to_vec())]
+        );
+        // And the reopened WAL was compacted down to exactly that tail:
+        // a second open sees the same picture.
+        let (_, recovery) = DurableStore::open(&dir).unwrap();
+        assert_eq!(recovery.streams[0].pushes.len(), 2);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn not_a_directory_is_typed() {
+        let dir = temp_dir("file-in-the-way");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("data");
+        std::fs::write(&file, b"not a dir").unwrap();
+        match DurableStore::open(&file) {
+            Err(StoreError::NotADirectory { path }) => assert_eq!(path, file),
+            other => panic!("expected NotADirectory, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn torn_wal_tail_drops_only_the_unacked_epoch() {
+        let dir = temp_dir("torn-tail");
+        {
+            let (store, _) = DurableStore::open(&dir).unwrap();
+            store.create_stream(1, b"create").unwrap();
+            store.append_push(1, 1, b"acked-epoch").unwrap();
+            store.append_push(1, 2, b"torn-epoch").unwrap();
+        }
+        let wal_path = dir.join("wal").join("streams.wal");
+        let bytes = std::fs::read(&wal_path).unwrap();
+        std::fs::write(&wal_path, &bytes[..bytes.len() - 7]).unwrap();
+        let (_, recovery) = DurableStore::open(&dir).unwrap();
+        assert!(recovery.torn_tail);
+        assert_eq!(
+            recovery.streams[0].pushes,
+            vec![(1, b"acked-epoch".to_vec())]
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,320 @@
+//! The content-addressed instance store: append-only segment files.
+//!
+//! One record per event, framed by [`crate::frame`]:
+//!
+//! ```text
+//! PUT       [1u8] [digest u64] [doc bytes ...]
+//! TOMBSTONE [2u8] [digest u64]
+//! ```
+//!
+//! Instances are keyed by their canonical content digest (the serving
+//! layer's `instance_digest`), so writes deduplicate: a `put` for a
+//! digest already live appends nothing. Deletes append a tombstone —
+//! segments are never modified in place — and the dead bytes are
+//! reclaimed by compaction on the next open, which rewrites the live set
+//! into a fresh segment generation and unlinks the old files. Replaying
+//! put/tombstone records is idempotent per digest, so a crash between
+//! "new segment written" and "old segments removed" merely replays both
+//! and converges to the same live set.
+//!
+//! Segments roll over at [`SegmentLog::SEGMENT_BYTES`]; files are named
+//! `seg-<index>.log` and replayed in index order.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::codec::{Decoder, Encoder};
+use crate::frame::{io_err, read_frames, FrameWriter};
+use crate::StoreError;
+
+const TAG_PUT: u8 = 1;
+const TAG_TOMBSTONE: u8 = 2;
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("seg-{index:06}.log"))
+}
+
+fn decode_record(path: &Path, payload: &[u8]) -> Result<(u8, u64, Vec<u8>), StoreError> {
+    let corrupt = |detail: &str| StoreError::CorruptSegment {
+        path: path.to_path_buf(),
+        offset: 0,
+        detail: detail.into(),
+    };
+    let mut d = Decoder::new(payload);
+    let tag = d.u8().ok_or_else(|| corrupt("record missing tag"))?;
+    let digest = d.u64().ok_or_else(|| corrupt("record missing digest"))?;
+    match tag {
+        TAG_PUT => {
+            let doc = d
+                .bytes()
+                .ok_or_else(|| corrupt("put record missing document"))?;
+            Ok((tag, digest, doc.to_vec()))
+        }
+        TAG_TOMBSTONE => Ok((tag, digest, Vec::new())),
+        other => Err(corrupt(&format!("unknown record tag {other}"))),
+    }
+}
+
+/// The live documents recovered at open: `(digest, document)` pairs in
+/// digest order.
+pub type LiveDocs = Vec<(u64, Vec<u8>)>;
+
+/// The open segment store: an append handle on the newest segment plus
+/// the live digest set.
+#[derive(Debug)]
+pub struct SegmentLog {
+    dir: PathBuf,
+    writer: FrameWriter,
+    writer_index: u64,
+    /// Digests currently live (put without a later tombstone).
+    live: BTreeMap<u64, ()>,
+    /// Total intact bytes across all segments.
+    bytes: u64,
+    /// Segment files on disk (including the write head).
+    segments: u64,
+}
+
+impl SegmentLog {
+    /// Roll the write head to a fresh segment past this size.
+    pub const SEGMENT_BYTES: u64 = 8 * 1024 * 1024;
+
+    /// Opens (or creates) the segment directory, replays every segment,
+    /// compacts when at least half the records are dead, and returns the
+    /// live `(digest, document)` map in digest order.
+    pub fn open(dir: &Path) -> Result<(Self, LiveDocs), StoreError> {
+        fs::create_dir_all(dir).map_err(|e| io_err(dir, "create_dir", e))?;
+        let mut indices: Vec<u64> = Vec::new();
+        for entry in fs::read_dir(dir).map_err(|e| io_err(dir, "read_dir", e))? {
+            let entry = entry.map_err(|e| io_err(dir, "read_dir", e))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(index) = name
+                .strip_prefix("seg-")
+                .and_then(|s| s.strip_suffix(".log"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                indices.push(index);
+            }
+        }
+        indices.sort_unstable();
+
+        let mut docs: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        let mut records = 0u64;
+        for &index in &indices {
+            let path = segment_path(dir, index);
+            // Only the newest segment may carry a torn tail (older ones
+            // were rolled past sealed); read_frames drops it either way.
+            let read = read_frames(&path)?;
+            for payload in &read.frames {
+                records += 1;
+                let (tag, digest, doc) = decode_record(&path, payload)?;
+                match tag {
+                    TAG_PUT => {
+                        docs.insert(digest, doc);
+                    }
+                    _ => {
+                        docs.remove(&digest);
+                    }
+                }
+            }
+        }
+
+        let dead = records.saturating_sub(docs.len() as u64);
+        let compact = !indices.is_empty() && dead * 2 >= records.max(1);
+        let (writer, writer_index, bytes, segments) = if compact {
+            // Rewrite the live set into the next segment generation, then
+            // unlink the old files. Idempotent on crash (see module docs).
+            let next = indices.last().copied().unwrap_or(0) + 1;
+            let path = segment_path(dir, next);
+            let (mut writer, _) = FrameWriter::open(&path)?;
+            for (digest, doc) in &docs {
+                writer.append(&encode_put(*digest, doc))?;
+            }
+            writer.sync()?;
+            for &index in &indices {
+                let old = segment_path(dir, index);
+                fs::remove_file(&old).map_err(|e| io_err(&old, "remove", e))?;
+            }
+            let bytes = writer.bytes();
+            (writer, next, bytes, 1)
+        } else {
+            let index = indices.last().copied().unwrap_or(1);
+            let mut bytes = 0;
+            for &i in &indices {
+                bytes += read_frames(&segment_path(dir, i))?.valid_bytes;
+            }
+            let (writer, _) = FrameWriter::open(&segment_path(dir, index))?;
+            (writer, index, bytes, indices.len().max(1) as u64)
+        };
+
+        let live: BTreeMap<u64, ()> = docs.keys().map(|&d| (d, ())).collect();
+        let out: Vec<(u64, Vec<u8>)> = docs.into_iter().collect();
+        Ok((
+            SegmentLog {
+                dir: dir.to_path_buf(),
+                writer,
+                writer_index,
+                live,
+                bytes,
+                segments,
+            },
+            out,
+        ))
+    }
+
+    fn roll_if_full(&mut self) -> Result<(), StoreError> {
+        if self.writer.bytes() < Self::SEGMENT_BYTES {
+            return Ok(());
+        }
+        self.writer.sync()?;
+        self.writer_index += 1;
+        let path = segment_path(&self.dir, self.writer_index);
+        let (writer, _) = FrameWriter::open(&path)?;
+        self.writer = writer;
+        self.segments += 1;
+        Ok(())
+    }
+
+    /// Appends (and fsyncs) a put. Returns `false` without touching disk
+    /// when the digest is already live — dedup-on-write.
+    pub fn put(&mut self, digest: u64, doc: &[u8]) -> Result<bool, StoreError> {
+        if self.live.contains_key(&digest) {
+            return Ok(false);
+        }
+        self.roll_if_full()?;
+        let before = self.writer.bytes();
+        self.writer.append(&encode_put(digest, doc))?;
+        self.writer.sync()?;
+        self.bytes += self.writer.bytes() - before;
+        self.live.insert(digest, ());
+        Ok(true)
+    }
+
+    /// Appends (and fsyncs) a tombstone. Returns `false` without touching
+    /// disk when the digest is not live.
+    pub fn delete(&mut self, digest: u64) -> Result<bool, StoreError> {
+        if self.live.remove(&digest).is_none() {
+            return Ok(false);
+        }
+        self.roll_if_full()?;
+        let before = self.writer.bytes();
+        let mut e = Encoder::new();
+        e.put_u8(TAG_TOMBSTONE).put_u64(digest);
+        self.writer.append(&e.finish())?;
+        self.writer.sync()?;
+        self.bytes += self.writer.bytes() - before;
+        Ok(true)
+    }
+
+    /// Live instances.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no instance is live.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Segment files on disk.
+    pub fn segments(&self) -> u64 {
+        self.segments
+    }
+
+    /// Intact bytes across all segments (live and dead records).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+fn encode_put(digest: u64, doc: &[u8]) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u8(TAG_PUT).put_u64(digest).put_bytes(doc);
+    e.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ukc-seg-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn puts_dedupe_and_survive_reopen() {
+        let dir = temp_dir("dedupe");
+        {
+            let (mut log, live) = SegmentLog::open(&dir).unwrap();
+            assert!(live.is_empty());
+            assert!(log.put(7, b"doc-7").unwrap());
+            assert!(!log.put(7, b"doc-7-again").unwrap());
+            assert!(log.put(9, b"doc-9").unwrap());
+            assert_eq!(log.len(), 2);
+        }
+        let (log, live) = SegmentLog::open(&dir).unwrap();
+        assert_eq!(log.len(), 2);
+        // The dedup means the first document wins.
+        assert_eq!(live, vec![(7, b"doc-7".to_vec()), (9, b"doc-9".to_vec())]);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn tombstones_remove_and_compaction_reclaims() {
+        let dir = temp_dir("tombstone");
+        {
+            let (mut log, _) = SegmentLog::open(&dir).unwrap();
+            for d in 0..10u64 {
+                log.put(d, format!("doc-{d}").as_bytes()).unwrap();
+            }
+            for d in 0..8u64 {
+                assert!(log.delete(d).unwrap());
+            }
+            assert!(!log.delete(42).unwrap());
+            assert_eq!(log.len(), 2);
+        }
+        // 10 puts + 8 tombstones, 2 live: compaction triggers on open and
+        // rewrites into a fresh single segment.
+        let (log, live) = SegmentLog::open(&dir).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.segments(), 1);
+        assert_eq!(live.iter().map(|(d, _)| *d).collect::<Vec<_>>(), vec![8, 9]);
+        // The compacted generation holds exactly the live records.
+        let files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(files.len(), 1);
+        // Reopening the compacted store is stable (no further rewrite).
+        let (log, live) = SegmentLog::open(&dir).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(live.len(), 2);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn torn_tail_in_newest_segment_drops_only_the_tail() {
+        let dir = temp_dir("torn");
+        {
+            let (mut log, _) = SegmentLog::open(&dir).unwrap();
+            log.put(1, b"one").unwrap();
+            log.put(2, b"two").unwrap();
+        }
+        // Append half a frame of garbage, as a crash mid-append would.
+        let seg = segment_path(&dir, 1);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        bytes.extend_from_slice(&[9, 0, 0, 0, 1, 2]);
+        std::fs::write(&seg, &bytes).unwrap();
+        let (log, live) = SegmentLog::open(&dir).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(live.iter().map(|(d, _)| *d).collect::<Vec<_>>(), vec![1, 2]);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

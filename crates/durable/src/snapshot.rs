@@ -1,0 +1,206 @@
+//! Periodic stream snapshots: one file per stream, replacing the need to
+//! replay its full WAL history.
+//!
+//! A snapshot is written *atomically* — temp file, fsync, rename — so a
+//! crash mid-snapshot leaves the previous snapshot (or none) intact, and
+//! recovery never sees a half-written state. The file body is one CRC
+//! frame wrapping:
+//!
+//! ```text
+//! [epochs u64] [state digest u64] [payload bytes ...]
+//! ```
+//!
+//! `epochs` is the number of WAL push records the snapshot covers:
+//! recovery restores the payload and replays only records with a larger
+//! epoch. `digest` is the stream's canonical state digest at snapshot
+//! time; the serving layer verifies the restored state reproduces it and
+//! falls back to full WAL replay on any mismatch — a snapshot can never
+//! make recovery *wrong*, only faster.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::codec::{Decoder, Encoder};
+use crate::frame::{crc32, io_err, FRAME_HEADER};
+use crate::StoreError;
+
+/// One decoded snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    /// WAL push records covered (recovery replays epochs beyond this).
+    pub epochs: u64,
+    /// The stream's canonical state digest at snapshot time.
+    pub digest: u64,
+    /// Opaque state payload (encoded by the serving layer).
+    pub payload: Vec<u8>,
+}
+
+/// The snapshot directory handle.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("s{seq:06x}.snap"))
+}
+
+impl SnapshotStore {
+    /// Opens (or creates) the snapshot directory.
+    pub fn open(dir: &Path) -> Result<Self, StoreError> {
+        fs::create_dir_all(dir).map_err(|e| io_err(dir, "create_dir", e))?;
+        Ok(SnapshotStore {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// Atomically writes the snapshot for stream `seq`, replacing any
+    /// previous one.
+    pub fn write(&self, seq: u64, snapshot: &Snapshot) -> Result<(), StoreError> {
+        let mut e = Encoder::new();
+        e.put_u64(snapshot.epochs)
+            .put_u64(snapshot.digest)
+            .put_bytes(&snapshot.payload);
+        let body = e.finish();
+        let mut framed = Vec::with_capacity(FRAME_HEADER as usize + body.len());
+        framed.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&crc32(&body).to_le_bytes());
+        framed.extend_from_slice(&body);
+
+        let path = snapshot_path(&self.dir, seq);
+        let tmp = path.with_extension("snap.tmp");
+        fs::write(&tmp, &framed).map_err(|e| io_err(&tmp, "write", e))?;
+        let file = fs::File::open(&tmp).map_err(|e| io_err(&tmp, "open", e))?;
+        file.sync_all().map_err(|e| io_err(&tmp, "fsync", e))?;
+        drop(file);
+        fs::rename(&tmp, &path).map_err(|e| io_err(&path, "rename", e))?;
+        Ok(())
+    }
+
+    /// Loads the snapshot for stream `seq`. `Ok(None)` when absent *or*
+    /// damaged — a bad snapshot is a lost optimization, not an error,
+    /// because the WAL retains everything it covered until a newer
+    /// snapshot lands.
+    pub fn load(&self, seq: u64) -> Result<Option<Snapshot>, StoreError> {
+        let path = snapshot_path(&self.dir, seq);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io_err(&path, "read", e)),
+        };
+        if bytes.len() < FRAME_HEADER as usize {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        let body = match bytes.get(FRAME_HEADER as usize..FRAME_HEADER as usize + len) {
+            Some(b) if crc32(b) == crc => b,
+            _ => return Ok(None),
+        };
+        let mut d = Decoder::new(body);
+        let (epochs, digest) = match (d.u64(), d.u64()) {
+            (Some(e), Some(g)) => (e, g),
+            _ => return Ok(None),
+        };
+        let payload = match d.bytes() {
+            Some(p) => p.to_vec(),
+            None => return Ok(None),
+        };
+        Ok(Some(Snapshot {
+            epochs,
+            digest,
+            payload,
+        }))
+    }
+
+    /// Removes the snapshot for stream `seq` (stream deletion).
+    pub fn remove(&self, seq: u64) -> Result<(), StoreError> {
+        let path = snapshot_path(&self.dir, seq);
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err(&path, "remove", e)),
+        }
+    }
+
+    /// Number of snapshot files on disk.
+    pub fn count(&self) -> Result<u64, StoreError> {
+        let mut n = 0;
+        for entry in fs::read_dir(&self.dir).map_err(|e| io_err(&self.dir, "read_dir", e))? {
+            let entry = entry.map_err(|e| io_err(&self.dir, "read_dir", e))?;
+            if entry.file_name().to_string_lossy().ends_with(".snap") {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ukc-snap-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn write_load_replace_remove() {
+        let dir = temp_dir("lifecycle");
+        let store = SnapshotStore::open(&dir).unwrap();
+        assert_eq!(store.load(1).unwrap(), None);
+        let first = Snapshot {
+            epochs: 4,
+            digest: 0xdead_beef,
+            payload: b"state-a".to_vec(),
+        };
+        store.write(1, &first).unwrap();
+        assert_eq!(store.load(1).unwrap(), Some(first));
+        let second = Snapshot {
+            epochs: 9,
+            digest: 0xfeed_f00d,
+            payload: b"state-b".to_vec(),
+        };
+        store.write(1, &second).unwrap();
+        assert_eq!(store.load(1).unwrap(), Some(second));
+        assert_eq!(store.count().unwrap(), 1);
+        store.remove(1).unwrap();
+        store.remove(1).unwrap(); // idempotent
+        assert_eq!(store.load(1).unwrap(), None);
+        assert_eq!(store.count().unwrap(), 0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn damaged_snapshots_load_as_none() {
+        let dir = temp_dir("damaged");
+        let store = SnapshotStore::open(&dir).unwrap();
+        let snap = Snapshot {
+            epochs: 2,
+            digest: 42,
+            payload: vec![1, 2, 3, 4, 5, 6, 7, 8],
+        };
+        store.write(3, &snap).unwrap();
+        let path = snapshot_path(&dir, 3);
+        let good = fs::read(&path).unwrap();
+        // Truncated.
+        fs::write(&path, &good[..good.len() - 3]).unwrap();
+        assert_eq!(store.load(3).unwrap(), None);
+        // Bit flip.
+        let mut flipped = good.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x80;
+        fs::write(&path, &flipped).unwrap();
+        assert_eq!(store.load(3).unwrap(), None);
+        // Intact again.
+        fs::write(&path, &good).unwrap();
+        assert_eq!(store.load(3).unwrap(), Some(snap));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

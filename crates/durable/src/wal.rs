@@ -1,0 +1,269 @@
+//! The stream write-ahead log: one fsync'd record per stream lifecycle
+//! event.
+//!
+//! Record payloads, framed by [`crate::frame`]:
+//!
+//! ```text
+//! CREATE [1u8] [seq u64] [body bytes ...]   // the POST /streams body
+//! PUSH   [2u8] [seq u64] [epoch u64] [body bytes ...]  // the push body
+//! DELETE [3u8] [seq u64]
+//! ```
+//!
+//! The WAL stores the *wire bodies*, not decoded state: recovery replays
+//! each push through the same parse-and-fold path the live server ran,
+//! so the rebuilt stream state is bit-identical by determinism of the
+//! fold, not by trusting a separate serializer. Push records are the
+//! durability point of the ack contract — `POST /streams/{id}/push`
+//! responds only after its record is fsync'd.
+//!
+//! The WAL is compacted on open (see [`StreamWal::rewrite`]): deleted
+//! streams vanish and pushes already covered by a snapshot are dropped,
+//! so the file stays proportional to the live tail, not stream history.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::codec::{Decoder, Encoder};
+use crate::frame::{io_err, FrameWriter};
+use crate::StoreError;
+
+const TAG_CREATE: u8 = 1;
+const TAG_PUSH: u8 = 2;
+const TAG_DELETE: u8 = 3;
+
+/// One decoded WAL record.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalRecord {
+    /// Stream registration: the `POST /streams` body.
+    Create {
+        /// Server-assigned stream sequence number.
+        seq: u64,
+        /// The creation request body.
+        body: Vec<u8>,
+    },
+    /// One acked epoch: the `POST /streams/{id}/push` body.
+    Push {
+        /// Stream sequence number.
+        seq: u64,
+        /// 1-based epoch index within the stream.
+        epoch: u64,
+        /// The push request body.
+        body: Vec<u8>,
+    },
+    /// Stream deletion.
+    Delete {
+        /// Stream sequence number.
+        seq: u64,
+    },
+}
+
+impl WalRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        match self {
+            WalRecord::Create { seq, body } => {
+                e.put_u8(TAG_CREATE).put_u64(*seq).put_bytes(body);
+            }
+            WalRecord::Push { seq, epoch, body } => {
+                e.put_u8(TAG_PUSH)
+                    .put_u64(*seq)
+                    .put_u64(*epoch)
+                    .put_bytes(body);
+            }
+            WalRecord::Delete { seq } => {
+                e.put_u8(TAG_DELETE).put_u64(*seq);
+            }
+        }
+        e.finish()
+    }
+
+    fn decode(path: &Path, payload: &[u8]) -> Result<Self, StoreError> {
+        let corrupt = |detail: &str| StoreError::CorruptSegment {
+            path: path.to_path_buf(),
+            offset: 0,
+            detail: detail.into(),
+        };
+        let mut d = Decoder::new(payload);
+        let tag = d.u8().ok_or_else(|| corrupt("wal record missing tag"))?;
+        let seq = d.u64().ok_or_else(|| corrupt("wal record missing seq"))?;
+        match tag {
+            TAG_CREATE => Ok(WalRecord::Create {
+                seq,
+                body: d
+                    .bytes()
+                    .ok_or_else(|| corrupt("create record missing body"))?
+                    .to_vec(),
+            }),
+            TAG_PUSH => {
+                let epoch = d
+                    .u64()
+                    .ok_or_else(|| corrupt("push record missing epoch"))?;
+                Ok(WalRecord::Push {
+                    seq,
+                    epoch,
+                    body: d
+                        .bytes()
+                        .ok_or_else(|| corrupt("push record missing body"))?
+                        .to_vec(),
+                })
+            }
+            TAG_DELETE => Ok(WalRecord::Delete { seq }),
+            other => Err(corrupt(&format!("unknown wal record tag {other}"))),
+        }
+    }
+}
+
+/// The open WAL: an append handle plus replay facts.
+#[derive(Debug)]
+pub struct StreamWal {
+    path: PathBuf,
+    writer: FrameWriter,
+}
+
+impl StreamWal {
+    /// Opens (or creates) `dir/streams.wal`, truncating a torn tail, and
+    /// returns every intact record in append order.
+    pub fn open(dir: &Path) -> Result<(Self, Vec<WalRecord>, bool), StoreError> {
+        fs::create_dir_all(dir).map_err(|e| io_err(dir, "create_dir", e))?;
+        let path = dir.join("streams.wal");
+        let (writer, read) = FrameWriter::open(&path)?;
+        let mut records = Vec::with_capacity(read.frames.len());
+        for payload in &read.frames {
+            records.push(WalRecord::decode(&path, payload)?);
+        }
+        Ok((StreamWal { path, writer }, records, read.torn_tail))
+    }
+
+    /// Appends one record; `sync` controls whether it is fsync'd before
+    /// returning (push acks must sync; a create before its 201 likewise).
+    pub fn append(&mut self, record: &WalRecord, sync: bool) -> Result<(), StoreError> {
+        self.writer.append(&record.encode())?;
+        if sync {
+            self.writer.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Forces appended records to stable storage.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.writer.sync()
+    }
+
+    /// Intact WAL bytes.
+    pub fn bytes(&self) -> u64 {
+        self.writer.bytes()
+    }
+
+    /// Rewrites the WAL to exactly `records` (compaction): the survivors
+    /// are written to a sibling temp file, fsync'd, and renamed over the
+    /// log, so a crash mid-rewrite leaves the original intact.
+    pub fn rewrite(&mut self, records: &[WalRecord]) -> Result<(), StoreError> {
+        let tmp = self.path.with_extension("wal.tmp");
+        let _ = fs::remove_file(&tmp);
+        let (mut writer, _) = FrameWriter::open(&tmp)?;
+        for record in records {
+            writer.append(&record.encode())?;
+        }
+        writer.sync()?;
+        drop(writer);
+        fs::rename(&tmp, &self.path).map_err(|e| io_err(&self.path, "rename", e))?;
+        let (writer, _) = FrameWriter::open(&self.path)?;
+        self.writer = writer;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ukc-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn push(seq: u64, epoch: u64, body: &str) -> WalRecord {
+        WalRecord::Push {
+            seq,
+            epoch,
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn records_round_trip_in_order() {
+        let dir = temp_dir("roundtrip");
+        let wanted = vec![
+            WalRecord::Create {
+                seq: 1,
+                body: b"{\"k\":2}".to_vec(),
+            },
+            push(1, 1, "{\"points\":[]}"),
+            push(1, 2, "chunk-2"),
+            WalRecord::Delete { seq: 1 },
+        ];
+        {
+            let (mut wal, records, torn) = StreamWal::open(&dir).unwrap();
+            assert!(records.is_empty());
+            assert!(!torn);
+            for r in &wanted {
+                wal.append(r, true).unwrap();
+            }
+        }
+        let (wal, records, torn) = StreamWal::open(&dir).unwrap();
+        assert_eq!(records, wanted);
+        assert!(!torn);
+        assert!(wal.bytes() > 0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn torn_tail_drops_only_the_unacked_record() {
+        let dir = temp_dir("torn");
+        {
+            let (mut wal, _, _) = StreamWal::open(&dir).unwrap();
+            wal.append(&push(1, 1, "acked"), true).unwrap();
+            wal.append(&push(1, 2, "never-acked"), false).unwrap();
+            wal.sync().unwrap();
+        }
+        let path = dir.join("streams.wal");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let (_, records, torn) = StreamWal::open(&dir).unwrap();
+        assert!(torn);
+        assert_eq!(records, vec![push(1, 1, "acked")]);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn rewrite_compacts_to_exactly_the_survivors() {
+        let dir = temp_dir("rewrite");
+        {
+            let (mut wal, _, _) = StreamWal::open(&dir).unwrap();
+            for e in 1..=10 {
+                wal.append(&push(1, e, &format!("epoch-{e}")), false)
+                    .unwrap();
+            }
+            wal.sync().unwrap();
+            let survivors = vec![push(1, 9, "epoch-9"), push(1, 10, "epoch-10")];
+            wal.rewrite(&survivors).unwrap();
+            // The handle keeps appending after a rewrite.
+            wal.append(&push(1, 11, "epoch-11"), true).unwrap();
+        }
+        let (_, records, _) = StreamWal::open(&dir).unwrap();
+        assert_eq!(
+            records,
+            vec![
+                push(1, 9, "epoch-9"),
+                push(1, 10, "epoch-10"),
+                push(1, 11, "epoch-11")
+            ]
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

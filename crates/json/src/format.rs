@@ -25,7 +25,7 @@
 use crate::Json;
 use ukc_core::{Report, Solution};
 use ukc_metric::Point;
-use ukc_uncertain::{UncertainPoint, UncertainSet};
+use ukc_uncertain::{UncertainPoint, UncertainPointError, UncertainSet};
 
 /// One uncertain point on disk.
 #[derive(Clone, Debug)]
@@ -123,6 +123,11 @@ impl std::fmt::Display for FormatError {
 
 impl std::error::Error for FormatError {}
 
+/// Constructor slot for [`JsonInstance::to_set_with`]: either the
+/// renormalizing [`UncertainPoint::new`] or the bit-preserving
+/// [`UncertainPoint::from_normalized`].
+type MakePoint = fn(Vec<Point>, Vec<f64>) -> Result<UncertainPoint<Point>, UncertainPointError>;
+
 fn field<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, FormatError> {
     doc.get(key)
         .ok_or_else(|| FormatError::Schema(format!("missing field {key:?}")))
@@ -196,7 +201,31 @@ impl JsonInstance {
     }
 
     /// Validates and converts to the library representation.
+    ///
+    /// Probabilities are renormalized to sum exactly to 1 (the
+    /// [`UncertainPoint::new`] contract) — the right behavior for raw
+    /// external input.
     pub fn to_set(&self) -> Result<UncertainSet<Point>, FormatError> {
+        self.to_set_with(UncertainPoint::new)
+    }
+
+    /// Like [`JsonInstance::to_set`], but keeps the stored probabilities
+    /// bit-for-bit instead of renormalizing them.
+    ///
+    /// Renormalization is not idempotent at the ulp level: dividing an
+    /// already-normalized distribution by its float sum (close to one
+    /// but rarely exactly one) shifts every probability. A document
+    /// produced by [`JsonInstance::from_set`] holds probabilities a live
+    /// server already normalized, so rebuilding it must go through
+    /// [`UncertainPoint::from_normalized`] or the reconstructed set's
+    /// digest drifts from the one recorded at write time. Use this for
+    /// trusted round-trips (e.g. durable-store recovery), never for
+    /// client-supplied input.
+    pub fn to_set_verbatim(&self) -> Result<UncertainSet<Point>, FormatError> {
+        self.to_set_with(UncertainPoint::from_normalized)
+    }
+
+    fn to_set_with(&self, make: MakePoint) -> Result<UncertainSet<Point>, FormatError> {
         if self.points.is_empty() {
             return Err(FormatError::Empty);
         }
@@ -220,7 +249,7 @@ impl JsonInstance {
                     _ => FormatError::NonFinite { point: i },
                 })?);
             }
-            let up = UncertainPoint::new(locs, jp.probs.clone())
+            let up = make(locs, jp.probs.clone())
                 .map_err(|source| FormatError::BadPoint { point: i, source })?;
             points.push(up);
         }
@@ -391,6 +420,26 @@ mod tests {
                 assert!((pa - pb).abs() < 1e-15);
             }
         }
+    }
+
+    #[test]
+    fn verbatim_roundtrip_preserves_probs_bit_for_bit() {
+        // Random distributions rarely sum to exactly 1.0 after the
+        // constructor's normalizing divide, so `to_set` shifts them by
+        // an ulp on every round-trip. The verbatim path must not: the
+        // durable store's recovery digest check depends on it.
+        let set = clustered(9, 100, 3, 2, 4, 5.0, 1.5, ProbModel::Random);
+        let text = JsonInstance::from_set(&set).to_json().compact();
+        let back = JsonInstance::parse(&text)
+            .unwrap()
+            .to_set_verbatim()
+            .unwrap();
+        assert_eq!(set.n(), back.n());
+        for (a, b) in set.iter().zip(back.iter()) {
+            assert_eq!(a.locations(), b.locations());
+            assert_eq!(a.probs(), b.probs());
+        }
+        assert_eq!(ukc_core::digest_set(&set), ukc_core::digest_set(&back));
     }
 
     #[test]

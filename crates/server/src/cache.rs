@@ -25,15 +25,23 @@ use ukc_core::{CandidatePolicy, CertainStrategy, SolverConfig};
 pub struct SolveKey {
     /// [`ukc_core::Problem::instance_digest`] of the problem.
     pub digest: u64,
+    /// The underlying *set* digest (the instance's content ID, or a
+    /// stream's state digest). Not part of what distinguishes keys —
+    /// `digest` already covers it — but carried so deletes can evict
+    /// every entry derived from one instance or stream state with
+    /// [`LruCache::retain`].
+    pub set_digest: u64,
     /// Canonical rendering of the configuration.
     pub config: String,
 }
 
 impl SolveKey {
-    /// Builds the key for `(digest, config)`.
-    pub fn new(digest: u64, config: &SolverConfig) -> Self {
+    /// Builds the key for `(digest, config)`; `set_digest` tags the key
+    /// with its source set for delete-time eviction.
+    pub fn new(digest: u64, set_digest: u64, config: &SolverConfig) -> Self {
         SolveKey {
             digest,
+            set_digest,
             config: config_key(config),
         }
     }
@@ -125,6 +133,13 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.map.insert(key, (self.tick, value));
     }
 
+    /// Keeps only the entries whose key satisfies `keep` (delete-time
+    /// eviction: drop everything derived from a removed instance or
+    /// stream).
+    pub fn retain(&mut self, mut keep: impl FnMut(&K) -> bool) {
+        self.map.retain(|k, _| keep(k));
+    }
+
     /// Current number of entries.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -167,6 +182,18 @@ mod tests {
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.get(&"a"), Some(&10));
         assert_eq!(cache.get(&"b"), Some(&2));
+    }
+
+    #[test]
+    fn retain_evicts_matching_keys() {
+        let mut cache = LruCache::new(4);
+        cache.insert(("a", 1), 10);
+        cache.insert(("a", 2), 20);
+        cache.insert(("b", 1), 30);
+        cache.retain(|(name, _)| *name != "a");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&("b", 1)), Some(&30));
+        assert_eq!(cache.get(&("a", 1)), None);
     }
 
     #[test]

@@ -144,6 +144,28 @@ impl From<SolveError> for ApiError {
     }
 }
 
+impl From<ukc_durable::StoreError> for ApiError {
+    /// Durability failures: an I/O failure (disk gone, out of space,
+    /// permissions) is a retryable `503 storage_unavailable`; CRC-failed
+    /// acknowledged data is a `500 corrupt_segment` naming the offending
+    /// file, because retrying cannot help and an operator must look.
+    fn from(e: ukc_durable::StoreError) -> Self {
+        use ukc_durable::StoreError;
+        match &e {
+            StoreError::Io { .. } | StoreError::NotADirectory { .. } => ApiError {
+                status: 503,
+                kind: "storage_unavailable",
+                message: e.to_string(),
+            },
+            StoreError::CorruptSegment { .. } => ApiError {
+                status: 500,
+                kind: "corrupt_segment",
+                message: e.to_string(),
+            },
+        }
+    }
+}
+
 impl From<FormatError> for ApiError {
     fn from(e: FormatError) -> Self {
         match &e {
@@ -193,6 +215,25 @@ mod tests {
             .and_then(Json::as_str)
             .unwrap()
             .contains("deadbeef"));
+    }
+
+    #[test]
+    fn store_errors_map_to_503_or_500() {
+        let e: ApiError = ukc_durable::StoreError::Io {
+            path: "/data/wal".into(),
+            op: "fsync",
+            source: std::io::Error::other("disk gone"),
+        }
+        .into();
+        assert_eq!((e.status, e.kind), (503, "storage_unavailable"));
+        let e: ApiError = ukc_durable::StoreError::CorruptSegment {
+            path: "/data/instances/seg-000001.log".into(),
+            offset: 64,
+            detail: "crc mismatch".into(),
+        }
+        .into();
+        assert_eq!((e.status, e.kind), (500, "corrupt_segment"));
+        assert!(e.message.contains("seg-000001.log"));
     }
 
     #[test]

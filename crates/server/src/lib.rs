@@ -59,6 +59,7 @@ pub mod client;
 pub mod error;
 pub mod http;
 pub mod metrics;
+pub mod persist;
 pub mod scheduler;
 pub mod server;
 pub mod store;

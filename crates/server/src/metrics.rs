@@ -165,8 +165,10 @@ impl Metrics {
     }
 
     /// The `/metrics` document body (cache size/capacity, instance and
-    /// stream counts, and the shared worker pool's occupancy are owned
-    /// elsewhere and passed in).
+    /// stream counts, the shared worker pool's occupancy, and — when the
+    /// server runs with `--data-dir` — the durability gauges are owned
+    /// elsewhere and passed in; `durability: None` omits the section, so
+    /// in-memory servers emit exactly the historical document).
     pub fn to_json(
         &self,
         cache_len: usize,
@@ -174,6 +176,7 @@ impl Metrics {
         instances: usize,
         streams: usize,
         pool: PoolStats,
+        durability: Option<Json>,
     ) -> Json {
         let secs = |c: &AtomicU64| Json::from(get(c) as f64 / 1e9);
         let hits = get(&self.cache_hits);
@@ -184,7 +187,7 @@ impl Metrics {
         } else {
             hits as f64 / lookups as f64
         };
-        Json::obj([
+        let mut doc = Json::obj([
             (
                 "requests",
                 Json::obj(ROUTES.iter().enumerate().map(|(i, (_, name))| {
@@ -255,7 +258,11 @@ impl Metrics {
             ),
             ("instances", Json::from(instances)),
             ("streams", Json::from(streams)),
-        ])
+        ]);
+        if let (Json::Obj(pairs), Some(d)) = (&mut doc, durability) {
+            pairs.push(("durability".into(), d));
+        }
+        doc
     }
 }
 
@@ -285,7 +292,11 @@ mod tests {
                 tasks: 11,
                 chunks: 400,
             },
+            None,
         );
+        // No durability section without a durability layer — the
+        // in-memory document is exactly the historical one.
+        assert!(doc.get("durability").is_none());
         let req = doc.get("requests").unwrap();
         assert_eq!(req.get("healthz").and_then(Json::as_f64), Some(1.0));
         assert_eq!(req.get("instances_solve").and_then(Json::as_f64), Some(2.0));
@@ -312,7 +323,23 @@ mod tests {
         m.record_solve(&report);
         m.record_solve(&report);
         m.record_solve_error();
-        let doc = m.to_json(0, 0, 0, 0, PoolStats::default());
+        // A durability document passes through under its key.
+        let with_durability = m.to_json(
+            0,
+            0,
+            0,
+            0,
+            PoolStats::default(),
+            Some(Json::obj([("wal_bytes", Json::from(128.0))])),
+        );
+        assert_eq!(
+            with_durability
+                .get("durability")
+                .and_then(|d| d.get("wal_bytes"))
+                .and_then(Json::as_f64),
+            Some(128.0)
+        );
+        let doc = m.to_json(0, 0, 0, 0, PoolStats::default(), None);
         let solves = doc.get("solves").unwrap();
         assert_eq!(solves.get("ok").and_then(Json::as_f64), Some(2.0));
         assert_eq!(solves.get("errors").and_then(Json::as_f64), Some(1.0));

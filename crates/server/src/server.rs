@@ -20,10 +20,13 @@ use crate::cache::{LruCache, SolveKey};
 use crate::error::ApiError;
 use crate::http::{read_request, write_response, HttpError, Request, Response};
 use crate::metrics::{Metrics, Route};
+use crate::persist::{self, RecoveryStats};
 use crate::scheduler::Scheduler;
 use crate::store::InstanceStore;
 use crate::streams::StreamStore;
 use ukc_core::{digest_hex, Problem, Solution};
+use ukc_durable::snapshot::Snapshot;
+use ukc_durable::{DurableStore, StoreError};
 use ukc_json::format::{solution_document, JsonInstance};
 use ukc_json::Json;
 use ukc_metric::Point;
@@ -45,6 +48,14 @@ pub struct ServerConfig {
     pub cache_cap: usize,
     /// Maximum accepted request-body size in bytes.
     pub max_body_bytes: usize,
+    /// Durable persistence root (`ukc serve --data-dir`). `None` — the
+    /// default — serves purely in memory, byte-identical to a server
+    /// built before persistence existed.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// Write a stream snapshot every this many pushed epochs (0 disables
+    /// snapshots; recovery then replays the full WAL). Only meaningful
+    /// with `data_dir` set.
+    pub snapshot_interval: u64,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +65,8 @@ impl Default for ServerConfig {
             workers: 0,
             cache_cap: 256,
             max_body_bytes: 8 * 1024 * 1024,
+            data_dir: None,
+            snapshot_interval: 16,
         }
     }
 }
@@ -68,26 +81,46 @@ pub(crate) struct AppState {
     metrics: Arc<Metrics>,
     max_body_bytes: usize,
     started: Instant,
+    /// The durability layer, present only with `data_dir` configured.
+    /// In-memory mode carries `None` and every persistence branch in the
+    /// handlers is a single untaken `if` — zero overhead on the solve
+    /// hot path.
+    durable: Option<DurableStore>,
+    snapshot_interval: u64,
+    recovery: RecoveryStats,
 }
 
 impl AppState {
-    fn new(config: &ServerConfig) -> Self {
+    fn new(config: &ServerConfig) -> Result<Self, StoreError> {
         let workers = if config.workers == 0 {
             ukc_pool::default_threads()
         } else {
             config.workers
         };
+        let store = InstanceStore::new();
+        let streams = StreamStore::new();
+        let (durable, recovery) = match &config.data_dir {
+            None => (None, RecoveryStats::default()),
+            Some(dir) => {
+                let (durable, recovered) = DurableStore::open(dir)?;
+                let stats = persist::recover(dir, &recovered, &store, &streams)?;
+                (Some(durable), stats)
+            }
+        };
         let metrics = Arc::new(Metrics::new());
-        AppState {
-            store: InstanceStore::new(),
-            streams: StreamStore::new(),
+        Ok(AppState {
+            store,
+            streams,
             cache: Mutex::new(LruCache::new(config.cache_cap)),
             cache_cap: config.cache_cap,
             scheduler: Scheduler::new(workers, Arc::clone(&metrics)),
             metrics,
             max_body_bytes: config.max_body_bytes,
             started: Instant::now(),
-        }
+            durable,
+            snapshot_interval: config.snapshot_interval,
+            recovery,
+        })
     }
 }
 
@@ -131,11 +164,18 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Binds and serves in background threads, returning a handle.
+fn store_io_err(e: StoreError) -> std::io::Error {
+    std::io::Error::other(e.to_string())
+}
+
+/// Binds and serves in background threads, returning a handle. With
+/// [`ServerConfig::data_dir`] set, opening includes recovery: the
+/// instance store and every live stream are rebuilt from disk before the
+/// first request is accepted.
 pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
-    let state = Arc::new(AppState::new(&config));
+    let state = Arc::new(AppState::new(&config).map_err(store_io_err)?);
     let shutdown = Arc::new(AtomicBool::new(false));
     let accept = {
         let state = Arc::clone(&state);
@@ -157,8 +197,19 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
 /// scrape it when binding port 0.
 pub fn serve_blocking(config: ServerConfig) -> std::io::Result<()> {
     let listener = TcpListener::bind(&config.addr)?;
+    let state = Arc::new(AppState::new(&config).map_err(store_io_err)?);
+    if state.durable.is_some() {
+        let r = &state.recovery;
+        eprintln!(
+            "ukc-server recovered {} instance(s), {} stream(s) ({} epoch(s) replayed, {} snapshot restore(s)){}",
+            r.instances,
+            r.streams,
+            r.replayed_epochs,
+            r.snapshot_restores,
+            if r.torn_tail { ", dropped a torn wal tail" } else { "" },
+        );
+    }
     eprintln!("ukc-server listening on {}", listener.local_addr()?);
-    let state = Arc::new(AppState::new(&config));
     accept_loop(listener, state, Arc::new(AtomicBool::new(false)));
     Ok(())
 }
@@ -337,6 +388,28 @@ fn handle_healthz(state: &AppState) -> Handled {
 
 fn handle_metrics(state: &AppState) -> Handled {
     let cache_len = state.cache.lock().expect("cache lock poisoned").len();
+    let durability = state.durable.as_ref().map(|durable| {
+        let stats = durable.stats();
+        let r = &state.recovery;
+        Json::obj([
+            ("wal_bytes", Json::from(stats.wal_bytes as f64)),
+            ("segments", Json::from(stats.segments as f64)),
+            ("segment_bytes", Json::from(stats.segment_bytes as f64)),
+            ("snapshots", Json::from(stats.snapshots as f64)),
+            ("fsync_count", Json::from(stats.fsync_count as f64)),
+            ("fsync_seconds", Json::from(stats.fsync_seconds)),
+            (
+                "recovery",
+                Json::obj([
+                    ("instances", Json::from(r.instances as f64)),
+                    ("streams", Json::from(r.streams as f64)),
+                    ("replayed_epochs", Json::from(r.replayed_epochs as f64)),
+                    ("snapshot_restores", Json::from(r.snapshot_restores as f64)),
+                    ("torn_tail", Json::from(r.torn_tail)),
+                ]),
+            ),
+        ])
+    });
     Ok((
         200,
         state.metrics.to_json(
@@ -345,14 +418,30 @@ fn handle_metrics(state: &AppState) -> Handled {
             state.store.len(),
             state.streams.len(),
             ukc_pool::global().stats(),
+            durability,
         ),
     ))
+}
+
+/// Durably stores `set`'s canonical document before it becomes visible
+/// in memory (create and append acks imply durability). The canonical
+/// re-serialization — not the wire body — is stored so create and append
+/// persist identically; `ukc_json` round-trips `f64`s bit-exactly, so
+/// the recovered set digests to the same ID.
+fn persist_instance(state: &AppState, set: &UncertainSet<Point>) -> Result<(), ApiError> {
+    if let Some(durable) = &state.durable {
+        let digest = ukc_core::digest_set(set);
+        let doc = JsonInstance::from_set(set).to_json().compact();
+        durable.put_instance(digest, doc.as_bytes())?;
+    }
+    Ok(())
 }
 
 fn handle_instance_create(state: &AppState, request: &Request) -> Handled {
     let doc = api::parse_body(&request.body)?;
     let instance = JsonInstance::from_json(&doc).map_err(ApiError::from)?;
     let set = instance.to_set().map_err(ApiError::from)?;
+    persist_instance(state, &set)?;
     let (stored, created) = state.store.insert(set);
     let mut body = stored.summary();
     if let Json::Obj(pairs) = &mut body {
@@ -387,13 +476,24 @@ fn handle_instance_get(state: &AppState, id: &str) -> Handled {
 }
 
 fn handle_instance_delete(state: &AppState, id: &str) -> Handled {
-    if state.store.remove(id) {
-        Ok((
-            200,
-            Json::obj([("id", Json::from(id)), ("deleted", Json::from(true))]),
-        ))
-    } else {
-        Err(ApiError::instance_not_found(id))
+    match state.store.remove(id) {
+        Some(stored) => {
+            // Tombstone on disk before acking, then evict every cached
+            // solution derived from the deleted set (any k, any config).
+            if let Some(durable) = &state.durable {
+                durable.delete_instance(stored.digest)?;
+            }
+            state
+                .cache
+                .lock()
+                .expect("cache lock poisoned")
+                .retain(|key| key.set_digest != stored.digest);
+            Ok((
+                200,
+                Json::obj([("id", Json::from(id)), ("deleted", Json::from(true))]),
+            ))
+        }
+        None => Err(ApiError::instance_not_found(id)),
     }
 }
 
@@ -440,7 +540,9 @@ fn handle_instance_append(state: &AppState, id: &str, request: &Request) -> Hand
     }
     let mut points = stored.set.points().to_vec();
     points.extend(appended.points().iter().cloned());
-    let (grown, created) = state.store.insert(UncertainSet::new(points));
+    let grown_set = UncertainSet::new(points);
+    persist_instance(state, &grown_set)?;
+    let (grown, created) = state.store.insert(grown_set);
     let mut body = grown.summary();
     if let Json::Obj(pairs) = &mut body {
         pairs.push(("previous_id".into(), Json::from(id)));
@@ -475,6 +577,15 @@ fn handle_stream_create(state: &AppState, request: &Request) -> Handled {
     }
     let solver = builder.build().map_err(ApiError::from)?;
     let entry = state.streams.create(solver, solve.use_cache);
+    // The create record is durable before the 201 carries the ID out; a
+    // failed write rolls the in-memory entry back so memory and disk
+    // agree that the stream never existed.
+    if let Some(durable) = &state.durable {
+        if let Err(e) = durable.create_stream(entry.seq, &request.body) {
+            state.streams.remove(&entry.id);
+            return Err(e.into());
+        }
+    }
     Ok((201, stream_summary(&entry)))
 }
 
@@ -497,13 +608,31 @@ fn handle_stream_get(state: &AppState, id: &str) -> Handled {
 }
 
 fn handle_stream_delete(state: &AppState, id: &str) -> Handled {
-    if state.streams.remove(id) {
-        Ok((
-            200,
-            Json::obj([("id", Json::from(id)), ("deleted", Json::from(true))]),
-        ))
-    } else {
-        Err(ApiError::stream_not_found(id))
+    match state.streams.remove(id) {
+        Some(entry) => {
+            let digest = entry
+                .solver
+                .lock()
+                .expect("stream solver lock poisoned")
+                .digest();
+            if let Some(durable) = &state.durable {
+                durable.delete_stream(entry.seq)?;
+            }
+            // Evict the solutions cached for the stream's current state
+            // (the only digest still reachable through this stream; any
+            // older state's entries are keyed by digests no live request
+            // can produce, and age out of the LRU).
+            state
+                .cache
+                .lock()
+                .expect("cache lock poisoned")
+                .retain(|key| key.set_digest != digest);
+            Ok((
+                200,
+                Json::obj([("id", Json::from(id)), ("deleted", Json::from(true))]),
+            ))
+        }
+        None => Err(ApiError::stream_not_found(id)),
     }
 }
 
@@ -519,6 +648,26 @@ fn handle_stream_push(state: &AppState, id: &str, request: &Request) -> Handled 
         .ok_or_else(|| ApiError::stream_not_found(id))?;
     let mut solver = entry.solver.lock().expect("stream solver lock poisoned");
     let epoch = solver.push_chunk(chunk.points()).map_err(ApiError::from)?;
+    if let Some(durable) = &state.durable {
+        // The ack contract: the epoch's WAL record is fsync'd before the
+        // response leaves. On failure the client gets a retryable 503 and
+        // no ack — the epoch may be lost on restart, which is exactly the
+        // unacked-push contract.
+        durable.append_push(entry.seq, epoch.epoch, &request.body)?;
+        // Periodic snapshot so recovery replays only the WAL tail.
+        // Best-effort: a failed snapshot costs recovery time, not data.
+        if state.snapshot_interval > 0 && epoch.epoch % state.snapshot_interval == 0 {
+            let payload = persist::encode_snapshot(&solver.snapshot());
+            let _ = durable.write_snapshot(
+                entry.seq,
+                &Snapshot {
+                    epochs: epoch.epoch,
+                    digest: solver.digest(),
+                    payload,
+                },
+            );
+        }
+    }
     let report = solver.report();
     Ok((
         200,
@@ -614,7 +763,7 @@ fn run_solve(
     solve: &SolveRequest,
 ) -> Handled {
     let problem_digest = ukc_core::digest_problem("euclidean", solve.k, set_digest, None);
-    let key = SolveKey::new(problem_digest, &solve.config);
+    let key = SolveKey::new(problem_digest, set_digest, &solve.config);
 
     if solve.use_cache {
         let cached = state

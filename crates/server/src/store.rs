@@ -86,13 +86,13 @@ impl InstanceStore {
             .cloned()
     }
 
-    /// Deletes an instance; `true` if it existed.
-    pub fn remove(&self, id: &str) -> bool {
+    /// Deletes an instance, returning the removed entry so the caller
+    /// can tombstone its durable record and evict its cached solutions.
+    pub fn remove(&self, id: &str) -> Option<Arc<StoredInstance>> {
         self.map
             .write()
             .expect("instance store lock poisoned")
             .remove(id)
-            .is_some()
     }
 
     /// All instances, sorted by ID for stable listings.
@@ -152,8 +152,9 @@ mod tests {
         assert!(store.get(&a.id).is_some());
         // Deleting keeps in-flight Arcs alive.
         let held = store.get(&a.id).unwrap();
-        assert!(store.remove(&a.id));
-        assert!(!store.remove(&a.id));
+        let removed = store.remove(&a.id).expect("a existed");
+        assert_eq!(removed.id, a.id);
+        assert!(store.remove(&a.id).is_none());
         assert!(store.get(&a.id).is_none());
         assert_eq!(held.id, a.id);
         assert_eq!(store.list().len(), 1);

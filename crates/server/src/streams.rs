@@ -25,6 +25,9 @@ use ukc_stream::StreamSolver;
 pub struct StreamEntry {
     /// The server-assigned ID (`s` + hex sequence number).
     pub id: String,
+    /// The raw sequence number behind the ID — what the durability layer
+    /// keys WAL records and snapshots on.
+    pub seq: u64,
     /// Whether solution requests may consult / fill the solution cache.
     pub use_cache: bool,
     /// The solver, serialized per stream.
@@ -47,9 +50,23 @@ impl StreamStore {
     /// Registers a new stream and returns its entry.
     pub fn create(&self, solver: StreamSolver, use_cache: bool) -> Arc<StreamEntry> {
         let seq = self.next.fetch_add(1, Ordering::Relaxed) + 1;
+        self.insert(seq, solver, use_cache)
+    }
+
+    /// Re-registers a recovered stream under its original sequence
+    /// number (and therefore its original ID), keeping the sequence
+    /// counter ahead of every restored stream so new creations never
+    /// collide.
+    pub fn restore(&self, seq: u64, solver: StreamSolver, use_cache: bool) -> Arc<StreamEntry> {
+        self.next.fetch_max(seq, Ordering::Relaxed);
+        self.insert(seq, solver, use_cache)
+    }
+
+    fn insert(&self, seq: u64, solver: StreamSolver, use_cache: bool) -> Arc<StreamEntry> {
         let id = format!("s{seq:06x}");
         let entry = Arc::new(StreamEntry {
             id: id.clone(),
+            seq,
             use_cache,
             solver: Mutex::new(solver),
         });
@@ -69,14 +86,14 @@ impl StreamStore {
             .cloned()
     }
 
-    /// Deletes a stream; `true` if it existed. In-flight requests
-    /// holding the `Arc` finish normally.
-    pub fn remove(&self, id: &str) -> bool {
+    /// Deletes a stream, returning its entry so the caller can tombstone
+    /// its durable state and evict its cached solutions. In-flight
+    /// requests holding the `Arc` finish normally.
+    pub fn remove(&self, id: &str) -> Option<Arc<StreamEntry>> {
         self.map
             .write()
             .expect("stream store lock poisoned")
             .remove(id)
-            .is_some()
     }
 
     /// All streams, sorted by ID for stable listings.
@@ -124,8 +141,9 @@ mod tests {
         let mut sorted = listed.clone();
         sorted.sort();
         assert_eq!(listed, sorted);
-        assert!(store.remove(&a.id));
-        assert!(!store.remove(&a.id));
+        let removed = store.remove(&a.id).expect("a existed");
+        assert_eq!(removed.id, a.id);
+        assert!(store.remove(&a.id).is_none());
         assert!(store.get(&a.id).is_none());
         assert_eq!(store.len(), 1);
     }
@@ -135,6 +153,19 @@ mod tests {
         let store = StreamStore::new();
         let e = store.create(solver(), true);
         assert!(e.id.starts_with('s'));
+        assert_eq!(e.id, format!("s{:06x}", e.seq));
         assert!(e.use_cache);
+    }
+
+    #[test]
+    fn restore_preserves_ids_and_advances_the_counter() {
+        let store = StreamStore::new();
+        let restored = store.restore(5, solver(), true);
+        assert_eq!(restored.id, "s000005");
+        assert_eq!(restored.seq, 5);
+        // Fresh creations continue past the restored sequence numbers.
+        let fresh = store.create(solver(), true);
+        assert_eq!(fresh.seq, 6);
+        assert_eq!(store.len(), 2);
     }
 }

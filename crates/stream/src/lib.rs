@@ -53,7 +53,7 @@ pub mod solver;
 pub mod summary;
 
 pub use solver::{
-    EpochReport, StreamReport, StreamSolution, StreamSolver, StreamSolverBuilder,
+    EpochReport, SolverSnapshot, StreamReport, StreamSolution, StreamSolver, StreamSolverBuilder,
     DEFAULT_BUDGET_PER_CENTER,
 };
-pub use summary::StreamSummary;
+pub use summary::{StreamSummary, SummarySnapshot};

@@ -26,7 +26,7 @@
 
 use std::time::{Duration, Instant};
 
-use crate::summary::StreamSummary;
+use crate::summary::{StreamSummary, SummarySnapshot};
 use ukc_core::{Problem, Report, SolveError, SolverConfig};
 use ukc_metric::Point;
 use ukc_pool::Exec;
@@ -100,6 +100,21 @@ pub struct StreamSolution {
     pub finalize: Report,
     /// Cumulative stream instrumentation at finalize time.
     pub stream: StreamReport,
+}
+
+/// A structural snapshot of a [`StreamSolver`]'s evolved state: the
+/// summary plus the stream counters. Deliberately excludes `k` and the
+/// [`SolverConfig`] — those come from the stream's creation request, so
+/// a restore always applies a snapshot to a solver rebuilt from the same
+/// request (see [`StreamSolver::restore`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolverSnapshot {
+    /// Epochs consumed so far.
+    pub epochs: u64,
+    /// Working-set high-water mark (summary rows + largest chunk).
+    pub memory_peak: usize,
+    /// The summary state.
+    pub summary: SummarySnapshot,
 }
 
 /// Builder for [`StreamSolver`]; finish with
@@ -271,6 +286,39 @@ impl StreamSolver {
             merges: self.summary.merges(),
             memory_peak_points: self.memory_peak.max(self.summary.peak_rows()),
             digest: self.summary.digest(),
+        }
+    }
+
+    /// Captures the evolved state as plain data for durable storage.
+    pub fn snapshot(&self) -> SolverSnapshot {
+        SolverSnapshot {
+            epochs: self.epochs,
+            memory_peak: self.memory_peak,
+            summary: self.summary.snapshot(),
+        }
+    }
+
+    /// Replaces this solver's evolved state with a snapshot's. The
+    /// solver must have been rebuilt from the stream's original creation
+    /// request first — `k`, budget, and config are not in the snapshot.
+    ///
+    /// Returns `false` (leaving the solver untouched) when the snapshot
+    /// is structurally invalid or its budget disagrees with this
+    /// solver's: callers fall back to replaying the stream history.
+    pub fn restore(&mut self, snap: &SolverSnapshot) -> bool {
+        if snap.summary.budget != self.summary.budget() {
+            return false;
+        }
+        let threads = self.config.resolved_threads();
+        match StreamSummary::from_snapshot(&snap.summary, threads) {
+            Some(summary) => {
+                self.summary = summary;
+                self.epochs = snap.epochs;
+                self.memory_peak = snap.memory_peak;
+                self.last_epoch = None;
+                true
+            }
+            None => false,
         }
     }
 
@@ -485,6 +533,39 @@ mod tests {
                 .fold(f64::INFINITY, f64::min);
             assert!(d <= solution.radius_bound + 1e-9);
         }
+    }
+
+    #[test]
+    fn solver_snapshot_restores_onto_a_rebuilt_solver() {
+        let set = stream_set(17, 160);
+        let points = set.points();
+        let mut original = StreamSolver::builder(3).budget(9).build().unwrap();
+        original.push_chunk(&points[..100]).unwrap();
+        let snap = original.snapshot();
+        // Recovery path: rebuild from the creation parameters, then
+        // restore the evolved state.
+        let mut restored = StreamSolver::builder(3).budget(9).build().unwrap();
+        assert!(restored.restore(&snap));
+        assert_eq!(restored.digest(), original.digest());
+        assert_eq!(restored.report().epochs, original.report().epochs);
+        assert_eq!(
+            restored.report().memory_peak_points,
+            original.report().memory_peak_points
+        );
+        // Both keep evolving identically, and finalize identically.
+        original.push_chunk(&points[100..]).unwrap();
+        restored.push_chunk(&points[100..]).unwrap();
+        assert_eq!(restored.digest(), original.digest());
+        let a = original.solution().unwrap();
+        let b = restored.solution().unwrap();
+        for (x, y) in a.centers.iter().zip(&b.centers) {
+            assert_eq!(x.coords(), y.coords());
+        }
+        assert_eq!(a.certain_radius.to_bits(), b.certain_radius.to_bits());
+        // A budget mismatch refuses to restore and leaves state alone.
+        let mut wrong = StreamSolver::builder(3).budget(12).build().unwrap();
+        assert!(!wrong.restore(&snap));
+        assert!(wrong.is_empty());
     }
 
     #[test]

@@ -60,6 +60,35 @@ impl Fnv1a {
     }
 }
 
+/// A structural snapshot of a [`StreamSummary`]: every field that
+/// determines future evolution (and the digest), as plain data.
+///
+/// Produced by [`StreamSummary::snapshot`] and consumed by
+/// [`StreamSummary::from_snapshot`]; the serving layer serializes it for
+/// durable storage. Floats must round-trip *bit-exactly* for the restore
+/// to digest identically — encode them as IEEE bit patterns, not text.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SummarySnapshot {
+    /// The center budget.
+    pub budget: usize,
+    /// Ambient dimension (0 before the first insertion).
+    pub dim: usize,
+    /// The merge threshold τ.
+    pub threshold: f64,
+    /// Points inserted so far.
+    pub seen: u64,
+    /// Merge phases executed.
+    pub merges: u64,
+    /// Distance evaluations spent on maintenance.
+    pub distance_evals: u64,
+    /// Working-set high-water mark in rows.
+    pub peak_rows: usize,
+    /// Kept center coordinates, in order.
+    pub centers: Vec<Vec<f64>>,
+    /// Per-center absorbed-point counts, parallel to `centers`.
+    pub weights: Vec<u64>,
+}
+
 /// A weighted doubling summary of a coordinate stream (see the module
 /// docs for the invariants).
 ///
@@ -368,6 +397,73 @@ impl StreamSummary {
         false
     }
 
+    /// Captures the full evolution-relevant state as plain data (see
+    /// [`SummarySnapshot`]).
+    pub fn snapshot(&self) -> SummarySnapshot {
+        SummarySnapshot {
+            budget: self.budget,
+            dim: self.dim,
+            threshold: self.threshold,
+            seen: self.seen,
+            merges: self.merges,
+            distance_evals: self.evals.count(),
+            peak_rows: self.peak_rows,
+            centers: (0..self.store.len())
+                .map(|i| self.store.coords(PointId(i)).to_vec())
+                .collect(),
+            weights: self.weights.clone(),
+        }
+    }
+
+    /// Rebuilds a summary from a snapshot; the result evolves — and
+    /// digests — exactly like the summary that produced it, as
+    /// [`StreamSummary::clone`] does. `threads` is the pool-lane cap (a
+    /// pure resource knob, not part of the state).
+    ///
+    /// Returns `None` when the snapshot is structurally invalid (zero
+    /// budget, mismatched center/weight lengths, inconsistent
+    /// dimensions, non-finite coordinates): a damaged snapshot is a lost
+    /// optimization for callers, never a wrong state.
+    pub fn from_snapshot(snap: &SummarySnapshot, threads: usize) -> Option<Self> {
+        if snap.budget == 0
+            || snap.centers.len() != snap.weights.len()
+            || snap.centers.len() > snap.budget + 1
+        {
+            return None;
+        }
+        if snap.dim == 0 && !snap.centers.is_empty() {
+            return None;
+        }
+        let mut store = PointStore::with_capacity(snap.dim.max(1), snap.budget + 1);
+        for coords in &snap.centers {
+            if coords.len() != snap.dim {
+                return None;
+            }
+            store.try_push(coords).ok()?;
+        }
+        if snap.dim == 0 {
+            store = PointStore::default();
+        }
+        Some(Self {
+            budget: snap.budget,
+            dim: snap.dim,
+            store,
+            weights: snap.weights.clone(),
+            threshold: snap.threshold,
+            seen: snap.seen,
+            merges: snap.merges,
+            evals: {
+                let evals = DistCounter::new();
+                evals.add(snap.distance_evals);
+                evals
+            },
+            peak_rows: snap.peak_rows,
+            threads: threads.max(1),
+            scratch_ids: Vec::new(),
+            scratch_dists: Vec::new(),
+        })
+    }
+
     /// Canonical digest of the evolved state: budget, dimension, points
     /// seen, threshold, and every kept `(center, weight)` in order.
     ///
@@ -494,6 +590,54 @@ mod tests {
         }
         assert_eq!(snapshot.digest(), original.digest());
         assert_eq!(snapshot.distance_evals(), original.distance_evals());
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_evolves_identically() {
+        let pts = stream_points(17, 300);
+        let mut original = StreamSummary::new(5);
+        for p in &pts[..180] {
+            original.insert(p).unwrap();
+        }
+        let snap = original.snapshot();
+        let mut restored = StreamSummary::from_snapshot(&snap, 3).expect("valid snapshot");
+        assert_eq!(restored.digest(), original.digest());
+        assert_eq!(restored.distance_evals(), original.distance_evals());
+        assert_eq!(restored.peak_rows(), original.peak_rows());
+        for p in &pts[180..] {
+            original.insert(p).unwrap();
+            restored.insert(p).unwrap();
+        }
+        assert_eq!(restored.digest(), original.digest());
+        // An empty summary round-trips too.
+        let empty = StreamSummary::new(3);
+        let restored = StreamSummary::from_snapshot(&empty.snapshot(), 1).unwrap();
+        assert_eq!(restored.digest(), empty.digest());
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn invalid_snapshots_restore_as_none() {
+        let mut s = StreamSummary::new(3);
+        for p in stream_points(19, 50) {
+            s.insert(&p).unwrap();
+        }
+        let good = s.snapshot();
+        let mut bad = good.clone();
+        bad.budget = 0;
+        assert!(StreamSummary::from_snapshot(&bad, 1).is_none());
+        let mut bad = good.clone();
+        bad.weights.pop();
+        assert!(StreamSummary::from_snapshot(&bad, 1).is_none());
+        let mut bad = good.clone();
+        bad.centers[0].push(1.0);
+        assert!(StreamSummary::from_snapshot(&bad, 1).is_none());
+        let mut bad = good.clone();
+        bad.centers[0][0] = f64::NAN;
+        assert!(StreamSummary::from_snapshot(&bad, 1).is_none());
+        let mut bad = good;
+        bad.dim = 0;
+        assert!(StreamSummary::from_snapshot(&bad, 1).is_none());
     }
 
     #[test]

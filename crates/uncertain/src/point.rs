@@ -91,6 +91,44 @@ impl<P> UncertainPoint<P> {
         Ok(Self { locations, probs })
     }
 
+    /// Creates an uncertain point from an **already-normalized**
+    /// distribution, validating but *not* renormalizing.
+    ///
+    /// [`UncertainPoint::new`]'s renormalizing division is not
+    /// bit-idempotent: a normalized distribution's float sum can land an
+    /// ulp off 1, and dividing by it again shifts every probability.
+    /// Round-tripping a point through `probs()` → `new()` therefore may
+    /// not reproduce it bit-for-bit. This constructor is the exact
+    /// round-trip leg: it accepts what `probs()` returned (same
+    /// validation gates, including the [`PROB_SUM_TOL`] sum check) and
+    /// keeps the bits verbatim. Use it when rebuilding a point whose
+    /// distribution was already normalized by a prior `new()` — e.g.
+    /// recovering persisted state — never for raw external input.
+    pub fn from_normalized(
+        locations: Vec<P>,
+        probs: Vec<f64>,
+    ) -> Result<Self, UncertainPointError> {
+        if locations.is_empty() {
+            return Err(UncertainPointError::Empty);
+        }
+        if locations.len() != probs.len() {
+            return Err(UncertainPointError::LengthMismatch {
+                locations: locations.len(),
+                probs: probs.len(),
+            });
+        }
+        for (i, &p) in probs.iter().enumerate() {
+            if !p.is_finite() || p < 0.0 {
+                return Err(UncertainPointError::BadProbability { index: i, value: p });
+            }
+        }
+        let sum: f64 = probs.iter().sum();
+        if (sum - 1.0).abs() > PROB_SUM_TOL {
+            return Err(UncertainPointError::BadSum { sum });
+        }
+        Ok(Self { locations, probs })
+    }
+
     /// A certain point: a single location with probability 1.
     pub fn certain(location: P) -> Self {
         Self {
@@ -188,6 +226,37 @@ mod tests {
         assert!(matches!(
             UncertainPoint::new(vec![1.0f64], vec![f64::NAN]),
             Err(UncertainPointError::BadProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn from_normalized_keeps_bits_verbatim() {
+        // Within tolerance but not exactly 1: `new` renormalizes,
+        // `from_normalized` must not.
+        let probs = vec![0.5, 0.5 + 5e-7];
+        let renorm = UncertainPoint::new(vec![1.0f64, 2.0], probs.clone()).unwrap();
+        assert_ne!(renorm.probs(), &probs[..]);
+        let verbatim = UncertainPoint::from_normalized(vec![1.0f64, 2.0], probs.clone()).unwrap();
+        assert_eq!(verbatim.probs(), &probs[..]);
+    }
+
+    #[test]
+    fn from_normalized_validates_like_new() {
+        assert_eq!(
+            UncertainPoint::<f64>::from_normalized(vec![], vec![]),
+            Err(UncertainPointError::Empty)
+        );
+        assert!(matches!(
+            UncertainPoint::from_normalized(vec![1.0f64], vec![0.5, 0.5]),
+            Err(UncertainPointError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            UncertainPoint::from_normalized(vec![1.0f64, 2.0], vec![-0.1, 1.1]),
+            Err(UncertainPointError::BadProbability { index: 0, .. })
+        ));
+        assert!(matches!(
+            UncertainPoint::from_normalized(vec![1.0f64, 2.0], vec![0.5, 0.2]),
+            Err(UncertainPointError::BadSum { .. })
         ));
     }
 

@@ -233,10 +233,12 @@ fn large_uncertain_oc_solve_is_thread_invariant() {
 #[test]
 fn cache_keys_and_digests_are_thread_blind() {
     let set = clustered(5, 14, 2, 2, 2, 4.0, 1.0, ProbModel::Random);
+    let set_digest = ukc_core::digest_set(&set);
     let problem = Problem::euclidean(set, 3).unwrap();
     let digest = problem.instance_digest();
     let baseline_key = SolveKey::new(
         digest,
+        set_digest,
         &cfg(
             AssignmentRule::ExpectedPoint,
             CertainStrategy::Gonzalez,
@@ -253,7 +255,7 @@ fn cache_keys_and_digests_are_thread_blind() {
         );
         assert_eq!(problem.instance_digest(), digest, "t{threads}");
         assert_eq!(
-            SolveKey::new(digest, &config),
+            SolveKey::new(digest, set_digest, &config),
             baseline_key,
             "cache key must ignore threads (t{threads})"
         );
