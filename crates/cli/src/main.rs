@@ -17,8 +17,13 @@
 //! ukc serve    --addr 127.0.0.1:8080 --workers 4 --cache-cap 256
 //! ukc serve    --addr 127.0.0.1:8080 --threads 4               # alias of --workers
 //! ukc serve    --addr 127.0.0.1:8080 --data-dir ./ukc-data     # durable across restarts
+//! ukc serve    --addr 127.0.0.1:8080 --shards 127.0.0.1:8081,127.0.0.1:8082  # coordinator
 //! ukc client   --addr 127.0.0.1:8080 --path /healthz
+//! ukc client   --addr 127.0.0.1:8080 --path /healthz --timeout 2 --retries 3
 //! ukc client   --addr 127.0.0.1:8080 --instance inst.json --k 3   # one-shot /solve
+//! ukc cluster  status --server 127.0.0.1:8080
+//! ukc cluster  add    --server 127.0.0.1:8080 --addr 127.0.0.1:8083
+//! ukc cluster  remove --server 127.0.0.1:8080 --id 2
 //! ```
 //!
 //! `ukc stream` reads line-delimited JSON (one uncertain point per
@@ -51,8 +56,17 @@ use ukc_uncertain::generators::{
 use ukc_uncertain::{ecost_assigned, UncertainSet};
 
 fn main() {
-    let argv = std::env::args().skip(1);
-    let code = match Args::parse(argv) {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    // `ukc cluster <status|add|remove>` carries its action as a
+    // positional word; rewrite it to --action so the strict flag parser
+    // stays positional-free everywhere else.
+    if argv.first().map(String::as_str) == Some("cluster")
+        && argv.get(1).is_some_and(|a| !a.starts_with("--"))
+    {
+        let action = argv.remove(1);
+        argv.insert(1, format!("--action={action}"));
+    }
+    let code = match Args::parse(argv.into_iter()) {
         Ok(a) => run(&a),
         Err(e) => {
             eprintln!("error: {e}");
@@ -65,7 +79,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage: ukc <generate|solve|batch|stream|evaluate|bound|info|kmedian|kmeans|serve|client> [--flag value | --flag=value ...]\n\
+        "usage: ukc <generate|solve|batch|stream|evaluate|bound|info|kmedian|kmeans|serve|client|cluster> [--flag value | --flag=value ...]\n\
          see `cargo doc -p ukc-cli` or the module docs for the full flag list"
     );
 }
@@ -83,6 +97,7 @@ fn run(a: &Args) -> i32 {
         "kmeans" => cmd_kmeans(a),
         "serve" => cmd_serve(a),
         "client" => cmd_client(a),
+        "cluster" => cmd_cluster(a),
         other => {
             eprintln!("error: unknown subcommand {other}");
             usage();
@@ -554,7 +569,11 @@ fn validate_data_dir(a: &Args) -> Result<Option<std::path::PathBuf>, args::ArgEr
 /// `--data-dir <path>` makes instances and streams durable (recovered on
 /// the next boot); `--snapshot-interval <n>` snapshots each stream every
 /// `n` pushed epochs (0 disables snapshots, recovery then replays the
-/// full log).
+/// full log). `--shards a,b,...` runs this server as a **coordinator**
+/// over the listed shard servers (see `docs/ARCHITECTURE.md`);
+/// `--replicate-after`, `--shard-timeout-ms`, `--shard-retries`, and
+/// `--probe-interval-ms` tune replication and shard transport.
+/// `--queue-cap <n>` bounds the solve queue (full = `503 overloaded`).
 fn cmd_serve(a: &Args) -> CmdResult {
     let threads = a.parse_positive("threads")?;
     if threads.is_some() && a.has("workers") {
@@ -564,6 +583,31 @@ fn cmd_serve(a: &Args) -> CmdResult {
     if data_dir.is_none() && a.has("snapshot-interval") {
         return Err("--snapshot-interval is only meaningful with --data-dir".into());
     }
+    let shards: Vec<String> = match a.required("shards") {
+        Ok(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    if a.has("shards") && shards.is_empty() {
+        return Err("--shards needs a comma-separated list of at least one addr".into());
+    }
+    if shards.is_empty() {
+        for flag in [
+            "replicate-after",
+            "shard-timeout-ms",
+            "shard-retries",
+            "probe-interval-ms",
+        ] {
+            if a.has(flag) {
+                return Err(format!("--{flag} is only meaningful with --shards").into());
+            }
+        }
+    }
+    let defaults = ukc_server::ServerConfig::default();
     let config = ukc_server::ServerConfig {
         addr: a.get_or("addr", "127.0.0.1:8080").to_string(),
         workers: match threads {
@@ -574,15 +618,41 @@ fn cmd_serve(a: &Args) -> CmdResult {
         max_body_bytes: a.parse_or("max-body-bytes", 8 * 1024 * 1024usize)?,
         data_dir,
         snapshot_interval: a.parse_or("snapshot-interval", 16u64)?,
+        queue_cap: a.parse_or("queue-cap", defaults.queue_cap)?,
+        shards,
+        replicate_after: a.parse_or("replicate-after", defaults.replicate_after)?,
+        shard_timeout_ms: a.parse_or("shard-timeout-ms", defaults.shard_timeout_ms)?,
+        shard_retries: a.parse_or("shard-retries", defaults.shard_retries)?,
+        probe_interval_ms: a.parse_or("probe-interval-ms", defaults.probe_interval_ms)?,
     };
     ukc_server::serve_blocking(config)?;
     Ok(())
 }
 
+/// Builds [`ukc_server::client::ClientOptions`] from the shared
+/// `--timeout <seconds>` and `--retries <n>` flags (defaults: no
+/// timeout, no retries — exactly the pre-flag behavior).
+fn client_options(
+    a: &Args,
+) -> Result<ukc_server::client::ClientOptions, Box<dyn std::error::Error>> {
+    let mut options = ukc_server::client::ClientOptions::default();
+    if a.has("timeout") {
+        let seconds: f64 = a.parse_required("timeout")?;
+        if !(seconds > 0.0 && seconds.is_finite()) {
+            return Err("--timeout must be a positive number of seconds".into());
+        }
+        options.timeout = Some(std::time::Duration::from_secs_f64(seconds));
+    }
+    options.retries = a.parse_or("retries", 0u32)?;
+    Ok(options)
+}
+
 /// `ukc client`: a thin smoke client. Either a raw request
 /// (`--path [--method] [--body | --body-file]`) or, with `--instance`,
 /// a one-shot `POST /solve` built from the shared `--k`/`--rule`/
-/// `--solver`/`--eps`/`--seed` flags.
+/// `--solver`/`--eps`/`--seed` flags. `--timeout <seconds>` bounds each
+/// attempt; `--retries <n>` retries connect failures with exponential
+/// backoff (100ms, 200ms, 400ms, ...).
 fn cmd_client(a: &Args) -> CmdResult {
     let addr = a.required("addr")?;
     let (method, path, body) = if let Ok(instance) = a.required("instance") {
@@ -617,10 +687,48 @@ fn cmd_client(a: &Args) -> CmdResult {
             body,
         )
     };
-    let response = ukc_server::client::request(addr, &method, &path, body.as_deref())?;
+    let options = client_options(a)?;
+    let response =
+        ukc_server::client::request_with(addr, &method, &path, body.as_deref(), &options)?;
     println!("{}", response.body);
     if !response.is_success() {
         return Err(format!("{method} {path} returned status {}", response.status).into());
+    }
+    Ok(())
+}
+
+/// `ukc cluster <status|add|remove> --server <coordinator-addr>`:
+/// cluster lifecycle against a running coordinator. `status` prints the
+/// registry (role, per-node prefix ranges, liveness, replication
+/// gauges); `add --addr host:port` registers a shard by splitting the
+/// widest prefix range; `remove --id n` deregisters one, merging its
+/// range into a neighbor. Honors `--timeout`/`--retries` like
+/// `ukc client`.
+fn cmd_cluster(a: &Args) -> CmdResult {
+    let server = a.required("server")?;
+    let action = a.get_or("action", "status");
+    let (method, path, body) = match action {
+        "status" => ("GET", "/cluster/status".to_string(), None),
+        "add" => {
+            let addr = a.required("addr")?;
+            (
+                "POST",
+                "/cluster/nodes".to_string(),
+                Some(Json::obj([("addr", Json::from(addr))]).compact()),
+            )
+        }
+        "remove" => {
+            let id: usize = a.parse_required("id")?;
+            ("DELETE", format!("/cluster/nodes/{id}"), None)
+        }
+        other => return Err(format!("unknown cluster action {other} (status|add|remove)").into()),
+    };
+    let options = client_options(a)?;
+    let response =
+        ukc_server::client::request_with(server, method, &path, body.as_deref(), &options)?;
+    println!("{}", response.body);
+    if !response.is_success() {
+        return Err(format!("cluster {action} returned status {}", response.status).into());
     }
     Ok(())
 }

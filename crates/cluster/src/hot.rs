@@ -1,0 +1,135 @@
+//! Hot-instance tracking: which digests are read often enough to deserve
+//! a replica, and where the replicas live.
+//!
+//! The policy mirrors the server's LRU solution cache: read traffic is
+//! the signal. The coordinator counts digest-routed reads (instance
+//! fetches and solves); when a digest's count reaches the configured
+//! threshold it is declared *hot* exactly once — the caller then copies
+//! the instance to a second shard and records the replica here. Reads of
+//! a digest whose owner is down fall back to its recorded replicas; only
+//! a digest with **no** live replica yields the typed `shard_unavailable`
+//! failure.
+
+use std::collections::HashMap;
+
+/// Hit counts and replica locations, keyed by instance digest.
+#[derive(Debug)]
+pub struct HotSet {
+    threshold: u64,
+    hits: HashMap<u64, u64>,
+    /// digest -> replica node IDs (the owner is implicit via routing and
+    /// never listed here).
+    replicas: HashMap<u64, Vec<usize>>,
+}
+
+impl HotSet {
+    /// A tracker that declares a digest hot at `threshold` reads.
+    /// `threshold == 0` disables replication entirely.
+    pub fn new(threshold: u64) -> Self {
+        HotSet {
+            threshold,
+            hits: HashMap::new(),
+            replicas: HashMap::new(),
+        }
+    }
+
+    /// Counts one read. Returns `true` exactly when this read makes the
+    /// digest hot for the first time (count reached the threshold and no
+    /// replica is recorded yet) — the caller should replicate now.
+    pub fn record_read(&mut self, digest: u64) -> bool {
+        if self.threshold == 0 {
+            return false;
+        }
+        let count = self.hits.entry(digest).or_insert(0);
+        *count += 1;
+        *count >= self.threshold && !self.replicas.contains_key(&digest)
+    }
+
+    /// Records a replica of `digest` on `node_id`.
+    pub fn add_replica(&mut self, digest: u64, node_id: usize) {
+        let nodes = self.replicas.entry(digest).or_default();
+        if !nodes.contains(&node_id) {
+            nodes.push(node_id);
+        }
+    }
+
+    /// The replica nodes recorded for `digest` (empty when none).
+    pub fn replicas(&self, digest: u64) -> &[usize] {
+        self.replicas.get(&digest).map_or(&[], Vec::as_slice)
+    }
+
+    /// Drops all bookkeeping for a deleted digest, returning the replica
+    /// nodes that held it (so the caller can delete those copies too).
+    pub fn forget(&mut self, digest: u64) -> Vec<usize> {
+        self.hits.remove(&digest);
+        self.replicas.remove(&digest).unwrap_or_default()
+    }
+
+    /// Drops a removed node from every replica list (its copies are
+    /// gone with it).
+    pub fn forget_node(&mut self, node_id: usize) {
+        for nodes in self.replicas.values_mut() {
+            nodes.retain(|&n| n != node_id);
+        }
+        self.replicas.retain(|_, nodes| !nodes.is_empty());
+    }
+
+    /// Number of digests currently holding at least one replica.
+    pub fn replicated(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Number of digests with read counts on record.
+    pub fn tracked(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// The configured hot threshold.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crosses_the_threshold_exactly_once() {
+        let mut hot = HotSet::new(3);
+        assert!(!hot.record_read(7));
+        assert!(!hot.record_read(7));
+        assert!(hot.record_read(7)); // third read: replicate now
+                                     // Until a replica is recorded, further reads keep asking.
+        assert!(hot.record_read(7));
+        hot.add_replica(7, 1);
+        assert!(!hot.record_read(7));
+        assert_eq!(hot.replicas(7), &[1]);
+        assert_eq!(hot.replicas(8), &[] as &[usize]);
+        assert_eq!(hot.replicated(), 1);
+    }
+
+    #[test]
+    fn zero_threshold_disables() {
+        let mut hot = HotSet::new(0);
+        for _ in 0..10 {
+            assert!(!hot.record_read(1));
+        }
+        assert_eq!(hot.tracked(), 0);
+    }
+
+    #[test]
+    fn forget_digest_and_node() {
+        let mut hot = HotSet::new(1);
+        assert!(hot.record_read(1));
+        hot.add_replica(1, 2);
+        hot.add_replica(1, 3);
+        hot.add_replica(1, 2); // dedupes
+        assert_eq!(hot.replicas(1), &[2, 3]);
+        hot.forget_node(2);
+        assert_eq!(hot.replicas(1), &[3]);
+        assert_eq!(hot.forget(1), vec![3]);
+        assert_eq!(hot.replicated(), 0);
+        assert_eq!(hot.forget(1), Vec::<usize>::new());
+    }
+}

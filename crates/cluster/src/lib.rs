@@ -1,0 +1,37 @@
+//! # ukc-cluster — digest-sharded multi-node serving
+//!
+//! The building blocks the server's coordinator mode assembles into a
+//! scatter/gather cluster, kept dependency-free (std + `ukc_json` only)
+//! so they can be tested without sockets:
+//!
+//! 1. **[`registry`]** — the [`registry::NodeRegistry`]: every shard
+//!    node owns one contiguous range of the 2^16-slot digest-prefix
+//!    space. Ranges always partition the space (every digest maps to
+//!    exactly one node), `add` splits the widest range, and `remove`
+//!    reassigns *only* the removed range to its neighbor. Liveness
+//!    ([`registry::NodeState`]) is tracked separately from ownership, so
+//!    routing stays deterministic while a node is down.
+//! 2. **[`hot`]** — the [`hot::HotSet`] replication policy: read counts
+//!    per digest (the same signal as the server's LRU solution cache);
+//!    crossing the threshold asks the coordinator to copy the instance
+//!    to a second shard, and recorded replicas serve reads when the
+//!    owner is down.
+//! 3. **[`client`]** — the workspace's blocking HTTP client (previously
+//!    `ukc_server::client`, re-exported from there unchanged), extended
+//!    with [`client::ClientOptions`]: per-attempt timeouts and bounded
+//!    exponential-backoff retries on connect failure, which is what
+//!    keeps one dead shard from hanging the coordinator.
+//!
+//! Wire forms for registry/status documents live in
+//! [`ukc_json::format::cluster`] so the server, the CLI, and this crate
+//! all speak the same schema.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod hot;
+pub mod registry;
+
+pub use hot::HotSet;
+pub use registry::{prefix_of, Node, NodeRegistry, NodeState, RegistryError, PREFIX_SPACE};

@@ -1,0 +1,399 @@
+//! The node registry: which shard owns which digest-prefix range.
+//!
+//! Instances are content-addressed by a 64-bit canonical digest
+//! (`ukc_core::digest_set`), so a cluster can shard them by digest
+//! *prefix*: the top [`PREFIX_BITS`] bits of the digest index a
+//! 2^16-slot prefix space, and every registered node owns one contiguous
+//! half-open range `[start, end)` of it. The ranges always partition the
+//! space, so **every digest maps to exactly one node** — the property
+//! the routing proptests pin for every registry size.
+//!
+//! Rebalancing is deliberately minimal, in the consistent-hashing
+//! spirit:
+//!
+//! * [`NodeRegistry::add`] splits the widest range in half and hands the
+//!   upper half to the new node — only digests in that stolen half move.
+//! * [`NodeRegistry::remove`] merges the removed node's range into its
+//!   adjacent neighbor — **only the removed range is reassigned**; every
+//!   digest owned by a surviving node keeps its owner.
+//!
+//! Liveness ([`NodeState`]) is tracked *separately* from ownership:
+//! a `Down` node still owns its range, so routing stays deterministic
+//! while the coordinator falls back to replicas for reads. Ownership only
+//! changes through explicit `add`/`remove` lifecycle calls.
+
+use ukc_json::format::cluster::JsonNode;
+
+/// Number of leading digest bits that form the shard-routing prefix.
+pub const PREFIX_BITS: u32 = 16;
+
+/// Size of the prefix space (`2^PREFIX_BITS` slots).
+pub const PREFIX_SPACE: u32 = 1 << PREFIX_BITS;
+
+/// The routing prefix of a digest: its top [`PREFIX_BITS`] bits.
+pub fn prefix_of(digest: u64) -> u32 {
+    (digest >> (64 - PREFIX_BITS)) as u32
+}
+
+/// Liveness of one registered node, as last observed by the health
+/// prober or by a forwarded request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeState {
+    /// The node answered its last `/healthz` probe (or last forward).
+    Alive,
+    /// The node failed its last probe or forward; reads fall back to
+    /// replicas until it answers again. It still owns its range.
+    Down,
+}
+
+impl NodeState {
+    /// The wire spelling (`"alive"` / `"down"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NodeState::Alive => "alive",
+            NodeState::Down => "down",
+        }
+    }
+}
+
+/// One registered shard node.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Registry-assigned stable ID (never reused within one registry).
+    pub id: usize,
+    /// The node's base address, `host:port`.
+    pub addr: String,
+    /// First owned prefix (inclusive).
+    pub start: u32,
+    /// One past the last owned prefix (exclusive, `<=` [`PREFIX_SPACE`]).
+    pub end: u32,
+    /// Last observed liveness.
+    pub state: NodeState,
+}
+
+impl Node {
+    /// Whether this node's range contains `prefix`.
+    pub fn owns(&self, prefix: u32) -> bool {
+        self.start <= prefix && prefix < self.end
+    }
+
+    /// Width of the owned range in prefix slots.
+    pub fn width(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// The node's wire form.
+    pub fn to_wire(&self) -> JsonNode {
+        JsonNode {
+            id: self.id,
+            addr: self.addr.clone(),
+            prefix_start: self.start,
+            prefix_end: self.end,
+            state: self.state.as_str().to_string(),
+        }
+    }
+}
+
+/// Registry lifecycle errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegistryError {
+    /// A registry needs at least one node.
+    Empty,
+    /// The named node does not exist.
+    UnknownNode(usize),
+    /// Refusing to remove the only node — the cluster would own nothing.
+    LastNode,
+    /// Every range has width 1; the prefix space cannot be split further.
+    SpaceExhausted,
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Empty => write!(f, "a shard registry needs at least one node"),
+            RegistryError::UnknownNode(id) => write!(f, "no node {id} in the registry"),
+            RegistryError::LastNode => write!(f, "cannot remove the last node"),
+            RegistryError::SpaceExhausted => {
+                write!(f, "prefix space exhausted ({PREFIX_SPACE} nodes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// The registry: nodes sorted by range start, always partitioning
+/// `[0, PREFIX_SPACE)`.
+#[derive(Clone, Debug)]
+pub struct NodeRegistry {
+    /// Sorted by `start`; invariant: `nodes[0].start == 0`,
+    /// `nodes[last].end == PREFIX_SPACE`, each `end == next.start`.
+    nodes: Vec<Node>,
+    next_id: usize,
+}
+
+impl NodeRegistry {
+    /// Builds a registry over `addrs`, splitting the prefix space evenly
+    /// (node `i` of `n` owns `[i·S/n, (i+1)·S/n)`).
+    pub fn new<S: Into<String>>(addrs: impl IntoIterator<Item = S>) -> Result<Self, RegistryError> {
+        let addrs: Vec<String> = addrs.into_iter().map(Into::into).collect();
+        if addrs.is_empty() {
+            return Err(RegistryError::Empty);
+        }
+        let n = addrs.len() as u64;
+        let space = u64::from(PREFIX_SPACE);
+        let nodes = addrs
+            .into_iter()
+            .enumerate()
+            .map(|(i, addr)| Node {
+                id: i,
+                addr,
+                start: (i as u64 * space / n) as u32,
+                end: ((i as u64 + 1) * space / n) as u32,
+                state: NodeState::Alive,
+            })
+            .collect::<Vec<_>>();
+        let next_id = nodes.len();
+        let registry = NodeRegistry { nodes, next_id };
+        registry.debug_check();
+        Ok(registry)
+    }
+
+    /// All nodes in range order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of registered nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the registry is empty (never true for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of nodes currently believed alive.
+    pub fn alive(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.state == NodeState::Alive)
+            .count()
+    }
+
+    /// The node that owns `digest` (total: some node always owns it).
+    pub fn route(&self, digest: u64) -> &Node {
+        let prefix = prefix_of(digest);
+        // partition_point finds the first node with start > prefix; its
+        // predecessor owns the prefix (ranges are a sorted partition).
+        let idx = self.nodes.partition_point(|n| n.start <= prefix) - 1;
+        debug_assert!(self.nodes[idx].owns(prefix));
+        &self.nodes[idx]
+    }
+
+    /// Looks a node up by ID.
+    pub fn node(&self, id: usize) -> Option<&Node> {
+        self.nodes.iter().find(|n| n.id == id)
+    }
+
+    /// Updates a node's observed liveness; returns whether it changed.
+    pub fn set_state(&mut self, id: usize, state: NodeState) -> Result<bool, RegistryError> {
+        let node = self
+            .nodes
+            .iter_mut()
+            .find(|n| n.id == id)
+            .ok_or(RegistryError::UnknownNode(id))?;
+        let changed = node.state != state;
+        node.state = state;
+        Ok(changed)
+    }
+
+    /// Registers a new node: the widest existing range is split in half
+    /// and the new node takes the upper half, so only digests in that
+    /// stolen half change owner. Returns the new node's ID.
+    pub fn add(&mut self, addr: impl Into<String>) -> Result<usize, RegistryError> {
+        let widest = self
+            .nodes
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, n)| (n.width(), usize::MAX - i)) // widest; ties -> lowest index
+            .map(|(i, _)| i)
+            .ok_or(RegistryError::Empty)?;
+        if self.nodes[widest].width() < 2 {
+            return Err(RegistryError::SpaceExhausted);
+        }
+        let mid = self.nodes[widest].start + self.nodes[widest].width() / 2;
+        let end = self.nodes[widest].end;
+        self.nodes[widest].end = mid;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.nodes.insert(
+            widest + 1,
+            Node {
+                id,
+                addr: addr.into(),
+                start: mid,
+                end,
+                state: NodeState::Alive,
+            },
+        );
+        self.debug_check();
+        Ok(id)
+    }
+
+    /// Removes a node, merging its range into the adjacent neighbor (the
+    /// successor in range order when one exists, else the predecessor).
+    /// Only the removed range is reassigned — every other digest keeps
+    /// its owner. Returns the reassigned `(start, end)` range and the ID
+    /// of the node that absorbed it.
+    pub fn remove(&mut self, id: usize) -> Result<(u32, u32, usize), RegistryError> {
+        if self.nodes.len() == 1 {
+            return if self.nodes[0].id == id {
+                Err(RegistryError::LastNode)
+            } else {
+                Err(RegistryError::UnknownNode(id))
+            };
+        }
+        let idx = self
+            .nodes
+            .iter()
+            .position(|n| n.id == id)
+            .ok_or(RegistryError::UnknownNode(id))?;
+        let removed = self.nodes.remove(idx);
+        let heir_idx = if idx < self.nodes.len() { idx } else { idx - 1 };
+        let heir = &mut self.nodes[heir_idx];
+        heir.start = heir.start.min(removed.start);
+        heir.end = heir.end.max(removed.end);
+        let heir_id = heir.id;
+        self.debug_check();
+        Ok((removed.start, removed.end, heir_id))
+    }
+
+    /// Ring-order read fallback: the first *alive* node after `owner_id`
+    /// in range order, excluding the owner itself. `None` when the owner
+    /// is the only node or nothing else is alive.
+    pub fn successor_alive(&self, owner_id: usize) -> Option<&Node> {
+        let idx = self.nodes.iter().position(|n| n.id == owner_id)?;
+        (1..self.nodes.len())
+            .map(|step| &self.nodes[(idx + step) % self.nodes.len()])
+            .find(|n| n.state == NodeState::Alive)
+    }
+
+    /// Wire forms of every node, in range order.
+    pub fn to_wire(&self) -> Vec<JsonNode> {
+        self.nodes.iter().map(Node::to_wire).collect()
+    }
+
+    /// Asserts the partition invariant in debug builds.
+    fn debug_check(&self) {
+        debug_assert!(!self.nodes.is_empty());
+        debug_assert_eq!(self.nodes[0].start, 0);
+        debug_assert_eq!(self.nodes[self.nodes.len() - 1].end, PREFIX_SPACE);
+        for pair in self.nodes.windows(2) {
+            debug_assert_eq!(pair[0].end, pair[1].start);
+            debug_assert!(pair[0].width() > 0);
+        }
+        debug_assert!(self.nodes.iter().all(|n| n.width() > 0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect()
+    }
+
+    #[test]
+    fn even_split_partitions_the_space() {
+        for n in 1..=7 {
+            let reg = NodeRegistry::new(addrs(n)).unwrap();
+            assert_eq!(reg.len(), n);
+            assert_eq!(reg.nodes()[0].start, 0);
+            assert_eq!(reg.nodes()[n - 1].end, PREFIX_SPACE);
+            let total: u32 = reg.nodes().iter().map(Node::width).sum();
+            assert_eq!(total, PREFIX_SPACE);
+        }
+        assert_eq!(
+            NodeRegistry::new(Vec::<String>::new()).unwrap_err(),
+            RegistryError::Empty
+        );
+    }
+
+    #[test]
+    fn routing_is_total_and_prefix_based() {
+        let reg = NodeRegistry::new(addrs(2)).unwrap();
+        // Top bit clear -> first half -> node 0; set -> node 1.
+        assert_eq!(reg.route(0).id, 0);
+        assert_eq!(reg.route(u64::MAX / 2).id, 0);
+        assert_eq!(reg.route(u64::MAX / 2 + 1).id, 1);
+        assert_eq!(reg.route(u64::MAX).id, 1);
+        // Low bits never matter.
+        assert_eq!(reg.route(0x0000_ffff_ffff_ffff).id, 0);
+        assert_eq!(reg.route(0x8000_0000_0000_0000).id, 1);
+    }
+
+    #[test]
+    fn add_splits_the_widest_range_only() {
+        let mut reg = NodeRegistry::new(addrs(2)).unwrap();
+        let before: Vec<u64> = (0..64).map(|i| i * 0x0400_0000_0000_0000).collect();
+        let owners_before: Vec<usize> = before.iter().map(|&d| reg.route(d).id).collect();
+        let new_id = reg.add("127.0.0.1:9100").unwrap();
+        assert_eq!(new_id, 2);
+        for (&d, &owner) in before.iter().zip(&owners_before) {
+            let now = reg.route(d).id;
+            // A digest either kept its owner or moved to the new node.
+            assert!(now == owner || now == new_id, "digest {d:#x}");
+        }
+        let total: u32 = reg.nodes().iter().map(Node::width).sum();
+        assert_eq!(total, PREFIX_SPACE);
+    }
+
+    #[test]
+    fn remove_merges_into_the_neighbor() {
+        let mut reg = NodeRegistry::new(addrs(3)).unwrap();
+        let victim = reg.nodes()[1].clone();
+        let (start, end, heir) = reg.remove(victim.id).unwrap();
+        assert_eq!((start, end), (victim.start, victim.end));
+        // The successor in range order absorbed the range.
+        assert_eq!(heir, 2);
+        assert_eq!(reg.len(), 2);
+        let total: u32 = reg.nodes().iter().map(Node::width).sum();
+        assert_eq!(total, PREFIX_SPACE);
+        // Removing the tail node merges backwards instead.
+        let tail = reg.nodes()[reg.len() - 1].id;
+        let (_, _, heir) = reg.remove(tail).unwrap();
+        assert_eq!(heir, reg.nodes()[0].id);
+        assert_eq!(reg.nodes()[0].width(), PREFIX_SPACE);
+        // The last node is irremovable.
+        let last = reg.nodes()[0].id;
+        assert_eq!(reg.remove(last).unwrap_err(), RegistryError::LastNode);
+    }
+
+    #[test]
+    fn states_and_successors() {
+        let mut reg = NodeRegistry::new(addrs(3)).unwrap();
+        assert_eq!(reg.alive(), 3);
+        assert!(reg.set_state(1, NodeState::Down).unwrap());
+        assert!(!reg.set_state(1, NodeState::Down).unwrap()); // unchanged
+        assert_eq!(reg.alive(), 2);
+        assert_eq!(reg.successor_alive(1).unwrap().id, 2);
+        // The successor skips downed nodes and wraps.
+        reg.set_state(2, NodeState::Down).unwrap();
+        assert_eq!(reg.successor_alive(1).unwrap().id, 0);
+        assert!(reg.successor_alive(0).is_none());
+        assert!(reg.set_state(99, NodeState::Alive).is_err());
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut reg = NodeRegistry::new(addrs(2)).unwrap();
+        reg.remove(1).unwrap();
+        let id = reg.add("127.0.0.1:9200").unwrap();
+        assert_eq!(id, 2);
+        reg.remove(id).unwrap();
+        assert_eq!(reg.add("127.0.0.1:9300").unwrap(), 3);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property coverage for digest-prefix routing.
+//!
+//! Pins the two invariants the cluster leans on:
+//!
+//! 1. **Total, unambiguous ownership** — for any registry size, every
+//!    digest maps to exactly one node, and `route` returns that node.
+//! 2. **Minimal rebalancing** — removing a node reassigns *only* the
+//!    removed range: a digest changes owner iff the removed node owned
+//!    it, and then only to the reported heir.
+
+use proptest::prelude::*;
+use ukc_cluster::{prefix_of, NodeRegistry, PREFIX_SPACE};
+
+fn registry_of(n: usize) -> NodeRegistry {
+    NodeRegistry::new((0..n).map(|i| format!("127.0.0.1:{}", 9000 + i)))
+        .expect("non-empty registries always build")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn every_digest_maps_to_exactly_one_node(
+        digest in 0u64..u64::MAX,
+        n in 1usize..64,
+    ) {
+        let registry = registry_of(n);
+        let prefix = prefix_of(digest);
+        let owners = registry
+            .nodes()
+            .iter()
+            .filter(|node| node.owns(prefix))
+            .count();
+        prop_assert_eq!(owners, 1);
+        prop_assert!(registry.route(digest).owns(prefix));
+    }
+
+    #[test]
+    fn ranges_partition_the_prefix_space(n in 1usize..64) {
+        let registry = registry_of(n);
+        let nodes = registry.nodes();
+        prop_assert_eq!(nodes[0].start, 0);
+        prop_assert_eq!(nodes[nodes.len() - 1].end, PREFIX_SPACE);
+        for pair in nodes.windows(2) {
+            prop_assert_eq!(pair[0].end, pair[1].start);
+        }
+        let total: u64 = nodes.iter().map(|node| u64::from(node.width())).sum();
+        prop_assert_eq!(total, u64::from(PREFIX_SPACE));
+    }
+
+    #[test]
+    fn remove_reassigns_only_the_removed_range(
+        digest in 0u64..u64::MAX,
+        n in 2usize..64,
+        victim_index in 0usize..64,
+    ) {
+        let mut registry = registry_of(n);
+        let victim = registry.nodes()[victim_index % n].id;
+        let owner_before = registry.route(digest).id;
+
+        let (start, end, heir) = registry.remove(victim).expect("n >= 2");
+
+        let owner_after = registry.route(digest).id;
+        let prefix = prefix_of(digest);
+        if owner_before == victim {
+            // The only digests that move are the victim's, and they all
+            // land on the single reported heir.
+            prop_assert!(start <= prefix && prefix < end);
+            prop_assert_eq!(owner_after, heir);
+        } else {
+            prop_assert_eq!(owner_after, owner_before);
+        }
+    }
+
+    #[test]
+    fn add_moves_digests_only_to_the_new_node(
+        digest in 0u64..u64::MAX,
+        n in 1usize..32,
+    ) {
+        let mut registry = registry_of(n);
+        let owner_before = registry.route(digest).id;
+        let added = registry.add("127.0.0.1:9999").expect("space not exhausted");
+        let owner_after = registry.route(digest).id;
+        // A digest either keeps its owner or moved to the new node —
+        // add never shuffles digests between pre-existing nodes.
+        prop_assert!(owner_after == owner_before || owner_after == added);
+    }
+}
+
+/// The all-ones digest sits at the top of the last range (range
+/// strategies above exclude `u64::MAX` itself).
+#[test]
+fn extreme_digests_have_owners() {
+    for n in [1, 2, 3, 17, 63] {
+        let registry = registry_of(n);
+        for digest in [0, u64::MAX] {
+            assert!(registry.route(digest).owns(prefix_of(digest)), "n={n}");
+        }
+    }
+}

@@ -398,6 +398,170 @@ pub fn solution_document(sol: &Solution<Point>) -> Json {
     doc
 }
 
+/// Cluster wire forms: the registry/status documents that `ukc-cluster`,
+/// the server's `/cluster/*` endpoints, and `ukc cluster status` all
+/// share, so a node description rendered by one surface parses on any
+/// other.
+pub mod cluster {
+    use super::FormatError;
+    use crate::Json;
+
+    /// One registry node on the wire.
+    ///
+    /// ```json
+    /// { "id": 0, "addr": "127.0.0.1:8891",
+    ///   "prefix_start": 0, "prefix_end": 32768, "state": "alive" }
+    /// ```
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct JsonNode {
+        /// Registry-assigned stable node ID.
+        pub id: usize,
+        /// The node's base address (`host:port`).
+        pub addr: String,
+        /// First owned digest prefix (inclusive).
+        pub prefix_start: u32,
+        /// One past the last owned digest prefix (exclusive).
+        pub prefix_end: u32,
+        /// Liveness as last observed (`"alive"` / `"down"`).
+        pub state: String,
+    }
+
+    impl JsonNode {
+        /// The node's JSON document.
+        pub fn to_json(&self) -> Json {
+            Json::obj([
+                ("id", Json::from(self.id)),
+                ("addr", Json::from(self.addr.as_str())),
+                ("prefix_start", Json::from(self.prefix_start as usize)),
+                ("prefix_end", Json::from(self.prefix_end as usize)),
+                ("state", Json::from(self.state.as_str())),
+            ])
+        }
+
+        /// Parses one node document.
+        pub fn from_json(doc: &Json) -> Result<Self, FormatError> {
+            let schema = |what: &str| FormatError::Schema(format!("node document: {what}"));
+            let uint = |key: &str| {
+                doc.get(key)
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| schema(&format!("{key:?} must be a non-negative integer")))
+            };
+            Ok(JsonNode {
+                id: uint("id")?,
+                addr: doc
+                    .get("addr")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| schema("\"addr\" must be a string"))?
+                    .to_string(),
+                prefix_start: uint("prefix_start")? as u32,
+                prefix_end: uint("prefix_end")? as u32,
+                state: doc
+                    .get("state")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| schema("\"state\" must be a string"))?
+                    .to_string(),
+            })
+        }
+    }
+
+    /// A whole `/cluster/status` document.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct JsonClusterStatus {
+        /// The serving role (`"single"` or `"coordinator"`).
+        pub role: String,
+        /// Registry nodes in range order (empty in single mode).
+        pub nodes: Vec<JsonNode>,
+    }
+
+    impl JsonClusterStatus {
+        /// The status JSON document.
+        pub fn to_json(&self) -> Json {
+            Json::obj([
+                ("role", Json::from(self.role.as_str())),
+                ("nodes", Json::arr(self.nodes.iter().map(JsonNode::to_json))),
+            ])
+        }
+
+        /// Parses a status document (tolerates extra sibling fields such
+        /// as replication gauges).
+        pub fn from_json(doc: &Json) -> Result<Self, FormatError> {
+            let role = doc
+                .get("role")
+                .and_then(Json::as_str)
+                .ok_or_else(|| FormatError::Schema("status: \"role\" must be a string".into()))?
+                .to_string();
+            let nodes = doc
+                .get("nodes")
+                .and_then(Json::as_array)
+                .ok_or_else(|| FormatError::Schema("status: \"nodes\" must be an array".into()))?
+                .iter()
+                .map(JsonNode::from_json)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(JsonClusterStatus { role, nodes })
+        }
+
+        /// Parses a status document from text.
+        pub fn parse(text: &str) -> Result<Self, FormatError> {
+            let doc = Json::parse(text).map_err(|e| FormatError::Schema(e.to_string()))?;
+            Self::from_json(&doc)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn node_and_status_roundtrip() {
+            let status = JsonClusterStatus {
+                role: "coordinator".into(),
+                nodes: vec![
+                    JsonNode {
+                        id: 0,
+                        addr: "127.0.0.1:8891".into(),
+                        prefix_start: 0,
+                        prefix_end: 32768,
+                        state: "alive".into(),
+                    },
+                    JsonNode {
+                        id: 1,
+                        addr: "127.0.0.1:8892".into(),
+                        prefix_start: 32768,
+                        prefix_end: 65536,
+                        state: "down".into(),
+                    },
+                ],
+            };
+            let back = JsonClusterStatus::parse(&status.to_json().pretty()).unwrap();
+            assert_eq!(back, status);
+        }
+
+        #[test]
+        fn extra_fields_are_tolerated_on_status() {
+            let text = r#"{"role": "single", "nodes": [], "replicated_instances": 3}"#;
+            let status = JsonClusterStatus::parse(text).unwrap();
+            assert_eq!(status.role, "single");
+            assert!(status.nodes.is_empty());
+        }
+
+        #[test]
+        fn schema_errors_are_typed() {
+            assert!(matches!(
+                JsonClusterStatus::parse(r#"{"nodes": []}"#),
+                Err(FormatError::Schema(_))
+            ));
+            assert!(matches!(
+                JsonNode::from_json(&Json::parse(r#"{"id": 0}"#).unwrap()),
+                Err(FormatError::Schema(_))
+            ));
+            assert!(matches!(
+                JsonNode::from_json(&Json::parse(r#"{"id": -1, "addr": "x"}"#).unwrap()),
+                Err(FormatError::Schema(_))
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

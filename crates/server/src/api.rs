@@ -202,6 +202,37 @@ pub fn parse_stream_create(doc: &Json) -> Result<(SolveRequest, Option<usize>), 
     Ok((request, budget))
 }
 
+/// Parses the `POST /solve_batch` body: the solve fields plus `"ids"`,
+/// a non-empty array of instance IDs. Every id is solved under the one
+/// shared configuration; per-id failures surface as per-slot error
+/// documents, not a failed batch.
+pub fn parse_solve_batch(doc: &Json) -> Result<(Vec<String>, SolveRequest), ApiError> {
+    let mut allowed = SOLVE_FIELDS.to_vec();
+    allowed.push("ids");
+    let request = parse_solve_fields(doc, &allowed)?;
+    let ids = doc
+        .get("ids")
+        .ok_or_else(|| ApiError::bad_request("bad_schema", "missing field \"ids\""))?
+        .as_array()
+        .ok_or_else(|| {
+            ApiError::bad_request("bad_schema", "\"ids\" must be an array of instance IDs")
+        })?
+        .iter()
+        .map(|v| {
+            v.as_str().map(str::to_string).ok_or_else(|| {
+                ApiError::bad_request("bad_schema", "\"ids\" must be an array of instance IDs")
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    if ids.is_empty() {
+        return Err(ApiError::bad_request(
+            "bad_schema",
+            "\"ids\" must not be empty",
+        ));
+    }
+    Ok((ids, request))
+}
+
 /// Parses the one-shot body: the solve fields plus the inline instance.
 pub fn parse_oneshot(doc: &Json) -> Result<(JsonInstance, SolveRequest), ApiError> {
     let request = parse_solve_request(doc, true)?;

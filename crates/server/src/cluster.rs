@@ -1,0 +1,762 @@
+//! Coordinator mode: scatter/gather serving over digest-sharded nodes.
+//!
+//! A coordinator (`ukc serve --shards a,b,...`) stores no instances of
+//! its own. Every instance route is **digest-routed**: the instance ID
+//! *is* the content digest (`ukc_core::digest_set`, hex), so the
+//! [`NodeRegistry`] maps it to the one shard owning its prefix range and
+//! the request is proxied over the workspace HTTP client. Batch solves
+//! (`POST /solve_batch`) scatter: ids are grouped by owning shard, each
+//! group is forwarded concurrently on the process-wide [`ukc_pool`]
+//! lanes, and the per-shard responses are gathered back into request
+//! order with per-shard timing attribution. Because every shard runs the
+//! same bit-deterministic solve path, the merged solutions are
+//! byte-identical to what one unsharded server would have produced.
+//!
+//! **Replication** ([`HotSet`]): the coordinator counts digest-routed
+//! reads; when an instance crosses the configured threshold it is copied
+//! once to the owner's ring successor via the internal `POST /replicate`
+//! endpoint (which stores verbatim, preserving the digest/ID). Reads of
+//! a digest whose owner is down fall back to its recorded replicas; only
+//! a digest with **no** live copy fails, with the typed
+//! `503 shard_unavailable`.
+//!
+//! Liveness: a background prober hits each shard's `GET /healthz` every
+//! `probe_interval_ms`, and every forwarded request updates the owner's
+//! state as a side effect. Ownership never changes with liveness — only
+//! explicit `POST /cluster/nodes` / `DELETE /cluster/nodes/{id}` calls
+//! rebalance, and then only minimally (split the widest range / merge
+//! the removed range into its neighbor).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::api;
+use crate::error::ApiError;
+use crate::http::Request;
+use crate::server::{AppState, Handled, ServerConfig};
+use ukc_cluster::client::{self, ClientOptions, HttpResponse};
+use ukc_cluster::{HotSet, NodeRegistry, NodeState};
+use ukc_json::format::cluster::JsonNode;
+use ukc_json::format::JsonInstance;
+use ukc_json::Json;
+
+/// Everything coordinator mode adds to [`AppState`].
+pub(crate) struct ClusterState {
+    /// Shard ownership + liveness. Shared with the prober thread.
+    registry: Arc<Mutex<NodeRegistry>>,
+    /// Read counts + replica locations per digest.
+    hot: Mutex<HotSet>,
+    /// Transport tunables for every forwarded request.
+    options: ClientOptions,
+    probe_stop: Arc<AtomicBool>,
+}
+
+impl ClusterState {
+    /// Builds the coordinator state when `config.shards` is non-empty.
+    pub(crate) fn new(config: &ServerConfig) -> Option<Self> {
+        if config.shards.is_empty() {
+            return None;
+        }
+        let registry = NodeRegistry::new(config.shards.iter().cloned())
+            .expect("a non-empty shard list builds a registry");
+        let registry = Arc::new(Mutex::new(registry));
+        let options = ClientOptions {
+            timeout: Some(Duration::from_millis(config.shard_timeout_ms.max(1))),
+            retries: config.shard_retries,
+            backoff: Duration::from_millis(50),
+        };
+        let probe_stop = Arc::new(AtomicBool::new(false));
+        if config.probe_interval_ms > 0 {
+            spawn_prober(
+                Arc::clone(&registry),
+                options.clone(),
+                config.probe_interval_ms,
+                Arc::clone(&probe_stop),
+            );
+        }
+        Some(ClusterState {
+            registry,
+            hot: Mutex::new(HotSet::new(config.replicate_after)),
+            options,
+            probe_stop,
+        })
+    }
+
+    /// Stops the prober thread (it exits within ~25ms).
+    pub(crate) fn stop(&self) {
+        self.probe_stop.store(true, Ordering::SeqCst);
+    }
+
+    fn registry(&self) -> std::sync::MutexGuard<'_, NodeRegistry> {
+        self.registry.lock().expect("registry lock poisoned")
+    }
+
+    fn hot(&self) -> std::sync::MutexGuard<'_, HotSet> {
+        self.hot.lock().expect("hot-set lock poisoned")
+    }
+}
+
+/// The liveness prober: marks nodes `Alive`/`Down` from `/healthz`.
+/// Detached (never joined): it holds only the registry and the stop
+/// flag, checks the flag every ≤25ms, and exits promptly on stop.
+fn spawn_prober(
+    registry: Arc<Mutex<NodeRegistry>>,
+    options: ClientOptions,
+    interval_ms: u64,
+    stop: Arc<AtomicBool>,
+) {
+    let probe_options = ClientOptions {
+        retries: 0,
+        ..options
+    };
+    let _ = std::thread::Builder::new()
+        .name("ukc-probe".into())
+        .spawn(move || loop {
+            let mut slept = 0u64;
+            while slept < interval_ms {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let nap = (interval_ms - slept).min(25);
+                std::thread::sleep(Duration::from_millis(nap));
+                slept += nap;
+            }
+            let nodes: Vec<(usize, String)> = registry
+                .lock()
+                .expect("registry lock poisoned")
+                .nodes()
+                .iter()
+                .map(|n| (n.id, n.addr.clone()))
+                .collect();
+            for (id, addr) in nodes {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let alive =
+                    client::request_with(addr.as_str(), "GET", "/healthz", None, &probe_options)
+                        .map(|r| r.is_success())
+                        .unwrap_or(false);
+                let state = if alive {
+                    NodeState::Alive
+                } else {
+                    NodeState::Down
+                };
+                let _ = registry
+                    .lock()
+                    .expect("registry lock poisoned")
+                    .set_state(id, state);
+            }
+        });
+}
+
+/// Parses a 16-hex-char instance ID back to its digest. IDs come from
+/// `ukc_core::digest_hex`, so anything else can never name an instance.
+fn parse_digest(id: &str) -> Option<u64> {
+    (id.len() == 16 && id.bytes().all(|b| b.is_ascii_hexdigit()))
+        .then(|| u64::from_str_radix(id, 16).ok())
+        .flatten()
+}
+
+/// The owner of a digest: `(id, addr, state)` snapshot.
+fn owner_of(cluster: &ClusterState, digest: u64) -> (usize, String, NodeState) {
+    let registry = cluster.registry();
+    let node = registry.route(digest);
+    (node.id, node.addr.clone(), node.state)
+}
+
+fn node_info(cluster: &ClusterState, id: usize) -> Option<(String, NodeState)> {
+    let registry = cluster.registry();
+    registry.node(id).map(|n| (n.addr.clone(), n.state))
+}
+
+/// Forwards one request to a node, updating its observed liveness as a
+/// side effect. `None` means a transport failure (the node is now
+/// marked `Down`); an HTTP-level error response is still `Some`.
+fn try_forward(
+    cluster: &ClusterState,
+    node_id: usize,
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Option<HttpResponse> {
+    match client::request_with(addr, method, path, body, &cluster.options) {
+        Ok(response) => {
+            let _ = cluster.registry().set_state(node_id, NodeState::Alive);
+            Some(response)
+        }
+        Err(_) => {
+            let _ = cluster.registry().set_state(node_id, NodeState::Down);
+            None
+        }
+    }
+}
+
+/// Turns a shard response into this server's response, re-parsing the
+/// body so coordinator output is rendered by the same serializer as
+/// every other response (and therefore byte-identical to single-node
+/// output for identical documents).
+fn relay(addr: &str, response: &HttpResponse) -> Handled {
+    let doc = Json::parse(&response.body)
+        .map_err(|e| ApiError::shard_error(addr, format!("unparseable response body: {e}")))?;
+    Ok((response.status, doc))
+}
+
+/// The digest-routed read path: try the owner, fall back to recorded
+/// replicas when the owner is unreachable, and fail with the typed
+/// `shard_unavailable` only when no live copy answered.
+fn read_routed(
+    cluster: &ClusterState,
+    digest: u64,
+    id: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Handled {
+    let (owner_id, owner_addr, owner_state) = owner_of(cluster, digest);
+    if owner_state == NodeState::Alive {
+        if let Some(response) = try_forward(cluster, owner_id, &owner_addr, method, path, body) {
+            return relay(&owner_addr, &response);
+        }
+    }
+    for replica_id in cluster.hot().replicas(digest).to_vec() {
+        let Some((addr, state)) = node_info(cluster, replica_id) else {
+            continue;
+        };
+        if state != NodeState::Alive {
+            continue;
+        }
+        if let Some(response) = try_forward(cluster, replica_id, &addr, method, path, body) {
+            return relay(&addr, &response);
+        }
+    }
+    Err(ApiError::shard_unavailable(id))
+}
+
+/// Counts one read of `digest` and, when it crosses the hot threshold,
+/// synchronously copies the instance from its owner to the owner's ring
+/// successor. Synchronous so the effect is observable right after the
+/// triggering response — tests and operators never race a background
+/// copier. Best-effort: a failed copy just leaves the digest hot, and
+/// the next read retries.
+fn record_read_and_replicate(cluster: &ClusterState, digest: u64, id: &str) {
+    if !cluster.hot().record_read(digest) {
+        return;
+    }
+    let (owner_id, owner_addr, owner_state) = owner_of(cluster, digest);
+    if owner_state != NodeState::Alive {
+        return;
+    }
+    let target = {
+        let registry = cluster.registry();
+        registry
+            .successor_alive(owner_id)
+            .map(|n| (n.id, n.addr.clone()))
+    };
+    let Some((target_id, target_addr)) = target else {
+        return;
+    };
+    let path = format!("/instances/{id}");
+    let Some(response) = try_forward(cluster, owner_id, &owner_addr, "GET", &path, None) else {
+        return;
+    };
+    if !response.is_success() {
+        return;
+    }
+    let Ok(doc) = Json::parse(&response.body) else {
+        return;
+    };
+    let Some(instance) = doc.get("instance") else {
+        return;
+    };
+    let body = instance.compact();
+    if let Some(copy) = try_forward(
+        cluster,
+        target_id,
+        &target_addr,
+        "POST",
+        "/replicate",
+        Some(&body),
+    ) {
+        if copy.is_success() {
+            cluster.hot().add_replica(digest, target_id);
+        }
+    }
+}
+
+/// `POST /instances` (coordinator): validate locally — so malformed
+/// bodies fail with exactly the single-node error — then route the
+/// canonical digest to its owner and forward the original body.
+pub(crate) fn create(cluster: &ClusterState, request: &Request) -> Handled {
+    let doc = api::parse_body(&request.body)?;
+    let instance = JsonInstance::from_json(&doc).map_err(ApiError::from)?;
+    let set = instance.to_set().map_err(ApiError::from)?;
+    let digest = ukc_core::digest_set(&set);
+    let id = ukc_core::digest_hex(digest);
+    let body = std::str::from_utf8(&request.body).expect("parse_body proved utf-8");
+    let (owner_id, owner_addr, _) = owner_of(cluster, digest);
+    match try_forward(
+        cluster,
+        owner_id,
+        &owner_addr,
+        "POST",
+        "/instances",
+        Some(body),
+    ) {
+        Some(response) => relay(&owner_addr, &response),
+        None => Err(ApiError::shard_unavailable(&id)),
+    }
+}
+
+/// `GET /instances` (coordinator): gather every live shard's listing,
+/// dedupe by ID (replicas appear on two nodes), and sort for stability.
+pub(crate) fn list(cluster: &ClusterState) -> Handled {
+    let nodes: Vec<(usize, String, NodeState)> = cluster
+        .registry()
+        .nodes()
+        .iter()
+        .map(|n| (n.id, n.addr.clone(), n.state))
+        .collect();
+    let mut items: Vec<(String, Json)> = Vec::new();
+    for (node_id, addr, state) in nodes {
+        if state != NodeState::Alive {
+            continue;
+        }
+        let Some(response) = try_forward(cluster, node_id, &addr, "GET", "/instances", None) else {
+            continue;
+        };
+        let Ok(doc) = Json::parse(&response.body) else {
+            continue;
+        };
+        let Some(instances) = doc.get("instances").and_then(Json::as_array) else {
+            continue;
+        };
+        for item in instances {
+            let Some(id) = item.get("id").and_then(Json::as_str) else {
+                continue;
+            };
+            if !items.iter().any(|(seen, _)| seen == id) {
+                items.push((id.to_string(), item.clone()));
+            }
+        }
+    }
+    items.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok((
+        200,
+        Json::obj([(
+            "instances",
+            Json::arr(items.into_iter().map(|(_, doc)| doc)),
+        )]),
+    ))
+}
+
+/// `GET /instances/{id}` (coordinator): digest-routed with replica
+/// fallback; counts toward the hot threshold.
+pub(crate) fn get(cluster: &ClusterState, id: &str) -> Handled {
+    let Some(digest) = parse_digest(id) else {
+        return Err(ApiError::instance_not_found(id));
+    };
+    record_read_and_replicate(cluster, digest, id);
+    read_routed(
+        cluster,
+        digest,
+        id,
+        "GET",
+        &format!("/instances/{id}"),
+        None,
+    )
+}
+
+/// `DELETE /instances/{id}` (coordinator): delete on the owner, then
+/// sweep every recorded replica (best-effort) and drop the digest's
+/// hot-tracking state.
+pub(crate) fn delete(cluster: &ClusterState, id: &str) -> Handled {
+    let Some(digest) = parse_digest(id) else {
+        return Err(ApiError::instance_not_found(id));
+    };
+    let (owner_id, owner_addr, _) = owner_of(cluster, digest);
+    let path = format!("/instances/{id}");
+    let Some(response) = try_forward(cluster, owner_id, &owner_addr, "DELETE", &path, None) else {
+        return Err(ApiError::shard_unavailable(id));
+    };
+    if response.is_success() {
+        for replica_id in cluster.hot().forget(digest) {
+            if let Some((addr, NodeState::Alive)) = node_info(cluster, replica_id) {
+                let _ = try_forward(cluster, replica_id, &addr, "DELETE", &path, None);
+            }
+        }
+    }
+    relay(&owner_addr, &response)
+}
+
+/// `POST /instances/{id}/solve` (coordinator): digest-routed with
+/// replica fallback — a replica stores the instance under the same
+/// digest and runs the same deterministic solve, so a fallback response
+/// is byte-identical to the owner's.
+pub(crate) fn solve(cluster: &ClusterState, id: &str, request: &Request) -> Handled {
+    let Some(digest) = parse_digest(id) else {
+        return Err(ApiError::instance_not_found(id));
+    };
+    let body = std::str::from_utf8(&request.body)
+        .map_err(|_| ApiError::bad_request("bad_json", "body is not valid UTF-8"))?;
+    record_read_and_replicate(cluster, digest, id);
+    read_routed(
+        cluster,
+        digest,
+        id,
+        "POST",
+        &format!("/instances/{id}/solve"),
+        Some(body),
+    )
+}
+
+/// `POST /solve` (coordinator): the inline instance digests to a shard
+/// like a stored one, so the one-shot lands on the node that would own
+/// it — warming the right solution cache. One-shots are stateless, so
+/// any live node can stand in when the owner is down.
+pub(crate) fn oneshot(cluster: &ClusterState, request: &Request) -> Handled {
+    let doc = api::parse_body(&request.body)?;
+    let (instance, _solve) = api::parse_oneshot(&doc)?;
+    let set = instance.to_set().map_err(ApiError::from)?;
+    let digest = ukc_core::digest_set(&set);
+    let body = std::str::from_utf8(&request.body).expect("parse_body proved utf-8");
+    let (owner_id, owner_addr, owner_state) = owner_of(cluster, digest);
+    if owner_state == NodeState::Alive {
+        if let Some(response) =
+            try_forward(cluster, owner_id, &owner_addr, "POST", "/solve", Some(body))
+        {
+            return relay(&owner_addr, &response);
+        }
+    }
+    let fallback = {
+        let registry = cluster.registry();
+        registry
+            .successor_alive(owner_id)
+            .map(|n| (n.id, n.addr.clone()))
+    };
+    if let Some((node_id, addr)) = fallback {
+        if let Some(response) = try_forward(cluster, node_id, &addr, "POST", "/solve", Some(body)) {
+            return relay(&addr, &response);
+        }
+    }
+    Err(ApiError::shard_unavailable(&ukc_core::digest_hex(digest)))
+}
+
+/// `POST /instances/{id}/append` (coordinator): fetch the stored points
+/// from the owning shard (verbatim, so the recovered set is bit-exact),
+/// grow them with the request's points, and store the grown instance on
+/// the shard owning the *new* digest — append can move content across
+/// the cluster, exactly as content addressing demands.
+pub(crate) fn append(cluster: &ClusterState, id: &str, request: &Request) -> Handled {
+    let Some(digest) = parse_digest(id) else {
+        return Err(ApiError::instance_not_found(id));
+    };
+    let doc = api::parse_body(&request.body)?;
+    let instance = JsonInstance::from_json(&doc).map_err(ApiError::from)?;
+    let appended = instance.to_set().map_err(ApiError::from)?;
+
+    record_read_and_replicate(cluster, digest, id);
+    let (status, stored_doc) = read_routed(
+        cluster,
+        digest,
+        id,
+        "GET",
+        &format!("/instances/{id}"),
+        None,
+    )?;
+    if status != 200 {
+        return Ok((status, stored_doc));
+    }
+    let stored_dim = stored_doc.get("dim").and_then(Json::as_usize).unwrap_or(0);
+    if instance.dim != stored_dim {
+        let stored_n = stored_doc.get("n").and_then(Json::as_usize).unwrap_or(0);
+        return Err(ukc_core::SolveError::DimensionMismatch {
+            point: stored_n,
+            got: instance.dim,
+            expected: stored_dim,
+        }
+        .into());
+    }
+    let stored_instance = stored_doc
+        .get("instance")
+        .ok_or_else(|| ApiError::shard_error("owner", "instance document missing"))
+        .and_then(|d| JsonInstance::from_json(d).map_err(ApiError::from))?;
+    // Verbatim: the owner serialized its already-normalized set, and a
+    // renormalizing parse is not bit-idempotent — the grown digest must
+    // match what the owner itself would have computed.
+    let stored_set = stored_instance.to_set_verbatim().map_err(ApiError::from)?;
+
+    let mut points = stored_set.points().to_vec();
+    points.extend(appended.points().iter().cloned());
+    let grown = ukc_uncertain::UncertainSet::new(points);
+    let grown_body = JsonInstance::from_set(&grown).to_json().compact();
+    let new_digest = ukc_core::digest_set(&grown);
+    let new_id = ukc_core::digest_hex(new_digest);
+
+    let (new_owner_id, new_owner_addr, _) = owner_of(cluster, new_digest);
+    let Some(response) = try_forward(
+        cluster,
+        new_owner_id,
+        &new_owner_addr,
+        "POST",
+        "/replicate",
+        Some(&grown_body),
+    ) else {
+        return Err(ApiError::shard_unavailable(&new_id));
+    };
+    let (status, mut body) = relay(&new_owner_addr, &response)?;
+    if let Json::Obj(pairs) = &mut body {
+        // Mirror the single-node append response's field order:
+        // summary, previous_id, appended, created.
+        let created = pairs
+            .iter()
+            .position(|(k, _)| k == "created")
+            .map(|i| pairs.remove(i));
+        pairs.push(("previous_id".into(), Json::from(id)));
+        pairs.push(("appended".into(), Json::from(appended.n())));
+        if let Some(created) = created {
+            pairs.push(created);
+        }
+    }
+    Ok((status, body))
+}
+
+/// One scattered shard group's outcome.
+struct GroupReport {
+    node_id: usize,
+    addr: String,
+    indices: Vec<usize>,
+    docs: Vec<Json>,
+    seconds: f64,
+}
+
+/// `POST /solve_batch` (coordinator): group ids by owning shard,
+/// scatter one `/solve_batch` sub-request per shard concurrently on the
+/// shared pool lanes, gather into request order, and attribute wall
+/// time per shard. A shard that fails mid-scatter degrades to per-id
+/// replica fallback instead of failing the whole batch.
+pub(crate) fn solve_batch(cluster: &ClusterState, request: &Request) -> Handled {
+    let doc = api::parse_body(&request.body)?;
+    let (ids, _solve) = api::parse_solve_batch(&doc)?;
+
+    let mut slots: Vec<Option<Json>> = vec![None; ids.len()];
+    let mut groups: Vec<(usize, String, Vec<usize>)> = Vec::new(); // (node, addr, item indices)
+    for (i, id) in ids.iter().enumerate() {
+        let Some(digest) = parse_digest(id) else {
+            slots[i] = Some(ApiError::instance_not_found(id).to_json());
+            continue;
+        };
+        record_read_and_replicate(cluster, digest, id);
+        let (owner_id, owner_addr, _) = owner_of(cluster, digest);
+        match groups.iter_mut().find(|(node, _, _)| *node == owner_id) {
+            Some((_, _, indices)) => indices.push(i),
+            None => groups.push((owner_id, owner_addr, vec![i])),
+        }
+    }
+
+    let reports: Vec<GroupReport> = ukc_pool::map_chunks(
+        ukc_pool::Exec::auto(groups.len()),
+        groups.len(),
+        1,
+        |range| {
+            let (node_id, addr, indices) = &groups[range.start];
+            let group_ids: Vec<String> = indices.iter().map(|&i| ids[i].clone()).collect();
+            let started = Instant::now();
+            let docs = scatter_group(cluster, *node_id, addr, &doc, &group_ids);
+            GroupReport {
+                node_id: *node_id,
+                addr: addr.clone(),
+                indices: indices.clone(),
+                docs,
+                seconds: started.elapsed().as_secs_f64(),
+            }
+        },
+    );
+
+    let shards = Json::arr(reports.iter().map(|r| {
+        Json::obj([
+            ("node", Json::from(r.node_id)),
+            ("addr", Json::from(r.addr.as_str())),
+            ("ids", Json::from(r.indices.len())),
+            ("seconds", Json::from(r.seconds)),
+        ])
+    }));
+    for report in reports {
+        for (&slot, doc) in report.indices.iter().zip(report.docs) {
+            slots[slot] = Some(doc);
+        }
+    }
+    let count = slots.len();
+    let solutions: Vec<Json> = slots
+        .into_iter()
+        .map(|s| s.expect("every id lands in exactly one slot or group"))
+        .collect();
+    Ok((
+        200,
+        Json::obj([
+            ("solutions", Json::arr(solutions)),
+            ("count", Json::from(count)),
+            ("shards", shards),
+        ]),
+    ))
+}
+
+/// Forwards one shard's sub-batch; on transport failure, degrades to
+/// per-id solves against recorded replicas.
+fn scatter_group(
+    cluster: &ClusterState,
+    node_id: usize,
+    addr: &str,
+    doc: &Json,
+    group_ids: &[String],
+) -> Vec<Json> {
+    let body = replace_ids(doc, group_ids);
+    if let Some(response) = try_forward(cluster, node_id, addr, "POST", "/solve_batch", Some(&body))
+    {
+        if let Ok(shard_doc) = Json::parse(&response.body) {
+            if let Some(solutions) = shard_doc.get("solutions").and_then(Json::as_array) {
+                if solutions.len() == group_ids.len() {
+                    return solutions.to_vec();
+                }
+            }
+        }
+        let error = ApiError::shard_error(addr, "malformed /solve_batch response");
+        return group_ids.iter().map(|_| error.to_json()).collect();
+    }
+    // The owner is down: solve each id against its replicas.
+    let solve_body = without_ids(doc);
+    group_ids
+        .iter()
+        .map(|id| {
+            let Some(digest) = parse_digest(id) else {
+                return ApiError::instance_not_found(id).to_json();
+            };
+            for replica_id in cluster.hot().replicas(digest).to_vec() {
+                let Some((replica_addr, NodeState::Alive)) = node_info(cluster, replica_id) else {
+                    continue;
+                };
+                if let Some(response) = try_forward(
+                    cluster,
+                    replica_id,
+                    &replica_addr,
+                    "POST",
+                    &format!("/instances/{id}/solve"),
+                    Some(&solve_body),
+                ) {
+                    if let Ok(doc) = Json::parse(&response.body) {
+                        return doc;
+                    }
+                }
+            }
+            ApiError::shard_unavailable(id).to_json()
+        })
+        .collect()
+}
+
+/// The sub-batch body for one shard: the original request with `ids`
+/// replaced by the shard's subset (solve fields pass through untouched,
+/// so shards solve under exactly the client's configuration).
+fn replace_ids(doc: &Json, ids: &[String]) -> String {
+    let mut out = doc.clone();
+    if let Json::Obj(pairs) = &mut out {
+        for (key, value) in pairs.iter_mut() {
+            if key == "ids" {
+                *value = Json::arr(ids.iter().map(|id| Json::from(id.as_str())));
+            }
+        }
+    }
+    out.compact()
+}
+
+/// The solve-fields-only body (for per-id replica fallback).
+fn without_ids(doc: &Json) -> String {
+    let mut out = doc.clone();
+    if let Json::Obj(pairs) = &mut out {
+        pairs.retain(|(key, _)| key != "ids");
+    }
+    out.compact()
+}
+
+/// `GET /cluster/status`: role, registry, and replication gauges. On a
+/// non-coordinator this reports `role: "single"` with no nodes, so the
+/// CLI's `ukc cluster status` works against any server.
+pub(crate) fn status(state: &AppState) -> Handled {
+    let Some(cluster) = state.cluster() else {
+        return Ok((
+            200,
+            Json::obj([
+                ("role", Json::from("single")),
+                ("nodes", Json::arr(std::iter::empty::<Json>())),
+            ]),
+        ));
+    };
+    let nodes = cluster.registry().to_wire();
+    let (threshold, tracked, replicated) = {
+        let hot = cluster.hot();
+        (hot.threshold(), hot.tracked(), hot.replicated())
+    };
+    Ok((
+        200,
+        Json::obj([
+            ("role", Json::from("coordinator")),
+            ("nodes", Json::arr(nodes.iter().map(JsonNode::to_json))),
+            (
+                "replication",
+                Json::obj([
+                    ("threshold", Json::from(threshold as usize)),
+                    ("tracked", Json::from(tracked)),
+                    ("replicated", Json::from(replicated)),
+                ]),
+            ),
+        ]),
+    ))
+}
+
+/// `POST /cluster/nodes` — `{"addr": "host:port"}`: register a shard by
+/// splitting the widest range. Only digests in the stolen half move.
+pub(crate) fn node_add(state: &AppState, request: &Request) -> Handled {
+    let Some(cluster) = state.cluster() else {
+        return Err(ApiError::not_coordinator());
+    };
+    let doc = api::parse_body(&request.body)?;
+    let addr = doc
+        .get("addr")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::bad_request("bad_schema", "missing string field \"addr\""))?;
+    let node = {
+        let mut registry = cluster.registry();
+        let id = registry.add(addr).map_err(ApiError::from)?;
+        registry
+            .node(id)
+            .expect("the node was just added")
+            .to_wire()
+    };
+    Ok((201, Json::obj([("node", node.to_json())])))
+}
+
+/// `DELETE /cluster/nodes/{id}`: deregister a shard. Its range merges
+/// into the adjacent neighbor — only the removed range is reassigned —
+/// and its replica records are dropped with it.
+pub(crate) fn node_remove(state: &AppState, id: &str) -> Handled {
+    let Some(cluster) = state.cluster() else {
+        return Err(ApiError::not_coordinator());
+    };
+    let node_id: usize = id.parse().map_err(|_| ApiError::node_not_found(id))?;
+    let (start, end, heir) = cluster.registry().remove(node_id).map_err(ApiError::from)?;
+    cluster.hot().forget_node(node_id);
+    Ok((
+        200,
+        Json::obj([
+            ("removed", Json::from(node_id)),
+            (
+                "reassigned",
+                Json::obj([
+                    ("prefix_start", Json::from(start as usize)),
+                    ("prefix_end", Json::from(end as usize)),
+                    ("heir", Json::from(heir)),
+                ]),
+            ),
+        ]),
+    ))
+}

@@ -87,6 +87,57 @@ impl ApiError {
         }
     }
 
+    /// `503` when the scheduler's bounded queue is full. The response
+    /// carries a `Retry-After` header; the request was never enqueued, so
+    /// retrying is always safe.
+    pub fn overloaded(depth: usize, cap: usize) -> Self {
+        ApiError {
+            status: 503,
+            kind: "overloaded",
+            message: format!("solve queue is full ({depth} of {cap} slots); retry shortly"),
+        }
+    }
+
+    /// `503` when the shard owning a digest is down and no live replica
+    /// holds it. This is the *only* failure mode of a digest-routed read
+    /// in a degraded cluster: reads of replicated instances keep working.
+    pub fn shard_unavailable(id: &str) -> Self {
+        ApiError {
+            status: 503,
+            kind: "shard_unavailable",
+            message: format!("the shard owning {id} is down and no live replica holds it"),
+        }
+    }
+
+    /// `400` for a cluster-lifecycle request sent to a node that is not
+    /// running as a coordinator.
+    pub fn not_coordinator() -> Self {
+        ApiError {
+            status: 400,
+            kind: "not_coordinator",
+            message: "this server is not running in coordinator mode (start with --shards)".into(),
+        }
+    }
+
+    /// `502` when a shard answered but with something that is not a
+    /// well-formed response (the cluster analog of `bad_http`).
+    pub fn shard_error(addr: &str, detail: impl Into<String>) -> Self {
+        ApiError {
+            status: 502,
+            kind: "shard_error",
+            message: format!("shard {addr}: {}", detail.into()),
+        }
+    }
+
+    /// `404` for a cluster node ID that is not in the registry.
+    pub fn node_not_found(id: &str) -> Self {
+        ApiError {
+            status: 404,
+            kind: "node_not_found",
+            message: format!("no cluster node {id}"),
+        }
+    }
+
     /// The wire payload.
     pub fn to_json(&self) -> Json {
         Json::obj([(
@@ -166,6 +217,28 @@ impl From<ukc_durable::StoreError> for ApiError {
     }
 }
 
+impl From<ukc_cluster::RegistryError> for ApiError {
+    /// Registry lifecycle failures: naming a node that is not registered
+    /// is a `404`; a structurally impossible change (removing the last
+    /// node, splitting an exhausted prefix space) is a `422`.
+    fn from(e: ukc_cluster::RegistryError) -> Self {
+        use ukc_cluster::RegistryError;
+        match &e {
+            RegistryError::UnknownNode(id) => ApiError::node_not_found(&id.to_string()),
+            RegistryError::Empty | RegistryError::LastNode => ApiError {
+                status: 422,
+                kind: "last_node",
+                message: e.to_string(),
+            },
+            RegistryError::SpaceExhausted => ApiError {
+                status: 422,
+                kind: "space_exhausted",
+                message: e.to_string(),
+            },
+        }
+    }
+}
+
 impl From<FormatError> for ApiError {
     fn from(e: FormatError) -> Self {
         match &e {
@@ -234,6 +307,25 @@ mod tests {
         .into();
         assert_eq!((e.status, e.kind), (500, "corrupt_segment"));
         assert!(e.message.contains("seg-000001.log"));
+    }
+
+    #[test]
+    fn cluster_errors_have_stable_kinds() {
+        let e = ApiError::overloaded(4096, 4096);
+        assert_eq!((e.status, e.kind), (503, "overloaded"));
+        let e = ApiError::shard_unavailable("deadbeef");
+        assert_eq!((e.status, e.kind), (503, "shard_unavailable"));
+        assert!(e.message.contains("deadbeef"));
+        let e = ApiError::not_coordinator();
+        assert_eq!((e.status, e.kind), (400, "not_coordinator"));
+        let e = ApiError::shard_error("127.0.0.1:9", "bad body");
+        assert_eq!((e.status, e.kind), (502, "shard_error"));
+        let e: ApiError = ukc_cluster::RegistryError::UnknownNode(7).into();
+        assert_eq!((e.status, e.kind), (404, "node_not_found"));
+        let e: ApiError = ukc_cluster::RegistryError::LastNode.into();
+        assert_eq!((e.status, e.kind), (422, "last_node"));
+        let e: ApiError = ukc_cluster::RegistryError::SpaceExhausted.into();
+        assert_eq!((e.status, e.kind), (422, "space_exhausted"));
     }
 
     #[test]

@@ -248,12 +248,24 @@ pub struct Response {
     pub status: u16,
     /// Response body (always JSON in this service).
     pub body: String,
+    /// Extra headers beyond the standard set (`Retry-After`, ...).
+    pub headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
     /// A JSON response with the given status.
     pub fn json(status: u16, body: String) -> Self {
-        Response { status, body }
+        Response {
+            status,
+            body,
+            headers: Vec::new(),
+        }
+    }
+
+    /// Adds a header to the response.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
     }
 }
 
@@ -266,6 +278,7 @@ pub fn status_text(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
+        502 => "Bad Gateway",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -281,12 +294,16 @@ pub fn write_response(
 ) -> io::Result<()> {
     write!(
         writer,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
         status_text(response.status),
         response.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     )?;
+    for (name, value) in &response.headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    writer.write_all(b"\r\n")?;
     writer.write_all(response.body.as_bytes())?;
     writer.flush()
 }
@@ -387,6 +404,18 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn extra_headers_land_in_the_head() {
+        let mut out = Vec::new();
+        let response = Response::json(503, "{}".into()).with_header("Retry-After", "1");
+        write_response(&mut out, &response, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        // Headers stay inside the head: the blank line still separates.
         assert!(text.ends_with("\r\n\r\n{}"));
     }
 }

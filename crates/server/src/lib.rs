@@ -30,6 +30,10 @@
 //! | `POST /instances/{id}/solve` | solve a stored instance |
 //! | `POST /instances/{id}/append` | grow a stored instance (new content ID) |
 //! | `POST /solve` | one-shot solve of an inline instance |
+//! | `POST /solve_batch` | solve many stored instances in one submission |
+//! | `POST /replicate` | cluster-internal verbatim store (digest-preserving) |
+//! | `GET /cluster/status` | role, shard registry, replication gauges |
+//! | `POST /cluster/nodes` · `DELETE /cluster/nodes/{id}` | shard lifecycle (coordinator) |
 //! | `POST /streams` | open a streaming session ([`streams`], backed by `ukc_stream`) |
 //! | `POST /streams/{id}/push` | feed one chunk (= one epoch) into a stream |
 //! | `GET /streams/{id}/solution` | incremental re-solve of the stream's summary |
@@ -55,7 +59,7 @@
 
 pub mod api;
 pub mod cache;
-pub mod client;
+mod cluster;
 pub mod error;
 pub mod http;
 pub mod metrics;
@@ -64,6 +68,11 @@ pub mod scheduler;
 pub mod server;
 pub mod store;
 pub mod streams;
+
+/// The dep-free HTTP/1.1 client, shared with the coordinator's
+/// forwarding path (it lives in `ukc_cluster` so both crates use one
+/// implementation).
+pub use ukc_cluster::client;
 
 pub use error::ApiError;
 pub use server::{serve, serve_blocking, ServerConfig, ServerHandle};

@@ -45,12 +45,22 @@ pub enum Route {
     StreamPush,
     /// `GET /streams/{id}/solution`
     StreamSolution,
+    /// `POST /solve_batch`
+    SolveBatch,
+    /// `POST /replicate` (internal: coordinator-pushed hot copies)
+    Replicate,
+    /// `GET /cluster/status`
+    ClusterStatus,
+    /// `POST /cluster/nodes`
+    ClusterNodeAdd,
+    /// `DELETE /cluster/nodes/{id}`
+    ClusterNodeRemove,
     /// Anything that matched no route, or a real route with a method it
     /// does not support.
     Unmatched,
 }
 
-const ROUTES: [(Route, &str); 16] = [
+const ROUTES: [(Route, &str); 21] = [
     (Route::Healthz, "healthz"),
     (Route::Metrics, "metrics"),
     (Route::InstanceCreate, "instances_create"),
@@ -66,6 +76,11 @@ const ROUTES: [(Route, &str); 16] = [
     (Route::StreamDelete, "streams_delete"),
     (Route::StreamPush, "streams_push"),
     (Route::StreamSolution, "streams_solution"),
+    (Route::SolveBatch, "solve_batch"),
+    (Route::Replicate, "replicate"),
+    (Route::ClusterStatus, "cluster_status"),
+    (Route::ClusterNodeAdd, "cluster_nodes_add"),
+    (Route::ClusterNodeRemove, "cluster_nodes_remove"),
     (Route::Unmatched, "unmatched"),
 ];
 
@@ -96,6 +111,8 @@ pub struct Metrics {
     pub wave_jobs: AtomicU64,
     /// Duplicate jobs coalesced inside waves (served one solve, many replies).
     pub coalesced_jobs: AtomicU64,
+    /// Submissions rejected because the bounded queue was full.
+    pub overloaded: AtomicU64,
     solves_ok: AtomicU64,
     solves_err: AtomicU64,
     solve_nanos: AtomicU64,
@@ -221,6 +238,7 @@ impl Metrics {
                         "coalesced_jobs",
                         Json::from(get(&self.coalesced_jobs) as f64),
                     ),
+                    ("overloaded", Json::from(get(&self.overloaded) as f64)),
                 ]),
             ),
             (

@@ -16,11 +16,19 @@
 //! *lane cap*, not a thread count: it bounds how many pool lanes one
 //! wave may occupy.
 //!
+//! The queue has a **bounded depth** (`queue_cap`): a submission that
+//! would push the number of accepted-but-unanswered jobs past the cap is
+//! rejected up front with [`SubmitError::Overloaded`] — the server turns
+//! that into a typed `503 overloaded` with a `Retry-After` header.
+//! Rejection happens before the job is enqueued, so a rejected request
+//! has no side effects and is always safe to retry.
+//!
 //! Determinism is load-bearing: `solve_batch_threads` is bit-identical
 //! to the sequential loop, so batching, coalescing, and pool scheduling
 //! can never leak into a response — a client observes exactly what
 //! `Problem::solve` would have returned.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -32,6 +40,20 @@ use ukc_metric::Point;
 /// Hard ceiling on jobs per wave (backpressure: later jobs wait for the
 /// next wave, they are never dropped).
 pub const MAX_WAVE: usize = 256;
+
+/// Why a submission was refused before it was enqueued.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The scheduler has shut down (the server is stopping).
+    ShuttingDown,
+    /// The bounded queue is full; the job was never enqueued.
+    Overloaded {
+        /// Accepted-but-unanswered jobs at rejection time.
+        depth: usize,
+        /// The configured queue capacity.
+        cap: usize,
+    },
+}
 
 /// One queued solve request.
 struct Job {
@@ -46,21 +68,34 @@ pub struct Scheduler {
     tx: Mutex<Option<mpsc::Sender<Job>>>,
     dispatcher: Mutex<Option<JoinHandle<()>>>,
     workers: usize,
+    queue_cap: usize,
+    depth: Arc<AtomicUsize>,
+    metrics: Arc<Metrics>,
 }
 
 impl Scheduler {
     /// Starts the dispatcher. `workers` is the pool-lane cap handed to
-    /// [`solve_batch_threads`] per wave (0 and 1 both mean sequential).
-    pub fn new(workers: usize, metrics: Arc<Metrics>) -> Self {
+    /// [`solve_batch_threads`] per wave (0 and 1 both mean sequential);
+    /// `queue_cap` bounds accepted-but-unanswered jobs (`usize::MAX` is
+    /// unbounded — the historical behavior; `0` rejects every solve).
+    pub fn new(workers: usize, queue_cap: usize, metrics: Arc<Metrics>) -> Self {
         let (tx, rx) = mpsc::channel::<Job>();
-        let dispatcher = std::thread::Builder::new()
-            .name("ukc-dispatch".into())
-            .spawn(move || dispatch_loop(rx, workers, metrics))
-            .expect("spawning the dispatcher thread");
+        let depth = Arc::new(AtomicUsize::new(0));
+        let dispatcher = {
+            let depth = Arc::clone(&depth);
+            let metrics = Arc::clone(&metrics);
+            std::thread::Builder::new()
+                .name("ukc-dispatch".into())
+                .spawn(move || dispatch_loop(rx, workers, depth, metrics))
+                .expect("spawning the dispatcher thread")
+        };
         Scheduler {
             tx: Mutex::new(Some(tx)),
             dispatcher: Mutex::new(Some(dispatcher)),
             workers,
+            queue_cap,
+            depth,
+            metrics,
         }
     }
 
@@ -69,29 +104,102 @@ impl Scheduler {
         self.workers
     }
 
-    /// Submits one solve and blocks for its result. The outer `Err(())`
-    /// means the scheduler has shut down (the caller should answer 503);
-    /// the inner result is the solve's own outcome.
-    #[allow(clippy::result_unit_err)]
+    /// The configured queue-depth bound.
+    pub fn queue_cap(&self) -> usize {
+        self.queue_cap
+    }
+
+    /// Accepted-but-unanswered jobs right now (a racy monitoring gauge).
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Atomically reserves `n` queue slots, or reports the overload.
+    fn reserve(&self, n: usize) -> Result<(), SubmitError> {
+        let outcome = self
+            .depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                if d.saturating_add(n) > self.queue_cap {
+                    None
+                } else {
+                    Some(d + n)
+                }
+            });
+        match outcome {
+            Ok(_) => Ok(()),
+            Err(depth) => {
+                self.metrics.overloaded.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::Overloaded {
+                    depth,
+                    cap: self.queue_cap,
+                })
+            }
+        }
+    }
+
+    /// Releases reserved slots that will never reach the dispatcher.
+    fn release(&self, n: usize) {
+        self.depth.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Submits one solve and blocks for its result. The outer error
+    /// means the job never ran (queue full or shutdown — the caller
+    /// should answer 503); the inner result is the solve's own outcome.
     pub fn solve(
         &self,
         problem: Problem<Point>,
         config: SolverConfig,
         digest: u64,
-    ) -> Result<Result<Solution<Point>, SolveError>, ()> {
-        let (reply_tx, reply_rx) = mpsc::channel();
+    ) -> Result<Result<Solution<Point>, SolveError>, SubmitError> {
+        self.solve_many(vec![(problem, config, digest)])
+            .map(|mut results| results.pop().expect("one job yields one result"))
+    }
+
+    /// Submits a batch of solves and blocks for all results, in job
+    /// order. All jobs are enqueued before the first result is awaited,
+    /// so a batch submitted by one thread lands in one wave and fans out
+    /// across the pool — this is what `POST /solve_batch` rides on. The
+    /// whole batch is admitted or rejected atomically against the queue
+    /// bound.
+    pub fn solve_many(
+        &self,
+        jobs: Vec<(Problem<Point>, SolverConfig, u64)>,
+    ) -> Result<Vec<Result<Solution<Point>, SolveError>>, SubmitError> {
+        if jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.reserve(jobs.len())?;
+        let mut replies = Vec::with_capacity(jobs.len());
         {
             let guard = self.tx.lock().expect("scheduler submit lock poisoned");
-            let tx = guard.as_ref().ok_or(())?;
-            tx.send(Job {
-                problem,
-                config,
-                digest,
-                reply: reply_tx,
-            })
-            .map_err(|_| ())?;
+            let Some(tx) = guard.as_ref() else {
+                self.release(jobs.len());
+                return Err(SubmitError::ShuttingDown);
+            };
+            let total = jobs.len();
+            for (problem, config, digest) in jobs {
+                let (reply_tx, reply_rx) = mpsc::channel();
+                if tx
+                    .send(Job {
+                        problem,
+                        config,
+                        digest,
+                        reply: reply_tx,
+                    })
+                    .is_err()
+                {
+                    // Enqueued jobs are drained (and released) by the
+                    // dispatcher; only the unsent remainder is ours.
+                    self.release(total - replies.len());
+                    return Err(SubmitError::ShuttingDown);
+                }
+                replies.push(reply_rx);
+            }
         }
-        reply_rx.recv().map_err(|_| ())
+        replies
+            .into_iter()
+            .map(|rx| rx.recv().map_err(|_| SubmitError::ShuttingDown))
+            .collect()
     }
 
     /// Stops accepting work and joins the dispatcher after it drains the
@@ -120,7 +228,12 @@ impl Drop for Scheduler {
     }
 }
 
-fn dispatch_loop(rx: mpsc::Receiver<Job>, workers: usize, metrics: Arc<Metrics>) {
+fn dispatch_loop(
+    rx: mpsc::Receiver<Job>,
+    workers: usize,
+    depth: Arc<AtomicUsize>,
+    metrics: Arc<Metrics>,
+) {
     loop {
         // Block for the first job; every sender gone means shutdown.
         let first = match rx.recv() {
@@ -134,7 +247,9 @@ fn dispatch_loop(rx: mpsc::Receiver<Job>, workers: usize, metrics: Arc<Metrics>)
                 Err(_) => break,
             }
         }
+        let answered = jobs.len();
         run_wave(jobs, workers, &metrics);
+        depth.fetch_sub(answered, Ordering::Relaxed);
     }
 }
 
@@ -222,7 +337,7 @@ mod tests {
     #[test]
     fn results_match_direct_solves_bit_for_bit() {
         let metrics = Arc::new(Metrics::new());
-        let scheduler = Arc::new(Scheduler::new(2, Arc::clone(&metrics)));
+        let scheduler = Arc::new(Scheduler::new(2, usize::MAX, Arc::clone(&metrics)));
         let config = SolverConfig::default();
         let mut handles = Vec::new();
         for seed in 0..8u64 {
@@ -249,7 +364,7 @@ mod tests {
     #[test]
     fn typed_errors_come_back_through_the_queue() {
         let metrics = Arc::new(Metrics::new());
-        let scheduler = Scheduler::new(1, metrics);
+        let scheduler = Scheduler::new(1, usize::MAX, metrics);
         let p = problem(3);
         let digest = p.instance_digest();
         // EP rule is undefined on discrete problems; build one.
@@ -271,11 +386,60 @@ mod tests {
 
     #[test]
     fn shutdown_refuses_new_work() {
-        let scheduler = Scheduler::new(1, Arc::new(Metrics::new()));
+        let scheduler = Scheduler::new(1, usize::MAX, Arc::new(Metrics::new()));
         scheduler.shutdown();
         let p = problem(1);
         let digest = p.instance_digest();
-        assert!(scheduler.solve(p, SolverConfig::default(), digest).is_err());
+        assert_eq!(
+            scheduler
+                .solve(p, SolverConfig::default(), digest)
+                .unwrap_err(),
+            SubmitError::ShuttingDown
+        );
         scheduler.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn solve_many_answers_in_order_in_one_submission() {
+        let metrics = Arc::new(Metrics::new());
+        let scheduler = Scheduler::new(2, usize::MAX, Arc::clone(&metrics));
+        let config = SolverConfig::default();
+        let jobs: Vec<_> = (0..6u64)
+            .map(|seed| {
+                let p = problem(seed);
+                let digest = p.instance_digest();
+                (p, config.clone(), digest)
+            })
+            .collect();
+        let results = scheduler.solve_many(jobs).unwrap();
+        assert_eq!(results.len(), 6);
+        for (seed, served) in results.iter().enumerate() {
+            let direct = problem(seed as u64).solve(&config).unwrap();
+            let served = served.as_ref().unwrap();
+            assert_eq!(served.ecost.to_bits(), direct.ecost.to_bits());
+            assert_eq!(served.assignment, direct.assignment);
+        }
+        // Depth settles back to zero once everything is answered.
+        assert_eq!(scheduler.depth(), 0);
+        assert_eq!(scheduler.solve_many(Vec::new()).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn zero_cap_rejects_everything_as_overloaded() {
+        let metrics = Arc::new(Metrics::new());
+        let scheduler = Scheduler::new(1, 0, Arc::clone(&metrics));
+        let p = problem(2);
+        let digest = p.instance_digest();
+        let err = scheduler
+            .solve(p, SolverConfig::default(), digest)
+            .unwrap_err();
+        assert_eq!(err, SubmitError::Overloaded { depth: 0, cap: 0 });
+        assert_eq!(
+            metrics
+                .overloaded
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        assert_eq!(scheduler.depth(), 0);
     }
 }

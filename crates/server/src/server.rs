@@ -56,6 +56,24 @@ pub struct ServerConfig {
     /// snapshots; recovery then replays the full WAL). Only meaningful
     /// with `data_dir` set.
     pub snapshot_interval: u64,
+    /// Bound on queued solve jobs (`usize::MAX` means unbounded, 0
+    /// rejects everything). A full queue answers `503 overloaded` with
+    /// `Retry-After` instead of letting latency grow without bound.
+    pub queue_cap: usize,
+    /// Shard addresses (`ukc serve --shards a,b,...`). Non-empty turns
+    /// this server into a **coordinator**: it stores no instances and
+    /// digest-routes every instance request to the owning shard.
+    pub shards: Vec<String>,
+    /// Digest-routed reads before an instance is replicated to its
+    /// owner's ring successor (0 disables replication).
+    pub replicate_after: u64,
+    /// Per-attempt timeout for requests the coordinator forwards.
+    pub shard_timeout_ms: u64,
+    /// Connect retries (with exponential backoff) per forwarded request.
+    pub shard_retries: u32,
+    /// Liveness probe period (0 disables the prober; forwarded requests
+    /// still update liveness as a side effect).
+    pub probe_interval_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +85,12 @@ impl Default for ServerConfig {
             max_body_bytes: 8 * 1024 * 1024,
             data_dir: None,
             snapshot_interval: 16,
+            queue_cap: 4096,
+            shards: Vec::new(),
+            replicate_after: 3,
+            shard_timeout_ms: 2000,
+            shard_retries: 2,
+            probe_interval_ms: 1000,
         }
     }
 }
@@ -88,9 +112,17 @@ pub(crate) struct AppState {
     durable: Option<DurableStore>,
     snapshot_interval: u64,
     recovery: RecoveryStats,
+    /// Coordinator mode, present only with `shards` configured. Like
+    /// `durable`, a single-node server carries `None` and pays one
+    /// untaken `if` per request.
+    cluster: Option<crate::cluster::ClusterState>,
 }
 
 impl AppState {
+    pub(crate) fn cluster(&self) -> Option<&crate::cluster::ClusterState> {
+        self.cluster.as_ref()
+    }
+
     fn new(config: &ServerConfig) -> Result<Self, StoreError> {
         let workers = if config.workers == 0 {
             ukc_pool::default_threads()
@@ -113,13 +145,14 @@ impl AppState {
             streams,
             cache: Mutex::new(LruCache::new(config.cache_cap)),
             cache_cap: config.cache_cap,
-            scheduler: Scheduler::new(workers, Arc::clone(&metrics)),
+            scheduler: Scheduler::new(workers, config.queue_cap, Arc::clone(&metrics)),
             metrics,
             max_body_bytes: config.max_body_bytes,
             started: Instant::now(),
             durable,
             snapshot_interval: config.snapshot_interval,
             recovery,
+            cluster: crate::cluster::ClusterState::new(config),
         })
     }
 }
@@ -153,6 +186,9 @@ impl ServerHandle {
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
+        }
+        if let Some(cluster) = &self.state.cluster {
+            cluster.stop();
         }
         self.state.scheduler.shutdown();
     }
@@ -308,32 +344,97 @@ pub(crate) fn dispatch(state: &AppState, request: &Request) -> Response {
         ["instances"] => match method {
             "POST" => (
                 Route::InstanceCreate,
-                handle_instance_create(state, request),
+                match state.cluster() {
+                    Some(cluster) => crate::cluster::create(cluster, request),
+                    None => handle_instance_create(state, request),
+                },
             ),
-            "GET" => (Route::InstanceList, handle_instance_list(state)),
+            "GET" => (
+                Route::InstanceList,
+                match state.cluster() {
+                    Some(cluster) => crate::cluster::list(cluster),
+                    None => handle_instance_list(state),
+                },
+            ),
             _ => (Route::Unmatched, Err(method_err(request))),
         },
         ["instances", id] => match method {
-            "GET" => (Route::InstanceGet, handle_instance_get(state, id)),
-            "DELETE" => (Route::InstanceDelete, handle_instance_delete(state, id)),
+            "GET" => (
+                Route::InstanceGet,
+                match state.cluster() {
+                    Some(cluster) => crate::cluster::get(cluster, id),
+                    None => handle_instance_get(state, id),
+                },
+            ),
+            "DELETE" => (
+                Route::InstanceDelete,
+                match state.cluster() {
+                    Some(cluster) => crate::cluster::delete(cluster, id),
+                    None => handle_instance_delete(state, id),
+                },
+            ),
             _ => (Route::Unmatched, Err(method_err(request))),
         },
         ["instances", id, "solve"] => match method {
             "POST" => (
                 Route::InstanceSolve,
-                handle_instance_solve(state, id, request),
+                match state.cluster() {
+                    Some(cluster) => crate::cluster::solve(cluster, id, request),
+                    None => handle_instance_solve(state, id, request),
+                },
             ),
             _ => (Route::Unmatched, Err(method_err(request))),
         },
         ["instances", id, "append"] => match method {
             "POST" => (
                 Route::InstanceAppend,
-                handle_instance_append(state, id, request),
+                match state.cluster() {
+                    Some(cluster) => crate::cluster::append(cluster, id, request),
+                    None => handle_instance_append(state, id, request),
+                },
             ),
             _ => (Route::Unmatched, Err(method_err(request))),
         },
         ["solve"] => match method {
-            "POST" => (Route::OneShotSolve, handle_oneshot_solve(state, request)),
+            "POST" => (
+                Route::OneShotSolve,
+                match state.cluster() {
+                    Some(cluster) => crate::cluster::oneshot(cluster, request),
+                    None => handle_oneshot_solve(state, request),
+                },
+            ),
+            _ => (Route::Unmatched, Err(method_err(request))),
+        },
+        ["solve_batch"] => match method {
+            "POST" => (
+                Route::SolveBatch,
+                match state.cluster() {
+                    Some(cluster) => crate::cluster::solve_batch(cluster, request),
+                    None => handle_solve_batch(state, request),
+                },
+            ),
+            _ => (Route::Unmatched, Err(method_err(request))),
+        },
+        ["replicate"] => match method {
+            "POST" => (Route::Replicate, handle_replicate(state, request)),
+            _ => (Route::Unmatched, Err(method_err(request))),
+        },
+        ["cluster", "status"] => match method {
+            "GET" => (Route::ClusterStatus, crate::cluster::status(state)),
+            _ => (Route::Unmatched, Err(method_err(request))),
+        },
+        ["cluster", "nodes"] => match method {
+            "POST" => (
+                Route::ClusterNodeAdd,
+                crate::cluster::node_add(state, request),
+            ),
+            _ => (Route::Unmatched, Err(method_err(request))),
+        },
+        ["cluster", "nodes", id] => match method {
+            "DELETE" => (
+                Route::ClusterNodeRemove,
+                crate::cluster::node_remove(state, id),
+            ),
             _ => (Route::Unmatched, Err(method_err(request))),
         },
         ["streams"] => match method {
@@ -362,7 +463,16 @@ pub(crate) fn dispatch(state: &AppState, request: &Request) -> Response {
     state.metrics.record_request(route);
     match outcome {
         Ok((status, body)) => Response::json(status, body.pretty()),
-        Err(e) => Response::json(e.status, e.to_json().pretty()),
+        Err(e) => {
+            let response = Response::json(e.status, e.to_json().pretty());
+            if e.kind == "overloaded" {
+                // The request was never enqueued, so an immediate retry
+                // is safe; 1s is long enough for a wave to drain.
+                response.with_header("Retry-After", "1")
+            } else {
+                response
+            }
+        }
     }
 }
 
@@ -370,18 +480,31 @@ fn method_err(request: &Request) -> ApiError {
     ApiError::method_not_allowed(&request.method, &request.path)
 }
 
-type Handled = Result<(u16, Json), ApiError>;
+pub(crate) type Handled = Result<(u16, Json), ApiError>;
 
 fn handle_healthz(state: &AppState) -> Handled {
+    let mode = if state.durable.is_some() {
+        "durable"
+    } else {
+        "in-memory"
+    };
+    let role = if state.cluster.is_some() {
+        "coordinator"
+    } else {
+        "single"
+    };
     Ok((
         200,
         Json::obj([
             ("status", Json::from("ok")),
+            ("version", Json::from(env!("CARGO_PKG_VERSION"))),
             (
                 "uptime_seconds",
                 Json::from(state.started.elapsed().as_secs_f64()),
             ),
             ("workers", Json::from(state.scheduler.workers())),
+            ("mode", Json::from(mode)),
+            ("role", Json::from(role)),
         ]),
     ))
 }
@@ -785,7 +908,7 @@ fn run_solve(
     let solution = state
         .scheduler
         .solve(problem, solve.config.clone(), problem_digest)
-        .map_err(|()| ApiError::unavailable())?
+        .map_err(submit_err)?
         .map_err(ApiError::from)?;
     let solution = Arc::new(solution);
     if solve.use_cache {
@@ -800,6 +923,119 @@ fn run_solve(
             .insert(key, Arc::clone(&solution));
     }
     Ok((200, solve_response(&solution, set_digest, false)))
+}
+
+fn submit_err(e: crate::scheduler::SubmitError) -> ApiError {
+    match e {
+        crate::scheduler::SubmitError::ShuttingDown => ApiError::unavailable(),
+        crate::scheduler::SubmitError::Overloaded { depth, cap } => {
+            ApiError::overloaded(depth, cap)
+        }
+    }
+}
+
+/// `POST /solve_batch`: solves many stored instances under one shared
+/// configuration in a **single scheduler submission**, so the whole
+/// batch coalesces into as few waves as possible instead of queueing one
+/// job per round trip. Per-id failures (unknown instance, solve error)
+/// come back as per-slot error documents in request order; only a
+/// malformed request or a full queue fails the batch as a whole. This is
+/// also the scatter unit of coordinator mode: a coordinator forwards one
+/// sub-batch per shard.
+fn handle_solve_batch(state: &AppState, request: &Request) -> Handled {
+    let doc = api::parse_body(&request.body)?;
+    let (ids, solve) = api::parse_solve_batch(&doc)?;
+
+    // Resolve every id first; per-slot outcomes never reorder.
+    let mut slots: Vec<Option<Json>> = vec![None; ids.len()];
+    let mut jobs: Vec<(Problem<Point>, ukc_core::SolverConfig, u64)> = Vec::new();
+    let mut job_slots: Vec<(usize, SolveKey, u64)> = Vec::new(); // (slot, cache key, set digest)
+    for (slot, id) in ids.iter().enumerate() {
+        let Some(stored) = state.store.get(id) else {
+            slots[slot] = Some(ApiError::instance_not_found(id).to_json());
+            continue;
+        };
+        let set_digest = stored.digest;
+        let problem_digest = ukc_core::digest_problem("euclidean", solve.k, set_digest, None);
+        let key = SolveKey::new(problem_digest, set_digest, &solve.config);
+        if solve.use_cache {
+            let cached = state
+                .cache
+                .lock()
+                .expect("cache lock poisoned")
+                .get(&key)
+                .cloned();
+            if let Some(solution) = cached {
+                state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                slots[slot] = Some(solve_response(&solution, set_digest, true));
+                continue;
+            }
+        }
+        match Problem::euclidean((*stored.set).clone(), solve.k) {
+            Ok(problem) => {
+                jobs.push((problem, solve.config.clone(), problem_digest));
+                job_slots.push((slot, key, set_digest));
+            }
+            Err(e) => {
+                state.metrics.record_solve_error();
+                slots[slot] = Some(ApiError::from(e).to_json());
+            }
+        }
+    }
+
+    if !jobs.is_empty() {
+        let results = state.scheduler.solve_many(jobs).map_err(submit_err)?;
+        for ((slot, key, set_digest), result) in job_slots.into_iter().zip(results) {
+            slots[slot] = Some(match result {
+                Ok(solution) => {
+                    let solution = Arc::new(solution);
+                    if solve.use_cache {
+                        state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+                        state
+                            .cache
+                            .lock()
+                            .expect("cache lock poisoned")
+                            .insert(key, Arc::clone(&solution));
+                    }
+                    solve_response(&solution, set_digest, false)
+                }
+                Err(e) => ApiError::from(e).to_json(),
+            });
+        }
+    }
+
+    let count = slots.len();
+    let solutions: Vec<Json> = slots
+        .into_iter()
+        .map(|s| s.expect("every slot is resolved, cached, errored, or solved"))
+        .collect();
+    Ok((
+        200,
+        Json::obj([
+            ("solutions", Json::arr(solutions)),
+            ("count", Json::from(count)),
+        ]),
+    ))
+}
+
+/// `POST /replicate`: the cluster-internal store path. Unlike `POST
+/// /instances` this parses the document **verbatim** — no probability
+/// renormalization — so a replica stores bit-identical points and the
+/// content digest (the instance ID) is preserved exactly. Coordinators
+/// use it for hot-instance copies and for storing grown appends; it is
+/// harmless to expose on a single node, where it behaves like create for
+/// already-normalized documents.
+fn handle_replicate(state: &AppState, request: &Request) -> Handled {
+    let doc = api::parse_body(&request.body)?;
+    let instance = JsonInstance::from_json(&doc).map_err(ApiError::from)?;
+    let set = instance.to_set_verbatim().map_err(ApiError::from)?;
+    persist_instance(state, &set)?;
+    let (stored, created) = state.store.insert(set);
+    let mut body = stored.summary();
+    if let Json::Obj(pairs) = &mut body {
+        pairs.push(("created".into(), Json::from(created)));
+    }
+    Ok((if created { 201 } else { 200 }, body))
 }
 
 /// The solve response: the shared solution document plus serving

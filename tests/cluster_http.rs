@@ -1,0 +1,520 @@
+//! Integration coverage for coordinator mode (`ukc-server` + the
+//! `ukc-cluster` registry) over real TCP.
+//!
+//! Spins up real shard servers on ephemeral loopback ports, points a
+//! coordinator at them, and pins the cluster contract: digest-routed
+//! requests produce byte-identical documents to a single unsharded
+//! control server; hot instances replicate and survive the loss of
+//! their owning shard; a cold instance on a dead shard fails with the
+//! typed `503 shard_unavailable`; the bounded scheduler queue answers
+//! `503 overloaded` with `Retry-After`; and the cluster lifecycle
+//! endpoints drive the registry.
+
+use std::net::SocketAddr;
+
+use ukc_json::format::JsonInstance;
+use ukc_json::Json;
+use ukc_metric::Point;
+use ukc_server::client::{self, HttpResponse};
+use ukc_server::{serve, ServerConfig, ServerHandle};
+use ukc_uncertain::generators::{clustered, ProbModel};
+use ukc_uncertain::UncertainSet;
+
+fn small_set(seed: u64) -> UncertainSet<Point> {
+    clustered(seed, 12, 3, 2, 2, 5.0, 1.0, ProbModel::Random)
+}
+
+fn instance_body(seed: u64) -> String {
+    JsonInstance::from_set(&small_set(seed)).to_json().compact()
+}
+
+fn start_single() -> (ServerHandle, SocketAddr) {
+    let handle = serve(ServerConfig::default()).expect("bind");
+    let addr = handle.addr();
+    (handle, addr)
+}
+
+/// One coordinator over `n` freshly-bound shard servers. The prober is
+/// disabled so liveness changes only through forwarded requests —
+/// deterministic for tests; retries are off so a dead shard fails fast.
+fn start_cluster(n: usize, replicate_after: u64) -> (ServerHandle, SocketAddr, Vec<ServerHandle>) {
+    let shards: Vec<ServerHandle> = (0..n)
+        .map(|_| serve(ServerConfig::default()).expect("bind shard"))
+        .collect();
+    let coordinator = serve(ServerConfig {
+        shards: shards.iter().map(|s| s.addr().to_string()).collect(),
+        replicate_after,
+        shard_retries: 0,
+        probe_interval_ms: 0,
+        ..ServerConfig::default()
+    })
+    .expect("bind coordinator");
+    let addr = coordinator.addr();
+    (coordinator, addr, shards)
+}
+
+fn get(addr: SocketAddr, path: &str) -> HttpResponse {
+    client::request(addr, "GET", path, None).expect("request")
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> HttpResponse {
+    client::request(addr, "POST", path, Some(body)).expect("request")
+}
+
+fn parse(response: &HttpResponse) -> Json {
+    Json::parse(&response.body).unwrap_or_else(|e| panic!("non-JSON body ({e}): {}", response.body))
+}
+
+fn error_kind(response: &HttpResponse) -> (f64, String) {
+    let doc = parse(response);
+    let err = doc.get("error").expect("error object");
+    (
+        err.get("status").and_then(Json::as_f64).expect("status"),
+        err.get("kind")
+            .and_then(Json::as_str)
+            .expect("kind")
+            .to_string(),
+    )
+}
+
+/// Strips volatile keys (timings live in `report`; `shards` carries
+/// wall-clock attribution) so the rest compares byte-for-byte.
+fn stripped(doc: &Json, volatile: &[&str]) -> Json {
+    match doc {
+        Json::Obj(pairs) => Json::Obj(
+            pairs
+                .iter()
+                .filter(|(k, _)| !volatile.contains(&k.as_str()))
+                .map(|(k, v)| (k.clone(), stripped(v, volatile)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::arr(items.iter().map(|i| stripped(i, volatile))),
+        other => other.clone(),
+    }
+}
+
+/// Which shard actually stores `id` (asked directly, not via routing).
+fn shard_holding(shards: &[ServerHandle], id: &str) -> usize {
+    shards
+        .iter()
+        .position(|s| get(s.addr(), &format!("/instances/{id}")).status == 200)
+        .expect("some shard stores the instance")
+}
+
+#[test]
+fn coordinator_output_is_byte_identical_to_single_node() {
+    let (control, control_addr) = start_single();
+    let (coordinator, coord_addr, shards) = start_cluster(2, 0);
+
+    // Uploads through the coordinator land on shards but answer with the
+    // exact document (and status) the control server produces.
+    let seeds: Vec<u64> = (40..52).collect();
+    let mut ids = Vec::new();
+    for &seed in &seeds {
+        let body = instance_body(seed);
+        let from_cluster = post(coord_addr, "/instances", &body);
+        let from_control = post(control_addr, "/instances", &body);
+        assert_eq!(from_cluster.status, from_control.status, "seed {seed}");
+        assert_eq!(from_cluster.body, from_control.body, "seed {seed}");
+        ids.push(
+            parse(&from_control)
+                .get("id")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_string(),
+        );
+    }
+    // Both shards got real work (12 uniform digests over 2 shards).
+    for shard in &shards {
+        let count = parse(&get(shard.addr(), "/instances"))
+            .get("instances")
+            .and_then(Json::as_array)
+            .unwrap()
+            .len();
+        assert!(count > 0, "a shard stored nothing");
+    }
+
+    // Listing gathers across shards into the control server's document.
+    let cluster_list = get(coord_addr, "/instances");
+    let control_list = get(control_addr, "/instances");
+    assert_eq!(cluster_list.body, control_list.body);
+
+    // Fetches relay the owning shard's exact bytes.
+    for id in &ids {
+        let path = format!("/instances/{id}");
+        assert_eq!(get(coord_addr, &path).body, get(control_addr, &path).body);
+    }
+
+    // Digest-routed solves: byte-identical solutions (reports carry
+    // wall-clock timings, so only they are stripped).
+    let solve_body = r#"{"k": 3, "cache": false}"#;
+    for id in &ids {
+        let path = format!("/instances/{id}/solve");
+        let from_cluster = post(coord_addr, &path, solve_body);
+        let from_control = post(control_addr, &path, solve_body);
+        assert_eq!(from_cluster.status, 200, "{}", from_cluster.body);
+        assert_eq!(
+            stripped(&parse(&from_cluster), &["report"]).pretty(),
+            stripped(&parse(&from_control), &["report"]).pretty(),
+            "solve of {id} diverged"
+        );
+    }
+
+    // Scatter/gather batch: same per-slot documents in request order,
+    // plus coordinator-only per-shard timing attribution.
+    let ids_json = Json::arr(ids.iter().map(|id| Json::from(id.as_str()))).compact();
+    let batch_body = format!(r#"{{"ids": {ids_json}, "k": 3, "cache": false}}"#);
+    let from_cluster = parse(&post(coord_addr, "/solve_batch", &batch_body));
+    let from_control = parse(&post(control_addr, "/solve_batch", &batch_body));
+    assert_eq!(
+        from_cluster.get("count").and_then(Json::as_usize),
+        Some(ids.len())
+    );
+    assert_eq!(
+        stripped(&from_cluster, &["report", "shards"]).pretty(),
+        stripped(&from_control, &["report"]).pretty(),
+    );
+    let shard_reports = from_cluster.get("shards").and_then(Json::as_array).unwrap();
+    assert_eq!(shard_reports.len(), 2, "both shards took a sub-batch");
+    let attributed: usize = shard_reports
+        .iter()
+        .map(|s| s.get("ids").and_then(Json::as_usize).unwrap())
+        .sum();
+    assert_eq!(attributed, ids.len());
+
+    // One-shot solves route by content digest and relay verbatim.
+    let oneshot = format!(
+        r#"{{"k": 2, "cache": false, "instance": {}}}"#,
+        instance_body(40)
+    );
+    assert_eq!(
+        stripped(&parse(&post(coord_addr, "/solve", &oneshot)), &["report"]).pretty(),
+        stripped(&parse(&post(control_addr, "/solve", &oneshot)), &["report"]).pretty(),
+    );
+
+    // Append grows onto the shard owning the *new* digest, with the
+    // single-node response document.
+    let append_path = format!("/instances/{}/append", ids[0]);
+    let from_cluster = post(coord_addr, &append_path, &instance_body(99));
+    let from_control = post(control_addr, &append_path, &instance_body(99));
+    assert_eq!(from_cluster.status, from_control.status);
+    assert_eq!(from_cluster.body, from_control.body);
+
+    // Deletes route too, and the deleted instance is gone cluster-wide.
+    let deleted = client::request(
+        coord_addr,
+        "DELETE",
+        &format!("/instances/{}", ids[1]),
+        None,
+    )
+    .unwrap();
+    assert_eq!(deleted.status, 200);
+    assert_eq!(
+        get(coord_addr, &format!("/instances/{}", ids[1])).status,
+        404
+    );
+
+    coordinator.shutdown();
+    control.shutdown();
+    for shard in shards {
+        shard.shutdown();
+    }
+}
+
+#[test]
+fn hot_instances_replicate_and_survive_losing_their_shard() {
+    let (coordinator, coord_addr, mut shards) = start_cluster(2, 2);
+
+    // Upload until both shards hold several instances.
+    let mut ids = Vec::new();
+    for seed in 100..116 {
+        let doc = parse(&post(coord_addr, "/instances", &instance_body(seed)));
+        ids.push(doc.get("id").and_then(Json::as_str).unwrap().to_string());
+    }
+
+    // Make one instance hot: the second read crosses replicate_after=2
+    // and synchronously copies it to the other shard.
+    let hot = ids[0].clone();
+    let owner = shard_holding(&shards, &hot);
+    assert_eq!(get(coord_addr, &format!("/instances/{hot}")).status, 200);
+    assert_eq!(get(coord_addr, &format!("/instances/{hot}")).status, 200);
+    let status = parse(&get(coord_addr, "/cluster/status"));
+    let replication = status.get("replication").expect("replication gauges");
+    assert_eq!(
+        replication.get("threshold").and_then(Json::as_usize),
+        Some(2)
+    );
+    assert_eq!(
+        replication.get("replicated").and_then(Json::as_usize),
+        Some(1)
+    );
+    // The replica is a verbatim copy: same content digest on the other
+    // shard, stored under the identical ID.
+    let replica = 1 - owner;
+    assert_eq!(
+        get(shards[replica].addr(), &format!("/instances/{hot}")).status,
+        200
+    );
+
+    // A cold instance owned by the same shard, for the failure case.
+    let cold = ids[1..]
+        .iter()
+        .find(|id| shard_holding(&shards, id) == owner)
+        .expect("the owner shard holds another instance")
+        .clone();
+
+    // Kill the owning shard.
+    shards.remove(owner).shutdown();
+
+    // Replicated reads and solves keep working, served by the replica —
+    // with the same bytes the owner produced (modulo solve timings).
+    let fetched = get(coord_addr, &format!("/instances/{hot}"));
+    assert_eq!(fetched.status, 200, "{}", fetched.body);
+    assert_eq!(
+        parse(&fetched).get("id").and_then(Json::as_str),
+        Some(hot.as_str())
+    );
+    let solved = post(
+        coord_addr,
+        &format!("/instances/{hot}/solve"),
+        r#"{"k": 2}"#,
+    );
+    assert_eq!(solved.status, 200, "{}", solved.body);
+
+    // The cold instance has no live copy: the typed 503, not a hang or
+    // a transport error.
+    let r = get(coord_addr, &format!("/instances/{cold}"));
+    assert_eq!(error_kind(&r), (503.0, "shard_unavailable".into()));
+    let r = post(
+        coord_addr,
+        &format!("/instances/{cold}/solve"),
+        r#"{"k": 2}"#,
+    );
+    assert_eq!(error_kind(&r), (503.0, "shard_unavailable".into()));
+
+    // Status reflects the observed outage.
+    let status = parse(&get(coord_addr, "/cluster/status"));
+    let states: Vec<String> = status
+        .get("nodes")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .map(|n| n.get("state").and_then(Json::as_str).unwrap().to_string())
+        .collect();
+    assert!(states.contains(&"down".to_string()), "states: {states:?}");
+
+    coordinator.shutdown();
+    for shard in shards {
+        shard.shutdown();
+    }
+}
+
+#[test]
+fn full_queue_answers_503_overloaded_with_retry_after() {
+    let handle = serve(ServerConfig {
+        queue_cap: 0,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr();
+
+    let upload = parse(&post(addr, "/instances", &instance_body(7)));
+    let id = upload.get("id").and_then(Json::as_str).unwrap().to_string();
+    let r = post(addr, &format!("/instances/{id}/solve"), r#"{"k": 2}"#);
+    assert_eq!(error_kind(&r), (503.0, "overloaded".into()));
+    assert_eq!(r.header("retry-after"), Some("1"));
+
+    // Rejections are visible in /metrics and never reach the scheduler.
+    let metrics = parse(&get(addr, "/metrics"));
+    let scheduler = metrics.get("scheduler").expect("scheduler section");
+    assert_eq!(
+        scheduler.get("overloaded").and_then(Json::as_f64),
+        Some(1.0)
+    );
+    assert_eq!(scheduler.get("waves").and_then(Json::as_f64), Some(0.0));
+
+    // Cache hits bypass the queue: a cap-0 server still serves nothing
+    // here, but the upload/read path stays fully available.
+    assert_eq!(get(addr, &format!("/instances/{id}")).status, 200);
+
+    handle.shutdown();
+}
+
+#[test]
+fn healthz_reports_version_mode_and_role() {
+    let (single, single_addr) = start_single();
+    let doc = parse(&get(single_addr, "/healthz"));
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+    assert!(!doc
+        .get("version")
+        .and_then(Json::as_str)
+        .expect("version")
+        .is_empty());
+    assert!(doc.get("uptime_seconds").and_then(Json::as_f64).is_some());
+    assert_eq!(doc.get("mode").and_then(Json::as_str), Some("in-memory"));
+    assert_eq!(doc.get("role").and_then(Json::as_str), Some("single"));
+    single.shutdown();
+
+    let (coordinator, coord_addr, shards) = start_cluster(2, 0);
+    let doc = parse(&get(coord_addr, "/healthz"));
+    assert_eq!(doc.get("role").and_then(Json::as_str), Some("coordinator"));
+    coordinator.shutdown();
+    for shard in shards {
+        shard.shutdown();
+    }
+
+    let dir = std::env::temp_dir().join(format!("ukc-healthz-{}", std::process::id()));
+    let durable = serve(ServerConfig {
+        data_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("bind durable");
+    let doc = parse(&get(durable.addr(), "/healthz"));
+    assert_eq!(doc.get("mode").and_then(Json::as_str), Some("durable"));
+    durable.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn cluster_lifecycle_endpoints_drive_the_registry() {
+    // A single-node server knows its role and rejects lifecycle writes.
+    let (single, single_addr) = start_single();
+    let doc = parse(&get(single_addr, "/cluster/status"));
+    assert_eq!(doc.get("role").and_then(Json::as_str), Some("single"));
+    let r = post(single_addr, "/cluster/nodes", r#"{"addr": "127.0.0.1:1"}"#);
+    assert_eq!(error_kind(&r), (400.0, "not_coordinator".into()));
+    single.shutdown();
+
+    let (coordinator, coord_addr, shards) = start_cluster(2, 0);
+    let doc = parse(&get(coord_addr, "/cluster/status"));
+    assert_eq!(doc.get("role").and_then(Json::as_str), Some("coordinator"));
+    let nodes = doc.get("nodes").and_then(Json::as_array).unwrap();
+    assert_eq!(nodes.len(), 2);
+    let width: usize = nodes
+        .iter()
+        .map(|n| {
+            n.get("prefix_end").and_then(Json::as_usize).unwrap()
+                - n.get("prefix_start").and_then(Json::as_usize).unwrap()
+        })
+        .sum();
+    assert_eq!(width, 1 << 16, "ranges partition the prefix space");
+
+    // Register a third shard: 201, and it owns a split range.
+    let extra = serve(ServerConfig::default()).expect("bind extra shard");
+    let r = post(
+        coord_addr,
+        "/cluster/nodes",
+        &format!(r#"{{"addr": "{}"}}"#, extra.addr()),
+    );
+    assert_eq!(r.status, 201, "{}", r.body);
+    let node = parse(&r);
+    let node = node.get("node").expect("node document");
+    let added_id = node.get("id").and_then(Json::as_usize).unwrap();
+    assert!(node.get("prefix_end").and_then(Json::as_usize).unwrap() > 0);
+    assert_eq!(
+        parse(&get(coord_addr, "/cluster/status"))
+            .get("nodes")
+            .and_then(Json::as_array)
+            .unwrap()
+            .len(),
+        3
+    );
+
+    // Deregister it: the response names the reassigned range + heir.
+    let r = client::request(
+        coord_addr,
+        "DELETE",
+        &format!("/cluster/nodes/{added_id}"),
+        None,
+    )
+    .unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    let doc = parse(&r);
+    assert_eq!(doc.get("removed").and_then(Json::as_usize), Some(added_id));
+    let reassigned = doc.get("reassigned").expect("reassigned range");
+    assert!(reassigned.get("heir").and_then(Json::as_usize).is_some());
+
+    // Typed failures: unknown node, and refusing to empty the registry.
+    let r = client::request(coord_addr, "DELETE", "/cluster/nodes/99", None).unwrap();
+    assert_eq!(error_kind(&r), (404.0, "node_not_found".into()));
+    let r = client::request(coord_addr, "DELETE", "/cluster/nodes/0", None).unwrap();
+    assert_eq!(r.status, 200);
+    let r = client::request(coord_addr, "DELETE", "/cluster/nodes/1", None).unwrap();
+    assert_eq!(error_kind(&r), (422.0, "last_node".into()));
+
+    extra.shutdown();
+    coordinator.shutdown();
+    for shard in shards {
+        shard.shutdown();
+    }
+}
+
+#[test]
+fn solve_batch_on_one_node_preserves_order_and_uses_the_cache() {
+    let (handle, addr) = start_single();
+    let mut ids = Vec::new();
+    for seed in 60..63 {
+        let doc = parse(&post(addr, "/instances", &instance_body(seed)));
+        ids.push(doc.get("id").and_then(Json::as_str).unwrap().to_string());
+    }
+
+    // A batch with a bogus id in the middle: per-slot error, order kept.
+    let body = format!(
+        r#"{{"ids": ["{}", "ffffffffffffffff", "{}"], "k": 2}}"#,
+        ids[0], ids[1]
+    );
+    let doc = parse(&post(addr, "/solve_batch", &body));
+    assert_eq!(doc.get("count").and_then(Json::as_usize), Some(3));
+    let slots = doc.get("solutions").and_then(Json::as_array).unwrap();
+    assert_eq!(
+        slots[0].get("instance_digest").and_then(Json::as_str),
+        Some(ids[0].as_str())
+    );
+    assert_eq!(
+        slots[1]
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("instance_not_found")
+    );
+    assert_eq!(
+        slots[2].get("instance_digest").and_then(Json::as_str),
+        Some(ids[1].as_str())
+    );
+    assert_eq!(slots[0].get("cached").and_then(Json::as_bool), Some(false));
+
+    // Slot solutions match the individual solve endpoint bit-for-bit.
+    let single = parse(&post(
+        addr,
+        &format!("/instances/{}/solve", ids[0]),
+        r#"{"k": 2}"#,
+    ));
+    assert_eq!(single.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        stripped(&single, &["report", "cached"]).pretty(),
+        stripped(&slots[0], &["report", "cached"]).pretty()
+    );
+
+    // A repeated batch is all cache hits — no second scheduler wave.
+    let waves = |addr| {
+        parse(&get(addr, "/metrics"))
+            .get("scheduler")
+            .and_then(|s| s.get("waves"))
+            .and_then(Json::as_f64)
+            .unwrap()
+    };
+    let before = waves(addr);
+    let doc = parse(&post(addr, "/solve_batch", &body));
+    let slots = doc.get("solutions").and_then(Json::as_array).unwrap();
+    assert_eq!(slots[0].get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(slots[2].get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(waves(addr), before);
+
+    // Schema errors fail the batch as a whole.
+    let r = post(addr, "/solve_batch", r#"{"k": 2}"#);
+    assert_eq!(error_kind(&r), (400.0, "bad_schema".into()));
+    let r = post(addr, "/solve_batch", r#"{"ids": [], "k": 2}"#);
+    assert_eq!(error_kind(&r), (400.0, "bad_schema".into()));
+
+    handle.shutdown();
+}
