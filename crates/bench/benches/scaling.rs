@@ -1,8 +1,10 @@
 //! Criterion version of the EXPERIMENTS.md scaling studies S1/S2: the
 //! O(z) expected point and the O(nz + nk) pipeline, plus the
-//! `kernel_comparison` group pitting the scalar distance kernel against
-//! the blocked one on Gonzalez sweeps (the numbers behind
-//! `BENCH_kernel.json`).
+//! `kernel_comparison` group pitting the scalar, blocked, and tiled
+//! distance kernels (the latter also with the opt-in f32 storage
+//! mirror) against each other on two workloads — Gonzalez sweeps and
+//! fused nearest-center assignment — the numbers behind
+//! `BENCH_kernel.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
@@ -11,7 +13,7 @@ use ukc_bench::workloads::euclidean;
 use ukc_core::{solve_batch_threads, AssignmentRule, Problem, SolverConfig};
 use ukc_json::Json;
 use ukc_kcenter::gonzalez;
-use ukc_metric::{Kernel, Point, PointStore, StoreOracle};
+use ukc_metric::{DistanceOracle, Kernel, Point, PointStore, StoreOracle};
 use ukc_uncertain::expected_point;
 
 fn config() -> SolverConfig {
@@ -102,8 +104,36 @@ fn gonzalez_store(store: &PointStore, ids: &[ukc_metric::PointId], kernel: Kerne
     gonzalez(ids, KERNEL_K, &oracle, 0).radius
 }
 
-/// Scalar-vs-blocked Gonzalez throughput across the (n, d) matrix of the
-/// perf-tracking acceptance grid.
+/// One fused nearest-center assignment sweep (`nearest_each`, the
+/// register-tiled kernel's home turf) over `k` spread centers; returns
+/// the max distance so the work cannot be elided.
+fn assign_store(
+    store: &PointStore,
+    ids: &[ukc_metric::PointId],
+    centers: &[ukc_metric::PointId],
+    kernel: Kernel,
+    out: &mut [(usize, f64)],
+) -> f64 {
+    let oracle = StoreOracle::new(store, kernel);
+    oracle.nearest_each(ids, centers, out);
+    out.iter().map(|&(_, d)| d).fold(0.0, f64::max)
+}
+
+/// The kernel variants of the comparison grid: every kernel over f64
+/// storage, plus the tiled kernel over the opt-in f32 mirror.
+fn kernel_variants() -> [(&'static str, Kernel, &'static str); 4] {
+    [
+        ("scalar", Kernel::Scalar, "f64"),
+        ("blocked", Kernel::Blocked, "f64"),
+        ("tiled", Kernel::Tiled, "f64"),
+        ("tiled", Kernel::Tiled, "f32"),
+    ]
+}
+
+/// Kernel throughput across the (workload, n, d) matrix of the
+/// perf-tracking acceptance grid: `gonzalez` (sequential center passes,
+/// memory-bandwidth-bound at large n) and `assign` (the fused n×k
+/// mini-GEMM sweep where register tiling pays off).
 ///
 /// Setting `BENCH_KERNEL_JSON=1` additionally runs a manual timing sweep
 /// and rewrites the version-controlled `BENCH_kernel.json` at the
@@ -123,36 +153,63 @@ fn bench_kernel_comparison(c: &mut Criterion) {
         }
         for &d in &[2usize, 8, 32] {
             let store = coord_store(42, n, d);
+            let store_f32 = {
+                let mut s = store.clone();
+                s.try_enable_f32().expect("bench coords fit f32");
+                s
+            };
             let ids = store.ids();
-            // pair evaluations per solve: k passes + the radius sweep
-            let evals = (2 * KERNEL_K * n) as u64;
-            g.throughput(Throughput::Elements(evals));
-            for kernel in [Kernel::Scalar, Kernel::Blocked] {
-                g.bench_with_input(
-                    BenchmarkId::new(format!("n{n}_d{d}"), kernel.name()),
-                    &kernel,
-                    |b, &kernel| b.iter(|| gonzalez_store(black_box(&store), &ids, kernel)),
-                );
-                if record {
-                    // Manual timing for the committed BENCH_kernel.json:
-                    // min of 3 runs after one warm-up (1 under quick).
-                    let reps = if quick { 1 } else { 3 };
-                    let _ = gonzalez_store(&store, &ids, kernel);
-                    let mut best = f64::INFINITY;
-                    for _ in 0..reps {
-                        let t = Instant::now();
-                        let _ = black_box(gonzalez_store(&store, &ids, kernel));
-                        best = best.min(t.elapsed().as_secs_f64());
+            let centers: Vec<ukc_metric::PointId> = (0..KERNEL_K)
+                .map(|i| ukc_metric::PointId(i * (n / KERNEL_K)))
+                .collect();
+            let mut assign_out = vec![(0usize, 0.0f64); n];
+            // (workload, pair evaluations per run): Gonzalez is k passes
+            // + the radius sweep; assign is one fused n×k sweep.
+            for (workload, evals) in [
+                ("gonzalez", (2 * KERNEL_K * n) as u64),
+                ("assign", (KERNEL_K * n) as u64),
+            ] {
+                g.throughput(Throughput::Elements(evals));
+                for (label, kernel, storage) in kernel_variants() {
+                    let st = if storage == "f32" { &store_f32 } else { &store };
+                    let id = format!("{workload}_n{n}_d{d}");
+                    let tag = if storage == "f32" {
+                        format!("{label}_f32")
+                    } else {
+                        label.to_string()
+                    };
+                    let run = |out: &mut [(usize, f64)]| -> f64 {
+                        match workload {
+                            "gonzalez" => gonzalez_store(black_box(st), &ids, kernel),
+                            _ => assign_store(black_box(st), &ids, &centers, kernel, out),
+                        }
+                    };
+                    g.bench_with_input(BenchmarkId::new(id, &tag), &kernel, |b, _| {
+                        b.iter(|| run(&mut assign_out))
+                    });
+                    if record {
+                        // Manual timing for the committed BENCH_kernel.json:
+                        // min of 3 runs after one warm-up (1 under quick).
+                        let reps = if quick { 1 } else { 3 };
+                        let _ = run(&mut assign_out);
+                        let mut best = f64::INFINITY;
+                        for _ in 0..reps {
+                            let t = Instant::now();
+                            let _ = black_box(run(&mut assign_out));
+                            best = best.min(t.elapsed().as_secs_f64());
+                        }
+                        results.push(Json::obj([
+                            ("workload", Json::from(workload)),
+                            ("n", Json::from(n)),
+                            ("d", Json::from(d)),
+                            ("k", Json::from(KERNEL_K)),
+                            ("kernel", Json::from(label)),
+                            ("storage", Json::from(storage)),
+                            ("seconds", Json::from(best)),
+                            ("pair_evals", Json::from(evals as f64)),
+                            ("evals_per_sec", Json::from(evals as f64 / best)),
+                        ]));
                     }
-                    results.push(Json::obj([
-                        ("n", Json::from(n)),
-                        ("d", Json::from(d)),
-                        ("k", Json::from(KERNEL_K)),
-                        ("kernel", Json::from(kernel.name())),
-                        ("seconds", Json::from(best)),
-                        ("pair_evals", Json::from(evals as f64)),
-                        ("evals_per_sec", Json::from(evals as f64 / best)),
-                    ]));
                 }
             }
         }

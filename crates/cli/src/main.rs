@@ -6,6 +6,7 @@
 //! ukc solve    --instance inst.json --k 3 --rule ep --solver gonzalez --out sol.json
 //! ukc solve    --instance inst.json --k=3 --format json        # machine-readable report
 //! ukc solve    --instance inst.json --k 3 --threads 4          # intra-solve pool lanes
+//! ukc solve    --instance inst.json --k 3 --kernel tiled       # distance kernel (scalar|blocked|tiled)
 //! ukc batch    --instances a.json,b.json,c.json --k 3 --threads 4
 //! ukc stream   --k 8 < feed.ndjson                             # memory-bounded streaming
 //! ukc stream   --k 8 --input feed.ndjson --chunk 1024 --budget 64
@@ -16,6 +17,8 @@
 //! ukc kmeans   --instance inst.json --k 3 --seed 1
 //! ukc serve    --addr 127.0.0.1:8080 --workers 4 --cache-cap 256
 //! ukc serve    --addr 127.0.0.1:8080 --threads 4               # alias of --workers
+//! ukc serve    --addr 127.0.0.1:8080 --kernel tiled            # default kernel for requests
+//!                                                              # without an explicit "kernel"
 //! ukc serve    --addr 127.0.0.1:8080 --data-dir ./ukc-data     # durable across restarts
 //! ukc serve    --addr 127.0.0.1:8080 --shards 127.0.0.1:8081,127.0.0.1:8082  # coordinator
 //! ukc client   --addr 127.0.0.1:8080 --path /healthz
@@ -49,7 +52,7 @@ use args::Args;
 use ukc_core::{solve_batch_threads, AssignmentRule, CertainStrategy, Problem, SolverConfig};
 use ukc_json::format::{solution_document, JsonInstance, JsonSolution};
 use ukc_json::Json;
-use ukc_metric::{Euclidean, Point};
+use ukc_metric::{Euclidean, Kernel, Point};
 use ukc_uncertain::generators::{
     clustered, line_instance, ring, two_scale, uniform_box, ProbModel,
 };
@@ -168,12 +171,34 @@ fn solver_config_with_seed_default(
         .strategy(strategy)
         .eps(a.parse_or("eps", 0.25f64)?)
         .seed(a.parse_or("seed", default_seed)?);
+    // --kernel picks the batched distance kernel (scalar|blocked|tiled);
+    // absent keeps the config default (blocked).
+    if let Some(kernel) = kernel_flag(a)? {
+        builder = builder.kernel(kernel);
+    }
     // --threads=N caps the solve's pool lanes (0/non-numeric rejected);
     // absent means auto (UKC_THREADS / available parallelism).
     if let Some(threads) = a.parse_positive("threads")? {
         builder = builder.threads(threads);
     }
     Ok(builder.build()?)
+}
+
+/// Parses the shared `--kernel scalar|blocked|tiled` flag. Absent means
+/// `None` (the caller keeps its default); an unrecognized name is the
+/// typed [`args::ArgError::BadValue`] usage error.
+fn kernel_flag(a: &Args) -> Result<Option<Kernel>, args::ArgError> {
+    if !a.has("kernel") {
+        return Ok(None);
+    }
+    let raw = a.required("kernel")?;
+    match Kernel::parse(raw) {
+        Some(kernel) => Ok(Some(kernel)),
+        None => Err(args::ArgError::BadValue {
+            key: "kernel".into(),
+            value: raw.into(),
+        }),
+    }
 }
 
 /// Output format selector shared by `solve` and `batch`.
@@ -615,6 +640,7 @@ fn cmd_serve(a: &Args) -> CmdResult {
             None => a.parse_or("workers", 0usize)?,
         },
         cache_cap: a.parse_or("cache-cap", 256usize)?,
+        kernel: kernel_flag(a)?.unwrap_or(defaults.kernel),
         max_body_bytes: a.parse_or("max-body-bytes", 8 * 1024 * 1024usize)?,
         data_dir,
         snapshot_interval: a.parse_or("snapshot-interval", 16u64)?,

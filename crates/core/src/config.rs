@@ -218,6 +218,18 @@ impl SolverConfig {
         }
     }
 
+    /// Returns this configuration with the distance kernel replaced.
+    ///
+    /// The serving layer uses this to apply a server-wide default kernel
+    /// to requests that did not pick one explicitly; every other field is
+    /// preserved, and no re-validation is needed (the kernel choice never
+    /// affects validity).
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
     /// The grid solver's options (ε folded in).
     pub fn grid_options(&self) -> GridOptions {
         GridOptions {
@@ -287,9 +299,13 @@ impl SolverConfigBuilder {
     /// Picks the distance kernel. [`Kernel::Blocked`] (the default) wins
     /// at moderate-to-high dimension (see `BENCH_kernel.json`; at `d ≤ 2`
     /// the two are within a few percent of each other);
+    /// [`Kernel::Tiled`] adds the register-tiled mini-GEMM sweeps, the
+    /// fastest option on large fused assignment/cost workloads (it
+    /// auto-falls back to scalar below the dispatch cutoffs, so it is
+    /// safe to select unconditionally);
     /// [`Kernel::Scalar`] preserves the historical per-pair f64 summation
     /// order exactly, which the golden-equivalence suite pins.
-    /// Both kernels evaluate — and count — identical distance pairs.
+    /// All kernels evaluate — and count — identical distance pairs.
     pub fn kernel(mut self, kernel: Kernel) -> Self {
         self.config.kernel = kernel;
         self

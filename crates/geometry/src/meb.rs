@@ -225,7 +225,10 @@ pub fn min_enclosing_ball_approx_store(
             let id = PointId(i);
             let d_sq = match kernel {
                 Kernel::Scalar => dist_sq_scalar(store.coords(id), center),
-                Kernel::Blocked => {
+                // The moving center is synthesized (not a store row), so
+                // the tiled storage/norm caches don't apply; blocked
+                // arithmetic shares its tolerance contract.
+                Kernel::Blocked | Kernel::Tiled => {
                     dist_sq_blocked(store.coords(id), store.norm_sq(id), center, center_norm_sq)
                 }
             };

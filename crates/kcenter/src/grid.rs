@@ -136,7 +136,10 @@ pub fn grid_kcenter_exec(
         point_ids.iter().any(|&p| {
             let d_sq = match opts.kernel {
                 Kernel::Scalar => batch::dist_sq_scalar(store.coords(p), coords),
-                Kernel::Blocked => {
+                // Grid vertices are synthesized coordinates, not store
+                // rows, so the tiled caches don't apply; blocked
+                // arithmetic shares its tolerance contract.
+                Kernel::Blocked | Kernel::Tiled => {
                     batch::dist_sq_blocked(store.coords(p), store.norm_sq(p), coords, cand_norm_sq)
                 }
             };

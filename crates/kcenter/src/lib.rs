@@ -48,18 +48,19 @@ use ukc_metric::DistanceOracle;
 /// Returns 0 for an empty point set and `+∞` for an empty center set over a
 /// non-empty point set.
 ///
-/// Evaluated center-major through the batched
-/// [`DistanceOracle::dists_to_set_min`] kernel; the result is identical to
-/// the point-major `max_i min_c` loop (min and max are order-independent
-/// over the same pair set), and the evaluation count is `n·k` either way.
+/// Evaluated through the fused
+/// [`DistanceOracle::dists_to_centers_min`] sweep (by default one
+/// [`DistanceOracle::dists_to_set_min`] pass per center; a store oracle's
+/// tiled kernel streams each point past all centers at once); the result
+/// is identical to the point-major `max_i min_c` loop (min and max are
+/// order-independent over the same pair set), and the evaluation count is
+/// `n·k` either way.
 pub fn kcenter_cost<P, M: DistanceOracle<P>>(points: &[P], centers: &[P], metric: &M) -> f64 {
     if points.is_empty() {
         return 0.0;
     }
     let mut min_dist = vec![f64::INFINITY; points.len()];
-    for c in centers {
-        metric.dists_to_set_min(points, c, &mut min_dist);
-    }
+    metric.dists_to_centers_min(points, centers, &mut min_dist);
     min_dist.into_iter().fold(0.0, f64::max)
 }
 

@@ -1,6 +1,6 @@
 //! Batched Euclidean distance kernels over a [`PointStore`].
 //!
-//! Two interchangeable kernels compute every routine:
+//! Three interchangeable kernels compute every routine:
 //!
 //! * [`Kernel::Scalar`] — per-pair difference-and-square with sequential
 //!   summation, the exact arithmetic of [`crate::Point::dist`]. Results
@@ -12,8 +12,37 @@
 //!   parallelism and vectorize), but the different f64 summation order
 //!   perturbs results by a few ulps; callers needing bit-stability pick
 //!   `Scalar`.
+//! * [`Kernel::Tiled`] — the same norm factorization restructured as a
+//!   register-tiled mini-GEMM (see [`tile`]): multi-center sweeps
+//!   ([`dists_to_centers_min`], [`nearest_center_each`]) pack
+//!   [`tile::TILE_CENTERS`] centers into a column-major panel that stays
+//!   in L1 and stream each point row past it exactly once,
+//!   [`tile::TILE_POINTS`] rows per block, with the d-loop as the only
+//!   real loop around a fully unrolled 4×4 block of
+//!   `[f64; TILE_CENTERS]` lane accumulators the autovectorizer keeps in
+//!   vector registers. When the store carries the opt-in f32 mirror
+//!   ([`PointStore::try_enable_f32`]), the tiled kernel streams the
+//!   half-width coordinates and widens each element to f64 before any
+//!   arithmetic, halving memory traffic in bandwidth-bound regimes while
+//!   keeping f64 accumulation tolerances.
 //!
-//! Both kernels perform — and [`DistCounter`]-instrumented callers count —
+//! Every tiled dot product — single pair, single-center sweep, or panel
+//! block — accumulates in one canonical order (ascending dimension, one
+//! f64 accumulator per pair: [`tile::dot_seq`]), and the store caches
+//! norms accumulated in that same order, so `‖a‖² + ‖b‖² − 2a·b` cancels
+//! exactly for duplicate points and a tiled value is a pure function of
+//! the stored coordinates: block membership, chunk boundaries, and lane
+//! counts never perturb a result bit.
+//!
+//! The factorized kernels lose to the scalar loop on tiny sweeps (the
+//! norm lookups and reduction trees cost more than they save), so the
+//! public entry points re-dispatch through [`Kernel::dispatch`]: below a
+//! measured work cutoff `Blocked` and `Tiled` fall back to the scalar
+//! loop. The decision depends only on the sweep size and dimension —
+//! never on thread count or chunking — so it preserves the
+//! execution-layer determinism contract.
+//!
+//! All kernels perform — and [`DistCounter`]-instrumented callers count —
 //! exactly one distance evaluation per point-pair, so switching kernels
 //! never changes instrumentation.
 
@@ -33,24 +62,68 @@ pub const PAR_CHUNK: usize = 2048;
 /// function of input size, for the same determinism reason.
 pub const PAR_MIN_POINTS: usize = 4096;
 
+/// Below this dimension the norm factorization never pays: the cached
+/// norm lookups and reduction machinery cost more than the one or two
+/// multiplies they save (BENCH_kernel.json `d = 2` rows lose at every
+/// `n`), so [`Kernel::dispatch`] demotes factorized kernels to scalar.
+pub const FACTORIZED_MIN_DIM: usize = 3;
+
+/// Minimum `pair_evals · dim` (total multiply-add work) before a
+/// factorized kernel beats the scalar loop (measured: blocked loses at
+/// `n = 1k, d = 8` — 8k work — and wins from `n = 1k, d = 32` — 32k).
+pub const FACTORIZED_MIN_WORK: usize = 16_384;
+
 /// Which distance kernel evaluates batched routines.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Kernel {
     /// Per-pair difference-and-square, sequential summation over
     /// dimensions: bit-identical to [`crate::Point::dist`].
     Scalar,
-    /// Norm-factorized form over 8-wide unrolled dot products; fastest,
+    /// Norm-factorized form over 8-wide unrolled dot products; fast,
     /// with last-ulp deviations from the scalar path.
     #[default]
     Blocked,
+    /// Register-tiled mini-GEMM over packed center panels (see [`tile`]);
+    /// the fastest multi-center sweeps, and the only kernel that reads
+    /// the store's opt-in f32 mirror. Same tolerance contract as
+    /// `Blocked`.
+    Tiled,
 }
 
 impl Kernel {
+    /// Every kernel, in definition order — for CLI/test matrices.
+    pub const ALL: [Kernel; 3] = [Kernel::Scalar, Kernel::Blocked, Kernel::Tiled];
+
     /// Short name for reports and config keys.
     pub fn name(self) -> &'static str {
         match self {
             Kernel::Scalar => "scalar",
             Kernel::Blocked => "blocked",
+            Kernel::Tiled => "tiled",
+        }
+    }
+
+    /// Parses a [`Kernel::name`] back to the kernel (`None` for anything
+    /// else) — the single source of truth for CLI and API kernel fields.
+    pub fn parse(s: &str) -> Option<Kernel> {
+        Kernel::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// The kernel a sweep of `pair_evals` point-pairs in dimension `dim`
+    /// should actually run: factorized kernels fall back to the scalar
+    /// loop below [`FACTORIZED_MIN_DIM`] / [`FACTORIZED_MIN_WORK`], where
+    /// BENCH_kernel.json shows them *losing* to it.
+    ///
+    /// The decision is a pure function of the sweep size and dimension —
+    /// never of thread count or chunk boundaries — and the batched entry
+    /// points apply it exactly once per sweep, on the full sweep size, so
+    /// it preserves the execution-layer determinism contract.
+    #[inline]
+    pub fn dispatch(self, pair_evals: usize, dim: usize) -> Kernel {
+        if dim < FACTORIZED_MIN_DIM || pair_evals.saturating_mul(dim) < FACTORIZED_MIN_WORK {
+            Kernel::Scalar
+        } else {
+            self
         }
     }
 }
@@ -198,23 +271,320 @@ pub fn dist_sq_blocked(a: &[f64], a_norm_sq: f64, b: &[f64], b_norm_sq: f64) -> 
     ((a_norm_sq + b_norm_sq) - 2.0 * dot_blocked(a, b)).max(0.0)
 }
 
-#[inline]
-fn pair_dist(
-    store: &PointStore,
-    a: PointId,
-    q_coords: &[f64],
-    q_norm_sq: f64,
-    kernel: Kernel,
-) -> f64 {
+/// Register-tiled mini-GEMM primitives behind [`Kernel::Tiled`].
+///
+/// The multi-center sweeps are structured like a BLAS micro-kernel:
+/// center coordinates are packed column-major into
+/// [`TILE_CENTERS`](tile::TILE_CENTERS)-wide panels
+/// ([`CenterPanels`](tile::CenterPanels)) that stay resident in L1, and
+/// point rows stream past them [`TILE_POINTS`](tile::TILE_POINTS) at a
+/// time. Inside a block the d-loop
+/// is the only real loop; the `TILE_POINTS × TILE_CENTERS` multiply-add
+/// block is fully unrolled over `[f64; TILE_CENTERS]` accumulator arrays,
+/// which the autovectorizer keeps in vector registers (4 f64 lanes fill
+/// one ymm register under the workspace's `x86-64-v3` baseline).
+///
+/// **Determinism contract.** Every per-pair dot product in this module —
+/// [`dot_seq`](tile::dot_seq), each row of
+/// [`dots_x4_one`](tile::dots_x4_one), and each `(row, center)` cell of
+/// [`dots_x4_panel`](tile::dots_x4_panel) /
+/// [`dot_panel`](tile::dot_panel) — performs the identical
+/// floating-point operation sequence: one f64 accumulator, ascending
+/// dimension, `acc + x·y` per step. [`PointStore`]
+/// caches squared norms accumulated in the same order, so the
+/// `‖a‖² + ‖b‖² − 2a·b` form cancels **exactly** for duplicate points,
+/// and a tiled distance is a pure function of the stored coordinates —
+/// independent of block membership, panel shape, chunking, and thread
+/// count. SIMD parallelism lives across the *center* axis (independent
+/// accumulators), never inside a single pair's reduction.
+///
+/// **f32 storage.** The primitives are generic over
+/// [`Coord`](tile::Coord): elements
+/// are widened to f64 *before* any arithmetic, so enabling the store's
+/// f32 mirror halves memory traffic but keeps f64 accumulation — the
+/// only precision loss is the one-time coordinate rounding at ingest.
+pub mod tile {
+    /// Point rows processed together per block (interleaved for
+    /// instruction-level parallelism).
+    pub const TILE_POINTS: usize = 4;
+
+    /// Centers packed per panel — the SIMD lane width of the
+    /// `[f64; TILE_CENTERS]` accumulator arrays.
+    pub const TILE_CENTERS: usize = 4;
+
+    /// A coordinate element the tiled kernel can stream (f64, or the
+    /// store's opt-in f32 mirror); widened to f64 before any arithmetic.
+    pub trait Coord: Copy + Send + Sync + 'static {
+        /// The element as f64 (exact — both storage types embed in f64).
+        fn widen(self) -> f64;
+    }
+
+    impl Coord for f64 {
+        #[inline(always)]
+        fn widen(self) -> f64 {
+            self
+        }
+    }
+
+    impl Coord for f32 {
+        #[inline(always)]
+        fn widen(self) -> f64 {
+            f64::from(self)
+        }
+    }
+
+    /// The canonical tiled dot product: one f64 accumulator, ascending
+    /// dimension. Every tiled code path reproduces exactly this operation
+    /// sequence per pair (see the module docs), which is what makes tiled
+    /// values blocking-independent and self-cancelling for duplicates.
+    #[inline]
+    pub fn dot_seq<A: Coord, B: Coord>(a: &[A], b: &[B]) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+        a.iter()
+            .zip(b.iter())
+            .map(|(&x, &y)| x.widen() * y.widen())
+            .sum()
+    }
+
+    /// Dots of four point rows against one query row, interleaved for
+    /// ILP; each row's accumulation order is exactly [`dot_seq`].
+    ///
+    /// # Panics
+    /// Panics when any row is shorter than `q`.
+    #[inline]
+    pub fn dots_x4_one<T: Coord, Q: Coord>(
+        rows: [&[T]; TILE_POINTS],
+        q: &[Q],
+    ) -> [f64; TILE_POINTS] {
+        let d = q.len();
+        let [r0, r1, r2, r3] = rows;
+        assert!(
+            r0.len() >= d && r1.len() >= d && r2.len() >= d && r3.len() >= d,
+            "row shorter than query"
+        );
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for (t, &qt) in q.iter().enumerate() {
+            let qt = qt.widen();
+            a0 += r0[t].widen() * qt;
+            a1 += r1[t].widen() * qt;
+            a2 += r2[t].widen() * qt;
+            a3 += r3[t].widen() * qt;
+        }
+        [a0, a1, a2, a3]
+    }
+
+    /// Centers packed for the tiled sweeps: coordinates laid out
+    /// column-major per panel — `coords[(g·d + t)·TILE_CENTERS + c]` is
+    /// coordinate `t` of panel-local center `c` of panel `g` — with slots
+    /// past the real center count padded by zero coordinates and `+∞`
+    /// norms, so a padded column can never win a minimum.
+    #[derive(Clone, Debug)]
+    pub struct CenterPanels {
+        coords: Vec<f64>,
+        norms_sq: Vec<f64>,
+        dim: usize,
+        len: usize,
+    }
+
+    impl CenterPanels {
+        /// Packs `len` centers of dimension `dim`; `coord(c, t)` and
+        /// `norm_sq(c)` supply the (already widened) values.
+        pub fn pack(
+            len: usize,
+            dim: usize,
+            coord: impl Fn(usize, usize) -> f64,
+            norm_sq: impl Fn(usize) -> f64,
+        ) -> Self {
+            let padded = len.div_ceil(TILE_CENTERS).max(1) * TILE_CENTERS;
+            let mut coords = vec![0.0; padded * dim];
+            let mut norms = vec![f64::INFINITY; padded];
+            for (c, norm) in norms.iter_mut().enumerate().take(len) {
+                let (g, j) = (c / TILE_CENTERS, c % TILE_CENTERS);
+                for t in 0..dim {
+                    coords[(g * dim + t) * TILE_CENTERS + j] = coord(c, t);
+                }
+                *norm = norm_sq(c);
+            }
+            Self {
+                coords,
+                norms_sq: norms,
+                dim,
+                len,
+            }
+        }
+
+        /// Number of real (unpadded) centers.
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        /// `true` when no centers are packed.
+        pub fn is_empty(&self) -> bool {
+            self.len == 0
+        }
+
+        /// Number of [`TILE_CENTERS`]-wide panels, including the padded
+        /// tail.
+        pub fn n_panels(&self) -> usize {
+            self.norms_sq.len() / TILE_CENTERS
+        }
+
+        /// The column-major coordinate block of panel `g`
+        /// (`dim · TILE_CENTERS` values).
+        #[inline]
+        pub fn panel_coords(&self, g: usize) -> &[f64] {
+            &self.coords[g * self.dim * TILE_CENTERS..(g + 1) * self.dim * TILE_CENTERS]
+        }
+
+        /// The (possibly `+∞`-padded) squared norms of panel `g`.
+        #[inline]
+        pub fn panel_norms_sq(&self, g: usize) -> &[f64; TILE_CENTERS] {
+            self.norms_sq[g * TILE_CENTERS..(g + 1) * TILE_CENTERS]
+                .try_into()
+                .expect("panel width")
+        }
+    }
+
+    /// The 4×4 micro-kernel: dots of four point rows against one packed
+    /// panel. The d-loop is the only real loop — the 4×4 multiply-add
+    /// block is fully unrolled around `[f64; TILE_CENTERS]` lane
+    /// accumulators. Per-pair accumulation order is exactly [`dot_seq`].
+    ///
+    /// # Panics
+    /// Panics when any row is shorter than the panel's dimension.
+    #[inline]
+    pub fn dots_x4_panel<T: Coord>(
+        rows: [&[T]; TILE_POINTS],
+        panel: &[f64],
+    ) -> [[f64; TILE_CENTERS]; TILE_POINTS] {
+        let d = panel.len() / TILE_CENTERS;
+        let [r0, r1, r2, r3] = rows;
+        assert!(
+            r0.len() >= d && r1.len() >= d && r2.len() >= d && r3.len() >= d,
+            "row shorter than panel dimension"
+        );
+        let mut acc = [[0.0f64; TILE_CENTERS]; TILE_POINTS];
+        for t in 0..d {
+            let cv: &[f64; TILE_CENTERS] = panel[t * TILE_CENTERS..(t + 1) * TILE_CENTERS]
+                .try_into()
+                .expect("panel stride");
+            let xs = [r0[t].widen(), r1[t].widen(), r2[t].widen(), r3[t].widen()];
+            for p in 0..TILE_POINTS {
+                for c in 0..TILE_CENTERS {
+                    acc[p][c] += xs[p] * cv[c];
+                }
+            }
+        }
+        acc
+    }
+
+    /// Single-row form of [`dots_x4_panel`] for the block remainder —
+    /// identical per-pair accumulation order.
+    ///
+    /// # Panics
+    /// Panics when `row` is shorter than the panel's dimension.
+    #[inline]
+    pub fn dot_panel<T: Coord>(row: &[T], panel: &[f64]) -> [f64; TILE_CENTERS] {
+        let d = panel.len() / TILE_CENTERS;
+        assert!(row.len() >= d, "row shorter than panel dimension");
+        let mut acc = [0.0f64; TILE_CENTERS];
+        for t in 0..d {
+            let cv: &[f64; TILE_CENTERS] = panel[t * TILE_CENTERS..(t + 1) * TILE_CENTERS]
+                .try_into()
+                .expect("panel stride");
+            let x = row[t].widen();
+            for c in 0..TILE_CENTERS {
+                acc[c] += x * cv[c];
+            }
+        }
+        acc
+    }
+}
+
+/// A typed view of the storage the tiled kernel streams: the f32 mirror
+/// when the store carries one, else the f64 coordinates — in both cases
+/// paired with squared norms accumulated in [`tile::dot_seq`] order.
+struct TiledView<'a, T> {
+    coords: &'a [T],
+    norms_sq: &'a [f64],
+    dim: usize,
+}
+
+impl<'a, T: tile::Coord> TiledView<'a, T> {
+    #[inline]
+    fn row(&self, id: PointId) -> &'a [T] {
+        &self.coords[id.0 * self.dim..(id.0 + 1) * self.dim]
+    }
+
+    #[inline]
+    fn norm_sq(&self, id: PointId) -> f64 {
+        self.norms_sq[id.0]
+    }
+}
+
+fn tiled_view_f64(store: &PointStore) -> TiledView<'_, f64> {
+    TiledView {
+        coords: store.raw_coords(),
+        norms_sq: store.raw_norms_sq_seq(),
+        dim: store.dim(),
+    }
+}
+
+fn tiled_view_f32(store: &PointStore) -> Option<TiledView<'_, f32>> {
+    store.f32_view().map(|(coords, norms_sq)| TiledView {
+        coords,
+        norms_sq,
+        dim: store.dim(),
+    })
+}
+
+/// Packs `centers` into [`tile::CenterPanels`], widening coordinates and
+/// reading the view's (order-matched) norms.
+fn pack_panels<T: tile::Coord>(v: &TiledView<'_, T>, centers: &[PointId]) -> tile::CenterPanels {
+    tile::CenterPanels::pack(
+        centers.len(),
+        v.dim,
+        |c, t| v.row(centers[c])[t].widen(),
+        |c| v.norm_sq(centers[c]),
+    )
+}
+
+/// Distance between two stored points under `kernel`'s arithmetic — the
+/// single-pair form behind [`crate::Metric::dist`] on a
+/// [`crate::StoreOracle`]. The tiled kernel reads the f32 mirror when the
+/// store carries one. Sweep dispatch ([`Kernel::dispatch`]) does not
+/// apply to single pairs — callers asked for this kernel's arithmetic.
+pub fn pair_dist(store: &PointStore, a: PointId, b: PointId, kernel: Kernel) -> f64 {
     match kernel {
-        Kernel::Scalar => dist_sq_scalar(store.coords(a), q_coords).sqrt(),
-        Kernel::Blocked => {
-            dist_sq_blocked(store.coords(a), store.norm_sq(a), q_coords, q_norm_sq).sqrt()
+        Kernel::Scalar => dist_sq_scalar(store.coords(a), store.coords(b)).sqrt(),
+        Kernel::Blocked => dist_sq_blocked(
+            store.coords(a),
+            store.norm_sq(a),
+            store.coords(b),
+            store.norm_sq(b),
+        )
+        .sqrt(),
+        Kernel::Tiled => {
+            if let Some(v) = tiled_view_f32(store) {
+                pair_dist_tiled(&v, a, b)
+            } else {
+                pair_dist_tiled(&tiled_view_f64(store), a, b)
+            }
         }
     }
 }
 
+#[inline]
+fn pair_dist_tiled<T: tile::Coord>(v: &TiledView<'_, T>, a: PointId, b: PointId) -> f64 {
+    ((v.norm_sq(a) + v.norm_sq(b)) - 2.0 * tile::dot_seq(v.row(a), v.row(b)))
+        .max(0.0)
+        .sqrt()
+}
+
 /// Fills `out[i] = d(points[i], q)`.
+///
+/// Re-dispatches through [`Kernel::dispatch`] on the sweep size, so tiny
+/// sweeps run the scalar loop even under a factorized kernel.
 ///
 /// # Panics
 /// Panics when `out` is shorter than `points`.
@@ -226,10 +596,71 @@ pub fn dists_to_one(
     out: &mut [f64],
 ) {
     assert!(out.len() >= points.len(), "output buffer too small");
-    let qc = store.coords(q);
-    let qn = store.norm_sq(q);
-    for (p, o) in points.iter().zip(out.iter_mut()) {
-        *o = pair_dist(store, *p, qc, qn, kernel);
+    dists_to_one_resolved(
+        store,
+        points,
+        q,
+        kernel.dispatch(points.len(), store.dim()),
+        out,
+    );
+}
+
+/// [`dists_to_one`] after dispatch: `kernel` is run as-is. The parallel
+/// entry resolves once on the full sweep and calls this per chunk, so
+/// chunk sizes can never flip the dispatch decision.
+fn dists_to_one_resolved(
+    store: &PointStore,
+    points: &[PointId],
+    q: PointId,
+    kernel: Kernel,
+    out: &mut [f64],
+) {
+    match kernel {
+        Kernel::Scalar => {
+            let qc = store.coords(q);
+            for (p, o) in points.iter().zip(out.iter_mut()) {
+                *o = dist_sq_scalar(store.coords(*p), qc).sqrt();
+            }
+        }
+        Kernel::Blocked => {
+            let qc = store.coords(q);
+            let qn = store.norm_sq(q);
+            for (p, o) in points.iter().zip(out.iter_mut()) {
+                *o = dist_sq_blocked(store.coords(*p), store.norm_sq(*p), qc, qn).sqrt();
+            }
+        }
+        Kernel::Tiled => {
+            if let Some(v) = tiled_view_f32(store) {
+                dists_to_one_tiled(&v, points, q, out);
+            } else {
+                dists_to_one_tiled(&tiled_view_f64(store), points, q, out);
+            }
+        }
+    }
+}
+
+fn dists_to_one_tiled<T: tile::Coord>(
+    v: &TiledView<'_, T>,
+    points: &[PointId],
+    q: PointId,
+    out: &mut [f64],
+) {
+    let qr = v.row(q);
+    let qn = v.norm_sq(q);
+    let mut blocks = points.chunks_exact(tile::TILE_POINTS);
+    let mut i = 0;
+    for blk in &mut blocks {
+        let rows = [v.row(blk[0]), v.row(blk[1]), v.row(blk[2]), v.row(blk[3])];
+        let dots = tile::dots_x4_one(rows, qr);
+        for p in 0..tile::TILE_POINTS {
+            out[i + p] = ((v.norm_sq(blk[p]) + qn) - 2.0 * dots[p]).max(0.0).sqrt();
+        }
+        i += tile::TILE_POINTS;
+    }
+    for &id in blocks.remainder() {
+        let dot = tile::dot_seq(v.row(id), qr);
+        out[i] = ((v.norm_sq(id) + qn) - 2.0 * dot).max(0.0).sqrt();
+        i += 1;
     }
 }
 
@@ -247,10 +678,26 @@ pub fn dists_to_set_min(
     min_dist: &mut [f64],
 ) {
     assert!(min_dist.len() >= points.len(), "min-dist buffer too small");
-    let cc = store.coords(center);
-    let cn = store.norm_sq(center);
+    dists_to_set_min_resolved(
+        store,
+        points,
+        center,
+        kernel.dispatch(points.len(), store.dim()),
+        min_dist,
+    );
+}
+
+/// [`dists_to_set_min`] after dispatch (see [`dists_to_one_resolved`]).
+fn dists_to_set_min_resolved(
+    store: &PointStore,
+    points: &[PointId],
+    center: PointId,
+    kernel: Kernel,
+    min_dist: &mut [f64],
+) {
     match kernel {
         Kernel::Scalar => {
+            let cc = store.coords(center);
             for (p, d) in points.iter().zip(min_dist.iter_mut()) {
                 let nd = dist_sq_scalar(store.coords(*p), cc).sqrt();
                 if nd < *d {
@@ -264,6 +711,8 @@ pub fn dists_to_set_min(
             // tighten the minimum, so most `sqrt`s are skipped. (sqrt is
             // monotone, so the comparison is equivalent up to rounding —
             // within the blocked kernel's tolerance contract.)
+            let cc = store.coords(center);
+            let cn = store.norm_sq(center);
             for (p, d) in points.iter().zip(min_dist.iter_mut()) {
                 let nd_sq = dist_sq_blocked(store.coords(*p), store.norm_sq(*p), cc, cn);
                 if nd_sq < *d * *d {
@@ -271,6 +720,45 @@ pub fn dists_to_set_min(
                 }
             }
         }
+        Kernel::Tiled => {
+            if let Some(v) = tiled_view_f32(store) {
+                dists_to_set_min_tiled(&v, points, center, min_dist);
+            } else {
+                dists_to_set_min_tiled(&tiled_view_f64(store), points, center, min_dist);
+            }
+        }
+    }
+}
+
+fn dists_to_set_min_tiled<T: tile::Coord>(
+    v: &TiledView<'_, T>,
+    points: &[PointId],
+    center: PointId,
+    min_dist: &mut [f64],
+) {
+    let cc = v.row(center);
+    let cn = v.norm_sq(center);
+    let mut blocks = points.chunks_exact(tile::TILE_POINTS);
+    let mut i = 0;
+    for blk in &mut blocks {
+        let rows = [v.row(blk[0]), v.row(blk[1]), v.row(blk[2]), v.row(blk[3])];
+        let dots = tile::dots_x4_one(rows, cc);
+        for p in 0..tile::TILE_POINTS {
+            let nd_sq = ((v.norm_sq(blk[p]) + cn) - 2.0 * dots[p]).max(0.0);
+            let d = &mut min_dist[i + p];
+            if nd_sq < *d * *d {
+                *d = nd_sq.sqrt();
+            }
+        }
+        i += tile::TILE_POINTS;
+    }
+    for &id in blocks.remainder() {
+        let nd_sq = ((v.norm_sq(id) + cn) - 2.0 * tile::dot_seq(v.row(id), cc)).max(0.0);
+        let d = &mut min_dist[i];
+        if nd_sq < *d * *d {
+            *d = nd_sq.sqrt();
+        }
+        i += 1;
     }
 }
 
@@ -282,10 +770,24 @@ pub fn nearest_center(
     q: PointId,
     kernel: Kernel,
 ) -> Option<(usize, f64)> {
-    let qc = store.coords(q);
-    let qn = store.norm_sq(q);
+    nearest_center_resolved(
+        store,
+        centers,
+        q,
+        kernel.dispatch(centers.len(), store.dim()),
+    )
+}
+
+/// [`nearest_center`] after dispatch (see [`dists_to_one_resolved`]).
+fn nearest_center_resolved(
+    store: &PointStore,
+    centers: &[PointId],
+    q: PointId,
+    kernel: Kernel,
+) -> Option<(usize, f64)> {
     match kernel {
         Kernel::Scalar => {
+            let qc = store.coords(q);
             let mut best: Option<(usize, f64)> = None;
             for (i, c) in centers.iter().enumerate() {
                 let d = dist_sq_scalar(store.coords(*c), qc).sqrt();
@@ -297,6 +799,8 @@ pub fn nearest_center(
         }
         Kernel::Blocked => {
             // Squared-space argmin, one sqrt at the end.
+            let qc = store.coords(q);
+            let qn = store.norm_sq(q);
             let mut best: Option<(usize, f64)> = None;
             for (i, c) in centers.iter().enumerate() {
                 let d_sq = dist_sq_blocked(store.coords(*c), store.norm_sq(*c), qc, qn);
@@ -306,7 +810,34 @@ pub fn nearest_center(
             }
             best.map(|(i, d_sq)| (i, d_sq.sqrt()))
         }
+        Kernel::Tiled => {
+            if let Some(v) = tiled_view_f32(store) {
+                nearest_center_tiled(&v, centers, q)
+            } else {
+                nearest_center_tiled(&tiled_view_f64(store), centers, q)
+            }
+        }
     }
+}
+
+/// Squared-space argmin over the centers with the canonical per-pair dot;
+/// bitwise-identical distances (and thus the same argmin) as the fused
+/// [`nearest_center_each`] panel path.
+fn nearest_center_tiled<T: tile::Coord>(
+    v: &TiledView<'_, T>,
+    centers: &[PointId],
+    q: PointId,
+) -> Option<(usize, f64)> {
+    let qr = v.row(q);
+    let qn = v.norm_sq(q);
+    let mut best: Option<(usize, f64)> = None;
+    for (i, c) in centers.iter().enumerate() {
+        let d_sq = ((v.norm_sq(*c) + qn) - 2.0 * tile::dot_seq(v.row(*c), qr)).max(0.0);
+        if best.is_none_or(|(_, bd)| d_sq < bd) {
+            best = Some((i, d_sq));
+        }
+    }
+    best.map(|(i, d_sq)| (i, d_sq.sqrt()))
 }
 
 /// Parallel [`dists_to_one`]: splits `points` into [`PAR_CHUNK`]-row
@@ -325,11 +856,15 @@ pub fn par_dists_to_one(
     out: &mut [f64],
 ) {
     assert!(out.len() >= points.len(), "output buffer too small");
+    // Resolve dispatch once on the full sweep size: chunks must never
+    // re-dispatch, or the (smaller) final chunk could pick a different
+    // kernel than the sequential whole-array path.
+    let kernel = kernel.dispatch(points.len(), store.dim());
     if !exec.is_parallel() || points.len() < PAR_MIN_POINTS {
-        return dists_to_one(store, points, q, kernel, out);
+        return dists_to_one_resolved(store, points, q, kernel, out);
     }
     ukc_pool::for_each_slice(exec, &mut out[..points.len()], PAR_CHUNK, |start, slice| {
-        dists_to_one(store, &points[start..start + slice.len()], q, kernel, slice);
+        dists_to_one_resolved(store, &points[start..start + slice.len()], q, kernel, slice);
     });
 }
 
@@ -349,15 +884,16 @@ pub fn par_dists_to_set_min(
     min_dist: &mut [f64],
 ) {
     assert!(min_dist.len() >= points.len(), "min-dist buffer too small");
+    let kernel = kernel.dispatch(points.len(), store.dim());
     if !exec.is_parallel() || points.len() < PAR_MIN_POINTS {
-        return dists_to_set_min(store, points, center, kernel, min_dist);
+        return dists_to_set_min_resolved(store, points, center, kernel, min_dist);
     }
     ukc_pool::for_each_slice(
         exec,
         &mut min_dist[..points.len()],
         PAR_CHUNK,
         |start, slice| {
-            dists_to_set_min(
+            dists_to_set_min_resolved(
                 store,
                 &points[start..start + slice.len()],
                 center,
@@ -384,11 +920,13 @@ pub fn par_nearest_center(
     kernel: Kernel,
     exec: Exec<'_>,
 ) -> Option<(usize, f64)> {
+    let kernel = kernel.dispatch(centers.len(), store.dim());
     if centers.len() < PAR_MIN_POINTS {
-        return nearest_center(store, centers, q, kernel);
+        return nearest_center_resolved(store, centers, q, kernel);
     }
     let partials = ukc_pool::map_chunks(exec, centers.len(), PAR_CHUNK, |r| {
-        nearest_center(store, &centers[r.clone()], q, kernel).map(|(i, d)| (i + r.start, d))
+        nearest_center_resolved(store, &centers[r.clone()], q, kernel)
+            .map(|(i, d)| (i + r.start, d))
     });
     let mut best: Option<(usize, f64)> = None;
     for p in partials.into_iter().flatten() {
@@ -397,6 +935,300 @@ pub fn par_nearest_center(
         }
     }
     best
+}
+
+/// Tightens a running minimum against a whole center set:
+/// `min_dist[i] = min(min_dist[i], min_c d(points[i], centers[c]))` — the
+/// k-center cost sweep, fused across centers.
+///
+/// For `Scalar`/`Blocked` this is exactly `centers.len()` passes of
+/// [`dists_to_set_min`] (unchanged arithmetic and results). The tiled
+/// kernel instead packs the centers into [`tile::CenterPanels`] once and
+/// streams each point row past all of them in a single pass — the
+/// compute-bound mini-GEMM this kernel exists for.
+///
+/// # Panics
+/// Panics when `min_dist` is shorter than `points`.
+pub fn dists_to_centers_min(
+    store: &PointStore,
+    points: &[PointId],
+    centers: &[PointId],
+    kernel: Kernel,
+    min_dist: &mut [f64],
+) {
+    par_dists_to_centers_min(store, points, centers, kernel, Exec::sequential(), min_dist);
+}
+
+/// Parallel [`dists_to_centers_min`]: the tiled path packs panels once
+/// and chunks the *points* ([`PAR_CHUNK`] rows per lane); each point's
+/// center loop runs entirely inside one chunk, so results are
+/// bit-identical for every [`Exec`].
+///
+/// # Panics
+/// Panics when `min_dist` is shorter than `points`.
+pub fn par_dists_to_centers_min(
+    store: &PointStore,
+    points: &[PointId],
+    centers: &[PointId],
+    kernel: Kernel,
+    exec: Exec<'_>,
+    min_dist: &mut [f64],
+) {
+    assert!(min_dist.len() >= points.len(), "min-dist buffer too small");
+    // Dispatch on the sweep's total work (n·k pair evaluations). Only the
+    // tiled kernel has a fused path; everything else — including a tiled
+    // request demoted below the cutoff — runs the per-center passes,
+    // which re-dispatch per pass exactly like direct calls.
+    let work = points.len().saturating_mul(centers.len());
+    match kernel.dispatch(work, store.dim()) {
+        Kernel::Tiled => {
+            if let Some(v) = tiled_view_f32(store) {
+                par_centers_min_tiled(&v, points, centers, exec, min_dist);
+            } else {
+                par_centers_min_tiled(&tiled_view_f64(store), points, centers, exec, min_dist);
+            }
+        }
+        _ => {
+            for c in centers {
+                par_dists_to_set_min(store, points, *c, kernel, exec, min_dist);
+            }
+        }
+    }
+}
+
+fn par_centers_min_tiled<T: tile::Coord>(
+    v: &TiledView<'_, T>,
+    points: &[PointId],
+    centers: &[PointId],
+    exec: Exec<'_>,
+    min_dist: &mut [f64],
+) {
+    let panels = pack_panels(v, centers);
+    if !exec.is_parallel() || points.len() < PAR_MIN_POINTS {
+        return dists_to_centers_min_tiled(v, points, &panels, min_dist);
+    }
+    ukc_pool::for_each_slice(
+        exec,
+        &mut min_dist[..points.len()],
+        PAR_CHUNK,
+        |start, slice| {
+            dists_to_centers_min_tiled(v, &points[start..start + slice.len()], &panels, slice);
+        },
+    );
+}
+
+fn dists_to_centers_min_tiled<T: tile::Coord>(
+    v: &TiledView<'_, T>,
+    points: &[PointId],
+    panels: &tile::CenterPanels,
+    min_dist: &mut [f64],
+) {
+    if panels.is_empty() {
+        return;
+    }
+    let mut blocks = points.chunks_exact(tile::TILE_POINTS);
+    let mut i = 0;
+    for blk in &mut blocks {
+        let rows = [v.row(blk[0]), v.row(blk[1]), v.row(blk[2]), v.row(blk[3])];
+        let norms = [
+            v.norm_sq(blk[0]),
+            v.norm_sq(blk[1]),
+            v.norm_sq(blk[2]),
+            v.norm_sq(blk[3]),
+        ];
+        let mut best = [f64::INFINITY; tile::TILE_POINTS];
+        for g in 0..panels.n_panels() {
+            let dots = tile::dots_x4_panel(rows, panels.panel_coords(g));
+            let cn = panels.panel_norms_sq(g);
+            for p in 0..tile::TILE_POINTS {
+                for c in 0..tile::TILE_CENTERS {
+                    // Padded columns carry +∞ norms, so their nd_sq is +∞
+                    // and the strict `<` can never select them.
+                    let nd_sq = ((norms[p] + cn[c]) - 2.0 * dots[p][c]).max(0.0);
+                    if nd_sq < best[p] {
+                        best[p] = nd_sq;
+                    }
+                }
+            }
+        }
+        for p in 0..tile::TILE_POINTS {
+            let d = &mut min_dist[i + p];
+            if best[p] < *d * *d {
+                *d = best[p].sqrt();
+            }
+        }
+        i += tile::TILE_POINTS;
+    }
+    for &id in blocks.remainder() {
+        let row = v.row(id);
+        let n = v.norm_sq(id);
+        let mut best = f64::INFINITY;
+        for g in 0..panels.n_panels() {
+            let dots = tile::dot_panel(row, panels.panel_coords(g));
+            let cn = panels.panel_norms_sq(g);
+            for c in 0..tile::TILE_CENTERS {
+                let nd_sq = ((n + cn[c]) - 2.0 * dots[c]).max(0.0);
+                if nd_sq < best {
+                    best = nd_sq;
+                }
+            }
+        }
+        let d = &mut min_dist[i];
+        if best < *d * *d {
+            *d = best.sqrt();
+        }
+        i += 1;
+    }
+}
+
+/// Fills `out[i]` with the index and distance of the center nearest
+/// `points[i]`, ties toward the lower index — the batched assignment
+/// sweep, fused across centers.
+///
+/// For `Scalar`/`Blocked` this runs one [`nearest_center`] per query (the
+/// arithmetic `nearest_each` always used). The tiled kernel packs the
+/// centers into panels and computes every query's argmin in one streaming
+/// pass — an `n × k` mini-GEMM. Tiled distances here are bit-identical to
+/// the per-query [`nearest_center`] tiled path (same canonical per-pair
+/// order, same ascending-index strict-`<` argmin).
+///
+/// # Panics
+/// Panics when `out` is shorter than `points`, or when `centers` is empty
+/// while `points` is not.
+pub fn nearest_center_each(
+    store: &PointStore,
+    points: &[PointId],
+    centers: &[PointId],
+    kernel: Kernel,
+    out: &mut [(usize, f64)],
+) {
+    par_nearest_center_each(store, points, centers, kernel, Exec::sequential(), out);
+}
+
+/// Parallel [`nearest_center_each`]: chunks the queries; per-query work
+/// never crosses a chunk, so results are bit-identical for every
+/// [`Exec`].
+///
+/// # Panics
+/// Panics when `out` is shorter than `points`, or when `centers` is empty
+/// while `points` is not.
+pub fn par_nearest_center_each(
+    store: &PointStore,
+    points: &[PointId],
+    centers: &[PointId],
+    kernel: Kernel,
+    exec: Exec<'_>,
+    out: &mut [(usize, f64)],
+) {
+    assert!(out.len() >= points.len(), "output buffer too small");
+    if points.is_empty() {
+        // Trivially done, even with no centers (the trait contract).
+        return;
+    }
+    assert!(
+        !centers.is_empty(),
+        "nearest_center_each requires at least one center"
+    );
+    let work = points.len().saturating_mul(centers.len());
+    match kernel.dispatch(work, store.dim()) {
+        Kernel::Tiled => {
+            if let Some(v) = tiled_view_f32(store) {
+                par_nearest_each_tiled(&v, points, centers, exec, out);
+            } else {
+                par_nearest_each_tiled(&tiled_view_f64(store), points, centers, exec, out);
+            }
+        }
+        _ => {
+            // One (size-chunked) nearest per query, consistent with
+            // `Metric::nearest`; chunk the queries across lanes.
+            let per_query = |start: usize, slice: &mut [(usize, f64)]| {
+                for (q, o) in points[start..start + slice.len()].iter().zip(slice) {
+                    *o = par_nearest_center(store, centers, *q, kernel, Exec::sequential())
+                        .expect("non-empty centers");
+                }
+            };
+            if !exec.is_parallel() || points.len() < PAR_MIN_POINTS {
+                per_query(0, &mut out[..points.len()]);
+            } else {
+                ukc_pool::for_each_slice(exec, &mut out[..points.len()], PAR_CHUNK, per_query);
+            }
+        }
+    }
+}
+
+fn par_nearest_each_tiled<T: tile::Coord>(
+    v: &TiledView<'_, T>,
+    points: &[PointId],
+    centers: &[PointId],
+    exec: Exec<'_>,
+    out: &mut [(usize, f64)],
+) {
+    let panels = pack_panels(v, centers);
+    if !exec.is_parallel() || points.len() < PAR_MIN_POINTS {
+        return nearest_each_tiled(v, points, &panels, out);
+    }
+    ukc_pool::for_each_slice(exec, &mut out[..points.len()], PAR_CHUNK, |start, slice| {
+        nearest_each_tiled(v, &points[start..start + slice.len()], &panels, slice);
+    });
+}
+
+fn nearest_each_tiled<T: tile::Coord>(
+    v: &TiledView<'_, T>,
+    points: &[PointId],
+    panels: &tile::CenterPanels,
+    out: &mut [(usize, f64)],
+) {
+    debug_assert!(!panels.is_empty());
+    let mut blocks = points.chunks_exact(tile::TILE_POINTS);
+    let mut i = 0;
+    for blk in &mut blocks {
+        let rows = [v.row(blk[0]), v.row(blk[1]), v.row(blk[2]), v.row(blk[3])];
+        let norms = [
+            v.norm_sq(blk[0]),
+            v.norm_sq(blk[1]),
+            v.norm_sq(blk[2]),
+            v.norm_sq(blk[3]),
+        ];
+        let mut best_sq = [f64::INFINITY; tile::TILE_POINTS];
+        let mut best_idx = [0usize; tile::TILE_POINTS];
+        for g in 0..panels.n_panels() {
+            let dots = tile::dots_x4_panel(rows, panels.panel_coords(g));
+            let cn = panels.panel_norms_sq(g);
+            for p in 0..tile::TILE_POINTS {
+                for c in 0..tile::TILE_CENTERS {
+                    let nd_sq = ((norms[p] + cn[c]) - 2.0 * dots[p][c]).max(0.0);
+                    // Strict `<` over ascending center index: first wins.
+                    if nd_sq < best_sq[p] {
+                        best_sq[p] = nd_sq;
+                        best_idx[p] = g * tile::TILE_CENTERS + c;
+                    }
+                }
+            }
+        }
+        for p in 0..tile::TILE_POINTS {
+            out[i + p] = (best_idx[p], best_sq[p].sqrt());
+        }
+        i += tile::TILE_POINTS;
+    }
+    for &id in blocks.remainder() {
+        let row = v.row(id);
+        let n = v.norm_sq(id);
+        let mut best_sq = f64::INFINITY;
+        let mut best_idx = 0usize;
+        for g in 0..panels.n_panels() {
+            let dots = tile::dot_panel(row, panels.panel_coords(g));
+            let cn = panels.panel_norms_sq(g);
+            for c in 0..tile::TILE_CENTERS {
+                let nd_sq = ((n + cn[c]) - 2.0 * dots[c]).max(0.0);
+                if nd_sq < best_sq {
+                    best_sq = nd_sq;
+                    best_idx = g * tile::TILE_CENTERS + c;
+                }
+            }
+        }
+        out[i] = (best_idx, best_sq.sqrt());
+        i += 1;
+    }
 }
 
 #[cfg(test)]
@@ -505,7 +1337,7 @@ mod tests {
         let ids = s.ids();
         let pool = ukc_pool::Pool::new(3);
         let exec = Exec::pooled(&pool, 3);
-        for kernel in [Kernel::Scalar, Kernel::Blocked] {
+        for kernel in Kernel::ALL {
             let mut seq = vec![0.0; ids.len()];
             dists_to_one(&s, &ids, PointId(5), kernel, &mut seq);
             let mut par = vec![0.0; ids.len()];
@@ -528,10 +1360,11 @@ mod tests {
 
     #[test]
     fn par_nearest_center_is_lane_count_independent() {
-        let s = store(4, PAR_MIN_POINTS + 123, 3);
+        // d = 5 keeps the factorized kernels above the dispatch cutoff.
+        let s = store(4, PAR_MIN_POINTS + 123, 5);
         let centers = s.ids();
         let pool = ukc_pool::Pool::new(4);
-        for kernel in [Kernel::Scalar, Kernel::Blocked] {
+        for kernel in Kernel::ALL {
             for q in [PointId(0), PointId(17), PointId(4000)] {
                 let seq = par_nearest_center(&s, &centers, q, kernel, Exec::sequential());
                 let par = par_nearest_center(&s, &centers, q, kernel, Exec::pooled(&pool, 4));
@@ -544,5 +1377,219 @@ mod tests {
         assert!(
             par_nearest_center(&s, &[], PointId(0), Kernel::Scalar, Exec::sequential()).is_none()
         );
+    }
+
+    #[test]
+    fn dispatch_is_pinned_to_measured_cutoffs() {
+        for k in Kernel::ALL {
+            // Low dimension never factorizes (BENCH_kernel.json d=2 rows).
+            assert_eq!(k.dispatch(1_000_000, 2), Kernel::Scalar);
+        }
+        // Scalar always passes through.
+        assert_eq!(Kernel::Scalar.dispatch(1_000_000, 32), Kernel::Scalar);
+        // Below the measured work cutoff (n=1k, d=8 loses): scalar.
+        assert_eq!(Kernel::Blocked.dispatch(1_000, 8), Kernel::Scalar);
+        assert_eq!(Kernel::Tiled.dispatch(1_000, 8), Kernel::Scalar);
+        // From the cutoff upward the requested kernel runs (n=1k, d=32).
+        assert_eq!(Kernel::Blocked.dispatch(1_000, 32), Kernel::Blocked);
+        assert_eq!(Kernel::Tiled.dispatch(1_000, 32), Kernel::Tiled);
+        // The boundary is inclusive: work == FACTORIZED_MIN_WORK engages.
+        let evals = FACTORIZED_MIN_WORK / 4;
+        assert_eq!(Kernel::Tiled.dispatch(evals, 4), Kernel::Tiled);
+        assert_eq!(Kernel::Tiled.dispatch(evals - 1, 4), Kernel::Scalar);
+    }
+
+    #[test]
+    fn kernel_parse_roundtrips_names() {
+        for k in Kernel::ALL {
+            assert_eq!(Kernel::parse(k.name()), Some(k));
+        }
+        assert_eq!(Kernel::parse("simd"), None);
+        assert_eq!(Kernel::parse(""), None);
+    }
+
+    #[test]
+    fn par_chunks_align_with_point_tiles() {
+        // Chunk boundaries land on tile boundaries, so only the global
+        // tail block is a remainder regardless of chunking.
+        assert_eq!(PAR_CHUNK % tile::TILE_POINTS, 0);
+    }
+
+    #[test]
+    fn tiled_matches_scalar_within_tolerance() {
+        // 602·33 work keeps the public entries on the tiled path; 602 % 4
+        // exercises the block remainder.
+        let s = store(31, 602, 33);
+        let ids = s.ids();
+        let mut scalar = vec![0.0; ids.len()];
+        let mut tiled = vec![0.0; ids.len()];
+        dists_to_one(&s, &ids, PointId(7), Kernel::Scalar, &mut scalar);
+        dists_to_one(&s, &ids, PointId(7), Kernel::Tiled, &mut tiled);
+        for (a, b) in scalar.iter().zip(&tiled) {
+            assert!((a - b).abs() < 1e-9 * (1.0 + a));
+        }
+
+        let mut ms = vec![f64::INFINITY; ids.len()];
+        let mut mt = vec![f64::INFINITY; ids.len()];
+        for c in [PointId(3), PointId(11), PointId(600)] {
+            dists_to_set_min(&s, &ids, c, Kernel::Scalar, &mut ms);
+            dists_to_set_min(&s, &ids, c, Kernel::Tiled, &mut mt);
+        }
+        for (a, b) in ms.iter().zip(&mt) {
+            assert!((a - b).abs() < 1e-9 * (1.0 + a));
+        }
+    }
+
+    #[test]
+    fn tiled_self_and_duplicate_distances_are_exactly_zero() {
+        let s = store(5, 9, 17);
+        for i in 0..9 {
+            assert_eq!(pair_dist(&s, PointId(i), PointId(i), Kernel::Tiled), 0.0);
+        }
+        let mut s2 = PointStore::new(3);
+        let a = s2.push(&[1.25, -7.5, 3.125]);
+        let b = s2.push(&[1.25, -7.5, 3.125]);
+        assert_eq!(pair_dist(&s2, a, b, Kernel::Tiled), 0.0);
+    }
+
+    #[test]
+    fn fused_centers_min_matches_per_pair_reference_bitwise() {
+        // 203 % 4 = 3 remainder rows; 6 centers = one padded panel; the
+        // 203·6·40 work engages tiled through the public entry.
+        let s = store(13, 203, 40);
+        let ids = s.ids();
+        let centers: Vec<PointId> = (0..6).map(|i| PointId(i * 30)).collect();
+        let mut fused = vec![f64::INFINITY; ids.len()];
+        dists_to_centers_min(&s, &ids, &centers, Kernel::Tiled, &mut fused);
+        for (i, id) in ids.iter().enumerate() {
+            // Reference: min over centers of the canonical tiled squared
+            // distance, one sqrt at the end — the documented semantics.
+            let n = s.norm_sq_seq(*id);
+            let mut best = f64::INFINITY;
+            for c in &centers {
+                let nd_sq = ((n + s.norm_sq_seq(*c))
+                    - 2.0 * tile::dot_seq(s.coords(*id), s.coords(*c)))
+                .max(0.0);
+                if nd_sq < best {
+                    best = nd_sq;
+                }
+            }
+            assert_eq!(fused[i].to_bits(), best.sqrt().to_bits(), "point {i}");
+        }
+    }
+
+    #[test]
+    fn fused_centers_min_agrees_with_per_center_passes() {
+        let s = store(23, 202, 40);
+        let ids = s.ids();
+        let centers: Vec<PointId> = (0..5).map(|i| PointId(i * 40 + 1)).collect();
+        for kernel in Kernel::ALL {
+            let mut fused = vec![f64::INFINITY; ids.len()];
+            dists_to_centers_min(&s, &ids, &centers, kernel, &mut fused);
+            let mut loops = vec![f64::INFINITY; ids.len()];
+            for c in &centers {
+                dists_to_set_min(&s, &ids, *c, kernel, &mut loops);
+            }
+            for (a, b) in fused.iter().zip(&loops) {
+                // Tolerance, not bits: the per-center passes round through
+                // sqrt between updates, the fused pass does not.
+                assert!((a - b).abs() < 1e-9 * (1.0 + a), "{kernel:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_nearest_each_matches_per_query_nearest_bitwise() {
+        let s = store(17, 202, 40);
+        let ids = s.ids();
+        let centers: Vec<PointId> = (0..7).map(|i| PointId(i * 25)).collect();
+        let mut fused = vec![(0usize, 0.0f64); ids.len()];
+        nearest_center_each(&s, &ids, &centers, Kernel::Tiled, &mut fused);
+        for (i, id) in ids.iter().enumerate() {
+            // The per-query tiled path (bypassing dispatch: 7 centers is
+            // far below the cutoff) must agree bit for bit — same
+            // canonical per-pair order, same ascending strict-< argmin.
+            let (bi, bd) = nearest_center_resolved(&s, &centers, *id, Kernel::Tiled).unwrap();
+            assert_eq!(fused[i].0, bi, "point {i}");
+            assert_eq!(fused[i].1.to_bits(), bd.to_bits(), "point {i}");
+        }
+    }
+
+    #[test]
+    fn fused_nearest_ties_prefer_lowest_index_across_panels() {
+        // Six identical centers span two panels; every query must pick
+        // index 0 even though panel 1 holds equally-near copies.
+        let mut s = PointStore::new(8);
+        let c = [0.5, -1.0, 2.0, 0.25, -3.0, 1.0, 0.0, 4.0];
+        for _ in 0..6 {
+            s.push(&c);
+        }
+        for i in 0..40 {
+            let mut p = c;
+            p[0] += (i as f64) * 0.1 + 0.1;
+            s.push(&p);
+        }
+        let queries = s.ids();
+        let centers: Vec<PointId> = (0..6).map(PointId).collect();
+        let mut out = vec![(9usize, -1.0f64); queries.len()];
+        // Call the tiled path directly: this sweep sits below the
+        // dispatch cutoff on purpose (ties are a small-case hazard too).
+        let v = tiled_view_f64(&s);
+        let panels = pack_panels(&v, &centers);
+        nearest_each_tiled(&v, &queries, &panels, &mut out);
+        for (i, (idx, d)) in out.iter().enumerate() {
+            assert_eq!(*idx, 0, "query {i} must tie-break to the lowest index");
+            assert!(d.is_finite());
+        }
+    }
+
+    #[test]
+    fn center_panels_pad_with_infinite_norms() {
+        let s = store(3, 10, 5);
+        let v = tiled_view_f64(&s);
+        let centers: Vec<PointId> = (0..5).map(PointId).collect();
+        let panels = pack_panels(&v, &centers);
+        assert_eq!(panels.len(), 5);
+        assert_eq!(panels.n_panels(), 2);
+        let tail = panels.panel_norms_sq(1);
+        assert_eq!(tail[0], s.norm_sq_seq(PointId(4)));
+        assert!(tail[1..].iter().all(|n| n.is_infinite()));
+        // Column-major layout: coordinate t of panel-local center j.
+        for (c, id) in centers.iter().enumerate() {
+            let (g, j) = (c / tile::TILE_CENTERS, c % tile::TILE_CENTERS);
+            for t in 0..5 {
+                assert_eq!(
+                    panels.panel_coords(g)[t * tile::TILE_CENTERS + j],
+                    s.coords(*id)[t]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn par_fused_sweeps_match_sequential_bitwise() {
+        let s = store(29, 2 * PAR_MIN_POINTS + 31, 7);
+        let ids = s.ids();
+        let centers: Vec<PointId> = (0..9).map(|i| PointId(i * 123)).collect();
+        let pool = ukc_pool::Pool::new(3);
+        let exec = Exec::pooled(&pool, 3);
+        for kernel in Kernel::ALL {
+            let mut seq = vec![f64::INFINITY; ids.len()];
+            dists_to_centers_min(&s, &ids, &centers, kernel, &mut seq);
+            let mut par = vec![f64::INFINITY; ids.len()];
+            par_dists_to_centers_min(&s, &ids, &centers, kernel, exec, &mut par);
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{kernel:?}");
+            }
+
+            let mut seq = vec![(0usize, 0.0f64); ids.len()];
+            nearest_center_each(&s, &ids, &centers, kernel, &mut seq);
+            let mut par = vec![(0usize, 0.0f64); ids.len()];
+            par_nearest_center_each(&s, &ids, &centers, kernel, exec, &mut par);
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.0, b.0, "{kernel:?}");
+                assert_eq!(a.1.to_bits(), b.1.to_bits(), "{kernel:?}");
+            }
+        }
     }
 }

@@ -137,6 +137,24 @@ pub trait DistanceOracle<P>: Metric<P> {
         }
     }
 
+    /// Tightens a running minimum-distance array against a whole center
+    /// set: `min_dist[i] = min(min_dist[i], min_c d(points[i], c))` — the
+    /// k-center cost sweep, fused across centers so oracle overrides can
+    /// stream each point past all centers at once (the tiled kernel's
+    /// mini-GEMM). The default is exactly one [`dists_to_set_min`] pass
+    /// per center, in order.
+    ///
+    /// [`dists_to_set_min`]: DistanceOracle::dists_to_set_min
+    ///
+    /// # Panics
+    /// Panics when `min_dist` is shorter than `points`.
+    fn dists_to_centers_min(&self, points: &[P], centers: &[P], min_dist: &mut [f64]) {
+        assert!(min_dist.len() >= points.len(), "min-dist buffer too small");
+        for c in centers {
+            self.dists_to_set_min(points, c, min_dist);
+        }
+    }
+
     /// Fills `out[i]` with the index and distance of the center nearest
     /// `queries[i]` (ties toward the lower index) — the batched form of
     /// [`Metric::nearest`] behind every assignment sweep. Elementwise per
@@ -175,6 +193,10 @@ impl<P, M: DistanceOracle<P> + ?Sized> DistanceOracle<P> for &M {
 
     fn dists_to_set_min(&self, points: &[P], center: &P, min_dist: &mut [f64]) {
         (**self).dists_to_set_min(points, center, min_dist)
+    }
+
+    fn dists_to_centers_min(&self, points: &[P], centers: &[P], min_dist: &mut [f64]) {
+        (**self).dists_to_centers_min(points, centers, min_dist)
     }
 
     fn nearest_each(&self, queries: &[P], centers: &[P], out: &mut [(usize, f64)]) {

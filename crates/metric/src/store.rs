@@ -17,7 +17,7 @@
 //! generic algorithm in the workspace runs unchanged — only faster — when
 //! handed ids instead of boxed points.
 
-use crate::batch::{self, DistCounter, Kernel, PAR_CHUNK, PAR_MIN_POINTS};
+use crate::batch::{self, DistCounter, Kernel};
 use crate::point::{Point, PointError};
 use crate::{DistanceOracle, Metric};
 use ukc_pool::Exec;
@@ -34,13 +34,57 @@ impl PointId {
     }
 }
 
+/// The opt-in f32 coordinate mirror streamed by [`Kernel::Tiled`]:
+/// rounded coordinates plus squared norms of the *rounded* values,
+/// f64-accumulated in [`batch::tile::dot_seq`] order.
+#[derive(Clone, Debug, Default, PartialEq)]
+struct F32Mirror {
+    coords: Vec<f32>,
+    norms_sq: Vec<f64>,
+}
+
+impl F32Mirror {
+    /// Rounds and appends one row, validating that every coordinate stays
+    /// finite in f32.
+    fn push_row(&mut self, coords: &[f64]) -> Result<(), PointError> {
+        let start = self.coords.len();
+        for (index, &c) in coords.iter().enumerate() {
+            #[allow(clippy::cast_possible_truncation)]
+            let r = c as f32;
+            if !r.is_finite() {
+                self.coords.truncate(start);
+                return Err(PointError::F32Overflow { index, value: c });
+            }
+            self.coords.push(r);
+        }
+        self.norms_sq.push(norm_sq_seq_of(&self.coords[start..]));
+        Ok(())
+    }
+}
+
+/// Squared norm accumulated in the canonical tiled order (ascending
+/// dimension, one f64 accumulator) — exactly
+/// [`batch::tile::dot_seq`]`(row, row)`, so the tiled `‖a‖²+‖b‖²−2a·b`
+/// cancels to zero for duplicate rows.
+fn norm_sq_seq_of<T: batch::tile::Coord>(row: &[T]) -> f64 {
+    batch::tile::dot_seq(row, row)
+}
+
 /// Contiguous structure-of-arrays storage for fixed-dimension Euclidean
-/// points: one flat coordinate buffer plus cached squared norms.
+/// points: one flat coordinate buffer plus cached squared norms — one
+/// norm per kernel accumulation order (blocked 8-wide tree for
+/// [`Kernel::Blocked`], sequential for [`Kernel::Tiled`]), each matching
+/// its kernel's dot products so `‖a‖² + ‖b‖² − 2a·b` cancels exactly for
+/// `a == b`. [`PointStore::try_enable_f32`] additionally maintains a
+/// rounded f32 coordinate mirror for the tiled kernel's bandwidth-bound
+/// regimes.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct PointStore {
     dim: usize,
     coords: Vec<f64>,
     norms_sq: Vec<f64>,
+    norms_sq_seq: Vec<f64>,
+    f32_mirror: Option<F32Mirror>,
 }
 
 impl PointStore {
@@ -54,6 +98,8 @@ impl PointStore {
             dim,
             coords: Vec::new(),
             norms_sq: Vec::new(),
+            norms_sq_seq: Vec::new(),
+            f32_mirror: None,
         }
     }
 
@@ -101,12 +147,84 @@ impl PointStore {
                 value: coords[index],
             });
         }
+        // Validate the f32 mirror first so a rejected push leaves the
+        // store untouched.
+        if let Some(mirror) = &mut self.f32_mirror {
+            mirror.push_row(coords)?;
+        }
         let id = PointId(self.norms_sq.len());
         self.coords.extend_from_slice(coords);
-        // The cached norm uses the same blocked summation as the kernels'
-        // dot products, so `‖a‖² + ‖b‖² − 2a·b` cancels exactly for a == b.
+        // Each cached norm uses the same summation order as its kernel's
+        // dot products, so `‖a‖² + ‖b‖² − 2a·b` cancels exactly for a == b:
+        // the blocked tree for `Kernel::Blocked`, sequential for the
+        // canonical tiled order.
         self.norms_sq.push(batch::dot_blocked(coords, coords));
+        self.norms_sq_seq.push(norm_sq_seq_of(coords));
         Ok(id)
+    }
+
+    /// Enables the f32 coordinate mirror for [`Kernel::Tiled`], rounding
+    /// every stored point (and all future pushes) to f32 — **opt-in,
+    /// never the default**. On success the tiled kernel streams half the
+    /// memory per sweep; distances then carry the one-time coordinate
+    /// rounding (relative error ~`f32::EPSILON` per coordinate) while all
+    /// accumulation stays f64. Idempotent when already enabled.
+    ///
+    /// Fails with [`PointError::F32Overflow`] — leaving the store exactly
+    /// as it was — if any existing coordinate's magnitude exceeds
+    /// `f32::MAX`, so the tiled kernel can never see a non-finite
+    /// coordinate.
+    pub fn try_enable_f32(&mut self) -> Result<(), PointError> {
+        if self.f32_mirror.is_some() {
+            return Ok(());
+        }
+        let mut mirror = F32Mirror {
+            coords: Vec::with_capacity(self.coords.len()),
+            norms_sq: Vec::with_capacity(self.norms_sq.len()),
+        };
+        for i in 0..self.len() {
+            mirror.push_row(self.coords(PointId(i)))?;
+        }
+        self.f32_mirror = Some(mirror);
+        Ok(())
+    }
+
+    /// `true` when the f32 mirror is enabled.
+    #[inline]
+    pub fn has_f32(&self) -> bool {
+        self.f32_mirror.is_some()
+    }
+
+    /// The f32 mirror's coordinate buffer and sequential-order squared
+    /// norms, when enabled.
+    #[inline]
+    pub fn f32_view(&self) -> Option<(&[f32], &[f64])> {
+        self.f32_mirror
+            .as_ref()
+            .map(|m| (m.coords.as_slice(), m.norms_sq.as_slice()))
+    }
+
+    /// The rounded f32 coordinates of point `id`.
+    ///
+    /// # Panics
+    /// Panics when the mirror is disabled or `id` is out of range.
+    #[inline]
+    pub fn coords_f32(&self, id: PointId) -> &[f32] {
+        let m = self.f32_mirror.as_ref().expect("f32 mirror not enabled");
+        &m.coords[id.0 * self.dim..(id.0 + 1) * self.dim]
+    }
+
+    /// The squared norm of point `id`'s *rounded* coordinates
+    /// (f64-accumulated, sequential order).
+    ///
+    /// # Panics
+    /// Panics when the mirror is disabled or `id` is out of range.
+    #[inline]
+    pub fn norm_sq_f32(&self, id: PointId) -> f64 {
+        self.f32_mirror
+            .as_ref()
+            .expect("f32 mirror not enabled")
+            .norms_sq[id.0]
     }
 
     /// Appends an existing [`Point`].
@@ -162,6 +280,20 @@ impl PointStore {
         &self.norms_sq
     }
 
+    /// The squared norm of point `id` accumulated in the canonical tiled
+    /// order (ascending dimension, one f64 accumulator) — the norm cache
+    /// [`Kernel::Tiled`] factorizes against.
+    #[inline]
+    pub fn norm_sq_seq(&self, id: PointId) -> f64 {
+        self.norms_sq_seq[id.0]
+    }
+
+    /// All sequential-order squared norms, indexed by point.
+    #[inline]
+    pub fn raw_norms_sq_seq(&self) -> &[f64] {
+        &self.norms_sq_seq
+    }
+
     /// Materializes point `id` as an owned [`Point`].
     pub fn point(&self, id: PointId) -> Point {
         Point::new(self.coords(id).to_vec())
@@ -180,6 +312,11 @@ impl PointStore {
     pub fn truncate(&mut self, n: usize) {
         self.coords.truncate(n * self.dim);
         self.norms_sq.truncate(n);
+        self.norms_sq_seq.truncate(n);
+        if let Some(m) = &mut self.f32_mirror {
+            m.coords.truncate(n * self.dim);
+            m.norms_sq.truncate(n);
+        }
     }
 }
 
@@ -192,7 +329,7 @@ impl PointStore {
 /// the blocked kernel, so instrumentation counts are kernel-independent.
 ///
 /// [`StoreOracle::with_exec`] attaches an execution context: batched
-/// sweeps over at least [`PAR_MIN_POINTS`] rows then run block-parallel
+/// sweeps over at least [`batch::PAR_MIN_POINTS`] rows then run block-parallel
 /// on the pool through the `par_*` kernels of [`crate::batch`]. Chunk
 /// boundaries and reduction order are pure functions of the input size,
 /// so results — and evaluation counts — are bit-identical for every
@@ -255,14 +392,7 @@ impl Metric<PointId> for StoreOracle<'_> {
     #[inline]
     fn dist(&self, a: &PointId, b: &PointId) -> f64 {
         self.tally(1);
-        let s = self.store;
-        match self.kernel {
-            Kernel::Scalar => batch::dist_sq_scalar(s.coords(*a), s.coords(*b)).sqrt(),
-            Kernel::Blocked => {
-                batch::dist_sq_blocked(s.coords(*a), s.norm_sq(*a), s.coords(*b), s.norm_sq(*b))
-                    .sqrt()
-            }
-        }
+        batch::pair_dist(self.store, *a, *b, self.kernel)
     }
 
     fn nearest(&self, a: &PointId, centers: &[PointId]) -> Option<(usize, f64)> {
@@ -289,6 +419,18 @@ impl DistanceOracle<PointId> for StoreOracle<'_> {
         );
     }
 
+    fn dists_to_centers_min(&self, points: &[PointId], centers: &[PointId], min_dist: &mut [f64]) {
+        self.tally(points.len() * centers.len());
+        batch::par_dists_to_centers_min(
+            self.store,
+            points,
+            centers,
+            self.kernel,
+            self.exec,
+            min_dist,
+        );
+    }
+
     fn nearest_each(&self, queries: &[PointId], centers: &[PointId], out: &mut [(usize, f64)]) {
         assert!(out.len() >= queries.len(), "output buffer too small");
         if queries.is_empty() {
@@ -296,30 +438,8 @@ impl DistanceOracle<PointId> for StoreOracle<'_> {
             // with no centers (matching the default implementation).
             return;
         }
-        assert!(
-            !centers.is_empty(),
-            "nearest_each requires at least one center"
-        );
         self.tally(queries.len() * centers.len());
-        let per_query = |start: usize, slice: &mut [(usize, f64)]| {
-            for (q, o) in queries[start..start + slice.len()].iter().zip(slice) {
-                // Per-query work stays on one lane; the size-chunked
-                // nearest keeps it consistent with `Metric::nearest`.
-                *o = batch::par_nearest_center(
-                    self.store,
-                    centers,
-                    *q,
-                    self.kernel,
-                    Exec::sequential(),
-                )
-                .expect("non-empty centers");
-            }
-        };
-        if !self.exec.is_parallel() || queries.len() < PAR_MIN_POINTS {
-            per_query(0, &mut out[..queries.len()]);
-        } else {
-            ukc_pool::for_each_slice(self.exec, &mut out[..queries.len()], PAR_CHUNK, per_query);
-        }
+        batch::par_nearest_center_each(self.store, queries, centers, self.kernel, self.exec, out);
     }
 }
 
@@ -456,17 +576,81 @@ mod tests {
         let store = PointStore::from_points(&pts);
         let ids = store.ids();
         let mut counts = Vec::new();
-        for kernel in [Kernel::Scalar, Kernel::Blocked] {
+        for kernel in Kernel::ALL {
             let counter = DistCounter::new();
             let oracle = StoreOracle::new(&store, kernel).with_counter(&counter);
             let mut out = vec![0.0; ids.len()];
             oracle.dists_to_one(&ids, &PointId(0), &mut out);
             oracle.dists_to_set_min(&ids, &PointId(3), &mut out);
+            oracle.dists_to_centers_min(&ids, &ids[..3], &mut out);
+            let mut nearest = vec![(0usize, 0.0f64); ids.len()];
+            oracle.nearest_each(&ids, &ids[..2], &mut nearest);
             let _ = oracle.nearest(&PointId(2), &ids[..4]);
             let _ = oracle.dist(&PointId(0), &PointId(1));
             counts.push(counter.count());
         }
-        assert_eq!(counts[0], counts[1]);
-        assert_eq!(counts[0], 10 + 10 + 4 + 1);
+        for c in &counts[1..] {
+            assert_eq!(*c, counts[0]);
+        }
+        assert_eq!(counts[0], 10 + 10 + 30 + 20 + 4 + 1);
+    }
+
+    #[test]
+    fn f32_mirror_is_idempotent_and_survives_truncate() {
+        let pts = cloud(9, 6, 3);
+        let mut store = PointStore::from_points(&pts);
+        assert!(!store.has_f32());
+        store.try_enable_f32().unwrap();
+        store.try_enable_f32().unwrap(); // idempotent
+        assert!(store.has_f32());
+        for i in 0..store.len() {
+            let id = PointId(i);
+            for (c64, c32) in store.coords(id).iter().zip(store.coords_f32(id)) {
+                assert_eq!(*c32, *c64 as f32);
+            }
+            // The mirror's norm is the sequential-order dot of the
+            // *rounded* row, accumulated in f64.
+            let norm: f64 = store
+                .coords_f32(id)
+                .iter()
+                .map(|&c| f64::from(c) * f64::from(c))
+                .sum();
+            assert_eq!(store.norm_sq_f32(id).to_bits(), norm.to_bits());
+        }
+        // Pushes after enabling keep the mirror in lockstep...
+        let id = store.try_push(&[1.5, -2.5, 3.5]).unwrap();
+        assert_eq!(store.coords_f32(id), &[1.5f32, -2.5, 3.5]);
+        // ...and truncate shrinks both representations together.
+        store.truncate(4);
+        assert_eq!(store.len(), 4);
+        let (coords32, norms32) = store.f32_view().unwrap();
+        assert_eq!(coords32.len(), 4 * 3);
+        assert_eq!(norms32.len(), 4);
+    }
+
+    #[test]
+    fn f32_mirror_rejects_overflowing_coordinates() {
+        // 1e39 is finite in f64 but rounds to +∞ in f32.
+        let mut store = PointStore::new(2);
+        store.try_push(&[1.0, 1e39]).unwrap();
+        assert!(matches!(
+            store.try_enable_f32(),
+            Err(PointError::F32Overflow { index: 1, .. })
+        ));
+        // A failed enable leaves the store fully usable in f64.
+        assert!(!store.has_f32());
+        assert_eq!(store.len(), 1);
+
+        // With the mirror live, an overflowing push is rejected whole:
+        // neither representation grows.
+        let mut store = PointStore::new(2);
+        store.try_push(&[0.0, 0.0]).unwrap();
+        store.try_enable_f32().unwrap();
+        assert!(matches!(
+            store.try_push(&[1e39, 0.0]),
+            Err(PointError::F32Overflow { index: 0, .. })
+        ));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.f32_view().unwrap().0.len(), 2);
     }
 }

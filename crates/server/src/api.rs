@@ -13,6 +13,8 @@
 //!   "eps": 0.25,             // grid only
 //!   "seed": 0,
 //!   "lower_bound": true,     // certify a lower bound in the report
+//!   "kernel": "tiled",       // scalar | blocked | tiled  (default: the
+//!                            // server's --kernel, "blocked" out of the box)
 //!   "cache": true            // false bypasses the solution cache
 //! }
 //! ```
@@ -24,6 +26,7 @@ use crate::error::ApiError;
 use ukc_core::{AssignmentRule, CertainStrategy, SolveError, SolverConfig};
 use ukc_json::format::JsonInstance;
 use ukc_json::Json;
+use ukc_metric::Kernel;
 
 /// A parsed solve request: `k`, the solver configuration, and whether
 /// the solution cache may serve it.
@@ -35,6 +38,22 @@ pub struct SolveRequest {
     pub config: SolverConfig,
     /// `false` forces a fresh solve and skips cache insertion.
     pub use_cache: bool,
+    /// Whether the body carried an explicit `"kernel"` field. When it
+    /// did not, the handler applies the server-wide default via
+    /// [`SolveRequest::apply_default_kernel`].
+    pub explicit_kernel: bool,
+}
+
+impl SolveRequest {
+    /// Applies the server's default distance kernel to requests that did
+    /// not pick one explicitly; an explicit `"kernel"` field always wins.
+    #[must_use]
+    pub fn apply_default_kernel(mut self, kernel: Kernel) -> Self {
+        if !self.explicit_kernel {
+            self.config = self.config.with_kernel(kernel);
+        }
+        self
+    }
 }
 
 const SOLVE_FIELDS: &[&str] = &[
@@ -45,6 +64,7 @@ const SOLVE_FIELDS: &[&str] = &[
     "eps",
     "seed",
     "lower_bound",
+    "kernel",
     "cache",
 ];
 
@@ -163,6 +183,22 @@ fn parse_solve_fields(doc: &Json, allowed: &[&str]) -> Result<SolveRequest, ApiE
         })?;
         builder = builder.lower_bound(lb);
     }
+    let explicit_kernel = match doc.get("kernel") {
+        None => false,
+        Some(raw) => {
+            let kernel = raw.as_str().and_then(Kernel::parse).ok_or_else(|| {
+                ApiError::bad_request(
+                    "bad_schema",
+                    format!(
+                        "\"kernel\" must be \"scalar\", \"blocked\", or \"tiled\", got {}",
+                        raw.compact()
+                    ),
+                )
+            })?;
+            builder = builder.kernel(kernel);
+            true
+        }
+    };
     let use_cache = match doc.get("cache") {
         None => true,
         Some(c) => c
@@ -180,6 +216,7 @@ fn parse_solve_fields(doc: &Json, allowed: &[&str]) -> Result<SolveRequest, ApiE
         k,
         config,
         use_cache,
+        explicit_kernel,
     })
 }
 
@@ -269,7 +306,8 @@ mod tests {
     fn full_bodies_parse() {
         let r = parse(
             r#"{"k": 2, "rule": "oc", "solver": "local-search", "rounds": 7,
-                "eps": 0.5, "seed": 9, "lower_bound": false, "cache": false}"#,
+                "eps": 0.5, "seed": 9, "lower_bound": false, "kernel": "tiled",
+                "cache": false}"#,
         )
         .unwrap();
         assert_eq!(r.config.rule(), AssignmentRule::OneCenter);
@@ -280,7 +318,23 @@ mod tests {
         assert_eq!(r.config.eps(), 0.5);
         assert_eq!(r.config.seed(), 9);
         assert!(!r.config.computes_lower_bound());
+        assert_eq!(r.config.kernel(), Kernel::Tiled);
+        assert!(r.explicit_kernel);
         assert!(!r.use_cache);
+    }
+
+    #[test]
+    fn kernel_defaulting_respects_explicit_choice() {
+        // No "kernel" field: the server default applies.
+        let r = parse(r#"{"k": 2}"#).unwrap();
+        assert!(!r.explicit_kernel);
+        let r = r.apply_default_kernel(Kernel::Tiled);
+        assert_eq!(r.config.kernel(), Kernel::Tiled);
+        // Explicit "kernel": the server default must not override it.
+        let r = parse(r#"{"k": 2, "kernel": "scalar"}"#).unwrap();
+        assert!(r.explicit_kernel);
+        let r = r.apply_default_kernel(Kernel::Tiled);
+        assert_eq!(r.config.kernel(), Kernel::Scalar);
     }
 
     #[test]
@@ -292,6 +346,8 @@ mod tests {
             (r#"{"rule": "ep"}"#, "\"k\""),
             (r#"{"k": 1.5}"#, "\"k\""),
             (r#"{"k": 3, "cache": "yes"}"#, "cache"),
+            (r#"{"k": 3, "kernel": "simd"}"#, "kernel"),
+            (r#"{"k": 3, "kernel": 7}"#, "kernel"),
         ] {
             let e = parse(body).unwrap_err();
             assert_eq!(e.status, 400, "{body}");

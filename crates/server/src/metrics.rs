@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use ukc_core::Report;
 use ukc_json::Json;
+use ukc_metric::Kernel;
 use ukc_pool::PoolStats;
 
 /// Route labels, one counter slot each.
@@ -91,6 +92,13 @@ fn route_slot(route: Route) -> usize {
         .expect("every route has a slot")
 }
 
+fn kernel_slot(kernel: Kernel) -> usize {
+    Kernel::ALL
+        .iter()
+        .position(|k| *k == kernel)
+        .expect("every kernel has a slot")
+}
+
 /// All server counters.
 #[derive(Default)]
 pub struct Metrics {
@@ -122,6 +130,10 @@ pub struct Metrics {
     cost_nanos: AtomicU64,
     lower_bound_nanos: AtomicU64,
     distance_evals: AtomicU64,
+    /// Per-kernel solve counts, one slot per [`Kernel::ALL`] entry.
+    kernel_solves: [AtomicU64; Kernel::ALL.len()],
+    /// Per-kernel aggregate wall time spent in solves, same slot order.
+    kernel_nanos: [AtomicU64; Kernel::ALL.len()],
 }
 
 fn add(counter: &AtomicU64, v: u64) {
@@ -152,10 +164,14 @@ impl Metrics {
         }
     }
 
-    /// Folds one successful solve's [`Report`] into the aggregates.
-    pub fn record_solve(&self, report: &Report) {
+    /// Folds one successful solve's [`Report`] into the aggregates,
+    /// attributed to the distance kernel the solve ran under.
+    pub fn record_solve(&self, report: &Report, kernel: Kernel) {
         add(&self.solves_ok, 1);
         let nanos = |d: std::time::Duration| d.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let slot = kernel_slot(kernel);
+        add(&self.kernel_solves[slot], 1);
+        add(&self.kernel_nanos[slot], nanos(report.timings.total));
         add(&self.solve_nanos, nanos(report.timings.total));
         add(
             &self.representatives_nanos,
@@ -272,6 +288,21 @@ impl Metrics {
                             ("lower_bound", secs(&self.lower_bound_nanos)),
                         ]),
                     ),
+                    (
+                        "by_kernel",
+                        Json::obj(Kernel::ALL.iter().enumerate().map(|(i, k)| {
+                            (
+                                k.name(),
+                                Json::obj([
+                                    ("count", Json::from(get(&self.kernel_solves[i]) as f64)),
+                                    (
+                                        "seconds",
+                                        Json::from(get(&self.kernel_nanos[i]) as f64 / 1e9),
+                                    ),
+                                ]),
+                            )
+                        })),
+                    ),
                 ]),
             ),
             ("instances", Json::from(instances)),
@@ -338,8 +369,8 @@ mod tests {
         let mut report = Report::default();
         report.timings.total = std::time::Duration::from_millis(3);
         report.distance_evals.cost = 40;
-        m.record_solve(&report);
-        m.record_solve(&report);
+        m.record_solve(&report, Kernel::Blocked);
+        m.record_solve(&report, Kernel::Tiled);
         m.record_solve_error();
         // A durability document passes through under its key.
         let with_durability = m.to_json(
@@ -371,5 +402,16 @@ mod tests {
             .and_then(Json::as_f64)
             .unwrap();
         assert!((total - 0.006).abs() < 1e-9);
+        let by_kernel = solves.get("by_kernel").unwrap();
+        for kernel in Kernel::ALL {
+            let entry = by_kernel.get(kernel.name()).unwrap();
+            let expected = match kernel {
+                Kernel::Scalar => 0.0,
+                Kernel::Blocked | Kernel::Tiled => 1.0,
+            };
+            assert_eq!(entry.get("count").and_then(Json::as_f64), Some(expected));
+            let seconds = entry.get("seconds").and_then(Json::as_f64).unwrap();
+            assert!((seconds - expected * 0.003).abs() < 1e-9);
+        }
     }
 }

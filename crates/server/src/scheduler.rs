@@ -303,7 +303,7 @@ fn run_wave(jobs: Vec<Job>, workers: usize, metrics: &Metrics) {
         let results = solve_batch_threads(&problems, &config, workers);
         for result in &results {
             match result {
-                Ok(solution) => metrics.record_solve(&solution.report),
+                Ok(solution) => metrics.record_solve(&solution.report, config.kernel()),
                 Err(_) => metrics.record_solve_error(),
             }
         }

@@ -46,6 +46,10 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Solution-cache capacity in entries (0 disables the cache).
     pub cache_cap: usize,
+    /// Default distance kernel for requests that do not carry an explicit
+    /// `"kernel"` field (`ukc serve --kernel`). An explicit field always
+    /// wins, and the kernel is part of the solution-cache key either way.
+    pub kernel: ukc_metric::Kernel,
     /// Maximum accepted request-body size in bytes.
     pub max_body_bytes: usize,
     /// Durable persistence root (`ukc serve --data-dir`). `None` — the
@@ -82,6 +86,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".into(),
             workers: 0,
             cache_cap: 256,
+            kernel: ukc_metric::Kernel::default(),
             max_body_bytes: 8 * 1024 * 1024,
             data_dir: None,
             snapshot_interval: 16,
@@ -104,6 +109,9 @@ pub(crate) struct AppState {
     scheduler: Scheduler,
     metrics: Arc<Metrics>,
     max_body_bytes: usize,
+    /// Server-wide default kernel applied to requests without an explicit
+    /// `"kernel"` field.
+    default_kernel: ukc_metric::Kernel,
     started: Instant,
     /// The durability layer, present only with `data_dir` configured.
     /// In-memory mode carries `None` and every persistence branch in the
@@ -135,7 +143,7 @@ impl AppState {
             None => (None, RecoveryStats::default()),
             Some(dir) => {
                 let (durable, recovered) = DurableStore::open(dir)?;
-                let stats = persist::recover(dir, &recovered, &store, &streams)?;
+                let stats = persist::recover(dir, &recovered, &store, &streams, config.kernel)?;
                 (Some(durable), stats)
             }
         };
@@ -148,6 +156,7 @@ impl AppState {
             scheduler: Scheduler::new(workers, config.queue_cap, Arc::clone(&metrics)),
             metrics,
             max_body_bytes: config.max_body_bytes,
+            default_kernel: config.kernel,
             started: Instant::now(),
             durable,
             snapshot_interval: config.snapshot_interval,
@@ -622,7 +631,7 @@ fn handle_instance_delete(state: &AppState, id: &str) -> Handled {
 
 fn handle_instance_solve(state: &AppState, id: &str, request: &Request) -> Handled {
     let doc = api::parse_body(&request.body)?;
-    let solve = api::parse_solve_request(&doc, false)?;
+    let solve = api::parse_solve_request(&doc, false)?.apply_default_kernel(state.default_kernel);
     let stored = state
         .store
         .get(id)
@@ -635,6 +644,7 @@ fn handle_instance_solve(state: &AppState, id: &str, request: &Request) -> Handl
 fn handle_oneshot_solve(state: &AppState, request: &Request) -> Handled {
     let doc = api::parse_body(&request.body)?;
     let (instance, solve) = api::parse_oneshot(&doc)?;
+    let solve = solve.apply_default_kernel(state.default_kernel);
     let set = instance.to_set().map_err(ApiError::from)?;
     let digest = ukc_core::digest_set(&set);
     run_solve(state, digest, move || set, &solve)
@@ -694,6 +704,7 @@ fn stream_summary(entry: &crate::streams::StreamEntry) -> Json {
 fn handle_stream_create(state: &AppState, request: &Request) -> Handled {
     let doc = api::parse_body(&request.body)?;
     let (solve, budget) = api::parse_stream_create(&doc)?;
+    let solve = solve.apply_default_kernel(state.default_kernel);
     let mut builder = StreamSolver::builder(solve.k).config(solve.config.clone());
     if let Some(budget) = budget {
         builder = builder.budget(budget);
@@ -837,6 +848,9 @@ fn handle_stream_solution(state: &AppState, id: &str) -> Handled {
             k: k_eff,
             config: solver.config().clone(),
             use_cache: entry.use_cache,
+            // The stream's config already resolved the kernel at create
+            // time; mark it explicit so no default applies twice.
+            explicit_kernel: true,
         };
         (
             UncertainSet::new(certain),
@@ -945,6 +959,7 @@ fn submit_err(e: crate::scheduler::SubmitError) -> ApiError {
 fn handle_solve_batch(state: &AppState, request: &Request) -> Handled {
     let doc = api::parse_body(&request.body)?;
     let (ids, solve) = api::parse_solve_batch(&doc)?;
+    let solve = solve.apply_default_kernel(state.default_kernel);
 
     // Resolve every id first; per-slot outcomes never reorder.
     let mut slots: Vec<Option<Json>> = vec![None; ids.len()];

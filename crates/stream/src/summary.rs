@@ -505,6 +505,19 @@ mod tests {
     }
 
     #[test]
+    fn summary_oracle_stays_pinned_to_the_scalar_kernel() {
+        // The summary digest is part of the serving cache key, so its
+        // evolution must not depend on which kernel finalize solves
+        // pick. Both oracle construction sites (the shared helper and
+        // the insert fast path) pin Scalar; this pins the pin.
+        let mut s = StreamSummary::new(4);
+        for p in stream_points(11, 50) {
+            s.insert(&p).unwrap();
+        }
+        assert_eq!(s.oracle().kernel(), Kernel::Scalar);
+    }
+
+    #[test]
     fn summary_respects_budget_and_weights_conserve_points() {
         let mut s = StreamSummary::new(4);
         for p in stream_points(1, 300) {

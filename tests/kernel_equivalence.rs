@@ -1,19 +1,26 @@
 //! Bit-identity and tolerance equivalence between the distance kernels.
 //!
-//! The solver pipeline evaluates every distance through one of two
+//! The solver pipeline evaluates every distance through one of three
 //! kernels (`SolverConfig::kernel`): `Scalar`, which preserves the
-//! historical per-pair f64 summation order, and `Blocked`, the default
-//! norm-factorized 8-wide path. This suite pins the contract between
+//! historical per-pair f64 summation order, `Blocked`, the default
+//! norm-factorized 8-wide path, and `Tiled`, the register-tiled
+//! mini-GEMM over center panels. This suite pins the contract between
 //! them:
 //!
 //! * `Scalar` is **bit-identical** to a hand-rolled reference pipeline
 //!   built from the pointwise `Euclidean` metric (exact-equality
 //!   goldens);
-//! * `Blocked` agrees with `Scalar` on centers and costs within `1e-9`
-//!   and on assignments exactly (random instances have no knife-edge
-//!   ties at kernel rounding scale);
+//! * `Blocked` and `Tiled` agree with `Scalar` on centers and costs
+//!   within `1e-9` and on assignments exactly (random instances have no
+//!   knife-edge ties at kernel rounding scale);
+//! * with the opt-in f32 storage mirror, `Tiled` agrees with `Scalar`
+//!   within the f32 rounding bound documented at
+//!   `PointStore::try_enable_f32` (coordinates round once at ingest;
+//!   accumulation stays f64);
+//! * nearest-center ties break toward the lowest index under every
+//!   kernel, including tied centers straddling tile-panel boundaries;
 //! * the per-stage `Report.distance_evals` counters are **identical**
-//!   between the kernels — switching kernels must never change which
+//!   across the kernels — switching kernels must never change which
 //!   pairs are evaluated, only their rounding.
 
 use proptest::prelude::*;
@@ -50,10 +57,11 @@ fn strategies() -> [CertainStrategy; 4] {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Scalar and Blocked agree on random instances: same assignment,
-    /// centers and costs within 1e-9, identical per-stage eval counts.
+    /// The factorized kernels (Blocked, Tiled) agree with Scalar on
+    /// random instances: same assignment, centers and costs within
+    /// 1e-9, identical per-stage eval counts.
     #[test]
-    fn scalar_and_blocked_agree(
+    fn factorized_kernels_agree_with_scalar(
         seed in 0u64..1000,
         n in 3usize..16,
         z in 1usize..4,
@@ -68,37 +76,40 @@ proptest! {
                     .unwrap()
                     .solve(&cfg(rule, strategy, Kernel::Scalar))
                     .unwrap();
-                let blocked = Problem::euclidean(set.clone(), k)
-                    .unwrap()
-                    .solve(&cfg(rule, strategy, Kernel::Blocked))
-                    .unwrap();
-                prop_assert_eq!(
-                    &scalar.assignment, &blocked.assignment,
-                    "assignment ({:?}/{:?})", rule, strategy
-                );
-                prop_assert_eq!(scalar.centers.len(), blocked.centers.len());
-                for (a, b) in scalar.centers.iter().zip(blocked.centers.iter()) {
-                    for (x, y) in a.coords().iter().zip(b.coords().iter()) {
-                        prop_assert!((x - y).abs() <= 1e-9, "center coord {x} vs {y}");
+                for kernel in [Kernel::Blocked, Kernel::Tiled] {
+                    let other = Problem::euclidean(set.clone(), k)
+                        .unwrap()
+                        .solve(&cfg(rule, strategy, kernel))
+                        .unwrap();
+                    prop_assert_eq!(
+                        &scalar.assignment, &other.assignment,
+                        "assignment ({:?}/{:?}/{:?})", rule, strategy, kernel
+                    );
+                    prop_assert_eq!(scalar.centers.len(), other.centers.len());
+                    for (a, b) in scalar.centers.iter().zip(other.centers.iter()) {
+                        for (x, y) in a.coords().iter().zip(b.coords().iter()) {
+                            prop_assert!((x - y).abs() <= 1e-9, "center coord {x} vs {y}");
+                        }
                     }
+                    prop_assert!(
+                        (scalar.ecost - other.ecost).abs() <= 1e-9 * (1.0 + scalar.ecost),
+                        "ecost {} vs {} ({:?}/{:?}/{:?})",
+                        scalar.ecost, other.ecost, rule, strategy, kernel
+                    );
+                    prop_assert!(
+                        (scalar.certain_radius - other.certain_radius).abs()
+                            <= 1e-9 * (1.0 + scalar.certain_radius),
+                        "radius {} vs {}", scalar.certain_radius, other.certain_radius
+                    );
+                    // The acceptance bar: switching kernels never changes the
+                    // number of distance evaluations, stage by stage.
+                    let (s, b) = (scalar.report.distance_evals, other.report.distance_evals);
+                    prop_assert_eq!(s.representatives, b.representatives);
+                    prop_assert_eq!(s.certain_solve, b.certain_solve, "{:?}/{:?}", rule, strategy);
+                    prop_assert_eq!(s.assignment, b.assignment);
+                    prop_assert_eq!(s.cost, b.cost);
+                    prop_assert_eq!(s.lower_bound, b.lower_bound);
                 }
-                prop_assert!(
-                    (scalar.ecost - blocked.ecost).abs() <= 1e-9 * (1.0 + scalar.ecost),
-                    "ecost {} vs {} ({:?}/{:?})", scalar.ecost, blocked.ecost, rule, strategy
-                );
-                prop_assert!(
-                    (scalar.certain_radius - blocked.certain_radius).abs()
-                        <= 1e-9 * (1.0 + scalar.certain_radius),
-                    "radius {} vs {}", scalar.certain_radius, blocked.certain_radius
-                );
-                // The acceptance bar: switching kernels never changes the
-                // number of distance evaluations, stage by stage.
-                let (s, b) = (scalar.report.distance_evals, blocked.report.distance_evals);
-                prop_assert_eq!(s.representatives, b.representatives);
-                prop_assert_eq!(s.certain_solve, b.certain_solve, "{:?}/{:?}", rule, strategy);
-                prop_assert_eq!(s.assignment, b.assignment);
-                prop_assert_eq!(s.cost, b.cost);
-                prop_assert_eq!(s.lower_bound, b.lower_bound);
             }
         }
     }
@@ -152,11 +163,11 @@ proptest! {
         }
     }
 
-    /// Batch solving under either kernel stays bit-identical to the
+    /// Batch solving under every kernel stays bit-identical to the
     /// sequential loop (the kernels are deterministic and thread-free).
     #[test]
-    fn batch_is_bit_identical_under_both_kernels(seed in 0u64..300) {
-        for kernel in [Kernel::Scalar, Kernel::Blocked] {
+    fn batch_is_bit_identical_under_every_kernel(seed in 0u64..300) {
+        for kernel in Kernel::ALL {
             let config = cfg(AssignmentRule::ExpectedPoint, CertainStrategy::Gonzalez, kernel);
             let problems: Vec<Problem<Point>> = (0..4)
                 .map(|i| {
@@ -175,9 +186,11 @@ proptest! {
     }
 }
 
-/// The blocked kernel's distance of a point to itself is exactly zero
-/// (cached norms make `‖a‖² + ‖a‖² − 2a·a` cancel), so duplicate-point
-/// degeneracies behave identically under both kernels.
+/// A factorized kernel's distance of a point to itself is exactly zero
+/// (cached norms make `‖a‖² + ‖a‖² − 2a·a` cancel — the blocked kernel
+/// caches blocked-order norms, the tiled kernel sequential-order norms,
+/// each matching its own dot product), so duplicate-point degeneracies
+/// behave identically under every kernel.
 #[test]
 fn duplicate_points_collapse_identically() {
     let set = UncertainSet::new(vec![
@@ -185,7 +198,7 @@ fn duplicate_points_collapse_identically() {
         UncertainPoint::certain(Point::new(vec![0.1, 0.2, 0.3])),
         UncertainPoint::certain(Point::new(vec![0.1, 0.2, 0.3])),
     ]);
-    for kernel in [Kernel::Scalar, Kernel::Blocked] {
+    for kernel in Kernel::ALL {
         let sol = Problem::euclidean(set.clone(), 2)
             .unwrap()
             .solve(&cfg(
@@ -196,5 +209,99 @@ fn duplicate_points_collapse_identically() {
             .unwrap();
         assert_eq!(sol.certain_radius, 0.0, "{kernel:?}");
         assert_eq!(sol.ecost, 0.0, "{kernel:?}");
+    }
+}
+
+/// Deterministic pseudo-random coordinates in `[0, 1)` (xorshift; no
+/// external RNG so the goldens below never drift).
+fn coords(seed: u64, n: usize, dim: usize) -> Vec<Vec<f64>> {
+    let mut s = seed | 1;
+    let mut rnd = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n).map(|_| (0..dim).map(|_| rnd()).collect()).collect()
+}
+
+/// Builds a store, additionally enabling the f32 mirror when CI's
+/// determinism matrix sets `UKC_TEST_STORAGE=f32`. The tests using this
+/// helper assert storage-independent properties (tie-breaking, pair
+/// counts), so they must pass identically either way — only the tiled
+/// kernel even reads the mirror.
+fn store_of(seed: u64, n: usize, dim: usize) -> PointStore {
+    let mut store = PointStore::new(dim);
+    for row in coords(seed, n, dim) {
+        store.try_push(&row).unwrap();
+    }
+    if std::env::var("UKC_TEST_STORAGE").as_deref() == Ok("f32") {
+        store.try_enable_f32().unwrap();
+    }
+    store
+}
+
+/// With the opt-in f32 mirror, the tiled kernel agrees with the scalar
+/// f64 reference within the f32 rounding bound: coordinates round once
+/// at ingest (relative error ≤ `f32::EPSILON / 2` per coordinate) and
+/// accumulation stays f64, so for unit-box coordinates the distance
+/// error is bounded by a few `f32::EPSILON · √d`. The instance is large
+/// enough (`n·d ≥ FACTORIZED_MIN_WORK`) that the tiled path genuinely
+/// engages rather than falling back to scalar.
+#[test]
+fn tiled_f32_storage_matches_scalar_within_f32_bound() {
+    let (n, dim) = (1_500, 16);
+    let mut store = store_of(77, n, dim);
+    store.try_enable_f32().unwrap();
+    assert!(store.has_f32());
+
+    let ids: Vec<PointId> = (0..n).map(PointId).collect();
+    let q = PointId(n - 1);
+    let scalar = StoreOracle::new(&store, Kernel::Scalar);
+    let tiled = StoreOracle::new(&store, Kernel::Tiled);
+    let mut want = vec![0.0; n];
+    let mut got = vec![0.0; n];
+    scalar.dists_to_one(&ids, &q, &mut want);
+    tiled.dists_to_one(&ids, &q, &mut got);
+    // Unit box, d = 16: distances are ≤ 4, squared-space f32 rounding
+    // contributes ≲ 8·ε₃₂ per pair; 1e-5·(1+d) leaves slack without
+    // masking a broken mirror (f64-vs-f64 would be ~1e-16, a *stale*
+    // mirror ~1e-1).
+    for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+        assert!(
+            (w - g).abs() <= 1e-5 * (1.0 + w),
+            "point {i}: scalar {w} vs tiled-f32 {g}"
+        );
+    }
+
+    // Exact duplicates still cancel exactly: both coordinates round to
+    // the same f32 row, and the sequential-order norm matches the
+    // sequential-order dot bit for bit.
+    let mut dup_store = PointStore::new(3);
+    let a = dup_store.try_push(&[0.1, 0.2, 0.3]).unwrap();
+    let b = dup_store.try_push(&[0.1, 0.2, 0.3]).unwrap();
+    dup_store.try_enable_f32().unwrap();
+    let d = ukc_metric::batch::pair_dist(&dup_store, a, b, Kernel::Tiled);
+    assert_eq!(d, 0.0);
+}
+
+/// Nearest-center ties break toward the lowest index under every
+/// kernel, including identical centers straddling the tiled kernel's
+/// 4-wide panel boundaries, at a size where the tiled path engages.
+#[test]
+fn nearest_ties_break_low_under_every_kernel() {
+    let (n, dim, k) = (400, 8, 10);
+    let mut store = store_of(99, n, dim);
+    // Ten identical centers — panels 0, 1, and a padded tail panel.
+    let c = store.coords(PointId(0)).to_vec();
+    let centers: Vec<PointId> = (0..k).map(|_| store.try_push(&c).unwrap()).collect();
+    let queries: Vec<PointId> = (0..n).map(PointId).collect();
+    for kernel in Kernel::ALL {
+        let oracle = StoreOracle::new(&store, kernel);
+        let mut out = vec![(0usize, 0.0f64); n];
+        oracle.nearest_each(&queries, &centers, &mut out);
+        for (i, (idx, _)) in out.iter().enumerate() {
+            assert_eq!(*idx, 0, "query {i} under {kernel:?} picked center {idx}");
+        }
     }
 }

@@ -10,8 +10,10 @@
 //!    sublinear in the stream length;
 //! 3. **determinism** — stream digests are bit-identical across pool
 //!    lane counts (`threads` 1 vs 4 — CI additionally re-runs the suite
-//!    under `UKC_THREADS=1` and `4`), across both distance kernels, and
-//!    across chunkings; with the scalar kernel the finalized solution is
+//!    under `UKC_THREADS=1` and `4`), across all three distance kernels
+//!    (the summary pins `Kernel::Scalar` internally, so the config's
+//!    kernel must not leak into stream evolution), and across
+//!    chunkings; with the scalar kernel the finalized solution is
 //!    bit-identical too.
 
 use uncertain_kcenter::prelude::*;
@@ -113,7 +115,7 @@ fn stream_digests_are_bit_identical_across_threads_kernels_and_chunkings() {
     let mut digests = Vec::new();
     let mut summaries = Vec::new();
     for threads in [1usize, 4] {
-        for kernel in [Kernel::Scalar, Kernel::Blocked] {
+        for kernel in Kernel::ALL {
             let solver = stream_through(&set, 4 * K, &config(threads, kernel));
             digests.push(solver.digest());
             summaries.push((threads, kernel, solver.summary().center_points()));
