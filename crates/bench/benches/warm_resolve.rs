@@ -1,0 +1,187 @@
+//! Incremental-layer throughput: what a warm re-solve saves over a cold
+//! solve after an append, and what the shared-store leave-one-out sweep
+//! saves over `n` independent reduced solves.
+//!
+//! Two axes:
+//!
+//! * **append fraction** — the instance grows by 1% / 5% and is
+//!   re-solved `--base`-style from the prior solution. The warm path
+//!   skips the `Θ(n·k)` certain-solve stage and re-assigns only the
+//!   appended rows, so both wall-clock and the distance-evaluation
+//!   counters should drop by well over the append ratio.
+//! * **leave-one-out** — [`ukc_core::solve_loo`] against the cost of
+//!   `n` independent cold solves of the reduced instances (the naive
+//!   jackknife), sharing one point store and one base solution.
+//!
+//! Setting `BENCH_WARM_JSON=1` rewrites `BENCH_warm.json` at the
+//! workspace root (see `docs/BENCHMARKS.md`), recording the measured
+//! eval counts and the warm/cold ratios alongside `host_cpus` like the
+//! other committed artifacts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use ukc_core::{solve_batch_threads, solve_loo, Problem, Solution, SolverConfig};
+use ukc_json::Json;
+use ukc_metric::Point;
+use ukc_uncertain::generators::{clustered, ProbModel};
+use ukc_uncertain::{UncertainPoint, UncertainSet};
+
+/// A prefix/full pair drawn from ONE generator call, so the appended
+/// suffix comes from the same cluster structure — exactly the append
+/// chains the warm path exists for.
+fn append_pair(n: usize, frac: f64, k: usize) -> (Problem<Point>, Problem<Point>) {
+    let extra = ((n as f64 * frac).round() as usize).max(1);
+    let full = clustered(42, n + extra, 2, 4, k, 8.0, 0.5, ProbModel::Random);
+    let prefix: Vec<UncertainPoint<Point>> = full.points()[..n].to_vec();
+    let prior = Problem::euclidean(UncertainSet::new(prefix), k).unwrap();
+    let grown = Problem::euclidean(full, k).unwrap();
+    (prior, grown)
+}
+
+fn bench_warm_resolve(c: &mut Criterion) {
+    let quick = std::env::var_os("CRITERION_QUICK").is_some();
+    let record = std::env::var_os("BENCH_WARM_JSON").is_some();
+    // The lower-bound certificate is an orthogonal stage both the cold
+    // and the warm path recompute identically (it certifies the *new*
+    // instance); it dominates wall-clock at bench sizes, so it is
+    // disabled here to measure the solve pipeline itself.
+    let config = SolverConfig::builder().lower_bound(false).build().unwrap();
+    let n: usize = if quick { 4_000 } else { 20_000 };
+    let k = 16;
+    let mut results: Vec<Json> = Vec::new();
+
+    let mut g = c.benchmark_group("warm_resolve");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    for &frac in &[0.01f64, 0.05] {
+        if quick && frac != 0.01 {
+            continue;
+        }
+        let (prior_problem, grown) = append_pair(n, frac, k);
+        let prior = prior_problem.solve(&config).unwrap();
+        let warm = Solution::warm_start(&grown, &config, &prior).unwrap();
+        let stats = warm.report.warm.as_ref().unwrap();
+        assert!(
+            stats.fallback.is_none(),
+            "bench instance must take the warm fast path, fell back: {:?}",
+            stats.fallback
+        );
+        let pct = (frac * 100.0).round() as u64;
+        g.bench_with_input(BenchmarkId::new("cold", pct), &grown, |b, grown| {
+            b.iter(|| black_box(grown.solve(&config).unwrap().ecost))
+        });
+        g.bench_with_input(BenchmarkId::new("warm", pct), &grown, |b, grown| {
+            b.iter(|| black_box(Solution::warm_start(grown, &config, &prior).unwrap().ecost))
+        });
+        if record {
+            let reps = if quick { 1 } else { 3 };
+            let mut cold_secs = f64::INFINITY;
+            let mut cold_evals = 0u64;
+            for _ in 0..reps {
+                let t = Instant::now();
+                let sol = black_box(grown.solve(&config).unwrap());
+                cold_secs = cold_secs.min(t.elapsed().as_secs_f64());
+                cold_evals = sol.report.distance_evals.total();
+            }
+            let mut warm_secs = f64::INFINITY;
+            let mut warm_evals = 0u64;
+            for _ in 0..reps {
+                let t = Instant::now();
+                let sol = black_box(Solution::warm_start(&grown, &config, &prior).unwrap());
+                warm_secs = warm_secs.min(t.elapsed().as_secs_f64());
+                warm_evals = sol.report.distance_evals.total();
+            }
+            results.push(Json::obj([
+                ("mode", Json::from("warm_resolve")),
+                ("n", Json::from(n)),
+                ("k", Json::from(k)),
+                ("append_fraction", Json::from(frac)),
+                ("cold_seconds", Json::from(cold_secs)),
+                ("warm_seconds", Json::from(warm_secs)),
+                ("cold_distance_evals", Json::from(cold_evals as f64)),
+                ("warm_distance_evals", Json::from(warm_evals as f64)),
+                (
+                    "evals_ratio",
+                    Json::from(cold_evals as f64 / warm_evals.max(1) as f64),
+                ),
+                ("speedup", Json::from(cold_secs / warm_secs)),
+            ]));
+        }
+    }
+    g.finish();
+
+    // Leave-one-out: the shared sweep vs n independent reduced solves.
+    let n_loo: usize = if quick { 100 } else { 400 };
+    let k_loo = 4;
+    let set = clustered(7, n_loo, 2, 4, k_loo, 8.0, 0.5, ProbModel::Random);
+    let problem = Problem::euclidean(set.clone(), k_loo).unwrap();
+    let mut g = c.benchmark_group("solve_loo");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.bench_function(BenchmarkId::from_parameter(n_loo), |b| {
+        b.iter(|| black_box(solve_loo(&problem, &config).unwrap().distance_evals))
+    });
+    g.finish();
+    if record {
+        let loo = solve_loo(&problem, &config).unwrap();
+        // The naive jackknife for comparison: n independent reduced
+        // problems through the ordinary batch fan-out.
+        let mut variant_problems = Vec::with_capacity(n_loo);
+        for i in 0..n_loo {
+            let points: Vec<UncertainPoint<Point>> = set
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, up)| up.clone())
+                .collect();
+            variant_problems.push(Problem::euclidean(UncertainSet::new(points), k_loo).unwrap());
+        }
+        let t = Instant::now();
+        let naive: u64 = solve_batch_threads(&variant_problems, &config, 1)
+            .into_iter()
+            .map(|r| r.unwrap().report.distance_evals.total())
+            .sum();
+        let naive_secs = t.elapsed().as_secs_f64();
+        results.push(Json::obj([
+            ("mode", Json::from("solve_loo")),
+            ("n", Json::from(n_loo)),
+            ("k", Json::from(k_loo)),
+            ("reused_variants", Json::from(loo.reused_variants)),
+            ("resolved_variants", Json::from(loo.resolved_variants)),
+            (
+                "shared_distance_evals",
+                Json::from(loo.distance_evals as f64),
+            ),
+            ("naive_distance_evals", Json::from(naive as f64)),
+            ("naive_seconds", Json::from(naive_secs)),
+            (
+                "evals_ratio",
+                Json::from(naive as f64 / loo.distance_evals.max(1) as f64),
+            ),
+        ]));
+
+        let doc = Json::obj([
+            ("bench", Json::from("warm_resolve")),
+            ("quick", Json::Bool(quick)),
+            (
+                "host_cpus",
+                Json::from(
+                    std::thread::available_parallelism()
+                        .map(|v| v.get())
+                        .unwrap_or(1),
+                ),
+            ),
+            ("results", Json::arr(results)),
+        ]);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_warm.json");
+        if let Err(e) = std::fs::write(path, doc.pretty() + "\n") {
+            eprintln!("warning: could not write BENCH_warm.json: {e}");
+        }
+    }
+}
+
+criterion_group!(benches, bench_warm_resolve);
+criterion_main!(benches);

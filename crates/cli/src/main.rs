@@ -7,6 +7,8 @@
 //! ukc solve    --instance inst.json --k=3 --format json        # machine-readable report
 //! ukc solve    --instance inst.json --k 3 --threads 4          # intra-solve pool lanes
 //! ukc solve    --instance inst.json --k 3 --kernel tiled       # distance kernel (scalar|blocked|tiled)
+//! ukc solve    --instance grown.json --k 3 --base prior.json   # warm start from a prior solution
+//! ukc loo      --instance inst.json --k 3                      # batch leave-one-out sweep
 //! ukc batch    --instances a.json,b.json,c.json --k 3 --threads 4
 //! ukc stream   --k 8 < feed.ndjson                             # memory-bounded streaming
 //! ukc stream   --k 8 --input feed.ndjson --chunk 1024 --budget 64
@@ -24,6 +26,7 @@
 //! ukc client   --addr 127.0.0.1:8080 --path /healthz
 //! ukc client   --addr 127.0.0.1:8080 --path /healthz --timeout 2 --retries 3
 //! ukc client   --addr 127.0.0.1:8080 --instance inst.json --k 3   # one-shot /solve
+//! ukc client   --addr 127.0.0.1:8080 --instance inst.json --k 3 --base 1a2b3c4d5e6f7081
 //! ukc cluster  status --server 127.0.0.1:8080
 //! ukc cluster  add    --server 127.0.0.1:8080 --addr 127.0.0.1:8083
 //! ukc cluster  remove --server 127.0.0.1:8080 --id 2
@@ -49,14 +52,16 @@
 mod args;
 
 use args::Args;
-use ukc_core::{solve_batch_threads, AssignmentRule, CertainStrategy, Problem, SolverConfig};
+use ukc_core::{
+    solve_batch_threads, AssignmentRule, CertainStrategy, Problem, Solution, SolverConfig,
+};
 use ukc_json::format::{solution_document, JsonInstance, JsonSolution};
 use ukc_json::Json;
 use ukc_metric::{Euclidean, Kernel, Point};
 use ukc_uncertain::generators::{
     clustered, line_instance, ring, two_scale, uniform_box, ProbModel,
 };
-use ukc_uncertain::{ecost_assigned, UncertainSet};
+use ukc_uncertain::{ecost_assigned, expected_point, UncertainSet};
 
 fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
@@ -82,7 +87,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage: ukc <generate|solve|batch|stream|evaluate|bound|info|kmedian|kmeans|serve|client|cluster> [--flag value | --flag=value ...]\n\
+        "usage: ukc <generate|solve|loo|batch|stream|evaluate|bound|info|kmedian|kmeans|serve|client|cluster> [--flag value | --flag=value ...]\n\
          see `cargo doc -p ukc-cli` or the module docs for the full flag list"
     );
 }
@@ -91,6 +96,7 @@ fn run(a: &Args) -> i32 {
     let result = match a.command.as_str() {
         "generate" => cmd_generate(a),
         "solve" => cmd_solve(a),
+        "loo" => cmd_loo(a),
         "batch" => cmd_batch(a),
         "stream" => cmd_stream(a),
         "evaluate" => cmd_evaluate(a),
@@ -400,13 +406,54 @@ fn cmd_stream(a: &Args) -> CmdResult {
     Ok(())
 }
 
+/// Reconstructs the prior [`Solution`] a `--base <solution.json>` file
+/// describes, against the (grown) instance being solved. Solution files
+/// do not store representatives; for the append chains `--base` exists
+/// for, the prior's representatives are exactly the expected points of
+/// the instance's prefix, so they are recomputed from `set` — every
+/// other mismatch (wrong `k`, non-prefix instance, stale centers, radius
+/// drift) is caught by `warm_start`'s own revalidation and falls back
+/// cold with a typed reason.
+fn load_prior(
+    path: &str,
+    set: &UncertainSet<Point>,
+) -> Result<Solution<Point>, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    let sol = JsonSolution::parse(&text)?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let certain_radius = doc
+        .get("certain_radius")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{path}: missing \"certain_radius\" (not a ukc solution file?)"))?;
+    let n_prior = sol.assignment.len().min(set.n());
+    let representatives = set.iter().take(n_prior).map(expected_point).collect();
+    Ok(Solution {
+        centers: sol.center_points(),
+        assignment: sol.assignment.clone(),
+        ecost: sol.ecost,
+        representatives,
+        certain_radius,
+        report: ukc_core::Report::default(),
+    })
+}
+
 fn cmd_solve(a: &Args) -> CmdResult {
     let set = load_instance(a)?;
     let k: usize = a.parse_required("k")?;
     let config = solver_config(a)?;
     let format = output_format(a)?;
+    // --base <solution.json> warm-starts from a prior solution of a
+    // prefix of this instance; a unusable prior cold-solves with the
+    // reason stamped into report.warm.fallback, never an error.
+    let prior = match a.required("base") {
+        Ok(path) => Some(load_prior(path, &set)?),
+        Err(_) => None,
+    };
     let problem = Problem::euclidean(set, k)?;
-    let sol = problem.solve(&config)?;
+    let sol = match &prior {
+        Some(prior) => Solution::warm_start(&problem, &config, prior)?,
+        None => problem.solve(&config)?,
+    };
     let doc = solution_document(&sol);
     if let Ok(out) = a.required("out") {
         std::fs::write(out, doc.pretty())?;
@@ -433,6 +480,70 @@ fn cmd_solve(a: &Args) -> CmdResult {
         sol.report.timings.cost.as_secs_f64() * 1e3,
     );
     println!("distance_evals {}", sol.report.distance_evals.total());
+    if let Some(warm) = &sol.report.warm {
+        match &warm.fallback {
+            None => println!(
+                "warm reused_centers={} evals_saved={}",
+                warm.reused_centers, warm.evals_saved
+            ),
+            Some(reason) => println!("warm fallback={reason}"),
+        }
+    }
+    Ok(())
+}
+
+/// `ukc loo`: the batch leave-one-out sweep — all `n` one-point-removed
+/// variants of the instance, sharing one point store and one base
+/// solution (see [`ukc_core::solve_loo`]). `--format json` emits the
+/// full per-variant report; `text` prints the headline numbers.
+fn cmd_loo(a: &Args) -> CmdResult {
+    let set = load_instance(a)?;
+    let k: usize = a.parse_required("k")?;
+    let config = solver_config(a)?;
+    let format = output_format(a)?;
+    let problem = Problem::euclidean(set, k)?;
+    let loo = ukc_core::solve_loo(&problem, &config)?;
+    let doc = Json::obj([
+        ("base", solution_document(&loo.base)),
+        (
+            "variants",
+            Json::arr(loo.variants.iter().map(|v| {
+                Json::obj([
+                    ("removed", Json::from(v.removed)),
+                    ("ecost", Json::from(v.ecost)),
+                    ("certain_radius", Json::from(v.certain_radius)),
+                    ("reused", Json::from(v.reused)),
+                    ("distance_evals", Json::from(v.distance_evals as f64)),
+                ])
+            })),
+        ),
+        ("count", Json::from(loo.variants.len())),
+        ("reused_variants", Json::from(loo.reused_variants)),
+        ("resolved_variants", Json::from(loo.resolved_variants)),
+        ("distance_evals", Json::from(loo.distance_evals as f64)),
+    ]);
+    if let Ok(out) = a.required("out") {
+        std::fs::write(out, doc.pretty())?;
+        eprintln!("wrote {out}");
+    }
+    if format == "json" {
+        println!("{}", doc.pretty());
+        return Ok(());
+    }
+    let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for v in &loo.variants {
+        min = min.min(v.ecost);
+        max = max.max(v.ecost);
+    }
+    println!("base_ecost {:.6}", loo.base.ecost);
+    println!("variants {}", loo.variants.len());
+    println!(
+        "reused {} resolved {}",
+        loo.reused_variants, loo.resolved_variants
+    );
+    println!("ecost_min {min:.6}");
+    println!("ecost_max {max:.6}");
+    println!("distance_evals {}", loo.distance_evals);
     Ok(())
 }
 
@@ -694,11 +805,13 @@ fn cmd_client(a: &Args) -> CmdResult {
             ("seed", Json::from(a.parse_or("seed", 0u64)? as f64)),
             ("instance", instance_doc),
         ]);
-        (
-            "POST".to_string(),
-            "/solve".to_string(),
-            Some(body.compact()),
-        )
+        // --base <digest> asks the server to warm-start from a prior
+        // solve; an unknown base cold-solves with a typed report flag.
+        let path = match a.required("base") {
+            Ok(base) => format!("/solve?base={base}"),
+            Err(_) => "/solve".to_string(),
+        };
+        ("POST".to_string(), path, Some(body.compact()))
     } else {
         let path = a.get_or("path", "/healthz").to_string();
         let body = if let Ok(file) = a.required("body-file") {

@@ -74,6 +74,7 @@ pub mod bounds;
 pub mod config;
 pub mod digest;
 pub mod error;
+pub mod incremental;
 pub mod one_center;
 pub mod problem;
 pub mod report;
@@ -84,12 +85,13 @@ pub use bounds::{lower_bound_euclidean, lower_bound_metric, lower_bound_one_cent
 pub use config::{CandidatePolicy, CertainStrategy, SolverConfig, SolverConfigBuilder};
 pub use digest::{digest_hex, digest_problem, digest_set};
 pub use error::SolveError;
+pub use incremental::{solve_loo, LooReport, LooVariant};
 pub use one_center::{expected_point_one_center, reference_one_center};
 pub use problem::{
     solve_batch, solve_batch_threads, validate_k, ContinuousSpace, EuclideanSpace, Problem,
     Solution,
 };
-pub use report::{CountingMetric, DistanceEvals, Report, StageTimings};
+pub use report::{CountingMetric, DistanceEvals, Report, StageTimings, WarmStats};
 #[allow(deprecated)]
 pub use solver::{
     solve_euclidean, solve_metric, CertainSolver, EuclideanSolution, MetricCertainSolver,

@@ -358,6 +358,19 @@ impl<P: Clone> Problem<P> {
         })
     }
 
+    /// Rebuilds this problem around a different uncertain set, keeping
+    /// `k` and the space (metric + candidate pool are shared, not
+    /// cloned). The incremental layer uses this to derive leave-one-out
+    /// variants without re-validating the space.
+    pub(crate) fn with_set(&self, set: UncertainSet<P>) -> Result<Self, SolveError> {
+        validate_k(set.n(), self.k)?;
+        Ok(Self {
+            set,
+            k: self.k,
+            space: self.space.clone(),
+        })
+    }
+
     /// The uncertain set.
     pub fn set(&self) -> &UncertainSet<P> {
         &self.set
@@ -428,7 +441,11 @@ pub struct Solution<P> {
     pub report: Report,
 }
 
-fn method_string(space: &str, rule: AssignmentRule, strategy: CertainStrategy) -> String {
+pub(crate) fn method_string(
+    space: &str,
+    rule: AssignmentRule,
+    strategy: CertainStrategy,
+) -> String {
     let rule = match rule {
         AssignmentRule::ExpectedDistance => "ed",
         AssignmentRule::ExpectedPoint => "ep",

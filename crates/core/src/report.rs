@@ -54,6 +54,35 @@ impl DistanceEvals {
     }
 }
 
+/// Instrumentation of a warm-started solve
+/// ([`crate::Solution::warm_start`]): what was reused from the prior
+/// solution, what that saved, and — when the warm fast path could not be
+/// taken — why the solve fell back to the cold pipeline.
+///
+/// Present on a report (`Some`) exactly when the solve went through the
+/// warm entry point; a plain cold [`crate::Problem::solve`] leaves
+/// [`Report::warm`] as `None`, so serving layers can distinguish "cold
+/// because asked" from "cold because the warm start fell back".
+#[derive(Clone, Debug, Default)]
+pub struct WarmStats {
+    /// Centers carried over verbatim from the prior solution (`k` on the
+    /// warm fast path, `0` on a cold fallback).
+    pub reused_centers: usize,
+    /// Estimated distance evaluations the warm path avoided versus a
+    /// cold solve of the same problem (stage-count model of the cold
+    /// pipeline minus the warm solve's actual spend; `0` on fallback).
+    pub evals_saved: u64,
+    /// Pipeline stages the warm path skipped or shrank (e.g.
+    /// `"certain_solve"`, `"assignment_prefix"`).
+    pub stages_skipped: Vec<&'static str>,
+    /// `None` when the warm fast path ran; otherwise the typed reason the
+    /// solve fell back to the cold pipeline (`"config_unsupported"`,
+    /// `"space_unsupported"`, `"k_mismatch"`, `"prefix_mismatch"`,
+    /// `"radius_bound_exceeded"`, ...). The result is still a valid
+    /// solution either way — fallback is never an error.
+    pub fallback: Option<&'static str>,
+}
+
 /// The instrumentation attached to every [`crate::Solution`].
 #[derive(Clone, Debug, Default)]
 pub struct Report {
@@ -70,6 +99,10 @@ pub struct Report {
     /// Human-readable `space/rule/strategy` descriptor of how the
     /// solution was produced.
     pub method: String,
+    /// Warm-start instrumentation, present only on solves that went
+    /// through [`crate::Solution::warm_start`] (including its cold
+    /// fallbacks, which carry the typed [`WarmStats::fallback`] reason).
+    pub warm: Option<WarmStats>,
 }
 
 /// A [`Metric`] decorator counting every distance evaluation.

@@ -331,11 +331,14 @@ impl JsonSolution {
 }
 
 /// The instrumentation [`Report`] as one JSON object: method, lower
-/// bound, per-stage timings in seconds, and per-stage distance-evaluation
-/// counts.
+/// bound, per-stage timings in seconds, per-stage distance-evaluation
+/// counts, and — for warm-started solves only — the `warm` object
+/// (reused centers, evals saved, skipped stages, and the typed fallback
+/// reason when the prior could not be reused). Cold solves omit `warm`
+/// entirely, so pre-incremental documents are byte-identical.
 pub fn report_json(report: &Report) -> Json {
     let secs = |d: std::time::Duration| Json::from(d.as_secs_f64());
-    Json::obj([
+    let mut doc = Json::obj([
         ("method", Json::from(report.method.as_str())),
         (
             "lower_bound",
@@ -375,7 +378,22 @@ pub fn report_json(report: &Report) -> Json {
                 ("total", Json::from(report.distance_evals.total() as f64)),
             ]),
         ),
-    ])
+    ]);
+    if let (Json::Obj(pairs), Some(warm)) = (&mut doc, &report.warm) {
+        pairs.push((
+            "warm".into(),
+            Json::obj([
+                ("reused_centers", Json::from(warm.reused_centers)),
+                ("evals_saved", Json::from(warm.evals_saved as f64)),
+                (
+                    "stages_skipped",
+                    Json::arr(warm.stages_skipped.iter().map(|s| Json::from(*s))),
+                ),
+                ("fallback", warm.fallback.map_or(Json::Null, Json::from)),
+            ]),
+        ));
+    }
+    doc
 }
 
 /// A solved [`Solution`] as one JSON document: the [`JsonSolution`] disk

@@ -46,7 +46,7 @@ pub use finite::{FiniteMetric, FiniteMetricError};
 pub use graph::{GraphError, WeightedGraph};
 pub use lp::{Chebyshev, Euclidean, Manhattan, Minkowski};
 pub use point::{Point, PointError};
-pub use store::{PointId, PointStore, StoreOracle};
+pub use store::{mask_row, PointId, PointStore, StoreOracle};
 pub use tree::{TreeError, TreeMetric};
 
 /// A metric over points of type `P`.

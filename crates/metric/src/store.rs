@@ -26,6 +26,21 @@ use ukc_pool::Exec;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PointId(pub usize);
 
+/// Copies `ids` with the element at `position` masked out, preserving
+/// order — the slice-level counterpart of [`PointStore::ids_excluding`]
+/// for masking a row out of an arbitrary id selection (e.g. the
+/// representative slice of a leave-one-out variant). A `position` past
+/// the end returns the whole slice.
+pub fn mask_row(ids: &[PointId], position: usize) -> Vec<PointId> {
+    let mut out = Vec::with_capacity(ids.len().saturating_sub(1));
+    for (i, &id) in ids.iter().enumerate() {
+        if i != position {
+            out.push(id);
+        }
+    }
+    out
+}
+
 impl PointId {
     /// The raw index.
     #[inline]
@@ -302,6 +317,18 @@ impl PointStore {
     /// The ids `0..len()` in order.
     pub fn ids(&self) -> Vec<PointId> {
         (0..self.len()).map(PointId).collect()
+    }
+
+    /// The ids `0..len()` with `skip` masked out, preserving order — the
+    /// row mask of the incremental layer: leave-one-out variants share one
+    /// store and differ only in the id slice they sweep, so "remove a
+    /// point" never copies coordinates. A `skip` outside the store returns
+    /// all ids.
+    pub fn ids_excluding(&self, skip: PointId) -> Vec<PointId> {
+        (0..self.len())
+            .filter(|&i| i != skip.0)
+            .map(PointId)
+            .collect()
     }
 
     /// Drops every point with index `>= n`, keeping the first `n` rows
@@ -593,6 +620,21 @@ mod tests {
             assert_eq!(*c, counts[0]);
         }
         assert_eq!(counts[0], 10 + 10 + 30 + 20 + 4 + 1);
+    }
+
+    #[test]
+    fn row_masks_preserve_order_and_tolerate_out_of_range() {
+        let pts = cloud(11, 5, 2);
+        let store = PointStore::from_points(&pts);
+        assert_eq!(
+            store.ids_excluding(PointId(2)),
+            vec![PointId(0), PointId(1), PointId(3), PointId(4)]
+        );
+        assert_eq!(store.ids_excluding(PointId(99)), store.ids());
+        let ids = vec![PointId(7), PointId(3), PointId(9)];
+        assert_eq!(mask_row(&ids, 1), vec![PointId(7), PointId(9)]);
+        assert_eq!(mask_row(&ids, 5), ids);
+        assert!(mask_row(&[], 0).is_empty());
     }
 
     #[test]

@@ -33,17 +33,33 @@ pub struct SolveKey {
     pub set_digest: u64,
     /// Canonical rendering of the configuration.
     pub config: String,
+    /// The instance digest of the prior a warm start chained from
+    /// (`None` for cold solves). A warm solve can legitimately differ
+    /// from the cold solve of the same problem — it reuses the prior's
+    /// centers — so warm and cold results of one instance must never
+    /// collide under one key, and warm results from *different* priors
+    /// must not collide with each other either.
+    pub base: Option<u64>,
 }
 
 impl SolveKey {
-    /// Builds the key for `(digest, config)`; `set_digest` tags the key
-    /// with its source set for delete-time eviction.
+    /// Builds the key for a cold `(digest, config)` solve; `set_digest`
+    /// tags the key with its source set for delete-time eviction.
     pub fn new(digest: u64, set_digest: u64, config: &SolverConfig) -> Self {
         SolveKey {
             digest,
             set_digest,
             config: config_key(config),
+            base: None,
         }
+    }
+
+    /// This key rescoped to a warm solve chained from the prior with
+    /// instance digest `base`.
+    #[must_use]
+    pub fn with_base(mut self, base: u64) -> Self {
+        self.base = Some(base);
+        self
     }
 }
 
@@ -230,6 +246,22 @@ mod tests {
             assert_ne!(config_key(v), base_key, "{v:?}");
         }
         assert_eq!(config_key(&base), config_key(&SolverConfig::default()));
+    }
+
+    #[test]
+    fn warm_and_cold_keys_never_collide() {
+        let config = SolverConfig::default();
+        let cold = SolveKey::new(1, 2, &config);
+        let warm = SolveKey::new(1, 2, &config).with_base(77);
+        let other_prior = SolveKey::new(1, 2, &config).with_base(78);
+        assert_ne!(cold, warm);
+        assert_ne!(warm, other_prior);
+        let mut cache = LruCache::new(4);
+        cache.insert(cold.clone(), "cold");
+        cache.insert(warm.clone(), "warm");
+        assert_eq!(cache.get(&cold), Some(&"cold"));
+        assert_eq!(cache.get(&warm), Some(&"warm"));
+        assert_eq!(cache.get(&other_prior), None);
     }
 
     #[test]

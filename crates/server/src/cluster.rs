@@ -394,6 +394,15 @@ pub(crate) fn delete(cluster: &ClusterState, id: &str) -> Handled {
 /// replica fallback — a replica stores the instance under the same
 /// digest and runs the same deterministic solve, so a fallback response
 /// is byte-identical to the owner's.
+/// The query string to forward verbatim (warm solves ride on `?base=`,
+/// which must survive the coordinator hop).
+fn query_suffix(request: &Request) -> String {
+    match &request.query {
+        Some(q) => format!("?{q}"),
+        None => String::new(),
+    }
+}
+
 pub(crate) fn solve(cluster: &ClusterState, id: &str, request: &Request) -> Handled {
     let Some(digest) = parse_digest(id) else {
         return Err(ApiError::instance_not_found(id));
@@ -406,7 +415,27 @@ pub(crate) fn solve(cluster: &ClusterState, id: &str, request: &Request) -> Hand
         digest,
         id,
         "POST",
-        &format!("/instances/{id}/solve"),
+        &format!("/instances/{id}/solve{}", query_suffix(request)),
+        Some(body),
+    )
+}
+
+/// `POST /instances/{id}/solve_loo` (coordinator): digest-routed to the
+/// owning shard like a solve — the LOO sweep shares the shard's point
+/// store and caches.
+pub(crate) fn solve_loo(cluster: &ClusterState, id: &str, request: &Request) -> Handled {
+    let Some(digest) = parse_digest(id) else {
+        return Err(ApiError::instance_not_found(id));
+    };
+    let body = std::str::from_utf8(&request.body)
+        .map_err(|_| ApiError::bad_request("bad_json", "body is not valid UTF-8"))?;
+    record_read_and_replicate(cluster, digest, id);
+    read_routed(
+        cluster,
+        digest,
+        id,
+        "POST",
+        &format!("/instances/{id}/solve_loo"),
         Some(body),
     )
 }
@@ -508,12 +537,16 @@ pub(crate) fn append(cluster: &ClusterState, id: &str, request: &Request) -> Han
     let (status, mut body) = relay(&new_owner_addr, &response)?;
     if let Json::Obj(pairs) = &mut body {
         // Mirror the single-node append response's field order:
-        // summary, previous_id, appended, created.
+        // summary, previous_id, parent_digest, appended, created.
         let created = pairs
             .iter()
             .position(|(k, _)| k == "created")
             .map(|i| pairs.remove(i));
         pairs.push(("previous_id".into(), Json::from(id)));
+        pairs.push((
+            "parent_digest".into(),
+            Json::from(ukc_core::digest_hex(digest)),
+        ));
         pairs.push(("appended".into(), Json::from(appended.n())));
         if let Some(created) = created {
             pairs.push(created);

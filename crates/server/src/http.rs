@@ -19,6 +19,9 @@ pub struct Request {
     pub method: String,
     /// The path, query string stripped.
     pub path: String,
+    /// The raw query string (the part after `?`, without the `?`), when
+    /// the request target carried one.
+    pub query: Option<String>,
     /// Header `(name, value)` pairs; names lower-cased.
     pub headers: Vec<(String, String)>,
     /// The body (empty when no `Content-Length` was sent).
@@ -34,6 +37,17 @@ impl Request {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of a query parameter, by exact name. Parameters are
+    /// `&`-separated `name=value` pairs; no percent-decoding is applied
+    /// (the service's parameters — digests, flags — are plain
+    /// token characters). A bare `name` with no `=` yields `Some("")`.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.as_deref()?.split('&').find_map(|pair| {
+            let (n, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (n == name).then_some(v)
+        })
     }
 }
 
@@ -108,7 +122,10 @@ pub fn read_request(
             "unsupported version {version}"
         )));
     }
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
     if !path.starts_with('/') {
         return Err(HttpError::BadRequest(format!(
             "bad request target {target:?}"
@@ -131,6 +148,7 @@ pub fn read_request(
     let mut request = Request {
         method,
         path,
+        query,
         headers,
         body: Vec::new(),
         keep_alive: version == "HTTP/1.1",
@@ -339,10 +357,28 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.path, "/metrics");
+        assert_eq!(r.query.as_deref(), Some("verbose=1"));
+        assert_eq!(r.query_param("verbose"), Some("1"));
+        assert_eq!(r.query_param("missing"), None);
         assert!(!r.keep_alive);
         // HTTP/1.0 defaults to close.
         let r = parse("GET / HTTP/1.0\r\n\r\n", 1024).unwrap();
         assert!(!r.keep_alive);
+        assert_eq!(r.query, None);
+    }
+
+    #[test]
+    fn query_params_split_on_ampersands_and_tolerate_bare_names() {
+        let r = parse(
+            "POST /instances/i1/solve?base=00ff&cache=0&flag HTTP/1.1\r\n\r\n",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(r.path, "/instances/i1/solve");
+        assert_eq!(r.query_param("base"), Some("00ff"));
+        assert_eq!(r.query_param("cache"), Some("0"));
+        assert_eq!(r.query_param("flag"), Some(""));
+        assert_eq!(r.query_param("bas"), None);
     }
 
     #[test]

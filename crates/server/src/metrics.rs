@@ -32,6 +32,8 @@ pub enum Route {
     InstanceSolve,
     /// `POST /instances/{id}/append`
     InstanceAppend,
+    /// `POST /instances/{id}/solve_loo`
+    InstanceSolveLoo,
     /// `POST /solve`
     OneShotSolve,
     /// `POST /streams`
@@ -61,7 +63,7 @@ pub enum Route {
     Unmatched,
 }
 
-const ROUTES: [(Route, &str); 21] = [
+const ROUTES: [(Route, &str); 22] = [
     (Route::Healthz, "healthz"),
     (Route::Metrics, "metrics"),
     (Route::InstanceCreate, "instances_create"),
@@ -70,6 +72,7 @@ const ROUTES: [(Route, &str); 21] = [
     (Route::InstanceDelete, "instances_delete"),
     (Route::InstanceSolve, "instances_solve"),
     (Route::InstanceAppend, "instances_append"),
+    (Route::InstanceSolveLoo, "instances_solve_loo"),
     (Route::OneShotSolve, "solve"),
     (Route::StreamCreate, "streams_create"),
     (Route::StreamList, "streams_list"),
@@ -123,6 +126,15 @@ pub struct Metrics {
     pub overloaded: AtomicU64,
     solves_ok: AtomicU64,
     solves_err: AtomicU64,
+    /// Solves that went through the warm-start path (whether the warm
+    /// certificate held or the solve fell back cold).
+    warm_solves: AtomicU64,
+    /// Distance evaluations the warm path avoided versus the cold
+    /// estimate, summed over successful warm solves.
+    warm_evals_saved: AtomicU64,
+    /// Warm-start attempts that degraded to a cold solve (typed
+    /// `report.warm.fallback` present).
+    warm_fallback_cold: AtomicU64,
     solve_nanos: AtomicU64,
     representatives_nanos: AtomicU64,
     certain_solve_nanos: AtomicU64,
@@ -165,9 +177,19 @@ impl Metrics {
     }
 
     /// Folds one successful solve's [`Report`] into the aggregates,
-    /// attributed to the distance kernel the solve ran under.
+    /// attributed to the distance kernel the solve ran under. Warm-start
+    /// solves land in the same per-kernel slots as cold ones (the warm
+    /// path runs on the same kernel) and additionally feed the
+    /// `solves.warm` counters from [`Report::warm`].
     pub fn record_solve(&self, report: &Report, kernel: Kernel) {
         add(&self.solves_ok, 1);
+        if let Some(warm) = &report.warm {
+            add(&self.warm_solves, 1);
+            add(&self.warm_evals_saved, warm.evals_saved);
+            if warm.fallback.is_some() {
+                add(&self.warm_fallback_cold, 1);
+            }
+        }
         let nanos = |d: std::time::Duration| d.as_nanos().min(u128::from(u64::MAX)) as u64;
         let slot = kernel_slot(kernel);
         add(&self.kernel_solves[slot], 1);
@@ -190,6 +212,15 @@ impl Metrics {
     /// Counts a solve that returned a typed error.
     pub fn record_solve_error(&self) {
         add(&self.solves_err, 1);
+    }
+
+    /// Counts a warm request whose base never resolved to a prior (the
+    /// solve itself ran cold through the scheduler, so its report carried
+    /// no [`ukc_core::WarmStats`] when it was recorded — the server
+    /// stamps the fallback flag afterwards and accounts for it here).
+    pub fn record_warm_fallback(&self) {
+        add(&self.warm_solves, 1);
+        add(&self.warm_fallback_cold, 1);
     }
 
     /// Cache hits so far (also readable in the `/metrics` document).
@@ -286,6 +317,20 @@ impl Metrics {
                             ("assignment", secs(&self.assignment_nanos)),
                             ("cost", secs(&self.cost_nanos)),
                             ("lower_bound", secs(&self.lower_bound_nanos)),
+                        ]),
+                    ),
+                    (
+                        "warm",
+                        Json::obj([
+                            ("count", Json::from(get(&self.warm_solves) as f64)),
+                            (
+                                "evals_saved",
+                                Json::from(get(&self.warm_evals_saved) as f64),
+                            ),
+                            (
+                                "fallback_cold",
+                                Json::from(get(&self.warm_fallback_cold) as f64),
+                            ),
                         ]),
                     ),
                     (
@@ -413,5 +458,52 @@ mod tests {
             let seconds = entry.get("seconds").and_then(Json::as_f64).unwrap();
             assert!((seconds - expected * 0.003).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn warm_solves_feed_their_counters_and_still_count_by_kernel() {
+        use ukc_core::WarmStats;
+        let m = Metrics::new();
+        let warm_report = Report {
+            warm: Some(WarmStats {
+                reused_centers: 4,
+                evals_saved: 1000,
+                stages_skipped: vec!["certain_solve"],
+                fallback: None,
+            }),
+            ..Report::default()
+        };
+        let fell_back = Report {
+            warm: Some(WarmStats {
+                fallback: Some("prefix_mismatch"),
+                ..WarmStats::default()
+            }),
+            ..Report::default()
+        };
+        m.record_solve(&warm_report, Kernel::Tiled);
+        m.record_solve(&fell_back, Kernel::Tiled);
+        m.record_solve(&Report::default(), Kernel::Tiled); // cold
+        let doc = m.to_json(0, 0, 0, 0, PoolStats::default(), None);
+        let solves = doc.get("solves").unwrap();
+        let warm = solves.get("warm").unwrap();
+        assert_eq!(warm.get("count").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(warm.get("evals_saved").and_then(Json::as_f64), Some(1000.0));
+        assert_eq!(warm.get("fallback_cold").and_then(Json::as_f64), Some(1.0));
+        // Warm solves are attributed to the kernel they ran under, just
+        // like cold solves.
+        let tiled = solves
+            .get("by_kernel")
+            .and_then(|b| b.get(Kernel::Tiled.name()))
+            .unwrap();
+        assert_eq!(tiled.get("count").and_then(Json::as_f64), Some(3.0));
+        // The new route label has its counter slot.
+        m.record_request(Route::InstanceSolveLoo);
+        let doc = m.to_json(0, 0, 0, 0, PoolStats::default(), None);
+        assert_eq!(
+            doc.get("requests")
+                .and_then(|r| r.get("instances_solve_loo"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
     }
 }

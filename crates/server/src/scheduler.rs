@@ -60,6 +60,12 @@ struct Job {
     problem: Problem<Point>,
     config: SolverConfig,
     digest: u64,
+    /// `Some((base_digest, prior))` for a warm-started solve: the prior
+    /// solution to chain from, tagged with its instance digest. Warm jobs
+    /// coalesce only with warm jobs of the same `(digest, base)` — a warm
+    /// result may legitimately differ from the cold solve of the same
+    /// problem, so the two must never share one computation.
+    warm: Option<(u64, Arc<Solution<Point>>)>,
     reply: mpsc::Sender<Result<Solution<Point>, SolveError>>,
 }
 
@@ -151,7 +157,26 @@ impl Scheduler {
         config: SolverConfig,
         digest: u64,
     ) -> Result<Result<Solution<Point>, SolveError>, SubmitError> {
-        self.solve_many(vec![(problem, config, digest)])
+        self.submit(vec![(problem, config, digest, None)])
+            .map(|mut results| results.pop().expect("one job yields one result"))
+    }
+
+    /// Submits one warm-started solve chained from `prior` (whose source
+    /// instance has digest `base_digest`) and blocks for its result. The
+    /// solve goes through [`ukc_core::Solution::warm_start`], so an
+    /// unusable prior degrades to a cold solve with a typed
+    /// `report.warm.fallback` — never an error. Warm jobs ride the same
+    /// bounded queue and wave loop as cold ones but only coalesce with
+    /// warm jobs of the same `(digest, base)`.
+    pub fn solve_warm(
+        &self,
+        problem: Problem<Point>,
+        config: SolverConfig,
+        digest: u64,
+        base_digest: u64,
+        prior: Arc<Solution<Point>>,
+    ) -> Result<Result<Solution<Point>, SolveError>, SubmitError> {
+        self.submit(vec![(problem, config, digest, Some((base_digest, prior)))])
             .map(|mut results| results.pop().expect("one job yields one result"))
     }
 
@@ -165,6 +190,25 @@ impl Scheduler {
         &self,
         jobs: Vec<(Problem<Point>, SolverConfig, u64)>,
     ) -> Result<Vec<Result<Solution<Point>, SolveError>>, SubmitError> {
+        self.submit(
+            jobs.into_iter()
+                .map(|(problem, config, digest)| (problem, config, digest, None))
+                .collect(),
+        )
+    }
+
+    /// The shared submission path: enqueue every job (cold or warm),
+    /// then await all replies in order.
+    #[allow(clippy::type_complexity)]
+    fn submit(
+        &self,
+        jobs: Vec<(
+            Problem<Point>,
+            SolverConfig,
+            u64,
+            Option<(u64, Arc<Solution<Point>>)>,
+        )>,
+    ) -> Result<Vec<Result<Solution<Point>, SolveError>>, SubmitError> {
         if jobs.is_empty() {
             return Ok(Vec::new());
         }
@@ -177,13 +221,14 @@ impl Scheduler {
                 return Err(SubmitError::ShuttingDown);
             };
             let total = jobs.len();
-            for (problem, config, digest) in jobs {
+            for (problem, config, digest, warm) in jobs {
                 let (reply_tx, reply_rx) = mpsc::channel();
                 if tx
                     .send(Job {
                         problem,
                         config,
                         digest,
+                        warm,
                         reply: reply_tx,
                     })
                     .is_err()
@@ -278,29 +323,57 @@ fn run_wave(jobs: Vec<Job>, workers: usize, metrics: &Metrics) {
     for (config, idxs) in groups {
         // Deduplicate identical problems inside the group: the digest is
         // canonical content identity, so equal digests get one solve.
-        let mut unique: Vec<(u64, usize)> = Vec::new(); // (digest, representative job)
+        // Warm jobs carry the base digest in the key — a warm solve may
+        // legitimately differ from the cold solve of the same problem
+        // (and from a warm solve off a different prior), so only exact
+        // `(digest, base)` matches coalesce.
+        let mut unique: Vec<(u64, Option<u64>, usize)> = Vec::new(); // (digest, base, representative)
         let mut job_to_unique: Vec<usize> = Vec::with_capacity(idxs.len());
         for &i in &idxs {
-            match unique.iter().position(|&(d, _)| d == jobs[i].digest) {
+            let base = jobs[i].warm.as_ref().map(|(b, _)| *b);
+            match unique
+                .iter()
+                .position(|&(d, b, _)| d == jobs[i].digest && b == base)
+            {
                 Some(u) => {
                     coalesced += 1;
                     job_to_unique.push(u);
                 }
                 None => {
-                    unique.push((jobs[i].digest, i));
+                    unique.push((jobs[i].digest, base, i));
                     job_to_unique.push(unique.len() - 1);
                 }
             }
         }
-        let problems: Vec<Problem<Point>> = unique
-            .iter()
-            .map(|&(_, i)| jobs[i].problem.clone())
-            .collect();
+        // Cold uniques batch through the pool; warm uniques each chain
+        // from their own prior, so they solve individually.
+        let mut cold_slots: Vec<usize> = Vec::new();
+        let mut problems: Vec<Problem<Point>> = Vec::new();
+        for (u, &(_, _, i)) in unique.iter().enumerate() {
+            if jobs[i].warm.is_none() {
+                cold_slots.push(u);
+                problems.push(jobs[i].problem.clone());
+            }
+        }
         // A group fans out on the pool only when more than one unique
         // problem meets more than one lane *and* the pool has workers to
         // claim chunks (a 0-worker pool degrades to the inline loop).
         fanned_out |= workers > 1 && problems.len() > 1 && ukc_pool::global().workers() > 0;
-        let results = solve_batch_threads(&problems, &config, workers);
+        let cold_results = solve_batch_threads(&problems, &config, workers);
+        let mut slots: Vec<Option<Result<Solution<Point>, SolveError>>> =
+            (0..unique.len()).map(|_| None).collect();
+        for (u, result) in cold_slots.into_iter().zip(cold_results) {
+            slots[u] = Some(result);
+        }
+        for (u, &(_, _, i)) in unique.iter().enumerate() {
+            if let Some((_, prior)) = &jobs[i].warm {
+                slots[u] = Some(Solution::warm_start(&jobs[i].problem, &config, prior));
+            }
+        }
+        let results: Vec<Result<Solution<Point>, SolveError>> = slots
+            .into_iter()
+            .map(|slot| slot.expect("every unique job was solved"))
+            .collect();
         for result in &results {
             match result {
                 Ok(solution) => metrics.record_solve(&solution.report, config.kernel()),
@@ -422,6 +495,55 @@ mod tests {
         // Depth settles back to zero once everything is answered.
         assert_eq!(scheduler.depth(), 0);
         assert_eq!(scheduler.solve_many(Vec::new()).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn warm_jobs_chain_from_the_prior_and_match_direct_warm_starts() {
+        let metrics = Arc::new(Metrics::new());
+        let scheduler = Scheduler::new(2, usize::MAX, Arc::clone(&metrics));
+        let config = SolverConfig::default();
+        // Build a base instance and its grown successor (same prefix).
+        let base_set = clustered(11, 40, 3, 2, 3, 30.0, 1.0, ProbModel::Random);
+        let mut points = base_set.points().to_vec();
+        let grown_source = clustered(99, 4, 3, 2, 2, 30.0, 1.0, ProbModel::Random);
+        points.extend(grown_source.points().iter().cloned());
+        let base_problem = Problem::euclidean(
+            ukc_uncertain::UncertainSet::new(base_set.points().to_vec()),
+            3,
+        )
+        .unwrap();
+        let grown_problem =
+            Problem::euclidean(ukc_uncertain::UncertainSet::new(points), 3).unwrap();
+        let base_digest = base_problem.instance_digest();
+        let digest = grown_problem.instance_digest();
+
+        let prior = Arc::new(base_problem.solve(&config).unwrap());
+        let served = scheduler
+            .solve_warm(
+                grown_problem.clone(),
+                config.clone(),
+                digest,
+                base_digest,
+                Arc::clone(&prior),
+            )
+            .unwrap()
+            .unwrap();
+        let direct = Solution::warm_start(&grown_problem, &config, &prior).unwrap();
+        assert_eq!(served.ecost.to_bits(), direct.ecost.to_bits());
+        assert_eq!(served.assignment, direct.assignment);
+        let warm = served.report.warm.as_ref().expect("warm stats present");
+        assert_eq!(
+            warm.fallback,
+            direct.report.warm.as_ref().unwrap().fallback,
+            "scheduler must not change the warm outcome"
+        );
+        // A cold solve of the same digest is a distinct computation: its
+        // report carries no warm stats.
+        let cold = scheduler
+            .solve(grown_problem, config, digest)
+            .unwrap()
+            .unwrap();
+        assert!(cold.report.warm.is_none());
     }
 
     #[test]

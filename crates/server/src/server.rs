@@ -24,7 +24,7 @@ use crate::persist::{self, RecoveryStats};
 use crate::scheduler::Scheduler;
 use crate::store::InstanceStore;
 use crate::streams::StreamStore;
-use ukc_core::{digest_hex, Problem, Solution};
+use ukc_core::{digest_hex, Problem, Solution, SolverConfig, WarmStats};
 use ukc_durable::snapshot::Snapshot;
 use ukc_durable::{DurableStore, StoreError};
 use ukc_json::format::{solution_document, JsonInstance};
@@ -105,6 +105,13 @@ pub(crate) struct AppState {
     store: InstanceStore,
     streams: StreamStore,
     cache: Mutex<LruCache<SolveKey, Arc<Solution<Point>>>>,
+    /// The most recent solution per cold-shaped `(digest, config)` key —
+    /// cold *or* warm. This is what `solve?base=` chains from: unlike
+    /// the response cache (which must keep warm and cold results apart,
+    /// they can differ bitwise), this map deliberately collapses them to
+    /// "latest usable prior", so an append chain only ever pays the
+    /// delta instead of re-solving each parent cold.
+    priors: Mutex<LruCache<SolveKey, Arc<Solution<Point>>>>,
     cache_cap: usize,
     scheduler: Scheduler,
     metrics: Arc<Metrics>,
@@ -152,6 +159,10 @@ impl AppState {
             store,
             streams,
             cache: Mutex::new(LruCache::new(config.cache_cap)),
+            // Priors are worth keeping even with the response cache
+            // disabled (cache_cap 0): warm chaining is an algorithmic
+            // path the client opts into with `base=`, not a cache hit.
+            priors: Mutex::new(LruCache::new(config.cache_cap.max(64))),
             cache_cap: config.cache_cap,
             scheduler: Scheduler::new(workers, config.queue_cap, Arc::clone(&metrics)),
             metrics,
@@ -404,6 +415,16 @@ pub(crate) fn dispatch(state: &AppState, request: &Request) -> Response {
             ),
             _ => (Route::Unmatched, Err(method_err(request))),
         },
+        ["instances", id, "solve_loo"] => match method {
+            "POST" => (
+                Route::InstanceSolveLoo,
+                match state.cluster() {
+                    Some(cluster) => crate::cluster::solve_loo(cluster, id, request),
+                    None => handle_instance_solve_loo(state, id, request),
+                },
+            ),
+            _ => (Route::Unmatched, Err(method_err(request))),
+        },
         ["solve"] => match method {
             "POST" => (
                 Route::OneShotSolve,
@@ -620,6 +641,11 @@ fn handle_instance_delete(state: &AppState, id: &str) -> Handled {
                 .lock()
                 .expect("cache lock poisoned")
                 .retain(|key| key.set_digest != stored.digest);
+            state
+                .priors
+                .lock()
+                .expect("prior cache lock poisoned")
+                .retain(|key| key.set_digest != stored.digest);
             Ok((
                 200,
                 Json::obj([("id", Json::from(id)), ("deleted", Json::from(true))]),
@@ -636,9 +662,12 @@ fn handle_instance_solve(state: &AppState, id: &str, request: &Request) -> Handl
         .store
         .get(id)
         .ok_or_else(|| ApiError::instance_not_found(id))?;
+    let warm = request
+        .query_param("base")
+        .map(|base| resolve_base(state, base, &solve));
     // The set digest was computed at upload time; cloning the (possibly
     // large) set is deferred to the cache-miss path.
-    run_solve(state, stored.digest, || (*stored.set).clone(), &solve)
+    run_solve(state, stored.digest, || (*stored.set).clone(), &solve, warm)
 }
 
 fn handle_oneshot_solve(state: &AppState, request: &Request) -> Handled {
@@ -647,7 +676,10 @@ fn handle_oneshot_solve(state: &AppState, request: &Request) -> Handled {
     let solve = solve.apply_default_kernel(state.default_kernel);
     let set = instance.to_set().map_err(ApiError::from)?;
     let digest = ukc_core::digest_set(&set);
-    run_solve(state, digest, move || set, &solve)
+    let warm = request
+        .query_param("base")
+        .map(|base| resolve_base(state, base, &solve));
+    run_solve(state, digest, move || set, &solve, warm)
 }
 
 /// `POST /instances/{id}/append`: grows a stored instance by the body's
@@ -655,6 +687,12 @@ fn handle_oneshot_solve(state: &AppState, request: &Request) -> Handled {
 /// the grown instance is stored under its *own* digest and the response
 /// carries the new ID; the original stays available, and solution-cache
 /// entries need no invalidation — the new digest simply never hits them.
+///
+/// The response names the parent under `parent_digest` so clients can
+/// chain `solve?base=` without bookkeeping, and `?k=<k>` solves the
+/// grown instance in the same round trip — warm-started from the parent
+/// by default (`?base=<digest>` overrides the prior) — returning the
+/// solution under `"solution"`.
 fn handle_instance_append(state: &AppState, id: &str, request: &Request) -> Handled {
     let doc = api::parse_body(&request.body)?;
     let instance = JsonInstance::from_json(&doc).map_err(ApiError::from)?;
@@ -679,8 +717,33 @@ fn handle_instance_append(state: &AppState, id: &str, request: &Request) -> Hand
     let mut body = grown.summary();
     if let Json::Obj(pairs) = &mut body {
         pairs.push(("previous_id".into(), Json::from(id)));
+        pairs.push((
+            "parent_digest".into(),
+            Json::from(digest_hex(stored.digest)),
+        ));
         pairs.push(("appended".into(), Json::from(appended.n())));
         pairs.push(("created".into(), Json::from(created)));
+    }
+    if let Some(k_raw) = request.query_param("k") {
+        let k: usize = k_raw.parse().map_err(|_| {
+            ApiError::bad_request("bad_schema", "\"k\" must be a non-negative integer")
+        })?;
+        if k == 0 {
+            return Err(ukc_core::SolveError::ZeroK.into());
+        }
+        let solve = SolveRequest {
+            k,
+            config: SolverConfig::default(),
+            use_cache: true,
+            explicit_kernel: false,
+        }
+        .apply_default_kernel(state.default_kernel);
+        let base = request.query_param("base").unwrap_or(id);
+        let warm = Some(resolve_base(state, base, &solve));
+        let (_, solution) = run_solve(state, grown.digest, || (*grown.set).clone(), &solve, warm)?;
+        if let Json::Obj(pairs) = &mut body {
+            pairs.push(("solution".into(), solution));
+        }
     }
     Ok((if created { 201 } else { 200 }, body))
 }
@@ -760,6 +823,11 @@ fn handle_stream_delete(state: &AppState, id: &str) -> Handled {
                 .cache
                 .lock()
                 .expect("cache lock poisoned")
+                .retain(|key| key.set_digest != digest);
+            state
+                .priors
+                .lock()
+                .expect("prior cache lock poisoned")
                 .retain(|key| key.set_digest != digest);
             Ok((
                 200,
@@ -864,7 +932,42 @@ fn handle_stream_solution(state: &AppState, id: &str) -> Handled {
     // (centers, weights, threshold, count) — so any push invalidates by
     // construction, and replicas that consumed the same stream share
     // entries. It also becomes the response's `instance_digest`.
-    let (status, mut body) = run_solve(state, report.digest, move || set, &solve)?;
+    //
+    // The entry's last-solution slot chains epochs: an evolved stream
+    // warm-starts from the previous epoch's solution (epochs that only
+    // appended summary points re-solve in O(delta); a reshaped summary
+    // falls back cold with a typed flag — never an error). An unchanged
+    // stream is served by the ordinary digest-keyed solution cache, so
+    // repeat reads still count as cache hits.
+    let slot = entry
+        .last_solution
+        .lock()
+        .expect("stream solution slot poisoned")
+        .clone();
+    let (solution, cached, base) = match slot {
+        Some((digest, prior)) if digest != report.digest => {
+            let warm = WarmBase::Prior {
+                base_digest: digest,
+                prior,
+            };
+            let (solution, cached) =
+                obtain_solution(state, report.digest, move || set, &solve, Some(&warm))?;
+            (solution, cached, Some(digest))
+        }
+        _ => {
+            let (solution, cached) =
+                obtain_solution(state, report.digest, move || set, &solve, None)?;
+            (solution, cached, None)
+        }
+    };
+    *entry
+        .last_solution
+        .lock()
+        .expect("stream solution slot poisoned") = Some((report.digest, Arc::clone(&solution)));
+    let (status, mut body) = (200, solve_response(&solution, report.digest, cached));
+    if let (Json::Obj(pairs), Some(b)) = (&mut body, base) {
+        pairs.push(("base".into(), Json::from(digest_hex(b))));
+    }
     let certain_radius = body
         .get("certain_radius")
         .and_then(Json::as_f64)
@@ -888,21 +991,125 @@ fn handle_stream_solution(state: &AppState, id: &str) -> Handled {
     Ok((status, body))
 }
 
-/// The shared solve path: cache lookup by `(digest, config)`, then — on
-/// a miss only — problem construction, scheduler submission, and cache
-/// fill. `set_digest` is the instance's content digest (the store ID);
-/// the cache key extends it with `k` and the space so different requests
-/// against one instance cannot collide.
+/// How a `base=<digest>` query parameter resolved.
+enum WarmBase {
+    /// The prior is in hand: the base's content digest and a solution of
+    /// it to chain from.
+    Prior {
+        base_digest: u64,
+        prior: Arc<Solution<Point>>,
+    },
+    /// No prior could be produced. The solve proceeds **cold** with a
+    /// typed `report.warm.fallback` flag — a bad base is never an error.
+    Unresolved { reason: &'static str },
+}
+
+/// Produces the warm prior for `base`: the freshest solution the server
+/// holds for it (the prior map, which warm results also land in), the
+/// response cache, or — both missing — a cold solve of the stored base
+/// instance, recorded for the next chain link. Unknown, unparseable, or
+/// unsolvable bases resolve to [`WarmBase::Unresolved`].
+fn resolve_base(state: &AppState, base: &str, solve: &SolveRequest) -> WarmBase {
+    let Ok(base_digest) = u64::from_str_radix(base, 16) else {
+        return WarmBase::Unresolved {
+            reason: "base_invalid",
+        };
+    };
+    let base_problem_digest = ukc_core::digest_problem("euclidean", solve.k, base_digest, None);
+    let key = SolveKey::new(base_problem_digest, base_digest, &solve.config);
+    let held = state
+        .priors
+        .lock()
+        .expect("prior cache lock poisoned")
+        .get(&key)
+        .cloned()
+        .or_else(|| {
+            state
+                .cache
+                .lock()
+                .expect("cache lock poisoned")
+                .get(&key)
+                .cloned()
+        });
+    if let Some(prior) = held {
+        return WarmBase::Prior { base_digest, prior };
+    }
+    let Some(stored) = state.store.get(base) else {
+        return WarmBase::Unresolved {
+            reason: "base_not_found",
+        };
+    };
+    let Ok(problem) = Problem::euclidean((*stored.set).clone(), solve.k) else {
+        return WarmBase::Unresolved {
+            reason: "base_unsolvable",
+        };
+    };
+    match state
+        .scheduler
+        .solve(problem, solve.config.clone(), base_problem_digest)
+    {
+        Ok(Ok(solution)) => {
+            let prior = Arc::new(solution);
+            state
+                .priors
+                .lock()
+                .expect("prior cache lock poisoned")
+                .insert(key, Arc::clone(&prior));
+            WarmBase::Prior { base_digest, prior }
+        }
+        _ => WarmBase::Unresolved {
+            reason: "base_unsolvable",
+        },
+    }
+}
+
+/// The shared solve path: cache lookup by `(digest, config)` — extended
+/// by the base digest for warm requests, so warm and cold results never
+/// collide — then, on a miss only, problem construction, scheduler
+/// submission, and cache fill. `set_digest` is the instance's content
+/// digest (the store ID); the cache key extends it with `k` and the
+/// space so different requests against one instance cannot collide.
 fn run_solve(
     state: &AppState,
     set_digest: u64,
     make_set: impl FnOnce() -> UncertainSet<Point>,
     solve: &SolveRequest,
+    warm: Option<WarmBase>,
 ) -> Handled {
-    let problem_digest = ukc_core::digest_problem("euclidean", solve.k, set_digest, None);
-    let key = SolveKey::new(problem_digest, set_digest, &solve.config);
+    let base_digest = match &warm {
+        Some(WarmBase::Prior { base_digest, .. }) => Some(*base_digest),
+        _ => None,
+    };
+    let (solution, cached) = obtain_solution(state, set_digest, make_set, solve, warm.as_ref())?;
+    let mut body = solve_response(&solution, set_digest, cached);
+    if let (Json::Obj(pairs), Some(b)) = (&mut body, base_digest) {
+        pairs.push(("base".into(), Json::from(digest_hex(b))));
+    }
+    Ok((200, body))
+}
 
-    if solve.use_cache {
+/// The solve machinery behind [`run_solve`] and the stream-solution
+/// route, returning the `Arc`'d solution so callers can keep it (the
+/// stream slot) instead of only its rendering.
+fn obtain_solution(
+    state: &AppState,
+    set_digest: u64,
+    make_set: impl FnOnce() -> UncertainSet<Point>,
+    solve: &SolveRequest,
+    warm: Option<&WarmBase>,
+) -> Result<(Arc<Solution<Point>>, bool), ApiError> {
+    let problem_digest = ukc_core::digest_problem("euclidean", solve.k, set_digest, None);
+    let cold_key = SolveKey::new(problem_digest, set_digest, &solve.config);
+    let key = match warm {
+        Some(WarmBase::Prior { base_digest, .. }) => cold_key.clone().with_base(*base_digest),
+        _ => cold_key.clone(),
+    };
+    // An unresolved base bypasses the response cache entirely: the result
+    // is a cold solve with a warm-fallback flag stamped on, which must
+    // neither be served from nor stored under the plain cold key.
+    let use_cache = solve.use_cache && !matches!(warm, Some(WarmBase::Unresolved { .. }));
+
+    if use_cache {
         let cached = state
             .cache
             .lock()
@@ -911,7 +1118,7 @@ fn run_solve(
             .cloned();
         if let Some(solution) = cached {
             state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((200, solve_response(&solution, set_digest, true)));
+            return Ok((solution, true));
         }
     }
 
@@ -919,13 +1126,35 @@ fn run_solve(
         state.metrics.record_solve_error();
         ApiError::from(e)
     })?;
-    let solution = state
-        .scheduler
-        .solve(problem, solve.config.clone(), problem_digest)
-        .map_err(submit_err)?
-        .map_err(ApiError::from)?;
+    let outcome = match warm {
+        Some(WarmBase::Prior { base_digest, prior }) => state.scheduler.solve_warm(
+            problem,
+            solve.config.clone(),
+            problem_digest,
+            *base_digest,
+            Arc::clone(prior),
+        ),
+        _ => state
+            .scheduler
+            .solve(problem, solve.config.clone(), problem_digest),
+    };
+    let mut solution = outcome.map_err(submit_err)?.map_err(ApiError::from)?;
+    if let Some(WarmBase::Unresolved { reason }) = warm {
+        solution.report.warm = Some(WarmStats {
+            fallback: Some(reason),
+            ..WarmStats::default()
+        });
+        state.metrics.record_warm_fallback();
+    }
     let solution = Arc::new(solution);
-    if solve.use_cache {
+    // Every produced solution — cold or warm — becomes the freshest
+    // prior for its instance, so chains never re-solve a parent cold.
+    state
+        .priors
+        .lock()
+        .expect("prior cache lock poisoned")
+        .insert(cold_key, Arc::clone(&solution));
+    if use_cache {
         // A miss is only recorded once a cacheable solve actually
         // completed, so hits + misses counts cache *lookup outcomes*
         // for real solutions and failed requests cannot skew hit_rate.
@@ -936,7 +1165,53 @@ fn run_solve(
             .expect("cache lock poisoned")
             .insert(key, Arc::clone(&solution));
     }
-    Ok((200, solve_response(&solution, set_digest, false)))
+    Ok((solution, false))
+}
+
+/// `POST /instances/{id}/solve_loo`: batch leave-one-out over a stored
+/// instance — the base solution plus all `n` one-point-removed variants
+/// sharing one point store. LOO manages its own deterministic pool
+/// fan-out (variants across lanes), so it runs on the connection thread
+/// instead of occupying a scheduler wave.
+fn handle_instance_solve_loo(state: &AppState, id: &str, request: &Request) -> Handled {
+    let doc = api::parse_body(&request.body)?;
+    let solve = api::parse_solve_request(&doc, false)?.apply_default_kernel(state.default_kernel);
+    let stored = state
+        .store
+        .get(id)
+        .ok_or_else(|| ApiError::instance_not_found(id))?;
+    let problem = Problem::euclidean((*stored.set).clone(), solve.k).map_err(|e| {
+        state.metrics.record_solve_error();
+        ApiError::from(e)
+    })?;
+    let loo = ukc_core::solve_loo(&problem, &solve.config).map_err(|e| {
+        state.metrics.record_solve_error();
+        ApiError::from(e)
+    })?;
+    state
+        .metrics
+        .record_solve(&loo.base.report, solve.config.kernel());
+    let variants = Json::arr(loo.variants.iter().map(|v| {
+        Json::obj([
+            ("removed", Json::from(v.removed)),
+            ("ecost", Json::from(v.ecost)),
+            ("certain_radius", Json::from(v.certain_radius)),
+            ("reused", Json::from(v.reused)),
+            ("distance_evals", Json::from(v.distance_evals as f64)),
+        ])
+    }));
+    Ok((
+        200,
+        Json::obj([
+            ("instance_digest", Json::from(digest_hex(stored.digest))),
+            ("base", solve_response(&loo.base, stored.digest, false)),
+            ("variants", variants),
+            ("count", Json::from(loo.variants.len())),
+            ("reused_variants", Json::from(loo.reused_variants)),
+            ("resolved_variants", Json::from(loo.resolved_variants)),
+            ("distance_evals", Json::from(loo.distance_evals as f64)),
+        ]),
+    ))
 }
 
 fn submit_err(e: crate::scheduler::SubmitError) -> ApiError {

@@ -19,6 +19,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
+use ukc_core::Solution;
+use ukc_metric::Point;
 use ukc_stream::StreamSolver;
 
 /// One stored stream.
@@ -32,6 +34,13 @@ pub struct StreamEntry {
     pub use_cache: bool,
     /// The solver, serialized per stream.
     pub solver: Mutex<StreamSolver>,
+    /// The last served solution, tagged with the stream digest it was
+    /// computed for. The solution route serves an unchanged stream
+    /// straight from this slot and warm-starts the solve of an evolved
+    /// one from it (the previous epoch's centers are the natural prior).
+    /// Purely an in-memory accelerator: recovery leaves it `None` and
+    /// the first post-restart solution request re-solves cold.
+    pub last_solution: Mutex<Option<(u64, Arc<Solution<Point>>)>>,
 }
 
 /// The `RwLock`-guarded stream map.
@@ -69,6 +78,7 @@ impl StreamStore {
             seq,
             use_cache,
             solver: Mutex::new(solver),
+            last_solution: Mutex::new(None),
         });
         self.map
             .write()
