@@ -1,0 +1,270 @@
+//! Sustained-rate stream ingestion soak: concurrent pushers feeding the
+//! bounded per-stream ingest queues while readers hammer
+//! `GET /streams/{id}/solution` under a staleness budget.
+//!
+//! Criterion measures a fan-out push round (every stream receives one
+//! chunk concurrently, through the full HTTP + ingest-queue + durability
+//! path). Setting `BENCH_STREAM_JSON=1` additionally runs a manual soak
+//! and rewrites the version-controlled `BENCH_stream.json` at the
+//! workspace root (see `docs/BENCHMARKS.md`): sustained points/sec, push
+//! latency percentiles, the accepted/rejected-429 split, and the
+//! solve-vs-read counts that show the staleness budget collapsing a
+//! high-rate read load onto a handful of solves.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use ukc_json::format::JsonInstance;
+use ukc_json::Json;
+use ukc_server::client::ClientConn;
+use ukc_server::{serve, ServerConfig, ServerHandle};
+use ukc_uncertain::generators::{clustered, ProbModel};
+
+/// Uncertain points per pushed chunk.
+const CHUNK_POINTS: usize = 64;
+
+/// One pre-rendered push body, distinct per (stream, chunk) pair so the
+/// digest always advances.
+fn chunk_body(stream: usize, chunk: usize) -> String {
+    let seed = 1 + (stream as u64) * 1_000 + chunk as u64;
+    let set = clustered(seed, CHUNK_POINTS, 3, 2, 3, 6.0, 1.0, ProbModel::Random);
+    JsonInstance::from_set(&set).to_json().compact()
+}
+
+fn start_server(config: ServerConfig) -> (ServerHandle, SocketAddr) {
+    let handle = serve(config).expect("bind ephemeral port");
+    let addr = handle.addr();
+    (handle, addr)
+}
+
+/// Create `streams` streams and prime each with one chunk so solution
+/// reads are valid from the start. Returns the stream IDs.
+fn create_streams(addr: SocketAddr, streams: usize) -> Vec<String> {
+    let mut conn = ClientConn::connect(addr).expect("connect");
+    (0..streams)
+        .map(|s| {
+            let created = conn
+                .request("POST", "/streams", Some(r#"{"k": 3, "budget": 32}"#))
+                .expect("create stream");
+            assert_eq!(created.status, 201, "{}", created.body);
+            let id = Json::parse(&created.body)
+                .expect("create response")
+                .get("id")
+                .and_then(Json::as_str)
+                .expect("id")
+                .to_string();
+            let primed = conn
+                .request(
+                    "POST",
+                    &format!("/streams/{id}/push"),
+                    Some(&chunk_body(s, 0)),
+                )
+                .expect("prime push");
+            assert!(primed.is_success(), "{}", primed.body);
+            id
+        })
+        .collect()
+}
+
+fn percentile_ms(sorted_secs: &[f64], pct: f64) -> f64 {
+    if sorted_secs.is_empty() {
+        return 0.0;
+    }
+    let idx = ((pct / 100.0) * (sorted_secs.len() - 1) as f64).round() as usize;
+    sorted_secs[idx] * 1_000.0
+}
+
+fn read_metric(addr: SocketAddr, path: &[&str]) -> f64 {
+    let mut conn = ClientConn::connect(addr).expect("connect");
+    let r = conn.request("GET", "/metrics", None).expect("metrics");
+    let doc = Json::parse(&r.body).expect("metrics json");
+    let mut node = &doc;
+    for key in path {
+        node = node.get(key).unwrap_or_else(|| panic!("missing {key}"));
+    }
+    node.as_f64().expect("numeric metric")
+}
+
+/// The manual soak behind the committed `BENCH_stream.json`: every
+/// stream gets a dedicated pusher (retrying on `429 ingest_overloaded`)
+/// and a dedicated reader polling the solution endpoint for the whole
+/// push window.
+fn soak(streams: usize, chunks: usize, queue_cap: usize, staleness_ms: u64) -> Json {
+    let (handle, addr) = start_server(ServerConfig {
+        ingest_queue_cap: queue_cap,
+        solve_staleness_ms: staleness_ms,
+        ..ServerConfig::default()
+    });
+    let ids = create_streams(addr, streams);
+
+    let stop = AtomicBool::new(false);
+    let rejected = AtomicU64::new(0);
+    let reads = AtomicU64::new(0);
+    let stale_reads = AtomicU64::new(0);
+    let started = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let mut pushers = Vec::new();
+        for (s, id) in ids.iter().enumerate() {
+            let (rejected, stop) = (&rejected, &stop);
+            pushers.push(scope.spawn(move || {
+                let mut conn = ClientConn::connect(addr).expect("connect");
+                let path = format!("/streams/{id}/push");
+                let mut secs = Vec::with_capacity(chunks);
+                for c in 0..chunks {
+                    let body = chunk_body(s, c + 1);
+                    loop {
+                        let t = Instant::now();
+                        let r = conn.request("POST", &path, Some(&body)).expect("push");
+                        if r.status == 429 {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                            continue;
+                        }
+                        assert!(r.is_success(), "{}", r.body);
+                        secs.push(t.elapsed().as_secs_f64());
+                        break;
+                    }
+                }
+                stop.store(true, Ordering::Relaxed);
+                secs
+            }));
+        }
+        for id in &ids {
+            let (reads, stale_reads, stop) = (&reads, &stale_reads, &stop);
+            scope.spawn(move || {
+                let mut conn = ClientConn::connect(addr).expect("connect");
+                let path = format!("/streams/{id}/solution");
+                while !stop.load(Ordering::Relaxed) {
+                    let r = conn.request("GET", &path, None).expect("read");
+                    assert!(r.is_success(), "{}", r.body);
+                    reads.fetch_add(1, Ordering::Relaxed);
+                    let doc = Json::parse(&r.body).expect("solution json");
+                    if doc.get("stale").and_then(Json::as_bool) == Some(true) {
+                        stale_reads.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        pushers
+            .into_iter()
+            .flat_map(|p| p.join().expect("pusher"))
+            .collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    // Zero lost epochs: every acked push (prime + soak chunks) is
+    // visible in the drained stream.
+    let mut conn = ClientConn::connect(addr).expect("connect");
+    for id in &ids {
+        let r = conn
+            .request("GET", &format!("/streams/{id}"), None)
+            .expect("stream meta");
+        let doc = Json::parse(&r.body).expect("meta json");
+        assert_eq!(
+            doc.get("epochs").and_then(Json::as_f64),
+            Some((chunks + 1) as f64),
+            "stream {id} lost an acked epoch"
+        );
+    }
+
+    let solves_ok = read_metric(addr, &["solves", "ok"]);
+    let accepted = read_metric(addr, &["ingest", "accepted"]);
+    let rejected_server = read_metric(addr, &["ingest", "rejected"]);
+    let stale_served = read_metric(addr, &["ingest", "stale_served"]);
+    handle.shutdown();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let total_reads = reads.load(Ordering::Relaxed);
+    Json::obj([
+        ("streams", Json::from(streams)),
+        ("chunks_per_stream", Json::from(chunks)),
+        ("chunk_points", Json::from(CHUNK_POINTS)),
+        ("ingest_queue_cap", Json::from(queue_cap)),
+        ("solve_staleness_ms", Json::from(staleness_ms as f64)),
+        ("elapsed_seconds", Json::from(elapsed)),
+        (
+            "points_per_sec",
+            Json::from((streams * chunks * CHUNK_POINTS) as f64 / elapsed),
+        ),
+        ("push_p50_ms", Json::from(percentile_ms(&latencies, 50.0))),
+        ("push_p99_ms", Json::from(percentile_ms(&latencies, 99.0))),
+        ("pushes_accepted", Json::from(accepted)),
+        ("pushes_rejected_429", Json::from(rejected_server)),
+        (
+            "client_retries_on_429",
+            Json::from(rejected.load(Ordering::Relaxed) as f64),
+        ),
+        ("solution_reads", Json::from(total_reads as f64)),
+        (
+            "stale_reads",
+            Json::from(stale_reads.load(Ordering::Relaxed) as f64),
+        ),
+        ("stale_served", Json::from(stale_served)),
+        ("solves_ok", Json::from(solves_ok)),
+        (
+            "solves_per_read",
+            Json::from(solves_ok / total_reads.max(1) as f64),
+        ),
+    ])
+}
+
+fn bench_stream_soak(c: &mut Criterion) {
+    let quick = std::env::var_os("CRITERION_QUICK").is_some();
+    let record = std::env::var_os("BENCH_STREAM_JSON").is_some();
+
+    // Criterion leg: one concurrent push round across the streams, the
+    // steady-state unit of the soak.
+    let streams = 2;
+    let (handle, addr) = start_server(ServerConfig::default());
+    let ids = create_streams(addr, streams);
+    let bodies: Vec<String> = (0..streams).map(|s| chunk_body(s, 1)).collect();
+    let mut group = c.benchmark_group("stream_soak_push");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.throughput(Throughput::Elements((streams * CHUNK_POINTS) as u64));
+    group.bench_function("push_round", |b| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for (id, body) in ids.iter().zip(&bodies) {
+                    scope.spawn(move || {
+                        let mut conn = ClientConn::connect(addr).expect("connect");
+                        let r = conn
+                            .request("POST", &format!("/streams/{id}/push"), Some(body))
+                            .expect("push");
+                        assert!(r.is_success(), "{}", r.body);
+                    });
+                }
+            })
+        })
+    });
+    group.finish();
+    handle.shutdown();
+
+    if record {
+        let (streams, chunks) = if quick { (2, 10) } else { (4, 40) };
+        let result = soak(streams, chunks, 64, 25);
+        let doc = Json::obj([
+            ("bench", Json::from("stream_soak")),
+            ("quick", Json::Bool(quick)),
+            (
+                "host_cpus",
+                Json::from(
+                    std::thread::available_parallelism()
+                        .map(|v| v.get())
+                        .unwrap_or(1),
+                ),
+            ),
+            ("results", Json::arr(vec![result])),
+        ]);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stream.json");
+        if let Err(e) = std::fs::write(path, doc.pretty() + "\n") {
+            eprintln!("warning: could not write BENCH_stream.json: {e}");
+        }
+    }
+}
+
+criterion_group!(benches, bench_stream_soak);
+criterion_main!(benches);

@@ -7,6 +7,7 @@
 //! ukc solve    --instance inst.json --k=3 --format json        # machine-readable report
 //! ukc solve    --instance inst.json --k 3 --threads 4          # intra-solve pool lanes
 //! ukc solve    --instance inst.json --k 3 --kernel tiled       # distance kernel (scalar|blocked|tiled)
+//! ukc solve    --instance inst.json --k 3 --assignment weighted # additively-weighted (Apollonius) mode
 //! ukc solve    --instance grown.json --k 3 --base prior.json   # warm start from a prior solution
 //! ukc loo      --instance inst.json --k 3                      # batch leave-one-out sweep
 //! ukc batch    --instances a.json,b.json,c.json --k 3 --threads 4
@@ -181,6 +182,21 @@ fn solver_config_with_seed_default(
     // absent keeps the config default (blocked).
     if let Some(kernel) = kernel_flag(a)? {
         builder = builder.kernel(kernel);
+    }
+    // --assignment plain|weighted picks the assignment mode; absent keeps
+    // the config default (plain).
+    if a.has("assignment") {
+        let raw = a.required("assignment")?;
+        match ukc_core::AssignmentMode::parse(raw) {
+            Some(mode) => builder = builder.assignment(mode),
+            None => {
+                return Err(args::ArgError::BadValue {
+                    key: "assignment".into(),
+                    value: raw.into(),
+                }
+                .into())
+            }
+        }
     }
     // --threads=N caps the solve's pool lanes (0/non-numeric rejected);
     // absent means auto (UKC_THREADS / available parallelism).
@@ -710,6 +726,10 @@ fn validate_data_dir(a: &Args) -> Result<Option<std::path::PathBuf>, args::ArgEr
 /// `--replicate-after`, `--shard-timeout-ms`, `--shard-retries`, and
 /// `--probe-interval-ms` tune replication and shard transport.
 /// `--queue-cap <n>` bounds the solve queue (full = `503 overloaded`).
+/// `--ingest-queue-cap <n>` bounds queued pushes per stream (full =
+/// `429 ingest_overloaded`); `--solve-staleness-ms <ms>` lets stream
+/// solution reads inside the budget re-serve the last response
+/// (`"stale": true`) instead of re-solving.
 fn cmd_serve(a: &Args) -> CmdResult {
     let threads = a.parse_positive("threads")?;
     if threads.is_some() && a.has("workers") {
@@ -761,6 +781,9 @@ fn cmd_serve(a: &Args) -> CmdResult {
         shard_timeout_ms: a.parse_or("shard-timeout-ms", defaults.shard_timeout_ms)?,
         shard_retries: a.parse_or("shard-retries", defaults.shard_retries)?,
         probe_interval_ms: a.parse_or("probe-interval-ms", defaults.probe_interval_ms)?,
+        ingest_queue_cap: a.parse_or("ingest-queue-cap", defaults.ingest_queue_cap)?,
+        solve_staleness_ms: a.parse_or("solve-staleness-ms", defaults.solve_staleness_ms)?,
+        ingest_apply_delay_ms: defaults.ingest_apply_delay_ms,
     };
     ukc_server::serve_blocking(config)?;
     Ok(())

@@ -101,6 +101,72 @@ pub fn assign_ed_exec<P: Sync, M: DistanceOracle<P> + Sync>(
     out
 }
 
+/// One point's weighted ED argmin: `argmin_c (E d(Pᵢ, c) − w_c)`, ties
+/// to the lower index. With all-zero weights this is [`ed_argmin`]
+/// comparison for comparison (`x − 0.0 == x` exactly).
+fn ed_argmin_weighted<P, M: DistanceOracle<P>>(
+    up: &ukc_uncertain::UncertainPoint<P>,
+    centers: &[P],
+    weights: &[f64],
+    metric: &M,
+) -> usize {
+    let mut best = 0usize;
+    let mut best_v = f64::INFINITY;
+    for (c, center) in centers.iter().enumerate() {
+        let v = expected_distance(up, center, metric) - weights[c];
+        if v < best_v {
+            best_v = v;
+            best = c;
+        }
+    }
+    best
+}
+
+/// Additively-weighted expected-distance assignment: each point goes to
+/// `argmin_c (E d(Pᵢ, c) − w_c)`. Same O(n·z·k) distance-eval count as
+/// [`assign_ed`].
+///
+/// # Panics
+/// Panics when `centers` is empty or `weights.len() != centers.len()`.
+pub fn assign_ed_weighted<P, M: DistanceOracle<P>>(
+    set: &UncertainSet<P>,
+    centers: &[P],
+    weights: &[f64],
+    metric: &M,
+) -> Vec<usize> {
+    assert!(!centers.is_empty(), "need at least one center");
+    assert_eq!(weights.len(), centers.len(), "one weight per center");
+    set.iter()
+        .map(|up| ed_argmin_weighted(up, centers, weights, metric))
+        .collect()
+}
+
+/// [`assign_ed_weighted`] with an execution context; identical output and
+/// eval count for every `exec` (same contract as [`assign_ed_exec`]).
+///
+/// # Panics
+/// Panics when `centers` is empty or `weights.len() != centers.len()`.
+pub fn assign_ed_weighted_exec<P: Sync, M: DistanceOracle<P> + Sync>(
+    set: &UncertainSet<P>,
+    centers: &[P],
+    weights: &[f64],
+    metric: &M,
+    exec: Exec<'_>,
+) -> Vec<usize> {
+    if !exec.is_parallel() || set.n() < PAR_MIN_POINTS {
+        return assign_ed_weighted(set, centers, weights, metric);
+    }
+    assert!(!centers.is_empty(), "need at least one center");
+    assert_eq!(weights.len(), centers.len(), "one weight per center");
+    let mut out = vec![0usize; set.n()];
+    ukc_pool::for_each_slice(exec, &mut out, PAR_CHUNK, |start, slice| {
+        for (j, o) in slice.iter_mut().enumerate() {
+            *o = ed_argmin_weighted(&set[start + j], centers, weights, metric);
+        }
+    });
+    out
+}
+
 /// Expected-point assignment: each point goes to the center nearest its
 /// expected point `P̄ᵢ`. O(n·(z + k)).
 ///
@@ -207,6 +273,28 @@ mod tests {
         assert_eq!(ed, vec![1]);
         // d(P̄, A) = 5 < d(P̄, B) = 9.
         assert_eq!(ep2, vec![0]);
+    }
+
+    #[test]
+    fn weighted_ed_with_zero_weights_matches_plain_and_weight_flips_winner() {
+        let s = set_two_groups();
+        let centers = vec![Point::scalar(1.0), Point::scalar(11.0)];
+        let zeros = vec![0.0; centers.len()];
+        assert_eq!(
+            assign_ed_weighted(&s, &centers, &zeros, &Euclidean),
+            assign_ed(&s, &centers, &Euclidean)
+        );
+        // A big credit on center 1 pulls everyone over.
+        let heavy = vec![0.0, 100.0];
+        assert_eq!(
+            assign_ed_weighted(&s, &centers, &heavy, &Euclidean),
+            vec![1, 1]
+        );
+        // Exec variant agrees on the sequential fallback path.
+        assert_eq!(
+            assign_ed_weighted_exec(&s, &centers, &heavy, &Euclidean, Exec::sequential()),
+            vec![1, 1]
+        );
     }
 
     #[test]

@@ -64,6 +64,51 @@ impl CertainStrategy {
     }
 }
 
+/// How representatives are matched to certain centers in the assignment
+/// and cost stages.
+///
+/// [`AssignmentMode::AdditivelyWeighted`] is the Apollonius variant: every
+/// center `cᵢ` carries an additive weight `wᵢ` (the expected spread
+/// `E d(Pᵢ, repᵢ)` of the uncertain point it was chosen from) and points
+/// compare centers by `d(p, cᵢ) − wᵢ`, so a center standing in for a
+/// widely-spread uncertain point claims a larger cell. With all-zero
+/// weights (an all-certain instance) the weighted pipeline is
+/// bit-identical to [`AssignmentMode::Plain`], which the
+/// weighted-equivalence suite pins for every kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AssignmentMode {
+    /// Unweighted nearest-center assignment — the paper's pipeline.
+    #[default]
+    Plain,
+    /// Additively-weighted (Apollonius) assignment: centers compare by
+    /// `d(p, c) − w_c` with `w_c` the source point's expected spread.
+    AdditivelyWeighted,
+}
+
+impl AssignmentMode {
+    /// Every mode, in wire order — for per-mode metric slots and
+    /// exhaustive test sweeps.
+    pub const ALL: [AssignmentMode; 2] =
+        [AssignmentMode::Plain, AssignmentMode::AdditivelyWeighted];
+
+    /// Short name for reports, wire payloads, and error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AssignmentMode::Plain => "plain",
+            AssignmentMode::AdditivelyWeighted => "weighted",
+        }
+    }
+
+    /// Parses the wire/CLI spelling (`"plain"` or `"weighted"`).
+    pub fn parse(s: &str) -> Option<AssignmentMode> {
+        match s {
+            "plain" => Some(AssignmentMode::Plain),
+            "weighted" => Some(AssignmentMode::AdditivelyWeighted),
+            _ => None,
+        }
+    }
+}
+
 /// Where discrete solvers draw their candidate centers from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum CandidatePolicy {
@@ -86,6 +131,7 @@ pub enum CandidatePolicy {
 pub struct SolverConfig {
     rule: AssignmentRule,
     strategy: CertainStrategy,
+    assignment: AssignmentMode,
     eps: f64,
     seed: u64,
     candidate_policy: CandidatePolicy,
@@ -101,6 +147,7 @@ impl Default for SolverConfig {
         SolverConfig {
             rule: AssignmentRule::ExpectedPoint,
             strategy: CertainStrategy::Gonzalez,
+            assignment: AssignmentMode::Plain,
             eps: GridOptions::default().eps,
             seed: 0,
             candidate_policy: CandidatePolicy::ProblemPool,
@@ -165,6 +212,11 @@ impl SolverConfig {
     /// The certain-solver strategy.
     pub fn strategy(&self) -> CertainStrategy {
         self.strategy
+    }
+
+    /// The assignment mode ([`AssignmentMode::Plain`] by default).
+    pub fn assignment(&self) -> AssignmentMode {
+        self.assignment
     }
 
     /// The grid solver's ε.
@@ -265,6 +317,14 @@ impl SolverConfigBuilder {
     /// Sets the certain-solver strategy.
     pub fn strategy(mut self, strategy: CertainStrategy) -> Self {
         self.config.strategy = strategy;
+        self
+    }
+
+    /// Sets the assignment mode. [`AssignmentMode::AdditivelyWeighted`]
+    /// requires the Gonzalez strategy on a Euclidean coordinate instance
+    /// (validated at solve time, where the problem's space is known).
+    pub fn assignment(mut self, assignment: AssignmentMode) -> Self {
+        self.config.assignment = assignment;
         self
     }
 
@@ -378,6 +438,20 @@ mod tests {
         assert_eq!(cfg.candidate_policy(), CandidatePolicy::LocationPool);
         assert!(!cfg.computes_lower_bound());
         assert_eq!(cfg.grid_options().eps, 0.125);
+    }
+
+    #[test]
+    fn assignment_mode_roundtrips_and_parses() {
+        assert_eq!(SolverConfig::default().assignment(), AssignmentMode::Plain);
+        let cfg = SolverConfig::builder()
+            .assignment(AssignmentMode::AdditivelyWeighted)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.assignment(), AssignmentMode::AdditivelyWeighted);
+        for mode in [AssignmentMode::Plain, AssignmentMode::AdditivelyWeighted] {
+            assert_eq!(AssignmentMode::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(AssignmentMode::parse("apollonius"), None);
     }
 
     #[test]

@@ -51,6 +51,14 @@ pub enum SolveError {
         /// Short name of the problem's space.
         space: &'static str,
     },
+    /// The additively-weighted assignment mode was combined with a
+    /// feature it does not support (it requires the Gonzalez strategy on
+    /// a continuous Euclidean coordinate instance).
+    WeightedUnsupported {
+        /// Short name of the unsupported feature ("strategy grid",
+        /// "discrete problems", ...).
+        feature: &'static str,
+    },
     /// The configured ε is not a positive finite number.
     BadEpsilon {
         /// The rejected value.
@@ -95,6 +103,12 @@ impl std::fmt::Display for SolveError {
                 write!(
                     f,
                     "certain solver {strategy} is not available in the {space} space"
+                )
+            }
+            SolveError::WeightedUnsupported { feature } => {
+                write!(
+                    f,
+                    "additively-weighted assignment does not support {feature}"
                 )
             }
             SolveError::BadEpsilon { eps } => {

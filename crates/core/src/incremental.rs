@@ -73,6 +73,7 @@ use ukc_uncertain::{
 fn warm_supported(problem: &Problem<Point>, config: &SolverConfig) -> Option<&'static str> {
     if config.rule() != AssignmentRule::ExpectedPoint
         || config.strategy() != CertainStrategy::Gonzalez
+        || config.assignment() != crate::config::AssignmentMode::Plain
     {
         return Some("config_unsupported");
     }

@@ -80,9 +80,14 @@ pub mod problem;
 pub mod report;
 pub mod solver;
 
-pub use assignments::{assign_ed, assign_ep, assign_oc, AssignmentRule, MetricAssignmentRule};
+pub use assignments::{
+    assign_ed, assign_ed_weighted, assign_ed_weighted_exec, assign_ep, assign_oc, AssignmentRule,
+    MetricAssignmentRule,
+};
 pub use bounds::{lower_bound_euclidean, lower_bound_metric, lower_bound_one_center};
-pub use config::{CandidatePolicy, CertainStrategy, SolverConfig, SolverConfigBuilder};
+pub use config::{
+    AssignmentMode, CandidatePolicy, CertainStrategy, SolverConfig, SolverConfigBuilder,
+};
 pub use digest::{digest_hex, digest_problem, digest_set};
 pub use error::SolveError;
 pub use incremental::{solve_loo, LooReport, LooVariant};

@@ -28,19 +28,23 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use crate::assignments::{assign_ed, assign_ed_exec, assign_oc, AssignmentRule};
-use crate::config::{CandidatePolicy, CertainStrategy, SolverConfig};
+use crate::assignments::{
+    assign_ed, assign_ed_exec, assign_ed_weighted_exec, assign_oc, AssignmentRule,
+};
+use crate::config::{AssignmentMode, CandidatePolicy, CertainStrategy, SolverConfig};
 use crate::error::SolveError;
 use crate::report::{CountingMetric, Report};
 use ukc_kcenter::{
-    exact_discrete_kcenter, gonzalez, grid_kcenter_exec, local_search_kcenter, KCenterSolution,
+    exact_discrete_kcenter, gonzalez, gonzalez_indices_weighted, grid_kcenter_exec,
+    kcenter_cost_weighted, local_search_kcenter, KCenterSolution,
 };
 use ukc_metric::{
     DistCounter, DistanceOracle, Euclidean, Metric, Point, PointId, PointStore, StoreOracle,
 };
 use ukc_pool::Exec;
 use ukc_uncertain::{
-    ecost_assigned, ecost_assigned_exec, one_center_discrete, UncertainPoint, UncertainSet,
+    ecost_assigned, ecost_assigned_exec, expected_spreads_exec, one_center_discrete,
+    UncertainPoint, UncertainSet,
 };
 
 /// A continuous space a [`Problem`] can live in: representative
@@ -511,10 +515,41 @@ pub(crate) fn solve_continuous<P: Clone>(
             space: space.name(),
         });
     }
+    if config.assignment() == AssignmentMode::AdditivelyWeighted {
+        // The weighted pipeline is defined for the Gonzalez strategy only:
+        // the other backends optimize the *unweighted* certain radius, so
+        // pairing them with weighted assignment would silently solve a
+        // different problem than they certify.
+        match config.strategy() {
+            CertainStrategy::Gonzalez => {}
+            CertainStrategy::GonzalezLocalSearch { .. } => {
+                return Err(SolveError::WeightedUnsupported {
+                    feature: "the gonzalez+local-search strategy",
+                })
+            }
+            CertainStrategy::Grid => {
+                return Err(SolveError::WeightedUnsupported {
+                    feature: "the grid strategy",
+                })
+            }
+            CertainStrategy::ExactDiscrete => {
+                return Err(SolveError::WeightedUnsupported {
+                    feature: "the exact-discrete strategy",
+                })
+            }
+        }
+    }
     // Coordinate-backed spaces take the structure-of-arrays kernel path;
     // everything else falls through to the pointwise metric pipeline.
     if let Some(solution) = solve_continuous_store(set, k, space, config)? {
         return Ok(solution);
+    }
+    if config.assignment() == AssignmentMode::AdditivelyWeighted {
+        // The weighted sweeps live in the batched kernel layer, so the
+        // pointwise fallback cannot serve this mode.
+        return Err(SolveError::WeightedUnsupported {
+            feature: "spaces without shared-dimension coordinates",
+        });
     }
     let counting = CountingMetric::new(space.metric());
     let t_total = Instant::now();
@@ -643,9 +678,14 @@ fn solve_continuous_store<P: Clone>(
     let counter = DistCounter::new();
     let kernel = config.kernel();
     let exec = Exec::auto(config.resolved_threads());
+    let weighted = config.assignment() == AssignmentMode::AdditivelyWeighted;
     let t_total = Instant::now();
+    let mut method = method_string(space.name(), rule, config.strategy());
+    if weighted {
+        method.push_str("/weighted");
+    }
     let mut report = Report {
-        method: method_string(space.name(), rule, config.strategy()),
+        method,
         ..Report::default()
     };
 
@@ -695,10 +735,31 @@ fn solve_continuous_store<P: Clone>(
     report.timings.representatives = t.elapsed();
     report.distance_evals.representatives = counter.count();
 
-    // Step 2: certain k-center on the representatives.
+    // Step 2: certain k-center on the representatives. The weighted mode
+    // first derives per-point expected spreads `wᵢ = E d(Pᵢ, repᵢ)`
+    // (through the counted oracle — they are metric evaluations), then
+    // runs the additively-weighted Gonzalez sweep; the chosen centers
+    // carry their source points' spreads into assignment and cost.
+    let mut center_weights: Option<Vec<f64>> = None;
     let evals_before = counter.count();
     let t = Instant::now();
     let certain: KCenterSolution<PointId> = match config.strategy() {
+        CertainStrategy::Gonzalez if weighted => {
+            let oracle = StoreOracle::new(&store, kernel)
+                .with_counter(&counter)
+                .with_exec(exec);
+            let spreads = expected_spreads_exec(&set_ids, &rep_ids, &oracle, exec);
+            let idx = gonzalez_indices_weighted(&rep_ids, &spreads, k, &oracle, 0);
+            let centers: Vec<PointId> = idx.iter().map(|&i| rep_ids[i]).collect();
+            let weights: Vec<f64> = idx.iter().map(|&i| spreads[i]).collect();
+            let radius = kcenter_cost_weighted(&rep_ids, &centers, &weights, &oracle);
+            center_weights = Some(weights);
+            KCenterSolution {
+                centers,
+                center_indices: idx,
+                radius,
+            }
+        }
         CertainStrategy::Gonzalez => {
             let oracle = StoreOracle::new(&store, kernel)
                 .with_counter(&counter)
@@ -766,19 +827,31 @@ fn solve_continuous_store<P: Clone>(
     // Step 3: assignment by the configured rule.
     let evals_before = counter.count();
     let t = Instant::now();
-    let assignment: Vec<usize> = match rule {
-        AssignmentRule::ExpectedDistance => {
+    let assignment: Vec<usize> = match (rule, &center_weights) {
+        (AssignmentRule::ExpectedDistance, None) => {
             assign_ed_exec(&set_ids, &certain.centers, &oracle, exec)
+        }
+        (AssignmentRule::ExpectedDistance, Some(w)) => {
+            assign_ed_weighted_exec(&set_ids, &certain.centers, w, &oracle, exec)
         }
         // For the EP rule the representatives *are* the expected points
         // `P̄ᵢ`, so the expected-point assignment is nearest-center per
         // representative (the coords_of contract requires this semantics).
-        AssignmentRule::ExpectedPoint => {
+        // The weighted mode compares centers by `d(repᵢ, c) − w_c`
+        // instead, through the same batched sweep shape.
+        (AssignmentRule::ExpectedPoint, None) => {
             let mut nearest = vec![(0usize, 0.0f64); rep_ids.len()];
             oracle.nearest_each(&rep_ids, &certain.centers, &mut nearest);
             nearest.into_iter().map(|(i, _)| i).collect()
         }
-        AssignmentRule::OneCenter => assign_oc(&set_ids, &certain.centers, &rep_ids, &oracle),
+        (AssignmentRule::ExpectedPoint, Some(w)) | (AssignmentRule::OneCenter, Some(w)) => {
+            let mut nearest = vec![(0usize, 0.0f64); rep_ids.len()];
+            oracle.nearest_each_weighted(&rep_ids, &certain.centers, w, &mut nearest);
+            nearest.into_iter().map(|(i, _)| i).collect()
+        }
+        (AssignmentRule::OneCenter, None) => {
+            assign_oc(&set_ids, &certain.centers, &rep_ids, &oracle)
+        }
     };
     report.distance_evals.assignment = counter.since(evals_before);
     let evals_before_cost = counter.count();
@@ -835,6 +908,11 @@ pub(crate) fn solve_discrete<P: Clone>(
         return Err(SolveError::StrategyUnsupported {
             strategy: "grid",
             space: "discrete",
+        });
+    }
+    if config.assignment() == AssignmentMode::AdditivelyWeighted {
+        return Err(SolveError::WeightedUnsupported {
+            feature: "discrete problems",
         });
     }
     if pool.is_empty() {

@@ -64,6 +64,54 @@ pub fn gonzalez_indices<P, M: DistanceOracle<P>>(
     centers
 }
 
+/// The additively-weighted (Apollonius) form of [`gonzalez_indices`]:
+/// `weights[i]` is the additive weight point `i` carries *when chosen as
+/// a center*, and the maintained coverage array holds weighted distances
+/// `min_c d(pᵢ, c) − w_c`. Each round picks the point with the largest
+/// weighted distance — the point least covered once every center's
+/// weight is credited — and stops early when every weighted distance has
+/// reached zero (all points inside some center's weighted cell).
+///
+/// With all-zero weights this is exactly [`gonzalez_indices`], operation
+/// for operation, which the weighted-equivalence suite pins.
+///
+/// # Panics
+/// Panics if `points` is empty, `k == 0`, `start` is out of range, or
+/// `weights` and `points` differ in length.
+pub fn gonzalez_indices_weighted<P, M: DistanceOracle<P>>(
+    points: &[P],
+    weights: &[f64],
+    k: usize,
+    metric: &M,
+    start: usize,
+) -> Vec<usize> {
+    assert!(!points.is_empty(), "gonzalez requires at least one point");
+    assert!(k > 0, "gonzalez requires k >= 1");
+    assert!(start < points.len(), "start index out of range");
+    assert_eq!(points.len(), weights.len(), "one weight per point required");
+    let n = points.len();
+    let k = k.min(n);
+    let mut centers = Vec::with_capacity(k);
+    centers.push(start);
+    let mut dist = vec![f64::INFINITY; n];
+    metric.dists_to_set_min_weighted(points, &points[start], weights[start], &mut dist);
+    while centers.len() < k {
+        let (far, far_d) = dist
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("non-empty");
+        if far_d <= 0.0 {
+            // Every point already sits inside some center's weighted cell.
+            break;
+        }
+        centers.push(far);
+        metric.dists_to_set_min_weighted(points, &points[far], weights[far], &mut dist);
+    }
+    centers
+}
+
 /// Runs Gonzalez's greedy algorithm and materializes the full
 /// [`KCenterSolution`] (centers, their indices, and the resulting radius).
 ///
@@ -190,6 +238,45 @@ mod tests {
     fn zero_k_panics() {
         let pts = line(3);
         let _ = gonzalez(&pts, 0, &Euclidean, 0);
+    }
+
+    #[test]
+    fn weighted_gonzalez_with_zero_weights_matches_plain() {
+        let pts = line(17);
+        let zeros = vec![0.0; pts.len()];
+        for (k, start) in [(1, 0), (3, 5), (5, 16)] {
+            assert_eq!(
+                gonzalez_indices_weighted(&pts, &zeros, k, &Euclidean, start),
+                gonzalez_indices(&pts, k, &Euclidean, start),
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_gonzalez_stops_once_weights_cover_everything() {
+        // Every point is within weight 100 of the start center, so the
+        // weighted farthest distance is negative after one pick.
+        let pts = line(9);
+        let weights = vec![100.0; pts.len()];
+        let idx = gonzalez_indices_weighted(&pts, &weights, 5, &Euclidean, 0);
+        assert_eq!(idx, vec![0]);
+    }
+
+    #[test]
+    fn weighted_gonzalez_prefers_weight_uncovered_points() {
+        // Points 0..4 tight, point 4 remote; a big weight on index 0
+        // covers the tight group, so the second pick must be the remote
+        // point regardless of raw distance ordering.
+        let pts = vec![
+            Point::scalar(0.0),
+            Point::scalar(0.1),
+            Point::scalar(0.2),
+            Point::scalar(0.3),
+            Point::scalar(50.0),
+        ];
+        let weights = vec![1.0, 0.0, 0.0, 0.0, 0.0];
+        let idx = gonzalez_indices_weighted(&pts, &weights, 2, &Euclidean, 0);
+        assert_eq!(idx, vec![0, 4]);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod local_search;
 pub mod one_d;
 
 pub use exact::{exact_discrete_kcenter, ExactOptions};
-pub use gonzalez::{gonzalez, gonzalez_indices, KCenterSolution};
+pub use gonzalez::{gonzalez, gonzalez_indices, gonzalez_indices_weighted, KCenterSolution};
 pub use grid::{grid_kcenter, grid_kcenter_exec, GridOptions};
 pub use local_search::local_search_kcenter;
 pub use one_d::one_d_kcenter;
@@ -61,6 +61,30 @@ pub fn kcenter_cost<P, M: DistanceOracle<P>>(points: &[P], centers: &[P], metric
     }
     let mut min_dist = vec![f64::INFINITY; points.len()];
     metric.dists_to_centers_min(points, centers, &mut min_dist);
+    min_dist.into_iter().fold(0.0, f64::max)
+}
+
+/// The additively-weighted k-center cost:
+/// `max_i min_c (d(pᵢ, c) − w_c)`, clamped below at zero (a point inside
+/// some center's weighted cell contributes no cost).
+///
+/// Returns 0 for an empty point set and `+∞` for an empty center set over
+/// a non-empty point set. With all-zero weights this equals
+/// [`kcenter_cost`].
+///
+/// # Panics
+/// Panics when `weights` and `centers` differ in length.
+pub fn kcenter_cost_weighted<P, M: DistanceOracle<P>>(
+    points: &[P],
+    centers: &[P],
+    weights: &[f64],
+    metric: &M,
+) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let mut min_dist = vec![f64::INFINITY; points.len()];
+    metric.dists_to_centers_min_weighted(points, centers, weights, &mut min_dist);
     min_dist.into_iter().fold(0.0, f64::max)
 }
 

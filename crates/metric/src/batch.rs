@@ -1231,6 +1231,700 @@ fn nearest_each_tiled<T: tile::Coord>(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Weighted (Apollonius) sweeps: additively-weighted nearest-center geometry.
+//
+// Every routine below is the `d(p, cᵢ) − wᵢ` form of its unweighted
+// sibling: each center carries an additive weight subtracted from the
+// Euclidean distance, which turns nearest-center cells from a Voronoi
+// into an Apollonius diagram. The factorized kernels stay in squared
+// space through the *threshold* comparison
+//
+//   d − w < m   ⟺   d < m + w   ⟺   d² < (m + w)²  when  m + w > 0,
+//
+// and a (non-negative) distance can never undercut a non-positive
+// threshold, so the guard `t > 0.0 && nd_sq < t·t` is exact. At `w = 0`
+// the threshold is the running minimum itself and every comparison and
+// write degenerates to the plain sweep's operation sequence — the
+// weighted path is bit-identical to the unweighted one, which
+// `tests/weighted_equivalence.rs` pins for all three kernels and both
+// storage modes. The same one-accumulator-ascending-dim per-pair dot,
+// +∞-padded panel columns (their `nd_sq` is +∞ and can never pass a
+// strict `<`), lowest-index tie-breaking, and one-eval-per-pair
+// instrumentation contract all carry over unchanged.
+// ---------------------------------------------------------------------------
+
+/// Tightens a running *weighted* minimum against a new center carrying
+/// additive weight `w`:
+/// `min_dist[i] = min(min_dist[i], d(points[i], center) − w)` — the
+/// Apollonius form of [`dists_to_set_min`], and the inner loop of the
+/// weighted Gonzalez sweep. `min_dist` holds weighted distances (which
+/// may be negative once a weight exceeds a distance).
+///
+/// # Panics
+/// Panics when `min_dist` is shorter than `points`.
+pub fn dists_to_set_min_weighted(
+    store: &PointStore,
+    points: &[PointId],
+    center: PointId,
+    w: f64,
+    kernel: Kernel,
+    min_dist: &mut [f64],
+) {
+    assert!(min_dist.len() >= points.len(), "min-dist buffer too small");
+    dists_to_set_min_weighted_resolved(
+        store,
+        points,
+        center,
+        w,
+        kernel.dispatch(points.len(), store.dim()),
+        min_dist,
+    );
+}
+
+/// [`dists_to_set_min_weighted`] after dispatch (see
+/// [`dists_to_one_resolved`]).
+fn dists_to_set_min_weighted_resolved(
+    store: &PointStore,
+    points: &[PointId],
+    center: PointId,
+    w: f64,
+    kernel: Kernel,
+    min_dist: &mut [f64],
+) {
+    match kernel {
+        Kernel::Scalar => {
+            let cc = store.coords(center);
+            for (p, d) in points.iter().zip(min_dist.iter_mut()) {
+                let nd = dist_sq_scalar(store.coords(*p), cc).sqrt() - w;
+                if nd < *d {
+                    *d = nd;
+                }
+            }
+        }
+        Kernel::Blocked => {
+            // Threshold comparison in squared space: the sqrt runs only on
+            // an actual improvement, exactly like the plain sweep.
+            let cc = store.coords(center);
+            let cn = store.norm_sq(center);
+            for (p, d) in points.iter().zip(min_dist.iter_mut()) {
+                let nd_sq = dist_sq_blocked(store.coords(*p), store.norm_sq(*p), cc, cn);
+                let t = *d + w;
+                if t > 0.0 && nd_sq < t * t {
+                    *d = nd_sq.sqrt() - w;
+                }
+            }
+        }
+        Kernel::Tiled => {
+            if let Some(v) = tiled_view_f32(store) {
+                dists_to_set_min_weighted_tiled(&v, points, center, w, min_dist);
+            } else {
+                dists_to_set_min_weighted_tiled(
+                    &tiled_view_f64(store),
+                    points,
+                    center,
+                    w,
+                    min_dist,
+                );
+            }
+        }
+    }
+}
+
+fn dists_to_set_min_weighted_tiled<T: tile::Coord>(
+    v: &TiledView<'_, T>,
+    points: &[PointId],
+    center: PointId,
+    w: f64,
+    min_dist: &mut [f64],
+) {
+    let cc = v.row(center);
+    let cn = v.norm_sq(center);
+    let mut blocks = points.chunks_exact(tile::TILE_POINTS);
+    let mut i = 0;
+    for blk in &mut blocks {
+        let rows = [v.row(blk[0]), v.row(blk[1]), v.row(blk[2]), v.row(blk[3])];
+        let dots = tile::dots_x4_one(rows, cc);
+        for p in 0..tile::TILE_POINTS {
+            let nd_sq = ((v.norm_sq(blk[p]) + cn) - 2.0 * dots[p]).max(0.0);
+            let d = &mut min_dist[i + p];
+            let t = *d + w;
+            if t > 0.0 && nd_sq < t * t {
+                *d = nd_sq.sqrt() - w;
+            }
+        }
+        i += tile::TILE_POINTS;
+    }
+    for &id in blocks.remainder() {
+        let nd_sq = ((v.norm_sq(id) + cn) - 2.0 * tile::dot_seq(v.row(id), cc)).max(0.0);
+        let d = &mut min_dist[i];
+        let t = *d + w;
+        if t > 0.0 && nd_sq < t * t {
+            *d = nd_sq.sqrt() - w;
+        }
+        i += 1;
+    }
+}
+
+/// Parallel [`dists_to_set_min_weighted`]: block-parallel over
+/// [`PAR_CHUNK`]-row blocks, elementwise like [`par_dists_to_set_min`],
+/// so bit-identical across every [`Exec`].
+///
+/// # Panics
+/// Panics when `min_dist` is shorter than `points`.
+pub fn par_dists_to_set_min_weighted(
+    store: &PointStore,
+    points: &[PointId],
+    center: PointId,
+    w: f64,
+    kernel: Kernel,
+    exec: Exec<'_>,
+    min_dist: &mut [f64],
+) {
+    assert!(min_dist.len() >= points.len(), "min-dist buffer too small");
+    let kernel = kernel.dispatch(points.len(), store.dim());
+    if !exec.is_parallel() || points.len() < PAR_MIN_POINTS {
+        return dists_to_set_min_weighted_resolved(store, points, center, w, kernel, min_dist);
+    }
+    ukc_pool::for_each_slice(
+        exec,
+        &mut min_dist[..points.len()],
+        PAR_CHUNK,
+        |start, slice| {
+            dists_to_set_min_weighted_resolved(
+                store,
+                &points[start..start + slice.len()],
+                center,
+                w,
+                kernel,
+                slice,
+            );
+        },
+    );
+}
+
+/// Index (into `centers`) and *weighted* distance `d(q, cᵢ) − wᵢ` of the
+/// weighted-nearest center, ties broken toward the lower index; `None`
+/// for an empty center set.
+///
+/// # Panics
+/// Panics when `weights` and `centers` differ in length.
+pub fn nearest_center_weighted(
+    store: &PointStore,
+    centers: &[PointId],
+    weights: &[f64],
+    q: PointId,
+    kernel: Kernel,
+) -> Option<(usize, f64)> {
+    nearest_center_weighted_resolved(
+        store,
+        centers,
+        weights,
+        q,
+        kernel.dispatch(centers.len(), store.dim()),
+    )
+}
+
+/// [`nearest_center_weighted`] after dispatch (see
+/// [`dists_to_one_resolved`]).
+fn nearest_center_weighted_resolved(
+    store: &PointStore,
+    centers: &[PointId],
+    weights: &[f64],
+    q: PointId,
+    kernel: Kernel,
+) -> Option<(usize, f64)> {
+    assert_eq!(
+        centers.len(),
+        weights.len(),
+        "one weight per center required"
+    );
+    match kernel {
+        Kernel::Scalar => {
+            let qc = store.coords(q);
+            let mut best: Option<(usize, f64)> = None;
+            for (i, c) in centers.iter().enumerate() {
+                let d = dist_sq_scalar(store.coords(*c), qc).sqrt() - weights[i];
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((i, d));
+                }
+            }
+            best
+        }
+        Kernel::Blocked => {
+            // The running best is a weighted distance; candidates screen
+            // in squared space through the threshold `best + wᵢ`, paying
+            // a sqrt only past the screen. The screen is conservative
+            // (`<=`): `(d − w) + w` can round *above* `d`, so a strict
+            // squared test could re-take an exactly tied center and break
+            // lowest-index tie-breaking — the exact decision is the
+            // strict `<` on the weighted distance itself.
+            let qc = store.coords(q);
+            let qn = store.norm_sq(q);
+            let mut best: Option<(usize, f64)> = None;
+            for (i, c) in centers.iter().enumerate() {
+                let d_sq = dist_sq_blocked(store.coords(*c), store.norm_sq(*c), qc, qn);
+                match best {
+                    None => best = Some((i, d_sq.sqrt() - weights[i])),
+                    Some((_, bd)) => {
+                        let t = bd + weights[i];
+                        if t > 0.0 && d_sq <= t * t {
+                            let nd = d_sq.sqrt() - weights[i];
+                            if nd < bd {
+                                best = Some((i, nd));
+                            }
+                        }
+                    }
+                }
+            }
+            best
+        }
+        Kernel::Tiled => {
+            if let Some(v) = tiled_view_f32(store) {
+                nearest_center_weighted_tiled(&v, centers, weights, q)
+            } else {
+                nearest_center_weighted_tiled(&tiled_view_f64(store), centers, weights, q)
+            }
+        }
+    }
+}
+
+fn nearest_center_weighted_tiled<T: tile::Coord>(
+    v: &TiledView<'_, T>,
+    centers: &[PointId],
+    weights: &[f64],
+    q: PointId,
+) -> Option<(usize, f64)> {
+    let qr = v.row(q);
+    let qn = v.norm_sq(q);
+    let mut best: Option<(usize, f64)> = None;
+    for (i, c) in centers.iter().enumerate() {
+        let d_sq = ((v.norm_sq(*c) + qn) - 2.0 * tile::dot_seq(v.row(*c), qr)).max(0.0);
+        match best {
+            None => best = Some((i, d_sq.sqrt() - weights[i])),
+            Some((_, bd)) => {
+                // Conservative squared-space screen, exact linear-space
+                // decision (see the Blocked arm of
+                // `nearest_center_weighted_resolved`).
+                let t = bd + weights[i];
+                if t > 0.0 && d_sq <= t * t {
+                    let nd = d_sq.sqrt() - weights[i];
+                    if nd < bd {
+                        best = Some((i, nd));
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Parallel [`nearest_center_weighted`] over a large center set:
+/// per-chunk winners fold **in chunk-index order** with a strict `<` on
+/// the weighted distance, preserving first-wins tie-breaking. Chunking
+/// engages purely by size, never by [`Exec`], so `threads = 1` and
+/// `threads = N` agree bit for bit.
+///
+/// # Panics
+/// Panics when `weights` and `centers` differ in length.
+pub fn par_nearest_center_weighted(
+    store: &PointStore,
+    centers: &[PointId],
+    weights: &[f64],
+    q: PointId,
+    kernel: Kernel,
+    exec: Exec<'_>,
+) -> Option<(usize, f64)> {
+    assert_eq!(
+        centers.len(),
+        weights.len(),
+        "one weight per center required"
+    );
+    let kernel = kernel.dispatch(centers.len(), store.dim());
+    if centers.len() < PAR_MIN_POINTS {
+        return nearest_center_weighted_resolved(store, centers, weights, q, kernel);
+    }
+    let partials = ukc_pool::map_chunks(exec, centers.len(), PAR_CHUNK, |r| {
+        nearest_center_weighted_resolved(store, &centers[r.clone()], &weights[r.clone()], q, kernel)
+            .map(|(i, d)| (i + r.start, d))
+    });
+    let mut best: Option<(usize, f64)> = None;
+    for p in partials.into_iter().flatten() {
+        if best.is_none_or(|(_, bd)| p.1 < bd) {
+            best = Some(p);
+        }
+    }
+    best
+}
+
+/// Weighted [`dists_to_centers_min`]:
+/// `min_dist[i] = min(min_dist[i], min_c d(points[i], cᵢ) − wᵢ)`.
+///
+/// Unlike the plain fused sweep, the weighted tiled path applies the
+/// per-center threshold update in ascending center order inside one
+/// streaming pass, so it is **bit-identical** to `centers.len()` passes
+/// of [`dists_to_set_min_weighted`] under the same resolved kernel.
+///
+/// # Panics
+/// Panics when `min_dist` is shorter than `points`, or when `weights`
+/// and `centers` differ in length.
+pub fn dists_to_centers_min_weighted(
+    store: &PointStore,
+    points: &[PointId],
+    centers: &[PointId],
+    weights: &[f64],
+    kernel: Kernel,
+    min_dist: &mut [f64],
+) {
+    par_dists_to_centers_min_weighted(
+        store,
+        points,
+        centers,
+        weights,
+        kernel,
+        Exec::sequential(),
+        min_dist,
+    );
+}
+
+/// Parallel [`dists_to_centers_min_weighted`]: the tiled path packs
+/// panels once and chunks the points; each point's center loop runs
+/// entirely inside one chunk, so results are bit-identical for every
+/// [`Exec`].
+///
+/// # Panics
+/// Panics when `min_dist` is shorter than `points`, or when `weights`
+/// and `centers` differ in length.
+pub fn par_dists_to_centers_min_weighted(
+    store: &PointStore,
+    points: &[PointId],
+    centers: &[PointId],
+    weights: &[f64],
+    kernel: Kernel,
+    exec: Exec<'_>,
+    min_dist: &mut [f64],
+) {
+    assert!(min_dist.len() >= points.len(), "min-dist buffer too small");
+    assert_eq!(
+        centers.len(),
+        weights.len(),
+        "one weight per center required"
+    );
+    let work = points.len().saturating_mul(centers.len());
+    match kernel.dispatch(work, store.dim()) {
+        Kernel::Tiled => {
+            if let Some(v) = tiled_view_f32(store) {
+                par_centers_min_weighted_tiled(&v, points, centers, weights, exec, min_dist);
+            } else {
+                par_centers_min_weighted_tiled(
+                    &tiled_view_f64(store),
+                    points,
+                    centers,
+                    weights,
+                    exec,
+                    min_dist,
+                );
+            }
+        }
+        kernel => {
+            for (c, w) in centers.iter().zip(weights) {
+                par_dists_to_set_min_weighted(store, points, *c, *w, kernel, exec, min_dist);
+            }
+        }
+    }
+}
+
+/// Weights re-laid to panel slots: pad columns get `0.0`, which is
+/// harmless — their `+∞` norms already make every padded `nd_sq` `+∞`,
+/// and `+∞` never passes a strict `<` threshold test.
+fn pad_weights(weights: &[f64], panels: &tile::CenterPanels) -> Vec<f64> {
+    let mut padded = vec![0.0; panels.n_panels() * tile::TILE_CENTERS];
+    padded[..weights.len()].copy_from_slice(weights);
+    padded
+}
+
+fn par_centers_min_weighted_tiled<T: tile::Coord>(
+    v: &TiledView<'_, T>,
+    points: &[PointId],
+    centers: &[PointId],
+    weights: &[f64],
+    exec: Exec<'_>,
+    min_dist: &mut [f64],
+) {
+    let panels = pack_panels(v, centers);
+    let wpad = pad_weights(weights, &panels);
+    if !exec.is_parallel() || points.len() < PAR_MIN_POINTS {
+        return dists_to_centers_min_weighted_tiled(v, points, &panels, &wpad, min_dist);
+    }
+    ukc_pool::for_each_slice(
+        exec,
+        &mut min_dist[..points.len()],
+        PAR_CHUNK,
+        |start, slice| {
+            dists_to_centers_min_weighted_tiled(
+                v,
+                &points[start..start + slice.len()],
+                &panels,
+                &wpad,
+                slice,
+            );
+        },
+    );
+}
+
+fn dists_to_centers_min_weighted_tiled<T: tile::Coord>(
+    v: &TiledView<'_, T>,
+    points: &[PointId],
+    panels: &tile::CenterPanels,
+    wpad: &[f64],
+    min_dist: &mut [f64],
+) {
+    if panels.is_empty() {
+        return;
+    }
+    let mut blocks = points.chunks_exact(tile::TILE_POINTS);
+    let mut i = 0;
+    for blk in &mut blocks {
+        let rows = [v.row(blk[0]), v.row(blk[1]), v.row(blk[2]), v.row(blk[3])];
+        let norms = [
+            v.norm_sq(blk[0]),
+            v.norm_sq(blk[1]),
+            v.norm_sq(blk[2]),
+            v.norm_sq(blk[3]),
+        ];
+        for g in 0..panels.n_panels() {
+            let dots = tile::dots_x4_panel(rows, panels.panel_coords(g));
+            let cn = panels.panel_norms_sq(g);
+            let cw = &wpad[g * tile::TILE_CENTERS..(g + 1) * tile::TILE_CENTERS];
+            for p in 0..tile::TILE_POINTS {
+                let d = &mut min_dist[i + p];
+                for c in 0..tile::TILE_CENTERS {
+                    let nd_sq = ((norms[p] + cn[c]) - 2.0 * dots[p][c]).max(0.0);
+                    let t = *d + cw[c];
+                    if t > 0.0 && nd_sq < t * t {
+                        *d = nd_sq.sqrt() - cw[c];
+                    }
+                }
+            }
+        }
+        i += tile::TILE_POINTS;
+    }
+    for &id in blocks.remainder() {
+        let row = v.row(id);
+        let n = v.norm_sq(id);
+        let d = &mut min_dist[i];
+        for g in 0..panels.n_panels() {
+            let dots = tile::dot_panel(row, panels.panel_coords(g));
+            let cn = panels.panel_norms_sq(g);
+            let cw = &wpad[g * tile::TILE_CENTERS..(g + 1) * tile::TILE_CENTERS];
+            for c in 0..tile::TILE_CENTERS {
+                let nd_sq = ((n + cn[c]) - 2.0 * dots[c]).max(0.0);
+                let t = *d + cw[c];
+                if t > 0.0 && nd_sq < t * t {
+                    *d = nd_sq.sqrt() - cw[c];
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Weighted [`nearest_center_each`]: fills `out[i]` with the index and
+/// weighted distance of the weighted-nearest center of `points[i]`, ties
+/// toward the lower index.
+///
+/// # Panics
+/// Panics when `out` is shorter than `points`, when `weights` and
+/// `centers` differ in length, or when `centers` is empty while `points`
+/// is not.
+pub fn nearest_center_each_weighted(
+    store: &PointStore,
+    points: &[PointId],
+    centers: &[PointId],
+    weights: &[f64],
+    kernel: Kernel,
+    out: &mut [(usize, f64)],
+) {
+    par_nearest_center_each_weighted(
+        store,
+        points,
+        centers,
+        weights,
+        kernel,
+        Exec::sequential(),
+        out,
+    );
+}
+
+/// Parallel [`nearest_center_each_weighted`]: chunks the queries;
+/// per-query work never crosses a chunk, so results are bit-identical
+/// for every [`Exec`].
+///
+/// # Panics
+/// Panics when `out` is shorter than `points`, when `weights` and
+/// `centers` differ in length, or when `centers` is empty while `points`
+/// is not.
+pub fn par_nearest_center_each_weighted(
+    store: &PointStore,
+    points: &[PointId],
+    centers: &[PointId],
+    weights: &[f64],
+    kernel: Kernel,
+    exec: Exec<'_>,
+    out: &mut [(usize, f64)],
+) {
+    assert!(out.len() >= points.len(), "output buffer too small");
+    assert_eq!(
+        centers.len(),
+        weights.len(),
+        "one weight per center required"
+    );
+    if points.is_empty() {
+        return;
+    }
+    assert!(
+        !centers.is_empty(),
+        "nearest_center_each_weighted requires at least one center"
+    );
+    let work = points.len().saturating_mul(centers.len());
+    match kernel.dispatch(work, store.dim()) {
+        Kernel::Tiled => {
+            if let Some(v) = tiled_view_f32(store) {
+                par_nearest_each_weighted_tiled(&v, points, centers, weights, exec, out);
+            } else {
+                par_nearest_each_weighted_tiled(
+                    &tiled_view_f64(store),
+                    points,
+                    centers,
+                    weights,
+                    exec,
+                    out,
+                );
+            }
+        }
+        kernel => {
+            let per_query = |start: usize, slice: &mut [(usize, f64)]| {
+                for (q, o) in points[start..start + slice.len()].iter().zip(slice) {
+                    *o = par_nearest_center_weighted(
+                        store,
+                        centers,
+                        weights,
+                        *q,
+                        kernel,
+                        Exec::sequential(),
+                    )
+                    .expect("non-empty centers");
+                }
+            };
+            if !exec.is_parallel() || points.len() < PAR_MIN_POINTS {
+                per_query(0, &mut out[..points.len()]);
+            } else {
+                ukc_pool::for_each_slice(exec, &mut out[..points.len()], PAR_CHUNK, per_query);
+            }
+        }
+    }
+}
+
+fn par_nearest_each_weighted_tiled<T: tile::Coord>(
+    v: &TiledView<'_, T>,
+    points: &[PointId],
+    centers: &[PointId],
+    weights: &[f64],
+    exec: Exec<'_>,
+    out: &mut [(usize, f64)],
+) {
+    let panels = pack_panels(v, centers);
+    let wpad = pad_weights(weights, &panels);
+    if !exec.is_parallel() || points.len() < PAR_MIN_POINTS {
+        return nearest_each_weighted_tiled(v, points, &panels, &wpad, out);
+    }
+    ukc_pool::for_each_slice(exec, &mut out[..points.len()], PAR_CHUNK, |start, slice| {
+        nearest_each_weighted_tiled(
+            v,
+            &points[start..start + slice.len()],
+            &panels,
+            &wpad,
+            slice,
+        );
+    });
+}
+
+fn nearest_each_weighted_tiled<T: tile::Coord>(
+    v: &TiledView<'_, T>,
+    points: &[PointId],
+    panels: &tile::CenterPanels,
+    wpad: &[f64],
+    out: &mut [(usize, f64)],
+) {
+    debug_assert!(!panels.is_empty());
+    let mut blocks = points.chunks_exact(tile::TILE_POINTS);
+    let mut i = 0;
+    for blk in &mut blocks {
+        let rows = [v.row(blk[0]), v.row(blk[1]), v.row(blk[2]), v.row(blk[3])];
+        let norms = [
+            v.norm_sq(blk[0]),
+            v.norm_sq(blk[1]),
+            v.norm_sq(blk[2]),
+            v.norm_sq(blk[3]),
+        ];
+        let mut best = [f64::INFINITY; tile::TILE_POINTS];
+        let mut best_idx = [0usize; tile::TILE_POINTS];
+        for g in 0..panels.n_panels() {
+            let dots = tile::dots_x4_panel(rows, panels.panel_coords(g));
+            let cn = panels.panel_norms_sq(g);
+            let cw = &wpad[g * tile::TILE_CENTERS..(g + 1) * tile::TILE_CENTERS];
+            for p in 0..tile::TILE_POINTS {
+                for c in 0..tile::TILE_CENTERS {
+                    let nd_sq = ((norms[p] + cn[c]) - 2.0 * dots[p][c]).max(0.0);
+                    // Conservative squared-space screen over ascending
+                    // center index, exact strict `<` on the weighted
+                    // distance itself: `(d − w) + w` can round above
+                    // `d`, so a purely squared test could re-take an
+                    // exactly tied center and break lowest-index
+                    // tie-breaking. Padded (+∞) columns never pass the
+                    // linear test.
+                    let t = best[p] + cw[c];
+                    if t > 0.0 && nd_sq <= t * t {
+                        let nd = nd_sq.sqrt() - cw[c];
+                        if nd < best[p] {
+                            best[p] = nd;
+                            best_idx[p] = g * tile::TILE_CENTERS + c;
+                        }
+                    }
+                }
+            }
+        }
+        for p in 0..tile::TILE_POINTS {
+            out[i + p] = (best_idx[p], best[p]);
+        }
+        i += tile::TILE_POINTS;
+    }
+    for &id in blocks.remainder() {
+        let row = v.row(id);
+        let n = v.norm_sq(id);
+        let mut best = f64::INFINITY;
+        let mut best_idx = 0usize;
+        for g in 0..panels.n_panels() {
+            let dots = tile::dot_panel(row, panels.panel_coords(g));
+            let cn = panels.panel_norms_sq(g);
+            let cw = &wpad[g * tile::TILE_CENTERS..(g + 1) * tile::TILE_CENTERS];
+            for c in 0..tile::TILE_CENTERS {
+                let nd_sq = ((n + cn[c]) - 2.0 * dots[c]).max(0.0);
+                let t = best + cw[c];
+                if t > 0.0 && nd_sq <= t * t {
+                    let nd = nd_sq.sqrt() - cw[c];
+                    if nd < best {
+                        best = nd;
+                        best_idx = g * tile::TILE_CENTERS + c;
+                    }
+                }
+            }
+        }
+        out[i] = (best_idx, best);
+        i += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1590,6 +2284,147 @@ mod tests {
                 assert_eq!(a.0, b.0, "{kernel:?}");
                 assert_eq!(a.1.to_bits(), b.1.to_bits(), "{kernel:?}");
             }
+        }
+    }
+
+    #[test]
+    fn weighted_sweeps_at_zero_weight_match_plain_bitwise() {
+        let s = store(41, 317, 9);
+        let ids = s.ids();
+        let centers: Vec<PointId> = (0..7).map(|i| PointId(i * 41)).collect();
+        let zeros = vec![0.0; centers.len()];
+        for kernel in Kernel::ALL {
+            let mut plain = vec![f64::INFINITY; ids.len()];
+            let mut weighted = vec![f64::INFINITY; ids.len()];
+            for c in &centers {
+                dists_to_set_min(&s, &ids, *c, kernel, &mut plain);
+                dists_to_set_min_weighted(&s, &ids, *c, 0.0, kernel, &mut weighted);
+            }
+            for (a, b) in plain.iter().zip(&weighted) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{kernel:?}");
+            }
+            for q in [PointId(0), PointId(100), PointId(316)] {
+                let p = nearest_center(&s, &centers, q, kernel).unwrap();
+                let w = nearest_center_weighted(&s, &centers, &zeros, q, kernel).unwrap();
+                assert_eq!(p.0, w.0, "{kernel:?}");
+                assert_eq!(p.1.to_bits(), w.1.to_bits(), "{kernel:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_nearest_subtracts_weight_and_can_flip_winner() {
+        // Two centers at x = ±1; the origin ties toward index 0 when
+        // unweighted, but a weight on center 1 pulls the query into its
+        // Apollonius cell.
+        let pts = vec![
+            Point::new(vec![1.0, 0.0]),
+            Point::new(vec![-1.0, 0.0]),
+            Point::new(vec![0.0, 0.0]),
+        ];
+        let s = PointStore::from_points(&pts);
+        let centers = [PointId(0), PointId(1)];
+        for kernel in Kernel::ALL {
+            let (idx, d) =
+                nearest_center_weighted(&s, &centers, &[0.0, 0.5], PointId(2), kernel).unwrap();
+            assert_eq!(idx, 1, "{kernel:?}");
+            assert!((d - 0.5).abs() < 1e-12, "{kernel:?}");
+            // Equal weights keep the tie on the lowest index.
+            let (idx, d) =
+                nearest_center_weighted(&s, &centers, &[0.25, 0.25], PointId(2), kernel).unwrap();
+            assert_eq!(idx, 0, "{kernel:?}");
+            assert!((d - 0.75).abs() < 1e-12, "{kernel:?}");
+        }
+        assert!(nearest_center_weighted(&s, &[], &[], PointId(2), Kernel::Scalar).is_none());
+    }
+
+    #[test]
+    fn weighted_fused_sweeps_match_per_center_and_per_query_reference() {
+        let s = store(53, 203, 6);
+        let ids = s.ids();
+        let centers: Vec<PointId> = (0..6).map(|i| PointId(i * 31)).collect();
+        let weights: Vec<f64> = (0..6).map(|i| i as f64 * 0.17).collect();
+        for kernel in Kernel::ALL {
+            let mut reference = vec![f64::INFINITY; ids.len()];
+            for (c, w) in centers.iter().zip(&weights) {
+                dists_to_set_min_weighted(&s, &ids, *c, *w, kernel, &mut reference);
+            }
+            let mut fused = vec![f64::INFINITY; ids.len()];
+            dists_to_centers_min_weighted(&s, &ids, &centers, &weights, kernel, &mut fused);
+            for (a, b) in reference.iter().zip(&fused) {
+                assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()), "{kernel:?}");
+            }
+
+            let mut each = vec![(0usize, 0.0f64); ids.len()];
+            nearest_center_each_weighted(&s, &ids, &centers, &weights, kernel, &mut each);
+            for (q, got) in ids.iter().zip(&each) {
+                let want = nearest_center_weighted(&s, &centers, &weights, *q, kernel).unwrap();
+                assert_eq!(got.0, want.0, "{kernel:?}");
+                assert!(
+                    (got.1 - want.1).abs() < 1e-9 * (1.0 + want.1.abs()),
+                    "{kernel:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn par_weighted_sweeps_match_sequential_bitwise() {
+        let s = store(61, 2 * PAR_MIN_POINTS + 17, 7);
+        let ids = s.ids();
+        let centers: Vec<PointId> = (0..9).map(|i| PointId(i * 117)).collect();
+        let weights: Vec<f64> = (0..9).map(|i| i as f64 * 0.09).collect();
+        let pool = ukc_pool::Pool::new(3);
+        let exec = Exec::pooled(&pool, 3);
+        for kernel in Kernel::ALL {
+            let mut seq = vec![f64::INFINITY; ids.len()];
+            let mut par = vec![f64::INFINITY; ids.len()];
+            for (c, w) in centers.iter().zip(&weights) {
+                dists_to_set_min_weighted(&s, &ids, *c, *w, kernel, &mut seq);
+                par_dists_to_set_min_weighted(&s, &ids, *c, *w, kernel, exec, &mut par);
+            }
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{kernel:?}");
+            }
+
+            let mut seq = vec![f64::INFINITY; ids.len()];
+            dists_to_centers_min_weighted(&s, &ids, &centers, &weights, kernel, &mut seq);
+            let mut par = vec![f64::INFINITY; ids.len()];
+            par_dists_to_centers_min_weighted(&s, &ids, &centers, &weights, kernel, exec, &mut par);
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{kernel:?}");
+            }
+
+            let mut seq = vec![(0usize, 0.0f64); ids.len()];
+            nearest_center_each_weighted(&s, &ids, &centers, &weights, kernel, &mut seq);
+            let mut par = vec![(0usize, 0.0f64); ids.len()];
+            par_nearest_center_each_weighted(&s, &ids, &centers, &weights, kernel, exec, &mut par);
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.0, b.0, "{kernel:?}");
+                assert_eq!(a.1.to_bits(), b.1.to_bits(), "{kernel:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_tiled_pad_columns_never_win() {
+        // 5 centers → one padded panel slot; crank every real weight high
+        // so a buggy pad column (weight 0, distance +∞) would be the only
+        // survivor if the +∞ guard failed.
+        let s = store(71, 40, 5);
+        let ids = s.ids();
+        let centers: Vec<PointId> = (0..5).map(PointId).collect();
+        let weights = vec![1e6; 5];
+        let mut each = vec![(0usize, 0.0f64); ids.len()];
+        let v = tiled_view_f64(&s);
+        let panels = pack_panels(&v, &centers);
+        let wpad = pad_weights(&weights, &panels);
+        assert_eq!(wpad.len(), 8);
+        assert!(wpad[5..].iter().all(|w| *w == 0.0));
+        nearest_each_weighted_tiled(&v, &ids, &panels, &wpad, &mut each);
+        for (i, (idx, d)) in each.iter().enumerate() {
+            assert!(*idx < 5, "point {i} picked a pad column");
+            assert!(d.is_finite() && *d < 0.0, "point {i}");
         }
     }
 }

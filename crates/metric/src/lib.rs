@@ -172,6 +172,107 @@ pub trait DistanceOracle<P>: Metric<P> {
                 .expect("nearest_each requires at least one center");
         }
     }
+
+    /// The additively-weighted (Apollonius) form of [`dists_to_set_min`]:
+    /// `min_dist[i] = min(min_dist[i], d(points[i], center) − weight)`.
+    /// `min_dist` holds *weighted* distances, which may be negative once a
+    /// weight exceeds a distance.
+    ///
+    /// [`dists_to_set_min`]: DistanceOracle::dists_to_set_min
+    ///
+    /// # Panics
+    /// Panics when `min_dist` is shorter than `points`.
+    fn dists_to_set_min_weighted(
+        &self,
+        points: &[P],
+        center: &P,
+        weight: f64,
+        min_dist: &mut [f64],
+    ) {
+        assert!(min_dist.len() >= points.len(), "min-dist buffer too small");
+        for (p, d) in points.iter().zip(min_dist.iter_mut()) {
+            let nd = self.dist(p, center) - weight;
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+
+    /// Index and *weighted* distance `d(q, cᵢ) − weights[i]` of the
+    /// additively-weighted nearest center, ties toward the lower index;
+    /// `None` for an empty center set.
+    ///
+    /// # Panics
+    /// Panics when `weights` and `centers` differ in length.
+    fn nearest_weighted(&self, q: &P, centers: &[P], weights: &[f64]) -> Option<(usize, f64)> {
+        assert_eq!(
+            centers.len(),
+            weights.len(),
+            "one weight per center required"
+        );
+        let mut best: Option<(usize, f64)> = None;
+        for (i, c) in centers.iter().enumerate() {
+            let d = self.dist(q, c) - weights[i];
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        best
+    }
+
+    /// The additively-weighted form of [`dists_to_centers_min`]:
+    /// `min_dist[i] = min(min_dist[i], min_c d(points[i], c) − w_c)`. The
+    /// default is one [`dists_to_set_min_weighted`] pass per center, in
+    /// ascending center order.
+    ///
+    /// [`dists_to_centers_min`]: DistanceOracle::dists_to_centers_min
+    /// [`dists_to_set_min_weighted`]: DistanceOracle::dists_to_set_min_weighted
+    ///
+    /// # Panics
+    /// Panics when `min_dist` is shorter than `points` or `weights` and
+    /// `centers` differ in length.
+    fn dists_to_centers_min_weighted(
+        &self,
+        points: &[P],
+        centers: &[P],
+        weights: &[f64],
+        min_dist: &mut [f64],
+    ) {
+        assert!(min_dist.len() >= points.len(), "min-dist buffer too small");
+        assert_eq!(
+            centers.len(),
+            weights.len(),
+            "one weight per center required"
+        );
+        for (c, w) in centers.iter().zip(weights) {
+            self.dists_to_set_min_weighted(points, c, *w, min_dist);
+        }
+    }
+
+    /// The additively-weighted form of [`nearest_each`]: fills `out[i]`
+    /// with the index and weighted distance of the weighted-nearest
+    /// center of `queries[i]`, ties toward the lower index.
+    ///
+    /// [`nearest_each`]: DistanceOracle::nearest_each
+    ///
+    /// # Panics
+    /// Panics when `out` is shorter than `queries`, when `weights` and
+    /// `centers` differ in length, or when `centers` is empty while
+    /// `queries` is not.
+    fn nearest_each_weighted(
+        &self,
+        queries: &[P],
+        centers: &[P],
+        weights: &[f64],
+        out: &mut [(usize, f64)],
+    ) {
+        assert!(out.len() >= queries.len(), "output buffer too small");
+        for (q, o) in queries.iter().zip(out.iter_mut()) {
+            *o = self
+                .nearest_weighted(q, centers, weights)
+                .expect("nearest_each_weighted requires at least one center");
+        }
+    }
 }
 
 impl<P> DistanceOracle<P> for Euclidean where Euclidean: Metric<P> {}
@@ -201,6 +302,40 @@ impl<P, M: DistanceOracle<P> + ?Sized> DistanceOracle<P> for &M {
 
     fn nearest_each(&self, queries: &[P], centers: &[P], out: &mut [(usize, f64)]) {
         (**self).nearest_each(queries, centers, out)
+    }
+
+    fn dists_to_set_min_weighted(
+        &self,
+        points: &[P],
+        center: &P,
+        weight: f64,
+        min_dist: &mut [f64],
+    ) {
+        (**self).dists_to_set_min_weighted(points, center, weight, min_dist)
+    }
+
+    fn nearest_weighted(&self, q: &P, centers: &[P], weights: &[f64]) -> Option<(usize, f64)> {
+        (**self).nearest_weighted(q, centers, weights)
+    }
+
+    fn dists_to_centers_min_weighted(
+        &self,
+        points: &[P],
+        centers: &[P],
+        weights: &[f64],
+        min_dist: &mut [f64],
+    ) {
+        (**self).dists_to_centers_min_weighted(points, centers, weights, min_dist)
+    }
+
+    fn nearest_each_weighted(
+        &self,
+        queries: &[P],
+        centers: &[P],
+        weights: &[f64],
+        out: &mut [(usize, f64)],
+    ) {
+        (**self).nearest_each_weighted(queries, centers, weights, out)
     }
 }
 

@@ -468,6 +468,77 @@ impl DistanceOracle<PointId> for StoreOracle<'_> {
         self.tally(queries.len() * centers.len());
         batch::par_nearest_center_each(self.store, queries, centers, self.kernel, self.exec, out);
     }
+
+    fn dists_to_set_min_weighted(
+        &self,
+        points: &[PointId],
+        center: &PointId,
+        weight: f64,
+        min_dist: &mut [f64],
+    ) {
+        self.tally(points.len());
+        batch::par_dists_to_set_min_weighted(
+            self.store,
+            points,
+            *center,
+            weight,
+            self.kernel,
+            self.exec,
+            min_dist,
+        );
+    }
+
+    fn nearest_weighted(
+        &self,
+        q: &PointId,
+        centers: &[PointId],
+        weights: &[f64],
+    ) -> Option<(usize, f64)> {
+        self.tally(centers.len());
+        batch::par_nearest_center_weighted(self.store, centers, weights, *q, self.kernel, self.exec)
+    }
+
+    fn dists_to_centers_min_weighted(
+        &self,
+        points: &[PointId],
+        centers: &[PointId],
+        weights: &[f64],
+        min_dist: &mut [f64],
+    ) {
+        self.tally(points.len() * centers.len());
+        batch::par_dists_to_centers_min_weighted(
+            self.store,
+            points,
+            centers,
+            weights,
+            self.kernel,
+            self.exec,
+            min_dist,
+        );
+    }
+
+    fn nearest_each_weighted(
+        &self,
+        queries: &[PointId],
+        centers: &[PointId],
+        weights: &[f64],
+        out: &mut [(usize, f64)],
+    ) {
+        assert!(out.len() >= queries.len(), "output buffer too small");
+        if queries.is_empty() {
+            return;
+        }
+        self.tally(queries.len() * centers.len());
+        batch::par_nearest_center_each_weighted(
+            self.store,
+            queries,
+            centers,
+            weights,
+            self.kernel,
+            self.exec,
+            out,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -614,12 +685,18 @@ mod tests {
             oracle.nearest_each(&ids, &ids[..2], &mut nearest);
             let _ = oracle.nearest(&PointId(2), &ids[..4]);
             let _ = oracle.dist(&PointId(0), &PointId(1));
+            // Weighted sweeps count exactly like their plain siblings:
+            // one evaluation per point-pair, kernel-independent.
+            oracle.dists_to_set_min_weighted(&ids, &PointId(3), 0.5, &mut out);
+            oracle.dists_to_centers_min_weighted(&ids, &ids[..3], &[0.1, 0.2, 0.3], &mut out);
+            oracle.nearest_each_weighted(&ids, &ids[..2], &[0.1, 0.2], &mut nearest);
+            let _ = oracle.nearest_weighted(&PointId(2), &ids[..4], &[0.0; 4]);
             counts.push(counter.count());
         }
         for c in &counts[1..] {
             assert_eq!(*c, counts[0]);
         }
-        assert_eq!(counts[0], 10 + 10 + 30 + 20 + 4 + 1);
+        assert_eq!(counts[0], 10 + 10 + 30 + 20 + 4 + 1 + 10 + 30 + 20 + 4);
     }
 
     #[test]

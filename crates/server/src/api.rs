@@ -15,6 +15,8 @@
 //!   "lower_bound": true,     // certify a lower bound in the report
 //!   "kernel": "tiled",       // scalar | blocked | tiled  (default: the
 //!                            // server's --kernel, "blocked" out of the box)
+//!   "assignment": "plain",   // plain | weighted (additively-weighted
+//!                            // Apollonius assignment; default "plain")
 //!   "cache": true            // false bypasses the solution cache
 //! }
 //! ```
@@ -23,7 +25,7 @@
 //! document `POST /instances` accepts.
 
 use crate::error::ApiError;
-use ukc_core::{AssignmentRule, CertainStrategy, SolveError, SolverConfig};
+use ukc_core::{AssignmentMode, AssignmentRule, CertainStrategy, SolveError, SolverConfig};
 use ukc_json::format::JsonInstance;
 use ukc_json::Json;
 use ukc_metric::Kernel;
@@ -65,6 +67,7 @@ const SOLVE_FIELDS: &[&str] = &[
     "seed",
     "lower_bound",
     "kernel",
+    "assignment",
     "cache",
 ];
 
@@ -199,6 +202,21 @@ fn parse_solve_fields(doc: &Json, allowed: &[&str]) -> Result<SolveRequest, ApiE
             true
         }
     };
+    if let Some(raw) = doc.get("assignment") {
+        let mode = raw
+            .as_str()
+            .and_then(AssignmentMode::parse)
+            .ok_or_else(|| {
+                ApiError::bad_request(
+                    "bad_schema",
+                    format!(
+                        "\"assignment\" must be \"plain\" or \"weighted\", got {}",
+                        raw.compact()
+                    ),
+                )
+            })?;
+        builder = builder.assignment(mode);
+    }
     let use_cache = match doc.get("cache") {
         None => true,
         Some(c) => c
@@ -338,9 +356,21 @@ mod tests {
     }
 
     #[test]
+    fn assignment_field_parses_and_defaults_plain() {
+        let r = parse(r#"{"k": 2}"#).unwrap();
+        assert_eq!(r.config.assignment(), AssignmentMode::Plain);
+        let r = parse(r#"{"k": 2, "assignment": "weighted"}"#).unwrap();
+        assert_eq!(r.config.assignment(), AssignmentMode::AdditivelyWeighted);
+        let r = parse(r#"{"k": 2, "assignment": "plain"}"#).unwrap();
+        assert_eq!(r.config.assignment(), AssignmentMode::Plain);
+    }
+
+    #[test]
     fn unknown_fields_and_bad_values_are_400() {
         for (body, needle) in [
             (r#"{"k": 3, "slover": "grid"}"#, "slover"),
+            (r#"{"k": 3, "assignment": "apollonius"}"#, "assignment"),
+            (r#"{"k": 3, "assignment": 1}"#, "assignment"),
             (r#"{"k": 3, "rule": "xx"}"#, "rule"),
             (r#"{"k": 3, "solver": 5}"#, "solver"),
             (r#"{"rule": "ep"}"#, "\"k\""),

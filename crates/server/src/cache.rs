@@ -86,8 +86,9 @@ pub fn config_key(config: &SolverConfig) -> String {
     let grid = config.grid_options();
     let exact = config.exact_options();
     format!(
-        "rule={:?};strategy={strategy};eps={:016x};seed={};policy={policy};lb={};kernel={};grid={:?};exact={:?}",
+        "rule={:?};strategy={strategy};assignment={};eps={:016x};seed={};policy={policy};lb={};kernel={};grid={:?};exact={:?}",
         config.rule(),
+        config.assignment().name(),
         config.eps().to_bits(),
         config.seed(),
         config.computes_lower_bound(),
@@ -222,11 +223,15 @@ mod tests {
 
     #[test]
     fn config_keys_separate_every_knob() {
-        use ukc_core::AssignmentRule;
+        use ukc_core::{AssignmentMode, AssignmentRule};
         let base = SolverConfig::default();
         let variants = [
             SolverConfig::builder()
                 .rule(AssignmentRule::ExpectedDistance)
+                .build()
+                .unwrap(),
+            SolverConfig::builder()
+                .assignment(AssignmentMode::AdditivelyWeighted)
                 .build()
                 .unwrap(),
             SolverConfig::builder()

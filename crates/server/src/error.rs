@@ -98,6 +98,17 @@ impl ApiError {
         }
     }
 
+    /// `429` when a stream's bounded ingest queue is full. The response
+    /// carries a `Retry-After` header; the push was never enqueued, so
+    /// retrying is always safe (at-most-once until acked).
+    pub fn ingest_overloaded(depth: usize, cap: usize) -> Self {
+        ApiError {
+            status: 429,
+            kind: "ingest_overloaded",
+            message: format!("stream ingest queue is full ({depth} of {cap} slots); retry shortly"),
+        }
+    }
+
     /// `503` when the shard owning a digest is down and no live replica
     /// holds it. This is the *only* failure mode of a digest-routed read
     /// in a degraded cluster: reads of replicated instances keep working.
@@ -184,6 +195,7 @@ impl From<SolveError> for ApiError {
             SolveError::DimensionMismatch { .. } => "dimension_mismatch",
             SolveError::RuleUnsupported { .. } => "rule_unsupported",
             SolveError::StrategyUnsupported { .. } => "strategy_unsupported",
+            SolveError::WeightedUnsupported { .. } => "weighted_unsupported",
             SolveError::BadEpsilon { .. } => "bad_epsilon",
             SolveError::UnknownTableRow { .. } => "unknown_table_row",
         };

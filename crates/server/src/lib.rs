@@ -62,6 +62,7 @@ pub mod cache;
 mod cluster;
 pub mod error;
 pub mod http;
+pub mod ingest;
 pub mod metrics;
 pub mod persist;
 pub mod scheduler;

@@ -8,7 +8,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use ukc_core::Report;
+use ukc_core::{AssignmentMode, Report};
 use ukc_json::Json;
 use ukc_metric::Kernel;
 use ukc_pool::PoolStats;
@@ -102,6 +102,13 @@ fn kernel_slot(kernel: Kernel) -> usize {
         .expect("every kernel has a slot")
 }
 
+fn assignment_slot(assignment: AssignmentMode) -> usize {
+    AssignmentMode::ALL
+        .iter()
+        .position(|a| *a == assignment)
+        .expect("every assignment mode has a slot")
+}
+
 /// All server counters.
 #[derive(Default)]
 pub struct Metrics {
@@ -146,6 +153,19 @@ pub struct Metrics {
     kernel_solves: [AtomicU64; Kernel::ALL.len()],
     /// Per-kernel aggregate wall time spent in solves, same slot order.
     kernel_nanos: [AtomicU64; Kernel::ALL.len()],
+    /// Per-assignment-mode solve counts, one slot per
+    /// [`AssignmentMode::ALL`] entry.
+    assignment_solves: [AtomicU64; AssignmentMode::ALL.len()],
+    /// Per-assignment-mode aggregate wall time, same slot order.
+    assignment_nanos_by_mode: [AtomicU64; AssignmentMode::ALL.len()],
+    /// Stream pushes accepted into a bounded ingest queue.
+    pub ingest_accepted: AtomicU64,
+    /// Stream pushes rejected because the per-stream ingest queue was
+    /// full (typed `429 ingest_overloaded` with `Retry-After`).
+    pub ingest_rejected: AtomicU64,
+    /// Stream-solution reads served from the epoch cached inside the
+    /// staleness budget (no new snapshot/solve ran).
+    pub stale_served: AtomicU64,
 }
 
 fn add(counter: &AtomicU64, v: u64) {
@@ -181,7 +201,7 @@ impl Metrics {
     /// solves land in the same per-kernel slots as cold ones (the warm
     /// path runs on the same kernel) and additionally feed the
     /// `solves.warm` counters from [`Report::warm`].
-    pub fn record_solve(&self, report: &Report, kernel: Kernel) {
+    pub fn record_solve(&self, report: &Report, kernel: Kernel, assignment: AssignmentMode) {
         add(&self.solves_ok, 1);
         if let Some(warm) = &report.warm {
             add(&self.warm_solves, 1);
@@ -194,6 +214,12 @@ impl Metrics {
         let slot = kernel_slot(kernel);
         add(&self.kernel_solves[slot], 1);
         add(&self.kernel_nanos[slot], nanos(report.timings.total));
+        let a_slot = assignment_slot(assignment);
+        add(&self.assignment_solves[a_slot], 1);
+        add(
+            &self.assignment_nanos_by_mode[a_slot],
+            nanos(report.timings.total),
+        );
         add(&self.solve_nanos, nanos(report.timings.total));
         add(
             &self.representatives_nanos,
@@ -348,6 +374,31 @@ impl Metrics {
                             )
                         })),
                     ),
+                    (
+                        "by_assignment",
+                        Json::obj(AssignmentMode::ALL.iter().enumerate().map(|(i, a)| {
+                            (
+                                a.name(),
+                                Json::obj([
+                                    ("count", Json::from(get(&self.assignment_solves[i]) as f64)),
+                                    (
+                                        "seconds",
+                                        Json::from(
+                                            get(&self.assignment_nanos_by_mode[i]) as f64 / 1e9,
+                                        ),
+                                    ),
+                                ]),
+                            )
+                        })),
+                    ),
+                ]),
+            ),
+            (
+                "ingest",
+                Json::obj([
+                    ("accepted", Json::from(get(&self.ingest_accepted) as f64)),
+                    ("rejected", Json::from(get(&self.ingest_rejected) as f64)),
+                    ("stale_served", Json::from(get(&self.stale_served) as f64)),
                 ]),
             ),
             ("instances", Json::from(instances)),
@@ -414,8 +465,8 @@ mod tests {
         let mut report = Report::default();
         report.timings.total = std::time::Duration::from_millis(3);
         report.distance_evals.cost = 40;
-        m.record_solve(&report, Kernel::Blocked);
-        m.record_solve(&report, Kernel::Tiled);
+        m.record_solve(&report, Kernel::Blocked, AssignmentMode::Plain);
+        m.record_solve(&report, Kernel::Tiled, AssignmentMode::AdditivelyWeighted);
         m.record_solve_error();
         // A durability document passes through under its key.
         let with_durability = m.to_json(
@@ -458,6 +509,23 @@ mod tests {
             let seconds = entry.get("seconds").and_then(Json::as_f64).unwrap();
             assert!((seconds - expected * 0.003).abs() < 1e-9);
         }
+        // One solve landed in each assignment-mode slot.
+        let by_assignment = solves.get("by_assignment").unwrap();
+        for mode in AssignmentMode::ALL {
+            let entry = by_assignment.get(mode.name()).unwrap();
+            assert_eq!(entry.get("count").and_then(Json::as_f64), Some(1.0));
+            let seconds = entry.get("seconds").and_then(Json::as_f64).unwrap();
+            assert!((seconds - 0.003).abs() < 1e-9);
+        }
+        // Ingest counters surface under their own section.
+        add(&m.ingest_accepted, 5);
+        add(&m.ingest_rejected, 2);
+        add(&m.stale_served, 3);
+        let doc = m.to_json(0, 0, 0, 0, PoolStats::default(), None);
+        let ingest = doc.get("ingest").unwrap();
+        assert_eq!(ingest.get("accepted").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(ingest.get("rejected").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(ingest.get("stale_served").and_then(Json::as_f64), Some(3.0));
     }
 
     #[test]
@@ -480,9 +548,9 @@ mod tests {
             }),
             ..Report::default()
         };
-        m.record_solve(&warm_report, Kernel::Tiled);
-        m.record_solve(&fell_back, Kernel::Tiled);
-        m.record_solve(&Report::default(), Kernel::Tiled); // cold
+        m.record_solve(&warm_report, Kernel::Tiled, AssignmentMode::Plain);
+        m.record_solve(&fell_back, Kernel::Tiled, AssignmentMode::Plain);
+        m.record_solve(&Report::default(), Kernel::Tiled, AssignmentMode::Plain); // cold
         let doc = m.to_json(0, 0, 0, 0, PoolStats::default(), None);
         let solves = doc.get("solves").unwrap();
         let warm = solves.get("warm").unwrap();

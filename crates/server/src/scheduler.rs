@@ -376,7 +376,9 @@ fn run_wave(jobs: Vec<Job>, workers: usize, metrics: &Metrics) {
             .collect();
         for result in &results {
             match result {
-                Ok(solution) => metrics.record_solve(&solution.report, config.kernel()),
+                Ok(solution) => {
+                    metrics.record_solve(&solution.report, config.kernel(), config.assignment())
+                }
                 Err(_) => metrics.record_solve_error(),
             }
         }

@@ -78,6 +78,26 @@ pub struct ServerConfig {
     /// Liveness probe period (0 disables the prober; forwarded requests
     /// still update liveness as a side effect).
     pub probe_interval_ms: u64,
+    /// Bound on queued pushes *per stream* (`ukc serve
+    /// --ingest-queue-cap`). Pushes are applied by a dedicated ingest
+    /// worker that services streams round-robin; a stream whose queue is
+    /// full answers `429 ingest_overloaded` with `Retry-After` instead of
+    /// letting a burst grow push latency without bound. 0 rejects every
+    /// push.
+    pub ingest_queue_cap: usize,
+    /// Staleness budget for stream solution reads in milliseconds (`ukc
+    /// serve --solve-staleness-ms`). Within the budget, `GET
+    /// /streams/{id}/solution` re-serves the last rendered response with
+    /// a `"stale": true` marker instead of snapshotting and solving — so
+    /// a high-rate read load pays at most one solve per budget window
+    /// per stream. 0 (the default) disables the budget: every read
+    /// observes the live stream state, exactly the pre-budget behavior.
+    pub solve_staleness_ms: u64,
+    /// Fault-injection knob: sleep this long in the ingest worker before
+    /// applying each push. Only for tests and soak benches that need to
+    /// fill the bounded ingest queue deterministically; leave at 0 (the
+    /// default) in production.
+    pub ingest_apply_delay_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -96,6 +116,9 @@ impl Default for ServerConfig {
             shard_timeout_ms: 2000,
             shard_retries: 2,
             probe_interval_ms: 1000,
+            ingest_queue_cap: 1024,
+            solve_staleness_ms: 0,
+            ingest_apply_delay_ms: 0,
         }
     }
 }
@@ -131,6 +154,13 @@ pub(crate) struct AppState {
     /// `durable`, a single-node server carries `None` and pays one
     /// untaken `if` per request.
     cluster: Option<crate::cluster::ClusterState>,
+    /// The bounded per-stream push queue, drained round-robin by the
+    /// ingest worker thread.
+    ingest: crate::ingest::IngestQueue<PushJob>,
+    /// Staleness budget for stream solution reads (zero disables it).
+    solve_staleness: std::time::Duration,
+    /// Fault-injection apply delay (zero outside tests/benches).
+    ingest_apply_delay: std::time::Duration,
 }
 
 impl AppState {
@@ -173,7 +203,74 @@ impl AppState {
             snapshot_interval: config.snapshot_interval,
             recovery,
             cluster: crate::cluster::ClusterState::new(config),
+            ingest: crate::ingest::IngestQueue::new(config.ingest_queue_cap),
+            solve_staleness: std::time::Duration::from_millis(config.solve_staleness_ms),
+            ingest_apply_delay: std::time::Duration::from_millis(config.ingest_apply_delay_ms),
         })
+    }
+}
+
+/// One queued stream push: everything the ingest worker needs to apply
+/// it, plus the reply slot the connection thread blocks on. Parsing and
+/// stream lookup happen *before* enqueueing, so a queued job can only
+/// fail on apply (solver or durability errors), and a rejected push
+/// provably had no side effects.
+pub(crate) struct PushJob {
+    entry: Arc<crate::streams::StreamEntry>,
+    chunk: UncertainSet<Point>,
+    body: Vec<u8>,
+    slot: Arc<ReplySlot>,
+}
+
+/// A one-shot rendezvous between a connection thread and the ingest
+/// worker. The connection thread parks in [`ReplySlot::wait`] until the
+/// worker applies its push and fills the slot — so the push route keeps
+/// its synchronous contract (a `200` means applied, and on a durable
+/// server fsync'd) while the *ordering* of applies belongs to the queue.
+pub(crate) struct ReplySlot {
+    result: Mutex<Option<Handled>>,
+    cv: std::sync::Condvar,
+}
+
+impl ReplySlot {
+    fn new() -> Self {
+        ReplySlot {
+            result: Mutex::new(None),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    fn fill(&self, result: Handled) {
+        *self.result.lock().expect("reply slot poisoned") = Some(result);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Handled {
+        let mut guard = self.result.lock().expect("reply slot poisoned");
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            guard = self.cv.wait(guard).expect("reply slot poisoned");
+        }
+    }
+}
+
+/// The ingest worker: drains the bounded queue round-robin (one push per
+/// stream per rotation), applies each push, and wakes its submitter. On
+/// shutdown, fails every still-pending push with `503` so no connection
+/// thread is left parked.
+fn ingest_worker(state: Arc<AppState>) {
+    while let Some((stream, job)) = state.ingest.next() {
+        if !state.ingest_apply_delay.is_zero() {
+            std::thread::sleep(state.ingest_apply_delay);
+        }
+        let result = apply_stream_push(&state, &job.entry, job.chunk, &job.body);
+        job.slot.fill(result);
+        state.ingest.done(&stream);
+    }
+    for job in state.ingest.drain_all() {
+        job.slot.fill(Err(ApiError::unavailable()));
     }
 }
 
@@ -183,6 +280,7 @@ pub struct ServerHandle {
     state: Arc<AppState>,
     shutdown: Arc<AtomicBool>,
     accept: Option<std::thread::JoinHandle<()>>,
+    ingest: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -209,6 +307,13 @@ impl ServerHandle {
         }
         if let Some(cluster) = &self.state.cluster {
             cluster.stop();
+        }
+        // Stop admitting pushes, then join the worker: it drains the
+        // queue, failing pending jobs so no connection thread stays
+        // parked on a reply slot.
+        self.state.ingest.shutdown();
+        if let Some(handle) = self.ingest.take() {
+            let _ = handle.join();
         }
         self.state.scheduler.shutdown();
     }
@@ -240,11 +345,18 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
             .name("ukc-accept".into())
             .spawn(move || accept_loop(listener, state, shutdown))?
     };
+    let ingest = {
+        let state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("ukc-ingest".into())
+            .spawn(move || ingest_worker(state))?
+    };
     Ok(ServerHandle {
         addr,
         state,
         shutdown,
         accept: Some(accept),
+        ingest: Some(ingest),
     })
 }
 
@@ -266,6 +378,12 @@ pub fn serve_blocking(config: ServerConfig) -> std::io::Result<()> {
         );
     }
     eprintln!("ukc-server listening on {}", listener.local_addr()?);
+    {
+        let state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("ukc-ingest".into())
+            .spawn(move || ingest_worker(state))?;
+    }
     accept_loop(listener, state, Arc::new(AtomicBool::new(false)));
     Ok(())
 }
@@ -495,7 +613,7 @@ pub(crate) fn dispatch(state: &AppState, request: &Request) -> Response {
         Ok((status, body)) => Response::json(status, body.pretty()),
         Err(e) => {
             let response = Response::json(e.status, e.to_json().pretty());
-            if e.kind == "overloaded" {
+            if e.kind == "overloaded" || e.kind == "ingest_overloaded" {
                 // The request was never enqueued, so an immediate retry
                 // is safe; 1s is long enough for a wave to drain.
                 response.with_header("Retry-After", "1")
@@ -840,6 +958,12 @@ fn handle_stream_delete(state: &AppState, id: &str) -> Handled {
 
 /// `POST /streams/{id}/push`: one instance document = one epoch.
 /// All-or-nothing per chunk — a dimension mismatch consumes nothing.
+///
+/// The connection thread parses and validates, then hands the chunk to
+/// the ingest worker through the bounded per-stream queue and parks
+/// until it is applied. A full queue is a `429 ingest_overloaded` with
+/// `Retry-After` *before* anything is enqueued, so a rejected push never
+/// has side effects and retrying is always safe.
 fn handle_stream_push(state: &AppState, id: &str, request: &Request) -> Handled {
     let doc = api::parse_body(&request.body)?;
     let instance = JsonInstance::from_json(&doc).map_err(ApiError::from)?;
@@ -848,6 +972,39 @@ fn handle_stream_push(state: &AppState, id: &str, request: &Request) -> Handled 
         .streams
         .get(id)
         .ok_or_else(|| ApiError::stream_not_found(id))?;
+    let slot = Arc::new(ReplySlot::new());
+    let job = PushJob {
+        entry,
+        chunk,
+        body: request.body.clone(),
+        slot: Arc::clone(&slot),
+    };
+    match state.ingest.submit(id, job) {
+        Ok(()) => state
+            .metrics
+            .ingest_accepted
+            .fetch_add(1, Ordering::Relaxed),
+        Err(crate::ingest::SubmitError::Full { depth, cap }) => {
+            state
+                .metrics
+                .ingest_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ApiError::ingest_overloaded(depth, cap));
+        }
+        Err(crate::ingest::SubmitError::Shutdown) => return Err(ApiError::unavailable()),
+    };
+    slot.wait()
+}
+
+/// Applies one queued push on the ingest worker: evolve the summary,
+/// durably log the epoch (fsync before ack), snapshot periodically, and
+/// render the push response.
+fn apply_stream_push(
+    state: &AppState,
+    entry: &crate::streams::StreamEntry,
+    chunk: UncertainSet<Point>,
+    body: &[u8],
+) -> Handled {
     let mut solver = entry.solver.lock().expect("stream solver lock poisoned");
     let epoch = solver.push_chunk(chunk.points()).map_err(ApiError::from)?;
     if let Some(durable) = &state.durable {
@@ -855,7 +1012,7 @@ fn handle_stream_push(state: &AppState, id: &str, request: &Request) -> Handled 
         // response leaves. On failure the client gets a retryable 503 and
         // no ack — the epoch may be lost on restart, which is exactly the
         // unacked-push contract.
-        durable.append_push(entry.seq, epoch.epoch, &request.body)?;
+        durable.append_push(entry.seq, epoch.epoch, body)?;
         // Periodic snapshot so recovery replays only the WAL tail.
         // Best-effort: a failed snapshot costs recovery time, not data.
         if state.snapshot_interval > 0 && epoch.epoch % state.snapshot_interval == 0 {
@@ -899,6 +1056,26 @@ fn handle_stream_solution(state: &AppState, id: &str) -> Handled {
         .streams
         .get(id)
         .ok_or_else(|| ApiError::stream_not_found(id))?;
+    // Under a staleness budget, a read inside the window re-serves the
+    // last rendered response (marked `"stale": true`) without touching
+    // the solver or the scheduler — at most one snapshot + solve per
+    // budget window per stream, no matter the read rate.
+    if !state.solve_staleness.is_zero() {
+        let slot = entry
+            .last_response
+            .lock()
+            .expect("stream response slot poisoned");
+        if let Some((at, cached_body)) = slot.as_ref() {
+            if at.elapsed() < state.solve_staleness {
+                state.metrics.stale_served.fetch_add(1, Ordering::Relaxed);
+                let mut body = cached_body.clone();
+                if let Json::Obj(pairs) = &mut body {
+                    pairs.push(("stale".into(), Json::from(true)));
+                }
+                return Ok((200, body));
+            }
+        }
+    }
     let (set, solve, report, coverage, stream_lb) = {
         let solver = entry.solver.lock().expect("stream solver lock poisoned");
         if solver.is_empty() {
@@ -987,6 +1164,12 @@ fn handle_stream_solution(state: &AppState, id: &str) -> Handled {
                 ("memory_peak_points", Json::from(report.memory_peak_points)),
             ]),
         ));
+    }
+    if !state.solve_staleness.is_zero() {
+        *entry
+            .last_response
+            .lock()
+            .expect("stream response slot poisoned") = Some((Instant::now(), body.clone()));
     }
     Ok((status, body))
 }
@@ -1188,9 +1371,11 @@ fn handle_instance_solve_loo(state: &AppState, id: &str, request: &Request) -> H
         state.metrics.record_solve_error();
         ApiError::from(e)
     })?;
-    state
-        .metrics
-        .record_solve(&loo.base.report, solve.config.kernel());
+    state.metrics.record_solve(
+        &loo.base.report,
+        solve.config.kernel(),
+        solve.config.assignment(),
+    );
     let variants = Json::arr(loo.variants.iter().map(|v| {
         Json::obj([
             ("removed", Json::from(v.removed)),

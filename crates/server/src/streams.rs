@@ -41,6 +41,13 @@ pub struct StreamEntry {
     /// Purely an in-memory accelerator: recovery leaves it `None` and
     /// the first post-restart solution request re-solves cold.
     pub last_solution: Mutex<Option<(u64, Arc<Solution<Point>>)>>,
+    /// The last fully-rendered solution response and when it was built.
+    /// Only consulted when the server runs with a staleness budget
+    /// (`--solve-staleness-ms`): reads inside the budget are answered
+    /// from this slot with a `"stale": true` marker instead of paying a
+    /// snapshot + solve per read. Like `last_solution`, purely an
+    /// in-memory accelerator — recovery leaves it `None`.
+    pub last_response: Mutex<Option<(std::time::Instant, ukc_json::Json)>>,
 }
 
 /// The `RwLock`-guarded stream map.
@@ -79,6 +86,7 @@ impl StreamStore {
             use_cache,
             solver: Mutex::new(solver),
             last_solution: Mutex::new(None),
+            last_response: Mutex::new(None),
         });
         self.map
             .write()

@@ -50,6 +50,7 @@ pub use expected_max::{
 pub use point::{UncertainPoint, UncertainPointError};
 pub use realization::{sample_realization, RealizationIter};
 pub use reps::{
-    expected_distance, expected_point, mode_location, one_center_discrete, one_center_euclidean,
+    expected_distance, expected_point, expected_spreads, expected_spreads_exec, mode_location,
+    one_center_discrete, one_center_euclidean,
 };
 pub use set::UncertainSet;

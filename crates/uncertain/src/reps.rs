@@ -16,8 +16,10 @@
 //! * [`mode_location`] — the most likely location, used only as a baseline.
 
 use crate::point::UncertainPoint;
+use crate::set::UncertainSet;
 use ukc_geometry::median::{geometric_median, WeiszfeldOptions};
-use ukc_metric::{DistanceOracle, Point};
+use ukc_metric::{DistanceOracle, Point, PAR_CHUNK, PAR_MIN_POINTS};
+use ukc_pool::Exec;
 
 /// The expected distance `E d(P, q) = Σⱼ pⱼ·d(Pⱼ, q)` from an uncertain
 /// point to a fixed location.
@@ -79,6 +81,76 @@ pub fn one_center_discrete<P, M: DistanceOracle<P>>(
         })
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
         .expect("non-empty candidates")
+}
+
+/// One point's expected spread through the batched oracle sweep: the
+/// probability-weighted sum of location distances in support order,
+/// identical in value and evaluation count (`z`) to
+/// [`expected_distance`].
+fn spread_of<P, M: DistanceOracle<P>>(
+    up: &UncertainPoint<P>,
+    rep: &P,
+    metric: &M,
+    dists: &mut [f64],
+) -> f64 {
+    metric.dists_to_one(up.locations(), rep, dists);
+    dists[..up.z()]
+        .iter()
+        .zip(up.probs())
+        .map(|(&d, &p)| p * d)
+        .sum()
+}
+
+/// The per-point *expected spreads* `wᵢ = E d(Pᵢ, repᵢ)` — the additive
+/// center weights of the weighted (Apollonius) uncertain solve strategy.
+///
+/// A certain point sitting exactly on its representative has spread 0, so
+/// an all-certain instance carries all-zero weights and the weighted
+/// pipeline degenerates to the plain one. Evaluates exactly one distance
+/// per realization location (`Σᵢ zᵢ` total), through the batched
+/// [`DistanceOracle::dists_to_one`] sweep.
+///
+/// # Panics
+/// Panics when `reps.len() != set.n()`.
+pub fn expected_spreads<P, M: DistanceOracle<P>>(
+    set: &UncertainSet<P>,
+    reps: &[P],
+    metric: &M,
+) -> Vec<f64> {
+    assert_eq!(reps.len(), set.n(), "one representative per point required");
+    let mut dists = vec![0.0f64; set.max_z()];
+    set.iter()
+        .zip(reps)
+        .map(|(up, rep)| spread_of(up, rep, metric, &mut dists))
+        .collect()
+}
+
+/// [`expected_spreads`] with an execution context: points are swept in
+/// block-parallel chunks on the pool (each lane with its own scratch
+/// buffer). Per-point arithmetic is identical to the sequential sweep's,
+/// so the spreads — and the evaluation count — are bit-identical for
+/// every `exec`.
+///
+/// # Panics
+/// Panics when `reps.len() != set.n()`.
+pub fn expected_spreads_exec<P: Sync, M: DistanceOracle<P> + Sync>(
+    set: &UncertainSet<P>,
+    reps: &[P],
+    metric: &M,
+    exec: Exec<'_>,
+) -> Vec<f64> {
+    if !exec.is_parallel() || set.n() < PAR_MIN_POINTS {
+        return expected_spreads(set, reps, metric);
+    }
+    assert_eq!(reps.len(), set.n(), "one representative per point required");
+    let mut out = vec![0.0f64; set.n()];
+    ukc_pool::for_each_slice(exec, &mut out, PAR_CHUNK, |start, slice| {
+        let mut dists = vec![0.0f64; set.max_z()];
+        for (j, o) in slice.iter_mut().enumerate() {
+            *o = spread_of(&set[start + j], &reps[start + j], metric, &mut dists);
+        }
+    });
+    out
 }
 
 /// The most likely location (ties broken toward the first), the baseline
@@ -191,6 +263,24 @@ mod tests {
         assert_eq!(mode_location(&up).coords(), &[0.0, 0.0]);
         let tie = UncertainPoint::new(vec![1.0f64, 2.0], vec![0.5, 0.5]).unwrap();
         assert_eq!(*mode_location(&tie), 1.0);
+    }
+
+    #[test]
+    fn expected_spreads_hand_computed_and_zero_for_certain() {
+        let set = UncertainSet::new(vec![
+            up2d(),
+            UncertainPoint::certain(Point::new(vec![7.0, 7.0])),
+        ]);
+        let reps: Vec<Point> = set.iter().map(expected_point).collect();
+        let spreads = expected_spreads(&set, &reps, &Euclidean);
+        // Point 0: rep is (1,1); E d = 0.5*sqrt(2) + 0.25*sqrt(10) + 0.25*sqrt(10).
+        let expect = 0.5 * 2.0f64.sqrt() + 0.5 * 10.0f64.sqrt();
+        assert!((spreads[0] - expect).abs() < 1e-12);
+        // A certain point sits on its representative: zero spread.
+        assert_eq!(spreads[1], 0.0);
+        // The exec variant matches bitwise (sequential fallback path here).
+        let par = expected_spreads_exec(&set, &reps, &Euclidean, ukc_pool::Exec::sequential());
+        assert_eq!(spreads, par);
     }
 
     #[test]

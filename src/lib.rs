@@ -102,11 +102,11 @@ pub mod prelude {
         sample_union_baseline, BruteForceLimits,
     };
     pub use ukc_core::{
-        assign_ed, assign_ep, assign_oc, expected_point_one_center, lower_bound_euclidean,
-        lower_bound_metric, lower_bound_one_center, reference_one_center, solve_batch,
-        solve_batch_threads, AssignmentRule, CandidatePolicy, CertainStrategy, ContinuousSpace,
-        DistanceEvals, EuclideanSpace, MetricAssignmentRule, Problem, Report, Solution, SolveError,
-        SolverConfig, SolverConfigBuilder, StageTimings,
+        assign_ed, assign_ed_weighted, assign_ep, assign_oc, expected_point_one_center,
+        lower_bound_euclidean, lower_bound_metric, lower_bound_one_center, reference_one_center,
+        solve_batch, solve_batch_threads, AssignmentMode, AssignmentRule, CandidatePolicy,
+        CertainStrategy, ContinuousSpace, DistanceEvals, EuclideanSpace, MetricAssignmentRule,
+        Problem, Report, Solution, SolveError, SolverConfig, SolverConfigBuilder, StageTimings,
     };
     #[allow(deprecated)]
     pub use ukc_core::{
@@ -120,8 +120,8 @@ pub mod prelude {
         uncertain_kmedian_local_search, StreamingKCenter,
     };
     pub use ukc_kcenter::{
-        exact_discrete_kcenter, gonzalez, grid_kcenter, kcenter_cost, local_search_kcenter,
-        one_d_kcenter, ExactOptions, GridOptions,
+        exact_discrete_kcenter, gonzalez, gonzalez_indices_weighted, grid_kcenter, kcenter_cost,
+        kcenter_cost_weighted, local_search_kcenter, one_d_kcenter, ExactOptions, GridOptions,
     };
     pub use ukc_metric::{
         Chebyshev, DistCounter, DistanceOracle, Euclidean, FiniteMetric, Kernel, Manhattan, Metric,
@@ -136,9 +136,9 @@ pub mod prelude {
     };
     pub use ukc_uncertain::{
         cost_cdf_assigned, cost_quantile_assigned, ecost_assigned, ecost_monte_carlo,
-        ecost_unassigned, expected_distance, expected_max, expected_point, max_cdf, max_quantile,
-        mode_location, one_center_discrete, one_center_euclidean, try_expected_max, try_max_cdf,
-        try_max_quantile, AtomsError, UncertainPoint, UncertainSet,
+        ecost_unassigned, expected_distance, expected_max, expected_point, expected_spreads,
+        max_cdf, max_quantile, mode_location, one_center_discrete, one_center_euclidean,
+        try_expected_max, try_max_cdf, try_max_quantile, AtomsError, UncertainPoint, UncertainSet,
     };
 }
 

@@ -55,6 +55,24 @@ fn best_sweep_secs(store: &PointStore, kernel: Kernel) -> f64 {
     best
 }
 
+/// Best-of-N seconds for one full additively-weighted
+/// (`nearest_each_weighted`) assignment sweep.
+fn best_weighted_sweep_secs(store: &PointStore, kernel: Kernel) -> f64 {
+    let queries = store.ids();
+    let centers: Vec<PointId> = (0..K).map(|i| PointId(i * (N / K))).collect();
+    let weights: Vec<f64> = (0..K).map(|i| i as f64 * 0.25).collect();
+    let oracle = StoreOracle::new(store, kernel);
+    let mut out = vec![(0usize, 0.0f64); N];
+    let mut best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let t = Instant::now();
+        oracle.nearest_each_weighted(&queries, &centers, &weights, &mut out);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    assert!(out.iter().all(|(i, d)| *i < K && d.is_finite()));
+    best
+}
+
 #[test]
 #[ignore = "perf assertion; run in release mode via CI's perf-smoke step"]
 fn tiled_assignment_is_not_slower_than_scalar() {
@@ -69,5 +87,27 @@ fn tiled_assignment_is_not_slower_than_scalar() {
     assert!(
         speedup >= 1.0,
         "tiled kernel regressed below scalar parity: {speedup:.2}x"
+    );
+}
+
+/// The weighted (Apollonius) sweep gets the same floor: the tiled
+/// weighted path must never be slower than the weighted scalar loop it
+/// replaces. The per-center subtraction is O(k) bookkeeping on top of
+/// the same distance panels, so the dispatch cutoffs and the parity
+/// argument above carry over unchanged.
+#[test]
+#[ignore = "perf assertion; run in release mode via CI's perf-smoke step"]
+fn weighted_tiled_assignment_is_not_slower_than_weighted_scalar() {
+    let store = store(4243);
+    let scalar = best_weighted_sweep_secs(&store, Kernel::Scalar);
+    let tiled = best_weighted_sweep_secs(&store, Kernel::Tiled);
+    let speedup = scalar / tiled;
+    eprintln!(
+        "perf-smoke weighted assign n={N} d={DIM} k={K}: scalar {scalar:.6}s, \
+         tiled {tiled:.6}s, speedup {speedup:.2}x"
+    );
+    assert!(
+        speedup >= 1.0,
+        "weighted tiled kernel regressed below weighted scalar parity: {speedup:.2}x"
     );
 }

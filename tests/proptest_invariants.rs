@@ -191,4 +191,78 @@ proptest! {
         let cost_b = ecost_assigned(&set, &[c1, c0], &swapped, &Euclidean);
         prop_assert!((cost_a - cost_b).abs() < 1e-9);
     }
+
+    /// Adding one constant to **every** center weight shifts all
+    /// Apollonius values `d(q, cᵢ) − wᵢ` by the same amount, so the
+    /// weighted argmin is invariant (whenever the winner wins by more
+    /// than fp noise — an exact tie's resolution may legitimately depend
+    /// on rounding in `wᵢ + c`).
+    #[test]
+    fn weighted_argmin_invariant_under_constant_weight_shift(
+        centers in prop::collection::vec(
+            ((-50.0f64..50.0, -50.0f64..50.0), 0.0f64..2.0), 2..=6),
+        qx in -50.0f64..50.0,
+        qy in -50.0f64..50.0,
+        c in 0.0f64..2.0,
+    ) {
+        let q = Point::new(vec![qx, qy]);
+        let pts: Vec<Point> = centers.iter().map(|((x, y), _)| Point::new(vec![*x, *y])).collect();
+        let w: Vec<f64> = centers.iter().map(|(_, w)| *w).collect();
+        let (idx, val) = Euclidean.nearest_weighted(&q, &pts, &w).unwrap();
+        // Guard: skip knife-edge ties (runner-up within 1e-9).
+        let runner_up = pts.iter().zip(&w).enumerate()
+            .filter(|(i, _)| *i != idx)
+            .map(|(_, (p, wi))| Euclidean.dist(&q, p) - wi)
+            .fold(f64::INFINITY, f64::min);
+        if runner_up - val > 1e-9 {
+            let shifted: Vec<f64> = w.iter().map(|wi| wi + c).collect();
+            let (idx2, val2) = Euclidean.nearest_weighted(&q, &pts, &shifted).unwrap();
+            prop_assert_eq!(idx, idx2);
+            prop_assert!((val2 - (val - c)).abs() <= 1e-9 * (1.0 + val.abs() + c));
+        }
+    }
+
+    /// Raising a single center's weight only makes it *more* attractive
+    /// (`d − w` decreases), so a point already assigned to it stays
+    /// assigned to it — exactly, with no tolerance: fp subtraction is
+    /// monotone, and no other center's value moves at all.
+    #[test]
+    fn weighted_argmin_monotone_in_single_weight(
+        centers in prop::collection::vec(
+            ((-50.0f64..50.0, -50.0f64..50.0), 0.0f64..2.0), 2..=6),
+        qx in -50.0f64..50.0,
+        qy in -50.0f64..50.0,
+        delta in 0.0f64..5.0,
+    ) {
+        let q = Point::new(vec![qx, qy]);
+        let pts: Vec<Point> = centers.iter().map(|((x, y), _)| Point::new(vec![*x, *y])).collect();
+        let w: Vec<f64> = centers.iter().map(|(_, w)| *w).collect();
+        let (idx, _) = Euclidean.nearest_weighted(&q, &pts, &w).unwrap();
+        let mut raised = w.clone();
+        raised[idx] += delta;
+        let (idx2, _) = Euclidean.nearest_weighted(&q, &pts, &raised).unwrap();
+        prop_assert_eq!(idx, idx2);
+    }
+
+    /// The canonical set digest is invariant under point order — the
+    /// cache/dedup key must name the multiset, not the upload order.
+    /// (The weighted solve path inherits this: permuted uploads share
+    /// cache entries in either assignment mode.)
+    #[test]
+    fn set_digest_invariant_under_permutation(set in uncertain_set_2d(2..=6), seed in 0u64..1000) {
+        let mut points: Vec<UncertainPoint<Point>> = set.iter().cloned().collect();
+        // Deterministic Fisher–Yates from the proptest seed.
+        let mut s = seed | 1;
+        for i in (1..points.len()).rev() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            points.swap(i, (s as usize) % (i + 1));
+        }
+        let permuted = UncertainSet::new(points);
+        prop_assert_eq!(
+            uncertain_kcenter::core::digest_set(&set),
+            uncertain_kcenter::core::digest_set(&permuted)
+        );
+    }
 }

@@ -667,3 +667,136 @@ fn stream_lifecycle_push_solution_and_digest_keyed_caching() {
 
     handle.shutdown();
 }
+
+/// The bounded per-stream ingest queue pushes back under a burst: with
+/// a slow apply (the fault-injection delay) and a queue of 4, a burst
+/// of 8 concurrent pushes splits into acks and typed
+/// `429 ingest_overloaded` rejections carrying `Retry-After`. No acked
+/// push is ever lost — the acked epochs are exactly `1..=accepted` and
+/// the stream converges to that epoch count — and the `/metrics`
+/// ingest counters agree with the observed split.
+#[test]
+fn ingest_backpressure_rejects_bursts_and_loses_no_acked_push() {
+    let config = ServerConfig {
+        ingest_queue_cap: 4,
+        ingest_apply_delay_ms: 250,
+        ..ServerConfig::default()
+    };
+    let (handle, addr) = start(config);
+
+    let created = parse(&post(addr, "/streams", r#"{"k": 2, "budget": 16}"#));
+    let id = created
+        .get("id")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+
+    // Fire 8 pushes concurrently. The worker applies at most ~4/s, so
+    // the 4-deep queue must fill and reject at least one of them.
+    let mut threads = Vec::new();
+    for seed in 0..8u64 {
+        let path = format!("/streams/{id}/push");
+        let body = instance_body(40 + seed);
+        threads.push(std::thread::spawn(move || {
+            client::request(addr, "POST", &path, Some(&body)).expect("request")
+        }));
+    }
+    let responses: Vec<HttpResponse> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+
+    let mut acked_epochs = Vec::new();
+    let mut rejected = 0u64;
+    for r in &responses {
+        match r.status {
+            200 => {
+                let doc = parse(r);
+                acked_epochs.push(doc.get("epoch").and_then(Json::as_f64).unwrap() as u64);
+            }
+            429 => {
+                assert_eq!(error_kind(r), (429.0, "ingest_overloaded".into()));
+                assert!(
+                    r.headers
+                        .iter()
+                        .any(|(name, value)| name == "retry-after" && value == "1"),
+                    "429 without Retry-After: {:?}",
+                    r.headers
+                );
+                rejected += 1;
+            }
+            other => panic!("unexpected status {other}: {}", r.body),
+        }
+    }
+    let accepted = acked_epochs.len() as u64;
+    assert_eq!(accepted + rejected, 8);
+    assert!(rejected >= 1, "queue of 4 never filled under an 8-burst");
+    // 4 queued + 1 in flight can all be acked even if the whole burst
+    // lands before the worker pops a single job.
+    assert!(accepted >= 4, "only {accepted} pushes accepted");
+
+    // Every ack is real: the acked epochs are exactly 1..=accepted
+    // (rejections never consumed an epoch), and the drained stream
+    // reports the same count.
+    acked_epochs.sort_unstable();
+    assert_eq!(acked_epochs, (1..=accepted).collect::<Vec<_>>());
+    let meta = parse(&get(addr, &format!("/streams/{id}")));
+    assert_eq!(
+        meta.get("epochs").and_then(Json::as_f64),
+        Some(accepted as f64)
+    );
+
+    assert_eq!(metric(addr, &["ingest", "accepted"]), accepted as f64);
+    assert_eq!(metric(addr, &["ingest", "rejected"]), rejected as f64);
+
+    handle.shutdown();
+}
+
+/// With a staleness budget, `GET /streams/{id}/solution` inside the
+/// window re-serves the last rendered response — marked
+/// `"stale": true`, still carrying the *previous* digest even after a
+/// push moved the stream — and performs no new solve.
+#[test]
+fn staleness_budget_serves_cached_reads_without_solving() {
+    let config = ServerConfig {
+        solve_staleness_ms: 60_000,
+        ..ServerConfig::default()
+    };
+    let (handle, addr) = start(config);
+
+    let created = parse(&post(addr, "/streams", r#"{"k": 2}"#));
+    let id = created
+        .get("id")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    post(addr, &format!("/streams/{id}/push"), &instance_body(51));
+
+    // The first read solves fresh and primes the staleness window.
+    let fresh = parse(&get(addr, &format!("/streams/{id}/solution")));
+    assert_eq!(fresh.get("stale"), None, "fresh solve marked stale");
+    let digest = fresh
+        .get("stream")
+        .unwrap()
+        .get("digest")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+
+    // The stream moves on, but a read inside the budget still re-serves
+    // the previous response: old digest, `"stale": true`, and zero new
+    // solves recorded anywhere in /metrics.
+    post(addr, &format!("/streams/{id}/push"), &instance_body(52));
+    let solves_before = metric(addr, &["solves", "ok"]);
+    let stale = parse(&get(addr, &format!("/streams/{id}/solution")));
+    assert_eq!(stale.get("stale").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        stale
+            .get("stream")
+            .unwrap()
+            .get("digest")
+            .and_then(Json::as_str),
+        Some(digest.as_str())
+    );
+    assert!(metric(addr, &["ingest", "stale_served"]) >= 1.0);
+    assert_eq!(metric(addr, &["solves", "ok"]), solves_before);
+
+    handle.shutdown();
+}
